@@ -1,0 +1,184 @@
+// Command ncbench regenerates the tables and figures of "Network-Centric
+// Buffer Cache Organization" (ICDCS 2005) on the simulated testbed.
+//
+// Usage:
+//
+//	ncbench -exp all                 # every table and figure
+//	ncbench -exp fig4                # one experiment
+//	ncbench -exp fig5b -window 1s -concurrency 16
+//
+// Experiments: table1, table2, fig4, fig5a, fig5b, fig6a, fig6b, fig7,
+// transport, futurework, overhead, ablations, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ncache/internal/bench"
+	"ncache/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ncbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ncbench", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment: table1,table2,fig4,fig5a,fig5b,fig6a,fig6b,fig7,transport,futurework,overhead,ablations,all")
+	warmup := fs.Duration("warmup", 150*time.Millisecond, "steady-state warm-up (virtual time)")
+	window := fs.Duration("window", 600*time.Millisecond, "measurement window (virtual time)")
+	concurrency := fs.Int("concurrency", 8, "outstanding requests per client host")
+	scale := fs.Int("scale", 4, "memory-scale divisor for the macro experiments (1 = paper scale)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opt := bench.Options{
+		Warmup:      sim.Duration(*warmup),
+		Window:      sim.Duration(*window),
+		Concurrency: *concurrency,
+		Scale:       *scale,
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if want("table1") {
+		ran = true
+		fmt.Println(bench.FormatTable1(bench.Table1()))
+	}
+	if want("table2") {
+		ran = true
+		rows, err := bench.Table2()
+		if err != nil {
+			return fmt.Errorf("table2: %w", err)
+		}
+		fmt.Println(bench.FormatTable2(rows))
+	}
+	if want("fig4") {
+		ran = true
+		pts, err := bench.RunFig4(opt)
+		if err != nil {
+			return fmt.Errorf("fig4: %w", err)
+		}
+		fmt.Println(bench.FormatNFSPoints(
+			"Figure 4: NFS all-miss workload (throughput and server CPU vs request size)", pts))
+	}
+	if want("fig5a") {
+		ran = true
+		pts, err := bench.RunFig5a(opt)
+		if err != nil {
+			return fmt.Errorf("fig5a: %w", err)
+		}
+		fmt.Println(bench.FormatNFSPoints(
+			"Figure 5(a): NFS all-hit workload, one NIC (link-bound; watch CPU)", pts))
+	}
+	if want("fig5b") {
+		ran = true
+		pts, err := bench.RunFig5b(opt)
+		if err != nil {
+			return fmt.Errorf("fig5b: %w", err)
+		}
+		fmt.Println(bench.FormatNFSPoints(
+			"Figure 5(b): NFS all-hit workload, two NICs (CPU-bound)", pts))
+	}
+	if want("fig6a") {
+		ran = true
+		pts, err := bench.RunFig6a(opt)
+		if err != nil {
+			return fmt.Errorf("fig6a: %w", err)
+		}
+		fmt.Println(bench.FormatWebPoints(
+			"Figure 6(a): kHTTPd SPECweb99-like load vs working-set size (paper-scale MB)",
+			"wsMB", pts))
+	}
+	if want("fig6b") {
+		ran = true
+		pts, err := bench.RunFig6b(opt)
+		if err != nil {
+			return fmt.Errorf("fig6b: %w", err)
+		}
+		fmt.Println(bench.FormatWebPoints(
+			"Figure 6(b): kHTTPd all-hit workload vs request size", "reqKB", pts))
+	}
+	if want("fig7") {
+		ran = true
+		pts, err := bench.RunFig7(opt)
+		if err != nil {
+			return fmt.Errorf("fig7: %w", err)
+		}
+		fmt.Println(bench.FormatSFSPoints(pts))
+	}
+	if want("futurework") {
+		ran = true
+		pts, err := bench.RunFutureWorkWireFormat(opt)
+		if err != nil {
+			return fmt.Errorf("futurework: %w", err)
+		}
+		fmt.Println(bench.FormatWireFormatPoints(pts))
+	}
+	if want("transport") {
+		ran = true
+		pts, err := bench.RunTransportComparison(opt)
+		if err != nil {
+			return fmt.Errorf("transport: %w", err)
+		}
+		fmt.Println(bench.FormatTransportPoints(pts))
+	}
+	if want("overhead") {
+		ran = true
+		rep, err := bench.RunOverheadBreakdown(opt)
+		if err != nil {
+			return fmt.Errorf("overhead: %w", err)
+		}
+		fmt.Println(bench.FormatOverhead(rep))
+	}
+	if want("ablations") {
+		ran = true
+		withRemap, withoutRemap, err := bench.RunAblationRemap(opt)
+		if err != nil {
+			return fmt.Errorf("ablation remap: %w", err)
+		}
+		fmt.Printf("Ablation: FHO→LBN remapping\n  on:  %8.0f ops/s (remaps=%d, L2 hits=%d)\n  off: %8.0f ops/s (remaps=%d, L2 hits=%d)\n\n",
+			withRemap.OpsPerSec, withRemap.Remaps, withRemap.L2Hits,
+			withoutRemap.OpsPerSec, withoutRemap.Remaps, withoutRemap.L2Hits)
+
+		rows, err := bench.RunAblationCopyCost(opt)
+		if err != nil {
+			return fmt.Errorf("ablation copy cost: %w", err)
+		}
+		fmt.Println("Ablation: per-byte copy cost (all-hit, 32 KB, CPU-bound)")
+		for _, r := range rows {
+			fmt.Printf("  %.1f ns/B: original %6.1f MB/s, ncache %6.1f MB/s, gain %+.1f%%\n",
+				r.NsPerByte, r.OriginalMBs, r.NCacheMBs, r.GainPct)
+		}
+		fmt.Println()
+
+		splits, err := bench.RunAblationCacheSplit(opt)
+		if err != nil {
+			return fmt.Errorf("ablation cache split: %w", err)
+		}
+		fmt.Println("Ablation: memory split between FS cache and NCache (fixed budget)")
+		for _, r := range splits {
+			fmt.Printf("  fs=%2d MB: %6.1f MB/s (fs hit %.1f%%, L2 hits %d)\n",
+				r.FSCacheMB, r.ThroughputMBs, r.FSHitPct, r.L2Hits)
+		}
+		fmt.Println()
+
+		on, off, err := bench.RunAblationChecksum(opt)
+		if err != nil {
+			return fmt.Errorf("ablation checksum: %w", err)
+		}
+		fmt.Printf("Ablation: NIC checksum offload\n  on:  ncache gain %+.1f%%\n  off: ncache gain %+.1f%% (inherited checksums spare the software walk)\n\n",
+			on.GainPct, off.GainPct)
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (want one of table1,table2,fig4,fig5a,fig5b,fig6a,fig6b,fig7,transport,futurework,overhead,ablations,all)", *exp)
+	}
+	return nil
+}

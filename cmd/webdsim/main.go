@@ -1,0 +1,120 @@
+// Command webdsim brings up the simulated kHTTPd pass-through web server in
+// a chosen configuration, fetches a page set over persistent connections,
+// and dumps the data-path statistics.
+//
+// Usage:
+//
+//	webdsim -mode ncache -pages 32 -gets 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ncache/internal/extfs"
+	"ncache/internal/passthru"
+	"ncache/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "webdsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("webdsim", flag.ContinueOnError)
+	modeStr := fs.String("mode", "ncache", "server configuration: original|baseline|ncache")
+	pages := fs.Int("pages", 32, "number of pages in the working set")
+	gets := fs.Int("gets", 200, "number of GETs to issue")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var mode passthru.Mode
+	switch *modeStr {
+	case "original":
+		mode = passthru.Original
+	case "baseline":
+		mode = passthru.Baseline
+	case "ncache":
+		mode = passthru.NCache
+	default:
+		return fmt.Errorf("unknown mode %q", *modeStr)
+	}
+
+	cl, err := passthru.NewCluster(passthru.ClusterConfig{
+		Mode:          mode,
+		NumClients:    1,
+		BlocksPerDisk: 64 * 1024,
+		EnableWeb:     true,
+	})
+	if err != nil {
+		return err
+	}
+	fmtr, err := extfs.Format(cl.Storage.Array, 4096)
+	if err != nil {
+		return err
+	}
+	names := make([]string, *pages)
+	for i := range names {
+		names[i] = fmt.Sprintf("page-%03d.html", i)
+		size := uint64(workload.WebPageClasses[i%len(workload.WebPageClasses)].Size)
+		if _, err := fmtr.AddFile(names[i], size, nil); err != nil {
+			return err
+		}
+	}
+	if err := fmtr.Flush(); err != nil {
+		return err
+	}
+	if err := cl.Start(); err != nil {
+		return err
+	}
+	fmt.Printf("kHTTPd up: mode=%s pages=%d\n", mode, *pages)
+
+	var conn *passthru.HTTPConn
+	cl.Clients[0].DialHTTP(passthru.ServerAddr, func(h *passthru.HTTPConn, err error) {
+		if err != nil {
+			fmt.Println("dial:", err)
+			return
+		}
+		conn = h
+	})
+	if err := cl.Eng.Run(); err != nil {
+		return err
+	}
+	if conn == nil {
+		return fmt.Errorf("dial failed")
+	}
+
+	var total int
+	var issue func(i int)
+	issue = func(i int) {
+		if i == *gets {
+			return
+		}
+		conn.Get(names[i%len(names)], func(n int, err error) {
+			if err != nil {
+				fmt.Println("get:", err)
+				return
+			}
+			total += n
+			issue(i + 1)
+		})
+	}
+	start := cl.Eng.Now()
+	issue(0)
+	if err := cl.Eng.Run(); err != nil {
+		return err
+	}
+	elapsed := cl.Eng.Now().Sub(start)
+	fmt.Printf("%d GETs, %d MB in %v virtual (%.1f MB/s)\n",
+		*gets, total>>20, elapsed, float64(total)/elapsed.Seconds()/1e6)
+	fmt.Printf("server: requests=%d errors=%d copies: %s\n",
+		cl.App.Web.Requests, cl.App.Web.Errors, cl.App.Node.Copies)
+	if cl.App.Module != nil {
+		fmt.Printf("ncache: %+v\n", cl.App.Module.Stats)
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+// Package ncache is a from-scratch reproduction of "Network-Centric Buffer
+// Cache Organization" (Peng, Sharma, Chiueh — ICDCS 2005): the NCache
+// network-centric buffer cache for pass-through servers, together with
+// every substrate it runs on — a deterministic discrete-event simulator, a
+// network-buffer subsystem, Ethernet/IPv4/UDP/TCP stacks, Sun RPC and NFS,
+// SCSI and iSCSI, a RAID-0 block store, an inode file system, a bounded
+// buffer cache, the pass-through NFS and kHTTPd servers in the paper's
+// three configurations, the paper's workloads, and a benchmark harness that
+// regenerates every table and figure of its evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for measured-vs-paper results. The public surface for
+// programmatic use lives under internal/ (this module is a research
+// artifact, not a published library API); cmd/ncbench is the experiment
+// driver.
+package ncache

@@ -1,0 +1,100 @@
+// Quickstart: build a complete pass-through NFS testbed (storage server,
+// NCache-equipped application server, client) in a few lines, read a file
+// through the full simulated stack, and confirm that (a) the bytes are
+// correct end to end and (b) the server never physically copied the
+// payload.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"ncache/internal/extfs"
+	"ncache/internal/netbuf"
+	"ncache/internal/nfs"
+	"ncache/internal/passthru"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A cluster is the paper's testbed: one iSCSI storage server with a
+	// 4-disk RAID-0, one application server, clients, all on a gigabit
+	// switch — in virtual time.
+	cluster, err := passthru.NewCluster(passthru.ClusterConfig{
+		Mode:          passthru.NCache,
+		NumClients:    1,
+		BlocksPerDisk: 16 * 1024, // 64 MB array
+	})
+	if err != nil {
+		return err
+	}
+
+	// Lay down a file offline (mkfs-style) with known content.
+	fmtr, err := extfs.Format(cluster.Storage.Array, 256)
+	if err != nil {
+		return err
+	}
+	content := func(off uint64, dst []byte) {
+		for i := range dst {
+			dst[i] = byte(off + uint64(i))
+		}
+	}
+	if _, err := fmtr.AddFile("hello.dat", 128*1024, content); err != nil {
+		return err
+	}
+	if err := fmtr.Flush(); err != nil {
+		return err
+	}
+
+	// Bring everything up: iSCSI login, mount, NFS service.
+	if err := cluster.Start(); err != nil {
+		return err
+	}
+
+	// Resolve and read through the real protocol stack.
+	client := cluster.Clients[0].NFS
+	var fh nfs.FH
+	client.Lookup(nfs.RootFH(), "hello.dat", func(h nfs.FH, _ nfs.Attr, err error) {
+		if err != nil {
+			log.Fatal("lookup: ", err)
+		}
+		fh = h
+	})
+	if err := cluster.Eng.Run(); err != nil {
+		return err
+	}
+
+	var got []byte
+	client.Read(fh, 4096, 32*1024, func(data *netbuf.Chain, _ nfs.Attr, err error) {
+		if err != nil {
+			log.Fatal("read: ", err)
+		}
+		got = data.Flatten()
+		data.Release()
+	})
+	if err := cluster.Eng.Run(); err != nil {
+		return err
+	}
+
+	want := make([]byte, 32*1024)
+	content(4096, want)
+	if !bytes.Equal(got, want) {
+		return fmt.Errorf("payload mismatch")
+	}
+
+	fmt.Printf("read %d bytes correctly through NFS → buffer cache → iSCSI → RAID-0\n", len(got))
+	fmt.Printf("virtual time elapsed: %v\n", cluster.Eng.Now())
+	fmt.Printf("server data-path:     %s\n", cluster.App.Node.Copies)
+	fmt.Printf("ncache module:        %+v\n", cluster.App.Module.Stats)
+	fmt.Println("note: the file payload was never physically copied on the server —")
+	fmt.Println("it traveled as wire-buffer references; only 40-byte keys moved.")
+	fmt.Println("(the few physical copies counted above are metadata block fills:")
+	fmt.Println("inodes and directories are copied normally in every configuration.)")
+	return nil
+}

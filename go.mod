@@ -1,0 +1,3 @@
+module ncache
+
+go 1.22

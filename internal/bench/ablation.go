@@ -1,0 +1,291 @@
+package bench
+
+import (
+	"fmt"
+
+	"ncache/internal/extfs"
+	"ncache/internal/nfs"
+	"ncache/internal/passthru"
+	"ncache/internal/simnet"
+	"ncache/internal/workload"
+)
+
+// AblationResult is a single measured configuration of an ablation.
+type AblationResult struct {
+	OpsPerSec     float64
+	ThroughputMBs float64
+	GainPct       float64
+	Remaps        uint64
+	L2Hits        uint64
+}
+
+// RunAblationRemap measures a flush-heavy mixed workload with FHO→LBN
+// remapping on and off. With remapping, data written by clients and flushed
+// by the file system stays in the network-centric cache under its LBN and
+// later reads hit locally; without it, those reads go back to storage.
+func RunAblationRemap(opt Options) (with, without AblationResult, err error) {
+	opt = opt.withDefaults()
+	run := func(disable bool) (AblationResult, error) {
+		const fileBytes = 32 << 20
+		cs := clusterSpec{
+			mode:          passthru.NCache,
+			nics:          1,
+			clients:       2,
+			blocksPerDisk: 32 * 1024,
+			// A tiny FS cache: after the write phase its blocks are
+			// evicted, so the read phase depends on the NCache L2.
+			fsCacheBlocks: 1024,
+			ncacheBytes:   256 << 20,
+			disableRemap:  disable,
+		}
+		var spec extfs.FileSpec
+		cl, err := cs.build(func(f *extfs.Formatter) error {
+			var err error
+			spec, err = f.AddFile("churn.dat", fileBytes, nil)
+			return err
+		})
+		if err != nil {
+			return AblationResult{}, err
+		}
+		fh, err := lookupFH(cl, 0, "churn.dat")
+		if err != nil {
+			return AblationResult{}, err
+		}
+		clients := make([]*nfs.Client, 0, len(cl.Clients))
+		for _, h := range cl.Clients {
+			clients = append(clients, h.NFS)
+		}
+		// Phase 1: overwrite the whole file, then sync — every block is
+		// flushed, exercising remap (or dropping entries when disabled).
+		wtr := workload.GenSequentialRead(fh, spec.Size, 32*1024)
+		for i := range wtr.Ops {
+			wtr.Ops[i].Kind = workload.OpWrite
+		}
+		wdone := false
+		writer := &workload.TracePlayer{
+			Clients: clients, Trace: wtr, Concurrency: opt.Concurrency,
+			Done: func() { wdone = true },
+		}
+		writer.Start()
+		if err := cl.Eng.Run(); err != nil {
+			return AblationResult{}, err
+		}
+		if !wdone {
+			return AblationResult{}, fmt.Errorf("remap ablation: write phase stuck")
+		}
+		synced := false
+		cl.App.FS.Sync(func(err error) { synced = err == nil })
+		if err := cl.Eng.Run(); err != nil {
+			return AblationResult{}, err
+		}
+		if !synced {
+			return AblationResult{}, fmt.Errorf("remap ablation: sync failed")
+		}
+		// Phase 2: random reads of the flushed data.
+		load := &workload.NFSReadLoad{
+			Clients: clients, FH: fh, FileSize: spec.Size,
+			RequestSize: 8 * 1024, Pattern: workload.HotSet,
+			Concurrency: opt.Concurrency,
+		}
+		runner := &workload.Runner{Eng: cl.Eng, Warmup: opt.Warmup, Window: opt.Window}
+		m, err := runner.Run(load, func() { resetClusterStats(cl) }, nil)
+		if err != nil {
+			return AblationResult{}, err
+		}
+		return AblationResult{
+			OpsPerSec:     m.OpsPerSec(),
+			ThroughputMBs: m.Throughput() / 1e6,
+			Remaps:        cl.App.Module.Stats.Remaps,
+			L2Hits:        cl.App.Module.Stats.L2Hits,
+		}, nil
+	}
+	if with, err = run(false); err != nil {
+		return with, without, err
+	}
+	without, err = run(true)
+	return with, without, err
+}
+
+// CopyCostRow is one point of the copy-cost sweep.
+type CopyCostRow struct {
+	NsPerByte   float64
+	OriginalMBs float64
+	NCacheMBs   float64
+	GainPct     float64
+}
+
+// RunAblationCopyCost sweeps the per-byte memcpy cost on the CPU-bound
+// all-hit workload: NCache's advantage is exactly the copies it does not
+// perform, so the gain must grow with the cost of a copy.
+func RunAblationCopyCost(opt Options) ([]CopyCostRow, error) {
+	opt = opt.withDefaults()
+	var out []CopyCostRow
+	for _, ns := range []float64{1.5, 3.0, 6.0} {
+		cost := simnet.DefaultProfile()
+		cost.CopyNsPerByte = ns
+		orig, err := allHitPoint(opt, passthru.Original, cost, true)
+		if err != nil {
+			return nil, err
+		}
+		nc, err := allHitPoint(opt, passthru.NCache, cost, true)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CopyCostRow{
+			NsPerByte:   ns,
+			OriginalMBs: orig.ThroughputMBs,
+			NCacheMBs:   nc.ThroughputMBs,
+			GainPct:     gainPct(nc.ThroughputMBs, orig.ThroughputMBs),
+		})
+	}
+	return out, nil
+}
+
+// RunAblationChecksum compares NCache's gain with NIC checksum offload on
+// (the testbed default) and off (software checksums charge per payload byte
+// in every configuration).
+func RunAblationChecksum(opt Options) (on, off AblationResult, err error) {
+	opt = opt.withDefaults()
+	cost := simnet.DefaultProfile()
+	for _, offload := range []bool{true, false} {
+		orig, err := allHitPointOffload(opt, passthru.Original, cost, offload)
+		if err != nil {
+			return on, off, err
+		}
+		nc, err := allHitPointOffload(opt, passthru.NCache, cost, offload)
+		if err != nil {
+			return on, off, err
+		}
+		r := AblationResult{
+			ThroughputMBs: nc.ThroughputMBs,
+			GainPct:       gainPct(nc.ThroughputMBs, orig.ThroughputMBs),
+		}
+		if offload {
+			on = r
+		} else {
+			off = r
+		}
+	}
+	return on, off, nil
+}
+
+// allHitPoint measures one 32 KB all-hit point with a custom cost profile.
+func allHitPoint(opt Options, mode passthru.Mode, cost simnet.CostProfile, offload bool) (NFSPoint, error) {
+	return allHitPointOffload(opt, mode, cost, offload)
+}
+
+func allHitPointOffload(opt Options, mode passthru.Mode, cost simnet.CostProfile, offload bool) (NFSPoint, error) {
+	const hotBytes = 5 << 20
+	cs := clusterSpec{
+		mode:          mode,
+		nics:          2,
+		clients:       2,
+		blocksPerDisk: 16 * 1024,
+		fsCacheBlocks: 8192,
+		ncacheBytes:   64 << 20,
+		cost:          cost,
+	}
+	cl, err := cs.build(func(f *extfs.Formatter) error {
+		_, err := f.AddFile("hotfile", hotBytes, nil)
+		return err
+	})
+	if err != nil {
+		return NFSPoint{}, err
+	}
+	if !offload {
+		for _, nic := range cl.App.Node.NICs() {
+			nic.ChecksumOffload = false
+		}
+		for _, nic := range cl.Storage.Node.NICs() {
+			nic.ChecksumOffload = false
+		}
+		for _, host := range cl.Clients {
+			for _, nic := range host.Node.NICs() {
+				nic.ChecksumOffload = false
+			}
+		}
+	}
+	fh, err := lookupFH(cl, 0, "hotfile")
+	if err != nil {
+		return NFSPoint{}, err
+	}
+	if err := prefill(cl, fh, hotBytes); err != nil {
+		return NFSPoint{}, err
+	}
+	clients := make([]*nfs.Client, 0, len(cl.Clients))
+	for _, h := range cl.Clients {
+		clients = append(clients, h.NFS)
+	}
+	load := &workload.NFSReadLoad{
+		Clients:     clients,
+		FH:          fh,
+		FileSize:    hotBytes,
+		RequestSize: 32 * 1024,
+		Pattern:     workload.HotSet,
+		Concurrency: opt.Concurrency,
+	}
+	return runNFSLoad(cl, load, opt, 32)
+}
+
+// CacheSplitRow is one point of the memory-split sweep.
+type CacheSplitRow struct {
+	FSCacheMB     int
+	ThroughputMBs float64
+	FSHitPct      float64
+	L2Hits        uint64
+}
+
+// RunAblationCacheSplit fixes the server's memory budget and sweeps how
+// much goes to the FS buffer cache versus NCache under a working set larger
+// than either alone — quantifying the double-buffering control of §3.4.
+func RunAblationCacheSplit(opt Options) ([]CacheSplitRow, error) {
+	opt = opt.withDefaults()
+	const budgetMB = 96
+	wsBytes := int64(128) << 20
+	pages := workload.BuildPageSet(wsBytes)
+	var out []CacheSplitRow
+	for _, fsMB := range []int{4, 16, 48} {
+		cs := clusterSpec{
+			mode:          passthru.NCache,
+			nics:          2,
+			clients:       2,
+			blocksPerDisk: wsBytes/4096/4 + 16384,
+			fsCacheBlocks: fsMB << 20 / extfs.BlockSize,
+			ncacheBytes:   int64(budgetMB-fsMB) << 20,
+			web:           true,
+		}
+		cl, err := cs.build(func(f *extfs.Formatter) error {
+			for i, name := range pages.Names {
+				if _, err := f.AddFile(name, uint64(pages.Sizes[i]), nil); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		conns, err := dialWebConns(cl, opt.Concurrency)
+		if err != nil {
+			return nil, err
+		}
+		if err := prefillWeb(cl, conns[0], pages); err != nil {
+			return nil, err
+		}
+		load := &workload.WebLoad{Conns: conns, Pages: pages, ZipfS: 0.75}
+		p, err := runWebLoad(cl, load, opt, fsMB)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CacheSplitRow{
+			FSCacheMB:     fsMB,
+			ThroughputMBs: p.ThroughputMBs,
+			FSHitPct:      p.HitRatio * 100,
+			L2Hits:        cl.App.Module.Stats.L2Hits,
+		})
+	}
+	return out, nil
+}
+
+// ensure fmt usage for error context helpers below.
+var _ = fmt.Sprintf

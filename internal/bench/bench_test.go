@@ -1,0 +1,247 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"ncache/internal/passthru"
+	"ncache/internal/sim"
+)
+
+// quickOpts keeps unit-test experiment runs short.
+func quickOpts() Options {
+	return Options{
+		Warmup:      20 * sim.Millisecond,
+		Window:      80 * sim.Millisecond,
+		Concurrency: 6,
+		Scale:       16,
+	}
+}
+
+// gainAt returns a mode's throughput gain over Original at one size.
+func gainAt(points []NFSPoint, mode passthru.Mode, reqKB int) float64 {
+	idx := nfsByMode(points)
+	base := idx[passthru.Original][reqKB].ThroughputMBs
+	return gainPct(idx[mode][reqKB].ThroughputMBs, base)
+}
+
+func TestTable1Inventory(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	// The two famous "None" rows.
+	for _, i := range []int{0, 1} {
+		if rows[i].Paper != "None" {
+			t.Fatalf("row %d paper = %q, want None", i, rows[i].Paper)
+		}
+	}
+	out := FormatTable1(rows)
+	if !strings.Contains(out, "buffer cache") || !strings.Contains(out, "iSCSI initiator") {
+		t.Fatal("formatted table missing modules")
+	}
+}
+
+func TestTable2MatchesPaperExactly(t *testing.T) {
+	rows, err := Table2()
+	if err != nil {
+		t.Fatalf("Table2: %v", err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.Copies != r.Want {
+			t.Errorf("%s %s: measured %d, paper %d", r.Server, r.Path, r.Copies, r.Want)
+		}
+	}
+	out := FormatTable2(rows)
+	if strings.Contains(out, "MISMATCH") {
+		t.Fatalf("table contains mismatches:\n%s", out)
+	}
+}
+
+func TestFig5bOrderingHolds(t *testing.T) {
+	pts, err := RunFig5b(quickOpts())
+	if err != nil {
+		t.Fatalf("RunFig5b: %v", err)
+	}
+	idx := nfsByMode(pts)
+	for _, kb := range RequestSizesKB {
+		orig := idx[passthru.Original][kb]
+		nc := idx[passthru.NCache][kb]
+		base := idx[passthru.Baseline][kb]
+		if orig.Errors+nc.Errors+base.Errors != 0 {
+			t.Fatalf("%dKB: errors present", kb)
+		}
+		// The paper's invariant: baseline >= ncache >= original.
+		if nc.ThroughputMBs < orig.ThroughputMBs*0.99 {
+			t.Errorf("%dKB: ncache (%.1f) below original (%.1f)", kb, nc.ThroughputMBs, orig.ThroughputMBs)
+		}
+		if base.ThroughputMBs < nc.ThroughputMBs*0.99 {
+			t.Errorf("%dKB: baseline (%.1f) below ncache (%.1f)", kb, base.ThroughputMBs, nc.ThroughputMBs)
+		}
+	}
+	// Gains grow with request size (per-byte savings dominate per-packet).
+	if g4, g32 := gainAt(pts, passthru.NCache, 4), gainAt(pts, passthru.NCache, 32); g32 <= g4 {
+		t.Errorf("ncache gain did not grow with request size: %.1f%% @4KB vs %.1f%% @32KB", g4, g32)
+	}
+	// CPU-bound regime: original saturates its CPU.
+	if cpu := idx[passthru.Original][32].ServerCPU; cpu < 0.95 {
+		t.Errorf("original server CPU = %.2f, want saturation", cpu)
+	}
+}
+
+func TestFig4StorageSaturatesForNCache(t *testing.T) {
+	opt := quickOpts()
+	pts, err := RunFig4(opt)
+	if err != nil {
+		t.Fatalf("RunFig4: %v", err)
+	}
+	idx := nfsByMode(pts)
+	// All-miss at 32 KB: the storage server becomes the bottleneck for
+	// the zero-copy configurations (§5.4).
+	if sto := idx[passthru.NCache][32].StorageCPU; sto < 0.85 {
+		t.Errorf("ncache storage CPU = %.2f, want near saturation", sto)
+	}
+	if cpu := idx[passthru.Original][32].ServerCPU; cpu < 0.85 {
+		t.Errorf("original server CPU = %.2f, want near saturation", cpu)
+	}
+	// NCache's server has headroom left (its curve declines in Fig 4(b)).
+	if nc, orig := idx[passthru.NCache][32].ServerCPU, idx[passthru.Original][32].ServerCPU; nc >= orig {
+		t.Errorf("ncache server CPU (%.2f) not below original (%.2f)", nc, orig)
+	}
+}
+
+func TestFig6bWebGainsGrowWithRequestSize(t *testing.T) {
+	pts, err := RunFig6b(quickOpts())
+	if err != nil {
+		t.Fatalf("RunFig6b: %v", err)
+	}
+	base := map[int]float64{}
+	nc := map[int]float64{}
+	for _, p := range pts {
+		if p.Errors != 0 {
+			t.Fatalf("%s@%d: %d errors", p.Mode, p.ParamKB, p.Errors)
+		}
+		switch p.Mode {
+		case passthru.Original:
+			base[p.ParamKB] = p.ThroughputMBs
+		case passthru.NCache:
+			nc[p.ParamKB] = p.ThroughputMBs
+		}
+	}
+	g16 := gainPct(nc[16], base[16])
+	g128 := gainPct(nc[128], base[128])
+	if g16 <= 0 || g128 <= g16 {
+		t.Fatalf("web gains not growing: %.1f%% @16KB, %.1f%% @128KB", g16, g128)
+	}
+}
+
+func TestFig7GainsGrowWithDataFraction(t *testing.T) {
+	pts, err := RunFig7(quickOpts())
+	if err != nil {
+		t.Fatalf("RunFig7: %v", err)
+	}
+	gain := map[int]float64{}
+	base := map[int]float64{}
+	for _, p := range pts {
+		if p.Errors != 0 {
+			t.Fatalf("%s@%d%%: %d errors", p.Mode, p.RegularDataPct, p.Errors)
+		}
+		switch p.Mode {
+		case passthru.Original:
+			base[p.RegularDataPct] = p.OpsPerSec
+		case passthru.NCache:
+			gain[p.RegularDataPct] = p.OpsPerSec
+		}
+	}
+	g30 := gainPct(gain[30], base[30])
+	g75 := gainPct(gain[75], base[75])
+	if g30 <= 0 {
+		t.Fatalf("no gain at 30%% regular data: %.1f%%", g30)
+	}
+	if g75 <= g30 {
+		t.Fatalf("gain did not grow with data fraction: %.1f%% → %.1f%%", g30, g75)
+	}
+}
+
+func TestTransportTCPCostsThroughput(t *testing.T) {
+	pts, err := RunTransportComparison(quickOpts())
+	if err != nil {
+		t.Fatalf("RunTransportComparison: %v", err)
+	}
+	byKey := map[string]TransportPoint{}
+	for _, p := range pts {
+		byKey[p.Mode.String()+"/"+p.Transport] = p
+	}
+	for _, mode := range []string{"original", "ncache"} {
+		u, tc := byKey[mode+"/udp"], byKey[mode+"/tcp"]
+		if tc.ThroughputMBs >= u.ThroughputMBs {
+			t.Errorf("%s: TCP (%.1f) not slower than UDP (%.1f)", mode, tc.ThroughputMBs, u.ThroughputMBs)
+		}
+		if tc.ServerPkts <= u.ServerPkts {
+			t.Errorf("%s: TCP pkts/req (%.1f) not above UDP (%.1f)", mode, tc.ServerPkts, u.ServerPkts)
+		}
+	}
+}
+
+func TestWireFormatLiftsNCacheCeiling(t *testing.T) {
+	pts, err := RunFutureWorkWireFormat(quickOpts())
+	if err != nil {
+		t.Fatalf("RunFutureWorkWireFormat: %v", err)
+	}
+	gains := map[passthru.Mode]float64{}
+	base := map[passthru.Mode]float64{}
+	for _, p := range pts {
+		if p.WireFormat {
+			gains[p.Mode] = p.ThroughputMBs
+		} else {
+			base[p.Mode] = p.ThroughputMBs
+		}
+	}
+	origGain := gains[passthru.Original]/base[passthru.Original] - 1
+	ncGain := gains[passthru.NCache]/base[passthru.NCache] - 1
+	// §6's motivation: the storage-side fix helps the zero-copy server
+	// far more than the copy-bound original.
+	if ncGain <= origGain {
+		t.Errorf("wire-format gains: ncache %.1f%% <= original %.1f%%", ncGain*100, origGain*100)
+	}
+	if ncGain < 0.05 {
+		t.Errorf("ncache wire-format gain %.1f%% too small", ncGain*100)
+	}
+}
+
+func TestGainPct(t *testing.T) {
+	if g := gainPct(150, 100); g != 50 {
+		t.Fatalf("gainPct = %v", g)
+	}
+	if g := gainPct(100, 0); g != 0 {
+		t.Fatalf("gainPct with zero base = %v", g)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	nfsPts := []NFSPoint{
+		{Mode: passthru.Original, ReqKB: 4, ThroughputMBs: 10},
+		{Mode: passthru.NCache, ReqKB: 4, ThroughputMBs: 15},
+	}
+	out := FormatNFSPoints("t", nfsPts)
+	if !strings.Contains(out, "+50.0%") {
+		t.Fatalf("gain missing:\n%s", out)
+	}
+	webPts := []WebPoint{
+		{Mode: passthru.Original, ParamKB: 16, ThroughputMBs: 10},
+		{Mode: passthru.Baseline, ParamKB: 16, ThroughputMBs: 14},
+	}
+	if out := FormatWebPoints("t", "reqKB", webPts); !strings.Contains(out, "+40.0%") {
+		t.Fatalf("web gain missing:\n%s", out)
+	}
+	sfsPts := []SFSPoint{
+		{Mode: passthru.Original, RegularDataPct: 30, OpsPerSec: 100},
+		{Mode: passthru.NCache, RegularDataPct: 30, OpsPerSec: 120},
+	}
+	if out := FormatSFSPoints(sfsPts); !strings.Contains(out, "+20.0%") {
+		t.Fatalf("sfs gain missing:\n%s", out)
+	}
+}

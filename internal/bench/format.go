@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"ncache/internal/passthru"
+)
+
+// gainPct returns the percentage gain of v over base.
+func gainPct(v, base float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return (v/base - 1) * 100
+}
+
+// nfsByMode indexes points for gain computation.
+func nfsByMode(points []NFSPoint) map[passthru.Mode]map[int]NFSPoint {
+	out := make(map[passthru.Mode]map[int]NFSPoint)
+	for _, p := range points {
+		if out[p.Mode] == nil {
+			out[p.Mode] = make(map[int]NFSPoint)
+		}
+		out[p.Mode][p.ReqKB] = p
+	}
+	return out
+}
+
+// FormatNFSPoints renders a Figure 4/5-style table: throughput, server and
+// storage CPU per request size per mode, with gains over Original.
+func FormatNFSPoints(title string, points []NFSPoint) string {
+	idx := nfsByMode(points)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-10s %6s %12s %9s %9s %9s %9s %10s\n",
+		"config", "reqKB", "MB/s", "ops/s", "srvCPU%", "stoCPU%", "link%", "vs orig")
+	for _, mode := range Modes {
+		for _, p := range points {
+			if p.Mode != mode {
+				continue
+			}
+			gain := ""
+			if mode != passthru.Original {
+				if base, ok := idx[passthru.Original][p.ReqKB]; ok {
+					gain = fmt.Sprintf("%+.1f%%", gainPct(p.ThroughputMBs, base.ThroughputMBs))
+				}
+			}
+			fmt.Fprintf(&b, "%-10s %6d %12.1f %9.0f %9.1f %9.1f %9.1f %10s\n",
+				mode, p.ReqKB, p.ThroughputMBs, p.OpsPerSec,
+				p.ServerCPU*100, p.StorageCPU*100, p.LinkUtil*100, gain)
+		}
+	}
+	return b.String()
+}
+
+// FormatWebPoints renders a Figure 6-style table.
+func FormatWebPoints(title, paramName string, points []WebPoint) string {
+	base := make(map[int]WebPoint)
+	for _, p := range points {
+		if p.Mode == passthru.Original {
+			base[p.ParamKB] = p
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-10s %8s %12s %9s %9s %9s %10s\n",
+		"config", paramName, "MB/s", "ops/s", "srvCPU%", "hit%", "vs orig")
+	for _, mode := range Modes {
+		for _, p := range points {
+			if p.Mode != mode {
+				continue
+			}
+			gain := ""
+			if mode != passthru.Original {
+				if bp, ok := base[p.ParamKB]; ok {
+					gain = fmt.Sprintf("%+.1f%%", gainPct(p.ThroughputMBs, bp.ThroughputMBs))
+				}
+			}
+			fmt.Fprintf(&b, "%-10s %8d %12.1f %9.0f %9.1f %9.1f %10s\n",
+				mode, p.ParamKB, p.ThroughputMBs, p.OpsPerSec,
+				p.ServerCPU*100, p.HitRatio*100, gain)
+		}
+	}
+	return b.String()
+}
+
+// FormatSFSPoints renders the Figure 7 table.
+func FormatSFSPoints(points []SFSPoint) string {
+	base := make(map[int]SFSPoint)
+	for _, p := range points {
+		if p.Mode == passthru.Original {
+			base[p.RegularDataPct] = p
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7: SPECsfs-like throughput vs regular-data fraction\n")
+	fmt.Fprintf(&b, "%-10s %8s %9s %9s %10s\n", "config", "data%", "ops/s", "srvCPU%", "vs orig")
+	for _, mode := range Modes {
+		for _, p := range points {
+			if p.Mode != mode {
+				continue
+			}
+			gain := ""
+			if mode != passthru.Original {
+				if bp, ok := base[p.RegularDataPct]; ok {
+					gain = fmt.Sprintf("%+.1f%%", gainPct(p.OpsPerSec, bp.OpsPerSec))
+				}
+			}
+			fmt.Fprintf(&b, "%-10s %8d %9.0f %9.1f %10s\n",
+				mode, p.RegularDataPct, p.OpsPerSec, p.ServerCPU*100, gain)
+		}
+	}
+	return b.String()
+}

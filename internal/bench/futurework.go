@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"ncache/internal/extfs"
+	"ncache/internal/nfs"
+	"ncache/internal/passthru"
+	"ncache/internal/workload"
+)
+
+// WireFormatPoint is one point of the §6 future-work experiment.
+type WireFormatPoint struct {
+	Mode          passthru.Mode
+	WireFormat    bool
+	ThroughputMBs float64
+	StorageCPU    float64
+	ServerCPU     float64
+}
+
+// RunFutureWorkWireFormat evaluates the paper's §6 proposal — storing
+// disk-resident data in a network-ready format so the *storage server* also
+// avoids its copies — on the all-miss workload, where the storage CPU is
+// the bottleneck for the zero-copy application-server configurations
+// (Figure 4). Wire-format storage should lift exactly that ceiling.
+func RunFutureWorkWireFormat(opt Options) ([]WireFormatPoint, error) {
+	opt = opt.withDefaults()
+	var out []WireFormatPoint
+	for _, mode := range []passthru.Mode{passthru.Original, passthru.NCache} {
+		for _, wf := range []bool{false, true} {
+			p, err := runWireFormatPoint(opt, mode, wf)
+			if err != nil {
+				return nil, fmt.Errorf("futurework %s wf=%v: %w", mode, wf, err)
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+func runWireFormatPoint(opt Options, mode passthru.Mode, wireFormat bool) (WireFormatPoint, error) {
+	const fileBlocks = 96 * 1024 // 384 MB, as Figure 4
+	cs := clusterSpec{
+		mode:          mode,
+		nics:          1,
+		clients:       2,
+		blocksPerDisk: fileBlocks/4 + 8192,
+		fsCacheBlocks: 8192,
+		ncacheBytes:   64 << 20,
+	}
+	var spec extfs.FileSpec
+	cl, err := cs.build(func(f *extfs.Formatter) error {
+		var err error
+		spec, err = f.AddFile("bigfile", uint64(fileBlocks)*extfs.BlockSize, nil)
+		return err
+	})
+	if err != nil {
+		return WireFormatPoint{}, err
+	}
+	cl.Storage.Target.WireFormat = wireFormat
+	fh, err := lookupFH(cl, 0, "bigfile")
+	if err != nil {
+		return WireFormatPoint{}, err
+	}
+	clients := make([]*nfs.Client, 0, len(cl.Clients))
+	for _, h := range cl.Clients {
+		clients = append(clients, h.NFS)
+	}
+	load := &workload.NFSReadLoad{
+		Clients:     clients,
+		FH:          fh,
+		FileSize:    spec.Size,
+		RequestSize: 32 * 1024,
+		Pattern:     workload.Sequential,
+		Concurrency: opt.Concurrency,
+	}
+	runner := &workload.Runner{Eng: cl.Eng, Warmup: opt.Warmup, Window: opt.Window}
+	p := WireFormatPoint{Mode: mode, WireFormat: wireFormat}
+	m, err := runner.Run(load,
+		func() { resetClusterStats(cl) },
+		func() {
+			p.StorageCPU = cl.Storage.Node.CPU.Utilization()
+			p.ServerCPU = cl.App.Node.CPU.Utilization()
+		})
+	if err != nil {
+		return WireFormatPoint{}, err
+	}
+	p.ThroughputMBs = m.Throughput() / 1e6
+	return p, nil
+}
+
+// FormatWireFormatPoints renders the experiment.
+func FormatWireFormatPoints(points []WireFormatPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Future work (§6): network-ready disk-resident format at the storage target\n")
+	fmt.Fprintf(&b, "(all-miss, 32 KB — the configuration where the storage CPU is the ceiling)\n")
+	fmt.Fprintf(&b, "%-10s %-12s %12s %9s %9s\n", "config", "storage", "MB/s", "srvCPU%", "stoCPU%")
+	base := map[passthru.Mode]float64{}
+	for _, p := range points {
+		name := "classic"
+		if p.WireFormat {
+			name = "wire-format"
+		}
+		note := ""
+		if !p.WireFormat {
+			base[p.Mode] = p.ThroughputMBs
+		} else if b0 := base[p.Mode]; b0 > 0 {
+			note = fmt.Sprintf("  (%+.1f%%)", (p.ThroughputMBs/b0-1)*100)
+		}
+		fmt.Fprintf(&b, "%-10s %-12s %12.1f %9.1f %9.1f%s\n",
+			p.Mode, name, p.ThroughputMBs, p.ServerCPU*100, p.StorageCPU*100, note)
+	}
+	return b.String()
+}

@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"ncache/internal/extfs"
+	"ncache/internal/nfs"
+	"ncache/internal/passthru"
+	"ncache/internal/sim"
+	"ncache/internal/simnet"
+	"ncache/internal/workload"
+)
+
+// OverheadRow is one component of NCache's per-request CPU overhead — the
+// breakdown the paper defers to its technical report (TR-177 footnote,
+// §5.5): where the gap between NFS-NCache and NFS-baseline goes.
+type OverheadRow struct {
+	Component string
+	// NsPerOp is the estimated CPU time per NFS request.
+	NsPerOp float64
+	// SharePct is the share of the total measured NCache/baseline gap.
+	SharePct float64
+}
+
+// OverheadReport is the full breakdown plus the measured envelope.
+type OverheadReport struct {
+	Rows []OverheadRow
+	// NCacheCPUPerOpNs / BaselineCPUPerOpNs are the measured per-request
+	// CPU times of the two configurations.
+	NCacheCPUPerOpNs   float64
+	BaselineCPUPerOpNs float64
+	// AccountedPct is how much of the measured gap the component model
+	// explains (a sanity check on the accounting).
+	AccountedPct float64
+}
+
+// RunOverheadBreakdown measures the all-hit 32 KB point in NCache and
+// Baseline modes, then attributes the CPU-per-request gap to NCache's
+// mechanism components using the module's activity counters and the cost
+// profile's constants.
+func RunOverheadBreakdown(opt Options) (OverheadReport, error) {
+	opt = opt.withDefaults()
+	const hotBytes = 5 << 20
+	const reqKB = 32
+
+	type sample struct {
+		cpuPerOp float64
+		lookups  float64 // hash ops per request
+		substBuf float64
+		mgmt     float64 // captures per request
+		logical  float64
+	}
+	measure := func(mode passthru.Mode) (sample, error) {
+		cs := clusterSpec{
+			mode:          mode,
+			nics:          2,
+			clients:       2,
+			blocksPerDisk: 16 * 1024,
+			fsCacheBlocks: 8192,
+			ncacheBytes:   64 << 20,
+		}
+		cl, err := cs.build(func(f *extfs.Formatter) error {
+			_, err := f.AddFile("hotfile", hotBytes, nil)
+			return err
+		})
+		if err != nil {
+			return sample{}, err
+		}
+		fh, err := lookupFH(cl, 0, "hotfile")
+		if err != nil {
+			return sample{}, err
+		}
+		if err := prefill(cl, fh, hotBytes); err != nil {
+			return sample{}, err
+		}
+		clients := make([]*nfs.Client, 0, len(cl.Clients))
+		for _, h := range cl.Clients {
+			clients = append(clients, h.NFS)
+		}
+		load := &workload.NFSReadLoad{
+			Clients: clients, FH: fh, FileSize: hotBytes,
+			RequestSize: reqKB * 1024, Pattern: workload.HotSet,
+			Concurrency: opt.Concurrency,
+		}
+		runner := &workload.Runner{Eng: cl.Eng, Warmup: opt.Warmup, Window: opt.Window}
+		var s sample
+		var statsBefore, statsAfter struct {
+			subst, substBufs, captures, l2, logical uint64
+		}
+		snap := func(dst *struct{ subst, substBufs, captures, l2, logical uint64 }) {
+			if cl.App.Module != nil {
+				dst.subst = cl.App.Module.Stats.Substitutions
+				dst.substBufs = cl.App.Module.Stats.SubstBufs
+				dst.captures = cl.App.Module.Stats.Captures
+				dst.l2 = cl.App.Module.Stats.L2Hits
+			}
+			dst.logical = cl.App.Node.Copies.LogicalOps
+		}
+		var busy sim.Duration
+		m, err := runner.Run(load,
+			func() {
+				resetClusterStats(cl)
+				snap(&statsBefore)
+			},
+			func() {
+				busy = cl.App.Node.CPU.Busy()
+				snap(&statsAfter)
+			})
+		if err != nil {
+			return sample{}, err
+		}
+		if m.Ops == 0 {
+			return sample{}, fmt.Errorf("overhead: no ops measured")
+		}
+		ops := float64(m.Ops)
+		s.cpuPerOp = float64(busy) / ops
+		s.lookups = float64(statsAfter.subst-statsBefore.subst+statsAfter.l2-statsBefore.l2) / ops
+		s.substBuf = float64(statsAfter.substBufs-statsBefore.substBufs) / ops
+		s.mgmt = float64(statsAfter.captures-statsBefore.captures) / ops
+		s.logical = float64(statsAfter.logical-statsBefore.logical) / ops
+		return s, nil
+	}
+
+	nc, err := measure(passthru.NCache)
+	if err != nil {
+		return OverheadReport{}, err
+	}
+	base, err := measure(passthru.Baseline)
+	if err != nil {
+		return OverheadReport{}, err
+	}
+
+	cost := simProfile()
+	rows := []OverheadRow{
+		{Component: "hash lookups (LBN/FHO)", NsPerOp: nc.lookups * float64(cost.NCacheLookupNs)},
+		{Component: "packet substitution", NsPerOp: nc.substBuf * float64(cost.NCacheSubstNs)},
+		{Component: "cache management (LRU/insert)", NsPerOp: nc.mgmt * float64(cost.NCacheMgmtNs)},
+		{Component: "logical copies (keys)", NsPerOp: nc.logical * float64(cost.LogicalCopyNs)},
+	}
+	gap := nc.cpuPerOp - base.cpuPerOp
+	var accounted float64
+	for i := range rows {
+		if gap > 0 {
+			rows[i].SharePct = rows[i].NsPerOp / gap * 100
+		}
+		accounted += rows[i].NsPerOp
+	}
+	rep := OverheadReport{
+		Rows:               rows,
+		NCacheCPUPerOpNs:   nc.cpuPerOp,
+		BaselineCPUPerOpNs: base.cpuPerOp,
+	}
+	if gap > 0 {
+		rep.AccountedPct = accounted / gap * 100
+	}
+	return rep, nil
+}
+
+// simProfile exposes the calibrated constants for attribution.
+func simProfile() simnet.CostProfile { return simnet.DefaultProfile() }
+
+// FormatOverhead renders the breakdown.
+func FormatOverhead(r OverheadReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "NCache per-request overhead breakdown (all-hit, 32 KB — the §5.5/TR-177 gap)\n")
+	fmt.Fprintf(&b, "measured CPU/op: ncache %.1f µs, baseline %.1f µs, gap %.1f µs\n",
+		r.NCacheCPUPerOpNs/1000, r.BaselineCPUPerOpNs/1000,
+		(r.NCacheCPUPerOpNs-r.BaselineCPUPerOpNs)/1000)
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-32s %8.2f µs/op  %5.1f%% of gap\n",
+			row.Component, row.NsPerOp/1000, row.SharePct)
+	}
+	fmt.Fprintf(&b, "  components account for %.1f%% of the measured gap\n", r.AccountedPct)
+	return b.String()
+}

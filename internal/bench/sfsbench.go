@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+
+	"ncache/internal/extfs"
+	"ncache/internal/nfs"
+	"ncache/internal/passthru"
+	"ncache/internal/workload"
+)
+
+// Fig7RegularDataPcts is the x-axis of Figure 7: the percentage of NFS
+// operations that access regular data.
+var Fig7RegularDataPcts = []int{30, 45, 60, 75}
+
+// sfsFileCount and sfsFileSize build the accessed file set: 10% of the
+// paper's 2 GB file system ≈ 200 MB, spread over many files (scaled by
+// Options.Scale).
+const (
+	sfsFileCount = 256
+	sfsFileSize  = 800 * 1024 // 256 × 800 KB ≈ 200 MB at Scale=1
+)
+
+// RunFig7 reproduces Figure 7: SPECsfs-like throughput (ops/s) for the
+// three configurations as the regular-data fraction of the op mix grows.
+func RunFig7(opt Options) ([]SFSPoint, error) {
+	opt = opt.withDefaults()
+	var out []SFSPoint
+	for _, mode := range Modes {
+		for _, pct := range Fig7RegularDataPcts {
+			p, err := runFig7Point(opt, mode, pct)
+			if err != nil {
+				return nil, fmt.Errorf("fig7 %s %d%%: %w", mode, pct, err)
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+func runFig7Point(opt Options, mode passthru.Mode, pct int) (SFSPoint, error) {
+	fileSize := uint64(sfsFileSize / opt.Scale)
+	fileSize -= fileSize % extfs.BlockSize
+	if fileSize == 0 {
+		fileSize = extfs.BlockSize
+	}
+	totalBlocks := int64(sfsFileCount) * int64(fileSize/extfs.BlockSize)
+
+	// The SFS steady state is cache-resident (the accessed set is 10% of
+	// the file system precisely so the server works from memory); the
+	// peak-throughput point the paper reports is server-CPU-bound.
+	cs := clusterSpec{
+		mode:          mode,
+		nics:          1,
+		clients:       2,
+		blocksPerDisk: totalBlocks/4 + 16384,
+		fsCacheBlocks: int(totalBlocks) + 8192,
+		ncacheBytes:   (int64(totalBlocks)*extfs.BlockSize*3)/2 + (64 << 20),
+	}
+	if mode == passthru.NCache {
+		// Double-buffering control: small FS cache, NCache as L2.
+		cs.fsCacheBlocks = 4096
+	}
+	var specs []extfs.FileSpec
+	cl, err := cs.build(func(f *extfs.Formatter) error {
+		for i := 0; i < sfsFileCount; i++ {
+			spec, err := f.AddFile(fmt.Sprintf("sfs-%04d", i), fileSize, nil)
+			if err != nil {
+				return err
+			}
+			specs = append(specs, spec)
+		}
+		_, err := f.AddFile("scratch-marker", extfs.BlockSize, nil)
+		return err
+	})
+	if err != nil {
+		return SFSPoint{}, err
+	}
+
+	// Resolve handles through the protocol (warming directory metadata)
+	// and prefill each file so the window starts from steady state.
+	files := make([]workload.FileRef, 0, len(specs))
+	for _, spec := range specs {
+		fh, err := lookupFH(cl, 0, spec.Name)
+		if err != nil {
+			return SFSPoint{}, err
+		}
+		if err := prefill(cl, fh, spec.Size); err != nil {
+			return SFSPoint{}, err
+		}
+		files = append(files, workload.FileRef{FH: fh, Size: spec.Size})
+	}
+
+	clients := make([]*nfs.Client, 0, len(cl.Clients))
+	for _, h := range cl.Clients {
+		clients = append(clients, h.NFS)
+	}
+	load := &workload.SFSLoad{
+		Clients: clients,
+		Cfg: workload.SFSConfig{
+			RegularDataPct: pct,
+			Files:          files,
+			ScratchDir:     nfs.RootFH(),
+			// The paper reports the sustained peak: drive the server
+			// to its CPU limit.
+			Concurrency: opt.Concurrency * 4,
+		},
+	}
+	runner := &workload.Runner{Eng: cl.Eng, Warmup: opt.Warmup, Window: opt.Window}
+	p := SFSPoint{Mode: mode, RegularDataPct: pct}
+	m, err := runner.Run(load,
+		func() { resetClusterStats(cl) },
+		func() { p.ServerCPU = cl.App.Node.CPU.Utilization() })
+	if err != nil {
+		return SFSPoint{}, err
+	}
+	p.OpsPerSec = m.OpsPerSec()
+	p.Errors = m.Errors
+	return p, nil
+}

@@ -1,0 +1,288 @@
+package blockdev
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"ncache/internal/sim"
+)
+
+func newDisk(eng *sim.Engine, blocks int64) *MemDisk {
+	return NewMemDisk(eng, "d0", Geometry{BlockSize: 512, NumBlocks: blocks}, Model{
+		PerRequest:  sim.Millisecond,
+		BytesPerSec: 37_000_000,
+	})
+}
+
+func TestMemDiskWriteReadRoundTrip(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newDisk(eng, 1000)
+	data := bytes.Repeat([]byte("AB"), 512) // 2 blocks
+	wrote := false
+	d.WriteBlocks(10, data, func(err error) {
+		if err != nil {
+			t.Errorf("Write: %v", err)
+		}
+		wrote = true
+		d.ReadBlocks(10, 2, func(got []byte, err error) {
+			if err != nil {
+				t.Errorf("Read: %v", err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Error("read-back mismatch")
+			}
+		})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !wrote {
+		t.Fatal("write never completed")
+	}
+	if d.Reads != 1 || d.Writes != 1 {
+		t.Fatalf("ops = %d/%d", d.Reads, d.Writes)
+	}
+}
+
+func TestMemDiskSynthesizedContent(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newDisk(eng, 1000)
+	d.Synthesize = func(lbn int64, dst []byte) {
+		for i := range dst {
+			dst[i] = byte(lbn)
+		}
+	}
+	d.ReadBlocks(7, 1, func(got []byte, err error) {
+		if err != nil {
+			t.Errorf("Read: %v", err)
+		}
+		if got[0] != 7 || got[511] != 7 {
+			t.Error("synthesized content wrong")
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Written blocks override synthesis.
+	d.WriteBlocks(7, make([]byte, 512), func(err error) {
+		d.ReadBlocks(7, 1, func(got []byte, err error) {
+			if got[0] != 0 {
+				t.Error("written block did not override synthesis")
+			}
+		})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestMemDiskServiceTime(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newDisk(eng, 1_000_000)
+	var doneAt sim.Time
+	d.ReadBlocks(0, 72, func(_ []byte, err error) { doneAt = eng.Now() }) // 36864 bytes
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := sim.Time(sim.Millisecond) + sim.Time(int64(72*512)*int64(sim.Second)/37_000_000)
+	if doneAt != want {
+		t.Fatalf("service time = %v, want %v", doneAt, want)
+	}
+}
+
+func TestMemDiskSerializesRequests(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newDisk(eng, 1000)
+	var finish []sim.Time
+	// Non-sequential requests: each pays the positioning overhead.
+	for _, lbn := range []int64{0, 100, 200} {
+		d.ReadBlocks(lbn, 1, func(_ []byte, err error) {
+			finish = append(finish, eng.Now())
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(finish) != 3 {
+		t.Fatalf("completions = %d", len(finish))
+	}
+	per := sim.Duration(sim.Millisecond) + sim.Duration(int64(512)*int64(sim.Second)/37_000_000)
+	if finish[2].Sub(finish[1]) != per || finish[1].Sub(finish[0]) != per {
+		t.Fatalf("requests not serialized: %v", finish)
+	}
+}
+
+func TestMemDiskSequentialSkipsSeek(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newDisk(eng, 1000)
+	var finish []sim.Time
+	// Block 0, then 1, then 2: streaming — only the first pays the seek.
+	for i := int64(0); i < 3; i++ {
+		d.ReadBlocks(i, 1, func(_ []byte, err error) {
+			finish = append(finish, eng.Now())
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	media := sim.Duration(int64(512) * int64(sim.Second) / 37_000_000)
+	if finish[1].Sub(finish[0]) != media || finish[2].Sub(finish[1]) != media {
+		t.Fatalf("sequential reads charged seek: %v", finish)
+	}
+	if finish[0] != sim.Time(sim.Millisecond+media) {
+		t.Fatalf("first read skipped the seek: %v", finish[0])
+	}
+}
+
+func TestMemDiskBoundsAndAlignment(t *testing.T) {
+	eng := sim.NewEngine()
+	d := newDisk(eng, 10)
+	d.ReadBlocks(9, 2, func(_ []byte, err error) {
+		if !errors.Is(err, ErrOutOfRange) {
+			t.Errorf("out-of-range read err = %v", err)
+		}
+	})
+	d.WriteBlocks(0, make([]byte, 100), func(err error) {
+		if !errors.Is(err, ErrBadLength) {
+			t.Errorf("misaligned write err = %v", err)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func newArray(t *testing.T, eng *sim.Engine, ndisks int, stripeUnit int) *RAID0 {
+	t.Helper()
+	disks := make([]*MemDisk, ndisks)
+	for i := range disks {
+		disks[i] = NewMemDisk(eng, "d", Geometry{BlockSize: 512, NumBlocks: 1000}, IDE2000())
+	}
+	r, err := NewRAID0(disks, stripeUnit)
+	if err != nil {
+		t.Fatalf("NewRAID0: %v", err)
+	}
+	return r
+}
+
+func TestRAID0RoundTrip(t *testing.T) {
+	eng := sim.NewEngine()
+	r := newArray(t, eng, 4, 8)
+	if r.Geometry().NumBlocks != 4000 {
+		t.Fatalf("NumBlocks = %d", r.Geometry().NumBlocks)
+	}
+	data := make([]byte, 512*50) // spans many stripe units
+	sim.NewRNG(5).Fill(data)
+	r.WriteBlocks(13, data, func(err error) {
+		if err != nil {
+			t.Errorf("Write: %v", err)
+		}
+		r.ReadBlocks(13, 50, func(got []byte, err error) {
+			if err != nil {
+				t.Errorf("Read: %v", err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Error("raid0 read-back mismatch")
+			}
+		})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestRAID0DistributesAcrossDisks(t *testing.T) {
+	eng := sim.NewEngine()
+	r := newArray(t, eng, 4, 8)
+	// 64 blocks starting at 0 covers stripes 0..7: 16 blocks per disk,
+	// coalesced into exactly one member request each.
+	r.ReadBlocks(0, 64, func(_ []byte, err error) {
+		if err != nil {
+			t.Errorf("Read: %v", err)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, d := range r.Disks() {
+		if d.Reads != 1 {
+			t.Fatalf("disk %d reads = %d, want 1 (coalesced)", i, d.Reads)
+		}
+		if d.BytesRead != 16*512 {
+			t.Fatalf("disk %d bytes = %d, want %d", i, d.BytesRead, 16*512)
+		}
+	}
+}
+
+func TestRAID0ParallelismBeatsSingleDisk(t *testing.T) {
+	eng := sim.NewEngine()
+	single := NewMemDisk(eng, "s", Geometry{BlockSize: 512, NumBlocks: 4000}, IDE2000())
+	array := newArray(t, eng, 4, 8)
+
+	var tSingle, tArray sim.Duration
+	start := eng.Now()
+	n := 512 // 256 KB
+	single.ReadBlocks(0, n, func(_ []byte, err error) { tSingle = eng.Now().Sub(start) })
+	array.ReadBlocks(0, n, func(_ []byte, err error) { tArray = eng.Now().Sub(start) })
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if tArray >= tSingle {
+		t.Fatalf("raid0 (%v) not faster than single disk (%v)", tArray, tSingle)
+	}
+}
+
+func TestRAID0ValidatesConstruction(t *testing.T) {
+	eng := sim.NewEngine()
+	if _, err := NewRAID0(nil, 8); err == nil {
+		t.Fatal("empty raid accepted")
+	}
+	d1 := NewMemDisk(eng, "a", Geometry{BlockSize: 512, NumBlocks: 10}, IDE2000())
+	d2 := NewMemDisk(eng, "b", Geometry{BlockSize: 4096, NumBlocks: 10}, IDE2000())
+	if _, err := NewRAID0([]*MemDisk{d1, d2}, 8); err == nil {
+		t.Fatal("mismatched members accepted")
+	}
+	if _, err := NewRAID0([]*MemDisk{d1}, 0); err == nil {
+		t.Fatal("zero stripe unit accepted")
+	}
+}
+
+func TestRAID0PropertyRoundTrip(t *testing.T) {
+	f := func(seed uint64, lbn16 uint16, count8, unit8 uint8) bool {
+		eng := sim.NewEngine()
+		unit := int(unit8)%16 + 1
+		disks := make([]*MemDisk, 3)
+		for i := range disks {
+			disks[i] = NewMemDisk(eng, "d", Geometry{BlockSize: 64, NumBlocks: 512}, Model{})
+		}
+		r, err := NewRAID0(disks, unit)
+		if err != nil {
+			return false
+		}
+		lbn := int64(lbn16) % 1000
+		count := int(count8)%32 + 1
+		if lbn+int64(count) > r.Geometry().NumBlocks {
+			lbn = 0
+		}
+		data := make([]byte, count*64)
+		sim.NewRNG(seed).Fill(data)
+		ok := false
+		r.WriteBlocks(lbn, data, func(err error) {
+			if err != nil {
+				return
+			}
+			r.ReadBlocks(lbn, count, func(got []byte, err error) {
+				ok = err == nil && bytes.Equal(got, data)
+			})
+		})
+		if err := eng.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

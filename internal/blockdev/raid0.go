@@ -1,0 +1,217 @@
+package blockdev
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RAID0 stripes blocks across member disks in stripe-unit chunks, like the
+// paper's 4-disk array. Requests spanning stripe units fan out to the
+// member disks concurrently; completion is the slowest member's completion,
+// which is what gives RAID-0 its aggregate streaming bandwidth.
+type RAID0 struct {
+	disks      []*MemDisk
+	stripeUnit int // in blocks
+	geom       Geometry
+	// Requests counts top-level I/Os (not per-member operations).
+	Requests uint64
+}
+
+var _ Device = (*RAID0)(nil)
+
+// NewRAID0 builds an array over identical member disks with the given
+// stripe unit in blocks.
+func NewRAID0(disks []*MemDisk, stripeUnitBlocks int) (*RAID0, error) {
+	if len(disks) == 0 {
+		return nil, errors.New("blockdev: raid0 needs at least one disk")
+	}
+	if stripeUnitBlocks <= 0 {
+		return nil, errors.New("blockdev: stripe unit must be positive")
+	}
+	g := disks[0].Geometry()
+	for _, d := range disks[1:] {
+		if d.Geometry() != g {
+			return nil, errors.New("blockdev: raid0 members must be identical")
+		}
+	}
+	return &RAID0{
+		disks:      disks,
+		stripeUnit: stripeUnitBlocks,
+		geom: Geometry{
+			BlockSize: g.BlockSize,
+			NumBlocks: g.NumBlocks * int64(len(disks)),
+		},
+	}, nil
+}
+
+// Geometry returns the array's aggregate addressing.
+func (r *RAID0) Geometry() Geometry { return r.geom }
+
+// Disks returns the member disks (for stats).
+func (r *RAID0) Disks() []*MemDisk { return r.disks }
+
+// PeekBlock implements DirectAccess over the striped address space.
+func (r *RAID0) PeekBlock(lbn int64) []byte {
+	disk, member := r.locate(lbn)
+	return r.disks[disk].PeekBlock(member)
+}
+
+// PokeBlock implements DirectAccess over the striped address space.
+func (r *RAID0) PokeBlock(lbn int64, data []byte) {
+	disk, member := r.locate(lbn)
+	r.disks[disk].PokeBlock(member, data)
+}
+
+// SetSynthesize installs a content function over array block numbers,
+// translating each member disk's block addresses back to array addresses.
+// Used by experiments that need huge deterministic files without storing
+// their bytes.
+func (r *RAID0) SetSynthesize(fn func(arrayLBN int64, dst []byte)) {
+	n := int64(len(r.disks))
+	unit := int64(r.stripeUnit)
+	for idx, d := range r.disks {
+		idx := int64(idx)
+		d.Synthesize = func(memberLBN int64, dst []byte) {
+			memberStripe := memberLBN / unit
+			within := memberLBN % unit
+			arrayStripe := memberStripe*n + idx
+			fn(arrayStripe*unit+within, dst)
+		}
+	}
+}
+
+// locate maps an array block to (disk index, member block).
+func (r *RAID0) locate(lbn int64) (int, int64) {
+	stripe := lbn / int64(r.stripeUnit)
+	within := lbn % int64(r.stripeUnit)
+	disk := int(stripe % int64(len(r.disks)))
+	memberStripe := stripe / int64(len(r.disks))
+	return disk, memberStripe*int64(r.stripeUnit) + within
+}
+
+// seg maps a run of blocks within a member request back to its position in
+// the array request.
+type seg struct {
+	memberOff int // offset within the member request, in blocks
+	reqStart  int // offset within the array request, in blocks
+	count     int
+}
+
+// extent is one coalesced per-disk request: successive stripe units on the
+// same member are contiguous in member-LBN space, so a large sequential
+// array request becomes exactly one I/O per member disk (each paying the
+// positioning overhead once) — the coalescing a real striping driver does.
+type extent struct {
+	disk  int
+	lbn   int64
+	count int
+	segs  []seg
+}
+
+// extents splits an array request into one coalesced request per member.
+func (r *RAID0) extents(lbn int64, count int) []extent {
+	perDisk := make([]*extent, len(r.disks))
+	var order []*extent
+	i := 0
+	for i < count {
+		disk, member := r.locate(lbn + int64(i))
+		within := (lbn + int64(i)) % int64(r.stripeUnit)
+		run := int(int64(r.stripeUnit) - within)
+		if run > count-i {
+			run = count - i
+		}
+		ex := perDisk[disk]
+		if ex == nil {
+			ex = &extent{disk: disk, lbn: member}
+			perDisk[disk] = ex
+			order = append(order, ex)
+		}
+		// Member runs for a contiguous array request are contiguous on
+		// each member by construction.
+		ex.segs = append(ex.segs, seg{memberOff: ex.count, reqStart: i, count: run})
+		ex.count += run
+		i += run
+	}
+	out := make([]extent, len(order))
+	for j, ex := range order {
+		out[j] = *ex
+	}
+	return out
+}
+
+// ReadBlocks implements Device by fanning out to member disks.
+func (r *RAID0) ReadBlocks(lbn int64, count int, done func([]byte, error)) {
+	if lbn < 0 || count < 0 || lbn+int64(count) > r.geom.NumBlocks {
+		done(nil, fmt.Errorf("%w: [%d,+%d) of %d", ErrOutOfRange, lbn, count, r.geom.NumBlocks))
+		return
+	}
+	r.Requests++
+	if count == 0 {
+		done(nil, nil)
+		return
+	}
+	exts := r.extents(lbn, count)
+	out := make([]byte, count*r.geom.BlockSize)
+	remaining := len(exts)
+	var firstErr error
+	for _, ex := range exts {
+		ex := ex
+		r.disks[ex.disk].ReadBlocks(ex.lbn, ex.count, func(data []byte, err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if err == nil {
+				for _, sg := range ex.segs {
+					copy(out[sg.reqStart*r.geom.BlockSize:(sg.reqStart+sg.count)*r.geom.BlockSize],
+						data[sg.memberOff*r.geom.BlockSize:])
+				}
+			}
+			remaining--
+			if remaining == 0 {
+				if firstErr != nil {
+					done(nil, firstErr)
+					return
+				}
+				done(out, nil)
+			}
+		})
+	}
+}
+
+// WriteBlocks implements Device by fanning out to member disks.
+func (r *RAID0) WriteBlocks(lbn int64, data []byte, done func(error)) {
+	if len(data)%r.geom.BlockSize != 0 {
+		done(fmt.Errorf("%w: %d", ErrBadLength, len(data)))
+		return
+	}
+	count := len(data) / r.geom.BlockSize
+	if lbn < 0 || lbn+int64(count) > r.geom.NumBlocks {
+		done(fmt.Errorf("%w: [%d,+%d) of %d", ErrOutOfRange, lbn, count, r.geom.NumBlocks))
+		return
+	}
+	r.Requests++
+	if count == 0 {
+		done(nil)
+		return
+	}
+	exts := r.extents(lbn, count)
+	remaining := len(exts)
+	var firstErr error
+	for _, ex := range exts {
+		ex := ex
+		chunk := make([]byte, ex.count*r.geom.BlockSize)
+		for _, sg := range ex.segs {
+			copy(chunk[sg.memberOff*r.geom.BlockSize:],
+				data[sg.reqStart*r.geom.BlockSize:(sg.reqStart+sg.count)*r.geom.BlockSize])
+		}
+		r.disks[ex.disk].WriteBlocks(ex.lbn, chunk, func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			remaining--
+			if remaining == 0 {
+				done(firstErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,457 @@
+// Package buffercache implements the file-system buffer/page cache of the
+// pass-through server: a bounded write-back LRU of block-sized buffers over
+// an iSCSI-backed block store.
+//
+// The cache is deliberately mechanism-only: it neither knows nor cares which
+// of the paper's three configurations is running. A cached block either
+// holds real payload bytes, or is a *logical block* — junk carrying an
+// in-band lkey marker left by the NCache (or baseline) hooks below it. The
+// cache moves logical blocks with 40-byte key copies and real blocks with
+// charged physical copies; everything else follows from which hooks are
+// installed. This mirrors §4.1's claim that the buffer cache itself needs
+// no modification (Table 1: "buffer cache: None").
+package buffercache
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+
+	"ncache/internal/lkey"
+	"ncache/internal/metrics"
+	"ncache/internal/netbuf"
+	"ncache/internal/sim"
+	"ncache/internal/simnet"
+)
+
+// Lower is the block store beneath the cache (the iSCSI initiator).
+type Lower interface {
+	BlockSize() int
+	NumBlocks() int64
+	// Read fetches a contiguous run; meta marks file-system metadata.
+	Read(lbn int64, count int, meta bool, done func(*netbuf.Chain, error))
+	// Write stores a contiguous run; the callee owns the chain.
+	Write(lbn int64, data *netbuf.Chain, meta bool, done func(error))
+}
+
+// Errors surfaced by the cache.
+var (
+	ErrCacheClosed = errors.New("buffercache: closed")
+)
+
+// Block is one cached buffer. Callers receive pinned blocks and must Unpin
+// them; a pinned block is never evicted.
+type Block struct {
+	LBN  int64
+	Data []byte
+	// Logical marks a key-carrying junk block (see package lkey).
+	Logical bool
+	// Dirty marks unflushed modifications.
+	Dirty bool
+	// Meta marks file-system metadata blocks.
+	Meta bool
+
+	pins     int
+	flushing bool
+	elem     *list.Element
+	pending  []func(*Block, error)
+	loaded   bool
+}
+
+// Key parses the block's logical key. Valid only when Logical.
+func (b *Block) Key() (lkey.Key, bool) { return lkey.Parse(b.Data) }
+
+// Cache is the bounded buffer cache.
+type Cache struct {
+	node     *simnet.Node
+	lower    Lower
+	bs       int
+	capacity int
+
+	blocks map[int64]*Block
+	lru    *list.List // front = most recent
+
+	// Stats is hit/miss/eviction accounting.
+	Stats metrics.Cache
+	// LogicalCopyNs is the CPU cost of moving one key (a 40-byte copy
+	// plus bookkeeping).
+	LogicalCopyNs sim.Duration
+}
+
+// New creates a cache of capacityBlocks blocks over lower.
+func New(node *simnet.Node, lower Lower, capacityBlocks int) *Cache {
+	return &Cache{
+		node:          node,
+		lower:         lower,
+		bs:            lower.BlockSize(),
+		capacity:      capacityBlocks,
+		blocks:        make(map[int64]*Block, capacityBlocks),
+		lru:           list.New(),
+		LogicalCopyNs: 150,
+	}
+}
+
+// BlockSize returns the block size in bytes.
+func (c *Cache) BlockSize() int { return c.bs }
+
+// Capacity returns the cache capacity in blocks.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Len returns the number of resident blocks.
+func (c *Cache) Len() int { return len(c.blocks) }
+
+// DirtyCount returns the number of dirty resident blocks.
+func (c *Cache) DirtyCount() int {
+	n := 0
+	for _, b := range c.blocks {
+		if b.Dirty {
+			n++
+		}
+	}
+	return n
+}
+
+// touch moves a block to the MRU position.
+func (c *Cache) touch(b *Block) {
+	if b.elem != nil {
+		c.lru.MoveToFront(b.elem)
+	}
+}
+
+// insert creates a resident block entry (pinned once for the caller chain).
+func (c *Cache) insert(lbn int64, meta bool) *Block {
+	b := &Block{
+		LBN:  lbn,
+		Data: make([]byte, c.bs),
+		Meta: meta,
+	}
+	b.elem = c.lru.PushFront(b)
+	c.blocks[lbn] = b
+	return b
+}
+
+// drop removes a block from the cache.
+func (c *Cache) drop(b *Block) {
+	delete(c.blocks, b.LBN)
+	if b.elem != nil {
+		c.lru.Remove(b.elem)
+		b.elem = nil
+	}
+}
+
+// evictForRoom frees LRU blocks until at most capacity blocks remain,
+// flushing dirty victims. Pinned, in-flight and flushing blocks are skipped;
+// under total pinning the cache temporarily exceeds capacity, as a real
+// kernel does under memory pressure.
+func (c *Cache) evictForRoom() {
+	if c.capacity <= 0 {
+		return
+	}
+	e := c.lru.Back()
+	for e != nil && len(c.blocks) > c.capacity {
+		b, ok := e.Value.(*Block)
+		prev := e.Prev()
+		if !ok {
+			e = prev
+			continue
+		}
+		if b.pins > 0 || b.flushing || !b.loaded {
+			e = prev
+			continue
+		}
+		if b.Dirty {
+			c.flushBlock(b, func(error) {
+				// Re-run eviction once the flush lands; the block is
+				// clean (or still dirty on error) and unpinned.
+				c.evictForRoom()
+			})
+			e = prev
+			continue
+		}
+		c.Stats.Evictions++
+		c.drop(b)
+		e = prev
+	}
+}
+
+// flushBlock writes one dirty block down. Logical blocks travel as stamped
+// junk (a logical copy) that the NCache write hook below will substitute
+// and remap; real blocks are physically copied into a transmit chain.
+func (c *Cache) flushBlock(b *Block, done func(error)) {
+	if !b.Dirty || b.flushing {
+		done(nil)
+		return
+	}
+	b.flushing = true
+	var chain *netbuf.Chain
+	if key, ok := b.Key(); ok {
+		chain = lkey.StampChain(key, c.bs)
+		c.node.Copies.AddLogical()
+		c.node.Charge(c.LogicalCopyNs, nil)
+	} else {
+		chain = netbuf.ChainFromBytes(b.Data, netbuf.DefaultBufSize)
+		c.node.Copies.AddPhysical(c.bs)
+		c.node.Charge(c.node.Cost.CopyCost(c.bs), nil)
+	}
+	c.Stats.Writeback++
+	lbn := b.LBN
+	c.lower.Write(lbn, chain, b.Meta, func(err error) {
+		b.flushing = false
+		if err != nil {
+			done(err)
+			return
+		}
+		b.Dirty = false
+		// A flushed logical block now has a known storage location:
+		// extend its key with the LBN identity (the fs-cache half of
+		// the paper's FHO→LBN remapping).
+		if key, ok := b.Key(); ok && key.Flags&lkey.HasFHO != 0 {
+			lkey.Stamp(b.Data, key.WithLBN(lbn))
+		}
+		done(nil)
+	})
+}
+
+// Get returns one pinned block, reading through on a miss.
+func (c *Cache) Get(lbn int64, meta bool, done func(*Block, error)) {
+	c.GetRange(lbn, 1, meta, func(bs []*Block, err error) {
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		done(bs[0], nil)
+	})
+}
+
+// GetRange returns count pinned blocks starting at lbn, reading missing
+// runs from the lower store in as few requests as possible (the read-ahead
+// behaviour the paper tunes so the average disk request matches the NFS
+// request size).
+func (c *Cache) GetRange(lbn int64, count int, meta bool, done func([]*Block, error)) {
+	if count <= 0 {
+		done(nil, fmt.Errorf("buffercache: bad range count %d", count))
+		return
+	}
+	out := make([]*Block, count)
+	waiting := 0
+	var failed error
+	finishOne := func(err error) {
+		if err != nil && failed == nil {
+			failed = err
+		}
+		waiting--
+		if waiting == 0 {
+			if failed != nil {
+				for _, b := range out {
+					if b != nil {
+						c.Unpin(b)
+					}
+				}
+				done(nil, failed)
+				return
+			}
+			done(out, nil)
+		}
+	}
+	waiting = 1 // guard so synchronous hits don't complete early
+
+	i := 0
+	for i < count {
+		cur := lbn + int64(i)
+		if b, ok := c.blocks[cur]; ok {
+			b.pins++
+			out[i] = b
+			if b.loaded {
+				c.Stats.Hits++
+				c.touch(b)
+			} else {
+				// Fill in flight: wait for it.
+				idx := i
+				waiting++
+				b.pending = append(b.pending, func(bb *Block, err error) {
+					out[idx] = bb
+					finishOne(err)
+				})
+			}
+			i++
+			continue
+		}
+		// Miss: find the contiguous missing run.
+		start := i
+		for i < count {
+			if _, ok := c.blocks[lbn+int64(i)]; ok {
+				break
+			}
+			i++
+		}
+		runLBN := lbn + int64(start)
+		runLen := i - start
+		for j := 0; j < runLen; j++ {
+			nb := c.insert(runLBN+int64(j), meta)
+			nb.pins++
+			out[start+j] = nb
+		}
+		c.Stats.Misses += uint64(runLen)
+		waiting++
+		c.readRun(runLBN, runLen, meta, finishOne)
+	}
+	finishOne(nil) // release the guard
+	c.evictForRoom()
+}
+
+// readRun fetches one missing run and fills its resident placeholders.
+func (c *Cache) readRun(lbn int64, count int, meta bool, done func(error)) {
+	c.lower.Read(lbn, count, meta, func(data *netbuf.Chain, err error) {
+		if err != nil {
+			for j := 0; j < count; j++ {
+				if b, ok := c.blocks[lbn+int64(j)]; ok && !b.loaded {
+					waiters := b.pending
+					b.pending = nil
+					c.drop(b)
+					for _, w := range waiters {
+						w(b, err)
+					}
+				}
+			}
+			done(err)
+			return
+		}
+		c.fillRun(lbn, count, data, done)
+	})
+}
+
+// fillRun moves arriving payload into the placeholder blocks: one physical
+// copy for real data (charged once for the run, the Table 2 "network to
+// buffer cache" stage), or per-block key copies for logical data.
+func (c *Cache) fillRun(lbn int64, count int, data *netbuf.Chain, done func(error)) {
+	if data.Len() < count*c.bs {
+		data.Release()
+		done(fmt.Errorf("buffercache: short read: %d bytes for %d blocks", data.Len(), count))
+		return
+	}
+	physBytes := 0
+	logical := 0
+	type fill struct {
+		b     *Block
+		chunk *netbuf.Chain
+	}
+	fills := make([]fill, 0, count)
+	for j := 0; j < count; j++ {
+		b, ok := c.blocks[lbn+int64(j)]
+		if !ok {
+			continue
+		}
+		chunk, err := data.Slice(j*c.bs, c.bs)
+		if err != nil {
+			done(err)
+			return
+		}
+		fills = append(fills, fill{b: b, chunk: chunk})
+		if _, isKey := lkey.FromChain(chunk); isKey {
+			logical++
+		} else {
+			physBytes += c.bs
+		}
+	}
+	var cost sim.Duration
+	if physBytes > 0 {
+		c.node.Copies.AddPhysical(physBytes)
+		cost += c.node.Cost.CopyCost(physBytes)
+	}
+	for k := 0; k < logical; k++ {
+		c.node.Copies.AddLogical()
+		cost += c.LogicalCopyNs
+	}
+	c.node.Charge(cost, func() {
+		for _, f := range fills {
+			if _, isKey := lkey.FromChain(f.chunk); isKey {
+				f.chunk.Gather(f.b.Data[:lkey.Size])
+				f.b.Logical = true
+			} else {
+				f.chunk.Gather(f.b.Data)
+				f.b.Logical = false
+			}
+			f.b.loaded = true
+			f.chunk.Release()
+			waiters := f.b.pending
+			f.b.pending = nil
+			for _, w := range waiters {
+				w(f.b, nil)
+			}
+		}
+		data.Release()
+		done(nil)
+	})
+}
+
+// GetForWrite returns a pinned block about to be fully overwritten: if
+// absent it is created without reading the lower store (no-fill), the
+// optimization every kernel applies to whole-block writes.
+func (c *Cache) GetForWrite(lbn int64, meta bool, done func(*Block, error)) {
+	if b, ok := c.blocks[lbn]; ok {
+		b.pins++
+		if b.loaded {
+			c.Stats.Hits++
+			c.touch(b)
+			done(b, nil)
+			return
+		}
+		b.pending = append(b.pending, done)
+		return
+	}
+	b := c.insert(lbn, meta)
+	b.pins++
+	b.loaded = true
+	c.Stats.Misses++
+	c.evictForRoom()
+	done(b, nil)
+}
+
+// MarkDirty records a modification to a pinned block.
+func (c *Cache) MarkDirty(b *Block) {
+	b.Dirty = true
+	c.touch(b)
+}
+
+// Unpin releases a caller's pin.
+func (c *Cache) Unpin(b *Block) {
+	if b.pins > 0 {
+		b.pins--
+	}
+	c.evictForRoom()
+}
+
+// Drop invalidates a block (file truncation/removal). Dirty contents are
+// discarded.
+func (c *Cache) Drop(lbn int64) {
+	if b, ok := c.blocks[lbn]; ok && b.pins == 0 && !b.flushing {
+		c.drop(b)
+	}
+}
+
+// Sync flushes every dirty block and calls done when all writes land.
+func (c *Cache) Sync(done func(error)) {
+	var dirty []*Block
+	for _, b := range c.blocks {
+		if b.Dirty && !b.flushing {
+			dirty = append(dirty, b)
+		}
+	}
+	if len(dirty) == 0 {
+		done(nil)
+		return
+	}
+	remaining := len(dirty)
+	var failed error
+	for _, b := range dirty {
+		c.flushBlock(b, func(err error) {
+			if err != nil && failed == nil {
+				failed = err
+			}
+			remaining--
+			if remaining == 0 {
+				done(failed)
+			}
+		})
+	}
+}

@@ -1,0 +1,500 @@
+package buffercache
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"ncache/internal/lkey"
+	"ncache/internal/netbuf"
+	"ncache/internal/sim"
+	"ncache/internal/simnet"
+)
+
+// fakeLower is an in-memory block store that records traffic and optionally
+// rewrites payloads (to emulate the NCache/baseline hooks).
+type fakeLower struct {
+	eng     *sim.Engine
+	bs      int
+	blocks  map[int64][]byte
+	reads   []fakeReq
+	writes  []fakeReq
+	readFn  func(lbn int64, count int) *netbuf.Chain // optional override
+	latency sim.Duration
+}
+
+type fakeReq struct {
+	lbn   int64
+	count int
+	meta  bool
+	data  []byte
+}
+
+func newFakeLower(eng *sim.Engine, bs int) *fakeLower {
+	return &fakeLower{eng: eng, bs: bs, blocks: map[int64][]byte{}, latency: 10 * sim.Microsecond}
+}
+
+func (f *fakeLower) BlockSize() int   { return f.bs }
+func (f *fakeLower) NumBlocks() int64 { return 1 << 20 }
+
+func (f *fakeLower) content(lbn int64) []byte {
+	if b, ok := f.blocks[lbn]; ok {
+		return b
+	}
+	out := make([]byte, f.bs)
+	for i := range out {
+		out[i] = byte(lbn*13 + int64(i)%251)
+	}
+	return out
+}
+
+func (f *fakeLower) Read(lbn int64, count int, meta bool, done func(*netbuf.Chain, error)) {
+	f.reads = append(f.reads, fakeReq{lbn: lbn, count: count, meta: meta})
+	f.eng.Schedule(f.latency, func() {
+		if f.readFn != nil {
+			done(f.readFn(lbn, count), nil)
+			return
+		}
+		buf := make([]byte, 0, count*f.bs)
+		for j := 0; j < count; j++ {
+			buf = append(buf, f.content(lbn+int64(j))...)
+		}
+		done(netbuf.ChainFromBytes(buf, netbuf.DefaultBufSize), nil)
+	})
+}
+
+func (f *fakeLower) Write(lbn int64, data *netbuf.Chain, meta bool, done func(error)) {
+	flat := data.Flatten()
+	data.Release()
+	f.writes = append(f.writes, fakeReq{lbn: lbn, count: len(flat) / f.bs, meta: meta, data: flat})
+	f.eng.Schedule(f.latency, func() {
+		for j := 0; j*f.bs < len(flat); j++ {
+			b := make([]byte, f.bs)
+			copy(b, flat[j*f.bs:])
+			f.blocks[lbn+int64(j)] = b
+		}
+		done(nil)
+	})
+}
+
+func rigCache(t *testing.T, capacity int) (*sim.Engine, *simnet.Node, *fakeLower, *Cache) {
+	t.Helper()
+	eng := sim.NewEngine()
+	node := simnet.NewNode(eng, "app", simnet.DefaultProfile())
+	lower := newFakeLower(eng, 4096)
+	return eng, node, lower, New(node, lower, capacity)
+}
+
+func TestMissThenHit(t *testing.T) {
+	eng, node, lower, c := rigCache(t, 16)
+	var first, second []byte
+	c.Get(5, false, func(b *Block, err error) {
+		if err != nil {
+			t.Errorf("Get: %v", err)
+			return
+		}
+		first = append([]byte(nil), b.Data...)
+		c.Unpin(b)
+		c.Get(5, false, func(b2 *Block, err error) {
+			if err != nil {
+				t.Errorf("Get2: %v", err)
+				return
+			}
+			second = append([]byte(nil), b2.Data...)
+			c.Unpin(b2)
+		})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !bytes.Equal(first, lower.content(5)) {
+		t.Fatal("miss returned wrong content")
+	}
+	if !bytes.Equal(second, first) {
+		t.Fatal("hit returned different content")
+	}
+	if len(lower.reads) != 1 {
+		t.Fatalf("lower reads = %d, want 1", len(lower.reads))
+	}
+	if c.Stats.Hits != 1 || c.Stats.Misses != 1 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+	// The miss fill charged one physical copy of one block.
+	if node.Copies.PhysicalOps != 1 || node.Copies.PhysicalBytes != 4096 {
+		t.Fatalf("copies = %+v", node.Copies)
+	}
+}
+
+func TestRangeCoalescesMissRuns(t *testing.T) {
+	eng, _, lower, c := rigCache(t, 64)
+	// Pre-populate block 12 so the range 10..17 has a hole in the middle.
+	c.Get(12, false, func(b *Block, err error) {
+		if err == nil {
+			c.Unpin(b)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	lower.reads = nil
+
+	var got [][]byte
+	c.GetRange(10, 8, false, func(bs []*Block, err error) {
+		if err != nil {
+			t.Errorf("GetRange: %v", err)
+			return
+		}
+		for _, b := range bs {
+			got = append(got, append([]byte(nil), b.Data...))
+			c.Unpin(b)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 8 {
+		t.Fatalf("blocks = %d", len(got))
+	}
+	for j := 0; j < 8; j++ {
+		if !bytes.Equal(got[j], lower.content(10+int64(j))) {
+			t.Fatalf("block %d content wrong", j)
+		}
+	}
+	// Two lower reads: [10,12) and [13,18).
+	if len(lower.reads) != 2 {
+		t.Fatalf("lower reads = %d (%+v), want 2 coalesced runs", len(lower.reads), lower.reads)
+	}
+}
+
+func TestConcurrentMissesCoalesce(t *testing.T) {
+	eng, _, lower, c := rigCache(t, 16)
+	done := 0
+	for k := 0; k < 3; k++ {
+		c.Get(7, false, func(b *Block, err error) {
+			if err != nil {
+				t.Errorf("Get: %v", err)
+				return
+			}
+			if !bytes.Equal(b.Data, lower.content(7)) {
+				t.Error("content wrong")
+			}
+			c.Unpin(b)
+			done++
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if done != 3 {
+		t.Fatalf("done = %d", done)
+	}
+	if len(lower.reads) != 1 {
+		t.Fatalf("lower reads = %d, want 1 (in-flight coalescing)", len(lower.reads))
+	}
+}
+
+func TestWriteBackOnEviction(t *testing.T) {
+	eng, _, lower, c := rigCache(t, 4)
+	// Dirty one block, then flood the cache to force eviction.
+	c.GetForWrite(100, false, func(b *Block, err error) {
+		if err != nil {
+			t.Errorf("GetForWrite: %v", err)
+			return
+		}
+		copy(b.Data, bytes.Repeat([]byte{0xEE}, 4096))
+		b.Logical = false
+		c.MarkDirty(b)
+		c.Unpin(b)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := int64(0); i < 8; i++ {
+		c.Get(i, false, func(b *Block, err error) {
+			if err == nil {
+				c.Unpin(b)
+			}
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(lower.writes) != 1 {
+		t.Fatalf("writes = %d, want 1 (dirty eviction)", len(lower.writes))
+	}
+	if lower.writes[0].lbn != 100 {
+		t.Fatalf("wrote lbn %d", lower.writes[0].lbn)
+	}
+	if !bytes.Equal(lower.blocks[100], bytes.Repeat([]byte{0xEE}, 4096)) {
+		t.Fatal("written content wrong")
+	}
+	if len(c.blocks) > 4 {
+		t.Fatalf("cache exceeded capacity: %d", len(c.blocks))
+	}
+}
+
+func TestSyncFlushesAllDirty(t *testing.T) {
+	eng, _, lower, c := rigCache(t, 16)
+	for i := int64(0); i < 5; i++ {
+		i := i
+		c.GetForWrite(i, false, func(b *Block, err error) {
+			if err != nil {
+				t.Errorf("GetForWrite: %v", err)
+				return
+			}
+			b.Data[0] = byte(i + 1)
+			c.MarkDirty(b)
+			c.Unpin(b)
+		})
+	}
+	synced := false
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	c.Sync(func(err error) {
+		if err != nil {
+			t.Errorf("Sync: %v", err)
+		}
+		synced = true
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !synced {
+		t.Fatal("Sync did not complete")
+	}
+	if len(lower.writes) != 5 {
+		t.Fatalf("writes = %d, want 5", len(lower.writes))
+	}
+	if c.DirtyCount() != 0 {
+		t.Fatalf("dirty after sync = %d", c.DirtyCount())
+	}
+}
+
+func TestLogicalBlockFillIsKeyCopy(t *testing.T) {
+	eng, node, lower, c := rigCache(t, 16)
+	// Lower returns key-stamped junk, as the NCache read hook produces.
+	lower.readFn = func(lbn int64, count int) *netbuf.Chain {
+		out := netbuf.NewChain()
+		for j := 0; j < count; j++ {
+			sub := lkey.StampChain(lkey.ForLBN(lbn+int64(j)), 4096)
+			for _, b := range sub.Bufs() {
+				out.Append(b)
+			}
+		}
+		return out
+	}
+	var gotKey lkey.Key
+	c.Get(42, false, func(b *Block, err error) {
+		if err != nil {
+			t.Errorf("Get: %v", err)
+			return
+		}
+		if !b.Logical {
+			t.Error("block not logical")
+		}
+		k, ok := b.Key()
+		if !ok {
+			t.Error("no key on logical block")
+		}
+		gotKey = k
+		c.Unpin(b)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if gotKey.LBN != 42 || gotKey.Flags&lkey.HasLBN == 0 {
+		t.Fatalf("key = %+v", gotKey)
+	}
+	if node.Copies.PhysicalOps != 0 {
+		t.Fatalf("logical fill performed %d physical copies", node.Copies.PhysicalOps)
+	}
+	if node.Copies.LogicalOps != 1 {
+		t.Fatalf("logical ops = %d, want 1", node.Copies.LogicalOps)
+	}
+}
+
+func TestLogicalDirtyFlushTravelsAsKeyAndRemaps(t *testing.T) {
+	eng, node, lower, c := rigCache(t, 16)
+	fh := lkey.FH{1, 2, 3}
+	c.GetForWrite(200, false, func(b *Block, err error) {
+		if err != nil {
+			t.Errorf("GetForWrite: %v", err)
+			return
+		}
+		lkey.Stamp(b.Data, lkey.ForFHO(fh, 8192))
+		b.Logical = true
+		c.MarkDirty(b)
+		c.Unpin(b)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	synced := false
+	physBefore := node.Copies.PhysicalOps
+	c.Sync(func(err error) { synced = err == nil })
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !synced {
+		t.Fatal("sync failed")
+	}
+	if node.Copies.PhysicalOps != physBefore {
+		t.Fatal("logical flush physically copied the block")
+	}
+	// The wire payload was the stamped key.
+	k, ok := lkey.Parse(lower.writes[0].data)
+	if !ok || k.Flags&lkey.HasFHO == 0 || k.Off != 8192 {
+		t.Fatalf("flushed payload key = %+v ok=%v", k, ok)
+	}
+	// After the flush, the resident block's key gained the LBN identity.
+	b, ok := c.blocks[200]
+	if !ok {
+		t.Fatal("block evicted unexpectedly")
+	}
+	k2, _ := b.Key()
+	if k2.Flags&lkey.HasLBN == 0 || k2.LBN != 200 || k2.Flags&lkey.HasFHO == 0 {
+		t.Fatalf("post-flush key = %+v, want dual identity", k2)
+	}
+}
+
+func TestPinnedBlocksSurviveEvictionPressure(t *testing.T) {
+	eng, _, _, c := rigCache(t, 2)
+	var pinned *Block
+	c.Get(1, false, func(b *Block, err error) {
+		if err != nil {
+			t.Errorf("Get: %v", err)
+			return
+		}
+		pinned = b // deliberately not unpinned
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := int64(10); i < 20; i++ {
+		c.Get(i, false, func(b *Block, err error) {
+			if err == nil {
+				c.Unpin(b)
+			}
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if _, ok := c.blocks[1]; !ok {
+		t.Fatal("pinned block was evicted")
+	}
+	c.Unpin(pinned)
+}
+
+func TestGetForWriteSkipsLowerRead(t *testing.T) {
+	eng, _, lower, c := rigCache(t, 8)
+	c.GetForWrite(77, false, func(b *Block, err error) {
+		if err != nil {
+			t.Errorf("GetForWrite: %v", err)
+			return
+		}
+		c.Unpin(b)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(lower.reads) != 0 {
+		t.Fatalf("no-fill write performed %d lower reads", len(lower.reads))
+	}
+}
+
+func TestLowerWriteFailurePropagates(t *testing.T) {
+	eng, _, lower, c := rigCache(t, 16)
+	failWrite := false
+	lowerErr := &failingLower{fakeLower: lower, failWrites: &failWrite}
+	c2 := New(simnetNode(eng), lowerErr, 16)
+	c2.GetForWrite(3, false, func(b *Block, err error) {
+		if err != nil {
+			t.Fatalf("GetForWrite: %v", err)
+		}
+		b.Data[0] = 1
+		c2.MarkDirty(b)
+		c2.Unpin(b)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	failWrite = true
+	var syncErr error
+	c2.Sync(func(err error) { syncErr = err })
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if syncErr == nil {
+		t.Fatal("Sync swallowed the lower-write failure")
+	}
+	// The block stays dirty so data is not lost.
+	if c2.DirtyCount() != 1 {
+		t.Fatalf("dirty = %d, want 1 (retryable)", c2.DirtyCount())
+	}
+	_ = c
+}
+
+type failingLower struct {
+	*fakeLower
+	failWrites *bool
+}
+
+func (f *failingLower) Write(lbn int64, data *netbuf.Chain, meta bool, done func(error)) {
+	if *f.failWrites {
+		data.Release()
+		f.eng.Schedule(1, func() { done(errInjected) })
+		return
+	}
+	f.fakeLower.Write(lbn, data, meta, done)
+}
+
+var errInjected = errors.New("injected write failure")
+
+// simnetNode builds a bare node for auxiliary caches in this test file.
+func simnetNode(eng *sim.Engine) *simnet.Node {
+	return simnet.NewNode(eng, "aux", simnet.DefaultProfile())
+}
+
+func TestGetRangeRejectsBadCount(t *testing.T) {
+	eng, _, _, c := rigCache(t, 8)
+	called := false
+	c.GetRange(0, 0, false, func(_ []*Block, err error) {
+		called = true
+		if err == nil {
+			t.Fatal("zero-count range accepted")
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !called {
+		t.Fatal("callback not invoked")
+	}
+}
+
+func TestDropInvalidates(t *testing.T) {
+	eng, _, lower, c := rigCache(t, 8)
+	c.Get(3, false, func(b *Block, err error) {
+		if err == nil {
+			c.Unpin(b)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	c.Drop(3)
+	lower.reads = nil
+	c.Get(3, false, func(b *Block, err error) {
+		if err == nil {
+			c.Unpin(b)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(lower.reads) != 1 {
+		t.Fatalf("re-read after Drop = %d lower reads, want 1", len(lower.reads))
+	}
+}

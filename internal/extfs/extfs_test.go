@@ -1,0 +1,518 @@
+package extfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"ncache/internal/blockdev"
+	"ncache/internal/buffercache"
+	"ncache/internal/netbuf"
+	"ncache/internal/sim"
+	"ncache/internal/simnet"
+)
+
+// diskLower adapts a MemDisk as a buffer-cache Lower for isolated fs tests
+// (the full stack goes through iSCSI; see the passthru package).
+type diskLower struct {
+	dev *blockdev.MemDisk
+}
+
+func (l *diskLower) BlockSize() int   { return l.dev.Geometry().BlockSize }
+func (l *diskLower) NumBlocks() int64 { return l.dev.Geometry().NumBlocks }
+
+func (l *diskLower) Read(lbn int64, count int, meta bool, done func(*netbuf.Chain, error)) {
+	l.dev.ReadBlocks(lbn, count, func(data []byte, err error) {
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		done(netbuf.ChainFromBytes(data, netbuf.DefaultBufSize), nil)
+	})
+}
+
+func (l *diskLower) Write(lbn int64, data *netbuf.Chain, meta bool, done func(error)) {
+	flat := data.Flatten()
+	data.Release()
+	l.dev.WriteBlocks(lbn, flat, done)
+}
+
+type fsRig struct {
+	eng   *sim.Engine
+	node  *simnet.Node
+	disk  *blockdev.MemDisk
+	cache *buffercache.Cache
+	fs    *FS
+}
+
+func newFsRig(t *testing.T, cacheBlocks int) *fsRig {
+	t.Helper()
+	eng := sim.NewEngine()
+	node := simnet.NewNode(eng, "app", simnet.DefaultProfile())
+	disk := blockdev.NewMemDisk(eng, "d0", blockdev.Geometry{BlockSize: BlockSize, NumBlocks: 8192}, blockdev.Model{})
+	if _, err := Format(disk, 512); err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	cache := buffercache.New(node, &diskLower{dev: disk}, cacheBlocks)
+	r := &fsRig{eng: eng, node: node, disk: disk, cache: cache}
+	Mount(node, cache, func(fs *FS, err error) {
+		if err != nil {
+			t.Fatalf("Mount: %v", err)
+		}
+		r.fs = fs
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.fs == nil {
+		t.Fatal("mount did not complete")
+	}
+	return r
+}
+
+// newCacheOver builds a second buffer cache over a rig's disk (remount
+// support for durability tests).
+func newCacheOver(r *fsRig) *buffercache.Cache {
+	return buffercache.New(r.node, &diskLower{dev: r.disk}, 256)
+}
+
+// run drives the engine and fails the test on error.
+func (r *fsRig) run(t *testing.T) {
+	t.Helper()
+	if err := r.eng.Run(); err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+}
+
+// copyFiller returns a Filler that physically copies from src.
+func copyFiller(src []byte) Filler {
+	return func(b *buffercache.Block, blockOff, count, srcOff int) {
+		copy(b.Data[blockOff:blockOff+count], src[srcOff:srcOff+count])
+		b.Logical = false
+	}
+}
+
+// readAll reads [off, off+n) into a byte slice through the extent API.
+func (r *fsRig) readAll(t *testing.T, ino uint32, off uint64, n int) ([]byte, bool) {
+	t.Helper()
+	var out []byte
+	var eof bool
+	ok := false
+	r.fs.Read(ino, off, n, func(res *ReadResult, err error) {
+		if err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+		for _, e := range res.Extents {
+			if e.Block == nil {
+				out = append(out, make([]byte, e.Len)...)
+				continue
+			}
+			out = append(out, e.Block.Data[e.Off:e.Off+e.Len]...)
+		}
+		eof = res.EOF
+		res.Done(r.fs)
+		ok = true
+	})
+	r.run(t)
+	if !ok {
+		t.Fatal("read did not complete")
+	}
+	return out, eof
+}
+
+func (r *fsRig) create(t *testing.T, name string) uint32 {
+	t.Helper()
+	var ino uint32
+	r.fs.Create(RootIno, name, ModeFile, func(i uint32, err error) {
+		if err != nil {
+			t.Fatalf("Create(%s): %v", name, err)
+		}
+		ino = i
+	})
+	r.run(t)
+	return ino
+}
+
+func (r *fsRig) write(t *testing.T, ino uint32, off uint64, data []byte) {
+	t.Helper()
+	done := false
+	r.fs.Write(ino, off, len(data), copyFiller(data), func(err error) {
+		if err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		done = true
+	})
+	r.run(t)
+	if !done {
+		t.Fatal("write did not complete")
+	}
+}
+
+func TestFormatMountFsck(t *testing.T) {
+	r := newFsRig(t, 256)
+	ok := false
+	r.fs.Fsck(func(err error) {
+		if err != nil {
+			t.Fatalf("Fsck: %v", err)
+		}
+		ok = true
+	})
+	r.run(t)
+	if !ok {
+		t.Fatal("fsck did not complete")
+	}
+	if r.fs.Super().Magic != Magic {
+		t.Fatal("bad super")
+	}
+}
+
+func TestFormattedFileVisibleAndReadable(t *testing.T) {
+	eng := sim.NewEngine()
+	node := simnet.NewNode(eng, "app", simnet.DefaultProfile())
+	disk := blockdev.NewMemDisk(eng, "d0", blockdev.Geometry{BlockSize: BlockSize, NumBlocks: 8192}, blockdev.Model{})
+	f, err := Format(disk, 512)
+	if err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	content := func(off uint64, dst []byte) {
+		for i := range dst {
+			dst[i] = byte(off/BlockSize + uint64(i)%200)
+		}
+	}
+	spec, err := f.AddFile("big.dat", 100*BlockSize, content)
+	if err != nil {
+		t.Fatalf("AddFile: %v", err)
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	cache := buffercache.New(node, &diskLower{dev: disk}, 512)
+	r := &fsRig{eng: eng, node: node, disk: disk, cache: cache}
+	Mount(node, cache, func(fs *FS, err error) {
+		if err != nil {
+			t.Fatalf("Mount: %v", err)
+		}
+		r.fs = fs
+	})
+	r.run(t)
+
+	var ino uint32
+	r.fs.Lookup(RootIno, "big.dat", func(i uint32, err error) {
+		if err != nil {
+			t.Fatalf("Lookup: %v", err)
+		}
+		ino = i
+	})
+	r.run(t)
+	if ino != spec.Ino {
+		t.Fatalf("ino = %d, want %d", ino, spec.Ino)
+	}
+
+	// Read a range spanning direct→indirect pointers (blocks 8..12).
+	got, _ := r.readAll(t, ino, 8*BlockSize, 5*BlockSize)
+	want := make([]byte, 5*BlockSize)
+	for i := 0; i < 5; i++ {
+		content(uint64(8+i)*BlockSize, want[i*BlockSize:(i+1)*BlockSize])
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("formatted file content mismatch across direct/indirect boundary")
+	}
+
+	var attr Attr
+	r.fs.Getattr(ino, func(a Attr, err error) {
+		if err != nil {
+			t.Fatalf("Getattr: %v", err)
+		}
+		attr = a
+	})
+	r.run(t)
+	if attr.Size != 100*BlockSize || attr.Mode != ModeFile {
+		t.Fatalf("attr = %+v", attr)
+	}
+}
+
+func TestCreateWriteReadRoundTrip(t *testing.T) {
+	r := newFsRig(t, 256)
+	ino := r.create(t, "hello.txt")
+	data := []byte("hello, network-centric world")
+	r.write(t, ino, 0, data)
+	got, eof := r.readAll(t, ino, 0, 1024)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read %q, want %q", got, data)
+	}
+	if !eof {
+		t.Fatal("expected EOF")
+	}
+}
+
+func TestPartialAndCrossBlockWrites(t *testing.T) {
+	r := newFsRig(t, 256)
+	ino := r.create(t, "f")
+	// Lay down two blocks, then overwrite a range crossing the boundary.
+	base := make([]byte, 2*BlockSize)
+	for i := range base {
+		base[i] = 'A'
+	}
+	r.write(t, ino, 0, base)
+	patch := bytes.Repeat([]byte{'B'}, 1000)
+	r.write(t, ino, BlockSize-500, patch)
+
+	got, _ := r.readAll(t, ino, 0, 2*BlockSize)
+	want := append([]byte(nil), base...)
+	copy(want[BlockSize-500:], patch)
+	if !bytes.Equal(got, want) {
+		t.Fatal("cross-block partial write corrupted data")
+	}
+}
+
+func TestLargeFileIndirectAndDoubleIndirect(t *testing.T) {
+	r := newFsRig(t, 2048)
+	ino := r.create(t, "big")
+	// Write one block past the single-indirect region (block NDirect +
+	// PtrsPerBlock + 3 → double indirect).
+	fbn := int64(NDirect + PtrsPerBlock + 3)
+	data := bytes.Repeat([]byte{0xCD}, BlockSize)
+	r.write(t, ino, uint64(fbn)*BlockSize, data)
+
+	got, _ := r.readAll(t, ino, uint64(fbn)*BlockSize, BlockSize)
+	if !bytes.Equal(got, data) {
+		t.Fatal("double-indirect block round trip failed")
+	}
+	var attr Attr
+	r.fs.Getattr(ino, func(a Attr, err error) { attr = a })
+	r.run(t)
+	if attr.Size != uint64(fbn+1)*BlockSize {
+		t.Fatalf("size = %d", attr.Size)
+	}
+	// The blocks before it are holes and read as zeros.
+	hole, _ := r.readAll(t, ino, 0, BlockSize)
+	if !bytes.Equal(hole, make([]byte, BlockSize)) {
+		t.Fatal("hole did not read as zeros")
+	}
+}
+
+func TestReaddirAndRemove(t *testing.T) {
+	r := newFsRig(t, 256)
+	names := []string{"a", "b", "c"}
+	for _, n := range names {
+		r.create(t, n)
+	}
+	var ents []Dirent
+	r.fs.Readdir(RootIno, func(es []Dirent, err error) {
+		if err != nil {
+			t.Fatalf("Readdir: %v", err)
+		}
+		ents = es
+	})
+	r.run(t)
+	if len(ents) != 3 {
+		t.Fatalf("entries = %v", ents)
+	}
+
+	removed := false
+	r.fs.Remove(RootIno, "b", func(err error) {
+		if err != nil {
+			t.Fatalf("Remove: %v", err)
+		}
+		removed = true
+	})
+	r.run(t)
+	if !removed {
+		t.Fatal("remove did not complete")
+	}
+	r.fs.Lookup(RootIno, "b", func(_ uint32, err error) {
+		if !errors.Is(err, ErrNotFound) {
+			t.Fatalf("Lookup after remove: %v", err)
+		}
+	})
+	r.run(t)
+	// The slot is reused.
+	r.create(t, "d")
+	r.fs.Readdir(RootIno, func(es []Dirent, err error) { ents = es })
+	r.run(t)
+	if len(ents) != 3 {
+		t.Fatalf("entries after reuse = %v", ents)
+	}
+}
+
+func TestRemoveFreesBlocks(t *testing.T) {
+	r := newFsRig(t, 256)
+	ino := r.create(t, "victim")
+	r.write(t, ino, 0, make([]byte, 20*BlockSize)) // spans indirect
+	r.fs.Remove(RootIno, "victim", func(err error) {
+		if err != nil {
+			t.Fatalf("Remove: %v", err)
+		}
+	})
+	r.run(t)
+	// The inode is dead (checked before its number can be recycled).
+	r.fs.Getattr(ino, func(_ Attr, err error) {
+		if err == nil {
+			t.Fatal("removed inode still live")
+		}
+	})
+	r.run(t)
+	// A new file can reuse the space; allocation succeeds repeatedly.
+	ino2 := r.create(t, "next")
+	r.write(t, ino2, 0, make([]byte, 20*BlockSize))
+	var attr Attr
+	r.fs.Getattr(ino2, func(a Attr, err error) {
+		if err != nil {
+			t.Fatalf("Getattr: %v", err)
+		}
+		attr = a
+	})
+	r.run(t)
+	if attr.Size != 20*BlockSize {
+		t.Fatalf("size = %d", attr.Size)
+	}
+}
+
+func TestTruncateShrink(t *testing.T) {
+	r := newFsRig(t, 256)
+	ino := r.create(t, "t")
+	r.write(t, ino, 0, bytes.Repeat([]byte{1}, 5*BlockSize))
+	r.fs.Truncate(ino, BlockSize+10, func(err error) {
+		if err != nil {
+			t.Fatalf("Truncate: %v", err)
+		}
+	})
+	r.run(t)
+	var attr Attr
+	r.fs.Getattr(ino, func(a Attr, err error) { attr = a })
+	r.run(t)
+	if attr.Size != BlockSize+10 {
+		t.Fatalf("size = %d", attr.Size)
+	}
+	got, eof := r.readAll(t, ino, 0, 10*BlockSize)
+	if len(got) != BlockSize+10 || !eof {
+		t.Fatalf("read after truncate: %d bytes eof=%v", len(got), eof)
+	}
+}
+
+func TestSyncPersistsToDisk(t *testing.T) {
+	r := newFsRig(t, 256)
+	ino := r.create(t, "durable")
+	data := bytes.Repeat([]byte{0x5A}, BlockSize)
+	r.write(t, ino, 0, data)
+	r.fs.Sync(func(err error) {
+		if err != nil {
+			t.Fatalf("Sync: %v", err)
+		}
+	})
+	r.run(t)
+	// Find the data block via a second mount on the same disk.
+	eng2 := sim.NewEngine()
+	node2 := simnet.NewNode(eng2, "app2", simnet.DefaultProfile())
+	// Transplant disk contents: reuse the same MemDisk but a new engine
+	// is not possible (its arm belongs to the old engine) — instead
+	// verify through the original rig after dropping the cache.
+	_ = eng2
+	_ = node2
+	found := false
+	for lbn := r.fs.Super().DataStart; lbn < r.fs.Super().DataStart+64; lbn++ {
+		if bytes.Equal(r.disk.PeekBlock(lbn), data) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("synced data not on disk")
+	}
+}
+
+func TestCreateDuplicateFails(t *testing.T) {
+	r := newFsRig(t, 256)
+	r.create(t, "dup")
+	r.fs.Create(RootIno, "dup", ModeFile, func(_ uint32, err error) {
+		if !errors.Is(err, ErrExists) {
+			t.Fatalf("duplicate create: %v", err)
+		}
+	})
+	r.run(t)
+}
+
+func TestLookupErrors(t *testing.T) {
+	r := newFsRig(t, 256)
+	r.fs.Lookup(RootIno, "ghost", func(_ uint32, err error) {
+		if !errors.Is(err, ErrNotFound) {
+			t.Fatalf("missing lookup: %v", err)
+		}
+	})
+	ino := r.create(t, "plain")
+	r.run(t)
+	r.fs.Lookup(ino, "x", func(_ uint32, err error) {
+		if !errors.Is(err, ErrNotDir) {
+			t.Fatalf("lookup in file: %v", err)
+		}
+	})
+	r.run(t)
+}
+
+func TestMkdirAndNestedFiles(t *testing.T) {
+	r := newFsRig(t, 256)
+	var dir uint32
+	r.fs.Create(RootIno, "subdir", ModeDir, func(i uint32, err error) {
+		if err != nil {
+			t.Fatalf("mkdir: %v", err)
+		}
+		dir = i
+	})
+	r.run(t)
+	var ino uint32
+	r.fs.Create(dir, "inner", ModeFile, func(i uint32, err error) {
+		if err != nil {
+			t.Fatalf("create nested: %v", err)
+		}
+		ino = i
+	})
+	r.run(t)
+	r.write(t, ino, 0, []byte("nested"))
+	got, _ := r.readAll(t, ino, 0, 100)
+	if string(got) != "nested" {
+		t.Fatalf("nested read = %q", got)
+	}
+	// Removing a non-empty directory fails.
+	r.fs.Remove(RootIno, "subdir", func(err error) {
+		if !errors.Is(err, ErrNotEmpty) {
+			t.Fatalf("remove non-empty dir: %v", err)
+		}
+	})
+	r.run(t)
+	// Empty it, then remove.
+	r.fs.Remove(dir, "inner", func(err error) {
+		if err != nil {
+			t.Fatalf("remove inner: %v", err)
+		}
+	})
+	r.run(t)
+	r.fs.Remove(RootIno, "subdir", func(err error) {
+		if err != nil {
+			t.Fatalf("remove empty dir: %v", err)
+		}
+	})
+	r.run(t)
+}
+
+func TestManyFilesInRoot(t *testing.T) {
+	r := newFsRig(t, 512)
+	// Enough files to spill the root directory into a second block.
+	for i := 0; i < DirentsPerBlock+10; i++ {
+		r.create(t, fmtName(i))
+	}
+	var ents []Dirent
+	r.fs.Readdir(RootIno, func(es []Dirent, err error) {
+		if err != nil {
+			t.Fatalf("Readdir: %v", err)
+		}
+		ents = es
+	})
+	r.run(t)
+	if len(ents) != DirentsPerBlock+10 {
+		t.Fatalf("entries = %d, want %d", len(ents), DirentsPerBlock+10)
+	}
+}
+
+func fmtName(i int) string {
+	return "file-" + string(rune('a'+i/26)) + string(rune('a'+i%26))
+}

@@ -1,0 +1,506 @@
+package extfs
+
+import (
+	"fmt"
+
+	"ncache/internal/buffercache"
+	"ncache/internal/sim"
+	"ncache/internal/simnet"
+)
+
+// FS is a mounted volume. All operations are asynchronous: they resolve
+// through the buffer cache (and, on misses, the iSCSI initiator beneath it)
+// and complete in simulation-event context. Per-block file system logic is
+// charged to the node's CPU.
+type FS struct {
+	cache *buffercache.Cache
+	node  *simnet.Node
+	sb    SuperBlock
+
+	blockHint int64
+	inodeHint uint32
+
+	// materializer converts a logical (key-carrying) block back to real
+	// bytes when the file system must mutate it directly (EOF-boundary
+	// zeroing). The pass-through assembly installs the NCache-aware
+	// implementation; the default zero-fills.
+	materializer func(*buffercache.Block)
+}
+
+// SetMaterializer installs the logical-block materializer.
+func (fs *FS) SetMaterializer(fn func(*buffercache.Block)) { fs.materializer = fn }
+
+// materialize turns a logical block into a real one.
+func (fs *FS) materialize(b *buffercache.Block) {
+	if !b.Logical {
+		return
+	}
+	if fs.materializer != nil {
+		fs.materializer(b)
+		return
+	}
+	for i := range b.Data {
+		b.Data[i] = 0
+	}
+	b.Logical = false
+}
+
+// Attr is the subset of file attributes NFS serves.
+type Attr struct {
+	Mode  uint16
+	Links uint16
+	Size  uint64
+}
+
+// Extent is one piece of a read result: a byte range within a pinned cache
+// block, or a hole. The caller must Unpin non-hole extents via Done.
+type Extent struct {
+	// Block is nil for holes.
+	Block *buffercache.Block
+	// Off and Len locate the range within the block (or the hole length).
+	Off, Len int
+}
+
+// ReadResult carries a completed read.
+type ReadResult struct {
+	Extents []Extent
+	// N is the number of bytes covered (may be less than requested at EOF).
+	N int
+	// EOF reports that the read reached end of file.
+	EOF bool
+	// Attr carries the file's attributes (NFS replies include them).
+	Attr Attr
+}
+
+// Done unpins every extent. Call exactly once when finished with the data.
+func (r *ReadResult) Done(fs *FS) {
+	for _, e := range r.Extents {
+		if e.Block != nil {
+			fs.cache.Unpin(e.Block)
+		}
+	}
+	r.Extents = nil
+}
+
+// Filler moves payload into a cache block during a write: blockOff/count
+// locate the destination range in b.Data, srcOff the source range in the
+// caller's payload. The filler performs (and its caller charges) the actual
+// data movement — physical copy, key stamp, or nothing, depending on the
+// server configuration.
+type Filler func(b *buffercache.Block, blockOff, count, srcOff int)
+
+// Mount reads the superblock and returns a mounted FS.
+func Mount(node *simnet.Node, cache *buffercache.Cache, done func(*FS, error)) {
+	cache.Get(0, true, func(b *buffercache.Block, err error) {
+		if err != nil {
+			done(nil, fmt.Errorf("mount: %w", err))
+			return
+		}
+		sb, serr := DecodeSuper(b.Data)
+		cache.Unpin(b)
+		if serr != nil {
+			done(nil, serr)
+			return
+		}
+		fs := &FS{
+			cache:     cache,
+			node:      node,
+			sb:        sb,
+			blockHint: sb.DataStart,
+			inodeHint: RootIno + 1,
+		}
+		done(fs, nil)
+	})
+}
+
+// Super returns the superblock.
+func (fs *FS) Super() SuperBlock { return fs.sb }
+
+// Cache returns the underlying buffer cache.
+func (fs *FS) Cache() *buffercache.Cache { return fs.cache }
+
+// charge bills per-block file system logic to the node CPU.
+func (fs *FS) charge(blocks int, then func()) {
+	fs.node.Charge(sim.Duration(blocks)*fs.node.Cost.FSBlockNs, then)
+}
+
+// ---- inode table access ----
+
+// GetInode reads an inode.
+func (fs *FS) GetInode(ino uint32, done func(Inode, error)) {
+	if ino == 0 || ino >= fs.sb.NumInodes {
+		done(Inode{}, fmt.Errorf("%w: %d", ErrBadIno, ino))
+		return
+	}
+	blk := fs.sb.InodeTableStart + int64(ino)/InodesPerBlock
+	off := (int64(ino) % InodesPerBlock) * InodeSize
+	fs.cache.Get(blk, true, func(b *buffercache.Block, err error) {
+		if err != nil {
+			done(Inode{}, err)
+			return
+		}
+		node := DecodeInode(b.Data[off : off+InodeSize])
+		fs.cache.Unpin(b)
+		done(node, nil)
+	})
+}
+
+// putInode writes an inode back.
+func (fs *FS) putInode(ino uint32, in Inode, done func(error)) {
+	blk := fs.sb.InodeTableStart + int64(ino)/InodesPerBlock
+	off := (int64(ino) % InodesPerBlock) * InodeSize
+	fs.cache.Get(blk, true, func(b *buffercache.Block, err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		EncodeInode(in, b.Data[off:off+InodeSize])
+		fs.cache.MarkDirty(b)
+		fs.cache.Unpin(b)
+		done(nil)
+	})
+}
+
+// Getattr returns a file's attributes.
+func (fs *FS) Getattr(ino uint32, done func(Attr, error)) {
+	fs.GetInode(ino, func(in Inode, err error) {
+		if err != nil {
+			done(Attr{}, err)
+			return
+		}
+		if in.Mode == ModeFree {
+			done(Attr{}, ErrNotFound)
+			return
+		}
+		done(Attr{Mode: in.Mode, Links: in.Links, Size: in.Size}, nil)
+	})
+}
+
+// ---- bitmap allocation ----
+
+// bitSearch scans a bitmap region for a clear bit, sets it, and returns its
+// index. hint is the index to start from.
+type bitSearch struct {
+	fs         *FS
+	start, len int64 // bitmap region in blocks
+	limit      int64 // number of valid bits
+	hint       int64
+	done       func(int64, error)
+}
+
+func (s *bitSearch) run() {
+	startBlk := s.hint / (BlockSize * 8)
+	s.tryBlock(startBlk, 0)
+}
+
+func (s *bitSearch) tryBlock(blkIdx, scanned int64) {
+	if scanned >= s.len {
+		s.done(0, ErrNoSpace)
+		return
+	}
+	if blkIdx >= s.len {
+		blkIdx = 0
+	}
+	lbn := s.start + blkIdx
+	s.fs.cache.Get(lbn, true, func(b *buffercache.Block, err error) {
+		if err != nil {
+			s.done(0, err)
+			return
+		}
+		base := blkIdx * BlockSize * 8
+		for i, by := range b.Data {
+			if by == 0xff {
+				continue
+			}
+			for bit := 0; bit < 8; bit++ {
+				if by&(1<<bit) == 0 {
+					idx := base + int64(i)*8 + int64(bit)
+					if idx >= s.limit {
+						break
+					}
+					b.Data[i] |= 1 << bit
+					s.fs.cache.MarkDirty(b)
+					s.fs.cache.Unpin(b)
+					s.done(idx, nil)
+					return
+				}
+			}
+		}
+		s.fs.cache.Unpin(b)
+		s.tryBlock(blkIdx+1, scanned+1)
+	})
+}
+
+// clearBit frees one bitmap bit.
+func (fs *FS) clearBit(start, idx int64, done func(error)) {
+	lbn := start + idx/(BlockSize*8)
+	fs.cache.Get(lbn, true, func(b *buffercache.Block, err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		byteIdx := (idx / 8) % BlockSize
+		b.Data[byteIdx] &^= 1 << (idx % 8)
+		fs.cache.MarkDirty(b)
+		fs.cache.Unpin(b)
+		done(nil)
+	})
+}
+
+// allocBlock reserves one data block.
+func (fs *FS) allocBlock(done func(int64, error)) {
+	s := &bitSearch{
+		fs:    fs,
+		start: fs.sb.BlockBitmapStart,
+		len:   fs.sb.BlockBitmapLen,
+		limit: fs.sb.NumBlocks,
+		hint:  fs.blockHint,
+		done: func(idx int64, err error) {
+			if err == nil {
+				fs.blockHint = idx + 1
+			}
+			done(idx, err)
+		},
+	}
+	s.run()
+}
+
+// freeBlock releases a data block and invalidates its cache entry.
+func (fs *FS) freeBlock(lbn int64, done func(error)) {
+	fs.cache.Drop(lbn)
+	fs.clearBit(fs.sb.BlockBitmapStart, lbn, done)
+}
+
+// allocInode reserves an inode number.
+func (fs *FS) allocInode(done func(uint32, error)) {
+	s := &bitSearch{
+		fs:    fs,
+		start: fs.sb.InodeBitmapStart,
+		len:   fs.sb.InodeBitmapLen,
+		limit: int64(fs.sb.NumInodes),
+		hint:  int64(fs.inodeHint),
+		done: func(idx int64, err error) {
+			if err != nil {
+				done(0, ErrNoInodes)
+				return
+			}
+			fs.inodeHint = uint32(idx) + 1
+			done(uint32(idx), nil)
+		},
+	}
+	s.run()
+}
+
+// freeInode releases an inode number.
+func (fs *FS) freeInode(ino uint32, done func(error)) {
+	fs.clearBit(fs.sb.InodeBitmapStart, int64(ino), done)
+}
+
+// allocZeroedBlock reserves a block and zeroes it in cache (for indirect
+// pointer blocks and new directory blocks).
+func (fs *FS) allocZeroedBlock(done func(int64, error)) {
+	fs.allocBlock(func(lbn int64, err error) {
+		if err != nil {
+			done(0, err)
+			return
+		}
+		fs.cache.GetForWrite(lbn, true, func(b *buffercache.Block, err error) {
+			if err != nil {
+				done(0, err)
+				return
+			}
+			for i := range b.Data {
+				b.Data[i] = 0
+			}
+			b.Logical = false
+			fs.cache.MarkDirty(b)
+			fs.cache.Unpin(b)
+			done(lbn, nil)
+		})
+	})
+}
+
+// ---- block mapping ----
+
+// bmap resolves a file block number to a device block, optionally
+// allocating. It returns (0, nil) for holes when alloc is false. The inode
+// is updated in place; the caller persists it if modified (reported via
+// changed). fresh reports that this call allocated the data block — its
+// on-disk content is stale (possibly a freed block's old bytes) and the
+// caller must not read-fill it.
+func (fs *FS) bmap(in *Inode, fbn int64, alloc bool, done func(lbn int64, changed, fresh bool, err error)) {
+	switch {
+	case fbn < 0 || fbn >= MaxFileBlocks:
+		done(0, false, false, fmt.Errorf("%w: block %d", ErrFileTooBig, fbn))
+
+	case fbn < NDirect:
+		cur := int64(in.Direct[fbn])
+		if cur != 0 || !alloc {
+			done(cur, false, false, nil)
+			return
+		}
+		fs.allocBlock(func(lbn int64, err error) {
+			if err != nil {
+				done(0, false, false, err)
+				return
+			}
+			in.Direct[fbn] = uint32(lbn)
+			done(lbn, true, true, nil)
+		})
+
+	case fbn < NDirect+PtrsPerBlock:
+		idx := fbn - NDirect
+		fs.withPtrBlock(int64(in.Indirect), alloc, func(ind int64, inoChanged bool, err error) {
+			if err != nil {
+				done(0, false, false, err)
+				return
+			}
+			if ind == 0 {
+				done(0, false, false, nil) // hole
+				return
+			}
+			if inoChanged {
+				in.Indirect = uint32(ind)
+			}
+			fs.ptrEntry(ind, idx, alloc, func(lbn int64, fresh bool, err error) {
+				done(lbn, inoChanged, fresh, err)
+			})
+		})
+
+	default:
+		idx := fbn - NDirect - PtrsPerBlock
+		outer := idx / PtrsPerBlock
+		inner := idx % PtrsPerBlock
+		fs.withPtrBlock(int64(in.DIndirect), alloc, func(dind int64, inoChanged bool, err error) {
+			if err != nil {
+				done(0, false, false, err)
+				return
+			}
+			if dind == 0 {
+				done(0, false, false, nil)
+				return
+			}
+			if inoChanged {
+				in.DIndirect = uint32(dind)
+			}
+			fs.ptrEntryOrAlloc(dind, outer, alloc, func(ind int64, err error) {
+				if err != nil {
+					done(0, false, false, err)
+					return
+				}
+				if ind == 0 {
+					done(0, inoChanged, false, nil)
+					return
+				}
+				fs.ptrEntry(ind, inner, alloc, func(lbn int64, fresh bool, err error) {
+					done(lbn, inoChanged, fresh, err)
+				})
+			})
+		})
+	}
+}
+
+// withPtrBlock ensures a pointer block exists (allocating if requested).
+func (fs *FS) withPtrBlock(cur int64, alloc bool, done func(lbn int64, changed bool, err error)) {
+	if cur != 0 || !alloc {
+		done(cur, false, nil)
+		return
+	}
+	fs.allocZeroedBlock(func(lbn int64, err error) {
+		done(lbn, true, err)
+	})
+}
+
+// ptrEntry reads (and optionally allocates) entry idx of a pointer block.
+// fresh reports a new allocation.
+func (fs *FS) ptrEntry(ptrBlk, idx int64, alloc bool, done func(int64, bool, error)) {
+	fs.cache.Get(ptrBlk, true, func(b *buffercache.Block, err error) {
+		if err != nil {
+			done(0, false, err)
+			return
+		}
+		off := idx * 4
+		cur := int64(uint32(b.Data[off])<<24 | uint32(b.Data[off+1])<<16 | uint32(b.Data[off+2])<<8 | uint32(b.Data[off+3]))
+		if cur != 0 || !alloc {
+			fs.cache.Unpin(b)
+			done(cur, false, nil)
+			return
+		}
+		fs.allocBlock(func(lbn int64, aerr error) {
+			if aerr != nil {
+				fs.cache.Unpin(b)
+				done(0, false, aerr)
+				return
+			}
+			v := uint32(lbn)
+			b.Data[off] = byte(v >> 24)
+			b.Data[off+1] = byte(v >> 16)
+			b.Data[off+2] = byte(v >> 8)
+			b.Data[off+3] = byte(v)
+			fs.cache.MarkDirty(b)
+			fs.cache.Unpin(b)
+			done(lbn, true, nil)
+		})
+	})
+}
+
+// ptrEntryOrAlloc is ptrEntry but allocates a zeroed pointer block as the
+// entry (for the outer level of double indirection).
+func (fs *FS) ptrEntryOrAlloc(ptrBlk, idx int64, alloc bool, done func(int64, error)) {
+	fs.cache.Get(ptrBlk, true, func(b *buffercache.Block, err error) {
+		if err != nil {
+			done(0, err)
+			return
+		}
+		off := idx * 4
+		cur := int64(uint32(b.Data[off])<<24 | uint32(b.Data[off+1])<<16 | uint32(b.Data[off+2])<<8 | uint32(b.Data[off+3]))
+		if cur != 0 || !alloc {
+			fs.cache.Unpin(b)
+			done(cur, nil)
+			return
+		}
+		fs.allocZeroedBlock(func(lbn int64, aerr error) {
+			if aerr != nil {
+				fs.cache.Unpin(b)
+				done(0, aerr)
+				return
+			}
+			v := uint32(lbn)
+			b.Data[off] = byte(v >> 24)
+			b.Data[off+1] = byte(v >> 16)
+			b.Data[off+2] = byte(v >> 8)
+			b.Data[off+3] = byte(v)
+			fs.cache.MarkDirty(b)
+			fs.cache.Unpin(b)
+			done(lbn, nil)
+		})
+	})
+}
+
+// bmapRange resolves a run of file blocks to device blocks sequentially.
+// freshs marks blocks allocated by this call (stale on-disk content).
+func (fs *FS) bmapRange(in *Inode, fbn int64, count int, alloc bool, done func(lbns []int64, freshs []bool, changed bool, err error)) {
+	lbns := make([]int64, count)
+	freshs := make([]bool, count)
+	anyChanged := false
+	var step func(i int)
+	step = func(i int) {
+		if i == count {
+			done(lbns, freshs, anyChanged, nil)
+			return
+		}
+		fs.bmap(in, fbn+int64(i), alloc, func(lbn int64, changed, fresh bool, err error) {
+			if err != nil {
+				done(nil, nil, anyChanged, err)
+				return
+			}
+			if changed {
+				anyChanged = true
+			}
+			lbns[i] = lbn
+			freshs[i] = fresh
+			step(i + 1)
+		})
+	}
+	step(0)
+}

@@ -1,0 +1,719 @@
+package extfs
+
+import (
+	"fmt"
+
+	"ncache/internal/buffercache"
+)
+
+// Read resolves [off, off+n) of a file into pinned cache-block extents,
+// reading missing runs through the cache with request-sized read-ahead. The
+// caller consumes the extents (copying or key-stamping per its
+// configuration) and must call result.Done.
+func (fs *FS) Read(ino uint32, off uint64, n int, done func(*ReadResult, error)) {
+	fs.GetInode(ino, func(in Inode, err error) {
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		if in.Mode != ModeFile {
+			done(nil, ErrIsDir)
+			return
+		}
+		attr := Attr{Mode: in.Mode, Links: in.Links, Size: in.Size}
+		if off >= in.Size || n == 0 {
+			done(&ReadResult{EOF: true, Attr: attr}, nil)
+			return
+		}
+		if uint64(n) > in.Size-off {
+			n = int(in.Size - off)
+		}
+		first := int64(off / BlockSize)
+		last := int64((off + uint64(n) - 1) / BlockSize)
+		count := int(last - first + 1)
+		fs.bmapRange(&in, first, count, false, func(lbns []int64, _ []bool, _ bool, err error) {
+			if err != nil {
+				done(nil, err)
+				return
+			}
+			fs.charge(count, func() {
+				fs.readExtents(off, n, first, lbns, attr, done)
+			})
+		})
+	})
+}
+
+// readExtents fetches the resolved blocks (coalescing contiguous device
+// runs) and assembles the extent list.
+func (fs *FS) readExtents(off uint64, n int, firstFbn int64, lbns []int64, attr Attr, done func(*ReadResult, error)) {
+	res := &ReadResult{N: n, EOF: off+uint64(n) >= attr.Size, Attr: attr}
+	type slot struct {
+		blk *buffercache.Block
+	}
+	slots := make([]slot, len(lbns))
+	waiting := 1
+	var failed error
+	finish := func(err error) {
+		if err != nil && failed == nil {
+			failed = err
+		}
+		waiting--
+		if waiting != 0 {
+			return
+		}
+		if failed != nil {
+			for _, s := range slots {
+				if s.blk != nil {
+					fs.cache.Unpin(s.blk)
+				}
+			}
+			done(nil, failed)
+			return
+		}
+		// Build extents over the byte range.
+		remaining := n
+		pos := off
+		for i := range lbns {
+			blockOff := 0
+			if i == 0 {
+				blockOff = int(pos % BlockSize)
+			}
+			l := BlockSize - blockOff
+			if l > remaining {
+				l = remaining
+			}
+			res.Extents = append(res.Extents, Extent{Block: slots[i].blk, Off: blockOff, Len: l})
+			remaining -= l
+			pos += uint64(l)
+		}
+		done(res, nil)
+	}
+
+	i := 0
+	for i < len(lbns) {
+		if lbns[i] == 0 {
+			// Hole: zero bytes, no block.
+			i++
+			continue
+		}
+		// Contiguous device run.
+		start := i
+		for i+1 < len(lbns) && lbns[i+1] == lbns[i]+1 {
+			i++
+		}
+		i++
+		runStart, runLen := start, i-start
+		waiting++
+		fs.cache.GetRange(lbns[runStart], runLen, false, func(bs []*buffercache.Block, err error) {
+			if err != nil {
+				finish(err)
+				return
+			}
+			for j, b := range bs {
+				slots[runStart+j].blk = b
+			}
+			finish(nil)
+		})
+	}
+	finish(nil)
+}
+
+// Write applies a filler to [off, off+n) of a file, allocating blocks and
+// growing the file as needed. Whole-block writes skip the read-fill; partial
+// blocks are read first (read-modify-write).
+func (fs *FS) Write(ino uint32, off uint64, n int, filler Filler, done func(error)) {
+	if n == 0 {
+		done(nil)
+		return
+	}
+	fs.GetInode(ino, func(in Inode, err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		if in.Mode != ModeFile {
+			done(ErrIsDir)
+			return
+		}
+		first := int64(off / BlockSize)
+		last := int64((off + uint64(n) - 1) / BlockSize)
+		count := int(last - first + 1)
+		proceed := func() {
+			fs.bmapRange(&in, first, count, true, func(lbns []int64, freshs []bool, changed bool, err error) {
+				if err != nil {
+					done(err)
+					return
+				}
+				fs.charge(count, func() {
+					fs.writeBlocks(&in, off, n, lbns, freshs, filler, func(err error) {
+						if err != nil {
+							done(err)
+							return
+						}
+						end := off + uint64(n)
+						if end > in.Size {
+							in.Size = end
+							changed = true
+						}
+						if changed {
+							fs.putInode(ino, in, done)
+							return
+						}
+						done(nil)
+					})
+				})
+			})
+		}
+		// A write starting beyond a partial EOF block (and not touching
+		// it) makes that block's stale tail readable: zero it first.
+		if off > in.Size && in.Size%BlockSize != 0 && first > int64(in.Size/BlockSize) {
+			fs.zeroTailBeyondEOF(&in, proceed, done)
+			return
+		}
+		proceed()
+	})
+}
+
+// zeroTailBeyondEOF zeroes the readable-after-extension tail of the old EOF
+// boundary block, materializing logical blocks first.
+func (fs *FS) zeroTailBeyondEOF(in *Inode, proceed func(), done func(error)) {
+	boundary := int64(in.Size / BlockSize)
+	fs.bmap(in, boundary, false, func(lbn int64, _, _ bool, err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		if lbn == 0 {
+			proceed()
+			return
+		}
+		fs.cache.Get(lbn, false, func(b *buffercache.Block, err error) {
+			if err != nil {
+				done(err)
+				return
+			}
+			fs.materialize(b)
+			for j := int(in.Size % BlockSize); j < BlockSize; j++ {
+				b.Data[j] = 0
+			}
+			fs.cache.MarkDirty(b)
+			fs.cache.Unpin(b)
+			proceed()
+		})
+	})
+}
+
+// writeBlocks walks the affected blocks, applying the filler.
+func (fs *FS) writeBlocks(in *Inode, off uint64, n int, lbns []int64, freshs []bool, filler Filler, done func(error)) {
+	srcOff := 0
+	pos := off
+	remaining := n
+	var step func(i int)
+	step = func(i int) {
+		if i == len(lbns) {
+			done(nil)
+			return
+		}
+		blockOff := int(pos % BlockSize)
+		l := BlockSize - blockOff
+		if l > remaining {
+			l = remaining
+		}
+		whole := blockOff == 0 && l == BlockSize
+		// A whole-block overwrite needs no fill; neither does a block
+		// lying entirely beyond the current end of file, nor a freshly
+		// allocated block (whose on-disk content is stale — a reused
+		// freed block must read back as zeros outside the written range).
+		blockStart := pos - uint64(blockOff)
+		beyond := blockStart >= in.Size
+		fresh := freshs[i]
+		apply := func(b *buffercache.Block, err error) {
+			if err != nil {
+				done(err)
+				return
+			}
+			if (fresh || beyond) && !whole {
+				// Stale content (reused freed block, or a no-fill
+				// beyond-EOF block): anything the filler doesn't cover
+				// must read back as zeros.
+				for j := range b.Data {
+					b.Data[j] = 0
+				}
+				b.Logical = false
+			}
+			filler(b, blockOff, l, srcOff)
+			if !whole && !fresh && !beyond && blockStart < in.Size && in.Size < pos {
+				// The write starts past the old EOF within this block:
+				// the gap [oldEOF, writeStart) becomes file content and
+				// must read as zeros. This runs after the filler, which
+				// may have materialized a logical block's stale bytes.
+				gapStart := int(in.Size - blockStart)
+				for j := gapStart; j < blockOff; j++ {
+					b.Data[j] = 0
+				}
+			}
+			fs.cache.MarkDirty(b)
+			fs.cache.Unpin(b)
+			srcOff += l
+			pos += uint64(l)
+			remaining -= l
+			step(i + 1)
+		}
+		if whole || beyond || fresh {
+			fs.cache.GetForWrite(lbns[i], false, apply)
+		} else {
+			fs.cache.Get(lbns[i], false, apply)
+		}
+	}
+	step(0)
+}
+
+// ---- directories ----
+
+// dirScan walks a directory's entries. visit returns true to stop; stopped
+// reports whether visit stopped the scan. visit may mutate the block (the
+// scanner marks it dirty when mutate is returned true).
+func (fs *FS) dirScan(in *Inode, visit func(d Dirent, b *buffercache.Block, slotOff int) (stop, mutate bool), done func(stopped bool, err error)) {
+	nblocks := int64((in.Size + BlockSize - 1) / BlockSize)
+	var step func(fbn int64)
+	step = func(fbn int64) {
+		if fbn == nblocks {
+			done(false, nil)
+			return
+		}
+		fs.bmap(in, fbn, false, func(lbn int64, _, _ bool, err error) {
+			if err != nil {
+				done(false, err)
+				return
+			}
+			if lbn == 0 {
+				step(fbn + 1)
+				return
+			}
+			fs.cache.Get(lbn, true, func(b *buffercache.Block, err error) {
+				if err != nil {
+					done(false, err)
+					return
+				}
+				limit := int(in.Size - uint64(fbn)*BlockSize)
+				if limit > BlockSize {
+					limit = BlockSize
+				}
+				for so := 0; so+DirentSize <= limit; so += DirentSize {
+					d := DecodeDirent(b.Data[so : so+DirentSize])
+					stop, mutate := visit(d, b, so)
+					if mutate {
+						fs.cache.MarkDirty(b)
+					}
+					if stop {
+						fs.cache.Unpin(b)
+						done(true, nil)
+						return
+					}
+				}
+				fs.cache.Unpin(b)
+				step(fbn + 1)
+			})
+		})
+	}
+	step(0)
+}
+
+// Lookup resolves name within a directory.
+func (fs *FS) Lookup(dirIno uint32, name string, done func(uint32, error)) {
+	fs.GetInode(dirIno, func(in Inode, err error) {
+		if err != nil {
+			done(0, err)
+			return
+		}
+		if in.Mode != ModeDir {
+			done(0, ErrNotDir)
+			return
+		}
+		var found uint32
+		fs.dirScan(&in, func(d Dirent, _ *buffercache.Block, _ int) (bool, bool) {
+			if d.Ino != 0 && d.Name == name {
+				found = d.Ino
+				return true, false
+			}
+			return false, false
+		}, func(stopped bool, err error) {
+			if err != nil {
+				done(0, err)
+				return
+			}
+			if !stopped {
+				done(0, ErrNotFound)
+				return
+			}
+			done(found, nil)
+		})
+	})
+}
+
+// Readdir lists a directory.
+func (fs *FS) Readdir(dirIno uint32, done func([]Dirent, error)) {
+	fs.GetInode(dirIno, func(in Inode, err error) {
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		if in.Mode != ModeDir {
+			done(nil, ErrNotDir)
+			return
+		}
+		var out []Dirent
+		fs.dirScan(&in, func(d Dirent, _ *buffercache.Block, _ int) (bool, bool) {
+			if d.Ino != 0 {
+				out = append(out, d)
+			}
+			return false, false
+		}, func(_ bool, err error) {
+			if err != nil {
+				done(nil, err)
+				return
+			}
+			done(out, nil)
+		})
+	})
+}
+
+// addDirent inserts an entry, reusing a free slot or extending the
+// directory.
+func (fs *FS) addDirent(dirIno uint32, in Inode, ent Dirent, done func(error)) {
+	inserted := false
+	fs.dirScan(&in, func(d Dirent, b *buffercache.Block, so int) (bool, bool) {
+		if d.Ino == 0 {
+			if err := EncodeDirent(ent, b.Data[so:so+DirentSize]); err != nil {
+				return true, false
+			}
+			inserted = true
+			return true, true
+		}
+		return false, false
+	}, func(stopped bool, err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		if inserted {
+			done(nil)
+			return
+		}
+		// Extend the directory by one block.
+		fbn := int64(in.Size / BlockSize)
+		fs.bmap(&in, fbn, true, func(lbn int64, _, _ bool, err error) {
+			if err != nil {
+				done(err)
+				return
+			}
+			fs.cache.GetForWrite(lbn, true, func(b *buffercache.Block, err error) {
+				if err != nil {
+					done(err)
+					return
+				}
+				for i := range b.Data {
+					b.Data[i] = 0
+				}
+				if err := EncodeDirent(ent, b.Data[0:DirentSize]); err != nil {
+					fs.cache.Unpin(b)
+					done(err)
+					return
+				}
+				fs.cache.MarkDirty(b)
+				fs.cache.Unpin(b)
+				in.Size += BlockSize
+				fs.putInode(dirIno, in, done)
+			})
+		})
+	})
+}
+
+// Create makes a new file or directory entry in dirIno.
+func (fs *FS) Create(dirIno uint32, name string, mode uint16, done func(uint32, error)) {
+	if len(name) > MaxNameLen {
+		done(0, ErrNameTooLong)
+		return
+	}
+	fs.Lookup(dirIno, name, func(_ uint32, err error) {
+		if err == nil {
+			done(0, ErrExists)
+			return
+		}
+		if err != ErrNotFound {
+			done(0, err)
+			return
+		}
+		fs.GetInode(dirIno, func(dir Inode, err error) {
+			if err != nil {
+				done(0, err)
+				return
+			}
+			if dir.Mode != ModeDir {
+				done(0, ErrNotDir)
+				return
+			}
+			fs.allocInode(func(ino uint32, err error) {
+				if err != nil {
+					done(0, err)
+					return
+				}
+				fs.putInode(ino, Inode{Mode: mode, Links: 1}, func(err error) {
+					if err != nil {
+						done(0, err)
+						return
+					}
+					fs.addDirent(dirIno, dir, Dirent{Ino: ino, Name: name}, func(err error) {
+						if err != nil {
+							done(0, err)
+							return
+						}
+						done(ino, nil)
+					})
+				})
+			})
+		})
+	})
+}
+
+// Truncate frees a file's blocks beyond newSize and updates its size.
+func (fs *FS) Truncate(ino uint32, newSize uint64, done func(error)) {
+	fs.GetInode(ino, func(in Inode, err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		if in.Mode != ModeFile {
+			done(ErrIsDir)
+			return
+		}
+		keep := int64((newSize + BlockSize - 1) / BlockSize)
+		nblocks := int64((in.Size + BlockSize - 1) / BlockSize)
+		// Growing across a partial last block exposes its tail: zero it
+		// for literal blocks. Logical (key-carrying) blocks are the data
+		// path's business — the NFS backend grows them with a zero-write
+		// through the mode's filler, which materializes first.
+		if newSize > in.Size && in.Size%BlockSize != 0 {
+			boundary := int64(in.Size / BlockSize)
+			fs.bmap(&in, boundary, false, func(lbn int64, _, _ bool, err error) {
+				if err != nil || lbn == 0 {
+					fs.truncateTo(ino, in, keep, nblocks, newSize, done)
+					return
+				}
+				fs.cache.Get(lbn, false, func(b *buffercache.Block, gerr error) {
+					if gerr == nil {
+						if !b.Logical {
+							start := int(in.Size % BlockSize)
+							end := int(newSize - uint64(boundary)*BlockSize)
+							if end > BlockSize {
+								end = BlockSize
+							}
+							for j := start; j < end; j++ {
+								b.Data[j] = 0
+							}
+							fs.cache.MarkDirty(b)
+						}
+						fs.cache.Unpin(b)
+					}
+					fs.truncateTo(ino, in, keep, nblocks, newSize, done)
+				})
+			})
+			return
+		}
+		fs.truncateTo(ino, in, keep, nblocks, newSize, done)
+	})
+}
+
+// truncateTo frees blocks past keep and persists the new size.
+func (fs *FS) truncateTo(ino uint32, in Inode, keep, nblocks int64, newSize uint64, done func(error)) {
+	var step func(fbn int64)
+	step = func(fbn int64) {
+		if fbn >= nblocks {
+			in.Size = newSize
+			// Drop pointer blocks that are now entirely unused.
+			if keep <= NDirect {
+				if in.Indirect != 0 {
+					fs.cache.Drop(int64(in.Indirect))
+					ind := int64(in.Indirect)
+					in.Indirect = 0
+					fs.freeBlock(ind, func(error) {})
+				}
+				if in.DIndirect != 0 {
+					fs.cache.Drop(int64(in.DIndirect))
+					dind := int64(in.DIndirect)
+					in.DIndirect = 0
+					fs.freeBlock(dind, func(error) {})
+				}
+			}
+			fs.putInode(ino, in, done)
+			return
+		}
+		fs.bmap(&in, fbn, false, func(lbn int64, _, _ bool, err error) {
+			if err != nil {
+				done(err)
+				return
+			}
+			if lbn == 0 {
+				step(fbn + 1)
+				return
+			}
+			if fbn < NDirect {
+				in.Direct[fbn] = 0
+			}
+			fs.freeBlock(lbn, func(err error) {
+				if err != nil {
+					done(err)
+					return
+				}
+				step(fbn + 1)
+			})
+		})
+	}
+	step(keep)
+}
+
+// Remove unlinks a name and frees its inode and blocks. Directories must be
+// empty. Validation happens before the directory entry is cleared, so a
+// failed removal leaves the tree intact.
+func (fs *FS) Remove(dirIno uint32, name string, done func(error)) {
+	fs.Lookup(dirIno, name, func(target uint32, err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		fs.GetInode(target, func(in Inode, err error) {
+			if err != nil {
+				done(err)
+				return
+			}
+			unlink := func() {
+				fs.GetInode(dirIno, func(dir Inode, err error) {
+					if err != nil {
+						done(err)
+						return
+					}
+					fs.dirScan(&dir, func(d Dirent, b *buffercache.Block, so int) (bool, bool) {
+						if d.Ino == target && d.Name == name {
+							for i := so; i < so+DirentSize; i++ {
+								b.Data[i] = 0
+							}
+							return true, true
+						}
+						return false, false
+					}, func(stopped bool, err error) {
+						if err != nil {
+							done(err)
+							return
+						}
+						if !stopped {
+							done(ErrNotFound)
+							return
+						}
+						fs.destroyInode(target, in, done)
+					})
+				})
+			}
+			if in.Mode == ModeDir {
+				fs.ensureDirEmpty(target, func(err error) {
+					if err != nil {
+						done(err)
+						return
+					}
+					unlink()
+				})
+				return
+			}
+			unlink()
+		})
+	})
+}
+
+// ensureDirEmpty fails with ErrNotEmpty if the directory has live entries.
+func (fs *FS) ensureDirEmpty(ino uint32, done func(error)) {
+	fs.Readdir(ino, func(ents []Dirent, err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		if len(ents) != 0 {
+			done(ErrNotEmpty)
+			return
+		}
+		done(nil)
+	})
+}
+
+// destroyInode frees an inode's data blocks and the inode itself.
+func (fs *FS) destroyInode(ino uint32, in Inode, done func(error)) {
+	if in.Mode == ModeFile {
+		fs.Truncate(ino, 0, func(err error) {
+			if err != nil {
+				done(err)
+				return
+			}
+			fs.reapInode(ino, done)
+		})
+		return
+	}
+	// Directory: free its blocks directly.
+	nblocks := int64((in.Size + BlockSize - 1) / BlockSize)
+	var step func(fbn int64)
+	step = func(fbn int64) {
+		if fbn == nblocks {
+			fs.reapInode(ino, done)
+			return
+		}
+		fs.bmap(&in, fbn, false, func(lbn int64, _, _ bool, err error) {
+			if err != nil {
+				done(err)
+				return
+			}
+			if lbn == 0 {
+				step(fbn + 1)
+				return
+			}
+			fs.freeBlock(lbn, func(err error) {
+				if err != nil {
+					done(err)
+					return
+				}
+				step(fbn + 1)
+			})
+		})
+	}
+	step(0)
+}
+
+// reapInode marks an inode free on disk and in the bitmap.
+func (fs *FS) reapInode(ino uint32, done func(error)) {
+	fs.putInode(ino, Inode{}, func(err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		fs.freeInode(ino, done)
+	})
+}
+
+// Sync flushes all dirty cache state.
+func (fs *FS) Sync(done func(error)) { fs.cache.Sync(done) }
+
+// Fsck sanity-checks reachable metadata (superblock bounds, inode modes).
+// It is a testing aid, not a repair tool.
+func (fs *FS) Fsck(done func(error)) {
+	if fs.sb.DataStart <= 0 || fs.sb.DataStart >= fs.sb.NumBlocks {
+		done(fmt.Errorf("extfs: corrupt layout: data start %d of %d", fs.sb.DataStart, fs.sb.NumBlocks))
+		return
+	}
+	fs.GetInode(RootIno, func(in Inode, err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		if in.Mode != ModeDir {
+			done(fmt.Errorf("extfs: root inode is not a directory"))
+			return
+		}
+		done(nil)
+	})
+}

@@ -1,0 +1,299 @@
+package iscsi
+
+import (
+	"errors"
+	"fmt"
+
+	"ncache/internal/blockdev"
+	"ncache/internal/netbuf"
+	"ncache/internal/proto/eth"
+	"ncache/internal/proto/tcp"
+	"ncache/internal/scsi"
+	"ncache/internal/simnet"
+)
+
+// ReadHook intercepts the payload of a completed non-metadata READ before it
+// is handed up to the file system. The NCache module installs one to capture
+// the wire buffers into its LBN cache; the returned chain (possibly a
+// key-carrying placeholder) is what the upper layer sees. This is the
+// receive half of the "two functions invoking socket interface changed"
+// modification (Table 1).
+type ReadHook func(lba int64, blocks int, data *netbuf.Chain) *netbuf.Chain
+
+// WriteHook intercepts the payload of a non-metadata WRITE before it goes to
+// the target. The NCache module uses it to recognize key-carrying flush
+// payloads, substitute the real cached data, and remap FHO entries to LBN
+// entries. The returned chain is transmitted.
+type WriteHook func(lba int64, blocks int, data *netbuf.Chain) *netbuf.Chain
+
+// ReadCache can satisfy a non-metadata READ locally before any command is
+// issued — the network-centric cache serving as a second level below the
+// file-system buffer cache (§3.4). A true return means the chain is the
+// payload and no storage traffic occurs.
+type ReadCache func(lba int64, blocks int) (*netbuf.Chain, bool)
+
+// Errors surfaced by the initiator.
+var (
+	ErrNotConnected = errors.New("iscsi: not connected")
+	ErrCheckCond    = errors.New("iscsi: check condition")
+)
+
+// task tracks one outstanding command.
+type task struct {
+	lba    int64
+	blocks int
+	meta   bool
+	onData func(*netbuf.Chain, error)
+	onDone func(error)
+}
+
+// Initiator is the pass-through server's iSCSI client (the kernel
+// initiator module analogue). It exposes block reads/writes whose payloads
+// travel as netbuf chains, tagged with the metadata/regular-data
+// classification the file system derives from the inode behind each request
+// (§3.3: "the page data structure associated with iSCSI requests contains
+// the inode type information").
+type Initiator struct {
+	node   *simnet.Node
+	tcpT   *tcp.Transport
+	local  eth.Addr
+	conn   *tcp.Conn
+	framer *Framer
+
+	nextITT uint32
+	cmdSN   uint32
+	pending map[uint32]*task
+	geom    blockdev.Geometry
+
+	readHook  ReadHook
+	writeHook WriteHook
+	readCache ReadCache
+
+	// Stats.
+	ReadCmds, WriteCmds uint64
+}
+
+// NewInitiator creates an initiator bound to a local address.
+func NewInitiator(node *simnet.Node, tcpT *tcp.Transport, local eth.Addr) *Initiator {
+	return &Initiator{
+		node:    node,
+		tcpT:    tcpT,
+		local:   local,
+		nextITT: 1,
+		cmdSN:   1,
+		pending: make(map[uint32]*task),
+	}
+}
+
+// SetReadHook installs the receive-side interception point.
+func (i *Initiator) SetReadHook(h ReadHook) { i.readHook = h }
+
+// SetWriteHook installs the transmit-side interception point.
+func (i *Initiator) SetWriteHook(h WriteHook) { i.writeHook = h }
+
+// SetReadCache installs the local second-level read cache.
+func (i *Initiator) SetReadCache(h ReadCache) { i.readCache = h }
+
+// Geometry returns the target device geometry (valid after Connect).
+func (i *Initiator) Geometry() blockdev.Geometry { return i.geom }
+
+// Connect logs in to the target and discovers its geometry.
+func (i *Initiator) Connect(target eth.Addr, done func(error)) {
+	i.tcpT.Connect(i.local, target, Port, func(c *tcp.Conn, err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		i.conn = c
+		i.framer = NewFramer(i.handlePDU)
+		c.SetReceiver(func(data *netbuf.Chain) { i.framer.Push(data) })
+
+		login := PDU{Op: OpLoginReq, Final: true, ITT: i.allocITT(nil)}
+		i.pending[login.ITT] = &task{onDone: func(err error) {
+			if err != nil {
+				done(err)
+				return
+			}
+			i.readCapacity(done)
+		}}
+		i.send(login)
+	})
+}
+
+// readCapacity issues READ CAPACITY(10) and stores the geometry.
+func (i *Initiator) readCapacity(done func(error)) {
+	itt := i.allocITT(nil)
+	i.pending[itt] = &task{onData: func(data *netbuf.Chain, err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		raw := data.Flatten()
+		data.Release()
+		cap10, err := scsi.DecodeReadCapacity(raw)
+		if err != nil {
+			done(err)
+			return
+		}
+		i.geom = blockdev.Geometry{
+			BlockSize: int(cap10.BlockSize),
+			NumBlocks: int64(cap10.LastLBA) + 1,
+		}
+		done(nil)
+	}}
+	cdb := scsi.CDB{Op: scsi.OpReadCapacity10}.Encode()
+	i.send(PDU{Op: OpSCSICmd, Final: true, ITT: itt, CmdSN: i.allocCmdSN(), CDB: cdb})
+}
+
+// Read fetches blocks from the target. meta marks file-system metadata
+// (inodes, directories, bitmaps), which bypasses the NCache read hook. The
+// callback owns the returned chain.
+func (i *Initiator) Read(lba int64, blocks int, meta bool, done func(*netbuf.Chain, error)) {
+	if i.conn == nil {
+		done(nil, ErrNotConnected)
+		return
+	}
+	if !meta && i.readCache != nil {
+		if data, ok := i.readCache(lba, blocks); ok {
+			// Served locally: no iSCSI command, no storage traffic.
+			i.node.Charge(i.node.Cost.NCacheLookupNs, func() {
+				done(data, nil)
+			})
+			return
+		}
+	}
+	i.ReadCmds++
+	itt := i.allocITT(nil)
+	i.pending[itt] = &task{lba: lba, blocks: blocks, meta: meta, onData: done}
+	cdb := scsi.CDB{Op: scsi.OpRead10, LBA: uint32(lba), Blocks: uint16(blocks)}.Encode()
+	i.send(PDU{
+		Op: OpSCSICmd, Final: true, ITT: itt,
+		ExpectedLen: uint32(blocks * i.geom.BlockSize),
+		CmdSN:       i.allocCmdSN(), CDB: cdb,
+	})
+}
+
+// Write stores a payload chain at lba. The initiator takes ownership of the
+// chain; its length must be block-aligned. meta marks file-system metadata.
+func (i *Initiator) Write(lba int64, data *netbuf.Chain, meta bool, done func(error)) {
+	if i.conn == nil {
+		data.Release()
+		done(ErrNotConnected)
+		return
+	}
+	i.WriteCmds++
+	blocks := data.Len() / i.geom.BlockSize
+	if !meta && i.writeHook != nil {
+		data = i.writeHook(lba, blocks, data)
+	}
+	itt := i.allocITT(nil)
+	i.pending[itt] = &task{lba: lba, blocks: blocks, meta: meta, onDone: done}
+	cdb := scsi.CDB{Op: scsi.OpWrite10, LBA: uint32(lba), Blocks: uint16(blocks)}.Encode()
+	i.send(PDU{
+		Op: OpSCSICmd, Final: true, ITT: itt,
+		ExpectedLen: uint32(data.Len()),
+		CmdSN:       i.allocCmdSN(), CDB: cdb,
+		Data: data,
+	})
+}
+
+// send encodes and transmits one PDU, charging per-command CPU.
+func (i *Initiator) send(p PDU) {
+	chain, err := p.Encode()
+	if err != nil {
+		i.fail(p.ITT, err)
+		return
+	}
+	i.node.Charge(i.node.Cost.ISCSIOpNs, func() {
+		if err := i.conn.SendChain(chain); err != nil {
+			i.fail(p.ITT, err)
+		}
+	})
+}
+
+// fail completes a task with an error.
+func (i *Initiator) fail(itt uint32, err error) {
+	t, ok := i.pending[itt]
+	if !ok {
+		return
+	}
+	delete(i.pending, itt)
+	if t.onData != nil {
+		t.onData(nil, err)
+	} else if t.onDone != nil {
+		t.onDone(err)
+	}
+}
+
+// handlePDU processes one response PDU from the target.
+func (i *Initiator) handlePDU(p PDU) {
+	t, ok := i.pending[p.ITT]
+	if !ok {
+		if p.Data != nil {
+			p.Data.Release()
+		}
+		return
+	}
+	i.node.Charge(i.node.Cost.ISCSIOpNs, func() {
+		switch p.Op {
+		case OpLoginResp, OpLogoutResp:
+			delete(i.pending, p.ITT)
+			if p.Data != nil {
+				p.Data.Release()
+			}
+			if t.onDone != nil {
+				t.onDone(nil)
+			}
+		case OpDataIn:
+			delete(i.pending, p.ITT)
+			data := p.Data
+			if data == nil {
+				data = netbuf.NewChain()
+			}
+			if p.HasStatus && p.Status != scsi.StatusGood {
+				data.Release()
+				t.onData(nil, fmt.Errorf("%w: status %#x", ErrCheckCond, p.Status))
+				return
+			}
+			if !t.meta && i.readHook != nil {
+				data = i.readHook(t.lba, t.blocks, data)
+			}
+			t.onData(data, nil)
+		case OpSCSIResp:
+			delete(i.pending, p.ITT)
+			if p.Data != nil {
+				p.Data.Release()
+			}
+			var err error
+			if p.Status != scsi.StatusGood {
+				err = fmt.Errorf("%w: status %#x", ErrCheckCond, p.Status)
+			}
+			if t.onDone != nil {
+				t.onDone(err)
+			} else if t.onData != nil {
+				t.onData(nil, err)
+			}
+		default:
+			if p.Data != nil {
+				p.Data.Release()
+			}
+		}
+	})
+}
+
+// allocITT reserves a task tag.
+func (i *Initiator) allocITT(_ *task) uint32 {
+	itt := i.nextITT
+	i.nextITT++
+	return itt
+}
+
+// allocCmdSN reserves a command sequence number.
+func (i *Initiator) allocCmdSN() uint32 {
+	sn := i.cmdSN
+	i.cmdSN++
+	return sn
+}
+
+// Pending reports outstanding commands.
+func (i *Initiator) Pending() int { return len(i.pending) }

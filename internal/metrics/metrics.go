@@ -1,0 +1,123 @@
+// Package metrics collects the data-path counters the paper's evaluation is
+// built on: physical copy operations and bytes (the quantity NCache
+// eliminates), logical copies (key movements), packet counts, and
+// per-request accounting used to regenerate Table 2.
+package metrics
+
+import "fmt"
+
+// Copies tallies data movement on one node's data path.
+type Copies struct {
+	// PhysicalOps counts payload memcpy operations (one per block moved
+	// between layers, the unit Table 2 reports).
+	PhysicalOps uint64
+	// PhysicalBytes counts payload bytes physically copied.
+	PhysicalBytes uint64
+	// LogicalOps counts key-only ("logical") copies.
+	LogicalOps uint64
+	// ChecksumBytes counts payload bytes walked for software checksumming.
+	ChecksumBytes uint64
+	// Substitutions counts NCache packet-payload substitutions at transmit.
+	Substitutions uint64
+	// Remaps counts FHO→LBN cache re-indexing operations.
+	Remaps uint64
+}
+
+// AddPhysical records one physical copy of n bytes.
+func (c *Copies) AddPhysical(n int) {
+	c.PhysicalOps++
+	c.PhysicalBytes += uint64(n)
+}
+
+// AddLogical records one logical (key) copy.
+func (c *Copies) AddLogical() { c.LogicalOps++ }
+
+// Sub returns the difference c - o (counters since a snapshot o).
+func (c Copies) Sub(o Copies) Copies {
+	return Copies{
+		PhysicalOps:   c.PhysicalOps - o.PhysicalOps,
+		PhysicalBytes: c.PhysicalBytes - o.PhysicalBytes,
+		LogicalOps:    c.LogicalOps - o.LogicalOps,
+		ChecksumBytes: c.ChecksumBytes - o.ChecksumBytes,
+		Substitutions: c.Substitutions - o.Substitutions,
+		Remaps:        c.Remaps - o.Remaps,
+	}
+}
+
+// String summarizes the counters.
+func (c Copies) String() string {
+	return fmt.Sprintf("copies{phys=%d (%d B) logical=%d subst=%d remap=%d}",
+		c.PhysicalOps, c.PhysicalBytes, c.LogicalOps, c.Substitutions, c.Remaps)
+}
+
+// Net tallies wire-level traffic on one node.
+type Net struct {
+	PacketsTx uint64
+	PacketsRx uint64
+	BytesTx   uint64
+	BytesRx   uint64
+}
+
+// Sub returns the difference n - o.
+func (n Net) Sub(o Net) Net {
+	return Net{
+		PacketsTx: n.PacketsTx - o.PacketsTx,
+		PacketsRx: n.PacketsRx - o.PacketsRx,
+		BytesTx:   n.BytesTx - o.BytesTx,
+		BytesRx:   n.BytesRx - o.BytesRx,
+	}
+}
+
+// Cache tallies hit/miss behaviour of a cache layer.
+type Cache struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Writeback uint64
+}
+
+// HitRatio returns hits/(hits+misses), or 0 with no lookups.
+func (c Cache) HitRatio() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}
+
+// Sub returns the difference c - o.
+func (c Cache) Sub(o Cache) Cache {
+	return Cache{
+		Hits:      c.Hits - o.Hits,
+		Misses:    c.Misses - o.Misses,
+		Evictions: c.Evictions - o.Evictions,
+		Writeback: c.Writeback - o.Writeback,
+	}
+}
+
+// Requests tallies application-level operations (NFS ops, HTTP requests).
+type Requests struct {
+	Ops       uint64
+	OpBytes   uint64
+	Errors    uint64
+	ReadOps   uint64
+	WriteOps  uint64
+	MetaOps   uint64
+	ReadBytes uint64
+	// WriteBytes counts payload bytes written by clients.
+	WriteBytes uint64
+}
+
+// Sub returns the difference r - o.
+func (r Requests) Sub(o Requests) Requests {
+	return Requests{
+		Ops:        r.Ops - o.Ops,
+		OpBytes:    r.OpBytes - o.OpBytes,
+		Errors:     r.Errors - o.Errors,
+		ReadOps:    r.ReadOps - o.ReadOps,
+		WriteOps:   r.WriteOps - o.WriteOps,
+		MetaOps:    r.MetaOps - o.MetaOps,
+		ReadBytes:  r.ReadBytes - o.ReadBytes,
+		WriteBytes: r.WriteBytes - o.WriteBytes,
+	}
+}

@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCopiesAccounting(t *testing.T) {
+	var c Copies
+	c.AddPhysical(4096)
+	c.AddPhysical(100)
+	c.AddLogical()
+	if c.PhysicalOps != 2 || c.PhysicalBytes != 4196 || c.LogicalOps != 1 {
+		t.Fatalf("copies = %+v", c)
+	}
+	snap := c
+	c.AddPhysical(1)
+	d := c.Sub(snap)
+	if d.PhysicalOps != 1 || d.PhysicalBytes != 1 || d.LogicalOps != 0 {
+		t.Fatalf("delta = %+v", d)
+	}
+	if !strings.Contains(c.String(), "phys=3") {
+		t.Fatalf("String = %q", c.String())
+	}
+}
+
+func TestNetSub(t *testing.T) {
+	a := Net{PacketsTx: 10, PacketsRx: 20, BytesTx: 100, BytesRx: 200}
+	b := Net{PacketsTx: 4, PacketsRx: 5, BytesTx: 40, BytesRx: 50}
+	d := a.Sub(b)
+	if d.PacketsTx != 6 || d.PacketsRx != 15 || d.BytesTx != 60 || d.BytesRx != 150 {
+		t.Fatalf("delta = %+v", d)
+	}
+}
+
+func TestCacheHitRatio(t *testing.T) {
+	c := Cache{Hits: 75, Misses: 25}
+	if c.HitRatio() != 0.75 {
+		t.Fatalf("ratio = %v", c.HitRatio())
+	}
+	if (Cache{}).HitRatio() != 0 {
+		t.Fatal("empty cache ratio != 0")
+	}
+	d := Cache{Hits: 100, Misses: 30, Evictions: 5, Writeback: 2}.Sub(c)
+	if d.Hits != 25 || d.Misses != 5 || d.Evictions != 5 || d.Writeback != 2 {
+		t.Fatalf("delta = %+v", d)
+	}
+}
+
+func TestRequestsSub(t *testing.T) {
+	a := Requests{Ops: 10, ReadOps: 5, WriteOps: 2, MetaOps: 3, ReadBytes: 500, WriteBytes: 200}
+	d := a.Sub(Requests{Ops: 4, ReadOps: 2, WriteOps: 1, MetaOps: 1, ReadBytes: 100, WriteBytes: 50})
+	if d.Ops != 6 || d.ReadOps != 3 || d.WriteOps != 1 || d.MetaOps != 2 || d.ReadBytes != 400 || d.WriteBytes != 150 {
+		t.Fatalf("delta = %+v", d)
+	}
+}

@@ -1,0 +1,535 @@
+// Package ncache implements the paper's contribution: the network-centric
+// buffer cache. Payloads that pass through the server are kept in their
+// network-ready form (chains of the original wire buffers) and indexed two
+// ways:
+//
+//   - the LBN cache holds data that arrived as iSCSI read responses,
+//     keyed by storage logical block number (§3.4);
+//   - the FHO cache holds data that arrived as NFS write requests,
+//     keyed by file handle + offset.
+//
+// Upper layers see only key-carrying junk blocks (package lkey) and move
+// them with logical copies. The module's three hooks sit exactly where
+// Table 1 puts the kernel modifications:
+//
+//   - CaptureLBN — the iSCSI initiator's receive path;
+//   - CaptureFHO — the NFS server's write-request receive path;
+//   - SubstituteMessage — the transmit path of outgoing replies;
+//   - WriteOut — the iSCSI initiator's transmit path, where dirty
+//     file-system buffers flush and FHO entries remap to LBN entries.
+//
+// Entries are managed LRU with the paper's policy: clean chunks are
+// reclaimed from the cold end first; dirty FHO chunks are pinned until the
+// file system's own flush remaps them (the paper sizes the FS cache small so
+// this always happens before NCache needs the space).
+package ncache
+
+import (
+	"container/list"
+
+	"ncache/internal/lkey"
+	"ncache/internal/netbuf"
+	"ncache/internal/sim"
+	"ncache/internal/simnet"
+)
+
+// EntryOverheadBytes models the per-entry metadata footprint (hash links,
+// LRU links, buffer descriptors). It is what shrinks the effective cache at
+// large working sets in Figure 6(a).
+const EntryOverheadBytes = 512
+
+// Config sizes and tunes a module.
+type Config struct {
+	// CapacityBytes bounds payload + metadata held by the cache.
+	CapacityBytes int64
+	// BlockSize is the file-system block size entries are split into.
+	BlockSize int
+	// DisableRemap turns off FHO→LBN remapping (ablation: flushes then
+	// evict FHO entries instead of re-indexing them).
+	DisableRemap bool
+}
+
+// Stats counts module activity.
+type Stats struct {
+	Captures      uint64 // blocks captured into the cache
+	LBNHits       uint64
+	FHOHits       uint64
+	SubstMisses   uint64 // stamped blocks with no cache entry (junk passes)
+	Remaps        uint64
+	Evictions     uint64
+	PinnedSkips   uint64 // eviction passes blocked by dirty FHO entries
+	Substitutions uint64
+	// SubstBufs counts wire buffers spliced by substitutions (the unit
+	// the driver-hook cost scales with).
+	SubstBufs uint64
+	// L2Hits/L2Misses count file-system cache misses served (or not)
+	// directly from the network-centric cache without storage traffic —
+	// the second-level-cache role of §3.4.
+	L2Hits   uint64
+	L2Misses uint64
+}
+
+// entry is one cached block.
+type entry struct {
+	key     lkey.Key
+	chain   *netbuf.Chain
+	partial netbuf.Partial // inherited payload checksum
+	dirty   bool
+	bytes   int
+	elem    *list.Element
+}
+
+type fhoKey struct {
+	fh  lkey.FH
+	off uint64
+}
+
+// Module is one node's network-centric cache.
+type Module struct {
+	node *simnet.Node
+	cfg  Config
+
+	lbn  map[int64]*entry
+	fho  map[fhoKey]*entry
+	lru  *list.List // front = most recent
+	used int64
+
+	// Stats is the module's activity counters.
+	Stats Stats
+}
+
+// New creates a module on a node.
+func New(node *simnet.Node, cfg Config) *Module {
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = 4096
+	}
+	return &Module{
+		node: node,
+		cfg:  cfg,
+		lbn:  make(map[int64]*entry),
+		fho:  make(map[fhoKey]*entry),
+		lru:  list.New(),
+	}
+}
+
+// UsedBytes reports current occupancy (payload + metadata overhead).
+func (m *Module) UsedBytes() int64 { return m.used }
+
+// Len reports the number of cached entries.
+func (m *Module) Len() int { return m.lru.Len() }
+
+// chargeLookup bills one hash operation.
+func (m *Module) chargeLookup() {
+	m.node.Charge(m.node.Cost.NCacheLookupNs, nil)
+}
+
+// chargeMgmt bills per-block cache management (insert/evict/LRU).
+func (m *Module) chargeMgmt(blocks int) {
+	m.node.Charge(sim.Duration(blocks)*m.node.Cost.NCacheMgmtNs, nil)
+}
+
+// touch moves an entry to the hot end.
+func (m *Module) touch(e *entry) { m.lru.MoveToFront(e.elem) }
+
+// insert adds an entry, evicting as needed.
+func (m *Module) insert(e *entry) {
+	e.elem = m.lru.PushFront(e)
+	m.used += int64(e.bytes + EntryOverheadBytes)
+	m.index(e)
+	m.evict()
+}
+
+// index registers an entry under all identities its key carries.
+func (m *Module) index(e *entry) {
+	if e.key.Flags&lkey.HasLBN != 0 {
+		m.lbn[e.key.LBN] = e
+	}
+	if e.key.Flags&lkey.HasFHO != 0 {
+		m.fho[fhoKey{fh: e.key.FH, off: e.key.Off}] = e
+	}
+}
+
+// unindex removes an entry from all identity maps.
+func (m *Module) unindex(e *entry) {
+	if e.key.Flags&lkey.HasLBN != 0 && m.lbn[e.key.LBN] == e {
+		delete(m.lbn, e.key.LBN)
+	}
+	if e.key.Flags&lkey.HasFHO != 0 {
+		k := fhoKey{fh: e.key.FH, off: e.key.Off}
+		if m.fho[k] == e {
+			delete(m.fho, k)
+		}
+	}
+}
+
+// remove drops an entry entirely.
+func (m *Module) remove(e *entry) {
+	m.unindex(e)
+	if e.elem != nil {
+		m.lru.Remove(e.elem)
+		e.elem = nil
+	}
+	m.used -= int64(e.bytes + EntryOverheadBytes)
+	e.chain.Release()
+}
+
+// evict reclaims cold entries until occupancy fits capacity. Dirty entries
+// (unremapped FHO data — the only copy of client writes) are pinned.
+func (m *Module) evict() {
+	if m.cfg.CapacityBytes <= 0 {
+		return
+	}
+	e := m.lru.Back()
+	for e != nil && m.used > m.cfg.CapacityBytes {
+		ent, ok := e.Value.(*entry)
+		prev := e.Prev()
+		if !ok {
+			e = prev
+			continue
+		}
+		if ent.dirty {
+			m.Stats.PinnedSkips++
+			e = prev
+			continue
+		}
+		m.Stats.Evictions++
+		m.remove(ent)
+		e = prev
+	}
+}
+
+// CaptureLBN is the iSCSI read hook: it captures the payload of a completed
+// regular-data READ into the LBN cache, block by block, and returns the
+// key-carrying junk the upper layers cache instead. Payload bytes are not
+// copied — the entries hold clones of the wire buffers.
+func (m *Module) CaptureLBN(lba int64, blocks int, data *netbuf.Chain) *netbuf.Chain {
+	if blocks <= 0 || data.Len() < blocks*m.cfg.BlockSize {
+		return data
+	}
+	out := netbuf.NewChain()
+	for i := 0; i < blocks; i++ {
+		sub, err := data.Slice(i*m.cfg.BlockSize, m.cfg.BlockSize)
+		if err != nil {
+			sub = netbuf.NewChain()
+		}
+		key := lkey.ForLBN(lba + int64(i))
+		m.storeLBN(key, sub, false)
+		for _, b := range lkey.StampChain(key, m.cfg.BlockSize).Bufs() {
+			out.Append(b)
+		}
+	}
+	m.chargeMgmt(blocks)
+	data.Release()
+	return out
+}
+
+// storeLBN installs (or refreshes) an LBN entry.
+func (m *Module) storeLBN(key lkey.Key, chain *netbuf.Chain, dirty bool) {
+	if old, ok := m.lbn[key.LBN]; ok {
+		m.remove(old)
+	}
+	e := &entry{
+		key:     key,
+		chain:   chain,
+		partial: netbuf.PartialOfChain(chain),
+		dirty:   dirty,
+		bytes:   chain.Len(),
+	}
+	m.Stats.Captures++
+	m.insert(e)
+}
+
+// CaptureFHO is the NFS write-request hook: it captures a block-aligned
+// write payload into the FHO cache and returns stamped junk for the file
+// system to cache. Non-block-aligned payloads pass through untouched (the
+// caller falls back to physical copying, as the paper's small-request path
+// does).
+func (m *Module) CaptureFHO(fh lkey.FH, off uint64, data *netbuf.Chain) *netbuf.Chain {
+	bs := m.cfg.BlockSize
+	n := data.Len()
+	if n == 0 || n%bs != 0 || off%uint64(bs) != 0 {
+		return data
+	}
+	blocks := n / bs
+	out := netbuf.NewChain()
+	for i := 0; i < blocks; i++ {
+		sub, err := data.Slice(i*bs, bs)
+		if err != nil {
+			sub = netbuf.NewChain()
+		}
+		key := lkey.ForFHO(fh, off+uint64(i*bs))
+		k := fhoKey{fh: fh, off: key.Off}
+		if old, ok := m.fho[k]; ok {
+			// Overwrite in place: client rewrote the block before it
+			// was flushed (the Table 2 "overwritten" case).
+			m.remove(old)
+		}
+		e := &entry{
+			key:     key,
+			chain:   sub,
+			partial: netbuf.PartialOfChain(sub),
+			dirty:   true,
+			bytes:   sub.Len(),
+		}
+		m.Stats.Captures++
+		m.insert(e)
+		for _, b := range lkey.StampChain(key, bs).Bufs() {
+			out.Append(b)
+		}
+	}
+	m.chargeMgmt(blocks)
+	data.Release()
+	return out
+}
+
+// lookup finds the freshest entry for a key: FHO first (client writes are
+// always newer), then LBN (§3.4).
+func (m *Module) lookup(key lkey.Key) *entry {
+	if key.Flags&lkey.HasFHO != 0 {
+		if e, ok := m.fho[fhoKey{fh: key.FH, off: key.Off}]; ok {
+			m.Stats.FHOHits++
+			return e
+		}
+	}
+	if key.Flags&lkey.HasLBN != 0 {
+		if e, ok := m.lbn[key.LBN]; ok {
+			m.Stats.LBNHits++
+			return e
+		}
+	}
+	return nil
+}
+
+// SubstituteMessage is the transmit hook: it scans an outgoing message for
+// stamped junk blocks and splices in clones of the cached payloads. Blocks
+// whose entries are gone (or baseline junk with no identities) pass through
+// unchanged. The module owns the input chain and returns the chain to send.
+func (m *Module) SubstituteMessage(payload *netbuf.Chain) *netbuf.Chain {
+	out := netbuf.NewChain()
+	substituted := 0
+	clonedBufs := 0
+	// Checksum inheritance (§1): compose the output's transport-checksum
+	// partial from the per-entry partials captured at receive time, so a
+	// software-checksum transmit path never re-walks substituted payload.
+	// Composition needs 16-bit alignment; block payloads keep it.
+	var ck netbuf.Partial
+	even := true
+	addWalked := func(p []byte) {
+		ck.AddBytes(p)
+		if len(p)%2 == 1 {
+			even = !even
+		}
+	}
+	for _, b := range payload.Bufs() {
+		key, ok := lkey.Parse(b.Bytes())
+		if !ok || key.Flags == 0 {
+			addWalked(b.Bytes())
+			out.Append(b)
+			continue
+		}
+		m.chargeLookup()
+		e := m.lookup(key)
+		if e == nil {
+			m.Stats.SubstMisses++
+			out.Append(b)
+			continue
+		}
+		m.touch(e)
+		// Splice in clones of the cached wire buffers, honoring the
+		// key's sub-block offset (unaligned reads); pad to the junk
+		// block's length so message framing is preserved.
+		want := b.Len()
+		var cl *netbuf.Chain
+		avail := e.chain.Len() - int(key.SubOff)
+		take := want
+		if take > avail {
+			take = avail
+		}
+		if take < 0 {
+			take = 0
+		}
+		if key.SubOff == 0 && take == e.chain.Len() {
+			cl = e.chain.Clone()
+		} else {
+			var err error
+			cl, err = e.chain.Slice(int(key.SubOff), take)
+			if err != nil {
+				cl = netbuf.NewChain()
+			}
+		}
+		clonedBufs += cl.NumBufs()
+		if even && key.SubOff == 0 && take == e.chain.Len() {
+			// Whole-entry splice at even offset: inherit the stored
+			// partial without touching payload bytes.
+			ck = netbuf.Combine(ck, e.partial)
+			if take%2 == 1 {
+				even = !even
+			}
+		} else {
+			for _, cb := range cl.Bufs() {
+				addWalked(cb.Bytes())
+			}
+		}
+		for _, cb := range cl.Bufs() {
+			out.Append(cb)
+		}
+		if short := want - cl.Len(); short > 0 {
+			pb := netbuf.New(0, short)
+			_ = pb.Put(short)
+			addWalked(pb.Bytes())
+			out.Append(pb)
+		}
+		b.Release()
+		substituted++
+	}
+	if substituted > 0 {
+		m.Stats.Substitutions += uint64(substituted)
+		m.Stats.SubstBufs += uint64(clonedBufs)
+		m.node.Copies.Substitutions += uint64(substituted)
+		// The substitution cost scales with the wire buffers spliced —
+		// the driver-level hook touches every outgoing packet.
+		m.node.Charge(sim.Duration(clonedBufs)*m.node.Cost.NCacheSubstNs, nil)
+		out.SetPartial(ck)
+	}
+	return out
+}
+
+// WriteOut is the iSCSI write hook: when the file system flushes a dirty
+// buffer, the outgoing payload is stamped junk. The module substitutes the
+// real cached data and — for FHO entries — performs the remap: the entry is
+// re-indexed under its now-known LBN, replacing any stale LBN entry, and
+// marked clean (the write carrying its data is on its way to storage).
+func (m *Module) WriteOut(lba int64, blocks int, data *netbuf.Chain) *netbuf.Chain {
+	bs := m.cfg.BlockSize
+	if data.Len() != blocks*bs {
+		return data
+	}
+	out := netbuf.NewChain()
+	touched := 0
+	for i := 0; i < blocks; i++ {
+		sub, err := data.Slice(i*bs, bs)
+		if err != nil {
+			sub = netbuf.NewChain()
+		}
+		key, isKey := lkey.FromChain(sub)
+		if !isKey || key.Flags == 0 {
+			for _, b := range sub.Bufs() {
+				out.Append(b)
+			}
+			continue
+		}
+		m.chargeLookup()
+		e := m.lookup(key)
+		if e == nil {
+			m.Stats.SubstMisses++
+			for _, b := range sub.Bufs() {
+				out.Append(b)
+			}
+			continue
+		}
+		touched++
+		blockLBN := lba + int64(i)
+		if e.key.Flags&lkey.HasFHO != 0 && e.dirty {
+			if m.cfg.DisableRemap {
+				// Ablation: flush the data but drop the entry.
+				cl := e.chain.Clone()
+				for _, b := range cl.Bufs() {
+					out.Append(b)
+				}
+				e.dirty = false
+				m.remove(e)
+				sub.Release()
+				continue
+			}
+			// Remap FHO → LBN (§3.4): newer FHO data replaces any
+			// stale LBN entry.
+			m.unindex(e)
+			e.key = e.key.WithLBN(blockLBN)
+			e.key.Flags |= lkey.HasFHO
+			if old, ok := m.lbn[blockLBN]; ok && old != e {
+				m.remove(old)
+			}
+			e.dirty = false
+			m.index(e)
+			m.Stats.Remaps++
+			m.node.Copies.Remaps++
+		}
+		m.touch(e)
+		cl := e.chain.Clone()
+		for _, b := range cl.Bufs() {
+			out.Append(b)
+		}
+		sub.Release()
+	}
+	if touched > 0 {
+		m.node.Charge(sim.Duration(touched)*m.node.Cost.NCacheSubstNs, nil)
+		m.node.Copies.Substitutions += uint64(touched)
+	}
+	data.Release()
+	m.evict()
+	return out
+}
+
+// ServeRead attempts to satisfy a block-read entirely from the LBN cache —
+// the second-level-cache role (§3.4): a file-system buffer-cache miss whose
+// blocks are all resident costs hash lookups and key copies, not an iSCSI
+// round trip. It returns stamped junk (what the buffer cache stores) and
+// true on a full hit; partial hits are treated as misses.
+func (m *Module) ServeRead(lba int64, blocks int) (*netbuf.Chain, bool) {
+	if blocks <= 0 {
+		return nil, false
+	}
+	entries := make([]*entry, blocks)
+	for i := 0; i < blocks; i++ {
+		e, ok := m.lbn[lba+int64(i)]
+		if !ok {
+			m.Stats.L2Misses++
+			m.node.Charge(m.node.Cost.NCacheLookupNs, nil)
+			return nil, false
+		}
+		entries[i] = e
+	}
+	out := netbuf.NewChain()
+	for i, e := range entries {
+		m.touch(e)
+		for _, b := range lkey.StampChain(lkey.ForLBN(lba+int64(i)), m.cfg.BlockSize).Bufs() {
+			out.Append(b)
+		}
+	}
+	m.Stats.L2Hits += uint64(blocks)
+	m.Stats.LBNHits += uint64(blocks)
+	m.node.Charge(sim.Duration(blocks)*m.node.Cost.NCacheLookupNs, nil)
+	return out, true
+}
+
+// Materialize copies a cached entry's payload into dst (a physical copy the
+// caller charges), used when a logical block must become real again — e.g.
+// a partial overwrite of a key-carrying buffer. It reports whether the
+// entry was found.
+func (m *Module) Materialize(key lkey.Key, dst []byte) bool {
+	e := m.lookup(key)
+	if e == nil {
+		return false
+	}
+	m.touch(e)
+	e.chain.Gather(dst)
+	return true
+}
+
+// InvalidateLBN drops an LBN entry (file deletion / block reuse).
+func (m *Module) InvalidateLBN(lbn int64) {
+	if e, ok := m.lbn[lbn]; ok && !e.dirty {
+		m.remove(e)
+	}
+}
+
+// PinnedBytes reports bytes held by dirty (unremapped) FHO entries.
+func (m *Module) PinnedBytes() int64 {
+	var n int64
+	for _, e := range m.fho {
+		if e.dirty {
+			n += int64(e.bytes + EntryOverheadBytes)
+		}
+	}
+	return n
+}

@@ -1,0 +1,219 @@
+// Package netbuf implements the network buffer substrate that everything in
+// this repository moves data through: an analogue of Linux sk_buff / BSD
+// mbuf. A Buf owns a fixed backing array with reserved headroom so protocol
+// layers can prepend headers without copying; a Chain strings Bufs together
+// so a multi-kilobyte payload (an NFS read reply, an iSCSI data-in burst)
+// lives as a list of MTU-sized buffers — the "network-ready format" the
+// NCache paper caches data in.
+//
+// Bufs are reference counted. Go's garbage collector would reclaim them
+// anyway, but the explicit count serves two purposes the paper cares about:
+// pool accounting (network buffers are pinned kernel memory; the amount
+// allocated to NCache bounds the file-system cache, §4.1) and sharing
+// semantics (a cached chain is transmitted by cloning buffer descriptors,
+// never by copying payload bytes).
+package netbuf
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Default geometry, matching the testbed in the paper: 1500-byte Ethernet
+// MTU plus space for Ethernet/IP/UDP-or-TCP headers and a little slack.
+const (
+	// DefaultHeadroom reserves space for the deepest header stack:
+	// Ethernet(14) + IPv4(20) + TCP(20) + RPC/iSCSI framing.
+	DefaultHeadroom = 96
+	// DefaultBufSize is the payload capacity of a standard receive buffer.
+	DefaultBufSize = 1500
+)
+
+var (
+	// ErrNoHeadroom reports a Push larger than the remaining headroom.
+	ErrNoHeadroom = errors.New("netbuf: insufficient headroom")
+	// ErrNoTailroom reports a Put larger than the remaining tailroom.
+	ErrNoTailroom = errors.New("netbuf: insufficient tailroom")
+	// ErrShortBuf reports a Pull or Trim larger than the payload.
+	ErrShortBuf = errors.New("netbuf: operation exceeds payload length")
+)
+
+// Buf is a single network buffer: a backing array with a movable payload
+// window [head, tail).
+type Buf struct {
+	backing []byte
+	head    int
+	tail    int
+	refs    int32
+	pool    *Pool
+	// shared marks descriptors that alias another Buf's backing array
+	// (created by Clone). Shared descriptors must not move payload bytes
+	// in place, only adjust their own window.
+	shared *Buf
+}
+
+// New allocates a standalone Buf (not pool-managed) with the given payload
+// capacity and headroom. Its initial payload is empty.
+func New(headroom, capacity int) *Buf {
+	if headroom < 0 {
+		headroom = 0
+	}
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Buf{
+		backing: make([]byte, headroom+capacity),
+		head:    headroom,
+		tail:    headroom,
+		refs:    1,
+	}
+}
+
+// FromBytes allocates a standalone Buf whose payload is a copy of p, with
+// DefaultHeadroom of header space.
+func FromBytes(p []byte) *Buf {
+	b := New(DefaultHeadroom, len(p))
+	_ = b.Put(len(p))
+	copy(b.Bytes(), p)
+	return b
+}
+
+// Bytes returns the current payload window. The slice aliases the buffer;
+// callers must not retain it across Release.
+func (b *Buf) Bytes() []byte { return b.backing[b.head:b.tail] }
+
+// Len returns the payload length in bytes.
+func (b *Buf) Len() int { return b.tail - b.head }
+
+// Headroom returns the bytes available for Push.
+func (b *Buf) Headroom() int { return b.head }
+
+// Tailroom returns the bytes available for Put.
+func (b *Buf) Tailroom() int { return len(b.backing) - b.tail }
+
+// Capacity returns the total backing size, headroom included.
+func (b *Buf) Capacity() int { return len(b.backing) }
+
+// Refs returns the current reference count (for tests and pool accounting).
+func (b *Buf) Refs() int32 { return b.refs }
+
+// Push grows the payload at the front by n bytes and returns the newly
+// exposed region, analogous to skb_push. Protocol layers write their header
+// into the returned slice.
+func (b *Buf) Push(n int) ([]byte, error) {
+	if n < 0 || n > b.head {
+		return nil, fmt.Errorf("%w: push %d, headroom %d", ErrNoHeadroom, n, b.head)
+	}
+	b.head -= n
+	return b.backing[b.head : b.head+n], nil
+}
+
+// Pull shrinks the payload at the front by n bytes and returns the removed
+// region, analogous to skb_pull. Layers use it to strip headers on receive.
+func (b *Buf) Pull(n int) ([]byte, error) {
+	if n < 0 || n > b.Len() {
+		return nil, fmt.Errorf("%w: pull %d, len %d", ErrShortBuf, n, b.Len())
+	}
+	p := b.backing[b.head : b.head+n]
+	b.head += n
+	return p, nil
+}
+
+// Put grows the payload at the back by n bytes, analogous to skb_put, and
+// returns nil on success. The exposed region is Bytes()[Len()-n:].
+func (b *Buf) Put(n int) error {
+	if n < 0 || n > b.Tailroom() {
+		return fmt.Errorf("%w: put %d, tailroom %d", ErrNoTailroom, n, b.Tailroom())
+	}
+	b.tail += n
+	return nil
+}
+
+// Trim shrinks the payload at the back by n bytes, analogous to skb_trim.
+func (b *Buf) Trim(n int) error {
+	if n < 0 || n > b.Len() {
+		return fmt.Errorf("%w: trim %d, len %d", ErrShortBuf, n, b.Len())
+	}
+	b.tail -= n
+	return nil
+}
+
+// Append copies p into the tailroom, growing the payload. It is a
+// convenience for Put+copy.
+func (b *Buf) Append(p []byte) error {
+	if err := b.Put(len(p)); err != nil {
+		return err
+	}
+	copy(b.backing[b.tail-len(p):b.tail], p)
+	return nil
+}
+
+// Retain increments the reference count and returns b for chaining.
+func (b *Buf) Retain() *Buf {
+	b.refs++
+	if b.shared != nil {
+		b.shared.refs++
+	}
+	return b
+}
+
+// Release decrements the reference count. When the count reaches zero the
+// buffer returns to its pool (if any). Releasing an already-freed buffer is
+// recorded on the pool as a double-free rather than panicking; tests assert
+// the counter stays zero.
+func (b *Buf) Release() {
+	if b.refs <= 0 {
+		if b.pool != nil {
+			b.pool.doubleFrees++
+		}
+		return
+	}
+	b.refs--
+	if b.shared != nil {
+		b.shared.Release()
+		if b.refs == 0 {
+			b.backing = nil
+		}
+		return
+	}
+	if b.refs == 0 && b.pool != nil {
+		b.pool.put(b)
+	}
+}
+
+// Clone returns a new descriptor sharing b's backing array, with an
+// independent payload window — the zero-copy primitive. The clone holds a
+// reference on b; payload bytes are never duplicated. This is what "sending
+// a cached block" does: the cached chain stays in NCache while clones of its
+// descriptors go down to the driver.
+func (b *Buf) Clone() *Buf {
+	root := b
+	if b.shared != nil {
+		root = b.shared
+	}
+	root.refs++
+	return &Buf{
+		backing: b.backing,
+		head:    b.head,
+		tail:    b.tail,
+		refs:    1,
+		shared:  root,
+	}
+}
+
+// Copy returns a deep copy of the payload in a fresh standalone buffer with
+// the same headroom. It reports the number of payload bytes physically
+// copied so callers can charge simulated CPU time.
+func (b *Buf) Copy() (*Buf, int) {
+	n := b.Len()
+	nb := New(b.head, n+b.Tailroom())
+	_ = nb.Put(n)
+	copy(nb.Bytes(), b.Bytes())
+	return nb, n
+}
+
+// String summarizes the buffer geometry for debugging.
+func (b *Buf) String() string {
+	return fmt.Sprintf("Buf{len=%d headroom=%d tailroom=%d refs=%d}",
+		b.Len(), b.Headroom(), b.Tailroom(), b.refs)
+}

@@ -1,0 +1,266 @@
+package netbuf
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestBufGeometry(t *testing.T) {
+	b := New(32, 100)
+	if b.Len() != 0 || b.Headroom() != 32 || b.Tailroom() != 100 {
+		t.Fatalf("fresh buf geometry wrong: %v", b)
+	}
+	if b.Capacity() != 132 {
+		t.Fatalf("Capacity = %d, want 132", b.Capacity())
+	}
+}
+
+func TestBufPushPullRoundTrip(t *testing.T) {
+	b := FromBytes([]byte("payload"))
+	hdr, err := b.Push(4)
+	if err != nil {
+		t.Fatalf("Push: %v", err)
+	}
+	copy(hdr, "HDR:")
+	if got := string(b.Bytes()); got != "HDR:payload" {
+		t.Fatalf("after push: %q", got)
+	}
+	got, err := b.Pull(4)
+	if err != nil {
+		t.Fatalf("Pull: %v", err)
+	}
+	if string(got) != "HDR:" {
+		t.Fatalf("Pull returned %q", got)
+	}
+	if string(b.Bytes()) != "payload" {
+		t.Fatalf("after pull: %q", b.Bytes())
+	}
+}
+
+func TestBufPushBeyondHeadroom(t *testing.T) {
+	b := New(8, 10)
+	if _, err := b.Push(9); !errors.Is(err, ErrNoHeadroom) {
+		t.Fatalf("Push beyond headroom: err = %v, want ErrNoHeadroom", err)
+	}
+	if _, err := b.Push(-1); !errors.Is(err, ErrNoHeadroom) {
+		t.Fatalf("negative Push: err = %v, want ErrNoHeadroom", err)
+	}
+}
+
+func TestBufPutTrim(t *testing.T) {
+	b := New(0, 10)
+	if err := b.Put(6); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	copy(b.Bytes(), "abcdef")
+	if err := b.Trim(2); err != nil {
+		t.Fatalf("Trim: %v", err)
+	}
+	if string(b.Bytes()) != "abcd" {
+		t.Fatalf("after trim: %q", b.Bytes())
+	}
+	if err := b.Put(7); !errors.Is(err, ErrNoTailroom) {
+		t.Fatalf("Put beyond tailroom: err = %v", err)
+	}
+	if err := b.Trim(5); !errors.Is(err, ErrShortBuf) {
+		t.Fatalf("Trim beyond len: err = %v", err)
+	}
+	if _, err := b.Pull(5); !errors.Is(err, ErrShortBuf) {
+		t.Fatalf("Pull beyond len: err = %v", err)
+	}
+}
+
+func TestBufAppend(t *testing.T) {
+	b := New(0, 8)
+	if err := b.Append([]byte("ab")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := b.Append([]byte("cd")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if string(b.Bytes()) != "abcd" {
+		t.Fatalf("Bytes = %q", b.Bytes())
+	}
+	if err := b.Append(make([]byte, 5)); !errors.Is(err, ErrNoTailroom) {
+		t.Fatalf("over-append err = %v", err)
+	}
+}
+
+func TestBufCloneSharesBytes(t *testing.T) {
+	b := FromBytes([]byte("hello world"))
+	cl := b.Clone()
+	if !bytes.Equal(cl.Bytes(), b.Bytes()) {
+		t.Fatal("clone payload differs")
+	}
+	// Windows are independent.
+	if _, err := cl.Pull(6); err != nil {
+		t.Fatalf("Pull on clone: %v", err)
+	}
+	if string(cl.Bytes()) != "world" || string(b.Bytes()) != "hello world" {
+		t.Fatal("clone window not independent")
+	}
+	// Backing is shared: a write through the original shows in the clone.
+	b.Bytes()[6] = 'W'
+	if string(cl.Bytes()) != "World" {
+		t.Fatal("clone does not share backing bytes (copied instead of aliased)")
+	}
+}
+
+func TestBufCloneOfClone(t *testing.T) {
+	b := FromBytes([]byte("abcdef"))
+	c1 := b.Clone()
+	c2 := c1.Clone()
+	if !bytes.Equal(c2.Bytes(), b.Bytes()) {
+		t.Fatal("clone-of-clone payload differs")
+	}
+	c2.Release()
+	c1.Release()
+	b.Release()
+}
+
+func TestBufCopyIsDeep(t *testing.T) {
+	b := FromBytes([]byte("original"))
+	cp, n := b.Copy()
+	if n != 8 {
+		t.Fatalf("Copy reported %d bytes, want 8", n)
+	}
+	b.Bytes()[0] = 'X'
+	if string(cp.Bytes()) != "original" {
+		t.Fatal("Copy aliased the source")
+	}
+}
+
+func TestPoolReuseAndAccounting(t *testing.T) {
+	p := NewPool("rx", 32, 256, 4)
+	var bufs []*Buf
+	for i := 0; i < 4; i++ {
+		b, err := p.Get()
+		if err != nil {
+			t.Fatalf("Get %d: %v", i, err)
+		}
+		bufs = append(bufs, b)
+	}
+	if _, err := p.Get(); err == nil {
+		t.Fatal("Get beyond capacity succeeded")
+	} else {
+		var ex *ErrPoolExhausted
+		if !errors.As(err, &ex) || ex.Cap != 4 {
+			t.Fatalf("want ErrPoolExhausted{Cap:4}, got %v", err)
+		}
+	}
+	if p.Outstanding() != 4 || p.Peak() != 4 {
+		t.Fatalf("Outstanding=%d Peak=%d, want 4/4", p.Outstanding(), p.Peak())
+	}
+	if p.OutstandingBytes() != 4*(32+256) {
+		t.Fatalf("OutstandingBytes = %d", p.OutstandingBytes())
+	}
+	bufs[0].Release()
+	if p.Outstanding() != 3 {
+		t.Fatalf("Outstanding after release = %d, want 3", p.Outstanding())
+	}
+	b, err := p.Get()
+	if err != nil {
+		t.Fatalf("Get after release: %v", err)
+	}
+	if p.Reuses() != 1 {
+		t.Fatalf("Reuses = %d, want 1", p.Reuses())
+	}
+	if b.Len() != 0 || b.Headroom() != 32 {
+		t.Fatal("recycled buffer not reset")
+	}
+	if p.DoubleFrees() != 0 {
+		t.Fatalf("DoubleFrees = %d", p.DoubleFrees())
+	}
+}
+
+func TestPoolDoubleFreeDetected(t *testing.T) {
+	p := NewPool("rx", 0, 64, 0)
+	b, err := p.Get()
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	b.Release()
+	b.Release()
+	if p.DoubleFrees() != 1 {
+		t.Fatalf("DoubleFrees = %d, want 1", p.DoubleFrees())
+	}
+}
+
+func TestPoolCloneKeepsBufferAlive(t *testing.T) {
+	p := NewPool("rx", 0, 64, 0)
+	b, err := p.GetData([]byte("cached"))
+	if err != nil {
+		t.Fatalf("GetData: %v", err)
+	}
+	cl := b.Clone()
+	b.Release() // original reference dropped; clone still holds it
+	if p.Outstanding() != 1 {
+		t.Fatalf("Outstanding = %d, want 1 while clone alive", p.Outstanding())
+	}
+	if string(cl.Bytes()) != "cached" {
+		t.Fatalf("clone lost payload: %q", cl.Bytes())
+	}
+	cl.Release()
+	if p.Outstanding() != 0 {
+		t.Fatalf("Outstanding = %d, want 0 after clone released", p.Outstanding())
+	}
+	if p.DoubleFrees() != 0 {
+		t.Fatalf("DoubleFrees = %d", p.DoubleFrees())
+	}
+}
+
+func TestPoolRetainRelease(t *testing.T) {
+	p := NewPool("rx", 0, 64, 0)
+	b, err := p.Get()
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	b.Retain()
+	b.Release()
+	if p.Outstanding() != 1 {
+		t.Fatal("buffer freed while a retained reference exists")
+	}
+	b.Release()
+	if p.Outstanding() != 0 {
+		t.Fatal("buffer not freed after final release")
+	}
+}
+
+func TestPoolGetDataTooLarge(t *testing.T) {
+	p := NewPool("rx", 0, 8, 0)
+	if _, err := p.GetData(make([]byte, 9)); err == nil {
+		t.Fatal("GetData larger than buf size succeeded")
+	}
+	if p.Outstanding() != 0 {
+		t.Fatal("failed GetData leaked a buffer")
+	}
+}
+
+func TestBufPropertyPushPullInverse(t *testing.T) {
+	f := func(payload []byte, n uint8) bool {
+		b := FromBytes(payload)
+		k := int(n) % (DefaultHeadroom + 1)
+		hdr, err := b.Push(k)
+		if err != nil {
+			return false
+		}
+		for i := range hdr {
+			hdr[i] = byte(i)
+		}
+		got, err := b.Pull(k)
+		if err != nil {
+			return false
+		}
+		for i := range got {
+			if got[i] != byte(i) {
+				return false
+			}
+		}
+		return bytes.Equal(b.Bytes(), payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,302 @@
+package netbuf
+
+import "fmt"
+
+// Chain is an ordered list of Bufs forming one logical payload — the unit
+// NCache stores and substitutes. A 32 KB NFS read reply is a chain of ~22
+// MTU-sized buffers exactly as it arrived from the wire.
+type Chain struct {
+	bufs []*Buf
+	// ck caches the chain's Internet-checksum partial when a producer
+	// (the NCache substitution hook) already knows it — the paper's
+	// checksum inheritance. Any mutation of the chain clears it.
+	ck      Partial
+	ckValid bool
+}
+
+// SetPartial records a precomputed checksum partial for the chain's current
+// payload. The caller asserts it equals PartialOfChain(c).
+func (c *Chain) SetPartial(p Partial) {
+	c.ck = p
+	c.ckValid = true
+}
+
+// CachedPartial returns the inherited checksum partial, if one is recorded.
+func (c *Chain) CachedPartial() (Partial, bool) {
+	return c.ck, c.ckValid
+}
+
+// invalidatePartial drops the cached checksum on mutation.
+func (c *Chain) invalidatePartial() { c.ckValid = false }
+
+// NewChain returns an empty chain.
+func NewChain() *Chain { return &Chain{} }
+
+// ChainOf builds a chain from the given buffers. The chain takes ownership
+// of the callers' references.
+func ChainOf(bufs ...*Buf) *Chain {
+	c := &Chain{bufs: make([]*Buf, len(bufs))}
+	copy(c.bufs, bufs)
+	return c
+}
+
+// ChainFromBytes splits p into standalone buffers of at most segSize payload
+// bytes each, copying the data. It is used to synthesize on-the-wire data in
+// tests and workload generators.
+func ChainFromBytes(p []byte, segSize int) *Chain {
+	if segSize <= 0 {
+		segSize = DefaultBufSize
+	}
+	c := NewChain()
+	for off := 0; off < len(p); off += segSize {
+		end := off + segSize
+		if end > len(p) {
+			end = len(p)
+		}
+		c.Append(FromBytes(p[off:end]))
+	}
+	if len(p) == 0 {
+		c.Append(FromBytes(nil))
+	}
+	return c
+}
+
+// Append adds a buffer to the tail of the chain, taking ownership of the
+// caller's reference.
+func (c *Chain) Append(b *Buf) {
+	c.invalidatePartial()
+	c.bufs = append(c.bufs, b)
+}
+
+// Bufs returns the underlying buffer slice. Callers must not mutate it.
+func (c *Chain) Bufs() []*Buf { return c.bufs }
+
+// NumBufs returns the number of buffers in the chain.
+func (c *Chain) NumBufs() int { return len(c.bufs) }
+
+// Len returns the total payload length across all buffers.
+func (c *Chain) Len() int {
+	n := 0
+	for _, b := range c.bufs {
+		n += b.Len()
+	}
+	return n
+}
+
+// Gather copies the chain's payload into dst and returns the number of bytes
+// written (a physical copy; callers charge CPU time accordingly).
+func (c *Chain) Gather(dst []byte) int {
+	n := 0
+	for _, b := range c.bufs {
+		if n >= len(dst) {
+			break
+		}
+		n += copy(dst[n:], b.Bytes())
+	}
+	return n
+}
+
+// Flatten returns the payload as a single newly allocated byte slice
+// (physical copy).
+func (c *Chain) Flatten() []byte {
+	out := make([]byte, c.Len())
+	c.Gather(out)
+	return out
+}
+
+// Clone returns a new chain whose buffers are zero-copy clones of c's — the
+// logical-copy transmit path. No payload bytes move.
+func (c *Chain) Clone() *Chain {
+	nc := &Chain{bufs: make([]*Buf, len(c.bufs))}
+	for i, b := range c.bufs {
+		nc.bufs[i] = b.Clone()
+	}
+	return nc
+}
+
+// Release drops one reference on every buffer and empties the chain.
+func (c *Chain) Release() {
+	c.invalidatePartial()
+	for _, b := range c.bufs {
+		b.Release()
+	}
+	c.bufs = c.bufs[:0]
+}
+
+// Slice returns a new chain aliasing the byte range [off, off+n) of c using
+// cloned descriptors, without copying payload. It is the primitive behind
+// block-aligned substitution when protocol block sizes mismatch (§3.5).
+func (c *Chain) Slice(off, n int) (*Chain, error) {
+	if off < 0 || n < 0 || off+n > c.Len() {
+		return nil, fmt.Errorf("netbuf: slice [%d,%d) out of range 0..%d", off, off+n, c.Len())
+	}
+	out := NewChain()
+	remaining := n
+	pos := 0
+	for _, b := range c.bufs {
+		if remaining == 0 {
+			break
+		}
+		blen := b.Len()
+		if pos+blen <= off {
+			pos += blen
+			continue
+		}
+		start := 0
+		if off > pos {
+			start = off - pos
+		}
+		take := blen - start
+		if take > remaining {
+			take = remaining
+		}
+		cl := b.Clone()
+		if start > 0 {
+			if _, err := cl.Pull(start); err != nil {
+				cl.Release()
+				out.Release()
+				return nil, err
+			}
+		}
+		if cl.Len() > take {
+			if err := cl.Trim(cl.Len() - take); err != nil {
+				cl.Release()
+				out.Release()
+				return nil, err
+			}
+		}
+		out.Append(cl)
+		remaining -= take
+		pos += blen
+	}
+	return out, nil
+}
+
+// PullHeader removes the first n payload bytes from the chain and returns
+// them. Fully consumed buffers (including leading empty header buffers left
+// behind by lower layers) are released and removed from the chain. When the
+// requested bytes sit in one buffer the returned slice aliases it; when they
+// span buffers they are copied into a fresh slice — headers are small, so
+// this never copies payload-scale data.
+func (c *Chain) PullHeader(n int) ([]byte, error) {
+	c.invalidatePartial()
+	if n < 0 || n > c.Len() {
+		return nil, fmt.Errorf("netbuf: pull header %d, chain len %d", n, c.Len())
+	}
+	c.compact()
+	if len(c.bufs) > 0 && c.bufs[0].Len() >= n {
+		p, err := c.bufs[0].Pull(n)
+		if err != nil {
+			return nil, err
+		}
+		c.compact()
+		return p, nil
+	}
+	out := make([]byte, n)
+	got := 0
+	for got < n {
+		b := c.bufs[0]
+		take := b.Len()
+		if take > n-got {
+			take = n - got
+		}
+		p, err := b.Pull(take)
+		if err != nil {
+			return nil, err
+		}
+		copy(out[got:], p)
+		got += take
+		c.compact()
+	}
+	return out, nil
+}
+
+// PullChain removes the first n payload bytes from the chain and returns
+// them as a new chain, without copying payload: whole buffers move across,
+// and a buffer split by the boundary is cloned with adjusted windows. This
+// is the primitive streams (TCP reassembly, iSCSI PDU framing) consume data
+// with.
+func (c *Chain) PullChain(n int) (*Chain, error) {
+	c.invalidatePartial()
+	if n < 0 || n > c.Len() {
+		return nil, fmt.Errorf("netbuf: pull chain %d, chain len %d", n, c.Len())
+	}
+	out := NewChain()
+	remaining := n
+	c.compact()
+	for remaining > 0 {
+		b := c.bufs[0]
+		if b.Len() <= remaining {
+			out.Append(b)
+			c.bufs[0] = nil
+			c.bufs = c.bufs[1:]
+			remaining -= b.Len()
+		} else {
+			cl := b.Clone()
+			if err := cl.Trim(cl.Len() - remaining); err != nil {
+				cl.Release()
+				return nil, err
+			}
+			out.Append(cl)
+			if _, err := b.Pull(remaining); err != nil {
+				return nil, err
+			}
+			remaining = 0
+		}
+		c.compact()
+	}
+	return out, nil
+}
+
+// compact releases and removes leading zero-length buffers.
+func (c *Chain) compact() {
+	for len(c.bufs) > 0 && c.bufs[0].Len() == 0 {
+		c.bufs[0].Release()
+		c.bufs = c.bufs[1:]
+	}
+}
+
+// Equal reports whether two chains carry identical payload bytes
+// (irrespective of buffer boundaries).
+func (c *Chain) Equal(o *Chain) bool {
+	if c.Len() != o.Len() {
+		return false
+	}
+	// Compare without flattening both: walk in lockstep.
+	ci, co := 0, 0
+	bi, bo := 0, 0
+	for ci < len(c.bufs) && co < len(o.bufs) {
+		a := c.bufs[ci].Bytes()
+		b := o.bufs[co].Bytes()
+		for bi < len(a) && bo < len(b) {
+			if a[bi] != b[bo] {
+				return false
+			}
+			bi++
+			bo++
+		}
+		if bi == len(a) {
+			ci++
+			bi = 0
+		}
+		if bo == len(b) {
+			co++
+			bo = 0
+		}
+	}
+	// Skip trailing empty buffers.
+	for ci < len(c.bufs) && c.bufs[ci].Len() == bi {
+		ci++
+		bi = 0
+	}
+	for co < len(o.bufs) && o.bufs[co].Len() == bo {
+		co++
+		bo = 0
+	}
+	return ci == len(c.bufs) && co == len(o.bufs)
+}
+
+// String summarizes the chain for debugging.
+func (c *Chain) String() string {
+	return fmt.Sprintf("Chain{bufs=%d len=%d}", len(c.bufs), c.Len())
+}

@@ -1,0 +1,292 @@
+package netbuf
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestChainFromBytesSegmentation(t *testing.T) {
+	p := make([]byte, 3500)
+	for i := range p {
+		p[i] = byte(i)
+	}
+	c := ChainFromBytes(p, 1500)
+	if c.NumBufs() != 3 {
+		t.Fatalf("NumBufs = %d, want 3", c.NumBufs())
+	}
+	if c.Len() != 3500 {
+		t.Fatalf("Len = %d, want 3500", c.Len())
+	}
+	if !bytes.Equal(c.Flatten(), p) {
+		t.Fatal("Flatten differs from source")
+	}
+}
+
+func TestChainFromBytesEmpty(t *testing.T) {
+	c := ChainFromBytes(nil, 1500)
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", c.Len())
+	}
+	if c.NumBufs() != 1 {
+		t.Fatalf("NumBufs = %d, want 1 (an empty buffer)", c.NumBufs())
+	}
+}
+
+func TestChainGatherPartial(t *testing.T) {
+	c := ChainFromBytes([]byte("abcdefghij"), 4)
+	dst := make([]byte, 6)
+	if n := c.Gather(dst); n != 6 {
+		t.Fatalf("Gather = %d, want 6", n)
+	}
+	if string(dst) != "abcdef" {
+		t.Fatalf("Gather wrote %q", dst)
+	}
+}
+
+func TestChainCloneZeroCopy(t *testing.T) {
+	c := ChainFromBytes([]byte("shared payload"), 6)
+	cl := c.Clone()
+	if !cl.Equal(c) {
+		t.Fatal("clone payload differs")
+	}
+	// Mutating the original's backing shows through the clone (aliased).
+	c.Bufs()[0].Bytes()[0] = 'S'
+	if cl.Flatten()[0] != 'S' {
+		t.Fatal("chain clone copied payload instead of aliasing")
+	}
+	cl.Release()
+	c.Release()
+}
+
+func TestChainSlice(t *testing.T) {
+	src := []byte("0123456789abcdefghij")
+	c := ChainFromBytes(src, 7) // bufs: 7,7,6
+	for _, tc := range []struct{ off, n int }{
+		{0, 20}, {0, 7}, {3, 8}, {7, 7}, {13, 7}, {19, 1}, {5, 0}, {0, 0},
+	} {
+		s, err := c.Slice(tc.off, tc.n)
+		if err != nil {
+			t.Fatalf("Slice(%d,%d): %v", tc.off, tc.n, err)
+		}
+		if got := s.Flatten(); !bytes.Equal(got, src[tc.off:tc.off+tc.n]) {
+			t.Fatalf("Slice(%d,%d) = %q, want %q", tc.off, tc.n, got, src[tc.off:tc.off+tc.n])
+		}
+		s.Release()
+	}
+}
+
+func TestChainSliceOutOfRange(t *testing.T) {
+	c := ChainFromBytes([]byte("abc"), 2)
+	if _, err := c.Slice(2, 5); err == nil {
+		t.Fatal("out-of-range Slice succeeded")
+	}
+	if _, err := c.Slice(-1, 1); err == nil {
+		t.Fatal("negative-offset Slice succeeded")
+	}
+}
+
+func TestChainEqualDifferentBoundaries(t *testing.T) {
+	a := ChainFromBytes([]byte("hello world!"), 3)
+	b := ChainFromBytes([]byte("hello world!"), 5)
+	if !a.Equal(b) {
+		t.Fatal("chains with same payload, different boundaries not Equal")
+	}
+	c := ChainFromBytes([]byte("hello world?"), 5)
+	if a.Equal(c) {
+		t.Fatal("chains with different payload reported Equal")
+	}
+	d := ChainFromBytes([]byte("hello world"), 5)
+	if a.Equal(d) {
+		t.Fatal("chains with different length reported Equal")
+	}
+}
+
+func TestChainPropertySliceMatchesByteSlice(t *testing.T) {
+	f := func(payload []byte, seg uint8, off, n uint16) bool {
+		s := int(seg)%64 + 1
+		c := ChainFromBytes(payload, s)
+		o := 0
+		if len(payload) > 0 {
+			o = int(off) % (len(payload) + 1)
+		}
+		k := 0
+		if len(payload)-o > 0 {
+			k = int(n) % (len(payload) - o + 1)
+		}
+		sl, err := c.Slice(o, k)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(sl.Flatten(), payload[o:o+k])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChainPullHeaderSingleBuf(t *testing.T) {
+	c := ChainFromBytes([]byte("HDRpayload"), 1500)
+	h, err := c.PullHeader(3)
+	if err != nil {
+		t.Fatalf("PullHeader: %v", err)
+	}
+	if string(h) != "HDR" || string(c.Flatten()) != "payload" {
+		t.Fatalf("h=%q rest=%q", h, c.Flatten())
+	}
+}
+
+func TestChainPullHeaderSkipsEmptyLeaders(t *testing.T) {
+	empty := New(32, 0)
+	c := ChainOf(empty, FromBytes([]byte("abcdef")))
+	h, err := c.PullHeader(4)
+	if err != nil {
+		t.Fatalf("PullHeader: %v", err)
+	}
+	if string(h) != "abcd" {
+		t.Fatalf("h = %q", h)
+	}
+	if c.NumBufs() != 1 {
+		t.Fatalf("empty leader not compacted: %d bufs", c.NumBufs())
+	}
+}
+
+func TestChainPullHeaderSpansBuffers(t *testing.T) {
+	c := ChainFromBytes([]byte("abcdefghij"), 3)
+	h, err := c.PullHeader(7)
+	if err != nil {
+		t.Fatalf("PullHeader: %v", err)
+	}
+	if string(h) != "abcdefg" || string(c.Flatten()) != "hij" {
+		t.Fatalf("h=%q rest=%q", h, c.Flatten())
+	}
+	if _, err := c.PullHeader(4); err == nil {
+		t.Fatal("PullHeader beyond chain length succeeded")
+	}
+	h2, err := c.PullHeader(3)
+	if err != nil || string(h2) != "hij" {
+		t.Fatalf("drain: %q, %v", h2, err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after drain", c.Len())
+	}
+}
+
+func TestChecksumKnownVectors(t *testing.T) {
+	// RFC 1071 example: the checksum of this sequence is well known.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	var s Partial
+	s.AddBytes(data)
+	if got := s.Fold(); got != 0xddf2 {
+		t.Fatalf("Fold = %#x, want 0xddf2", got)
+	}
+	if got := Sum(data); got != ^uint16(0xddf2) {
+		t.Fatalf("Sum = %#x, want %#x", got, ^uint16(0xddf2))
+	}
+}
+
+func TestChecksumOddSplit(t *testing.T) {
+	data := []byte{1, 2, 3, 4, 5, 6, 7}
+	whole := Sum(data)
+	for split := 0; split <= len(data); split++ {
+		var s Partial
+		s.AddBytes(data[:split])
+		s.AddBytes(data[split:])
+		if s.Checksum() != whole {
+			t.Fatalf("split at %d gives %#x, want %#x", split, s.Checksum(), whole)
+		}
+	}
+}
+
+func TestChecksumChainMatchesFlat(t *testing.T) {
+	payload := make([]byte, 4096)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	for _, seg := range []int{1, 3, 64, 1500, 4096} {
+		c := ChainFromBytes(payload, seg)
+		if SumChain(c) != Sum(payload) {
+			t.Fatalf("SumChain(seg=%d) != Sum(flat)", seg)
+		}
+	}
+}
+
+func TestChecksumInheritance(t *testing.T) {
+	// The NCache trick: payload partial stored once, folded with any header.
+	payload := []byte("cached file block contents, never re-walked")
+	hdr := []byte{0x45, 0x00, 0x1, 0x2, 0x3, 0x4} // even length
+	pp := PartialOfChain(ChainFromBytes(payload, 8))
+
+	var hs Partial
+	hs.AddBytes(hdr)
+	combined := Combine(hs, pp)
+
+	var direct Partial
+	direct.AddBytes(hdr)
+	direct.AddBytes(payload)
+	if combined.Checksum() != direct.Checksum() {
+		t.Fatalf("inherited checksum %#x != direct %#x", combined.Checksum(), direct.Checksum())
+	}
+}
+
+func TestChecksumVerifies(t *testing.T) {
+	// Appending the checksum makes the total sum fold to 0xffff.
+	data := []byte("verify me please")
+	ck := Sum(data)
+	var s Partial
+	s.AddBytes(data)
+	s.AddUint16(ck)
+	if s.Fold() != 0xffff {
+		t.Fatalf("sum+checksum folds to %#x, want 0xffff", s.Fold())
+	}
+}
+
+func TestChainCachedPartialLifecycle(t *testing.T) {
+	payload := []byte("cached checksum payload!")
+	c := ChainFromBytes(payload, 8)
+	if _, ok := c.CachedPartial(); ok {
+		t.Fatal("fresh chain has a cached partial")
+	}
+	c.SetPartial(PartialOfChain(c))
+	p, ok := c.CachedPartial()
+	if !ok {
+		t.Fatal("partial not recorded")
+	}
+	if p.Checksum() != Sum(payload) {
+		t.Fatal("recorded partial wrong")
+	}
+	// Mutations invalidate it.
+	c.Append(FromBytes([]byte("x")))
+	if _, ok := c.CachedPartial(); ok {
+		t.Fatal("Append did not invalidate the partial")
+	}
+	c.SetPartial(PartialOfChain(c))
+	if _, err := c.PullHeader(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.CachedPartial(); ok {
+		t.Fatal("PullHeader did not invalidate the partial")
+	}
+	c.SetPartial(PartialOfChain(c))
+	if _, err := c.PullChain(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.CachedPartial(); ok {
+		t.Fatal("PullChain did not invalidate the partial")
+	}
+	c.SetPartial(PartialOfChain(c))
+	c.Release()
+	if _, ok := c.CachedPartial(); ok {
+		t.Fatal("Release did not invalidate the partial")
+	}
+}
+
+func TestChecksumPropertySplitInvariance(t *testing.T) {
+	f := func(data []byte, seg uint8) bool {
+		s := int(seg)%32 + 1
+		return SumChain(ChainFromBytes(data, s)) == Sum(data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+package netbuf
+
+// Internet checksum (RFC 1071) over buffers and chains, with the incremental
+// combination rules NCache relies on: a cached chain's payload checksum is
+// computed once (or inherited from the originator's packets) and folded into
+// each outgoing packet header instead of being recomputed per transmission.
+
+// Partial is an un-folded ones'-complement sum that can be combined
+// incrementally across buffer fragments.
+type Partial struct {
+	sum uint64
+	// odd tracks byte parity so fragments of odd length combine correctly.
+	odd bool
+}
+
+// AddBytes folds the bytes of p into the running sum.
+func (s *Partial) AddBytes(p []byte) {
+	i := 0
+	if s.odd && len(p) > 0 {
+		// The previous fragment ended mid-word: this byte is the low
+		// half of the pending 16-bit word.
+		s.sum += uint64(p[0])
+		i = 1
+		s.odd = false
+	}
+	for ; i+1 < len(p); i += 2 {
+		s.sum += uint64(p[i])<<8 | uint64(p[i+1])
+	}
+	if i < len(p) {
+		s.sum += uint64(p[i]) << 8
+		s.odd = true
+	}
+}
+
+// AddUint16 folds a single big-endian word into the sum. It must only be
+// called on an even byte boundary.
+func (s *Partial) AddUint16(v uint16) {
+	s.sum += uint64(v)
+}
+
+// Fold reduces the running sum to a 16-bit ones'-complement checksum
+// (not yet inverted).
+func (s *Partial) Fold() uint16 {
+	v := s.sum
+	for v > 0xffff {
+		v = (v >> 16) + (v & 0xffff)
+	}
+	return uint16(v)
+}
+
+// Checksum returns the final inverted Internet checksum.
+func (s *Partial) Checksum() uint16 { return ^s.Fold() }
+
+// Sum computes the Internet checksum of a flat byte slice.
+func Sum(p []byte) uint16 {
+	var s Partial
+	s.AddBytes(p)
+	return s.Checksum()
+}
+
+// SumChain computes the Internet checksum across a chain's payload without
+// flattening it.
+func SumChain(c *Chain) uint16 {
+	var s Partial
+	for _, b := range c.Bufs() {
+		s.AddBytes(b.Bytes())
+	}
+	return s.Checksum()
+}
+
+// PartialOfChain returns the un-folded sum of a chain, suitable for
+// inheritance: NCache stores this with each cached entry so the transport
+// checksum of an outgoing packet is header-sum + stored payload-sum, never a
+// re-walk of payload bytes.
+func PartialOfChain(c *Chain) Partial {
+	var s Partial
+	for _, b := range c.Bufs() {
+		s.AddBytes(b.Bytes())
+	}
+	return s
+}
+
+// Combine merges two partial sums where b's data followed a's and a ended on
+// an even byte boundary.
+func Combine(a, b Partial) Partial {
+	return Partial{sum: a.sum + b.sum, odd: b.odd}
+}

@@ -1,0 +1,120 @@
+package netbuf
+
+import "fmt"
+
+// Pool is a bounded allocator of fixed-geometry network buffers, standing in
+// for the device driver's receive-ring allocation in the paper. Buffers from
+// a pool represent pinned physical memory: the total the pool may hand out
+// is capped, and the amount outstanding is what NCache "occupies" — the
+// mechanism §4.1 uses to squeeze the file-system buffer cache.
+type Pool struct {
+	name     string
+	headroom int
+	bufSize  int
+	capacity int // max outstanding buffers; 0 = unlimited
+
+	free        []*Buf
+	outstanding int
+	allocs      uint64
+	reuses      uint64
+	doubleFrees uint64
+	peak        int
+}
+
+// NewPool returns a pool that dispenses buffers with the given headroom and
+// payload capacity, with at most capacity buffers outstanding (0 means
+// unlimited).
+func NewPool(name string, headroom, bufSize, capacity int) *Pool {
+	if headroom < 0 {
+		headroom = 0
+	}
+	if bufSize <= 0 {
+		bufSize = DefaultBufSize
+	}
+	return &Pool{name: name, headroom: headroom, bufSize: bufSize, capacity: capacity}
+}
+
+// ErrPoolExhausted reports that the pool's pinned-memory budget is spent.
+type ErrPoolExhausted struct {
+	Pool string
+	Cap  int
+}
+
+func (e *ErrPoolExhausted) Error() string {
+	return fmt.Sprintf("netbuf: pool %q exhausted (capacity %d buffers)", e.Pool, e.Cap)
+}
+
+// Get returns an empty buffer (payload window at the headroom mark), or an
+// *ErrPoolExhausted when the budget is spent.
+func (p *Pool) Get() (*Buf, error) {
+	if p.capacity > 0 && p.outstanding >= p.capacity {
+		return nil, &ErrPoolExhausted{Pool: p.name, Cap: p.capacity}
+	}
+	p.outstanding++
+	if p.outstanding > p.peak {
+		p.peak = p.outstanding
+	}
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		b.head = p.headroom
+		b.tail = p.headroom
+		b.refs = 1
+		p.reuses++
+		return b, nil
+	}
+	p.allocs++
+	b := New(p.headroom, p.bufSize)
+	b.pool = p
+	return b, nil
+}
+
+// GetData returns a buffer pre-filled with a copy of payload. payload must
+// fit in the pool's buffer size.
+func (p *Pool) GetData(payload []byte) (*Buf, error) {
+	if len(payload) > p.bufSize {
+		return nil, fmt.Errorf("netbuf: payload %d exceeds pool buf size %d", len(payload), p.bufSize)
+	}
+	b, err := p.Get()
+	if err != nil {
+		return nil, err
+	}
+	if err := b.Append(payload); err != nil {
+		b.Release()
+		return nil, err
+	}
+	return b, nil
+}
+
+// put returns a buffer to the free list. Called from Buf.Release.
+func (p *Pool) put(b *Buf) {
+	p.outstanding--
+	p.free = append(p.free, b)
+}
+
+// Outstanding returns the number of buffers currently held by callers.
+func (p *Pool) Outstanding() int { return p.outstanding }
+
+// OutstandingBytes returns the pinned memory represented by outstanding
+// buffers, counting full backing arrays as a driver would.
+func (p *Pool) OutstandingBytes() int { return p.outstanding * (p.headroom + p.bufSize) }
+
+// Peak returns the high-water mark of outstanding buffers.
+func (p *Pool) Peak() int { return p.peak }
+
+// Allocs returns the number of fresh backing-array allocations.
+func (p *Pool) Allocs() uint64 { return p.allocs }
+
+// Reuses returns the number of Get calls satisfied from the free list.
+func (p *Pool) Reuses() uint64 { return p.reuses }
+
+// DoubleFrees returns the number of Release calls on already-free buffers.
+// Tests assert this stays zero.
+func (p *Pool) DoubleFrees() uint64 { return p.doubleFrees }
+
+// BufSize returns the payload capacity of buffers from this pool.
+func (p *Pool) BufSize() int { return p.bufSize }
+
+// Capacity returns the maximum outstanding buffers (0 = unlimited).
+func (p *Pool) Capacity() int { return p.capacity }

@@ -1,0 +1,372 @@
+package nfs
+
+import (
+	"ncache/internal/netbuf"
+	"ncache/internal/proto/eth"
+	"ncache/internal/proto/tcp"
+	"ncache/internal/proto/udp"
+	"ncache/internal/simnet"
+	"ncache/internal/sunrpc"
+	"ncache/internal/xdr"
+)
+
+// RootFH returns the well-known root directory handle.
+func RootFH() FH {
+	var fh FH
+	fh[0], fh[1], fh[2], fh[3] = 0, 0, 0, 1
+	return fh
+}
+
+// rpcCaller abstracts the datagram and stream RPC clients.
+type rpcCaller interface {
+	Call(dst eth.Addr, dstPort uint16, prog, vers, proc uint32, args []byte, payload *netbuf.Chain, done func(sunrpc.Reply, error)) error
+	Pending() int
+}
+
+// Client issues NFS calls to one server.
+type Client struct {
+	rpc    rpcCaller
+	server eth.Addr
+}
+
+// NewClient binds an NFS client on the UDP transport, talking to server.
+func NewClient(t *udp.Transport, local eth.Addr, localPort uint16, server eth.Addr) (*Client, error) {
+	rpc, err := sunrpc.NewClient(t, local, localPort)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{rpc: rpc, server: server}, nil
+}
+
+// DialClientTCP connects an NFS client over TCP (record-marked RPC) and
+// hands it to done once the connection is established.
+func DialClientTCP(node *simnet.Node, t *tcp.Transport, local, server eth.Addr, done func(*Client, error)) {
+	sunrpc.DialStream(node, t, local, server, Port, func(sc *sunrpc.StreamClient, err error) {
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		done(&Client{rpc: sc, server: server}, nil)
+	})
+}
+
+// call issues one NFS RPC.
+func (c *Client) call(proc uint32, args []byte, payload *netbuf.Chain, done func(*netbuf.Chain, error)) {
+	err := c.rpc.Call(c.server, Port, Prog, Vers, proc, args, payload, func(r sunrpc.Reply, err error) {
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		if r.Accept != sunrpc.AcceptSuccess {
+			if r.Body != nil {
+				r.Body.Release()
+			}
+			done(nil, &OpError{Status: ErrIO})
+			return
+		}
+		done(r.Body, nil)
+	})
+	if err != nil {
+		done(nil, err)
+	}
+}
+
+// statusOf pulls the leading status word from a reply body.
+func statusOf(body *netbuf.Chain) (uint32, bool) {
+	raw, err := body.PullHeader(4)
+	if err != nil {
+		return ErrIO, false
+	}
+	return be32(raw), true
+}
+
+// attrOf pulls an attribute block.
+func attrOf(body *netbuf.Chain) (Attr, bool) {
+	raw, err := body.PullHeader(AttrLen)
+	if err != nil {
+		return Attr{}, false
+	}
+	return Attr{Type: be32(raw), Links: be32(raw[4:]), Size: be64(raw[8:])}, true
+}
+
+// finishStatus releases the body and maps a status to an error.
+func finishStatus(body *netbuf.Chain, st uint32, ok bool, done func(error)) {
+	body.Release()
+	if !ok {
+		done(&OpError{Status: ErrIO})
+		return
+	}
+	done(StatusError(st))
+}
+
+// Getattr fetches attributes.
+func (c *Client) Getattr(fh FH, done func(Attr, error)) {
+	c.call(ProcGetattr, fh[:], nil, func(body *netbuf.Chain, err error) {
+		if err != nil {
+			done(Attr{}, err)
+			return
+		}
+		st, ok := statusOf(body)
+		if !ok || st != OK {
+			body.Release()
+			done(Attr{}, orIO(st, ok))
+			return
+		}
+		a, ok := attrOf(body)
+		body.Release()
+		if !ok {
+			done(Attr{}, &OpError{Status: ErrIO})
+			return
+		}
+		done(a, nil)
+	})
+}
+
+// Setattr sets the file size (truncate).
+func (c *Client) Setattr(fh FH, size uint64, done func(Attr, error)) {
+	e := xdr.NewEncoder(FHLen + 8)
+	e.FixedOpaque(fh[:])
+	e.Uint64(size)
+	c.call(ProcSetattr, e.Bytes(), nil, func(body *netbuf.Chain, err error) {
+		if err != nil {
+			done(Attr{}, err)
+			return
+		}
+		st, ok := statusOf(body)
+		if !ok || st != OK {
+			body.Release()
+			done(Attr{}, orIO(st, ok))
+			return
+		}
+		a, ok := attrOf(body)
+		body.Release()
+		if !ok {
+			done(Attr{}, &OpError{Status: ErrIO})
+			return
+		}
+		done(a, nil)
+	})
+}
+
+// Lookup resolves a name.
+func (c *Client) Lookup(dir FH, name string, done func(FH, Attr, error)) {
+	e := xdr.NewEncoder(FHLen + 4 + len(name) + 4)
+	e.FixedOpaque(dir[:])
+	e.String(name)
+	c.call(ProcLookup, e.Bytes(), nil, func(body *netbuf.Chain, err error) {
+		var fh FH
+		if err != nil {
+			done(fh, Attr{}, err)
+			return
+		}
+		st, ok := statusOf(body)
+		if !ok || st != OK {
+			body.Release()
+			done(fh, Attr{}, orIO(st, ok))
+			return
+		}
+		raw, err := body.PullHeader(FHLen)
+		if err != nil {
+			body.Release()
+			done(fh, Attr{}, &OpError{Status: ErrIO})
+			return
+		}
+		copy(fh[:], raw)
+		a, ok := attrOf(body)
+		body.Release()
+		if !ok {
+			done(fh, Attr{}, &OpError{Status: ErrIO})
+			return
+		}
+		done(fh, a, nil)
+	})
+}
+
+// Read fetches [off, off+n). The returned chain holds the data portion of
+// the reply in its original wire buffers; the caller owns it.
+func (c *Client) Read(fh FH, off uint64, n int, done func(*netbuf.Chain, Attr, error)) {
+	e := xdr.NewEncoder(FHLen + 12)
+	e.FixedOpaque(fh[:])
+	e.Uint64(off)
+	e.Uint32(uint32(n))
+	c.call(ProcRead, e.Bytes(), nil, func(body *netbuf.Chain, err error) {
+		if err != nil {
+			done(nil, Attr{}, err)
+			return
+		}
+		st, ok := statusOf(body)
+		if !ok || st != OK {
+			body.Release()
+			done(nil, Attr{}, orIO(st, ok))
+			return
+		}
+		a, ok := attrOf(body)
+		if !ok {
+			body.Release()
+			done(nil, Attr{}, &OpError{Status: ErrIO})
+			return
+		}
+		lraw, err := body.PullHeader(4)
+		if err != nil {
+			body.Release()
+			done(nil, Attr{}, &OpError{Status: ErrIO})
+			return
+		}
+		dlen := int(be32(lraw))
+		if body.Len() < dlen {
+			body.Release()
+			done(nil, Attr{}, &OpError{Status: ErrIO})
+			return
+		}
+		data, err := body.PullChain(dlen)
+		body.Release()
+		if err != nil {
+			done(nil, Attr{}, &OpError{Status: ErrIO})
+			return
+		}
+		done(data, a, nil)
+	})
+}
+
+// Write stores a payload chain at off. The client takes ownership of data.
+func (c *Client) Write(fh FH, off uint64, data *netbuf.Chain, done func(int, Attr, error)) {
+	n := data.Len()
+	e := xdr.NewEncoder(FHLen + 16)
+	e.FixedOpaque(fh[:])
+	e.Uint64(off)
+	e.Uint32(uint32(n))
+	e.Uint32(uint32(n)) // XDR opaque length prefix
+	c.call(ProcWrite, e.Bytes(), data, func(body *netbuf.Chain, err error) {
+		if err != nil {
+			done(0, Attr{}, err)
+			return
+		}
+		st, ok := statusOf(body)
+		if !ok || st != OK {
+			body.Release()
+			done(0, Attr{}, orIO(st, ok))
+			return
+		}
+		a, ok := attrOf(body)
+		if !ok {
+			body.Release()
+			done(0, Attr{}, &OpError{Status: ErrIO})
+			return
+		}
+		nraw, err := body.PullHeader(4)
+		body.Release()
+		if err != nil {
+			done(0, Attr{}, &OpError{Status: ErrIO})
+			return
+		}
+		done(int(be32(nraw)), a, nil)
+	})
+}
+
+// WriteBytes is Write with a plain byte payload.
+func (c *Client) WriteBytes(fh FH, off uint64, p []byte, done func(int, Attr, error)) {
+	c.Write(fh, off, netbuf.ChainFromBytes(p, netbuf.DefaultBufSize), done)
+}
+
+// Create makes a file (or directory via Mkdir).
+func (c *Client) Create(dir FH, name string, done func(FH, Attr, error)) {
+	c.createOrMkdir(ProcCreate, dir, name, done)
+}
+
+// Mkdir makes a directory.
+func (c *Client) Mkdir(dir FH, name string, done func(FH, Attr, error)) {
+	c.createOrMkdir(ProcMkdir, dir, name, done)
+}
+
+func (c *Client) createOrMkdir(proc uint32, dir FH, name string, done func(FH, Attr, error)) {
+	e := xdr.NewEncoder(FHLen + 4 + len(name) + 4)
+	e.FixedOpaque(dir[:])
+	e.String(name)
+	c.call(proc, e.Bytes(), nil, func(body *netbuf.Chain, err error) {
+		var fh FH
+		if err != nil {
+			done(fh, Attr{}, err)
+			return
+		}
+		st, ok := statusOf(body)
+		if !ok || st != OK {
+			body.Release()
+			done(fh, Attr{}, orIO(st, ok))
+			return
+		}
+		raw, err := body.PullHeader(FHLen)
+		if err != nil {
+			body.Release()
+			done(fh, Attr{}, &OpError{Status: ErrIO})
+			return
+		}
+		copy(fh[:], raw)
+		a, ok := attrOf(body)
+		body.Release()
+		if !ok {
+			done(fh, Attr{}, &OpError{Status: ErrIO})
+			return
+		}
+		done(fh, a, nil)
+	})
+}
+
+// Remove unlinks a file.
+func (c *Client) Remove(dir FH, name string, done func(error)) {
+	e := xdr.NewEncoder(FHLen + 4 + len(name) + 4)
+	e.FixedOpaque(dir[:])
+	e.String(name)
+	c.call(ProcRemove, e.Bytes(), nil, func(body *netbuf.Chain, err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		st, ok := statusOf(body)
+		finishStatus(body, st, ok, done)
+	})
+}
+
+// Readdir lists a directory.
+func (c *Client) Readdir(dir FH, done func([]string, error)) {
+	c.call(ProcReaddir, dir[:], nil, func(body *netbuf.Chain, err error) {
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		st, ok := statusOf(body)
+		if !ok || st != OK {
+			body.Release()
+			done(nil, orIO(st, ok))
+			return
+		}
+		flat := body.Flatten()
+		body.Release()
+		d := xdr.NewDecoder(flat)
+		count, err := d.Uint32()
+		if err != nil {
+			done(nil, &OpError{Status: ErrIO})
+			return
+		}
+		names := make([]string, 0, count)
+		for i := uint32(0); i < count; i++ {
+			s, err := d.String(MaxReadSize)
+			if err != nil {
+				done(nil, &OpError{Status: ErrIO})
+				return
+			}
+			names = append(names, s)
+		}
+		done(names, nil)
+	})
+}
+
+// Pending reports outstanding calls.
+func (c *Client) Pending() int { return c.rpc.Pending() }
+
+// orIO maps a parse failure or non-OK status to an error.
+func orIO(st uint32, ok bool) error {
+	if !ok {
+		return &OpError{Status: ErrIO}
+	}
+	return StatusError(st)
+}

@@ -1,0 +1,358 @@
+package nfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"ncache/internal/netbuf"
+	"ncache/internal/proto/eth"
+	"ncache/internal/proto/ipv4"
+	"ncache/internal/proto/udp"
+	"ncache/internal/sim"
+	"ncache/internal/simnet"
+)
+
+// memBackend is an in-memory Backend for protocol-level tests, independent
+// of the file system.
+type memBackend struct {
+	files map[uint32][]byte // ino → content
+	names map[string]uint32
+	next  uint32
+}
+
+func newMemBackend() *memBackend {
+	return &memBackend{
+		files: map[uint32][]byte{},
+		names: map[string]uint32{},
+		next:  2,
+	}
+}
+
+func inoOf(fh FH) uint32 {
+	return uint32(fh[0])<<24 | uint32(fh[1])<<16 | uint32(fh[2])<<8 | uint32(fh[3])
+}
+
+func fhOf(ino uint32) FH {
+	var fh FH
+	fh[0], fh[1], fh[2], fh[3] = byte(ino>>24), byte(ino>>16), byte(ino>>8), byte(ino)
+	return fh
+}
+
+func (m *memBackend) attr(ino uint32) Attr {
+	if ino == 1 {
+		return Attr{Type: TypeDir, Links: 1}
+	}
+	return Attr{Type: TypeFile, Links: 1, Size: uint64(len(m.files[ino]))}
+}
+
+func (m *memBackend) Getattr(fh FH, done func(Attr, uint32)) {
+	ino := inoOf(fh)
+	if ino != 1 {
+		if _, ok := m.files[ino]; !ok {
+			done(Attr{}, ErrNoEnt)
+			return
+		}
+	}
+	done(m.attr(ino), OK)
+}
+
+func (m *memBackend) Setattr(fh FH, size uint64, done func(Attr, uint32)) {
+	ino := inoOf(fh)
+	f, ok := m.files[ino]
+	if !ok {
+		done(Attr{}, ErrNoEnt)
+		return
+	}
+	if uint64(len(f)) > size {
+		m.files[ino] = f[:size]
+	} else {
+		m.files[ino] = append(f, make([]byte, size-uint64(len(f)))...)
+	}
+	done(m.attr(ino), OK)
+}
+
+func (m *memBackend) Lookup(dir FH, name string, done func(FH, Attr, uint32)) {
+	ino, ok := m.names[name]
+	if !ok {
+		done(FH{}, Attr{}, ErrNoEnt)
+		return
+	}
+	done(fhOf(ino), m.attr(ino), OK)
+}
+
+func (m *memBackend) Read(fh FH, off uint64, n int, done func(*netbuf.Chain, Attr, uint32)) {
+	ino := inoOf(fh)
+	f, ok := m.files[ino]
+	if !ok {
+		done(nil, Attr{}, ErrNoEnt)
+		return
+	}
+	if off > uint64(len(f)) {
+		off = uint64(len(f))
+	}
+	end := off + uint64(n)
+	if end > uint64(len(f)) {
+		end = uint64(len(f))
+	}
+	done(netbuf.ChainFromBytes(f[off:end], netbuf.DefaultBufSize), m.attr(ino), OK)
+}
+
+func (m *memBackend) Write(fh FH, off uint64, data *netbuf.Chain, done func(int, Attr, uint32)) {
+	ino := inoOf(fh)
+	f, ok := m.files[ino]
+	if !ok {
+		data.Release()
+		done(0, Attr{}, ErrNoEnt)
+		return
+	}
+	p := data.Flatten()
+	data.Release()
+	need := off + uint64(len(p))
+	if uint64(len(f)) < need {
+		f = append(f, make([]byte, need-uint64(len(f)))...)
+	}
+	copy(f[off:], p)
+	m.files[ino] = f
+	done(len(p), m.attr(ino), OK)
+}
+
+func (m *memBackend) Create(dir FH, name string, isDir bool, done func(FH, Attr, uint32)) {
+	if _, exists := m.names[name]; exists {
+		done(FH{}, Attr{}, ErrExist)
+		return
+	}
+	ino := m.next
+	m.next++
+	m.names[name] = ino
+	m.files[ino] = nil
+	done(fhOf(ino), m.attr(ino), OK)
+}
+
+func (m *memBackend) Remove(dir FH, name string, done func(uint32)) {
+	ino, ok := m.names[name]
+	if !ok {
+		done(ErrNoEnt)
+		return
+	}
+	delete(m.names, name)
+	delete(m.files, ino)
+	done(OK)
+}
+
+func (m *memBackend) Readdir(dir FH, done func([]string, uint32)) {
+	out := make([]string, 0, len(m.names))
+	for n := range m.names {
+		out = append(out, n)
+	}
+	done(out, OK)
+}
+
+var _ Backend = (*memBackend)(nil)
+
+// loop builds a client/server pair over the simulated fabric.
+func loop(t *testing.T) (*sim.Engine, *Client, *memBackend, *Server) {
+	t.Helper()
+	eng := sim.NewEngine()
+	nw := simnet.NewNetwork(eng, 5*sim.Microsecond)
+	sn := simnet.NewNode(eng, "server", simnet.DefaultProfile())
+	cn := simnet.NewNode(eng, "client", simnet.DefaultProfile())
+	if _, err := nw.Attach(sn, 1, simnet.Gbps); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Attach(cn, 2, simnet.Gbps); err != nil {
+		t.Fatal(err)
+	}
+	sUDP := udp.NewTransport(ipv4.NewStack(sn))
+	cUDP := udp.NewTransport(ipv4.NewStack(cn))
+	backend := newMemBackend()
+	srv, err := NewServer(sUDP, backend)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	client, err := NewClient(cUDP, eth.Addr(2), 700, eth.Addr(1))
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	return eng, client, backend, srv
+}
+
+func TestProtocolLifecycle(t *testing.T) {
+	eng, c, _, srv := loop(t)
+	var fh FH
+	c.Create(RootFH(), "f.txt", func(h FH, a Attr, err error) {
+		if err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+		if a.Type != TypeFile {
+			t.Fatalf("attr = %+v", a)
+		}
+		fh = h
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	payload := bytes.Repeat([]byte{0x42}, 10000)
+	c.WriteBytes(fh, 0, payload, func(n int, a Attr, err error) {
+		if err != nil || n != len(payload) {
+			t.Fatalf("Write: n=%d err=%v", n, err)
+		}
+		if a.Size != uint64(len(payload)) {
+			t.Fatalf("size = %d", a.Size)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	c.Read(fh, 100, 5000, func(data *netbuf.Chain, a Attr, err error) {
+		if err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+		got := data.Flatten()
+		data.Release()
+		if !bytes.Equal(got, payload[100:5100]) {
+			t.Fatal("read payload mismatch")
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	c.Getattr(fh, func(a Attr, err error) {
+		if err != nil || a.Size != 10000 {
+			t.Fatalf("Getattr: %+v %v", a, err)
+		}
+	})
+	c.Setattr(fh, 500, func(a Attr, err error) {
+		if err != nil || a.Size != 500 {
+			t.Fatalf("Setattr: %+v %v", a, err)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	c.Lookup(RootFH(), "f.txt", func(h FH, _ Attr, err error) {
+		if err != nil || h != fh {
+			t.Fatalf("Lookup: %v %v", h, err)
+		}
+	})
+	c.Readdir(RootFH(), func(names []string, err error) {
+		if err != nil || len(names) != 1 || names[0] != "f.txt" {
+			t.Fatalf("Readdir: %v %v", names, err)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	c.Remove(RootFH(), "f.txt", func(err error) {
+		if err != nil {
+			t.Fatalf("Remove: %v", err)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	c.Lookup(RootFH(), "f.txt", func(_ FH, _ Attr, err error) {
+		var op *OpError
+		if !errors.As(err, &op) || op.Status != ErrNoEnt {
+			t.Fatalf("Lookup after remove: %v", err)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Ops[ProcCreate] != 1 || srv.Ops[ProcRead] != 1 || srv.Ops[ProcWrite] != 1 {
+		t.Fatalf("op counters: %+v", srv.Ops)
+	}
+}
+
+func TestErrorStatuses(t *testing.T) {
+	eng, c, _, _ := loop(t)
+	ghost := fhOf(99)
+	c.Getattr(ghost, func(_ Attr, err error) {
+		var op *OpError
+		if !errors.As(err, &op) || op.Status != ErrNoEnt {
+			t.Fatalf("Getattr ghost: %v", err)
+		}
+	})
+	c.Read(ghost, 0, 100, func(_ *netbuf.Chain, _ Attr, err error) {
+		if err == nil {
+			t.Fatal("Read ghost succeeded")
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	c.Create(RootFH(), "dup", func(_ FH, _ Attr, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Create(RootFH(), "dup", func(_ FH, _ Attr, err error) {
+			var op *OpError
+			if !errors.As(err, &op) || op.Status != ErrExist {
+				t.Fatalf("dup create: %v", err)
+			}
+		})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadClampsToMaxSize(t *testing.T) {
+	eng, c, b, _ := loop(t)
+	var fh FH
+	c.Create(RootFH(), "big", func(h FH, _ Attr, err error) { fh = h })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	b.files[inoOf(fh)] = make([]byte, 2*MaxReadSize)
+	var got int
+	c.Read(fh, 0, 3*MaxReadSize, func(data *netbuf.Chain, _ Attr, err error) {
+		if err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+		got = data.Len()
+		data.Release()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != MaxReadSize {
+		t.Fatalf("read returned %d, want clamp to %d", got, MaxReadSize)
+	}
+}
+
+func TestOpErrorMessages(t *testing.T) {
+	for st, want := range map[uint32]string{
+		ErrNoEnt:    "no such file",
+		ErrExist:    "file exists",
+		ErrNotDir:   "not a directory",
+		ErrIsDir:    "is a directory",
+		ErrNotEmpty: "not empty",
+		ErrNoSpc:    "no space",
+		ErrIO:       "I/O",
+		999:         "error",
+	} {
+		err := StatusError(st)
+		if err == nil {
+			t.Fatalf("StatusError(%d) = nil", st)
+		}
+		if !bytes.Contains([]byte(err.Error()), []byte(want)) {
+			t.Fatalf("StatusError(%d) = %q, want substring %q", st, err, want)
+		}
+	}
+	if StatusError(OK) != nil {
+		t.Fatal("StatusError(OK) != nil")
+	}
+}
+
+func TestRootFH(t *testing.T) {
+	if inoOf(RootFH()) != 1 {
+		t.Fatalf("root fh = %v", RootFH())
+	}
+}

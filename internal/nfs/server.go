@@ -1,0 +1,357 @@
+package nfs
+
+import (
+	"ncache/internal/netbuf"
+	"ncache/internal/proto/tcp"
+	"ncache/internal/proto/udp"
+	"ncache/internal/simnet"
+	"ncache/internal/sunrpc"
+	"ncache/internal/xdr"
+)
+
+// Backend is the file service behind the protocol server. Payload chains
+// flow through untouched: Read produces the reply payload (real bytes,
+// logical keys, or baseline junk — the backend decides), Write consumes the
+// request payload straight from the wire buffers.
+type Backend interface {
+	Getattr(fh FH, done func(Attr, uint32))
+	Setattr(fh FH, size uint64, done func(Attr, uint32))
+	Lookup(dir FH, name string, done func(FH, Attr, uint32))
+	Read(fh FH, off uint64, n int, done func(*netbuf.Chain, Attr, uint32))
+	Write(fh FH, off uint64, data *netbuf.Chain, done func(n int, attr Attr, st uint32))
+	Create(dir FH, name string, isDir bool, done func(FH, Attr, uint32))
+	Remove(dir FH, name string, done func(uint32))
+	Readdir(dir FH, done func([]string, uint32))
+}
+
+// TxFilter rewrites a fully composed reply payload just before it enters
+// the socket — the hook the NCache module substitutes cached data through.
+type TxFilter func(*netbuf.Chain) *netbuf.Chain
+
+// Server frames NFS requests and replies over an RPC server.
+type Server struct {
+	backend Backend
+	node    *simnet.Node
+	filter  TxFilter
+
+	// Ops counts served calls by procedure.
+	Ops map[uint32]uint64
+}
+
+// registrar abstracts the datagram and stream RPC servers.
+type registrar interface {
+	Register(prog, vers, proc uint32, h sunrpc.Handler)
+}
+
+// NewServer registers the NFS program on an RPC server bound to the NFS
+// port over UDP (the paper's NFS transport).
+func NewServer(t *udp.Transport, backend Backend) (*Server, error) {
+	rpc, err := sunrpc.NewServer(t, Port)
+	if err != nil {
+		return nil, err
+	}
+	return newServerOn(rpc, t.Node(), backend), nil
+}
+
+// NewServerTCP registers the NFS program over TCP with RFC 5531 record
+// marking — the transport-comparison extension (§5.5 notes TCP's higher
+// per-packet overhead; this lets the same service run both ways).
+func NewServerTCP(node *simnet.Node, t *tcp.Transport, backend Backend) (*Server, error) {
+	rpc, err := sunrpc.NewStreamServer(node, t, Port)
+	if err != nil {
+		return nil, err
+	}
+	return newServerOn(rpc, node, backend), nil
+}
+
+// newServerOn wires dispatch onto any RPC transport.
+func newServerOn(rpc registrar, node *simnet.Node, backend Backend) *Server {
+	s := &Server{
+		backend: backend,
+		node:    node,
+		Ops:     make(map[uint32]uint64),
+	}
+	for _, proc := range []uint32{
+		ProcNull, ProcGetattr, ProcSetattr, ProcLookup, ProcRead,
+		ProcWrite, ProcCreate, ProcRemove, ProcMkdir, ProcRmdir, ProcReaddir,
+	} {
+		proc := proc
+		rpc.Register(Prog, Vers, proc, func(c sunrpc.Call) { s.dispatch(proc, c) })
+	}
+	return s
+}
+
+// SetTxFilter installs the reply-payload hook.
+func (s *Server) SetTxFilter(f TxFilter) { s.filter = f }
+
+// reply sends head+payload through the tx filter.
+func (s *Server) reply(c sunrpc.Call, head []byte, payload *netbuf.Chain) {
+	if s.filter != nil && payload != nil {
+		payload = s.filter(payload)
+	}
+	_ = c.Reply(head, payload)
+}
+
+// replyStatus sends a bare status reply.
+func (s *Server) replyStatus(c sunrpc.Call, st uint32) {
+	e := xdr.NewEncoder(4)
+	e.Uint32(st)
+	s.reply(c, e.Bytes(), nil)
+}
+
+// encodeAttr appends an attribute block.
+func encodeAttr(e *xdr.Encoder, a Attr) {
+	e.Uint32(a.Type)
+	e.Uint32(a.Links)
+	e.Uint64(a.Size)
+}
+
+// dispatch decodes one call and invokes the backend. Per-operation server
+// logic cost is charged here.
+func (s *Server) dispatch(proc uint32, c sunrpc.Call) {
+	s.Ops[proc]++
+	s.node.Reqs.Ops++
+	body := c.Body
+	fail := func(st uint32) {
+		body.Release()
+		s.replyStatus(c, st)
+	}
+	s.node.Charge(s.node.Cost.NFSOpNs, func() {
+		switch proc {
+		case ProcNull:
+			body.Release()
+			s.reply(c, nil, nil)
+
+		case ProcGetattr:
+			fh, ok := pullFH(body)
+			if !ok {
+				fail(ErrIO)
+				return
+			}
+			body.Release()
+			s.node.Reqs.MetaOps++
+			s.backend.Getattr(fh, func(a Attr, st uint32) {
+				s.replyAttr(c, st, a)
+			})
+
+		case ProcSetattr:
+			raw, err := body.PullHeader(FHLen + 8)
+			if err != nil {
+				fail(ErrIO)
+				return
+			}
+			var fh FH
+			copy(fh[:], raw[:FHLen])
+			size := be64(raw[FHLen:])
+			body.Release()
+			s.node.Reqs.MetaOps++
+			s.backend.Setattr(fh, size, func(a Attr, st uint32) {
+				s.replyAttr(c, st, a)
+			})
+
+		case ProcLookup:
+			fh, name, ok := pullFHName(body)
+			body.Release()
+			if !ok {
+				s.replyStatus(c, ErrIO)
+				return
+			}
+			s.node.Reqs.MetaOps++
+			s.backend.Lookup(fh, name, func(child FH, a Attr, st uint32) {
+				s.replyFHAttr(c, st, child, a)
+			})
+
+		case ProcRead:
+			raw, err := body.PullHeader(FHLen + 12)
+			if err != nil {
+				fail(ErrIO)
+				return
+			}
+			var fh FH
+			copy(fh[:], raw[:FHLen])
+			off := be64(raw[FHLen:])
+			n := int(be32(raw[FHLen+8:]))
+			body.Release()
+			if n > MaxReadSize {
+				n = MaxReadSize
+			}
+			s.node.Reqs.ReadOps++
+			s.backend.Read(fh, off, n, func(data *netbuf.Chain, a Attr, st uint32) {
+				if st != OK {
+					if data != nil {
+						data.Release()
+					}
+					s.replyStatus(c, st)
+					return
+				}
+				e := xdr.NewEncoder(4 + AttrLen + 4)
+				e.Uint32(OK)
+				encodeAttr(e, a)
+				dlen := 0
+				if data != nil {
+					dlen = data.Len()
+				}
+				e.Uint32(uint32(dlen))
+				s.node.Reqs.ReadBytes += uint64(dlen)
+				// XDR opaque padding (block payloads are 4-aligned).
+				if pad := (4 - dlen%4) % 4; pad != 0 && data != nil {
+					pb := netbuf.New(0, pad)
+					_ = pb.Put(pad)
+					data.Append(pb)
+				}
+				s.reply(c, e.Bytes(), data)
+			})
+
+		case ProcWrite:
+			raw, err := body.PullHeader(FHLen + 16)
+			if err != nil {
+				fail(ErrIO)
+				return
+			}
+			var fh FH
+			copy(fh[:], raw[:FHLen])
+			off := be64(raw[FHLen:])
+			dlen := int(be32(raw[FHLen+8:]))
+			// raw[FHLen+12:] is the XDR opaque length, equal to dlen.
+			if body.Len() < dlen {
+				fail(ErrIO)
+				return
+			}
+			data, err := body.PullChain(dlen)
+			if err != nil {
+				fail(ErrIO)
+				return
+			}
+			body.Release()
+			s.node.Reqs.WriteOps++
+			s.node.Reqs.WriteBytes += uint64(dlen)
+			s.backend.Write(fh, off, data, func(n int, a Attr, st uint32) {
+				if st != OK {
+					s.replyStatus(c, st)
+					return
+				}
+				e := xdr.NewEncoder(4 + AttrLen + 4)
+				e.Uint32(OK)
+				encodeAttr(e, a)
+				e.Uint32(uint32(n))
+				s.reply(c, e.Bytes(), nil)
+			})
+
+		case ProcCreate, ProcMkdir:
+			fh, name, ok := pullFHName(body)
+			body.Release()
+			if !ok {
+				s.replyStatus(c, ErrIO)
+				return
+			}
+			s.node.Reqs.MetaOps++
+			s.backend.Create(fh, name, proc == ProcMkdir, func(child FH, a Attr, st uint32) {
+				s.replyFHAttr(c, st, child, a)
+			})
+
+		case ProcRemove, ProcRmdir:
+			fh, name, ok := pullFHName(body)
+			body.Release()
+			if !ok {
+				s.replyStatus(c, ErrIO)
+				return
+			}
+			s.node.Reqs.MetaOps++
+			s.backend.Remove(fh, name, func(st uint32) {
+				s.replyStatus(c, st)
+			})
+
+		case ProcReaddir:
+			fh, ok := pullFH(body)
+			body.Release()
+			if !ok {
+				s.replyStatus(c, ErrIO)
+				return
+			}
+			s.node.Reqs.MetaOps++
+			s.backend.Readdir(fh, func(names []string, st uint32) {
+				if st != OK {
+					s.replyStatus(c, st)
+					return
+				}
+				e := xdr.NewEncoder(64 * (len(names) + 1))
+				e.Uint32(OK)
+				e.Uint32(uint32(len(names)))
+				for _, n := range names {
+					e.String(n)
+				}
+				s.reply(c, e.Bytes(), nil)
+			})
+
+		default:
+			fail(ErrIO)
+		}
+	})
+}
+
+// replyAttr sends status+attr.
+func (s *Server) replyAttr(c sunrpc.Call, st uint32, a Attr) {
+	if st != OK {
+		s.replyStatus(c, st)
+		return
+	}
+	e := xdr.NewEncoder(4 + AttrLen)
+	e.Uint32(OK)
+	encodeAttr(e, a)
+	s.reply(c, e.Bytes(), nil)
+}
+
+// replyFHAttr sends status+fh+attr.
+func (s *Server) replyFHAttr(c sunrpc.Call, st uint32, fh FH, a Attr) {
+	if st != OK {
+		s.replyStatus(c, st)
+		return
+	}
+	e := xdr.NewEncoder(4 + FHLen + AttrLen)
+	e.Uint32(OK)
+	e.FixedOpaque(fh[:])
+	encodeAttr(e, a)
+	s.reply(c, e.Bytes(), nil)
+}
+
+// pullFH extracts a file handle from the argument chain.
+func pullFH(body *netbuf.Chain) (FH, bool) {
+	var fh FH
+	raw, err := body.PullHeader(FHLen)
+	if err != nil {
+		return fh, false
+	}
+	copy(fh[:], raw)
+	return fh, true
+}
+
+// pullFHName extracts fh + XDR string arguments.
+func pullFHName(body *netbuf.Chain) (FH, string, bool) {
+	fh, ok := pullFH(body)
+	if !ok {
+		return fh, "", false
+	}
+	lraw, err := body.PullHeader(4)
+	if err != nil {
+		return fh, "", false
+	}
+	n := int(be32(lraw))
+	padded := n + (4-n%4)%4
+	if n < 0 || body.Len() < padded {
+		return fh, "", false
+	}
+	raw, err := body.PullHeader(padded)
+	if err != nil {
+		return fh, "", false
+	}
+	return fh, string(raw[:n]), true
+}
+
+// be32/be64 decode big-endian integers.
+func be32(p []byte) uint32 {
+	return uint32(p[0])<<24 | uint32(p[1])<<16 | uint32(p[2])<<8 | uint32(p[3])
+}
+
+func be64(p []byte) uint64 {
+	return uint64(be32(p))<<32 | uint64(be32(p[4:]))
+}

@@ -1,0 +1,328 @@
+package passthru
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ncache/internal/buffercache"
+	"ncache/internal/extfs"
+	"ncache/internal/iscsi"
+	"ncache/internal/lkey"
+	"ncache/internal/ncache"
+	"ncache/internal/netbuf"
+	"ncache/internal/nfs"
+	"ncache/internal/proto/eth"
+	"ncache/internal/proto/ipv4"
+	"ncache/internal/proto/tcp"
+	"ncache/internal/proto/udp"
+	"ncache/internal/sim"
+	"ncache/internal/simnet"
+)
+
+// ServerConfig sizes the pass-through application server.
+type ServerConfig struct {
+	Mode        Mode
+	Addrs       []eth.Addr // one NIC per address (Fig 5(b) uses two)
+	StorageAddr eth.Addr
+	// FSCacheBlocks bounds the file-system buffer cache. The paper keeps
+	// it small under NCache to control double buffering (§3.4).
+	FSCacheBlocks int
+	// NCacheBytes sizes the network-centric cache (NCache mode only).
+	NCacheBytes int64
+	// DisableRemap is the remapping ablation switch.
+	DisableRemap  bool
+	Cost          simnet.CostProfile
+	LinkBandwidth simnet.Bandwidth
+	// EnableWeb starts the kHTTPd service alongside NFS.
+	EnableWeb bool
+}
+
+// DefaultServerConfig mirrors the testbed's application server.
+func DefaultServerConfig(mode Mode, addr, storage eth.Addr) ServerConfig {
+	cfg := ServerConfig{
+		Mode:          mode,
+		Addrs:         []eth.Addr{addr},
+		StorageAddr:   storage,
+		FSCacheBlocks: 32768, // 128 MB page cache
+		Cost:          simnet.DefaultProfile(),
+		LinkBandwidth: simnet.Gbps,
+	}
+	if mode == NCache {
+		// Small FS cache, large network-centric cache (§3.4/§4.1).
+		cfg.FSCacheBlocks = 4096 // 16 MB
+		cfg.NCacheBytes = 512 << 20
+	}
+	return cfg
+}
+
+// AppServer is the pass-through server under test.
+type AppServer struct {
+	Node      *simnet.Node
+	Mode      Mode
+	UDP       *udp.Transport
+	TCP       *tcp.Transport
+	Initiator *iscsi.Initiator
+	Cache     *buffercache.Cache
+	FS        *extfs.FS
+	NFS       *nfs.Server
+	// NFSTCP is the same service over record-marked RPC/TCP (the
+	// transport-comparison extension).
+	NFSTCP *nfs.Server
+	Web    *WebServer
+	Module *ncache.Module
+
+	cfg  ServerConfig
+	path *dataPath
+}
+
+// NewAppServer builds and attaches the application server; Start completes
+// the iSCSI login and mount.
+func NewAppServer(eng *sim.Engine, nw *simnet.Network, cfg ServerConfig) (*AppServer, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, fmt.Errorf("passthru: server needs at least one address")
+	}
+	node := simnet.NewNode(eng, "app", cfg.Cost)
+	for _, a := range cfg.Addrs {
+		if _, err := nw.Attach(node, a, cfg.LinkBandwidth); err != nil {
+			return nil, fmt.Errorf("app attach: %w", err)
+		}
+	}
+	ip := ipv4.NewStack(node)
+	udpT := udp.NewTransport(ip)
+	tcpT := tcp.NewTransport(ip)
+	ini := iscsi.NewInitiator(node, tcpT, cfg.Addrs[0])
+
+	s := &AppServer{
+		Node:      node,
+		Mode:      cfg.Mode,
+		UDP:       udpT,
+		TCP:       tcpT,
+		Initiator: ini,
+		cfg:       cfg,
+	}
+	switch cfg.Mode {
+	case NCache:
+		s.Module = ncache.New(node, ncache.Config{
+			CapacityBytes: cfg.NCacheBytes,
+			BlockSize:     extfs.BlockSize,
+			DisableRemap:  cfg.DisableRemap,
+		})
+		ini.SetReadHook(s.Module.CaptureLBN)
+		ini.SetWriteHook(s.Module.WriteOut)
+		ini.SetReadCache(s.Module.ServeRead)
+	case Baseline:
+		// The ideal comparator: regular-data payloads are dropped at
+		// the socket boundary; identity-free junk flows instead.
+		ini.SetReadHook(func(lba int64, blocks int, data *netbuf.Chain) *netbuf.Chain {
+			if blocks <= 0 {
+				return data
+			}
+			data.Release()
+			out := netbuf.NewChain()
+			for i := 0; i < blocks; i++ {
+				for _, b := range lkey.StampChain(lkey.Key{}, extfs.BlockSize).Bufs() {
+					out.Append(b)
+				}
+			}
+			return out
+		})
+	}
+	s.path = &dataPath{mode: cfg.Mode, node: node, mod: s.Module, bs: extfs.BlockSize}
+	return s, nil
+}
+
+// Start logs in to the storage server, mounts the file system, and brings
+// up the NFS (and optionally web) services.
+func (s *AppServer) Start(done func(error)) {
+	s.Initiator.Connect(s.cfg.StorageAddr, func(err error) {
+		if err != nil {
+			done(fmt.Errorf("iscsi connect: %w", err))
+			return
+		}
+		lower := &initiatorLower{ini: s.Initiator}
+		s.Cache = buffercache.New(s.Node, lower, s.cfg.FSCacheBlocks)
+		s.Cache.LogicalCopyNs = s.Node.Cost.LogicalCopyNs
+		extfs.Mount(s.Node, s.Cache, func(fs *extfs.FS, err error) {
+			if err != nil {
+				done(fmt.Errorf("mount: %w", err))
+				return
+			}
+			s.FS = fs
+			fs.SetMaterializer(s.path.materialize)
+			backend := &fsBackend{srv: s}
+			nfsSrv, err := nfs.NewServer(s.UDP, backend)
+			if err != nil {
+				done(err)
+				return
+			}
+			nfsTCP, err := nfs.NewServerTCP(s.Node, s.TCP, backend)
+			if err != nil {
+				done(err)
+				return
+			}
+			if s.Mode == NCache {
+				nfsSrv.SetTxFilter(s.Module.SubstituteMessage)
+				nfsTCP.SetTxFilter(s.Module.SubstituteMessage)
+			}
+			s.NFS = nfsSrv
+			s.NFSTCP = nfsTCP
+			if s.cfg.EnableWeb {
+				web, err := NewWebServer(s)
+				if err != nil {
+					done(err)
+					return
+				}
+				s.Web = web
+			}
+			done(nil)
+		})
+	})
+}
+
+// initiatorLower adapts the iSCSI initiator as the buffer cache's block
+// store.
+type initiatorLower struct {
+	ini *iscsi.Initiator
+}
+
+func (l *initiatorLower) BlockSize() int   { return l.ini.Geometry().BlockSize }
+func (l *initiatorLower) NumBlocks() int64 { return l.ini.Geometry().NumBlocks }
+
+func (l *initiatorLower) Read(lbn int64, count int, meta bool, done func(*netbuf.Chain, error)) {
+	l.ini.Read(lbn, count, meta, done)
+}
+
+func (l *initiatorLower) Write(lbn int64, data *netbuf.Chain, meta bool, done func(error)) {
+	l.ini.Write(lbn, data, meta, done)
+}
+
+// inoFH converts an inode number to a file handle.
+func inoFH(ino uint32) nfs.FH {
+	var fh nfs.FH
+	binary.BigEndian.PutUint32(fh[0:4], ino)
+	return fh
+}
+
+// fhIno extracts the inode number.
+func fhIno(fh nfs.FH) uint32 { return binary.BigEndian.Uint32(fh[0:4]) }
+
+// attrOf converts file system attributes to protocol attributes.
+func attrOf(a extfs.Attr) nfs.Attr {
+	t := nfs.TypeFile
+	if a.Mode == extfs.ModeDir {
+		t = nfs.TypeDir
+	}
+	return nfs.Attr{Type: t, Links: uint32(a.Links), Size: a.Size}
+}
+
+// fsBackend implements the NFS backend over the mounted file system with
+// the mode's data path.
+type fsBackend struct {
+	srv *AppServer
+}
+
+var _ nfs.Backend = (*fsBackend)(nil)
+
+func (b *fsBackend) Getattr(fh nfs.FH, done func(nfs.Attr, uint32)) {
+	b.srv.FS.Getattr(fhIno(fh), func(a extfs.Attr, err error) {
+		if err != nil {
+			done(nfs.Attr{}, mapErr(err))
+			return
+		}
+		done(attrOf(a), nfs.OK)
+	})
+}
+
+func (b *fsBackend) Setattr(fh nfs.FH, size uint64, done func(nfs.Attr, uint32)) {
+	ino := fhIno(fh)
+	b.srv.FS.Truncate(ino, size, func(err error) {
+		if err != nil {
+			done(nfs.Attr{}, mapErr(err))
+			return
+		}
+		b.Getattr(fh, done)
+	})
+}
+
+func (b *fsBackend) Lookup(dir nfs.FH, name string, done func(nfs.FH, nfs.Attr, uint32)) {
+	b.srv.FS.Lookup(fhIno(dir), name, func(ino uint32, err error) {
+		if err != nil {
+			done(nfs.FH{}, nfs.Attr{}, mapErr(err))
+			return
+		}
+		b.srv.FS.Getattr(ino, func(a extfs.Attr, err error) {
+			if err != nil {
+				done(nfs.FH{}, nfs.Attr{}, mapErr(err))
+				return
+			}
+			done(inoFH(ino), attrOf(a), nfs.OK)
+		})
+	})
+}
+
+func (b *fsBackend) Read(fh nfs.FH, off uint64, n int, done func(*netbuf.Chain, nfs.Attr, uint32)) {
+	srv := b.srv
+	srv.FS.Read(fhIno(fh), off, n, func(res *extfs.ReadResult, err error) {
+		if err != nil {
+			done(nil, nfs.Attr{}, mapErr(err))
+			return
+		}
+		chain := srv.path.replyChain(res, false)
+		res.Done(srv.FS)
+		done(chain, attrOf(res.Attr), nfs.OK)
+	})
+}
+
+func (b *fsBackend) Write(fh nfs.FH, off uint64, data *netbuf.Chain, done func(int, nfs.Attr, uint32)) {
+	srv := b.srv
+	ino := fhIno(fh)
+	srv.path.applyWrite(srv.FS, ino, fh, off, data, func(n int, st uint32) {
+		if st != nfs.OK {
+			done(0, nfs.Attr{}, st)
+			return
+		}
+		srv.FS.Getattr(ino, func(a extfs.Attr, err error) {
+			if err != nil {
+				done(0, nfs.Attr{}, mapErr(err))
+				return
+			}
+			done(n, attrOf(a), nfs.OK)
+		})
+	})
+}
+
+func (b *fsBackend) Create(dir nfs.FH, name string, isDir bool, done func(nfs.FH, nfs.Attr, uint32)) {
+	mode := extfs.ModeFile
+	if isDir {
+		mode = extfs.ModeDir
+	}
+	b.srv.FS.Create(fhIno(dir), name, mode, func(ino uint32, err error) {
+		if err != nil {
+			done(nfs.FH{}, nfs.Attr{}, mapErr(err))
+			return
+		}
+		b.Getattr(inoFH(ino), func(a nfs.Attr, st uint32) {
+			done(inoFH(ino), a, st)
+		})
+	})
+}
+
+func (b *fsBackend) Remove(dir nfs.FH, name string, done func(uint32)) {
+	b.srv.FS.Remove(fhIno(dir), name, func(err error) {
+		done(mapErr(err))
+	})
+}
+
+func (b *fsBackend) Readdir(dir nfs.FH, done func([]string, uint32)) {
+	b.srv.FS.Readdir(fhIno(dir), func(ents []extfs.Dirent, err error) {
+		if err != nil {
+			done(nil, mapErr(err))
+			return
+		}
+		names := make([]string, len(ents))
+		for i, e := range ents {
+			names[i] = e.Name
+		}
+		done(names, nfs.OK)
+	})
+}

@@ -1,0 +1,309 @@
+package passthru
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+
+	"ncache/internal/netbuf"
+	"ncache/internal/nfs"
+	"ncache/internal/proto/eth"
+	"ncache/internal/proto/ipv4"
+	"ncache/internal/proto/tcp"
+	"ncache/internal/proto/udp"
+	"ncache/internal/sim"
+	"ncache/internal/simnet"
+)
+
+// ClientHost is one client machine: a node with full protocol stacks, an
+// NFS client, and HTTP connections on demand.
+type ClientHost struct {
+	Node *simnet.Node
+	UDP  *udp.Transport
+	TCP  *tcp.Transport
+	Addr eth.Addr
+	NFS  *nfs.Client
+
+	nextPort uint16
+}
+
+// NewClientHost builds and attaches a client.
+func NewClientHost(eng *sim.Engine, nw *simnet.Network, name string, addr eth.Addr, cost simnet.CostProfile, bw simnet.Bandwidth) (*ClientHost, error) {
+	node := simnet.NewNode(eng, name, cost)
+	if _, err := nw.Attach(node, addr, bw); err != nil {
+		return nil, err
+	}
+	ip := ipv4.NewStack(node)
+	return &ClientHost{
+		Node:     node,
+		UDP:      udp.NewTransport(ip),
+		TCP:      tcp.NewTransport(ip),
+		Addr:     addr,
+		nextPort: 700,
+	}, nil
+}
+
+// MountNFS creates the host's NFS client against a server address.
+func (c *ClientHost) MountNFS(server eth.Addr) error {
+	port := c.nextPort
+	c.nextPort++
+	cl, err := nfs.NewClient(c.UDP, c.Addr, port, server)
+	if err != nil {
+		return err
+	}
+	c.NFS = cl
+	return nil
+}
+
+// NewNFSClient creates an additional independent NFS client (its own port),
+// used to model multiple client processes on one host.
+func (c *ClientHost) NewNFSClient(server eth.Addr) (*nfs.Client, error) {
+	port := c.nextPort
+	c.nextPort++
+	return nfs.NewClient(c.UDP, c.Addr, port, server)
+}
+
+// DialNFSTCP connects an NFS client over TCP (the transport-comparison
+// extension) and hands it to done once established.
+func (c *ClientHost) DialNFSTCP(server eth.Addr, done func(*nfs.Client, error)) {
+	nfs.DialClientTCP(c.Node, c.TCP, c.Addr, server, done)
+}
+
+// HTTPConn is one persistent web connection issuing sequential GETs.
+type HTTPConn struct {
+	host *ClientHost
+	conn *tcp.Conn
+
+	buf      bytes.Buffer
+	expected int // body bytes still outstanding for the current response
+	inBody   bool
+	done     func(int, error)
+	bodyLen  int
+}
+
+// DialHTTP opens a persistent connection to the web server.
+func (c *ClientHost) DialHTTP(server eth.Addr, done func(*HTTPConn, error)) {
+	c.TCP.Connect(c.Addr, server, HTTPPort, func(conn *tcp.Conn, err error) {
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		h := &HTTPConn{host: c, conn: conn}
+		conn.SetReceiver(h.receive)
+		done(h, nil)
+	})
+}
+
+// Get requests a path; done receives the body length. One request may be
+// outstanding per connection.
+func (h *HTTPConn) Get(path string, done func(int, error)) {
+	if h.done != nil {
+		done(0, fmt.Errorf("http: request already outstanding"))
+		return
+	}
+	h.done = done
+	h.bodyLen = 0
+	req := "GET /" + path + " HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"
+	if err := h.conn.Send([]byte(req)); err != nil {
+		h.done = nil
+		done(0, err)
+	}
+}
+
+// receive parses response framing. Body bytes are counted, not copied: the
+// client does not interpret payloads (baseline junk must flow as happily as
+// real data), matching §5.1.
+func (h *HTTPConn) receive(data *netbuf.Chain) {
+	for {
+		if h.inBody {
+			n := data.Len()
+			if h.buf.Len() > 0 {
+				// Leftover header-buffer bytes belong to the body.
+				take := h.buf.Len()
+				if take > h.expected {
+					take = h.expected
+				}
+				h.buf.Next(take)
+				h.expected -= take
+				h.bodyLen += take
+			}
+			if n > 0 {
+				take := n
+				if take > h.expected {
+					take = h.expected
+				}
+				consumed, err := data.PullChain(take)
+				if err != nil {
+					break
+				}
+				consumed.Release()
+				h.expected -= take
+				h.bodyLen += take
+			}
+			if h.expected > 0 {
+				break
+			}
+			h.inBody = false
+			done := h.done
+			h.done = nil
+			if done != nil {
+				done(h.bodyLen, nil)
+			}
+			if data.Len() == 0 && h.buf.Len() == 0 {
+				break
+			}
+			continue
+		}
+		// Header phase: accumulate until the blank line.
+		if data.Len() > 0 {
+			h.buf.Write(data.Flatten())
+			rel, err := data.PullChain(data.Len())
+			if err == nil {
+				rel.Release()
+			}
+		}
+		raw := h.buf.Bytes()
+		end := bytes.Index(raw, []byte("\r\n\r\n"))
+		if end < 0 {
+			break
+		}
+		header := string(raw[:end])
+		h.buf.Next(end + 4)
+		h.expected = contentLength(header)
+		h.bodyLen = 0
+		h.inBody = true
+	}
+	data.Release()
+}
+
+// contentLength extracts the Content-Length header.
+func contentLength(header string) int {
+	const key = "Content-Length: "
+	i := bytes.Index([]byte(header), []byte(key))
+	if i < 0 {
+		return 0
+	}
+	j := i + len(key)
+	k := j
+	for k < len(header) && header[k] >= '0' && header[k] <= '9' {
+		k++
+	}
+	n, err := strconv.Atoi(header[j:k])
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// Cluster bundles a full testbed: storage, app server, clients, fabric.
+type Cluster struct {
+	Eng     *sim.Engine
+	Net     *simnet.Network
+	Storage *StorageServer
+	App     *AppServer
+	Clients []*ClientHost
+}
+
+// ClusterConfig sizes a testbed.
+type ClusterConfig struct {
+	Mode          Mode
+	ServerNICs    int
+	NumClients    int
+	BlocksPerDisk int64
+	FSCacheBlocks int // 0 = mode default
+	NCacheBytes   int64
+	DisableRemap  bool
+	EnableWeb     bool
+	Cost          simnet.CostProfile
+}
+
+// Well-known fabric addresses.
+const (
+	StorageAddr eth.Addr = 0x0a000001
+	ServerAddr  eth.Addr = 0x0a000010 // +1 per extra NIC
+	ClientAddr0 eth.Addr = 0x0a000100 // +1 per client
+)
+
+// NewCluster assembles the testbed of §5.2. Call Start to log in and mount.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.ServerNICs <= 0 {
+		cfg.ServerNICs = 1
+	}
+	if cfg.NumClients <= 0 {
+		cfg.NumClients = 2
+	}
+	if cfg.BlocksPerDisk <= 0 {
+		cfg.BlocksPerDisk = 256 * 1024 // 1 GB per disk, 4 GB array
+	}
+	if cfg.Cost == (simnet.CostProfile{}) {
+		cfg.Cost = simnet.DefaultProfile()
+	}
+	eng := sim.NewEngine()
+	nw := simnet.NewNetwork(eng, 5*sim.Microsecond)
+
+	scfg := DefaultStorageConfig(StorageAddr, cfg.BlocksPerDisk)
+	scfg.Cost = cfg.Cost
+	storage, err := NewStorageServer(eng, nw, scfg)
+	if err != nil {
+		return nil, err
+	}
+
+	addrs := make([]eth.Addr, cfg.ServerNICs)
+	for i := range addrs {
+		addrs[i] = ServerAddr + eth.Addr(i)
+	}
+	acfg := DefaultServerConfig(cfg.Mode, addrs[0], StorageAddr)
+	acfg.Addrs = addrs
+	acfg.Cost = cfg.Cost
+	acfg.EnableWeb = cfg.EnableWeb
+	acfg.DisableRemap = cfg.DisableRemap
+	if cfg.FSCacheBlocks > 0 {
+		acfg.FSCacheBlocks = cfg.FSCacheBlocks
+	}
+	if cfg.NCacheBytes > 0 {
+		acfg.NCacheBytes = cfg.NCacheBytes
+	}
+	app, err := NewAppServer(eng, nw, acfg)
+	if err != nil {
+		return nil, err
+	}
+
+	cl := &Cluster{Eng: eng, Net: nw, Storage: storage, App: app}
+	for i := 0; i < cfg.NumClients; i++ {
+		host, err := NewClientHost(eng, nw, fmt.Sprintf("client%d", i),
+			ClientAddr0+eth.Addr(i), cfg.Cost, simnet.Gbps)
+		if err != nil {
+			return nil, err
+		}
+		cl.Clients = append(cl.Clients, host)
+	}
+	return cl, nil
+}
+
+// Start completes the asynchronous bring-up and runs the engine until the
+// server is serving.
+func (c *Cluster) Start() error {
+	var startErr error
+	started := false
+	c.App.Start(func(err error) {
+		startErr = err
+		started = true
+	})
+	if err := c.Eng.Run(); err != nil {
+		return err
+	}
+	if !started {
+		return fmt.Errorf("passthru: server bring-up did not complete")
+	}
+	if startErr != nil {
+		return startErr
+	}
+	for i, host := range c.Clients {
+		// Spread clients across the server's NICs (Fig 5(b)).
+		nic := c.App.Node.NICs()[i%len(c.App.Node.NICs())]
+		if err := host.MountNFS(nic.Addr); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,199 @@
+package passthru
+
+import (
+	"ncache/internal/buffercache"
+	"ncache/internal/extfs"
+	"ncache/internal/lkey"
+	"ncache/internal/ncache"
+	"ncache/internal/netbuf"
+	"ncache/internal/nfs"
+	"ncache/internal/sim"
+	"ncache/internal/simnet"
+)
+
+// dataPath encapsulates the mode-specific regular-data movement of the
+// server daemons. It is the only place in the assembly that knows which of
+// the three configurations is running; everything above and below moves
+// chains and keys obliviously.
+type dataPath struct {
+	mode Mode
+	node *simnet.Node
+	mod  *ncache.Module // non-nil only in NCache mode
+	bs   int
+}
+
+// chargePhysical records n bytes moved in `stages` copy operations (the
+// per-request stage count Table 2 reports) and bills the CPU.
+func (p *dataPath) chargePhysical(stages, nbytes int) {
+	p.node.Copies.PhysicalOps += uint64(stages)
+	p.node.Copies.PhysicalBytes += uint64(nbytes)
+	p.node.Charge(p.node.Cost.CopyCost(nbytes), nil)
+}
+
+// chargeLogical records n key copies and bills the CPU.
+func (p *dataPath) chargeLogical(n int) {
+	p.node.Copies.LogicalOps += uint64(n)
+	p.node.Charge(sim.Duration(n)*p.node.Cost.LogicalCopyNs, nil)
+}
+
+// replyChain converts read extents into a transmit payload chain.
+//
+//   - real blocks: physical copies — two stages for the NFS daemon path
+//     (read() into the daemon buffer, then sendto() into the stack), one
+//     stage for the kHTTPd sendfile path (Table 2);
+//   - logical blocks: a key copy per extent — the stamped junk travels and
+//     the driver-level hook substitutes later;
+//   - holes: zero-filled buffers, uncharged.
+func (p *dataPath) replyChain(res *extfs.ReadResult, sendfile bool) *netbuf.Chain {
+	out := netbuf.NewChain()
+	physBytes := 0
+	logical := 0
+	stages := 1
+	if !sendfile {
+		stages = 2
+	}
+	for _, e := range res.Extents {
+		switch {
+		case e.Block == nil:
+			zb := netbuf.New(0, e.Len)
+			_ = zb.Put(e.Len)
+			out.Append(zb)
+
+		case e.Block.Logical:
+			key, ok := e.Block.Key()
+			if !ok {
+				key = lkey.Key{}
+			}
+			if e.Off > 0 {
+				key = key.WithSubOff(uint32(e.Off))
+			}
+			for _, b := range lkey.StampChain(key, e.Len).Bufs() {
+				out.Append(b)
+			}
+			logical++
+
+		default:
+			// Physical: the daemon-buffer copy and the socket copy
+			// both walk the bytes; the chain build is the second.
+			slab := make([]byte, e.Len)
+			copy(slab, e.Block.Data[e.Off:e.Off+e.Len])
+			for _, b := range netbuf.ChainFromBytes(slab, netbuf.DefaultBufSize).Bufs() {
+				out.Append(b)
+			}
+			physBytes += e.Len
+		}
+	}
+	if physBytes > 0 {
+		p.chargePhysical(stages, physBytes*stages)
+	}
+	if logical > 0 {
+		p.chargeLogical(logical)
+	}
+	return out
+}
+
+// applyWrite routes a write payload into the file system with the mode's
+// data movement, then calls done. It owns the payload chain.
+func (p *dataPath) applyWrite(fs *extfs.FS, ino uint32, fh nfs.FH, off uint64, data *netbuf.Chain, done func(n int, st uint32)) {
+	n := data.Len()
+	aligned := off%uint64(p.bs) == 0 && n%p.bs == 0 && n > 0
+
+	finish := func(err error) {
+		if err != nil {
+			done(0, mapErr(err))
+			return
+		}
+		done(n, nfs.OK)
+	}
+
+	switch {
+	case p.mode == NCache && aligned:
+		// Capture the wire payload into the FHO cache; the file system
+		// receives only keys (one logical copy per block).
+		blocks := n / p.bs
+		junk := p.mod.CaptureFHO(fh, off, data)
+		junk.Release()
+		p.chargeLogical(blocks)
+		filler := func(b *buffercache.Block, blockOff, count, srcOff int) {
+			lkey.Stamp(b.Data, lkey.ForFHO(fh, off+uint64(srcOff)))
+			b.Logical = true
+		}
+		fs.Write(ino, off, n, filler, finish)
+
+	case p.mode == Baseline:
+		// Ideal zero-copy: drop the payload, store junk markers.
+		data.Release()
+		filler := func(b *buffercache.Block, blockOff, count, srcOff int) {
+			if blockOff == 0 {
+				lkey.Stamp(b.Data, lkey.Key{})
+				b.Logical = true
+			}
+		}
+		fs.Write(ino, off, n, filler, finish)
+
+	default:
+		// Physical path (Original, or unaligned writes in NCache mode):
+		// one copy from the wire buffers into the buffer cache
+		// (Table 2: "overwritten" = 1).
+		flat := data.Flatten()
+		data.Release()
+		p.chargePhysical(1, n)
+		filler := func(b *buffercache.Block, blockOff, count, srcOff int) {
+			if b.Logical {
+				// A partial overwrite of a key-carrying block must
+				// materialize the real bytes first.
+				p.materialize(b)
+			}
+			copy(b.Data[blockOff:blockOff+count], flat[srcOff:srcOff+count])
+		}
+		fs.Write(ino, off, n, filler, finish)
+	}
+}
+
+// materialize turns a logical block back into a real one by pulling the
+// payload out of the NCache module (charging the copy). On a miss the block
+// is zero-filled and counted.
+func (p *dataPath) materialize(b *buffercache.Block) {
+	key, ok := b.Key()
+	if p.mod != nil && ok && key.Flags != 0 {
+		tmp := make([]byte, len(b.Data))
+		if p.mod.Materialize(key, tmp) {
+			copy(b.Data, tmp)
+			b.Logical = false
+			p.chargePhysical(1, len(b.Data))
+			return
+		}
+	}
+	for i := range b.Data {
+		b.Data[i] = 0
+	}
+	b.Logical = false
+}
+
+// mapErr converts file system errors to NFS statuses.
+func mapErr(err error) uint32 {
+	switch err {
+	case nil:
+		return nfs.OK
+	case extfs.ErrNotFound:
+		return nfs.ErrNoEnt
+	case extfs.ErrExists:
+		return nfs.ErrExist
+	case extfs.ErrNotDir:
+		return nfs.ErrNotDir
+	case extfs.ErrIsDir:
+		return nfs.ErrIsDir
+	case extfs.ErrNoSpace:
+		return nfs.ErrNoSpc
+	case extfs.ErrNoInodes:
+		return nfs.ErrNoSpc
+	case extfs.ErrNotEmpty:
+		return nfs.ErrNotEmpty
+	case extfs.ErrNameTooLong:
+		return nfs.ErrNameLong
+	case extfs.ErrFileTooBig:
+		return nfs.ErrFBig
+	default:
+		return nfs.ErrIO
+	}
+}

@@ -1,0 +1,40 @@
+// Package passthru assembles the paper's systems under test: the
+// NFS-over-iSCSI pass-through server and the in-kernel static web server
+// (kHTTPd), each in the three configurations the evaluation compares —
+// Original (standard physical-copy data path), Baseline (the "ideal"
+// modification with every regular-data copy removed, serving junk), and
+// NCache (the network-centric cache with logical copying). It also provides
+// the storage server and client hosts, so an experiment is one Cluster.
+package passthru
+
+// Mode selects the server's data-path configuration (§5.1).
+type Mode int
+
+// The three configurations of §5.
+const (
+	// Original is the unmodified server: regular data is physically
+	// copied between the network stack, the buffer cache and the daemon.
+	Original Mode = iota + 1
+	// Baseline is the ideal zero-copy comparator: all regular-data
+	// copies are simply removed and clients receive junk payloads. It
+	// bounds the possible gain; data integrity is sacrificed by design.
+	Baseline
+	// NCache runs the network-centric buffer cache: payloads stay in
+	// wire buffers, keys move between layers, and the transmit hooks
+	// substitute real data back in.
+	NCache
+)
+
+// String names the mode as the paper does.
+func (m Mode) String() string {
+	switch m {
+	case Original:
+		return "original"
+	case Baseline:
+		return "baseline"
+	case NCache:
+		return "ncache"
+	default:
+		return "unknown"
+	}
+}

@@ -1,0 +1,73 @@
+package passthru
+
+import (
+	"fmt"
+
+	"ncache/internal/blockdev"
+	"ncache/internal/iscsi"
+	"ncache/internal/proto/eth"
+	"ncache/internal/proto/ipv4"
+	"ncache/internal/proto/tcp"
+	"ncache/internal/sim"
+	"ncache/internal/simnet"
+)
+
+// StorageConfig sizes the storage server (the paper's PIII-1GHz node with a
+// 4-disk RAID-0).
+type StorageConfig struct {
+	Addr             eth.Addr
+	NumDisks         int
+	BlocksPerDisk    int64
+	StripeUnitBlocks int
+	DiskModel        blockdev.Model
+	Cost             simnet.CostProfile
+	LinkBandwidth    simnet.Bandwidth
+}
+
+// DefaultStorageConfig mirrors the testbed: 4 IDE disks, RAID-0, gigabit.
+func DefaultStorageConfig(addr eth.Addr, blocksPerDisk int64) StorageConfig {
+	return StorageConfig{
+		Addr:             addr,
+		NumDisks:         4,
+		BlocksPerDisk:    blocksPerDisk,
+		StripeUnitBlocks: 16, // 64 KB stripes
+		DiskModel:        blockdev.IDE2000(),
+		Cost:             simnet.DefaultProfile(),
+		LinkBandwidth:    simnet.Gbps,
+	}
+}
+
+// StorageServer is the iSCSI storage node.
+type StorageServer struct {
+	Node   *simnet.Node
+	Target *iscsi.Target
+	Array  *blockdev.RAID0
+	Addr   eth.Addr
+}
+
+// NewStorageServer builds and attaches the storage node to the fabric.
+func NewStorageServer(eng *sim.Engine, nw *simnet.Network, cfg StorageConfig) (*StorageServer, error) {
+	node := simnet.NewNode(eng, "storage", cfg.Cost)
+	if _, err := nw.Attach(node, cfg.Addr, cfg.LinkBandwidth); err != nil {
+		return nil, fmt.Errorf("storage attach: %w", err)
+	}
+	ip := ipv4.NewStack(node)
+	tcpT := tcp.NewTransport(ip)
+
+	disks := make([]*blockdev.MemDisk, cfg.NumDisks)
+	for i := range disks {
+		disks[i] = blockdev.NewMemDisk(eng, fmt.Sprintf("disk%d", i), blockdev.Geometry{
+			BlockSize: 4096,
+			NumBlocks: cfg.BlocksPerDisk,
+		}, cfg.DiskModel)
+	}
+	array, err := blockdev.NewRAID0(disks, cfg.StripeUnitBlocks)
+	if err != nil {
+		return nil, err
+	}
+	target, err := iscsi.NewTarget(node, tcpT, array)
+	if err != nil {
+		return nil, err
+	}
+	return &StorageServer{Node: node, Target: target, Array: array, Addr: cfg.Addr}, nil
+}

@@ -1,0 +1,216 @@
+package ipv4
+
+import (
+	"fmt"
+
+	"ncache/internal/netbuf"
+	"ncache/internal/proto/eth"
+	"ncache/internal/simnet"
+)
+
+// Handler consumes a reassembled datagram for one transport protocol. The
+// payload chain's buffers are the original wire buffers (zero-copy
+// reassembly); the handler owns their references.
+type Handler func(h Header, payload *netbuf.Chain)
+
+// Stack is a node's network layer: it owns the receive path of every NIC on
+// the node, demuxes to registered transports, fragments oversize datagrams
+// on transmit, and reassembles on receive.
+type Stack struct {
+	node     *simnet.Node
+	nics     map[eth.Addr]*simnet.NIC
+	handlers map[uint8]Handler
+	nextID   uint16
+	reasm    map[reasmKey]*reassembly
+
+	// ReasmErrors counts fragments that could not be reassembled
+	// (out-of-order or inconsistent); the lossless fabric should keep
+	// this at zero.
+	ReasmErrors uint64
+}
+
+type reasmKey struct {
+	src, dst eth.Addr
+	proto    uint8
+	id       uint16
+}
+
+type reassembly struct {
+	chain   *netbuf.Chain
+	nextOff uint16
+}
+
+// NewStack creates the network layer for node and installs itself as the
+// receive handler on every currently attached NIC.
+func NewStack(node *simnet.Node) *Stack {
+	s := &Stack{
+		node:     node,
+		nics:     make(map[eth.Addr]*simnet.NIC),
+		handlers: make(map[uint8]Handler),
+		reasm:    make(map[reasmKey]*reassembly),
+	}
+	for _, nic := range node.NICs() {
+		s.AttachNIC(nic)
+	}
+	return s
+}
+
+// AttachNIC registers a NIC added after stack construction.
+func (s *Stack) AttachNIC(nic *simnet.NIC) {
+	s.nics[nic.Addr] = nic
+	nic.SetRxHandler(func(frame *netbuf.Chain) {
+		// Per-packet receive cost: interrupt + driver + demux.
+		s.node.Charge(s.node.Cost.PktRxNs, func() {
+			s.receive(frame)
+		})
+	})
+}
+
+// Node returns the owning node.
+func (s *Stack) Node() *simnet.Node { return s.node }
+
+// Register installs the handler for an IP protocol number.
+func (s *Stack) Register(proto uint8, h Handler) {
+	s.handlers[proto] = h
+}
+
+// Addrs returns the local addresses of all attached NICs.
+func (s *Stack) Addrs() []eth.Addr {
+	out := make([]eth.Addr, 0, len(s.nics))
+	for a := range s.nics {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Send transmits payload as one IP datagram from the local address src to
+// dst, fragmenting as needed. The stack takes ownership of the payload
+// chain's references. Fragmentation clones buffer descriptors — payload
+// bytes are never copied on this path.
+func (s *Stack) Send(src, dst eth.Addr, proto uint8, payload *netbuf.Chain) error {
+	nic, ok := s.nics[src]
+	if !ok {
+		return fmt.Errorf("ipv4: no local NIC with address %s", src)
+	}
+	id := s.nextID
+	s.nextID++
+	total := payload.Len()
+	maxFrag := (nic.MTU - HeaderLen) &^ 7 // fragment payload, multiple of 8
+
+	if total <= nic.MTU-HeaderLen {
+		return s.sendFragment(nic, Header{
+			TotalLen: uint16(HeaderLen + total),
+			ID:       id,
+			TTL:      64,
+			Proto:    proto,
+			Src:      src,
+			Dst:      dst,
+		}, payload)
+	}
+
+	for off := 0; off < total; off += maxFrag {
+		n := maxFrag
+		more := true
+		if off+n >= total {
+			n = total - off
+			more = false
+		}
+		fragPayload, err := payload.Slice(off, n)
+		if err != nil {
+			payload.Release()
+			return fmt.Errorf("ipv4 fragment: %w", err)
+		}
+		hdr := Header{
+			TotalLen:   uint16(HeaderLen + n),
+			ID:         id,
+			MoreFrags:  more,
+			FragOffset: uint16(off),
+			TTL:        64,
+			Proto:      proto,
+			Src:        src,
+			Dst:        dst,
+		}
+		if err := s.sendFragment(nic, hdr, fragPayload); err != nil {
+			payload.Release()
+			return err
+		}
+	}
+	// The fragments hold their own references now.
+	payload.Release()
+	return nil
+}
+
+// sendFragment prepends headers into a dedicated header buffer (never into
+// shared payload buffers — fragments may alias one another's backing), then
+// charges per-packet CPU and hands the frame to the NIC.
+func (s *Stack) sendFragment(nic *simnet.NIC, hdr Header, payload *netbuf.Chain) error {
+	hb := netbuf.New(netbuf.DefaultHeadroom, 0)
+	frame := netbuf.ChainOf(hb)
+	for _, b := range payload.Bufs() {
+		frame.Append(b)
+	}
+	if err := hdr.Push(frame); err != nil {
+		return err
+	}
+	ehdr := eth.Header{Dst: hdr.Dst, Src: hdr.Src, Type: eth.TypeIPv4}
+	if err := ehdr.Push(frame); err != nil {
+		return err
+	}
+	s.node.Charge(s.node.Cost.PktTxNs, func() {
+		if err := nic.Send(frame); err != nil {
+			frame.Release()
+		}
+	})
+	return nil
+}
+
+// receive parses one frame and either delivers or reassembles it.
+func (s *Stack) receive(frame *netbuf.Chain) {
+	if _, err := eth.Parse(frame); err != nil {
+		s.ReasmErrors++
+		frame.Release()
+		return
+	}
+	hdr, err := Parse(frame)
+	if err != nil {
+		s.ReasmErrors++
+		frame.Release()
+		return
+	}
+	if !hdr.MoreFrags && hdr.FragOffset == 0 {
+		s.deliver(hdr, frame)
+		return
+	}
+
+	key := reasmKey{src: hdr.Src, dst: hdr.Dst, proto: hdr.Proto, id: hdr.ID}
+	r := s.reasm[key]
+	if r == nil {
+		r = &reassembly{chain: netbuf.NewChain()}
+		s.reasm[key] = r
+	}
+	if hdr.FragOffset != r.nextOff {
+		// The fabric is lossless and ordered; anything else is a bug.
+		s.ReasmErrors++
+		frame.Release()
+		delete(s.reasm, key)
+		return
+	}
+	for _, b := range frame.Bufs() {
+		r.chain.Append(b)
+	}
+	r.nextOff += hdr.TotalLen - HeaderLen
+	if !hdr.MoreFrags {
+		delete(s.reasm, key)
+		s.deliver(hdr, r.chain)
+	}
+}
+
+// deliver hands a complete datagram to the registered transport.
+func (s *Stack) deliver(hdr Header, payload *netbuf.Chain) {
+	h, ok := s.handlers[hdr.Proto]
+	if !ok {
+		payload.Release()
+		return
+	}
+	h(hdr, payload)
+}

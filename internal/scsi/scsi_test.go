@@ -1,0 +1,57 @@
+package scsi
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCDBRoundTrip(t *testing.T) {
+	for _, in := range []CDB{
+		{Op: OpRead10, LBA: 0, Blocks: 1},
+		{Op: OpWrite10, LBA: 0xfffffffe, Blocks: 0xffff},
+		{Op: OpReadCapacity10},
+		{Op: OpTestUnitReady},
+	} {
+		wire := in.Encode()
+		out, err := DecodeCDB(wire[:])
+		if err != nil {
+			t.Fatalf("DecodeCDB(%+v): %v", in, err)
+		}
+		if out != in {
+			t.Fatalf("round trip: got %+v, want %+v", out, in)
+		}
+	}
+}
+
+func TestDecodeCDBShort(t *testing.T) {
+	if _, err := DecodeCDB(make([]byte, 5)); err == nil {
+		t.Fatal("short CDB accepted")
+	}
+}
+
+func TestReadCapacityRoundTrip(t *testing.T) {
+	in := ReadCapacityData{LastLBA: 123456, BlockSize: 4096}
+	wire := in.Encode()
+	out, err := DecodeReadCapacity(wire[:])
+	if err != nil {
+		t.Fatalf("DecodeReadCapacity: %v", err)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+	if _, err := DecodeReadCapacity(wire[:4]); err == nil {
+		t.Fatal("short capacity data accepted")
+	}
+}
+
+func TestPropertyCDBRoundTrip(t *testing.T) {
+	f := func(op uint8, lba uint32, blocks uint16) bool {
+		in := CDB{Op: op, LBA: lba, Blocks: blocks}
+		wire := in.Encode()
+		out, err := DecodeCDB(wire[:])
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,236 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine drives every experiment in this repository: protocol stacks,
+// CPUs, NICs and disks are modeled as event callbacks and queueing resources
+// on a shared virtual clock. Determinism comes from a total order on events
+// (time, then insertion sequence) and from seeded random sources; running the
+// same experiment twice yields byte-identical results.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. Virtual time has no relation to wall-clock time.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It deliberately mirrors
+// time.Duration so that literals such as 5*sim.Microsecond read naturally.
+type Duration int64
+
+// Convenient duration units, mirroring package time.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable virtual time.
+const MaxTime = Time(math.MaxInt64)
+
+// Std converts a virtual duration to a time.Duration for display.
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+// String formats the duration using time.Duration notation.
+func (d Duration) String() string { return time.Duration(d).String() }
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// String formats the time as an offset from the simulation start.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Seconds returns the time as a floating-point number of seconds since the
+// simulation start.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tiebreaker: FIFO among events at the same instant
+	fn  func()
+	idx int // heap index, -1 once popped or canceled
+}
+
+// eventHeap orders events by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*event)
+	if !ok {
+		return
+	}
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// EventID identifies a scheduled event so it can be canceled.
+type EventID struct {
+	ev *event
+}
+
+// Engine is a discrete-event simulation loop. The zero value is not usable;
+// construct one with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	// processed counts events executed, for diagnostics and runaway guards.
+	processed uint64
+	// limit aborts Run after this many events (0 = unlimited).
+	limit uint64
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed reports how many events have been executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// SetEventLimit aborts Run after n events. Zero means unlimited. It exists
+// as a guard against accidental non-terminating experiment loops.
+func (e *Engine) SetEventLimit(n uint64) { e.limit = n }
+
+// Schedule runs fn after delay d. A negative delay is treated as zero.
+// Events scheduled for the same instant run in scheduling order.
+func (e *Engine) Schedule(d Duration, fn func()) EventID {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// At runs fn at absolute time t. If t is in the past, fn runs at the current
+// time (but never before events already due).
+func (e *Engine) At(t Time, fn func()) EventID {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return EventID{ev: ev}
+}
+
+// Cancel removes a pending event. Canceling an already-fired or canceled
+// event is a no-op and reports false.
+func (e *Engine) Cancel(id EventID) bool {
+	if id.ev == nil || id.ev.idx < 0 {
+		return false
+	}
+	heap.Remove(&e.events, id.ev.idx)
+	id.ev.fn = nil
+	return true
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of events waiting to fire.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// step executes the earliest pending event. It reports false when no events
+// remain or the engine is stopped.
+func (e *Engine) step(until Time) (bool, error) {
+	if e.stopped || len(e.events) == 0 {
+		return false, nil
+	}
+	next := e.events[0]
+	if next.at > until {
+		// Advance the clock to the horizon without firing the event.
+		e.now = until
+		return false, nil
+	}
+	popped, ok := heap.Pop(&e.events).(*event)
+	if !ok {
+		return false, fmt.Errorf("sim: corrupt event heap")
+	}
+	e.now = popped.at
+	e.processed++
+	if e.limit > 0 && e.processed > e.limit {
+		return false, fmt.Errorf("sim: event limit %d exceeded at t=%s", e.limit, e.now)
+	}
+	if popped.fn != nil {
+		popped.fn()
+	}
+	return true, nil
+}
+
+// Run executes events until none remain or Stop is called.
+func (e *Engine) Run() error {
+	e.stopped = false
+	for {
+		more, err := e.step(MaxTime)
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// exactly t. Events scheduled beyond t remain pending.
+func (e *Engine) RunUntil(t Time) error {
+	e.stopped = false
+	for {
+		more, err := e.step(t)
+		if err != nil {
+			return err
+		}
+		if !more {
+			if !e.stopped && e.now < t {
+				e.now = t
+			}
+			return nil
+		}
+	}
+}
+
+// RunFor executes events for a span d of virtual time from now.
+func (e *Engine) RunFor(d Duration) error {
+	return e.RunUntil(e.now.Add(d))
+}

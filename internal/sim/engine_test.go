@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineEmptyRun(t *testing.T) {
+	e := NewEngine()
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if e.Now() != 0 {
+		t.Fatalf("clock moved on empty run: %v", e.Now())
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineSameInstantFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if order[i] != i {
+			t.Fatalf("same-instant events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.Schedule(10, func() {
+		fired = append(fired, e.Now())
+		e.Schedule(5, func() {
+			fired = append(fired, e.Now())
+		})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 15 {
+		t.Fatalf("fired = %v, want [10 15]", fired)
+	}
+}
+
+func TestEngineNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {})
+	if err := e.RunUntil(10); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	ran := false
+	e.Schedule(-5, func() { ran = true })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !ran {
+		t.Fatal("negative-delay event did not run")
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now = %v, want 10 (negative delay must not rewind)", e.Now())
+	}
+}
+
+func TestEngineRunUntilAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(100, func() {})
+	if err := e.RunUntil(40); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if e.Now() != 40 {
+		t.Fatalf("Now = %v, want 40", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now = %v, want 100", e.Now())
+	}
+}
+
+func TestEngineRunFor(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		e.Schedule(10, tick)
+	}
+	e.Schedule(10, tick)
+	if err := e.RunFor(95); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if count != 9 {
+		t.Fatalf("ticks = %d, want 9", count)
+	}
+	if e.Now() != 95 {
+		t.Fatalf("Now = %v, want 95", e.Now())
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	id := e.Schedule(10, func() { ran = true })
+	if !e.Cancel(id) {
+		t.Fatal("Cancel reported failure for pending event")
+	}
+	if e.Cancel(id) {
+		t.Fatal("double Cancel reported success")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ran {
+		t.Fatal("canceled event ran")
+	}
+}
+
+func TestEngineCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(10, func() { order = append(order, 1) })
+	id := e.Schedule(20, func() { order = append(order, 2) })
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Cancel(id)
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 3 {
+		t.Fatalf("order = %v, want [1 3]", order)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Schedule(1, func() { count++; e.Stop() })
+	e.Schedule(2, func() { count++ })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count != 1 {
+		t.Fatalf("count = %d, want 1 (Stop must halt the loop)", count)
+	}
+	// A subsequent Run resumes.
+	if err := e.Run(); err != nil {
+		t.Fatalf("second Run: %v", err)
+	}
+	if count != 2 {
+		t.Fatalf("count = %d, want 2 after resume", count)
+	}
+}
+
+func TestEngineEventLimit(t *testing.T) {
+	e := NewEngine()
+	e.SetEventLimit(10)
+	var tick func()
+	tick = func() { e.Schedule(1, tick) }
+	e.Schedule(1, tick)
+	if err := e.Run(); err == nil {
+		t.Fatal("Run with runaway loop did not hit event limit")
+	}
+}
+
+func TestEnginePropertyEventsFireInTimeOrder(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, d := range delays {
+			e.Schedule(Duration(d), func() { fired = append(fired, e.Now()) })
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(delays)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	if got := (1500 * Microsecond).String(); got != "1.5ms" {
+		t.Fatalf("String = %q, want 1.5ms", got)
+	}
+	if got := Time(2 * Second).Seconds(); got != 2.0 {
+		t.Fatalf("Seconds = %v, want 2", got)
+	}
+}

@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestResourceSerializesWork(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "cpu")
+	var done []Time
+	r.Use(10, func() { done = append(done, e.Now()) })
+	r.Use(10, func() { done = append(done, e.Now()) })
+	r.Use(5, func() { done = append(done, e.Now()) })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []Time{10, 20, 25}
+	for i, w := range want {
+		if done[i] != w {
+			t.Fatalf("done = %v, want %v", done, want)
+		}
+	}
+}
+
+func TestResourceIdleGap(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "cpu")
+	var finish Time
+	r.Use(10, nil)
+	e.Schedule(50, func() {
+		r.Use(10, func() { finish = e.Now() })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if finish != 60 {
+		t.Fatalf("finish = %v, want 60 (service starts when submitted)", finish)
+	}
+	if r.Busy() != 20 {
+		t.Fatalf("Busy = %v, want 20", r.Busy())
+	}
+	// 20ns busy over 60ns elapsed.
+	if u := r.Utilization(); u < 0.33 || u > 0.34 {
+		t.Fatalf("Utilization = %v, want ~0.333", u)
+	}
+}
+
+func TestResourceSaturatedUtilization(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "cpu")
+	for i := 0; i < 100; i++ {
+		r.Use(10, nil)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if u := r.Utilization(); u != 1.0 {
+		t.Fatalf("Utilization = %v, want 1.0 for back-to-back work", u)
+	}
+	if r.Jobs() != 100 {
+		t.Fatalf("Jobs = %d, want 100", r.Jobs())
+	}
+}
+
+func TestResourceZeroDuration(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "cpu")
+	ran := false
+	r.Use(0, func() { ran = true })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !ran {
+		t.Fatal("zero-duration job did not complete")
+	}
+	if e.Now() != 0 {
+		t.Fatalf("Now = %v, want 0", e.Now())
+	}
+}
+
+func TestResourceResetStats(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "cpu")
+	r.Use(100, nil)
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	r.ResetStats()
+	e.Schedule(100, func() {})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if u := r.Utilization(); u != 0 {
+		t.Fatalf("Utilization after reset+idle = %v, want 0", u)
+	}
+	if r.Jobs() != 0 {
+		t.Fatalf("Jobs after reset = %d, want 0", r.Jobs())
+	}
+}
+
+func TestResourceResetStatsMidJob(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "cpu")
+	r.Use(100, nil)
+	if err := e.RunUntil(50); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	r.ResetStats()
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// The remaining 50ns of the in-flight job belong to the new window.
+	if r.Busy() != 50 {
+		t.Fatalf("Busy = %v, want 50 (residual in-flight work)", r.Busy())
+	}
+	if u := r.Utilization(); u != 1.0 {
+		t.Fatalf("Utilization = %v, want 1.0", u)
+	}
+}
+
+func TestResourceQueueHighWater(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "cpu")
+	for i := 0; i < 5; i++ {
+		r.Use(10, nil)
+	}
+	if r.QueueLen() != 5 {
+		t.Fatalf("QueueLen = %d, want 5", r.QueueLen())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.QueueLen() != 0 {
+		t.Fatalf("QueueLen = %d, want 0 after drain", r.QueueLen())
+	}
+	if r.MaxQueueLen() != 5 {
+		t.Fatalf("MaxQueueLen = %d, want 5", r.MaxQueueLen())
+	}
+}
+
+func TestResourcePropertyBusyEqualsSumOfService(t *testing.T) {
+	f := func(durs []uint8) bool {
+		e := NewEngine()
+		r := NewResource(e, "x")
+		var sum Duration
+		for _, d := range durs {
+			r.Use(Duration(d), nil)
+			sum += Duration(d)
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return r.Busy() == sum && e.Now() == Time(sum)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced diverging streams")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	for i := 0; i < 10; i++ {
+		if NewRNG(42).Uint64() == c.Uint64() {
+			continue
+		}
+		same = false
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed stuck at zero")
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(13); v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d out of range", v)
+		}
+	}
+	if r.Intn(0) != 0 || r.Intn(-5) != 0 {
+		t.Fatal("Intn of non-positive bound must return 0")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(11)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGFill(t *testing.T) {
+	r := NewRNG(13)
+	b := make([]byte, 37)
+	r.Fill(b)
+	allZero := true
+	for _, v := range b {
+		if v != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		t.Fatal("Fill left buffer all zero")
+	}
+	// Determinism.
+	b2 := make([]byte, 37)
+	NewRNG(13).Fill(b2)
+	for i := range b {
+		if b[i] != b2[i] {
+			t.Fatal("Fill not deterministic for same seed")
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package simnet
+
+import (
+	"testing"
+
+	"ncache/internal/sim"
+)
+
+func TestCopyCostLinear(t *testing.T) {
+	p := DefaultProfile()
+	if p.CopyCost(0) != 0 {
+		t.Fatal("zero bytes cost nonzero")
+	}
+	one := p.CopyCost(1000)
+	two := p.CopyCost(2000)
+	if two != 2*one {
+		t.Fatalf("copy cost not linear: %v vs %v", one, two)
+	}
+	// The calibrated rate: 3 ns/B.
+	if got := p.CopyCost(1_000_000); got != 3*sim.Millisecond {
+		t.Fatalf("CopyCost(1MB) = %v, want 3ms", got)
+	}
+}
+
+func TestChecksumCost(t *testing.T) {
+	p := DefaultProfile()
+	if got := p.ChecksumCost(800_000); got != sim.Millisecond {
+		t.Fatalf("ChecksumCost(800KB) = %v, want 1ms (800 MB/s)", got)
+	}
+}
+
+func TestDefaultProfileSanity(t *testing.T) {
+	p := DefaultProfile()
+	// The relationships the calibration depends on (§DESIGN 4a): logical
+	// copies are orders of magnitude cheaper than a block copy; the
+	// per-block target overhead exceeds per-command costs under large
+	// transfers; substitution is cheaper than copying a wire buffer.
+	if p.LogicalCopyNs*10 > p.CopyCost(4096) {
+		t.Fatal("logical copy not much cheaper than a 4KB physical copy")
+	}
+	if p.NCacheSubstNs >= p.CopyCost(1460) {
+		t.Fatal("per-buffer substitution costs more than copying the buffer")
+	}
+	if p.PktRxNs <= 0 || p.PktTxNs <= 0 || p.NFSOpNs <= 0 || p.TargetBlockNs <= 0 {
+		t.Fatal("zero per-op costs")
+	}
+}
+
+func TestBandwidthSerializationUnits(t *testing.T) {
+	if Gbps.serialization(0) != 0 {
+		t.Fatal("zero bytes serialize in nonzero time")
+	}
+	if Bandwidth(0).serialization(1000) != 0 {
+		t.Fatal("zero bandwidth must not divide by zero")
+	}
+	// 1500B at 1Gbps = 12µs.
+	if d := Gbps.serialization(1500); d != 12*sim.Microsecond {
+		t.Fatalf("1500B @ 1Gbps = %v", d)
+	}
+}

@@ -1,0 +1,89 @@
+package simnet
+
+import (
+	"fmt"
+
+	"ncache/internal/netbuf"
+	"ncache/internal/proto/eth"
+	"ncache/internal/sim"
+)
+
+// Network is a store-and-forward switch: every NIC attaches to one port
+// over a full-duplex link. Forwarding looks up the destination address and
+// serializes the frame onto the egress port's downlink. The fabric is
+// lossless and preserves per-flow ordering, like the paper's NetGear gigabit
+// switch under non-saturating load.
+type Network struct {
+	eng     *sim.Engine
+	latency sim.Duration
+	ports   map[eth.Addr]*port
+	dropped uint64
+}
+
+// port is the switch side of one attachment: a downlink serializer toward
+// the NIC.
+type port struct {
+	nic  *NIC
+	down *sim.Resource
+	bw   Bandwidth
+}
+
+// NewNetwork returns an empty switch with the given one-way port latency.
+func NewNetwork(eng *sim.Engine, latency sim.Duration) *Network {
+	return &Network{
+		eng:     eng,
+		latency: latency,
+		ports:   make(map[eth.Addr]*port),
+	}
+}
+
+// Attach creates a NIC on node, connected to this switch at the given
+// address and bandwidth, and returns it. The NIC uses the testbed defaults:
+// 1500-byte MTU and checksum offload on.
+func (nw *Network) Attach(node *Node, addr eth.Addr, bw Bandwidth) (*NIC, error) {
+	if _, exists := nw.ports[addr]; exists {
+		return nil, fmt.Errorf("simnet: address %s already attached", addr)
+	}
+	nic := &NIC{
+		Addr:            addr,
+		MTU:             netbuf.DefaultBufSize,
+		ChecksumOffload: true,
+		node:            node,
+		net:             nw,
+		tx:              sim.NewResource(node.Eng, fmt.Sprintf("%s.%s.tx", node.Name, addr)),
+		bw:              bw,
+		latency:         nw.latency,
+	}
+	nw.ports[addr] = &port{
+		nic:  nic,
+		down: sim.NewResource(nw.eng, fmt.Sprintf("sw.%s.down", addr)),
+		bw:   bw,
+	}
+	node.nics = append(node.nics, nic)
+	return nic, nil
+}
+
+// Dropped reports frames discarded for unknown destinations.
+func (nw *Network) Dropped() uint64 { return nw.dropped }
+
+// forward moves a frame from an ingress NIC to its destination port.
+func (nw *Network) forward(from *NIC, frame *netbuf.Chain) {
+	hdr, err := eth.Peek(frame)
+	if err != nil {
+		nw.dropped++
+		frame.Release()
+		return
+	}
+	p, ok := nw.ports[hdr.Dst]
+	if !ok || p.nic == from {
+		nw.dropped++
+		frame.Release()
+		return
+	}
+	wire := frame.Len() + FrameOverheadBytes
+	p.down.Use(p.bw.serialization(wire), func() {
+		nw.eng.Schedule(nw.latency, func() {
+			p.nic.deliver(frame)
+		})
+	})
+}

@@ -1,0 +1,119 @@
+package simnet
+
+import (
+	"fmt"
+
+	"ncache/internal/metrics"
+	"ncache/internal/netbuf"
+	"ncache/internal/proto/eth"
+	"ncache/internal/sim"
+)
+
+// Bandwidth is a link speed in bits per second.
+type Bandwidth int64
+
+// Common link speeds.
+const (
+	Mbps Bandwidth = 1_000_000
+	Gbps Bandwidth = 1_000_000_000
+)
+
+// serialization returns the time to clock n bytes onto a link of this speed.
+func (bw Bandwidth) serialization(n int) sim.Duration {
+	if bw <= 0 {
+		return 0
+	}
+	return sim.Duration(int64(n) * 8 * int64(sim.Second) / int64(bw))
+}
+
+// FrameOverheadBytes models preamble, CRC and inter-frame gap on each frame,
+// beyond the bytes carried in the chain.
+const FrameOverheadBytes = 24
+
+// TxFilter inspects (and may replace) an outgoing frame just before it is
+// clocked onto the wire. This is the driver-level hook the NCache module
+// installs ("inserted into the layer between the network stack and the
+// Ethernet device driver", §4.1). Returning a different chain substitutes
+// the frame; the filter owns the old frame's references in that case.
+type TxFilter interface {
+	FilterTx(frame *netbuf.Chain) *netbuf.Chain
+}
+
+// RxHandler receives frames delivered to a NIC. It runs in event context;
+// implementations charge their own CPU costs.
+type RxHandler func(frame *netbuf.Chain)
+
+// NIC is a network interface: an address, a transmit serializer at the
+// link's bandwidth, checksum-offload capability, and the driver tx hook.
+type NIC struct {
+	Addr eth.Addr
+	MTU  int
+	// ChecksumOffload mirrors the Intel Pro/1000 capability the testbed
+	// enabled: transport checksums cost no CPU on this interface.
+	ChecksumOffload bool
+	Stats           metrics.Net
+
+	node    *Node
+	net     *Network
+	tx      *sim.Resource
+	rx      RxHandler
+	filters []TxFilter
+	bw      Bandwidth
+	latency sim.Duration
+}
+
+// SetRxHandler installs the function invoked for each delivered frame.
+func (n *NIC) SetRxHandler(h RxHandler) { n.rx = h }
+
+// AddTxFilter appends a driver-level transmit hook. Filters run in
+// installation order on every outgoing frame.
+func (n *NIC) AddTxFilter(f TxFilter) { n.filters = append(n.filters, f) }
+
+// Node returns the owning node.
+func (n *NIC) Node() *Node { return n.node }
+
+// Bandwidth returns the attached link speed.
+func (n *NIC) Bandwidth() Bandwidth { return n.bw }
+
+// TxUtilization reports the transmit serializer's utilization since its
+// stats were last reset — how close this NIC is to line rate.
+func (n *NIC) TxUtilization() float64 { return n.tx.Utilization() }
+
+// ResetStats zeroes wire counters and the transmit serializer's window.
+func (n *NIC) ResetStats() {
+	n.Stats = metrics.Net{}
+	n.tx.ResetStats()
+}
+
+// Send clocks a fully framed chain (link header already pushed) onto the
+// wire. The frame must fit in MTU + headers. Delivery is asynchronous; the
+// NIC owns the chain's references from this point.
+func (n *NIC) Send(frame *netbuf.Chain) error {
+	for _, f := range n.filters {
+		frame = f.FilterTx(frame)
+	}
+	size := frame.Len()
+	if size > n.MTU+eth.HeaderLen {
+		return fmt.Errorf("simnet: frame %d bytes exceeds MTU %d on %s", size, n.MTU, n.Addr)
+	}
+	n.Stats.PacketsTx++
+	n.Stats.BytesTx += uint64(size)
+	wire := size + FrameOverheadBytes
+	n.tx.Use(n.bw.serialization(wire), func() {
+		n.node.Eng.Schedule(n.latency, func() {
+			n.net.forward(n, frame)
+		})
+	})
+	return nil
+}
+
+// deliver hands a frame arriving from the fabric to the receive handler.
+func (n *NIC) deliver(frame *netbuf.Chain) {
+	n.Stats.PacketsRx++
+	n.Stats.BytesRx += uint64(frame.Len())
+	if n.rx == nil {
+		frame.Release()
+		return
+	}
+	n.rx(frame)
+}

@@ -1,0 +1,75 @@
+// Package simnet models the hardware of the paper's testbed: nodes with a
+// CPU, one or more gigabit NICs, and a store-and-forward switch connecting
+// them. Data on the wire is real bytes in netbuf chains; time is virtual.
+package simnet
+
+import (
+	"fmt"
+
+	"ncache/internal/metrics"
+	"ncache/internal/netbuf"
+	"ncache/internal/sim"
+)
+
+// Node is one machine: a CPU queueing resource, driver buffer pools, NICs,
+// and the metric counters the experiments read.
+type Node struct {
+	Name string
+	Eng  *sim.Engine
+	CPU  *sim.Resource
+	// Cost calibrates this node's per-operation CPU charges.
+	Cost CostProfile
+	// RxPool is the driver receive-buffer pool; what NCache pins comes
+	// from here (bounding the memory left for the FS buffer cache).
+	RxPool *netbuf.Pool
+	// Copies / NetStats / Reqs are this node's data-path counters.
+	Copies metrics.Copies
+	Reqs   metrics.Requests
+
+	nics []*NIC
+}
+
+// NewNode creates a node with one CPU and an unbounded default rx pool.
+func NewNode(eng *sim.Engine, name string, cost CostProfile) *Node {
+	return &Node{
+		Name:   name,
+		Eng:    eng,
+		CPU:    sim.NewResource(eng, name+".cpu"),
+		Cost:   cost,
+		RxPool: netbuf.NewPool(name+".rx", netbuf.DefaultHeadroom, netbuf.DefaultBufSize, 0),
+	}
+}
+
+// NICs returns the node's attached interfaces.
+func (n *Node) NICs() []*NIC { return n.nics }
+
+// NIC returns the i'th interface.
+func (n *Node) NIC(i int) *NIC { return n.nics[i] }
+
+// Charge runs fn after the node's CPU has served d of work.
+func (n *Node) Charge(d sim.Duration, fn func()) {
+	n.CPU.Use(d, fn)
+}
+
+// ChargeCopy performs the accounting for one physical copy of nbytes and
+// runs fn once the CPU time has been served. The actual byte movement is the
+// caller's business; this charges its simulated cost.
+func (n *Node) ChargeCopy(nbytes int, fn func()) {
+	n.Copies.AddPhysical(nbytes)
+	n.CPU.Use(n.Cost.CopyCost(nbytes), fn)
+}
+
+// NetTotals sums wire counters across all NICs.
+func (n *Node) NetTotals() metrics.Net {
+	var t metrics.Net
+	for _, nic := range n.nics {
+		t.PacketsTx += nic.Stats.PacketsTx
+		t.PacketsRx += nic.Stats.PacketsRx
+		t.BytesTx += nic.Stats.BytesTx
+		t.BytesRx += nic.Stats.BytesRx
+	}
+	return t
+}
+
+// String identifies the node.
+func (n *Node) String() string { return fmt.Sprintf("node(%s)", n.Name) }

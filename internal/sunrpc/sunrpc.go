@@ -1,0 +1,358 @@
+// Package sunrpc implements ONC RPC v2 (RFC 5531) over the simulated UDP
+// transport: call/reply framing with AUTH_NONE credentials, a client with
+// xid matching, and a server with program/procedure dispatch.
+//
+// Bodies are netbuf chains, not byte slices: an NFS WRITE call arrives with
+// its file data still in the original wire buffers (where the NCache module
+// captures it), and an NFS READ reply is composed as a small XDR header
+// chain plus a payload chain appended without copying.
+package sunrpc
+
+import (
+	"errors"
+	"fmt"
+
+	"ncache/internal/netbuf"
+	"ncache/internal/proto/eth"
+	"ncache/internal/proto/udp"
+	"ncache/internal/xdr"
+)
+
+// RPC constants.
+const (
+	rpcVersion = 2
+	msgCall    = 0
+	msgReply   = 1
+)
+
+// Accept status values in replies.
+const (
+	AcceptSuccess      = 0
+	AcceptProgUnavail  = 1
+	AcceptProgMismatch = 2
+	AcceptProcUnavail  = 3
+	AcceptGarbageArgs  = 4
+	AcceptSystemErr    = 5
+)
+
+// callHeaderLen is the encoded size of a call header with AUTH_NONE:
+// xid(4) mtype(4) rpcvers(4) prog(4) vers(4) proc(4) cred(8) verf(8).
+const callHeaderLen = 40
+
+// replyHeaderLen is the encoded size of an accepted reply header:
+// xid(4) mtype(4) reply_stat(4) verf(8) accept_stat(4).
+const replyHeaderLen = 24
+
+// Errors surfaced by the layer.
+var (
+	ErrBadMessage = errors.New("sunrpc: malformed message")
+	ErrNotReply   = errors.New("sunrpc: not a reply")
+)
+
+// Call is an inbound RPC call presented to a server handler.
+type Call struct {
+	Xid  uint32
+	Prog uint32
+	Vers uint32
+	Proc uint32
+	// Src/SrcPort identify the caller; Dst is the local address the call
+	// arrived on (replies are sourced from it).
+	Src     eth.Addr
+	SrcPort uint16
+	Dst     eth.Addr
+	// Body holds the argument bytes in the original wire buffers. The
+	// handler owns the references.
+	Body *netbuf.Chain
+
+	// send transmits a composed reply on the call's transport (datagram
+	// or record-marked stream).
+	send func(*netbuf.Chain) error
+}
+
+// Reply sends a successful reply: header bytes (XDR-encoded result head)
+// followed by an optional payload chain appended without copying. The
+// callee takes ownership of payload.
+func (c Call) Reply(header []byte, payload *netbuf.Chain) error {
+	e := xdr.NewEncoder(replyHeaderLen + len(header))
+	e.Uint32(c.Xid)
+	e.Uint32(msgReply)
+	e.Uint32(0) // MSG_ACCEPTED
+	e.Uint32(0) // verf flavor AUTH_NONE
+	e.Uint32(0) // verf length
+	e.Uint32(AcceptSuccess)
+
+	hb := netbuf.New(netbuf.DefaultHeadroom, replyHeaderLen+len(header))
+	if err := hb.Append(e.Bytes()); err != nil {
+		hb.Release()
+		if payload != nil {
+			payload.Release()
+		}
+		return err
+	}
+	if err := hb.Append(header); err != nil {
+		hb.Release()
+		if payload != nil {
+			payload.Release()
+		}
+		return err
+	}
+	out := netbuf.ChainOf(hb)
+	var inherited netbuf.Partial
+	inherit := false
+	if payload != nil {
+		if p, ok := payload.CachedPartial(); ok && hb.Len()%2 == 0 {
+			// Propagate the inherited payload checksum across the RPC
+			// header (even-length, so the partials compose).
+			var hs netbuf.Partial
+			hs.AddBytes(hb.Bytes())
+			inherited = netbuf.Combine(hs, p)
+			inherit = true
+		}
+		for _, b := range payload.Bufs() {
+			out.Append(b)
+		}
+	}
+	if inherit {
+		out.SetPartial(inherited)
+	}
+	return c.send(out)
+}
+
+// ReplyError sends a non-success accepted reply.
+func (c Call) ReplyError(acceptStat uint32) error {
+	e := xdr.NewEncoder(replyHeaderLen)
+	e.Uint32(c.Xid)
+	e.Uint32(msgReply)
+	e.Uint32(0)
+	e.Uint32(0)
+	e.Uint32(0)
+	e.Uint32(acceptStat)
+	hb := netbuf.New(netbuf.DefaultHeadroom, replyHeaderLen)
+	if err := hb.Append(e.Bytes()); err != nil {
+		hb.Release()
+		return err
+	}
+	return c.send(netbuf.ChainOf(hb))
+}
+
+// Handler processes one inbound call.
+type Handler func(c Call)
+
+// progVers identifies a registered program version.
+type progVers struct {
+	prog, vers uint32
+}
+
+// Server dispatches RPC calls arriving on one UDP port.
+type Server struct {
+	udp      *udp.Transport
+	port     uint16
+	programs map[progVers]map[uint32]Handler
+	// BadCalls counts malformed or unroutable calls.
+	BadCalls uint64
+}
+
+// NewServer binds an RPC server to the transport's port.
+func NewServer(t *udp.Transport, port uint16) (*Server, error) {
+	s := &Server{
+		udp:      t,
+		port:     port,
+		programs: make(map[progVers]map[uint32]Handler),
+	}
+	if err := t.Bind(port, s.receive); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Register installs the handler for (prog, vers, proc).
+func (s *Server) Register(prog, vers, proc uint32, h Handler) {
+	pv := progVers{prog, vers}
+	if s.programs[pv] == nil {
+		s.programs[pv] = make(map[uint32]Handler)
+	}
+	s.programs[pv][proc] = h
+}
+
+// receive parses the RPC call header and dispatches.
+func (s *Server) receive(dg udp.Datagram) {
+	body := dg.Payload
+	if body.Len() < callHeaderLen {
+		s.BadCalls++
+		body.Release()
+		return
+	}
+	raw, err := body.PullHeader(callHeaderLen)
+	if err != nil {
+		body.Release()
+		return
+	}
+	d := xdr.NewDecoder(raw)
+	xid, _ := d.Uint32()
+	mtype, _ := d.Uint32()
+	rpcv, _ := d.Uint32()
+	prog, _ := d.Uint32()
+	vers, _ := d.Uint32()
+	proc, err := d.Uint32()
+	if err != nil || mtype != msgCall || rpcv != rpcVersion {
+		s.BadCalls++
+		body.Release()
+		return
+	}
+	call := Call{
+		Xid: xid, Prog: prog, Vers: vers, Proc: proc,
+		Src: dg.Src, SrcPort: dg.SrcPort, Dst: dg.Dst,
+		Body: body,
+		send: func(out *netbuf.Chain) error {
+			return s.udp.SendChain(dg.Dst, s.port, dg.Src, dg.SrcPort, out)
+		},
+	}
+	procs, ok := s.programs[progVers{prog, vers}]
+	if !ok {
+		s.BadCalls++
+		_ = call.ReplyError(AcceptProgUnavail)
+		body.Release()
+		return
+	}
+	h, ok := procs[proc]
+	if !ok {
+		s.BadCalls++
+		_ = call.ReplyError(AcceptProcUnavail)
+		body.Release()
+		return
+	}
+	// Per-message RPC processing cost (XDR walk, dispatch).
+	node := s.udp.Node()
+	node.Charge(node.Cost.RPCNs, func() { h(call) })
+}
+
+// Reply is an inbound RPC reply presented to a client callback.
+type Reply struct {
+	Xid    uint32
+	Accept uint32
+	// Body holds the result bytes past the reply header, in the original
+	// wire buffers. The callback owns the references.
+	Body *netbuf.Chain
+}
+
+// Client issues RPC calls over one UDP port and matches replies by xid.
+type Client struct {
+	udp     *udp.Transport
+	local   eth.Addr
+	port    uint16
+	nextXid uint32
+	pending map[uint32]func(Reply, error)
+	// BadReplies counts malformed or unmatched replies.
+	BadReplies uint64
+}
+
+// NewClient binds an RPC client to a local address and port.
+func NewClient(t *udp.Transport, local eth.Addr, port uint16) (*Client, error) {
+	c := &Client{
+		udp:     t,
+		local:   local,
+		port:    port,
+		nextXid: 1,
+		pending: make(map[uint32]func(Reply, error)),
+	}
+	if err := t.Bind(port, c.receive); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Call issues one RPC. args is the XDR-encoded argument head; payload (may
+// be nil) is appended without copying — how a zero-copy NFS WRITE travels.
+// done fires when the matching reply arrives.
+func (c *Client) Call(dst eth.Addr, dstPort uint16, prog, vers, proc uint32, args []byte, payload *netbuf.Chain, done func(Reply, error)) error {
+	xid := c.nextXid
+	c.nextXid++
+
+	e := xdr.NewEncoder(callHeaderLen)
+	e.Uint32(xid)
+	e.Uint32(msgCall)
+	e.Uint32(rpcVersion)
+	e.Uint32(prog)
+	e.Uint32(vers)
+	e.Uint32(proc)
+	e.Uint32(0) // cred AUTH_NONE
+	e.Uint32(0)
+	e.Uint32(0) // verf AUTH_NONE
+	e.Uint32(0)
+
+	hb := netbuf.New(netbuf.DefaultHeadroom, callHeaderLen+len(args))
+	if err := hb.Append(e.Bytes()); err != nil {
+		hb.Release()
+		if payload != nil {
+			payload.Release()
+		}
+		return err
+	}
+	if err := hb.Append(args); err != nil {
+		hb.Release()
+		if payload != nil {
+			payload.Release()
+		}
+		return err
+	}
+	out := netbuf.ChainOf(hb)
+	if payload != nil {
+		for _, b := range payload.Bufs() {
+			out.Append(b)
+		}
+	}
+	c.pending[xid] = done
+	if err := c.udp.SendChain(c.local, c.port, dst, dstPort, out); err != nil {
+		delete(c.pending, xid)
+		return err
+	}
+	return nil
+}
+
+// receive matches a reply to its pending call.
+func (c *Client) receive(dg udp.Datagram) {
+	body := dg.Payload
+	if body.Len() < replyHeaderLen {
+		c.BadReplies++
+		body.Release()
+		return
+	}
+	raw, err := body.PullHeader(replyHeaderLen)
+	if err != nil {
+		body.Release()
+		return
+	}
+	d := xdr.NewDecoder(raw)
+	xid, _ := d.Uint32()
+	mtype, _ := d.Uint32()
+	replyStat, _ := d.Uint32()
+	d.Uint32() // verf flavor
+	d.Uint32() // verf len
+	accept, err := d.Uint32()
+	if err != nil || mtype != msgReply {
+		c.BadReplies++
+		body.Release()
+		return
+	}
+	done, ok := c.pending[xid]
+	if !ok {
+		c.BadReplies++
+		body.Release()
+		return
+	}
+	delete(c.pending, xid)
+	node := c.udp.Node()
+	if replyStat != 0 {
+		body.Release()
+		node.Charge(node.Cost.RPCNs, func() {
+			done(Reply{Xid: xid}, fmt.Errorf("%w: denied", ErrBadMessage))
+		})
+		return
+	}
+	node.Charge(node.Cost.RPCNs, func() {
+		done(Reply{Xid: xid, Accept: accept, Body: body}, nil)
+	})
+}
+
+// Pending reports outstanding calls (for tests and drain checks).
+func (c *Client) Pending() int { return len(c.pending) }

@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"ncache/internal/netbuf"
+	"ncache/internal/nfs"
+	"ncache/internal/sim"
+)
+
+// AccessPattern selects how read offsets advance.
+type AccessPattern int
+
+// Patterns for the micro-benchmarks (§5.3).
+const (
+	// Sequential streams through the file and wraps: with a file much
+	// larger than the server caches this is the all-miss workload.
+	Sequential AccessPattern = iota + 1
+	// HotSet cycles uniformly through a small region: after warm-up every
+	// request hits in cache — the all-hit workload.
+	HotSet
+)
+
+// NFSReadLoad is a closed-loop NFS read generator: Concurrency workers per
+// client, each issuing the next read as soon as the previous completes
+// (the paper adjusts the number of NFS daemons / outstanding requests the
+// same way).
+type NFSReadLoad struct {
+	Clients     []*nfs.Client
+	FH          nfs.FH
+	FileSize    uint64
+	RequestSize int
+	Pattern     AccessPattern
+	Concurrency int // workers per client
+	RNG         *sim.RNG
+
+	ops, bytes, errs uint64
+	stopped          bool
+	next             uint64
+}
+
+var _ Load = (*NFSReadLoad)(nil)
+
+// Start implements Load.
+func (l *NFSReadLoad) Start() {
+	if l.Concurrency <= 0 {
+		l.Concurrency = 4
+	}
+	if l.RNG == nil {
+		l.RNG = sim.NewRNG(1)
+	}
+	for _, c := range l.Clients {
+		for w := 0; w < l.Concurrency; w++ {
+			l.issue(c)
+		}
+	}
+}
+
+// Stop implements Load.
+func (l *NFSReadLoad) Stop() { l.stopped = true }
+
+// Counters implements Load.
+func (l *NFSReadLoad) Counters() (uint64, uint64, uint64) {
+	return l.ops, l.bytes, l.errs
+}
+
+// nextOffset advances the access pattern.
+func (l *NFSReadLoad) nextOffset() uint64 {
+	req := uint64(l.RequestSize)
+	span := l.FileSize / req
+	if span == 0 {
+		span = 1
+	}
+	var off uint64
+	switch l.Pattern {
+	case HotSet:
+		off = uint64(l.RNG.Int63n(int64(span))) * req
+	default:
+		off = (l.next % span) * req
+		l.next++
+	}
+	return off
+}
+
+// issue sends one read and chains the next.
+func (l *NFSReadLoad) issue(c *nfs.Client) {
+	if l.stopped {
+		return
+	}
+	off := l.nextOffset()
+	c.Read(l.FH, off, l.RequestSize, func(data *netbuf.Chain, _ nfs.Attr, err error) {
+		if err != nil {
+			l.errs++
+		} else {
+			l.ops++
+			l.bytes += uint64(data.Len())
+			data.Release()
+		}
+		l.issue(c)
+	})
+}
+
+// NFSWriteLoad is a closed-loop NFS write generator.
+type NFSWriteLoad struct {
+	Clients     []*nfs.Client
+	FH          nfs.FH
+	FileSize    uint64
+	RequestSize int
+	Concurrency int
+	RNG         *sim.RNG
+
+	ops, bytes, errs uint64
+	stopped          bool
+	next             uint64
+	payload          []byte
+}
+
+var _ Load = (*NFSWriteLoad)(nil)
+
+// Start implements Load.
+func (l *NFSWriteLoad) Start() {
+	if l.Concurrency <= 0 {
+		l.Concurrency = 4
+	}
+	if l.RNG == nil {
+		l.RNG = sim.NewRNG(2)
+	}
+	l.payload = make([]byte, l.RequestSize)
+	l.RNG.Fill(l.payload)
+	for _, c := range l.Clients {
+		for w := 0; w < l.Concurrency; w++ {
+			l.issue(c)
+		}
+	}
+}
+
+// Stop implements Load.
+func (l *NFSWriteLoad) Stop() { l.stopped = true }
+
+// Counters implements Load.
+func (l *NFSWriteLoad) Counters() (uint64, uint64, uint64) {
+	return l.ops, l.bytes, l.errs
+}
+
+// issue sends one write and chains the next.
+func (l *NFSWriteLoad) issue(c *nfs.Client) {
+	if l.stopped {
+		return
+	}
+	req := uint64(l.RequestSize)
+	span := l.FileSize / req
+	if span == 0 {
+		span = 1
+	}
+	off := (l.next % span) * req
+	l.next++
+	c.WriteBytes(l.FH, off, l.payload, func(n int, _ nfs.Attr, err error) {
+		if err != nil {
+			l.errs++
+		} else {
+			l.ops++
+			l.bytes += uint64(n)
+		}
+		l.issue(c)
+	})
+}

@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"strconv"
+
+	"ncache/internal/netbuf"
+	"ncache/internal/nfs"
+	"ncache/internal/sim"
+)
+
+// FileRef names one file of the SFS file set.
+type FileRef struct {
+	FH   nfs.FH
+	Size uint64
+}
+
+// SFSConfig parameterizes the SPECsfs-like macro load (§5.3): a 5:1
+// read:write mix over regular data, a size distribution dominated by small
+// (<16 KB) requests, and a tunable fraction of operations that touch
+// regular data at all (Figure 7 sweeps 30%–75%).
+type SFSConfig struct {
+	// RegularDataPct is the percentage of operations that are data
+	// reads/writes; the rest are metadata operations.
+	RegularDataPct int
+	// Files is the accessed file set (10% of the file system in §5.3).
+	Files []FileRef
+	// ScratchDir receives create/remove churn.
+	ScratchDir  nfs.FH
+	Concurrency int
+	Seed        uint64
+}
+
+// sfsSizes is the request-size distribution: small requests dominate, as in
+// the SPECsfs default the paper uses.
+var sfsSizes = []struct {
+	size   int
+	weight int
+}{
+	{4096, 60},
+	{8192, 25},
+	{16384, 10},
+	{32768, 5},
+}
+
+// SFSLoad is the closed-loop macro workload.
+type SFSLoad struct {
+	Clients []*nfs.Client
+	Cfg     SFSConfig
+
+	rng     *sim.RNG
+	ops     uint64
+	bytes   uint64
+	errs    uint64
+	stopped bool
+	scratch uint64
+	payload []byte
+}
+
+var _ Load = (*SFSLoad)(nil)
+
+// Start implements Load.
+func (l *SFSLoad) Start() {
+	if l.Cfg.Concurrency <= 0 {
+		l.Cfg.Concurrency = 4
+	}
+	l.rng = sim.NewRNG(l.Cfg.Seed + 7)
+	l.payload = make([]byte, 32768)
+	l.rng.Fill(l.payload)
+	for _, c := range l.Clients {
+		for w := 0; w < l.Cfg.Concurrency; w++ {
+			l.issue(c)
+		}
+	}
+}
+
+// Stop implements Load.
+func (l *SFSLoad) Stop() { l.stopped = true }
+
+// Counters implements Load.
+func (l *SFSLoad) Counters() (uint64, uint64, uint64) {
+	return l.ops, l.bytes, l.errs
+}
+
+// pickSize draws a request size from the SFS distribution.
+func (l *SFSLoad) pickSize() int {
+	total := 0
+	for _, s := range sfsSizes {
+		total += s.weight
+	}
+	v := l.rng.Intn(total)
+	for _, s := range sfsSizes {
+		if v < s.weight {
+			return s.size
+		}
+		v -= s.weight
+	}
+	return sfsSizes[0].size
+}
+
+// pickFile draws a file uniformly from the set.
+func (l *SFSLoad) pickFile() FileRef {
+	return l.Cfg.Files[l.rng.Intn(len(l.Cfg.Files))]
+}
+
+// issue performs one operation from the mix and chains the next.
+func (l *SFSLoad) issue(c *nfs.Client) {
+	if l.stopped {
+		return
+	}
+	finish := func(n int, err error) {
+		if err != nil {
+			l.errs++
+		} else {
+			l.ops++
+			l.bytes += uint64(n)
+		}
+		l.issue(c)
+	}
+	if l.rng.Intn(100) < l.Cfg.RegularDataPct {
+		// Regular data: 5:1 read:write.
+		f := l.pickFile()
+		size := l.pickSize()
+		blocks := f.Size / uint64(size)
+		if blocks == 0 {
+			blocks = 1
+		}
+		off := uint64(l.rng.Int63n(int64(blocks))) * uint64(size)
+		if l.rng.Intn(6) < 5 {
+			c.Read(f.FH, off, size, func(data *netbuf.Chain, _ nfs.Attr, err error) {
+				n := 0
+				if data != nil {
+					n = data.Len()
+					data.Release()
+				}
+				finish(n, err)
+			})
+			return
+		}
+		c.WriteBytes(f.FH, off, l.payload[:size], func(n int, _ nfs.Attr, err error) {
+			finish(n, err)
+		})
+		return
+	}
+	// Metadata: getattr / lookup / readdir / create+remove.
+	switch v := l.rng.Intn(100); {
+	case v < 45:
+		f := l.pickFile()
+		c.Getattr(f.FH, func(_ nfs.Attr, err error) { finish(0, err) })
+	case v < 80:
+		c.Lookup(l.Cfg.ScratchDir, "nonexistent-probe", func(_ nfs.FH, _ nfs.Attr, err error) {
+			// ENOENT is the expected, successful outcome of the probe.
+			if _, isOp := err.(*nfs.OpError); isOp {
+				err = nil
+			}
+			finish(0, err)
+		})
+	case v < 90:
+		c.Readdir(l.Cfg.ScratchDir, func(_ []string, err error) { finish(0, err) })
+	default:
+		l.scratch++
+		name := "sfs-tmp-" + strconv.FormatUint(l.scratch, 36)
+		c.Create(l.Cfg.ScratchDir, name, func(fh nfs.FH, _ nfs.Attr, err error) {
+			if err != nil {
+				finish(0, err)
+				return
+			}
+			l.ops++ // the create itself
+			c.Remove(l.Cfg.ScratchDir, name, func(err error) { finish(0, err) })
+		})
+	}
+}

@@ -1,0 +1,177 @@
+package workload
+
+import (
+	"ncache/internal/passthru"
+	"ncache/internal/sim"
+)
+
+// WebPageClasses is the SPECweb99-like page-size mix (§5.3: mean accessed
+// page ≈ 75 KB). Weights are access-frequency weights.
+var WebPageClasses = []struct {
+	Size   int
+	Weight int
+}{
+	{4 * 1024, 25},
+	{16 * 1024, 30},
+	{64 * 1024, 28},
+	{256 * 1024, 16},
+	{1024 * 1024, 1},
+}
+
+// WebPageMeanSize returns the access-weighted mean page size of the class
+// mix.
+func WebPageMeanSize() int {
+	total, sum := 0, 0
+	for _, c := range WebPageClasses {
+		total += c.Weight
+		sum += c.Size * c.Weight
+	}
+	return sum / total
+}
+
+// PageSet describes a generated working set: file names (in the fs root)
+// and their sizes, access-ranked (index 0 most popular under Zipf).
+type PageSet struct {
+	Names []string
+	Sizes []int
+}
+
+// TotalBytes returns the working-set footprint.
+func (p PageSet) TotalBytes() int64 {
+	var n int64
+	for _, s := range p.Sizes {
+		n += int64(s)
+	}
+	return n
+}
+
+// BuildPageSet sizes a page population to approximately totalBytes,
+// interleaving the classes so popularity ranks span all sizes (as
+// SPECweb99's class rotation does).
+func BuildPageSet(totalBytes int64) PageSet {
+	var out PageSet
+	var acc int64
+	i := 0
+	for acc < totalBytes {
+		class := WebPageClasses[i%len(WebPageClasses)]
+		name := "page-" + itoa(i)
+		out.Names = append(out.Names, name)
+		out.Sizes = append(out.Sizes, class.Size)
+		acc += int64(class.Size)
+		i++
+	}
+	return out
+}
+
+// itoa is a tiny allocation-free int formatter for page names.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// WebLoad drives Zipf-distributed GETs over persistent connections, one
+// outstanding request per connection (SPECweb99's simultaneous-connection
+// model).
+type WebLoad struct {
+	Conns []*passthru.HTTPConn
+	Pages PageSet
+	// ZipfS is the popularity exponent (≈1 per [7]).
+	ZipfS float64
+	Seed  uint64
+
+	zipf    *Zipf
+	ops     uint64
+	bytes   uint64
+	errs    uint64
+	stopped bool
+}
+
+var _ Load = (*WebLoad)(nil)
+
+// Start implements Load.
+func (l *WebLoad) Start() {
+	if l.ZipfS == 0 {
+		l.ZipfS = 1.0
+	}
+	l.zipf = NewZipf(sim.NewRNG(l.Seed+11), len(l.Pages.Names), l.ZipfS)
+	for _, c := range l.Conns {
+		l.issue(c)
+	}
+}
+
+// Stop implements Load.
+func (l *WebLoad) Stop() { l.stopped = true }
+
+// Counters implements Load.
+func (l *WebLoad) Counters() (uint64, uint64, uint64) {
+	return l.ops, l.bytes, l.errs
+}
+
+// issue requests one page and chains the next.
+func (l *WebLoad) issue(c *passthru.HTTPConn) {
+	if l.stopped {
+		return
+	}
+	page := l.zipf.Next()
+	c.Get(l.Pages.Names[page], func(n int, err error) {
+		if err != nil {
+			l.errs++
+		} else {
+			l.ops++
+			l.bytes += uint64(n)
+		}
+		l.issue(c)
+	})
+}
+
+// FixedWebLoad drives GETs for one fixed page repeatedly — the all-hit web
+// micro-benchmark of Figure 6(b), where the request size is the sweep
+// variable.
+type FixedWebLoad struct {
+	Conns []*passthru.HTTPConn
+	Page  string
+
+	ops, bytes, errs uint64
+	stopped          bool
+}
+
+var _ Load = (*FixedWebLoad)(nil)
+
+// Start implements Load.
+func (l *FixedWebLoad) Start() {
+	for _, c := range l.Conns {
+		l.issue(c)
+	}
+}
+
+// Stop implements Load.
+func (l *FixedWebLoad) Stop() { l.stopped = true }
+
+// Counters implements Load.
+func (l *FixedWebLoad) Counters() (uint64, uint64, uint64) {
+	return l.ops, l.bytes, l.errs
+}
+
+func (l *FixedWebLoad) issue(c *passthru.HTTPConn) {
+	if l.stopped {
+		return
+	}
+	c.Get(l.Page, func(n int, err error) {
+		if err != nil {
+			l.errs++
+		} else {
+			l.ops++
+			l.bytes += uint64(n)
+		}
+		l.issue(c)
+	})
+}

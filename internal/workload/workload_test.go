@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ncache/internal/nfs"
+	"ncache/internal/sim"
+)
+
+func TestZipfRankOrdering(t *testing.T) {
+	z := NewZipf(sim.NewRNG(1), 100, 1.0)
+	counts := make([]int, 100)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	// Rank 0 is the most popular; popularity decays monotonically in
+	// aggregate (allow sampling noise on adjacent ranks).
+	if counts[0] < counts[10] || counts[10] < counts[50] {
+		t.Fatalf("zipf not decaying: c0=%d c10=%d c50=%d", counts[0], counts[10], counts[50])
+	}
+	// For s=1, p(0)/p(9) = 10; sampled ratio should be in the ballpark.
+	ratio := float64(counts[0]) / float64(counts[9]+1)
+	if ratio < 5 || ratio > 20 {
+		t.Fatalf("p(0)/p(9) = %.1f, want ~10", ratio)
+	}
+}
+
+func TestZipfBounds(t *testing.T) {
+	f := func(seed uint64, n16 uint16) bool {
+		n := int(n16)%500 + 1
+		z := NewZipf(sim.NewRNG(seed), n, 0.8)
+		for i := 0; i < 200; i++ {
+			if v := z.Next(); v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildPageSet(t *testing.T) {
+	ps := BuildPageSet(10 << 20)
+	if ps.TotalBytes() < 10<<20 {
+		t.Fatalf("total = %d, want >= 10MB", ps.TotalBytes())
+	}
+	if len(ps.Names) != len(ps.Sizes) {
+		t.Fatal("names/sizes mismatch")
+	}
+	seen := map[string]bool{}
+	for _, n := range ps.Names {
+		if seen[n] {
+			t.Fatalf("duplicate page name %q", n)
+		}
+		seen[n] = true
+	}
+	// The class mix mean is what the docs promise (~75 KB).
+	mean := WebPageMeanSize()
+	if mean < 60<<10 || mean > 90<<10 {
+		t.Fatalf("mean page size = %d, want ≈75KB", mean)
+	}
+}
+
+func TestItoa(t *testing.T) {
+	for v, want := range map[int]string{0: "0", 7: "7", 42: "42", 12345: "12345"} {
+		if got := itoa(v); got != want {
+			t.Fatalf("itoa(%d) = %q", v, got)
+		}
+	}
+}
+
+func TestGenSequentialRead(t *testing.T) {
+	tr := GenSequentialRead(nfs.RootFH(), 1<<20, 64*1024)
+	if len(tr.Ops) != 16 {
+		t.Fatalf("ops = %d, want 16", len(tr.Ops))
+	}
+	for i, op := range tr.Ops {
+		if op.Kind != OpRead || op.Off != uint64(i)*64*1024 || op.Len != 64*1024 {
+			t.Fatalf("op %d = %+v", i, op)
+		}
+	}
+}
+
+func TestGenHotSetStaysInRegion(t *testing.T) {
+	tr := GenHotSet(nfs.RootFH(), 5<<20, 8192, 1000, 3)
+	for _, op := range tr.Ops {
+		if op.Off+uint64(op.Len) > 5<<20 {
+			t.Fatalf("op beyond hot set: %+v", op)
+		}
+		if op.Off%8192 != 0 {
+			t.Fatalf("unaligned op: %+v", op)
+		}
+	}
+}
+
+func TestGenMixedWriteFraction(t *testing.T) {
+	tr := GenMixed(nfs.RootFH(), 1<<20, 4096, 10000, 30, 5)
+	writes := 0
+	for _, op := range tr.Ops {
+		if op.Kind == OpWrite {
+			writes++
+		}
+	}
+	pct := writes * 100 / len(tr.Ops)
+	if pct < 25 || pct > 35 {
+		t.Fatalf("write fraction = %d%%, want ~30%%", pct)
+	}
+}
+
+func TestGenTracesDeterministic(t *testing.T) {
+	a := GenMixed(nfs.RootFH(), 1<<20, 4096, 100, 30, 5)
+	b := GenMixed(nfs.RootFH(), 1<<20, 4096, 100, 30, 5)
+	for i := range a.Ops {
+		if a.Ops[i] != b.Ops[i] {
+			t.Fatal("traces differ for same seed")
+		}
+	}
+}
+
+func TestSFSSizeDistribution(t *testing.T) {
+	l := &SFSLoad{Cfg: SFSConfig{}}
+	l.rng = sim.NewRNG(9)
+	counts := map[int]int{}
+	for i := 0; i < 10000; i++ {
+		counts[l.pickSize()]++
+	}
+	if counts[4096] < counts[8192] || counts[8192] < counts[16384] || counts[16384] < counts[32768] {
+		t.Fatalf("size distribution not dominated by small requests: %v", counts)
+	}
+	for s := range counts {
+		switch s {
+		case 4096, 8192, 16384, 32768:
+		default:
+			t.Fatalf("unexpected size %d", s)
+		}
+	}
+}
+
+func TestMeasurementMath(t *testing.T) {
+	m := Measurement{Elapsed: sim.Second, Ops: 500, Bytes: 2_000_000}
+	if m.OpsPerSec() != 500 {
+		t.Fatalf("ops/s = %v", m.OpsPerSec())
+	}
+	if m.Throughput() != 2_000_000 {
+		t.Fatalf("throughput = %v", m.Throughput())
+	}
+	zero := Measurement{}
+	if zero.OpsPerSec() != 0 || zero.Throughput() != 0 {
+		t.Fatal("zero measurement not zero")
+	}
+}

@@ -1,0 +1,184 @@
+// Package xdr implements External Data Representation (RFC 4506) encoding,
+// the wire format of ONC RPC and NFS. Everything is big-endian and padded to
+// 4-byte alignment.
+package xdr
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Errors returned by the decoder.
+var (
+	ErrShort    = errors.New("xdr: buffer too short")
+	ErrTooLong  = errors.New("xdr: variable-length item exceeds limit")
+	ErrBadBool  = errors.New("xdr: boolean not 0 or 1")
+	ErrTrailing = errors.New("xdr: trailing bytes")
+)
+
+// pad returns the number of padding bytes after n data bytes.
+func pad(n int) int { return (4 - n%4) % 4 }
+
+// Encoder serializes XDR items into a growing byte slice.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder with the given capacity hint.
+func NewEncoder(capacity int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of encoded bytes.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Uint32 encodes a 32-bit unsigned integer.
+func (e *Encoder) Uint32(v uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+}
+
+// Int32 encodes a 32-bit signed integer.
+func (e *Encoder) Int32(v int32) { e.Uint32(uint32(v)) }
+
+// Uint64 encodes a 64-bit unsigned hyper integer.
+func (e *Encoder) Uint64(v uint64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+}
+
+// Bool encodes a boolean.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.Uint32(1)
+	} else {
+		e.Uint32(0)
+	}
+}
+
+// Opaque encodes variable-length opaque data (length prefix + padding).
+func (e *Encoder) Opaque(p []byte) {
+	e.Uint32(uint32(len(p)))
+	e.buf = append(e.buf, p...)
+	for i := 0; i < pad(len(p)); i++ {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// FixedOpaque encodes fixed-length opaque data (no length prefix).
+func (e *Encoder) FixedOpaque(p []byte) {
+	e.buf = append(e.buf, p...)
+	for i := 0; i < pad(len(p)); i++ {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// String encodes a string as variable-length opaque data.
+func (e *Encoder) String(s string) { e.Opaque([]byte(s)) }
+
+// Decoder deserializes XDR items from a byte slice.
+type Decoder struct {
+	buf []byte
+	off int
+}
+
+// NewDecoder returns a decoder over p.
+func NewDecoder(p []byte) *Decoder { return &Decoder{buf: p} }
+
+// Remaining returns the number of undecoded bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Offset returns the current decode position.
+func (d *Decoder) Offset() int { return d.off }
+
+// Uint32 decodes a 32-bit unsigned integer.
+func (d *Decoder) Uint32() (uint32, error) {
+	if d.Remaining() < 4 {
+		return 0, fmt.Errorf("%w: uint32 at %d", ErrShort, d.off)
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+// Int32 decodes a 32-bit signed integer.
+func (d *Decoder) Int32() (int32, error) {
+	v, err := d.Uint32()
+	return int32(v), err
+}
+
+// Uint64 decodes a 64-bit unsigned hyper integer.
+func (d *Decoder) Uint64() (uint64, error) {
+	if d.Remaining() < 8 {
+		return 0, fmt.Errorf("%w: uint64 at %d", ErrShort, d.off)
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+// Bool decodes a boolean.
+func (d *Decoder) Bool() (bool, error) {
+	v, err := d.Uint32()
+	if err != nil {
+		return false, err
+	}
+	switch v {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	default:
+		return false, ErrBadBool
+	}
+}
+
+// Opaque decodes variable-length opaque data of at most limit bytes
+// (0 = unlimited). The returned slice aliases the decoder's buffer.
+func (d *Decoder) Opaque(limit int) ([]byte, error) {
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if limit > 0 && int(n) > limit {
+		return nil, fmt.Errorf("%w: %d > %d", ErrTooLong, n, limit)
+	}
+	total := int(n) + pad(int(n))
+	if d.Remaining() < total {
+		return nil, fmt.Errorf("%w: opaque %d at %d", ErrShort, n, d.off)
+	}
+	p := d.buf[d.off : d.off+int(n)]
+	d.off += total
+	return p, nil
+}
+
+// FixedOpaque decodes n bytes of fixed-length opaque data.
+func (d *Decoder) FixedOpaque(n int) ([]byte, error) {
+	total := n + pad(n)
+	if d.Remaining() < total {
+		return nil, fmt.Errorf("%w: fixed opaque %d at %d", ErrShort, n, d.off)
+	}
+	p := d.buf[d.off : d.off+n]
+	d.off += total
+	return p, nil
+}
+
+// String decodes a string of at most limit bytes (0 = unlimited).
+func (d *Decoder) String(limit int) (string, error) {
+	p, err := d.Opaque(limit)
+	return string(p), err
+}
+
+// Done verifies the decoder consumed its entire buffer.
+func (d *Decoder) Done() error {
+	if d.Remaining() != 0 {
+		return fmt.Errorf("%w: %d bytes", ErrTrailing, d.Remaining())
+	}
+	return nil
+}

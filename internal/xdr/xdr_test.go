@@ -1,0 +1,156 @@
+package xdr
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarRoundTrip(t *testing.T) {
+	e := NewEncoder(64)
+	e.Uint32(0xdeadbeef)
+	e.Int32(-42)
+	e.Uint64(1 << 60)
+	e.Bool(true)
+	e.Bool(false)
+
+	d := NewDecoder(e.Bytes())
+	if v, err := d.Uint32(); err != nil || v != 0xdeadbeef {
+		t.Fatalf("Uint32 = %v, %v", v, err)
+	}
+	if v, err := d.Int32(); err != nil || v != -42 {
+		t.Fatalf("Int32 = %v, %v", v, err)
+	}
+	if v, err := d.Uint64(); err != nil || v != 1<<60 {
+		t.Fatalf("Uint64 = %v, %v", v, err)
+	}
+	if v, err := d.Bool(); err != nil || v != true {
+		t.Fatalf("Bool = %v, %v", v, err)
+	}
+	if v, err := d.Bool(); err != nil || v != false {
+		t.Fatalf("Bool = %v, %v", v, err)
+	}
+	if err := d.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+func TestOpaquePadding(t *testing.T) {
+	for n := 0; n <= 9; n++ {
+		e := NewEncoder(32)
+		payload := bytes.Repeat([]byte{0xab}, n)
+		e.Opaque(payload)
+		if e.Len()%4 != 0 {
+			t.Fatalf("len(opaque %d) = %d, not 4-aligned", n, e.Len())
+		}
+		d := NewDecoder(e.Bytes())
+		got, err := d.Opaque(0)
+		if err != nil {
+			t.Fatalf("Opaque(%d): %v", n, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("Opaque(%d) round trip failed", n)
+		}
+		if err := d.Done(); err != nil {
+			t.Fatalf("Done after opaque %d: %v", n, err)
+		}
+	}
+}
+
+func TestFixedOpaque(t *testing.T) {
+	e := NewEncoder(16)
+	e.FixedOpaque([]byte("abcde")) // 5 bytes → 3 pad
+	if e.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", e.Len())
+	}
+	d := NewDecoder(e.Bytes())
+	got, err := d.FixedOpaque(5)
+	if err != nil || string(got) != "abcde" {
+		t.Fatalf("FixedOpaque = %q, %v", got, err)
+	}
+	if err := d.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	e := NewEncoder(32)
+	e.String("filename.txt")
+	d := NewDecoder(e.Bytes())
+	s, err := d.String(255)
+	if err != nil || s != "filename.txt" {
+		t.Fatalf("String = %q, %v", s, err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	d := NewDecoder([]byte{1, 2})
+	if _, err := d.Uint32(); !errors.Is(err, ErrShort) {
+		t.Fatalf("short Uint32 err = %v", err)
+	}
+
+	e := NewEncoder(8)
+	e.Uint32(7)
+	d = NewDecoder(e.Bytes())
+	if _, err := d.Bool(); !errors.Is(err, ErrBadBool) {
+		t.Fatalf("bad bool err = %v", err)
+	}
+
+	e = NewEncoder(16)
+	e.Opaque([]byte("too long"))
+	d = NewDecoder(e.Bytes())
+	if _, err := d.Opaque(4); !errors.Is(err, ErrTooLong) {
+		t.Fatalf("limit err = %v", err)
+	}
+
+	// Length prefix larger than remaining data.
+	e = NewEncoder(8)
+	e.Uint32(100)
+	d = NewDecoder(e.Bytes())
+	if _, err := d.Opaque(0); !errors.Is(err, ErrShort) {
+		t.Fatalf("truncated opaque err = %v", err)
+	}
+
+	e = NewEncoder(8)
+	e.Uint32(1)
+	e.Uint32(2)
+	d = NewDecoder(e.Bytes())
+	if _, err := d.Uint32(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Done(); !errors.Is(err, ErrTrailing) {
+		t.Fatalf("Done with trailing = %v", err)
+	}
+}
+
+func TestPropertyOpaqueRoundTrip(t *testing.T) {
+	f := func(p []byte, s string, a uint32, b uint64) bool {
+		e := NewEncoder(len(p) + len(s) + 32)
+		e.Opaque(p)
+		e.String(s)
+		e.Uint32(a)
+		e.Uint64(b)
+		d := NewDecoder(e.Bytes())
+		gp, err := d.Opaque(0)
+		if err != nil || !bytes.Equal(gp, p) {
+			return false
+		}
+		gs, err := d.String(0)
+		if err != nil || gs != s {
+			return false
+		}
+		ga, err := d.Uint32()
+		if err != nil || ga != a {
+			return false
+		}
+		gb, err := d.Uint64()
+		if err != nil || gb != b {
+			return false
+		}
+		return d.Done() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
