@@ -15,10 +15,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"ncache/internal/bench"
 	"ncache/internal/sim"
+	"ncache/internal/trace"
 )
 
 func main() {
@@ -35,6 +37,8 @@ func run(args []string) error {
 	window := fs.Duration("window", 600*time.Millisecond, "measurement window (virtual time)")
 	concurrency := fs.Int("concurrency", 8, "outstanding requests per client host")
 	scale := fs.Int("scale", 4, "memory-scale divisor for the macro experiments (1 = paper scale)")
+	latency := fs.Bool("latency", false, "trace requests and print latency percentiles with per-layer attribution")
+	traceOut := fs.String("trace", "", "write traced request timelines as chrome://tracing JSON to this file (implies tracing)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -43,6 +47,10 @@ func run(args []string) error {
 		Window:      sim.Duration(*window),
 		Concurrency: *concurrency,
 		Scale:       *scale,
+		Latency:     *latency,
+	}
+	if *traceOut != "" {
+		opt.Chrome = trace.NewChromeTrace()
 	}
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
@@ -68,6 +76,9 @@ func run(args []string) error {
 		}
 		fmt.Println(bench.FormatNFSPoints(
 			"Figure 4: NFS all-miss workload (throughput and server CPU vs request size)", pts))
+		if opt.Latency {
+			fmt.Println(bench.FormatLatency("Latency, fig4 (all-miss)", pts))
+		}
 	}
 	if want("fig5a") {
 		ran = true
@@ -77,6 +88,9 @@ func run(args []string) error {
 		}
 		fmt.Println(bench.FormatNFSPoints(
 			"Figure 5(a): NFS all-hit workload, one NIC (link-bound; watch CPU)", pts))
+		if opt.Latency {
+			fmt.Println(bench.FormatLatency("Latency, fig5a (all-hit, one NIC)", pts))
+		}
 	}
 	if want("fig5b") {
 		ran = true
@@ -86,6 +100,13 @@ func run(args []string) error {
 		}
 		fmt.Println(bench.FormatNFSPoints(
 			"Figure 5(b): NFS all-hit workload, two NICs (CPU-bound)", pts))
+		if opt.Latency {
+			table := bench.FormatLatency("Latency, fig5b (all-hit, two NICs)", pts)
+			fmt.Println(table)
+			if err := writeResult("fig5b-latency.txt", []byte(table)); err != nil {
+				return err
+			}
+		}
 	}
 	if want("fig6a") {
 		ran = true
@@ -180,5 +201,27 @@ func run(args []string) error {
 	if !ran {
 		return fmt.Errorf("unknown experiment %q (want one of table1,table2,fig4,fig5a,fig5b,fig6a,fig6b,fig7,transport,futurework,overhead,ablations,all)", *exp)
 	}
+	if opt.Chrome != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fmt.Errorf("trace output: %w", err)
+		}
+		if _, err := opt.Chrome.WriteTo(f); err != nil {
+			f.Close()
+			return fmt.Errorf("trace output: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (open in chrome://tracing or Perfetto)\n", *traceOut)
+	}
 	return nil
+}
+
+// writeResult stores a rendered table under results/.
+func writeResult(name string, data []byte) error {
+	if err := os.MkdirAll("results", 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join("results", name), data, 0o644)
 }

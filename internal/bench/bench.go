@@ -14,6 +14,7 @@ import (
 	"ncache/internal/passthru"
 	"ncache/internal/sim"
 	"ncache/internal/simnet"
+	"ncache/internal/trace"
 	"ncache/internal/workload"
 )
 
@@ -30,6 +31,12 @@ type Options struct {
 	// cache sizes) to keep host memory bounded. 4 reproduces the curve
 	// shapes at quarter scale; 1 is full scale.
 	Scale int
+	// Latency enables per-request span tracing: each NFS point carries a
+	// latency-percentile summary with per-layer attribution.
+	Latency bool
+	// Chrome, when non-nil, retains every traced run's spans for a
+	// combined chrome://tracing export. Implies Latency-style tracing.
+	Chrome *trace.ChromeTrace
 }
 
 // withDefaults fills unset options.
@@ -62,6 +69,8 @@ type NFSPoint struct {
 	StorageCPU    float64
 	LinkUtil      float64 // server NIC transmit utilization (max across NICs)
 	Errors        uint64
+	// Lat is the measurement-window latency summary (Options.Latency).
+	Lat *trace.Summary
 }
 
 // WebPoint is one measured point of a kHTTPd experiment.
@@ -230,14 +239,28 @@ func prefill(cl *passthru.Cluster, fh nfs.FH, size uint64) error {
 
 // runNFSLoad measures one NFS micro-benchmark point.
 func runNFSLoad(cl *passthru.Cluster, load workload.Load, opt Options, reqKB int) (NFSPoint, error) {
+	var tr *trace.Tracer
+	if opt.Latency || opt.Chrome != nil {
+		tr = trace.NewTracer(cl.Eng, fmt.Sprintf("%s/%dKB", cl.App.Mode, reqKB))
+		tr.SetKeepSpans(opt.Chrome != nil)
+		if st, ok := load.(interface{ SetTracer(*trace.Tracer) }); ok {
+			st.SetTracer(tr)
+		}
+	}
 	runner := &workload.Runner{Eng: cl.Eng, Warmup: opt.Warmup, Window: opt.Window}
 	p := NFSPoint{Mode: cl.App.Mode, ReqKB: reqKB}
 	m, err := runner.Run(load,
-		func() { resetClusterStats(cl) },
+		func() {
+			resetClusterStats(cl)
+			tr.ResetStats()
+		},
 		func() {
 			p.ServerCPU = cl.App.Node.CPU.Utilization()
 			p.StorageCPU = cl.Storage.Node.CPU.Utilization()
 			p.LinkUtil = maxLinkUtil(cl)
+			// Freeze before the drain so late completions stay out of
+			// the window's statistics.
+			tr.Freeze()
 		})
 	if err != nil {
 		return NFSPoint{}, err
@@ -245,5 +268,7 @@ func runNFSLoad(cl *passthru.Cluster, load workload.Load, opt Options, reqKB int
 	p.ThroughputMBs = m.Throughput() / 1e6
 	p.OpsPerSec = m.OpsPerSec()
 	p.Errors = m.Errors
+	p.Lat = tr.Summary()
+	opt.Chrome.Add(tr)
 	return p, nil
 }

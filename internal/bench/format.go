@@ -5,6 +5,8 @@ import (
 	"strings"
 
 	"ncache/internal/passthru"
+	"ncache/internal/sim"
+	"ncache/internal/trace"
 )
 
 // gainPct returns the percentage gain of v over base.
@@ -50,6 +52,49 @@ func FormatNFSPoints(title string, points []NFSPoint) string {
 				mode, p.ReqKB, p.ThroughputMBs, p.OpsPerSec,
 				p.ServerCPU*100, p.StorageCPU*100, p.LinkUtil*100, gain)
 		}
+	}
+	return b.String()
+}
+
+// us renders a virtual duration in microseconds.
+func us(d sim.Duration) string { return fmt.Sprintf("%.1f", float64(d)/1e3) }
+
+// FormatLatency renders the latency-percentile table for traced points
+// (Options.Latency): percentiles in microseconds, then each layer's share
+// of the end-to-end latency. Points without traces are skipped.
+func FormatLatency(title string, points []NFSPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-10s %6s %-6s %7s %9s %9s %9s %9s %9s %9s",
+		"config", "reqKB", "op", "count", "mean_µs", "p50_µs", "p90_µs", "p99_µs", "p999_µs", "max_µs")
+	for l := trace.Layer(0); l < trace.NumLayers; l++ {
+		fmt.Fprintf(&b, " %6s%%", l)
+	}
+	b.WriteByte('\n')
+	var attrErrs uint64
+	for _, mode := range Modes {
+		for _, p := range points {
+			if p.Mode != mode || p.Lat == nil {
+				continue
+			}
+			attrErrs += p.Lat.AttrErrors
+			for _, op := range p.Lat.Ops {
+				fmt.Fprintf(&b, "%-10s %6d %-6s %7d %9s %9s %9s %9s %9s %9s",
+					mode, p.ReqKB, op.Op, op.Count,
+					us(op.Mean), us(op.P50), us(op.P90), us(op.P99), us(op.P999), us(op.Max))
+				for _, ls := range op.Layers {
+					pct := 0.0
+					if op.Total > 0 {
+						pct = float64(ls.Total) / float64(op.Total) * 100
+					}
+					fmt.Fprintf(&b, " %6.1f", pct)
+				}
+				b.WriteByte('\n')
+			}
+		}
+	}
+	if attrErrs > 0 {
+		fmt.Fprintf(&b, "WARNING: %d spans failed per-layer attribution (sum != duration)\n", attrErrs)
 	}
 	return b.String()
 }

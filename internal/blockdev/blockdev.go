@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"ncache/internal/sim"
+	"ncache/internal/trace"
 )
 
 // Geometry describes a device's addressing.
@@ -67,6 +68,7 @@ func (m Model) ServiceTime(n int) sim.Duration {
 // MemDisk is one simulated disk: sparse in-memory content plus a service
 // queue (one outstanding I/O at a time, FIFO — a disk arm).
 type MemDisk struct {
+	eng    *sim.Engine
 	geom   Geometry
 	model  Model
 	arm    *sim.Resource
@@ -90,6 +92,7 @@ var _ Device = (*MemDisk)(nil)
 // NewMemDisk creates a disk with the given geometry and timing model.
 func NewMemDisk(eng *sim.Engine, name string, geom Geometry, model Model) *MemDisk {
 	return &MemDisk{
+		eng:     eng,
 		geom:    geom,
 		model:   model,
 		arm:     sim.NewResource(eng, name),
@@ -136,6 +139,7 @@ func (d *MemDisk) ReadBlocks(lbn int64, count int, done func([]byte, error)) {
 		return
 	}
 	n := count * d.geom.BlockSize
+	trace.To(d.eng, trace.LDisk)
 	d.arm.Use(d.serviceTime(lbn, n), func() {
 		out := make([]byte, n)
 		for i := 0; i < count; i++ {
@@ -164,6 +168,7 @@ func (d *MemDisk) WriteBlocks(lbn int64, data []byte, done func(error)) {
 		done(err)
 		return
 	}
+	trace.To(d.eng, trace.LDisk)
 	d.arm.Use(d.serviceTime(lbn, len(data)), func() {
 		for i := 0; i < count; i++ {
 			b := make([]byte, d.geom.BlockSize)

@@ -10,6 +10,7 @@ import (
 	"ncache/internal/proto/tcp"
 	"ncache/internal/scsi"
 	"ncache/internal/simnet"
+	"ncache/internal/trace"
 )
 
 // ReadHook intercepts the payload of a completed non-metadata READ before it
@@ -156,12 +157,14 @@ func (i *Initiator) Read(lba int64, blocks int, meta bool, done func(*netbuf.Cha
 	if !meta && i.readCache != nil {
 		if data, ok := i.readCache(lba, blocks); ok {
 			// Served locally: no iSCSI command, no storage traffic.
+			trace.To(i.node.Eng, trace.LNCache)
 			i.node.Charge(i.node.Cost.NCacheLookupNs, func() {
 				done(data, nil)
 			})
 			return
 		}
 	}
+	trace.To(i.node.Eng, trace.LISCSI)
 	i.ReadCmds++
 	itt := i.allocITT(nil)
 	i.pending[itt] = &task{lba: lba, blocks: blocks, meta: meta, onData: done}
@@ -181,6 +184,7 @@ func (i *Initiator) Write(lba int64, data *netbuf.Chain, meta bool, done func(er
 		done(ErrNotConnected)
 		return
 	}
+	trace.To(i.node.Eng, trace.LISCSI)
 	i.WriteCmds++
 	blocks := data.Len() / i.geom.BlockSize
 	if !meta && i.writeHook != nil {
@@ -234,6 +238,7 @@ func (i *Initiator) handlePDU(p PDU) {
 		}
 		return
 	}
+	trace.To(i.node.Eng, trace.LISCSI)
 	i.node.Charge(i.node.Cost.ISCSIOpNs, func() {
 		switch p.Op {
 		case OpLoginResp, OpLogoutResp:

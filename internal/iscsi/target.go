@@ -7,6 +7,7 @@ import (
 	"ncache/internal/scsi"
 	"ncache/internal/sim"
 	"ncache/internal/simnet"
+	"ncache/internal/trace"
 )
 
 // Target is the storage server: it accepts iSCSI sessions and serves SCSI
@@ -71,6 +72,7 @@ func (s *session) reply(p PDU) {
 func (s *session) handlePDU(p PDU) {
 	t := s.target
 	node := t.node
+	trace.To(node.Eng, trace.LISCSI)
 	switch p.Op {
 	case OpLoginReq:
 		if p.Data != nil {
@@ -133,6 +135,8 @@ func (s *session) handleCommand(p PDU) {
 		perBlock := sim.Duration(cdb.Blocks) * node.Cost.TargetBlockNs
 		node.Charge(node.Cost.ISCSIOpNs+perBlock, func() {
 			t.dev.ReadBlocks(int64(cdb.LBA), int(cdb.Blocks), func(data []byte, err error) {
+				// Blocks are off the platters; the rest is target CPU.
+				trace.To(node.Eng, trace.LISCSI)
 				if err != nil {
 					s.checkCondition(p.ITT)
 					return
@@ -177,6 +181,7 @@ func (s *session) handleCommand(p PDU) {
 				data.Release()
 				t.BytesIn += uint64(n)
 				t.dev.WriteBlocks(int64(cdb.LBA), slab, func(err error) {
+					trace.To(node.Eng, trace.LISCSI)
 					status := scsi.StatusGood
 					if err != nil {
 						status = scsi.StatusCheckCondition

@@ -31,6 +31,7 @@ import (
 	"ncache/internal/netbuf"
 	"ncache/internal/sim"
 	"ncache/internal/simnet"
+	"ncache/internal/trace"
 )
 
 // EntryOverheadBytes models the per-entry metadata footprint (hash links,
@@ -120,12 +121,15 @@ func (m *Module) Len() int { return m.lru.Len() }
 
 // chargeLookup bills one hash operation.
 func (m *Module) chargeLookup() {
+	trace.Account(m.node.Eng, trace.LNCache, m.node.Cost.NCacheLookupNs)
 	m.node.Charge(m.node.Cost.NCacheLookupNs, nil)
 }
 
 // chargeMgmt bills per-block cache management (insert/evict/LRU).
 func (m *Module) chargeMgmt(blocks int) {
-	m.node.Charge(sim.Duration(blocks)*m.node.Cost.NCacheMgmtNs, nil)
+	cost := sim.Duration(blocks) * m.node.Cost.NCacheMgmtNs
+	trace.Account(m.node.Eng, trace.LNCache, cost)
+	m.node.Charge(cost, nil)
 }
 
 // touch moves an entry to the hot end.

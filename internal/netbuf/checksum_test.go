@@ -1,0 +1,129 @@
+package netbuf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refSum is the straightforward RFC 1071 reference: big-endian 16-bit words
+// accumulated in a wide integer, folded, inverted.
+func refSum(p []byte) uint16 {
+	var sum uint64
+	for i := 0; i+1 < len(p); i += 2 {
+		sum += uint64(p[i])<<8 | uint64(p[i+1])
+	}
+	if len(p)%2 == 1 {
+		sum += uint64(p[len(p)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// TestSumMatchesReference checks Sum against the reference on arbitrary
+// inputs, including odd lengths.
+func TestSumMatchesReference(t *testing.T) {
+	f := func(p []byte) bool { return Sum(p) == refSum(p) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSumChainFragmentationInvariance checks the linearity property the
+// whole inheritance scheme rests on: the checksum of a chain equals the
+// checksum of its flattened bytes no matter how the bytes are fragmented
+// (odd-length fragments included).
+func TestSumChainFragmentationInvariance(t *testing.T) {
+	f := func(p []byte, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewChain()
+		for off := 0; off < len(p); {
+			n := 1 + rng.Intn(len(p)-off)
+			b := New(0, n)
+			if err := b.Append(p[off : off+n]); err != nil {
+				return false
+			}
+			c.Append(b)
+			off += n
+		}
+		ok := SumChain(c) == Sum(p)
+		c.Release()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCombineSplitIdentity checks Combine: for any even-length prefix
+// split, sum(a) ⊕ sum(b) == sum(a++b), and the partial of a chain equals
+// the combination of its parts' partials — the rule sunrpc uses to extend
+// an inherited payload checksum across a prepended header.
+func TestCombineSplitIdentity(t *testing.T) {
+	f := func(p []byte, cut16 uint16) bool {
+		cut := 0
+		if len(p) > 0 {
+			cut = int(cut16) % (len(p) + 1)
+		}
+		cut &^= 1 // Combine requires the first part to end on an even boundary
+		var a, b Partial
+		a.AddBytes(p[:cut])
+		b.AddBytes(p[cut:])
+		combined := Combine(a, b)
+		return combined.Checksum() == Sum(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHeaderPrependInheritance models the transmit path: a cached payload's
+// partial is stored once, and each outgoing message folds a fresh
+// even-length header in front of it without re-walking the payload.
+func TestHeaderPrependInheritance(t *testing.T) {
+	f := func(header, payload []byte) bool {
+		if len(header)%2 == 1 {
+			header = append(append([]byte(nil), header...), 0)
+		}
+		stored := func() Partial {
+			c := ChainFromBytes(payload, 64)
+			defer c.Release()
+			return PartialOfChain(c)
+		}()
+		var hs Partial
+		hs.AddBytes(header)
+		combined := Combine(hs, stored)
+		got := combined.Checksum()
+		want := Sum(append(append([]byte(nil), header...), payload...))
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPartialIncrementalOddBytes checks AddBytes handles arbitrary
+// odd/even fragment boundaries identically to one contiguous add.
+func TestPartialIncrementalOddBytes(t *testing.T) {
+	p := make([]byte, 257)
+	for i := range p {
+		p[i] = byte(i*31 + 7)
+	}
+	var whole Partial
+	whole.AddBytes(p)
+	for _, step := range []int{1, 2, 3, 5, 7, 64, 100} {
+		var inc Partial
+		for off := 0; off < len(p); off += step {
+			end := off + step
+			if end > len(p) {
+				end = len(p)
+			}
+			inc.AddBytes(p[off:end])
+		}
+		if inc.Checksum() != whole.Checksum() {
+			t.Fatalf("step %d: %#x != %#x", step, inc.Checksum(), whole.Checksum())
+		}
+	}
+}

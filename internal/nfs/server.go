@@ -6,6 +6,7 @@ import (
 	"ncache/internal/proto/udp"
 	"ncache/internal/simnet"
 	"ncache/internal/sunrpc"
+	"ncache/internal/trace"
 	"ncache/internal/xdr"
 )
 
@@ -116,6 +117,7 @@ func (s *Server) dispatch(proc uint32, c sunrpc.Call) {
 		body.Release()
 		s.replyStatus(c, st)
 	}
+	trace.To(s.node.Eng, trace.LServer)
 	s.node.Charge(s.node.Cost.NFSOpNs, func() {
 		switch proc {
 		case ProcNull:

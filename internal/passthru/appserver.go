@@ -17,6 +17,7 @@ import (
 	"ncache/internal/proto/udp"
 	"ncache/internal/sim"
 	"ncache/internal/simnet"
+	"ncache/internal/trace"
 )
 
 // ServerConfig sizes the pass-through application server.
@@ -262,11 +263,14 @@ func (b *fsBackend) Lookup(dir nfs.FH, name string, done func(nfs.FH, nfs.Attr, 
 
 func (b *fsBackend) Read(fh nfs.FH, off uint64, n int, done func(*netbuf.Chain, nfs.Attr, uint32)) {
 	srv := b.srv
+	trace.To(srv.Node.Eng, trace.LFS)
 	srv.FS.Read(fhIno(fh), off, n, func(res *extfs.ReadResult, err error) {
 		if err != nil {
 			done(nil, nfs.Attr{}, mapErr(err))
 			return
 		}
+		// Back in the daemon: compose and transmit the reply.
+		trace.To(srv.Node.Eng, trace.LServer)
 		chain := srv.path.replyChain(res, false)
 		res.Done(srv.FS)
 		done(chain, attrOf(res.Attr), nfs.OK)
@@ -276,7 +280,9 @@ func (b *fsBackend) Read(fh nfs.FH, off uint64, n int, done func(*netbuf.Chain, 
 func (b *fsBackend) Write(fh nfs.FH, off uint64, data *netbuf.Chain, done func(int, nfs.Attr, uint32)) {
 	srv := b.srv
 	ino := fhIno(fh)
+	trace.To(srv.Node.Eng, trace.LFS)
 	srv.path.applyWrite(srv.FS, ino, fh, off, data, func(n int, st uint32) {
+		trace.To(srv.Node.Eng, trace.LServer)
 		if st != nfs.OK {
 			done(0, nfs.Attr{}, st)
 			return

@@ -9,6 +9,7 @@ import (
 	"ncache/internal/nfs"
 	"ncache/internal/sim"
 	"ncache/internal/simnet"
+	"ncache/internal/trace"
 )
 
 // dataPath encapsulates the mode-specific regular-data movement of the
@@ -27,13 +28,17 @@ type dataPath struct {
 func (p *dataPath) chargePhysical(stages, nbytes int) {
 	p.node.Copies.PhysicalOps += uint64(stages)
 	p.node.Copies.PhysicalBytes += uint64(nbytes)
-	p.node.Charge(p.node.Cost.CopyCost(nbytes), nil)
+	cost := p.node.Cost.CopyCost(nbytes)
+	trace.Account(p.node.Eng, trace.LServer, cost)
+	p.node.Charge(cost, nil)
 }
 
 // chargeLogical records n key copies and bills the CPU.
 func (p *dataPath) chargeLogical(n int) {
 	p.node.Copies.LogicalOps += uint64(n)
-	p.node.Charge(sim.Duration(n)*p.node.Cost.LogicalCopyNs, nil)
+	cost := sim.Duration(n) * p.node.Cost.LogicalCopyNs
+	trace.Account(p.node.Eng, trace.LServer, cost)
+	p.node.Charge(cost, nil)
 }
 
 // replyChain converts read extents into a transmit payload chain.

@@ -1,0 +1,116 @@
+package sim
+
+import "testing"
+
+// TestContextPropagation verifies that a request context set during one
+// event is inherited by every event scheduled from it, transitively, and
+// that it never leaks into unrelated events.
+func TestContextPropagation(t *testing.T) {
+	eng := NewEngine()
+	type req struct{ id int }
+	a := &req{1}
+	b := &req{2}
+
+	var got []any
+	record := func() { got = append(got, eng.Context()) }
+
+	eng.Schedule(0, func() {
+		eng.SetContext(a)
+		eng.Schedule(10, func() {
+			record()
+			// Grandchild inherits too.
+			eng.Schedule(5, record)
+		})
+	})
+	eng.Schedule(1, func() {
+		eng.SetContext(b)
+		eng.Schedule(10, record)
+	})
+	// Scheduled outside any event: no context.
+	eng.Schedule(50, record)
+
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []any{a, b, a, nil}
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestContextClearedBetweenEvents checks the engine resets the context when
+// an event completes, so top-level scheduling stays context-free.
+func TestContextClearedBetweenEvents(t *testing.T) {
+	eng := NewEngine()
+	eng.Schedule(0, func() { eng.SetContext("x") })
+	fired := false
+	eng.Schedule(1, func() {
+		fired = true
+		if eng.Context() != nil {
+			t.Errorf("context leaked across events: %v", eng.Context())
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("second event did not fire")
+	}
+}
+
+// TestUsageObserver verifies the resource accounting hook sees queueing
+// delay, service demand and the admitting context, without changing the
+// simulation outcome.
+func TestUsageObserver(t *testing.T) {
+	type rec struct {
+		name          string
+		ctx           any
+		wait, service Duration
+	}
+	run := func(observe bool) ([]rec, Time) {
+		eng := NewEngine()
+		var recs []rec
+		if observe {
+			eng.SetUsageObserver(func(r *Resource, ctx any, wait, service Duration) {
+				recs = append(recs, rec{r.Name(), ctx, wait, service})
+			})
+		}
+		cpu := NewResource(eng, "cpu")
+		eng.Schedule(0, func() {
+			eng.SetContext("req1")
+			cpu.Use(10, nil)
+		})
+		eng.Schedule(0, func() {
+			eng.SetContext("req2")
+			cpu.Use(7, nil) // queued behind req1: waits 10
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return recs, eng.Now()
+	}
+
+	recs, end := run(true)
+	want := []rec{
+		{"cpu", "req1", 0, 10},
+		{"cpu", "req2", 10, 7},
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("got %d records, want %d", len(recs), len(want))
+	}
+	for i := range want {
+		if recs[i] != want[i] {
+			t.Errorf("record %d = %+v, want %+v", i, recs[i], want[i])
+		}
+	}
+
+	_, endOff := run(false)
+	if end != endOff {
+		t.Fatalf("observer changed simulation end time: %v vs %v", end, endOff)
+	}
+}

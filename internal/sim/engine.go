@@ -60,6 +60,7 @@ type event struct {
 	at  Time
 	seq uint64 // tiebreaker: FIFO among events at the same instant
 	fn  func()
+	ctx any // request context captured at scheduling time
 	idx int // heap index, -1 once popped or canceled
 }
 
@@ -116,7 +117,34 @@ type Engine struct {
 	processed uint64
 	// limit aborts Run after this many events (0 = unlimited).
 	limit uint64
+	// cur is the request context of the event currently executing. Every
+	// event scheduled while it runs inherits it, so a context set once at
+	// request issue propagates across the whole causal chain of events —
+	// through protocol stacks, queues and even "wire" hops — without any
+	// signature changes. Observation only: it never affects event order.
+	cur any
+	// usage, when set, observes every Resource.Use admission (queueing
+	// delay and service demand, together with the admitting context).
+	usage UsageObserver
 }
+
+// UsageObserver sees each job admitted to a Resource: the resource itself,
+// the request context active at admission, the time the job will wait for
+// the server, and its service demand. Observers must only record — they run
+// synchronously inside Use and must not schedule or mutate the engine.
+type UsageObserver func(r *Resource, ctx any, wait, service Duration)
+
+// SetUsageObserver installs the resource accounting hook (nil to remove).
+func (e *Engine) SetUsageObserver(o UsageObserver) { e.usage = o }
+
+// Context returns the request context of the currently executing event, or
+// nil outside event execution (and for events scheduled outside one).
+func (e *Engine) Context() any { return e.cur }
+
+// SetContext replaces the current request context. Events scheduled from
+// this point on (until the enclosing event returns, or a further call)
+// carry the new context. Typically called once per request at issue time.
+func (e *Engine) SetContext(ctx any) { e.cur = ctx }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
 func NewEngine() *Engine {
@@ -148,7 +176,7 @@ func (e *Engine) At(t Time, fn func()) EventID {
 	if t < e.now {
 		t = e.now
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	ev := &event{at: t, seq: e.seq, fn: fn, ctx: e.cur}
 	e.seq++
 	heap.Push(&e.events, ev)
 	return EventID{ev: ev}
@@ -193,7 +221,9 @@ func (e *Engine) step(until Time) (bool, error) {
 		return false, fmt.Errorf("sim: event limit %d exceeded at t=%s", e.limit, e.now)
 	}
 	if popped.fn != nil {
+		e.cur = popped.ctx
 		popped.fn()
+		e.cur = nil
 	}
 	return true, nil
 }

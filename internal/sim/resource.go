@@ -45,6 +45,11 @@ func (r *Resource) Use(d Duration, done func()) {
 	if start < now {
 		start = now
 	}
+	if r.eng.usage != nil {
+		// Report admission before scheduling: wait is the queueing delay
+		// this job will experience, d its service demand. Pure observation.
+		r.eng.usage(r, r.eng.cur, start.Sub(now), d)
+	}
 	finish := start.Add(d)
 	r.availAt = finish
 	r.busy += d

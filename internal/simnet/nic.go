@@ -7,6 +7,7 @@ import (
 	"ncache/internal/netbuf"
 	"ncache/internal/proto/eth"
 	"ncache/internal/sim"
+	"ncache/internal/trace"
 )
 
 // Bandwidth is a link speed in bits per second.
@@ -98,6 +99,9 @@ func (n *NIC) Send(frame *netbuf.Chain) error {
 	}
 	n.Stats.PacketsTx++
 	n.Stats.BytesTx += uint64(size)
+	// From here the request is on the wire: transmit queueing,
+	// serialization and link latency all belong to the network.
+	trace.To(n.node.Eng, trace.LNet)
 	wire := size + FrameOverheadBytes
 	n.tx.Use(n.bw.serialization(wire), func() {
 		n.node.Eng.Schedule(n.latency, func() {

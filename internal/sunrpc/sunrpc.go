@@ -15,6 +15,7 @@ import (
 	"ncache/internal/netbuf"
 	"ncache/internal/proto/eth"
 	"ncache/internal/proto/udp"
+	"ncache/internal/trace"
 	"ncache/internal/xdr"
 )
 
@@ -223,6 +224,7 @@ func (s *Server) receive(dg udp.Datagram) {
 	}
 	// Per-message RPC processing cost (XDR walk, dispatch).
 	node := s.udp.Node()
+	trace.To(node.Eng, trace.LRPC)
 	node.Charge(node.Cost.RPCNs, func() { h(call) })
 }
 
@@ -265,6 +267,7 @@ func NewClient(t *udp.Transport, local eth.Addr, port uint16) (*Client, error) {
 // be nil) is appended without copying — how a zero-copy NFS WRITE travels.
 // done fires when the matching reply arrives.
 func (c *Client) Call(dst eth.Addr, dstPort uint16, prog, vers, proc uint32, args []byte, payload *netbuf.Chain, done func(Reply, error)) error {
+	trace.To(c.udp.Node().Eng, trace.LRPC)
 	xid := c.nextXid
 	c.nextXid++
 
@@ -342,6 +345,7 @@ func (c *Client) receive(dg udp.Datagram) {
 	}
 	delete(c.pending, xid)
 	node := c.udp.Node()
+	trace.To(node.Eng, trace.LRPC)
 	if replyStat != 0 {
 		body.Release()
 		node.Charge(node.Cost.RPCNs, func() {

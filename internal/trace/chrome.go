@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace_event exporter: renders retained spans as the JSON object
+// format understood by chrome://tracing and Perfetto. Each traced
+// configuration becomes one "process"; concurrent requests are packed onto
+// a minimal set of "threads" (lanes) by greedy interval assignment, so a
+// run reads as a swimlane diagram. Timestamps are virtual-clock
+// microseconds with nanosecond precision; output is deterministic.
+
+// chromeEvent is one trace_event record.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts,omitempty"`
+	Dur  float64        `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the top-level trace object.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTrace accumulates spans from one or more tracers (one process per
+// Add) for a combined export.
+type ChromeTrace struct {
+	procs []chromeProc
+}
+
+type chromeProc struct {
+	label string
+	spans []*Span
+}
+
+// NewChromeTrace returns an empty trace collection.
+func NewChromeTrace() *ChromeTrace {
+	return &ChromeTrace{}
+}
+
+// Add snapshots a tracer's retained spans as one process. Call after the
+// tracer's run completes; the tracer needs SetKeepSpans(true).
+func (ct *ChromeTrace) Add(t *Tracer) {
+	if ct == nil || t == nil {
+		return
+	}
+	ct.procs = append(ct.procs, chromeProc{label: t.Label(), spans: t.Spans()})
+}
+
+// usec converts virtual nanoseconds to trace microseconds.
+func usec(ns int64) float64 { return float64(ns) / 1e3 }
+
+// assignLanes packs spans (sorted by start) onto the fewest lanes such
+// that no two overlapping spans share one — the visual equivalent of the
+// workload's concurrency.
+func assignLanes(spans []*Span) []int {
+	lanes := []int64{} // end time per lane
+	out := make([]int, len(spans))
+	for i, s := range spans {
+		placed := -1
+		for l, end := range lanes {
+			if end <= int64(s.Start()) {
+				placed = l
+				break
+			}
+		}
+		if placed < 0 {
+			placed = len(lanes)
+			lanes = append(lanes, 0)
+		}
+		lanes[placed] = int64(s.End())
+		out[i] = placed
+	}
+	return out
+}
+
+// WriteTo emits the collected processes as trace_event JSON.
+func (ct *ChromeTrace) WriteTo(w io.Writer) (int64, error) {
+	f := chromeFile{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	for pid, proc := range ct.procs {
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": proc.label},
+		})
+		lanes := assignLanes(proc.spans)
+		for i, s := range proc.spans {
+			tid := lanes[i]
+			args := map[string]any{"id": s.ID()}
+			for l := Layer(0); l < NumLayers; l++ {
+				if d := s.Layers()[l]; d > 0 {
+					args[l.String()+"_ns"] = int64(d)
+				}
+			}
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: s.Op(), Ph: "X", Pid: pid, Tid: tid,
+				Ts:   usec(int64(s.Start())),
+				Dur:  usec(int64(s.Duration())),
+				Args: args,
+			})
+			for _, ph := range s.Phases() {
+				if ph.End <= ph.Start {
+					continue
+				}
+				f.TraceEvents = append(f.TraceEvents, chromeEvent{
+					Name: ph.Layer.String(), Ph: "X", Pid: pid, Tid: tid,
+					Ts:  usec(int64(ph.Start)),
+					Dur: usec(int64(ph.End.Sub(ph.Start))),
+				})
+			}
+		}
+	}
+	// Stable global order: (pid, ts, tid, metadata first).
+	sort.SliceStable(f.TraceEvents, func(i, j int) bool {
+		a, b := f.TraceEvents[i], f.TraceEvents[j]
+		if a.Pid != b.Pid {
+			return a.Pid < b.Pid
+		}
+		if (a.Ph == "M") != (b.Ph == "M") {
+			return a.Ph == "M"
+		}
+		if a.Ts != b.Ts {
+			return a.Ts < b.Ts
+		}
+		return a.Dur > b.Dur // parents before their sub-phases
+	})
+	enc, err := json.MarshalIndent(f, "", " ")
+	if err != nil {
+		return 0, fmt.Errorf("trace: encode chrome trace: %w", err)
+	}
+	n, err := w.Write(enc)
+	return int64(n), err
+}

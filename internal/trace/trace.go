@@ -1,0 +1,265 @@
+// Package trace is the request-level tracing and latency-attribution
+// subsystem. A Span follows one client request through the whole simulated
+// data path — client, wire, RPC, server logic, file system, NCache, iSCSI,
+// disk — on the engine's virtual clock, and attributes every nanosecond of
+// its end-to-end latency to exactly one layer.
+//
+// Propagation needs no plumbing: spans ride the sim.Engine's event context,
+// which is inherited by every event scheduled from the current one. A layer
+// calls To just before starting asynchronous work (a CPU charge, a link
+// serialization, a disk access) and the time until the next switch — queueing
+// delay included — accrues to that layer. Because the segments partition
+// [start, end] of each span, per-layer attribution sums to the end-to-end
+// duration exactly, by construction.
+//
+// Tracing is zero-cost when disabled: a nil *Tracer produces nil *Spans, and
+// every method is a nil-receiver no-op. Nothing here schedules events or
+// charges costs, so enabling tracing never changes a simulation result.
+package trace
+
+import (
+	"strings"
+
+	"ncache/internal/sim"
+)
+
+// Layer identifies one stage of the data path for latency attribution.
+type Layer uint8
+
+// The attribution layers, ordered roughly top (client) to bottom (disk).
+const (
+	// LClient is time attributed to the requesting client itself:
+	// request construction before the RPC send.
+	LClient Layer = iota
+	// LNet is wire time: NIC transmit serialization, switch forwarding,
+	// propagation, and receive interrupt processing.
+	LNet
+	// LRPC is RPC/XDR processing on either side (SunRPC framing, reply
+	// matching) including its CPU queueing.
+	LRPC
+	// LServer is per-operation server logic: NFS/HTTP dispatch, reply
+	// composition, and the data-path copies charged at that level.
+	LServer
+	// LFS is file-system and buffer-cache work: mapping, cache lookup,
+	// block assembly.
+	LFS
+	// LNCache is network-centric cache management on the request's
+	// critical path (second-level hit service).
+	LNCache
+	// LISCSI is iSCSI command processing, initiator and target.
+	LISCSI
+	// LDisk is disk-arm service (positioning + media transfer) and its
+	// queueing.
+	LDisk
+	// NumLayers bounds the enum.
+	NumLayers
+)
+
+var layerNames = [NumLayers]string{
+	"client", "net", "rpc", "server", "fs", "ncache", "iscsi", "disk",
+}
+
+// String names the layer.
+func (l Layer) String() string {
+	if int(l) < len(layerNames) {
+		return layerNames[l]
+	}
+	return "?"
+}
+
+// ResClass classifies queueing resources for wait/service accounting.
+type ResClass uint8
+
+// Resource classes, derived from resource naming conventions.
+const (
+	ResCPU ResClass = iota
+	ResNIC
+	ResLink
+	ResDisk
+	ResOther
+	NumResClasses
+)
+
+var resClassNames = [NumResClasses]string{"cpu", "nic", "link", "disk", "other"}
+
+// String names the class.
+func (c ResClass) String() string {
+	if int(c) < len(resClassNames) {
+		return resClassNames[c]
+	}
+	return "?"
+}
+
+// classifyResource maps a resource's diagnostic name to a class. Naming
+// follows the simnet/blockdev conventions: "<node>.cpu", "<node>.<addr>.tx",
+// "sw.<addr>.down", "disk<N>".
+func classifyResource(name string) ResClass {
+	switch {
+	case strings.HasSuffix(name, ".cpu"):
+		return ResCPU
+	case strings.HasSuffix(name, ".tx"):
+		return ResNIC
+	case strings.HasSuffix(name, ".down"):
+		return ResLink
+	case strings.HasPrefix(name, "disk"):
+		return ResDisk
+	default:
+		return ResOther
+	}
+}
+
+// Phase is one contiguous segment of a span's timeline spent in one layer.
+type Phase struct {
+	Layer      Layer
+	Start, End sim.Time
+}
+
+// Span is the trace of one request. All methods are safe on a nil receiver
+// (the disabled-tracing fast path) and after Finish.
+type Span struct {
+	id    uint64
+	op    string
+	start sim.Time
+	end   sim.Time
+
+	tracer     *Tracer
+	cur        Layer
+	lastSwitch sim.Time
+	done       bool
+
+	// layers partitions [start,end]: time the request spent with each
+	// layer responsible for its progress (queueing included).
+	layers [NumLayers]sim.Duration
+	// charged tallies CPU demand billed on the request's behalf by fire-
+	// and-forget charges (e.g. NCache LRU maintenance) — cost that delays
+	// other requests rather than gating this one, so it is reported
+	// separately and does not enter the timeline partition.
+	charged [NumLayers]sim.Duration
+	// wait/service accumulate per-resource-class queueing delay and
+	// service demand admitted on this span (from the engine usage hook).
+	wait    [NumResClasses]sim.Duration
+	service [NumResClasses]sim.Duration
+
+	// phases is the explicit segment list, kept only when the tracer
+	// retains spans for export.
+	phases []Phase
+}
+
+// ID returns the span's sequence number (0 for nil).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Op returns the operation label ("" for nil).
+func (s *Span) Op() string {
+	if s == nil {
+		return ""
+	}
+	return s.op
+}
+
+// Start returns the span's start time.
+func (s *Span) Start() sim.Time {
+	if s == nil {
+		return 0
+	}
+	return s.start
+}
+
+// End returns the span's end time (valid after Finish).
+func (s *Span) End() sim.Time {
+	if s == nil {
+		return 0
+	}
+	return s.end
+}
+
+// Duration returns the end-to-end latency (valid after Finish).
+func (s *Span) Duration() sim.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.end.Sub(s.start)
+}
+
+// Layers returns the per-layer timeline attribution.
+func (s *Span) Layers() [NumLayers]sim.Duration {
+	if s == nil {
+		return [NumLayers]sim.Duration{}
+	}
+	return s.layers
+}
+
+// Phases returns the retained segment list (nil unless the tracer keeps
+// spans).
+func (s *Span) Phases() []Phase {
+	if s == nil {
+		return nil
+	}
+	return s.phases
+}
+
+// To attributes the timeline since the previous switch to the current layer
+// and makes l the active layer. Call it just before starting asynchronous
+// work on behalf of the request. No-op on nil or finished spans.
+func (s *Span) To(l Layer) {
+	if s == nil || s.done || l >= NumLayers {
+		return
+	}
+	now := s.tracer.eng.Now()
+	s.closeSegment(now)
+	s.cur = l
+}
+
+// closeSegment accrues [lastSwitch, now) to the active layer.
+func (s *Span) closeSegment(now sim.Time) {
+	if now > s.lastSwitch {
+		s.layers[s.cur] += now.Sub(s.lastSwitch)
+		if s.phases != nil || s.tracer.keep {
+			s.phases = append(s.phases, Phase{s.cur, s.lastSwitch, now})
+		}
+		s.lastSwitch = now
+	}
+}
+
+// Account records fire-and-forget CPU demand billed for this request in
+// layer l. It is bookkeeping only — no timeline impact.
+func (s *Span) Account(l Layer, d sim.Duration) {
+	if s == nil || s.done || l >= NumLayers || d <= 0 {
+		return
+	}
+	s.charged[l] += d
+}
+
+// Finish closes the span at the current virtual time and hands it to its
+// tracer. Further To/Account calls are no-ops.
+func (s *Span) Finish() {
+	if s == nil || s.done {
+		return
+	}
+	now := s.tracer.eng.Now()
+	s.closeSegment(now)
+	s.end = now
+	s.done = true
+	s.tracer.finish(s)
+}
+
+// Active returns the span carried by the engine's current event context, or
+// nil when tracing is off or the event is not part of a traced request.
+func Active(eng *sim.Engine) *Span {
+	s, _ := eng.Context().(*Span)
+	return s
+}
+
+// To switches the active span (if any) to layer l.
+func To(eng *sim.Engine, l Layer) {
+	Active(eng).To(l)
+}
+
+// Account books fire-and-forget CPU demand on the active span (if any).
+func Account(eng *sim.Engine, l Layer, d sim.Duration) {
+	Active(eng).Account(l, d)
+}

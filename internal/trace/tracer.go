@@ -1,0 +1,247 @@
+package trace
+
+import (
+	"sort"
+
+	"ncache/internal/sim"
+)
+
+// Tracer creates and collects spans for one simulated configuration. A nil
+// *Tracer is the disabled state: Begin returns nil spans and every other
+// method is a no-op, so callers never branch on "tracing on?".
+type Tracer struct {
+	eng    *sim.Engine
+	label  string
+	nextID uint64
+	keep   bool
+	frozen bool
+
+	spans []*Span
+	agg   map[string]*opAgg
+	// attrErrs counts spans whose layer attribution failed to sum to the
+	// end-to-end duration — zero by construction; exported as a self-check.
+	attrErrs uint64
+}
+
+// opAgg accumulates window statistics for one operation type.
+type opAgg struct {
+	hist    *Histogram
+	total   sim.Duration
+	layers  [NumLayers]sim.Duration
+	charged [NumLayers]sim.Duration
+	wait    [NumResClasses]sim.Duration
+	service [NumResClasses]sim.Duration
+}
+
+// NewTracer attaches a tracer to an engine and installs the resource
+// accounting hook. label names the configuration under test (it prefixes
+// exported trace processes), e.g. "NFS-NCache/32KB".
+func NewTracer(eng *sim.Engine, label string) *Tracer {
+	t := &Tracer{eng: eng, label: label, agg: make(map[string]*opAgg)}
+	eng.SetUsageObserver(t.observe)
+	return t
+}
+
+// Label returns the configuration label.
+func (t *Tracer) Label() string {
+	if t == nil {
+		return ""
+	}
+	return t.label
+}
+
+// SetKeepSpans retains finished spans (with their phase timelines) for
+// export. Off by default: histograms alone are constant-memory.
+func (t *Tracer) SetKeepSpans(keep bool) {
+	if t != nil {
+		t.keep = keep
+	}
+}
+
+// Begin starts a span for one request and makes it the engine's current
+// request context, so every event scheduled by the issuing code inherits
+// it. Returns nil (a valid no-op span) on a nil tracer.
+func (t *Tracer) Begin(op string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.nextID++
+	s := &Span{
+		id:         t.nextID,
+		op:         op,
+		start:      t.eng.Now(),
+		tracer:     t,
+		cur:        LClient,
+		lastSwitch: t.eng.Now(),
+	}
+	t.eng.SetContext(s)
+	return s
+}
+
+// observe is the engine usage hook: queueing delay and service demand land
+// on the admitting span, classified by resource kind.
+func (t *Tracer) observe(r *sim.Resource, ctx any, wait, service sim.Duration) {
+	s, ok := ctx.(*Span)
+	if !ok || s == nil || s.done {
+		return
+	}
+	c := classifyResource(r.Name())
+	s.wait[c] += wait
+	s.service[c] += service
+}
+
+// finish folds a completed span into the window aggregates.
+func (t *Tracer) finish(s *Span) {
+	if t.frozen {
+		return
+	}
+	var sum sim.Duration
+	for _, d := range s.layers {
+		sum += d
+	}
+	if diff := sum - s.Duration(); diff > 1 || diff < -1 {
+		t.attrErrs++
+	}
+	a := t.agg[s.op]
+	if a == nil {
+		a = &opAgg{hist: NewHistogram()}
+		t.agg[s.op] = a
+	}
+	a.hist.Record(s.Duration())
+	a.total += s.Duration()
+	for i := range s.layers {
+		a.layers[i] += s.layers[i]
+		a.charged[i] += s.charged[i]
+	}
+	for i := range s.wait {
+		a.wait[i] += s.wait[i]
+		a.service[i] += s.service[i]
+	}
+	if t.keep {
+		t.spans = append(t.spans, s)
+	}
+}
+
+// ResetStats discards everything recorded so far (spans in flight continue
+// and will record into the fresh window). Call at the start of the
+// steady-state measurement window.
+func (t *Tracer) ResetStats() {
+	if t == nil {
+		return
+	}
+	t.spans = nil
+	t.agg = make(map[string]*opAgg)
+	t.attrErrs = 0
+	t.frozen = false
+}
+
+// Freeze stops recording: spans finishing later (the post-window drain) are
+// dropped, bounding statistics to the measurement window.
+func (t *Tracer) Freeze() {
+	if t == nil {
+		return
+	}
+	t.frozen = true
+}
+
+// AttributionErrors reports spans whose per-layer sums missed the
+// end-to-end duration by more than 1 ns. Always zero; exported so tests and
+// tools can assert the invariant.
+func (t *Tracer) AttributionErrors() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.attrErrs
+}
+
+// Spans returns retained spans sorted by (start, id). Empty unless
+// SetKeepSpans(true).
+func (t *Tracer) Spans() []*Span {
+	if t == nil {
+		return nil
+	}
+	out := make([]*Span, len(t.spans))
+	copy(out, t.spans)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].start != out[j].start {
+			return out[i].start < out[j].start
+		}
+		return out[i].id < out[j].id
+	})
+	return out
+}
+
+// LayerStat is one layer's share of an operation's total latency.
+type LayerStat struct {
+	Layer Layer
+	// Total is timeline time attributed to the layer across all requests.
+	Total sim.Duration
+	// Charged is fire-and-forget CPU demand booked to the layer.
+	Charged sim.Duration
+}
+
+// ResStat is one resource class's aggregate queueing behaviour.
+type ResStat struct {
+	Class         ResClass
+	Wait, Service sim.Duration
+}
+
+// OpSummary is the measurement-window latency summary for one operation.
+type OpSummary struct {
+	Op     string
+	Count  uint64
+	Mean   sim.Duration
+	P50    sim.Duration
+	P90    sim.Duration
+	P99    sim.Duration
+	P999   sim.Duration
+	Max    sim.Duration
+	Total  sim.Duration
+	Layers []LayerStat
+	Res    []ResStat
+	Hist   *Histogram
+}
+
+// Summary is a tracer's full latency report.
+type Summary struct {
+	Label string
+	Ops   []OpSummary
+	// AttrErrors mirrors Tracer.AttributionErrors at summary time.
+	AttrErrors uint64
+}
+
+// Summary snapshots the current window. Returns nil on a nil tracer.
+func (t *Tracer) Summary() *Summary {
+	if t == nil {
+		return nil
+	}
+	ops := make([]string, 0, len(t.agg))
+	for op := range t.agg {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	s := &Summary{Label: t.label, AttrErrors: t.attrErrs}
+	for _, op := range ops {
+		a := t.agg[op]
+		o := OpSummary{
+			Op:    op,
+			Count: a.hist.Count(),
+			Mean:  a.hist.Mean(),
+			P50:   a.hist.Quantile(0.50),
+			P90:   a.hist.Quantile(0.90),
+			P99:   a.hist.Quantile(0.99),
+			P999:  a.hist.Quantile(0.999),
+			Max:   a.hist.Max(),
+			Total: a.total,
+			Hist:  a.hist,
+		}
+		for l := Layer(0); l < NumLayers; l++ {
+			o.Layers = append(o.Layers, LayerStat{l, a.layers[l], a.charged[l]})
+		}
+		for c := ResClass(0); c < NumResClasses; c++ {
+			o.Res = append(o.Res, ResStat{c, a.wait[c], a.service[c]})
+		}
+		s.Ops = append(s.Ops, o)
+	}
+	return s
+}

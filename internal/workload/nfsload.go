@@ -4,6 +4,7 @@ import (
 	"ncache/internal/netbuf"
 	"ncache/internal/nfs"
 	"ncache/internal/sim"
+	"ncache/internal/trace"
 )
 
 // AccessPattern selects how read offsets advance.
@@ -31,6 +32,8 @@ type NFSReadLoad struct {
 	Pattern     AccessPattern
 	Concurrency int // workers per client
 	RNG         *sim.RNG
+	// Tracer, when set, opens a span per request. Nil-safe.
+	Tracer *trace.Tracer
 
 	ops, bytes, errs uint64
 	stopped          bool
@@ -38,6 +41,9 @@ type NFSReadLoad struct {
 }
 
 var _ Load = (*NFSReadLoad)(nil)
+
+// SetTracer installs per-request span tracing.
+func (l *NFSReadLoad) SetTracer(t *trace.Tracer) { l.Tracer = t }
 
 // Start implements Load.
 func (l *NFSReadLoad) Start() {
@@ -86,7 +92,9 @@ func (l *NFSReadLoad) issue(c *nfs.Client) {
 		return
 	}
 	off := l.nextOffset()
+	sp := l.Tracer.Begin("read")
 	c.Read(l.FH, off, l.RequestSize, func(data *netbuf.Chain, _ nfs.Attr, err error) {
+		sp.Finish()
 		if err != nil {
 			l.errs++
 		} else {
@@ -106,6 +114,8 @@ type NFSWriteLoad struct {
 	RequestSize int
 	Concurrency int
 	RNG         *sim.RNG
+	// Tracer, when set, opens a span per request. Nil-safe.
+	Tracer *trace.Tracer
 
 	ops, bytes, errs uint64
 	stopped          bool
@@ -114,6 +124,9 @@ type NFSWriteLoad struct {
 }
 
 var _ Load = (*NFSWriteLoad)(nil)
+
+// SetTracer installs per-request span tracing.
+func (l *NFSWriteLoad) SetTracer(t *trace.Tracer) { l.Tracer = t }
 
 // Start implements Load.
 func (l *NFSWriteLoad) Start() {
@@ -152,7 +165,9 @@ func (l *NFSWriteLoad) issue(c *nfs.Client) {
 	}
 	off := (l.next % span) * req
 	l.next++
+	sp := l.Tracer.Begin("write")
 	c.WriteBytes(l.FH, off, l.payload, func(n int, _ nfs.Attr, err error) {
+		sp.Finish()
 		if err != nil {
 			l.errs++
 		} else {
