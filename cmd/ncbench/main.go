@@ -8,7 +8,15 @@
 //	ncbench -exp fig5b -window 1s -concurrency 16
 //
 // Experiments: table1, table2, fig4, fig5a, fig5b, fig6a, fig6b, fig7,
-// transport, futurework, overhead, ablations, all.
+// transport, futurework, overhead, ablations, fig-fault, all.
+//
+// -fault injects a deterministic fault schedule (a preset name or the
+// fault.ParseSpec grammar) into the NFS experiments, replayable via
+// -faultseed:
+//
+//	ncbench -exp fig4 -fault frame-loss
+//	ncbench -exp fig5b -fault 'slowdisk:disk0:rate=0.5:delay=5ms' -faultseed 7
+//	ncbench -exp fig-fault            # the Original-vs-NCache degradation table
 package main
 
 import (
@@ -32,13 +40,15 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ncbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: table1,table2,fig4,fig5a,fig5b,fig6a,fig6b,fig7,transport,futurework,overhead,ablations,all")
+	exp := fs.String("exp", "all", "experiment: table1,table2,fig4,fig5a,fig5b,fig6a,fig6b,fig7,transport,futurework,overhead,ablations,fig-fault,all")
 	warmup := fs.Duration("warmup", 150*time.Millisecond, "steady-state warm-up (virtual time)")
 	window := fs.Duration("window", 600*time.Millisecond, "measurement window (virtual time)")
 	concurrency := fs.Int("concurrency", 8, "outstanding requests per client host")
 	scale := fs.Int("scale", 4, "memory-scale divisor for the macro experiments (1 = paper scale)")
 	latency := fs.Bool("latency", false, "trace requests and print latency percentiles with per-layer attribution")
 	traceOut := fs.String("trace", "", "write traced request timelines as chrome://tracing JSON to this file (implies tracing)")
+	faultSpec := fs.String("fault", "", "fault schedule for the NFS experiments: a preset (frame-loss, slow-disk, cpu-burst) or fault.ParseSpec grammar")
+	faultSeed := fs.Uint64("faultseed", 1, "seed for the fault injector's random streams (runs replay bit-for-bit per seed)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -48,6 +58,8 @@ func run(args []string) error {
 		Concurrency: *concurrency,
 		Scale:       *scale,
 		Latency:     *latency,
+		FaultSpec:   *faultSpec,
+		FaultSeed:   *faultSeed,
 	}
 	if *traceOut != "" {
 		opt.Chrome = trace.NewChromeTrace()
@@ -135,6 +147,18 @@ func run(args []string) error {
 		}
 		fmt.Println(bench.FormatSFSPoints(pts))
 	}
+	if want("fig-fault") {
+		ran = true
+		pts, err := bench.RunFigFault(opt)
+		if err != nil {
+			return fmt.Errorf("fig-fault: %w", err)
+		}
+		table := bench.FormatFaultPoints(pts)
+		fmt.Println(table)
+		if err := writeResult("fig-fault.txt", []byte(table)); err != nil {
+			return err
+		}
+	}
 	if want("futurework") {
 		ran = true
 		pts, err := bench.RunFutureWorkWireFormat(opt)
@@ -199,7 +223,7 @@ func run(args []string) error {
 			on.GainPct, off.GainPct)
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want one of table1,table2,fig4,fig5a,fig5b,fig6a,fig6b,fig7,transport,futurework,overhead,ablations,all)", *exp)
+		return fmt.Errorf("unknown experiment %q (want one of table1,table2,fig4,fig5a,fig5b,fig6a,fig6b,fig7,transport,futurework,overhead,ablations,fig-fault,all)", *exp)
 	}
 	if opt.Chrome != nil {
 		f, err := os.Create(*traceOut)

@@ -10,6 +10,7 @@ import (
 
 	"ncache/internal/blockdev"
 	"ncache/internal/extfs"
+	"ncache/internal/fault"
 	"ncache/internal/nfs"
 	"ncache/internal/passthru"
 	"ncache/internal/sim"
@@ -37,6 +38,11 @@ type Options struct {
 	// Chrome, when non-nil, retains every traced run's spans for a
 	// combined chrome://tracing export. Implies Latency-style tracing.
 	Chrome *trace.ChromeTrace
+	// FaultSpec injects a deterministic fault schedule (fault.ParseSpec
+	// grammar or a preset name) into every cluster the experiment builds;
+	// FaultSeed selects the replayable streams (zero means seed 1).
+	FaultSpec string
+	FaultSeed uint64
 }
 
 // withDefaults fills unset options.
@@ -71,6 +77,14 @@ type NFSPoint struct {
 	Errors        uint64
 	// Lat is the measurement-window latency summary (Options.Latency).
 	Lat *trace.Summary
+	// Fault recovery activity over the whole run (zero without a spec):
+	// RPC retransmissions, abandoned calls, suppressed duplicate replies,
+	// iSCSI command retries, and the injector's per-schedule tallies.
+	Retransmits  uint64
+	RPCTimeouts  uint64
+	DupReplies   uint64
+	ISCSIRetries uint64
+	FaultReport  []fault.ScheduleReport
 }
 
 // WebPoint is one measured point of a kHTTPd experiment.
@@ -119,6 +133,9 @@ type clusterSpec struct {
 	web           bool
 	// cost overrides the default calibration (ablations).
 	cost simnet.CostProfile
+	// faultSpec/faultSeed wire a disarmed injector into the testbed.
+	faultSpec string
+	faultSeed uint64
 }
 
 // build creates, formats and starts the cluster; layout adds files.
@@ -133,6 +150,8 @@ func (cs clusterSpec) build(layout func(*extfs.Formatter) error) (*passthru.Clus
 		DisableRemap:  cs.disableRemap,
 		EnableWeb:     cs.web,
 		Cost:          cs.cost,
+		FaultSpec:     cs.faultSpec,
+		FaultSeed:     cs.faultSeed,
 	})
 	if err != nil {
 		return nil, err
@@ -249,6 +268,10 @@ func runNFSLoad(cl *passthru.Cluster, load workload.Load, opt Options, reqKB int
 	}
 	runner := &workload.Runner{Eng: cl.Eng, Warmup: opt.Warmup, Window: opt.Window}
 	p := NFSPoint{Mode: cl.App.Mode, ReqKB: reqKB}
+	// Injection starts with the load (setup above ran fault-free) and stops
+	// before the drain, so in-flight recovery completes and the event loop
+	// terminates.
+	cl.Faults.Arm()
 	m, err := runner.Run(load,
 		func() {
 			resetClusterStats(cl)
@@ -261,6 +284,7 @@ func runNFSLoad(cl *passthru.Cluster, load workload.Load, opt Options, reqKB int
 			// Freeze before the drain so late completions stay out of
 			// the window's statistics.
 			tr.Freeze()
+			cl.Faults.Quiesce()
 		})
 	if err != nil {
 		return NFSPoint{}, err
@@ -269,6 +293,10 @@ func runNFSLoad(cl *passthru.Cluster, load workload.Load, opt Options, reqKB int
 	p.OpsPerSec = m.OpsPerSec()
 	p.Errors = m.Errors
 	p.Lat = tr.Summary()
+	if cl.Faults != nil {
+		p.Retransmits, p.RPCTimeouts, p.DupReplies, p.ISCSIRetries = cl.FaultCounters()
+		p.FaultReport = cl.Faults.Report()
+	}
 	opt.Chrome.Add(tr)
 	return p, nil
 }

@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"ncache/internal/extfs"
+	"ncache/internal/fault"
+	"ncache/internal/nfs"
+	"ncache/internal/passthru"
+	"ncache/internal/workload"
+)
+
+// FaultScenarios is the degradation sweep of the fig-fault experiment: a
+// fault-free baseline plus the three canonical schedules (fault.Presets).
+var FaultScenarios = []string{"none", "frame-loss", "slow-disk", "cpu-burst"}
+
+// FaultModes are the configurations the degradation table compares. Baseline
+// is omitted: the paper's question is whether NCache's extra machinery makes
+// the server more fragile than the Original pass-through under stress.
+var FaultModes = []passthru.Mode{passthru.Original, passthru.NCache}
+
+// FaultPoint is one (mode, scenario) cell of the degradation table.
+type FaultPoint struct {
+	Scenario string
+	NFSPoint
+}
+
+// RunFigFault measures Original and NCache under identical fault schedules:
+// the all-miss sequential-read workload (disk, network and CPU all on the
+// critical path) at a fixed 16 KB request size, once fault-free and once per
+// preset schedule, all replayed from opt.FaultSeed. Latency tracing is
+// always on so each point carries per-layer fault attribution.
+func RunFigFault(opt Options) ([]FaultPoint, error) {
+	opt = opt.withDefaults()
+	opt.Latency = true
+	var out []FaultPoint
+	for _, mode := range FaultModes {
+		for _, sc := range FaultScenarios {
+			o := opt
+			if sc == "none" {
+				o.FaultSpec = ""
+			} else {
+				o.FaultSpec = sc
+			}
+			p, err := runFaultPoint(o, mode)
+			if err != nil {
+				return nil, fmt.Errorf("fig-fault %s %s: %w", mode, sc, err)
+			}
+			out = append(out, FaultPoint{Scenario: sc, NFSPoint: p})
+		}
+	}
+	return out, nil
+}
+
+// runFaultPoint is the fig4-style all-miss point the fault sweep perturbs.
+func runFaultPoint(opt Options, mode passthru.Mode) (NFSPoint, error) {
+	const reqKB = 16
+	fileBlocks := int64(96*1024) / int64(opt.Scale)
+	cs := clusterSpec{
+		mode:          mode,
+		nics:          1,
+		clients:       2,
+		blocksPerDisk: fileBlocks/4 + 8192,
+		fsCacheBlocks: 8192,
+		ncacheBytes:   64 << 20,
+		faultSpec:     opt.FaultSpec,
+		faultSeed:     opt.FaultSeed,
+	}
+	var spec extfs.FileSpec
+	cl, err := cs.build(func(f *extfs.Formatter) error {
+		var err error
+		spec, err = f.AddFile("bigfile", uint64(fileBlocks)*extfs.BlockSize, nil)
+		return err
+	})
+	if err != nil {
+		return NFSPoint{}, err
+	}
+	fh, err := lookupFH(cl, 0, "bigfile")
+	if err != nil {
+		return NFSPoint{}, err
+	}
+	clients := make([]*nfs.Client, 0, len(cl.Clients))
+	for _, h := range cl.Clients {
+		clients = append(clients, h.NFS)
+	}
+	load := &workload.NFSReadLoad{
+		Clients:     clients,
+		FH:          fh,
+		FileSize:    spec.Size,
+		RequestSize: reqKB * 1024,
+		Pattern:     workload.Sequential,
+		Concurrency: opt.Concurrency,
+	}
+	return runNFSLoad(cl, load, opt, reqKB)
+}
+
+// readP99 extracts the read operation's p99 latency from a traced point.
+func readP99(p NFSPoint) float64 {
+	if p.Lat == nil {
+		return 0
+	}
+	for _, op := range p.Lat.Ops {
+		if op.Op == "read" {
+			return float64(op.P99) / 1e3 // µs
+		}
+	}
+	return 0
+}
+
+// faultShare sums fault-attributed latency per layer for the read op,
+// returning the two dominant entries as "layer=µs" strings.
+func faultShare(p NFSPoint) string {
+	if p.Lat == nil {
+		return ""
+	}
+	for _, op := range p.Lat.Ops {
+		if op.Op != "read" {
+			continue
+		}
+		var parts []string
+		for _, ls := range op.Layers {
+			if ls.FaultCount == 0 {
+				continue
+			}
+			perOp := float64(ls.Fault) / float64(op.Count) / 1e3
+			parts = append(parts, fmt.Sprintf("%s=%d/%.1fµs", ls.Layer, ls.FaultCount, perOp))
+		}
+		return strings.Join(parts, " ")
+	}
+	return ""
+}
+
+// FormatFaultPoints renders the degradation table: throughput and read p99
+// per scenario per mode, each scenario's slowdown relative to the same
+// mode's fault-free run, recovery counters, and per-layer fault attribution
+// (count/avg-injected-latency per affected request).
+func FormatFaultPoints(points []FaultPoint) string {
+	base := make(map[passthru.Mode]FaultPoint)
+	for _, p := range points {
+		if p.Scenario == "none" {
+			base[p.Mode] = p
+		}
+	}
+	var b strings.Builder
+	b.WriteString("fig-fault: degradation under injected faults (all-miss 16KB read)\n")
+	fmt.Fprintf(&b, "%-10s %-11s %9s %8s %10s %8s %7s %7s %6s %6s\n",
+		"config", "fault", "MB/s", "vs none", "p99_µs", "vs none",
+		"retrans", "iscsiR", "dupRx", "errs")
+	for _, mode := range FaultModes {
+		for _, p := range points {
+			if p.Mode != mode {
+				continue
+			}
+			tputRel, p99Rel := "", ""
+			if bp, ok := base[mode]; ok && p.Scenario != "none" {
+				tputRel = fmt.Sprintf("%+.1f%%", gainPct(p.ThroughputMBs, bp.ThroughputMBs))
+				p99Rel = fmt.Sprintf("%+.1f%%", gainPct(readP99(p.NFSPoint), readP99(bp.NFSPoint)))
+			}
+			fmt.Fprintf(&b, "%-10s %-11s %9.1f %8s %10.1f %8s %7d %7d %6d %6d\n",
+				mode, p.Scenario, p.ThroughputMBs, tputRel, readP99(p.NFSPoint), p99Rel,
+				p.Retransmits, p.ISCSIRetries, p.DupReplies, p.Errors)
+		}
+	}
+	b.WriteString("\nper-layer fault attribution (injections / avg injected+recovery latency per read):\n")
+	for _, p := range points {
+		if s := faultShare(p.NFSPoint); s != "" {
+			fmt.Fprintf(&b, "  %-10s %-11s %s\n", p.Mode, p.Scenario, s)
+		}
+	}
+	b.WriteString("\ninjected schedules:\n")
+	for _, p := range points {
+		if len(p.FaultReport) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, " %s/%s:\n%s", p.Mode, p.Scenario, fault.FormatReport(p.FaultReport))
+	}
+	return b.String()
+}

@@ -42,6 +42,8 @@ func runFig4Point(opt Options, mode passthru.Mode, reqKB int, fileBlocks int64) 
 		blocksPerDisk: fileBlocks/4 + 8192,
 		fsCacheBlocks: 8192,     // 32 MB: all-miss regardless of mode
 		ncacheBytes:   64 << 20, // misses don't reuse it; keep memory low
+		faultSpec:     opt.FaultSpec,
+		faultSeed:     opt.FaultSeed,
 	}
 	var spec extfs.FileSpec
 	cl, err := cs.build(func(f *extfs.Formatter) error {
@@ -109,6 +111,8 @@ func runFig5Point(opt Options, mode passthru.Mode, reqKB, nics int) (NFSPoint, e
 		blocksPerDisk: 16 * 1024,
 		fsCacheBlocks: 8192, // 32 MB: the hot set always fits
 		ncacheBytes:   64 << 20,
+		faultSpec:     opt.FaultSpec,
+		faultSeed:     opt.FaultSeed,
 	}
 	cl, err := cs.build(func(f *extfs.Formatter) error {
 		_, err := f.AddFile("hotfile", hotBytes, nil)

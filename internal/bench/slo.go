@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+
+	"ncache/internal/passthru"
+	"ncache/internal/sim"
+	"ncache/internal/trace"
+)
+
+// SLOBudget bounds one traced configuration's read-latency profile: an
+// absolute p99 ceiling plus per-layer caps on the share of total attributed
+// time. The budgets act as a regression gate — a change that slows the data
+// path or shifts time into the wrong layer (say, an extra copy inflating the
+// server share) trips the gate even while throughput still looks healthy.
+type SLOBudget struct {
+	Mode passthru.Mode
+	// MaxP99 is the read p99 ceiling.
+	MaxP99 sim.Duration
+	// MaxShare caps a layer's fraction (0..1) of total attributed latency.
+	// Layers absent from the map are unbounded.
+	MaxShare map[trace.Layer]float64
+	// MinCount guards against a gate that "passes" because the window
+	// measured almost nothing.
+	MinCount uint64
+}
+
+// Fig5bSLOs are the budgets for the quick-scale fig5b CPU-bound all-hit
+// point (16 KB reads, two NICs, quickOpts). Ceilings carry ~30% headroom
+// over the calibrated steady state — original p99 2.25 ms with a 42.6%
+// server share, ncache 1.27 ms at 39.4%, baseline 1.04 ms at 33.2% — so
+// ordinary jitter passes while a copy regression or a mis-attributed layer
+// does not.
+var Fig5bSLOs = []SLOBudget{
+	{
+		Mode:     passthru.Original,
+		MaxP99:   3 * sim.Millisecond,
+		MinCount: 200,
+		MaxShare: map[trace.Layer]float64{
+			trace.LServer: 0.55,
+			trace.LNet:    0.45,
+			trace.LRPC:    0.25,
+			trace.LFS:     0.25,
+		},
+	},
+	{
+		Mode:     passthru.NCache,
+		MaxP99:   1700 * sim.Microsecond,
+		MinCount: 400,
+		MaxShare: map[trace.Layer]float64{
+			trace.LServer: 0.52,
+			trace.LNet:    0.45,
+			trace.LRPC:    0.25,
+			trace.LFS:     0.25,
+		},
+	},
+	{
+		Mode:     passthru.Baseline,
+		MaxP99:   1400 * sim.Microsecond,
+		MinCount: 500,
+		MaxShare: map[trace.Layer]float64{
+			trace.LServer: 0.45,
+			trace.LNet:    0.47,
+			trace.LRPC:    0.25,
+			trace.LFS:     0.25,
+		},
+	},
+}
+
+// CheckSLO evaluates a traced point against a budget and returns the
+// violations, empty when the point is within budget.
+func CheckSLO(p NFSPoint, b SLOBudget) []string {
+	var v []string
+	if p.Lat == nil {
+		return []string{"point carries no latency summary (run with Options.Latency)"}
+	}
+	var read *trace.OpSummary
+	for i := range p.Lat.Ops {
+		if p.Lat.Ops[i].Op == "read" {
+			read = &p.Lat.Ops[i]
+			break
+		}
+	}
+	if read == nil {
+		return []string{"no read op in latency summary"}
+	}
+	if read.Count < b.MinCount {
+		v = append(v, fmt.Sprintf("only %d reads measured, want ≥%d", read.Count, b.MinCount))
+	}
+	if read.P99 > b.MaxP99 {
+		v = append(v, fmt.Sprintf("read p99 %v exceeds budget %v", read.P99, b.MaxP99))
+	}
+	var total float64
+	for _, ls := range read.Layers {
+		total += float64(ls.Total)
+	}
+	if total <= 0 {
+		return append(v, "no per-layer attribution recorded")
+	}
+	for _, ls := range read.Layers {
+		max, ok := b.MaxShare[ls.Layer]
+		if !ok {
+			continue
+		}
+		if share := float64(ls.Total) / total; share > max {
+			v = append(v, fmt.Sprintf("layer %v holds %.1f%% of read latency, budget %.1f%%",
+				ls.Layer, 100*share, 100*max))
+		}
+	}
+	return v
+}

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 
+	"ncache/internal/fault"
 	"ncache/internal/sim"
 	"ncache/internal/trace"
 )
@@ -29,6 +30,9 @@ func (g Geometry) Bytes() int64 { return g.NumBlocks * int64(g.BlockSize) }
 var (
 	ErrOutOfRange = errors.New("blockdev: block out of range")
 	ErrBadLength  = errors.New("blockdev: data length not block-aligned")
+	// ErrTransient is an injected transient device error: the medium is
+	// fine and a retry of the same I/O is expected to succeed.
+	ErrTransient = errors.New("blockdev: transient device error")
 )
 
 // Device is an asynchronous block store. Completion callbacks fire in
@@ -69,9 +73,11 @@ func (m Model) ServiceTime(n int) sim.Duration {
 // queue (one outstanding I/O at a time, FIFO — a disk arm).
 type MemDisk struct {
 	eng    *sim.Engine
+	name   string
 	geom   Geometry
 	model  Model
 	arm    *sim.Resource
+	faults *fault.Injector
 	blocks map[int64][]byte
 	// lastEnd tracks the block after the previous I/O: a request starting
 	// exactly there is sequential and skips the positioning overhead
@@ -85,6 +91,8 @@ type MemDisk struct {
 	Reads, Writes uint64
 	// BytesRead/BytesWritten count payload volume.
 	BytesRead, BytesWritten uint64
+	// FaultErrors counts I/Os failed by injected transient errors.
+	FaultErrors uint64
 }
 
 var _ Device = (*MemDisk)(nil)
@@ -93,6 +101,7 @@ var _ Device = (*MemDisk)(nil)
 func NewMemDisk(eng *sim.Engine, name string, geom Geometry, model Model) *MemDisk {
 	return &MemDisk{
 		eng:     eng,
+		name:    name,
 		geom:    geom,
 		model:   model,
 		arm:     sim.NewResource(eng, name),
@@ -100,6 +109,10 @@ func NewMemDisk(eng *sim.Engine, name string, geom Geometry, model Model) *MemDi
 		lastEnd: -1,
 	}
 }
+
+// SetFaults installs the fault injector consulted on every I/O (the disk's
+// injection site is its name, e.g. "disk0"). Nil disables injection.
+func (d *MemDisk) SetFaults(in *fault.Injector) { d.faults = in }
 
 // Geometry returns the disk's addressing.
 func (d *MemDisk) Geometry() Geometry { return d.geom }
@@ -140,7 +153,13 @@ func (d *MemDisk) ReadBlocks(lbn int64, count int, done func([]byte, error)) {
 	}
 	n := count * d.geom.BlockSize
 	trace.To(d.eng, trace.LDisk)
-	d.arm.Use(d.serviceTime(lbn, n), func() {
+	fd := d.faults.Disk(d.name)
+	d.arm.Use(d.serviceTime(lbn, n)+fd.Delay, func() {
+		if fd.Err {
+			d.FaultErrors++
+			done(nil, ErrTransient)
+			return
+		}
 		out := make([]byte, n)
 		for i := 0; i < count; i++ {
 			b := lbn + int64(i)
@@ -169,7 +188,13 @@ func (d *MemDisk) WriteBlocks(lbn int64, data []byte, done func(error)) {
 		return
 	}
 	trace.To(d.eng, trace.LDisk)
-	d.arm.Use(d.serviceTime(lbn, len(data)), func() {
+	fd := d.faults.Disk(d.name)
+	d.arm.Use(d.serviceTime(lbn, len(data))+fd.Delay, func() {
+		if fd.Err {
+			d.FaultErrors++
+			done(ErrTransient)
+			return
+		}
 		for i := 0; i < count; i++ {
 			b := make([]byte, d.geom.BlockSize)
 			copy(b, data[i*d.geom.BlockSize:(i+1)*d.geom.BlockSize])

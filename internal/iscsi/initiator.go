@@ -9,6 +9,7 @@ import (
 	"ncache/internal/proto/eth"
 	"ncache/internal/proto/tcp"
 	"ncache/internal/scsi"
+	"ncache/internal/sim"
 	"ncache/internal/simnet"
 	"ncache/internal/trace"
 )
@@ -39,13 +40,28 @@ var (
 	ErrCheckCond    = errors.New("iscsi: check condition")
 )
 
-// task tracks one outstanding command.
+// task tracks one outstanding command, with what is needed to re-issue it
+// when the target reports a transient CHECK CONDITION.
 type task struct {
 	lba    int64
 	blocks int
 	meta   bool
-	onData func(*netbuf.Chain, error)
-	onDone func(error)
+	write  bool
+	// payload is a retained image of the (post-hook) write data so a
+	// retry re-sends exactly the bytes of the first attempt — the write
+	// hook must not run twice.
+	payload *netbuf.Chain
+	tries   int
+	onData  func(*netbuf.Chain, error)
+	onDone  func(error)
+}
+
+// releasePayload drops the retained write image.
+func (t *task) releasePayload() {
+	if t.payload != nil {
+		t.payload.Release()
+		t.payload = nil
+	}
 }
 
 // Initiator is the pass-through server's iSCSI client (the kernel
@@ -70,8 +86,15 @@ type Initiator struct {
 	writeHook WriteHook
 	readCache ReadCache
 
+	// retryMax/retryBackoff configure CHECK CONDITION retries (off while
+	// retryMax is zero).
+	retryMax     int
+	retryBackoff sim.Duration
+
 	// Stats.
 	ReadCmds, WriteCmds uint64
+	// Retries counts commands re-issued after a transient target error.
+	Retries uint64
 }
 
 // NewInitiator creates an initiator bound to a local address.
@@ -94,6 +117,16 @@ func (i *Initiator) SetWriteHook(h WriteHook) { i.writeHook = h }
 
 // SetReadCache installs the local second-level read cache.
 func (i *Initiator) SetReadCache(h ReadCache) { i.readCache = h }
+
+// SetRetry makes the initiator re-issue a command up to max times when the
+// target reports CHECK CONDITION, waiting backoff before each attempt. Off
+// by default: the testbed's array never errors unless faults are injected.
+func (i *Initiator) SetRetry(max int, backoff sim.Duration) {
+	if max < 0 {
+		max = 0
+	}
+	i.retryMax, i.retryBackoff = max, backoff
+}
 
 // Geometry returns the target device geometry (valid after Connect).
 func (i *Initiator) Geometry() blockdev.Geometry { return i.geom }
@@ -190,8 +223,12 @@ func (i *Initiator) Write(lba int64, data *netbuf.Chain, meta bool, done func(er
 	if !meta && i.writeHook != nil {
 		data = i.writeHook(lba, blocks, data)
 	}
+	t := &task{lba: lba, blocks: blocks, meta: meta, write: true, onDone: done}
+	if i.retryMax > 0 {
+		t.payload = data.Clone()
+	}
 	itt := i.allocITT(nil)
-	i.pending[itt] = &task{lba: lba, blocks: blocks, meta: meta, onDone: done}
+	i.pending[itt] = t
 	cdb := scsi.CDB{Op: scsi.OpWrite10, LBA: uint32(lba), Blocks: uint16(blocks)}.Encode()
 	i.send(PDU{
 		Op: OpSCSICmd, Final: true, ITT: itt,
@@ -222,11 +259,42 @@ func (i *Initiator) fail(itt uint32, err error) {
 		return
 	}
 	delete(i.pending, itt)
+	t.releasePayload()
 	if t.onData != nil {
 		t.onData(nil, err)
 	} else if t.onDone != nil {
 		t.onDone(err)
 	}
+}
+
+// retry re-issues a failed command under a fresh task tag after the
+// configured backoff. The wait is booked as fault-attributed iSCSI time on
+// the request's span (recovery latency, not injected delay).
+func (i *Initiator) retry(t *task) {
+	t.tries++
+	i.Retries++
+	trace.Fault(i.node.Eng, trace.LISCSI, i.retryBackoff)
+	i.node.Eng.Schedule(i.retryBackoff, func() {
+		itt := i.allocITT(nil)
+		i.pending[itt] = t
+		if t.write {
+			cdb := scsi.CDB{Op: scsi.OpWrite10, LBA: uint32(t.lba), Blocks: uint16(t.blocks)}.Encode()
+			data := t.payload.Clone()
+			i.send(PDU{
+				Op: OpSCSICmd, Final: true, ITT: itt,
+				ExpectedLen: uint32(data.Len()),
+				CmdSN:       i.allocCmdSN(), CDB: cdb,
+				Data: data,
+			})
+			return
+		}
+		cdb := scsi.CDB{Op: scsi.OpRead10, LBA: uint32(t.lba), Blocks: uint16(t.blocks)}.Encode()
+		i.send(PDU{
+			Op: OpSCSICmd, Final: true, ITT: itt,
+			ExpectedLen: uint32(t.blocks * i.geom.BlockSize),
+			CmdSN:       i.allocCmdSN(), CDB: cdb,
+		})
+	})
 }
 
 // handlePDU processes one response PDU from the target.
@@ -257,6 +325,10 @@ func (i *Initiator) handlePDU(p PDU) {
 			}
 			if p.HasStatus && p.Status != scsi.StatusGood {
 				data.Release()
+				if t.tries < i.retryMax {
+					i.retry(t)
+					return
+				}
 				t.onData(nil, fmt.Errorf("%w: status %#x", ErrCheckCond, p.Status))
 				return
 			}
@@ -269,14 +341,25 @@ func (i *Initiator) handlePDU(p PDU) {
 			if p.Data != nil {
 				p.Data.Release()
 			}
-			var err error
 			if p.Status != scsi.StatusGood {
-				err = fmt.Errorf("%w: status %#x", ErrCheckCond, p.Status)
+				if t.tries < i.retryMax {
+					i.retry(t)
+					return
+				}
+				t.releasePayload()
+				err := fmt.Errorf("%w: status %#x", ErrCheckCond, p.Status)
+				if t.onDone != nil {
+					t.onDone(err)
+				} else if t.onData != nil {
+					t.onData(nil, err)
+				}
+				return
 			}
+			t.releasePayload()
 			if t.onDone != nil {
-				t.onDone(err)
+				t.onDone(nil)
 			} else if t.onData != nil {
-				t.onData(nil, err)
+				t.onData(nil, nil)
 			}
 		default:
 			if p.Data != nil {

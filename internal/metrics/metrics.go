@@ -56,15 +56,22 @@ type Net struct {
 	PacketsRx uint64
 	BytesTx   uint64
 	BytesRx   uint64
+	// FaultDropTx counts frames discarded at transmit by injected faults.
+	FaultDropTx uint64
+	// FaultCorruptRx counts frames discarded on delivery because an
+	// injected fault spoiled them in flight.
+	FaultCorruptRx uint64
 }
 
 // Sub returns the difference n - o.
 func (n Net) Sub(o Net) Net {
 	return Net{
-		PacketsTx: n.PacketsTx - o.PacketsTx,
-		PacketsRx: n.PacketsRx - o.PacketsRx,
-		BytesTx:   n.BytesTx - o.BytesTx,
-		BytesRx:   n.BytesRx - o.BytesRx,
+		PacketsTx:      n.PacketsTx - o.PacketsTx,
+		PacketsRx:      n.PacketsRx - o.PacketsRx,
+		BytesTx:        n.BytesTx - o.BytesTx,
+		BytesRx:        n.BytesRx - o.BytesRx,
+		FaultDropTx:    n.FaultDropTx - o.FaultDropTx,
+		FaultCorruptRx: n.FaultCorruptRx - o.FaultCorruptRx,
 	}
 }
 

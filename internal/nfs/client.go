@@ -5,6 +5,7 @@ import (
 	"ncache/internal/proto/eth"
 	"ncache/internal/proto/tcp"
 	"ncache/internal/proto/udp"
+	"ncache/internal/sim"
 	"ncache/internal/simnet"
 	"ncache/internal/sunrpc"
 	"ncache/internal/xdr"
@@ -36,6 +37,23 @@ func NewClient(t *udp.Transport, local eth.Addr, localPort uint16, server eth.Ad
 		return nil, err
 	}
 	return &Client{rpc: rpc, server: server}, nil
+}
+
+// SetRetransmit enables RPC retransmission when the underlying transport
+// supports it (the datagram client does; streams rely on TCP recovery).
+func (c *Client) SetRetransmit(rto sim.Duration, maxTries int) {
+	if r, ok := c.rpc.(interface {
+		SetRetransmit(sim.Duration, int)
+	}); ok {
+		r.SetRetransmit(rto, maxTries)
+	}
+}
+
+// DatagramRPC returns the underlying datagram RPC client, or nil for stream
+// transports. Fault tests inspect its retransmission counters.
+func (c *Client) DatagramRPC() *sunrpc.Client {
+	cl, _ := c.rpc.(*sunrpc.Client)
+	return cl
 }
 
 // DialClientTCP connects an NFS client over TCP (record-marked RPC) and

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"ncache/internal/fault"
 	"ncache/internal/netbuf"
 	"ncache/internal/nfs"
 	"ncache/internal/proto/eth"
@@ -202,6 +203,11 @@ type Cluster struct {
 	Storage *StorageServer
 	App     *AppServer
 	Clients []*ClientHost
+	// Faults is the injector wired into every data-path resource when the
+	// config carries a fault spec (nil otherwise). It starts disarmed;
+	// experiments call Faults.Arm() once setup is done and Faults.Quiesce()
+	// before the final drain.
+	Faults *fault.Injector
 }
 
 // ClusterConfig sizes a testbed.
@@ -215,7 +221,22 @@ type ClusterConfig struct {
 	DisableRemap  bool
 	EnableWeb     bool
 	Cost          simnet.CostProfile
+	// FaultSpec installs a fault-injection schedule (see fault.ParseSpec);
+	// empty means a fault-free testbed. FaultSeed selects the replayable
+	// random streams (zero means seed 1).
+	FaultSpec string
+	FaultSeed uint64
 }
+
+// Fault-recovery calibration used when a fault spec is present: NFS clients
+// retransmit on a 20 ms timer (doubling, 5 tries) and the iSCSI initiator
+// retries CHECK CONDITION commands 3 times after 500 µs.
+const (
+	faultRPCRTO     = 20 * sim.Millisecond
+	faultRPCTries   = 5
+	faultISCSITries = 3
+	faultISCSIRetry = 500 * sim.Microsecond
+)
 
 // Well-known fabric addresses.
 const (
@@ -277,6 +298,25 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 		cl.Clients = append(cl.Clients, host)
 	}
+	if cfg.FaultSpec != "" {
+		in, err := fault.NewFromSpec(eng, cfg.FaultSeed, cfg.FaultSpec)
+		if err != nil {
+			return nil, err
+		}
+		if in != nil {
+			nw.SetFaults(in)
+			for _, d := range storage.Array.Disks() {
+				d.SetFaults(in)
+			}
+			in.AttachCPU("storage.cpu", storage.Node.CPU)
+			in.AttachCPU("app.cpu", app.Node.CPU)
+			for _, host := range cl.Clients {
+				in.AttachCPU(host.Node.Name+".cpu", host.Node.CPU)
+			}
+			app.Initiator.SetRetry(faultISCSITries, faultISCSIRetry)
+			cl.Faults = in
+		}
+	}
 	return cl, nil
 }
 
@@ -304,6 +344,29 @@ func (c *Cluster) Start() error {
 		if err := host.MountNFS(nic.Addr); err != nil {
 			return err
 		}
+		if c.Faults != nil {
+			// Injected frame loss would hang calls forever on the
+			// testbed's lossless-fabric default.
+			host.NFS.SetRetransmit(faultRPCRTO, faultRPCTries)
+		}
 	}
 	return nil
+}
+
+// FaultCounters aggregates recovery activity across the testbed: RPC
+// retransmissions, abandoned calls and suppressed duplicate replies over all
+// NFS clients, plus iSCSI command retries at the app server.
+func (c *Cluster) FaultCounters() (retrans, timeouts, dups, iscsiRetries uint64) {
+	for _, host := range c.Clients {
+		if host.NFS == nil {
+			continue
+		}
+		if rpc := host.NFS.DatagramRPC(); rpc != nil {
+			retrans += rpc.Retransmits
+			timeouts += rpc.Timeouts
+			dups += rpc.DupReplies
+		}
+	}
+	iscsiRetries = c.App.Initiator.Retries
+	return
 }

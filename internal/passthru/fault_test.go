@@ -1,0 +1,130 @@
+package passthru
+
+import (
+	"bytes"
+	"testing"
+
+	"ncache/internal/extfs"
+)
+
+// faultCluster brings up an NCache cluster with a disarmed fault injector.
+func faultCluster(t *testing.T, spec string) (*Cluster, extfs.FileSpec) {
+	t.Helper()
+	cl, err := NewCluster(ClusterConfig{
+		Mode:          NCache,
+		NumClients:    1,
+		BlocksPerDisk: 16 * 1024,
+		FaultSpec:     spec,
+		FaultSeed:     7,
+	})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	fmtr, err := extfs.Format(cl.Storage.Array, 1024)
+	if err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	fs, err := fmtr.AddFile("data.bin", 64*extfs.BlockSize, fileContent)
+	if err != nil {
+		t.Fatalf("AddFile: %v", err)
+	}
+	if err := fmtr.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if err := cl.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	return cl, fs
+}
+
+// sync flushes the server's buffer cache and returns the completion error.
+func sync(t *testing.T, cl *Cluster) error {
+	t.Helper()
+	var serr error
+	done := false
+	cl.App.Cache.Sync(func(err error) { serr, done = err, true })
+	run(t, cl)
+	if !done {
+		t.Fatal("sync did not complete")
+	}
+	return serr
+}
+
+// TestFaultFlushRetryRemapIntegrity is clause (b) of the degradation suite:
+// when flush-path iSCSI writes are failed by injected transient disk errors
+// and retried, the FHO→LBN remap invariants must hold — the retries carry
+// the same substituted payload, the dirty entries unpin exactly once, and
+// both the caches and the physical disks end up with the written bytes.
+//
+// The schedule rate=1:count=3 deterministically fails the first three disk
+// write attempts (within the initiator's retry budget) and nothing after.
+func TestFaultFlushRetryRemapIntegrity(t *testing.T) {
+	cl, spec := faultCluster(t, "diskerr:disk*:rate=1:count=3")
+	fh := lookupFile(t, cl, "data.bin")
+
+	const blocks = 8
+	fresh := make([][]byte, blocks)
+	for i := range fresh {
+		fresh[i] = bytes.Repeat([]byte{0xA0 + byte(i)}, extfs.BlockSize)
+		writeFile(t, cl, fh, uint64(i)*extfs.BlockSize, fresh[i])
+	}
+	if cl.App.Module.Stats.Captures == 0 || cl.App.Module.PinnedBytes() == 0 {
+		t.Fatalf("writes not captured as dirty FHO entries: %+v", cl.App.Module.Stats)
+	}
+
+	cl.Faults.Arm()
+	if err := sync(t, cl); err != nil {
+		t.Fatalf("sync under transient disk errors: %v", err)
+	}
+	cl.Faults.Quiesce()
+
+	if cl.App.Initiator.Retries == 0 {
+		t.Fatal("no iSCSI retries despite injected write errors")
+	}
+	var faulted uint64
+	for _, d := range cl.Storage.Array.Disks() {
+		faulted += d.FaultErrors
+	}
+	if faulted != 3 {
+		t.Fatalf("injected disk errors = %d, want 3", faulted)
+	}
+	if got := cl.App.Module.Stats.Remaps; got < blocks {
+		t.Fatalf("remaps = %d, want ≥%d (every flushed block re-indexed)", got, blocks)
+	}
+	if p := cl.App.Module.PinnedBytes(); p != 0 {
+		t.Fatalf("%d bytes still pinned after sync (retry double-remapped or lost an entry)", p)
+	}
+
+	// Every remapped block must serve the fresh bytes through the stack...
+	got := readFile(t, cl, fh, 0, blocks*extfs.BlockSize)
+	for i := 0; i < blocks; i++ {
+		if !bytes.Equal(got[i*extfs.BlockSize:(i+1)*extfs.BlockSize], fresh[i]) {
+			t.Fatalf("block %d stale after flush retries", i)
+		}
+	}
+	// ...and the retried writes must have landed the same bytes on disk.
+	for i := 0; i < blocks; i++ {
+		if !bytes.Equal(cl.Storage.Array.PeekBlock(spec.StartLBN+int64(i)), fresh[i]) {
+			t.Fatalf("disk block %d does not hold the flushed payload", i)
+		}
+	}
+}
+
+// TestFaultFlushGivesUpCleanly checks the failure path terminates: with
+// every disk write erroring forever, the initiator exhausts its retry
+// budget and Sync reports the error instead of hanging or corrupting state.
+func TestFaultFlushGivesUpCleanly(t *testing.T) {
+	cl, _ := faultCluster(t, "diskerr:disk*:rate=1")
+	fh := lookupFile(t, cl, "data.bin")
+	writeFile(t, cl, fh, 0, bytes.Repeat([]byte{0x5A}, extfs.BlockSize))
+
+	cl.Faults.Arm()
+	err := sync(t, cl)
+	cl.Faults.Quiesce()
+	if err == nil {
+		t.Fatal("sync succeeded with a 100% disk error rate")
+	}
+	if cl.App.Initiator.Retries == 0 {
+		t.Fatal("initiator gave up without retrying")
+	}
+}

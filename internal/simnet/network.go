@@ -3,6 +3,7 @@ package simnet
 import (
 	"fmt"
 
+	"ncache/internal/fault"
 	"ncache/internal/netbuf"
 	"ncache/internal/proto/eth"
 	"ncache/internal/sim"
@@ -12,12 +13,16 @@ import (
 // over a full-duplex link. Forwarding looks up the destination address and
 // serializes the frame onto the egress port's downlink. The fabric is
 // lossless and preserves per-flow ordering, like the paper's NetGear gigabit
-// switch under non-saturating load.
+// switch under non-saturating load — unless a fault injector says otherwise.
 type Network struct {
 	eng     *sim.Engine
 	latency sim.Duration
 	ports   map[eth.Addr]*port
 	dropped uint64
+	faults  *fault.Injector
+	// faultDropped counts frames the injector discarded at switch
+	// downlinks (transmit-side drops land on the NIC's own stats).
+	faultDropped uint64
 }
 
 // port is the switch side of one attachment: a downlink serializer toward
@@ -66,8 +71,18 @@ func (nw *Network) Attach(node *Node, addr eth.Addr, bw Bandwidth) (*NIC, error)
 // Dropped reports frames discarded for unknown destinations.
 func (nw *Network) Dropped() uint64 { return nw.dropped }
 
+// SetFaults installs the fault injector consulted on every frame. Nil (the
+// default) disables injection.
+func (nw *Network) SetFaults(in *fault.Injector) { nw.faults = in }
+
+// Faults returns the installed injector (nil when faults are off).
+func (nw *Network) Faults() *fault.Injector { return nw.faults }
+
+// FaultDropped reports frames the injector discarded at switch downlinks.
+func (nw *Network) FaultDropped() uint64 { return nw.faultDropped }
+
 // forward moves a frame from an ingress NIC to its destination port.
-func (nw *Network) forward(from *NIC, frame *netbuf.Chain) {
+func (nw *Network) forward(from *NIC, frame *netbuf.Chain, corrupt bool) {
 	hdr, err := eth.Peek(frame)
 	if err != nil {
 		nw.dropped++
@@ -80,10 +95,17 @@ func (nw *Network) forward(from *NIC, frame *netbuf.Chain) {
 		frame.Release()
 		return
 	}
+	d := nw.faults.FrameRx(p.nic.node.Name + ".rx")
+	if d.Drop {
+		nw.faultDropped++
+		frame.Release()
+		return
+	}
+	corrupt = corrupt || d.Corrupt
 	wire := frame.Len() + FrameOverheadBytes
 	p.down.Use(p.bw.serialization(wire), func() {
-		nw.eng.Schedule(nw.latency, func() {
-			p.nic.deliver(frame)
+		nw.eng.Schedule(nw.latency+d.Delay, func() {
+			p.nic.deliver(frame, corrupt)
 		})
 	})
 }

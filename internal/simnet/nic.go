@@ -97,6 +97,12 @@ func (n *NIC) Send(frame *netbuf.Chain) error {
 	if size > n.MTU+eth.HeaderLen {
 		return fmt.Errorf("simnet: frame %d bytes exceeds MTU %d on %s", size, n.MTU, n.Addr)
 	}
+	d := n.net.faults.FrameTx(n.node.Name + ".tx")
+	if d.Drop {
+		n.Stats.FaultDropTx++
+		frame.Release()
+		return nil
+	}
 	n.Stats.PacketsTx++
 	n.Stats.BytesTx += uint64(size)
 	// From here the request is on the wire: transmit queueing,
@@ -104,15 +110,22 @@ func (n *NIC) Send(frame *netbuf.Chain) error {
 	trace.To(n.node.Eng, trace.LNet)
 	wire := size + FrameOverheadBytes
 	n.tx.Use(n.bw.serialization(wire), func() {
-		n.node.Eng.Schedule(n.latency, func() {
-			n.net.forward(n, frame)
+		n.node.Eng.Schedule(n.latency+d.Delay, func() {
+			n.net.forward(n, frame, d.Corrupt)
 		})
 	})
 	return nil
 }
 
 // deliver hands a frame arriving from the fabric to the receive handler.
-func (n *NIC) deliver(frame *netbuf.Chain) {
+// Corrupt frames paid for their wire time but fail checksum verification
+// here, so they are counted and discarded without reaching the stack.
+func (n *NIC) deliver(frame *netbuf.Chain, corrupt bool) {
+	if corrupt {
+		n.Stats.FaultCorruptRx++
+		frame.Release()
+		return
+	}
 	n.Stats.PacketsRx++
 	n.Stats.BytesRx += uint64(frame.Len())
 	if n.rx == nil {

@@ -1,0 +1,195 @@
+package sunrpc
+
+import (
+	"errors"
+	"testing"
+
+	"ncache/internal/fault"
+	"ncache/internal/proto/eth"
+	"ncache/internal/proto/ipv4"
+	"ncache/internal/proto/udp"
+	"ncache/internal/sim"
+	"ncache/internal/simnet"
+	"ncache/internal/xdr"
+)
+
+// faultRig is rig plus an armed fault injector on the network.
+func faultRig(t *testing.T, spec string) (*sim.Engine, *host, *host) {
+	t.Helper()
+	eng := sim.NewEngine()
+	nw := simnet.NewNetwork(eng, 5*sim.Microsecond)
+	mk := func(name string, addr eth.Addr) *host {
+		n := simnet.NewNode(eng, name, simnet.DefaultProfile())
+		if _, err := nw.Attach(n, addr, simnet.Gbps); err != nil {
+			t.Fatalf("attach: %v", err)
+		}
+		return &host{node: n, udp: udp.NewTransport(ipv4.NewStack(n)), addr: addr}
+	}
+	cl, sv := mk("client", 1), mk("server", 2)
+	in, err := fault.NewFromSpec(eng, 1, spec)
+	if err != nil {
+		t.Fatalf("NewFromSpec: %v", err)
+	}
+	nw.SetFaults(in)
+	in.Arm()
+	return eng, cl, sv
+}
+
+// doubler registers the canonical test procedure and returns a pointer to
+// its execution count (retransmitted calls execute server-side again: this
+// minimal server has no duplicate-request cache).
+func doubler(t *testing.T, sv *host) *int {
+	t.Helper()
+	srv, err := NewServer(sv.udp, 2049)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	execs := new(int)
+	srv.Register(progTest, versTest, 7, func(c Call) {
+		*execs++
+		d := xdr.NewDecoder(c.Body.Flatten())
+		c.Body.Release()
+		v, _ := d.Uint32()
+		e := xdr.NewEncoder(8)
+		e.Uint32(v * 2)
+		if err := c.Reply(e.Bytes(), nil); err != nil {
+			t.Errorf("Reply: %v", err)
+		}
+	})
+	return execs
+}
+
+// callOnce issues one doubling call and returns (replies seen, result, err).
+func callOnce(t *testing.T, eng *sim.Engine, cl *host, dst eth.Addr, rpc *Client) (int, uint32, error) {
+	t.Helper()
+	e := xdr.NewEncoder(8)
+	e.Uint32(21)
+	replies, result := 0, uint32(0)
+	var cerr error
+	err := rpc.Call(dst, 2049, progTest, versTest, 7, e.Bytes(), nil, func(r Reply, err error) {
+		replies++
+		cerr = err
+		if err == nil {
+			d := xdr.NewDecoder(r.Body.Flatten())
+			r.Body.Release()
+			result, _ = d.Uint32()
+		}
+	})
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return replies, result, cerr
+}
+
+// TestFaultRetransmitRecoversLoss drops the first two transmissions of the
+// call; the client's RTO must fire twice (with backoff) and the third try
+// completes the call transparently.
+func TestFaultRetransmitRecoversLoss(t *testing.T) {
+	eng, cl, sv := faultRig(t, "drop:client.tx:rate=1:count=2")
+	execs := doubler(t, sv)
+	rpc, err := NewClient(cl.udp, cl.addr, 700)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	rpc.SetRetransmit(sim.Millisecond, 4)
+
+	replies, result, cerr := callOnce(t, eng, cl, sv.addr, rpc)
+	if cerr != nil || replies != 1 || result != 42 {
+		t.Fatalf("replies=%d result=%d err=%v", replies, result, cerr)
+	}
+	if rpc.Retransmits != 2 || rpc.Timeouts != 0 {
+		t.Fatalf("retransmits=%d timeouts=%d, want 2/0", rpc.Retransmits, rpc.Timeouts)
+	}
+	if *execs != 1 {
+		t.Fatalf("server executed %d times, want 1 (both drops were pre-delivery)", *execs)
+	}
+	if rpc.Pending() != 0 {
+		t.Fatalf("pending = %d after completion", rpc.Pending())
+	}
+	// The recovery wait (two RTOs, the second doubled) elapsed on the clock.
+	if eng.Now() < sim.Time(3*sim.Millisecond) {
+		t.Fatalf("clock %v, want ≥3ms of backoff", eng.Now())
+	}
+}
+
+// TestFaultRetransmitGivesUp drops every transmission: after maxTries the
+// call must surface ErrTimeout exactly once and leave no pending state.
+func TestFaultRetransmitGivesUp(t *testing.T) {
+	eng, cl, sv := faultRig(t, "drop:client.tx:rate=1")
+	execs := doubler(t, sv)
+	rpc, err := NewClient(cl.udp, cl.addr, 700)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	rpc.SetRetransmit(sim.Millisecond, 3)
+
+	replies, _, cerr := callOnce(t, eng, cl, sv.addr, rpc)
+	if replies != 1 || !errors.Is(cerr, ErrTimeout) {
+		t.Fatalf("replies=%d err=%v, want one ErrTimeout", replies, cerr)
+	}
+	if rpc.Retransmits != 2 || rpc.Timeouts != 1 {
+		t.Fatalf("retransmits=%d timeouts=%d, want 2/1", rpc.Retransmits, rpc.Timeouts)
+	}
+	if *execs != 0 || rpc.Pending() != 0 {
+		t.Fatalf("execs=%d pending=%d after giving up", *execs, rpc.Pending())
+	}
+}
+
+// TestFaultDuplicateReplySuppressed delays the first reply beyond the RTO:
+// the client retransmits, the server (no duplicate-request cache) executes
+// again and both replies eventually arrive. The second-arriving reply must
+// be suppressed as a duplicate — not surfaced, not counted as malformed.
+func TestFaultDuplicateReplySuppressed(t *testing.T) {
+	eng, cl, sv := faultRig(t, "delay:server.tx:rate=1:count=1:delay=2ms")
+	execs := doubler(t, sv)
+	rpc, err := NewClient(cl.udp, cl.addr, 700)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	rpc.SetRetransmit(sim.Millisecond, 4)
+
+	replies, result, cerr := callOnce(t, eng, cl, sv.addr, rpc)
+	if cerr != nil || replies != 1 || result != 42 {
+		t.Fatalf("replies=%d result=%d err=%v, want exactly one success", replies, result, cerr)
+	}
+	if *execs != 2 {
+		t.Fatalf("server executed %d times, want 2 (original + retransmit)", *execs)
+	}
+	if rpc.Retransmits != 1 {
+		t.Fatalf("retransmits = %d, want 1", rpc.Retransmits)
+	}
+	if rpc.DupReplies != 1 {
+		t.Fatalf("dup replies = %d, want 1", rpc.DupReplies)
+	}
+	if rpc.BadReplies != 0 {
+		t.Fatalf("duplicate counted as malformed: BadReplies = %d", rpc.BadReplies)
+	}
+	if rpc.Pending() != 0 {
+		t.Fatalf("pending = %d", rpc.Pending())
+	}
+}
+
+// TestFaultRetransmitOffByDefault checks the no-fault contract: without
+// SetRetransmit a lost call simply stays lost (the legacy at-most-once
+// behaviour the seed baselines were measured under), with no timer state.
+func TestFaultRetransmitOffByDefault(t *testing.T) {
+	eng, cl, sv := faultRig(t, "drop:client.tx:rate=1:count=1")
+	doubler(t, sv)
+	rpc, err := NewClient(cl.udp, cl.addr, 700)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	replies, _, _ := callOnce(t, eng, cl, sv.addr, rpc)
+	if replies != 0 {
+		t.Fatalf("replies = %d, want 0 (no retransmission configured)", replies)
+	}
+	if rpc.Retransmits != 0 || rpc.Timeouts != 0 {
+		t.Fatalf("retransmit machinery ran while disabled: %d/%d", rpc.Retransmits, rpc.Timeouts)
+	}
+	if rpc.Pending() != 1 {
+		t.Fatalf("pending = %d, want the lost call still outstanding", rpc.Pending())
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"ncache/internal/netbuf"
 	"ncache/internal/proto/eth"
 	"ncache/internal/proto/udp"
+	"ncache/internal/sim"
 	"ncache/internal/trace"
 	"ncache/internal/xdr"
 )
@@ -48,6 +49,8 @@ const replyHeaderLen = 24
 var (
 	ErrBadMessage = errors.New("sunrpc: malformed message")
 	ErrNotReply   = errors.New("sunrpc: not a reply")
+	// ErrTimeout reports a call abandoned after exhausting retransmissions.
+	ErrTimeout = errors.New("sunrpc: call timed out")
 )
 
 // Call is an inbound RPC call presented to a server handler.
@@ -238,14 +241,54 @@ type Reply struct {
 }
 
 // Client issues RPC calls over one UDP port and matches replies by xid.
+// By default it assumes a lossless fabric (the paper's testbed); call
+// SetRetransmit to make it survive injected frame loss.
 type Client struct {
 	udp     *udp.Transport
 	local   eth.Addr
 	port    uint16
 	nextXid uint32
-	pending map[uint32]func(Reply, error)
+	pending map[uint32]*pendingCall
 	// BadReplies counts malformed or unmatched replies.
 	BadReplies uint64
+
+	// rto/maxTries configure retransmission (off while maxTries is zero).
+	rto      sim.Duration
+	maxTries int
+	// Retransmits counts calls re-sent after a timeout; Timeouts counts
+	// calls abandoned after the last try; DupReplies counts replies
+	// suppressed because their call already completed (a retransmitted
+	// call the server executed twice).
+	Retransmits uint64
+	Timeouts    uint64
+	DupReplies  uint64
+	// recent remembers completed xids (bounded FIFO) so late duplicate
+	// replies are told apart from genuinely unmatched ones.
+	recent  map[uint32]struct{}
+	recentQ []uint32
+}
+
+// recentXids bounds the duplicate-suppression window.
+const recentXids = 4096
+
+// pendingCall is one outstanding RPC: its completion callback plus, when
+// retransmission is on, everything needed to put the call back on the wire.
+type pendingCall struct {
+	done    func(Reply, error)
+	wire    *netbuf.Chain
+	dst     eth.Addr
+	dstPort uint16
+	timer   sim.EventID
+	rto     sim.Duration
+	tries   int
+}
+
+// release drops the retained wire image.
+func (pc *pendingCall) release() {
+	if pc.wire != nil {
+		pc.wire.Release()
+		pc.wire = nil
+	}
 }
 
 // NewClient binds an RPC client to a local address and port.
@@ -255,12 +298,26 @@ func NewClient(t *udp.Transport, local eth.Addr, port uint16) (*Client, error) {
 		local:   local,
 		port:    port,
 		nextXid: 1,
-		pending: make(map[uint32]func(Reply, error)),
+		pending: make(map[uint32]*pendingCall),
 	}
 	if err := t.Bind(port, c.receive); err != nil {
 		return nil, err
 	}
 	return c, nil
+}
+
+// SetRetransmit enables retransmission: an unanswered call is re-sent after
+// rto (doubling each try) and fails with ErrTimeout after maxTries sends.
+// Off by default so lossless-fabric results are untouched by the machinery.
+func (c *Client) SetRetransmit(rto sim.Duration, maxTries int) {
+	if rto <= 0 || maxTries < 1 {
+		c.rto, c.maxTries = 0, 0
+		return
+	}
+	c.rto, c.maxTries = rto, maxTries
+	if c.recent == nil {
+		c.recent = make(map[uint32]struct{})
+	}
 }
 
 // Call issues one RPC. args is the XDR-encoded argument head; payload (may
@@ -304,12 +361,61 @@ func (c *Client) Call(dst eth.Addr, dstPort uint16, prog, vers, proc uint32, arg
 			out.Append(b)
 		}
 	}
-	c.pending[xid] = done
+	pc := &pendingCall{done: done, dst: dst, dstPort: dstPort}
+	if c.maxTries > 0 {
+		pc.wire = out.Clone()
+		pc.rto = c.rto
+		pc.tries = 1
+	}
+	c.pending[xid] = pc
 	if err := c.udp.SendChain(c.local, c.port, dst, dstPort, out); err != nil {
 		delete(c.pending, xid)
+		pc.release()
 		return err
 	}
+	if c.maxTries > 0 {
+		c.armTimer(xid, pc)
+	}
 	return nil
+}
+
+// armTimer schedules the retransmission timeout for one outstanding call.
+// The timer event rides the caller's request context, so the waited-out RTO
+// is booked as fault-attributed network time on the request's span.
+func (c *Client) armTimer(xid uint32, pc *pendingCall) {
+	eng := c.udp.Node().Eng
+	pc.timer = eng.Schedule(pc.rto, func() {
+		cur, ok := c.pending[xid]
+		if !ok || cur != pc {
+			return
+		}
+		trace.Fault(eng, trace.LNet, pc.rto)
+		if pc.tries >= c.maxTries {
+			delete(c.pending, xid)
+			pc.release()
+			c.Timeouts++
+			pc.done(Reply{Xid: xid}, ErrTimeout)
+			return
+		}
+		pc.tries++
+		c.Retransmits++
+		pc.rto *= 2
+		_ = c.udp.SendChain(c.local, c.port, pc.dst, pc.dstPort, pc.wire.Clone())
+		c.armTimer(xid, pc)
+	})
+}
+
+// remember records a completed xid in the duplicate-suppression window.
+func (c *Client) remember(xid uint32) {
+	if c.recent == nil {
+		return
+	}
+	if len(c.recentQ) >= recentXids {
+		delete(c.recent, c.recentQ[0])
+		c.recentQ = c.recentQ[1:]
+	}
+	c.recent[xid] = struct{}{}
+	c.recentQ = append(c.recentQ, xid)
 }
 
 // receive matches a reply to its pending call.
@@ -337,24 +443,34 @@ func (c *Client) receive(dg udp.Datagram) {
 		body.Release()
 		return
 	}
-	done, ok := c.pending[xid]
+	pc, ok := c.pending[xid]
 	if !ok {
+		if _, dup := c.recent[xid]; dup {
+			// A retransmitted call the server answered twice: the
+			// first reply already completed it. Drop silently.
+			c.DupReplies++
+			body.Release()
+			return
+		}
 		c.BadReplies++
 		body.Release()
 		return
 	}
 	delete(c.pending, xid)
 	node := c.udp.Node()
+	node.Eng.Cancel(pc.timer)
+	pc.release()
+	c.remember(xid)
 	trace.To(node.Eng, trace.LRPC)
 	if replyStat != 0 {
 		body.Release()
 		node.Charge(node.Cost.RPCNs, func() {
-			done(Reply{Xid: xid}, fmt.Errorf("%w: denied", ErrBadMessage))
+			pc.done(Reply{Xid: xid}, fmt.Errorf("%w: denied", ErrBadMessage))
 		})
 		return
 	}
 	node.Charge(node.Cost.RPCNs, func() {
-		done(Reply{Xid: xid, Accept: accept, Body: body}, nil)
+		pc.done(Reply{Xid: xid, Accept: accept, Body: body}, nil)
 	})
 }
 

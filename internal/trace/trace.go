@@ -139,6 +139,14 @@ type Span struct {
 	// service demand admitted on this span (from the engine usage hook).
 	wait    [NumResClasses]sim.Duration
 	service [NumResClasses]sim.Duration
+	// faults books injected-fault latency per layer: delays the fault
+	// subsystem added on this request's critical path (disk latency
+	// spikes, held-back frames) and the recovery waits its transports
+	// spent (RPC retransmission timeouts, iSCSI retry backoffs). faultN
+	// counts injections, including zero-delay ones (drops, transient
+	// errors) whose cost shows up only through recovery.
+	faults [NumLayers]sim.Duration
+	faultN [NumLayers]uint64
 
 	// phases is the explicit segment list, kept only when the tracer
 	// retains spans for export.
@@ -234,6 +242,34 @@ func (s *Span) Account(l Layer, d sim.Duration) {
 	s.charged[l] += d
 }
 
+// Fault books injected-fault latency d (possibly zero, for drops and
+// transient errors) against layer l. Like Account it is bookkeeping only:
+// the delay itself reaches the timeline through whatever the fault slowed
+// down, so fault attribution never double-enters the layer partition.
+func (s *Span) Fault(l Layer, d sim.Duration) {
+	if s == nil || s.done || l >= NumLayers || d < 0 {
+		return
+	}
+	s.faults[l] += d
+	s.faultN[l]++
+}
+
+// Faults returns per-layer injected-fault latency.
+func (s *Span) Faults() [NumLayers]sim.Duration {
+	if s == nil {
+		return [NumLayers]sim.Duration{}
+	}
+	return s.faults
+}
+
+// FaultCounts returns per-layer injected-fault counts.
+func (s *Span) FaultCounts() [NumLayers]uint64 {
+	if s == nil {
+		return [NumLayers]uint64{}
+	}
+	return s.faultN
+}
+
 // Finish closes the span at the current virtual time and hands it to its
 // tracer. Further To/Account calls are no-ops.
 func (s *Span) Finish() {
@@ -262,4 +298,9 @@ func To(eng *sim.Engine, l Layer) {
 // Account books fire-and-forget CPU demand on the active span (if any).
 func Account(eng *sim.Engine, l Layer, d sim.Duration) {
 	Active(eng).Account(l, d)
+}
+
+// Fault books injected-fault latency on the active span (if any).
+func Fault(eng *sim.Engine, l Layer, d sim.Duration) {
+	Active(eng).Fault(l, d)
 }

@@ -29,6 +29,8 @@ type opAgg struct {
 	total   sim.Duration
 	layers  [NumLayers]sim.Duration
 	charged [NumLayers]sim.Duration
+	faults  [NumLayers]sim.Duration
+	faultN  [NumLayers]uint64
 	wait    [NumResClasses]sim.Duration
 	service [NumResClasses]sim.Duration
 }
@@ -112,6 +114,8 @@ func (t *Tracer) finish(s *Span) {
 	for i := range s.layers {
 		a.layers[i] += s.layers[i]
 		a.charged[i] += s.charged[i]
+		a.faults[i] += s.faults[i]
+		a.faultN[i] += s.faultN[i]
 	}
 	for i := range s.wait {
 		a.wait[i] += s.wait[i]
@@ -178,6 +182,12 @@ type LayerStat struct {
 	Total sim.Duration
 	// Charged is fire-and-forget CPU demand booked to the layer.
 	Charged sim.Duration
+	// Fault is injected-fault latency booked to the layer (delays added
+	// by the fault subsystem plus recovery waits), and FaultCount the
+	// number of injections, including zero-delay drops and errors.
+	Fault sim.Duration
+	// FaultCount is the number of fault injections booked to the layer.
+	FaultCount uint64
 }
 
 // ResStat is one resource class's aggregate queueing behaviour.
@@ -236,7 +246,10 @@ func (t *Tracer) Summary() *Summary {
 			Hist:  a.hist,
 		}
 		for l := Layer(0); l < NumLayers; l++ {
-			o.Layers = append(o.Layers, LayerStat{l, a.layers[l], a.charged[l]})
+			o.Layers = append(o.Layers, LayerStat{
+				Layer: l, Total: a.layers[l], Charged: a.charged[l],
+				Fault: a.faults[l], FaultCount: a.faultN[l],
+			})
 		}
 		for c := ResClass(0); c < NumResClasses; c++ {
 			o.Res = append(o.Res, ResStat{c, a.wait[c], a.service[c]})
