@@ -8,7 +8,14 @@
 //	ncbench -exp fig5b -window 1s -concurrency 16
 //
 // Experiments: table1, table2, fig4, fig5a, fig5b, fig6a, fig6b, fig7,
-// transport, futurework, overhead, ablations, fig-fault, all.
+// transport, futurework, overhead, ablations, fig-fault, fig-fault-sweep,
+// all.
+//
+// -cpuprofile/-memprofile write pprof profiles of the run; -benchjson
+// records per-experiment wall-clock and allocation metrics:
+//
+//	ncbench -exp fig5b -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
+//	ncbench -exp all -benchjson BENCH_PR3.json
 //
 // -fault injects a deterministic fault schedule (a preset name or the
 // fault.ParseSpec grammar) into the NFS experiments, replayable via
@@ -20,10 +27,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"ncache/internal/bench"
@@ -40,7 +50,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ncbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: table1,table2,fig4,fig5a,fig5b,fig6a,fig6b,fig7,transport,futurework,overhead,ablations,fig-fault,all")
+	exp := fs.String("exp", "all", "experiment: table1,table2,fig4,fig5a,fig5b,fig6a,fig6b,fig7,transport,futurework,overhead,ablations,fig-fault,fig-fault-sweep,all")
 	warmup := fs.Duration("warmup", 150*time.Millisecond, "steady-state warm-up (virtual time)")
 	window := fs.Duration("window", 600*time.Millisecond, "measurement window (virtual time)")
 	concurrency := fs.Int("concurrency", 8, "outstanding requests per client host")
@@ -49,8 +59,39 @@ func run(args []string) error {
 	traceOut := fs.String("trace", "", "write traced request timelines as chrome://tracing JSON to this file (implies tracing)")
 	faultSpec := fs.String("fault", "", "fault schedule for the NFS experiments: a preset (frame-loss, slow-disk, cpu-burst) or fault.ParseSpec grammar")
 	faultSeed := fs.Uint64("faultseed", 1, "seed for the fault injector's random streams (runs replay bit-for-bit per seed)")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile (after the run, post-GC) to this file")
+	benchJSON := fs.String("benchjson", "", "write per-experiment wall-clock and allocation metrics as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ncbench: memprofile:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ncbench: memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 	opt := bench.Options{
 		Warmup:      sim.Duration(*warmup),
@@ -68,13 +109,37 @@ func run(args []string) error {
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	ran := false
 
+	// measured wraps one experiment run, recording wall-clock time and
+	// allocation deltas for the -benchjson report.
+	var records []benchRecord
+	measured := func(name string, fn func() error) error {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		err := fn()
+		wall := time.Since(start)
+		runtime.ReadMemStats(&after)
+		records = append(records, benchRecord{
+			Name:       name,
+			WallMs:     float64(wall.Microseconds()) / 1e3,
+			AllocBytes: after.TotalAlloc - before.TotalAlloc,
+			Allocs:     after.Mallocs - before.Mallocs,
+		})
+		return err
+	}
+
 	if want("table1") {
 		ran = true
 		fmt.Println(bench.FormatTable1(bench.Table1()))
 	}
 	if want("table2") {
 		ran = true
-		rows, err := bench.Table2()
+		var rows []bench.Table2Row
+		err := measured("table2", func() error {
+			var e error
+			rows, e = bench.Table2()
+			return e
+		})
 		if err != nil {
 			return fmt.Errorf("table2: %w", err)
 		}
@@ -82,7 +147,12 @@ func run(args []string) error {
 	}
 	if want("fig4") {
 		ran = true
-		pts, err := bench.RunFig4(opt)
+		var pts []bench.NFSPoint
+		err := measured("fig4", func() error {
+			var e error
+			pts, e = bench.RunFig4(opt)
+			return e
+		})
 		if err != nil {
 			return fmt.Errorf("fig4: %w", err)
 		}
@@ -94,7 +164,12 @@ func run(args []string) error {
 	}
 	if want("fig5a") {
 		ran = true
-		pts, err := bench.RunFig5a(opt)
+		var pts []bench.NFSPoint
+		err := measured("fig5a", func() error {
+			var e error
+			pts, e = bench.RunFig5a(opt)
+			return e
+		})
 		if err != nil {
 			return fmt.Errorf("fig5a: %w", err)
 		}
@@ -106,7 +181,12 @@ func run(args []string) error {
 	}
 	if want("fig5b") {
 		ran = true
-		pts, err := bench.RunFig5b(opt)
+		var pts []bench.NFSPoint
+		err := measured("fig5b", func() error {
+			var e error
+			pts, e = bench.RunFig5b(opt)
+			return e
+		})
 		if err != nil {
 			return fmt.Errorf("fig5b: %w", err)
 		}
@@ -122,7 +202,12 @@ func run(args []string) error {
 	}
 	if want("fig6a") {
 		ran = true
-		pts, err := bench.RunFig6a(opt)
+		var pts []bench.WebPoint
+		err := measured("fig6a", func() error {
+			var e error
+			pts, e = bench.RunFig6a(opt)
+			return e
+		})
 		if err != nil {
 			return fmt.Errorf("fig6a: %w", err)
 		}
@@ -132,7 +217,12 @@ func run(args []string) error {
 	}
 	if want("fig6b") {
 		ran = true
-		pts, err := bench.RunFig6b(opt)
+		var pts []bench.WebPoint
+		err := measured("fig6b", func() error {
+			var e error
+			pts, e = bench.RunFig6b(opt)
+			return e
+		})
 		if err != nil {
 			return fmt.Errorf("fig6b: %w", err)
 		}
@@ -141,7 +231,12 @@ func run(args []string) error {
 	}
 	if want("fig7") {
 		ran = true
-		pts, err := bench.RunFig7(opt)
+		var pts []bench.SFSPoint
+		err := measured("fig7", func() error {
+			var e error
+			pts, e = bench.RunFig7(opt)
+			return e
+		})
 		if err != nil {
 			return fmt.Errorf("fig7: %w", err)
 		}
@@ -149,7 +244,12 @@ func run(args []string) error {
 	}
 	if want("fig-fault") {
 		ran = true
-		pts, err := bench.RunFigFault(opt)
+		var pts []bench.FaultPoint
+		err := measured("fig-fault", func() error {
+			var e error
+			pts, e = bench.RunFigFault(opt)
+			return e
+		})
 		if err != nil {
 			return fmt.Errorf("fig-fault: %w", err)
 		}
@@ -159,9 +259,32 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if *exp == "fig-fault-sweep" {
+		// Explicit-only (not part of "all"): 12 full cluster runs.
+		ran = true
+		var pts []bench.SweepPoint
+		err := measured("fig-fault-sweep", func() error {
+			var e error
+			pts, e = bench.RunFaultSweep(opt)
+			return e
+		})
+		if err != nil {
+			return fmt.Errorf("fig-fault-sweep: %w", err)
+		}
+		csv := bench.FormatFaultSweepCSV(pts)
+		fmt.Print(csv)
+		if err := writeResult("fig-fault.csv", []byte(csv)); err != nil {
+			return err
+		}
+	}
 	if want("futurework") {
 		ran = true
-		pts, err := bench.RunFutureWorkWireFormat(opt)
+		var pts []bench.WireFormatPoint
+		err := measured("futurework", func() error {
+			var e error
+			pts, e = bench.RunFutureWorkWireFormat(opt)
+			return e
+		})
 		if err != nil {
 			return fmt.Errorf("futurework: %w", err)
 		}
@@ -169,7 +292,12 @@ func run(args []string) error {
 	}
 	if want("transport") {
 		ran = true
-		pts, err := bench.RunTransportComparison(opt)
+		var pts []bench.TransportPoint
+		err := measured("transport", func() error {
+			var e error
+			pts, e = bench.RunTransportComparison(opt)
+			return e
+		})
 		if err != nil {
 			return fmt.Errorf("transport: %w", err)
 		}
@@ -177,7 +305,12 @@ func run(args []string) error {
 	}
 	if want("overhead") {
 		ran = true
-		rep, err := bench.RunOverheadBreakdown(opt)
+		var rep bench.OverheadReport
+		err := measured("overhead", func() error {
+			var e error
+			rep, e = bench.RunOverheadBreakdown(opt)
+			return e
+		})
 		if err != nil {
 			return fmt.Errorf("overhead: %w", err)
 		}
@@ -185,7 +318,12 @@ func run(args []string) error {
 	}
 	if want("ablations") {
 		ran = true
-		withRemap, withoutRemap, err := bench.RunAblationRemap(opt)
+		var withRemap, withoutRemap bench.AblationResult
+		err := measured("ablation-remap", func() error {
+			var e error
+			withRemap, withoutRemap, e = bench.RunAblationRemap(opt)
+			return e
+		})
 		if err != nil {
 			return fmt.Errorf("ablation remap: %w", err)
 		}
@@ -193,7 +331,12 @@ func run(args []string) error {
 			withRemap.OpsPerSec, withRemap.Remaps, withRemap.L2Hits,
 			withoutRemap.OpsPerSec, withoutRemap.Remaps, withoutRemap.L2Hits)
 
-		rows, err := bench.RunAblationCopyCost(opt)
+		var rows []bench.CopyCostRow
+		err = measured("ablation-copycost", func() error {
+			var e error
+			rows, e = bench.RunAblationCopyCost(opt)
+			return e
+		})
 		if err != nil {
 			return fmt.Errorf("ablation copy cost: %w", err)
 		}
@@ -204,7 +347,12 @@ func run(args []string) error {
 		}
 		fmt.Println()
 
-		splits, err := bench.RunAblationCacheSplit(opt)
+		var splits []bench.CacheSplitRow
+		err = measured("ablation-cachesplit", func() error {
+			var e error
+			splits, e = bench.RunAblationCacheSplit(opt)
+			return e
+		})
 		if err != nil {
 			return fmt.Errorf("ablation cache split: %w", err)
 		}
@@ -215,7 +363,12 @@ func run(args []string) error {
 		}
 		fmt.Println()
 
-		on, off, err := bench.RunAblationChecksum(opt)
+		var on, off bench.AblationResult
+		err = measured("ablation-checksum", func() error {
+			var e error
+			on, off, e = bench.RunAblationChecksum(opt)
+			return e
+		})
 		if err != nil {
 			return fmt.Errorf("ablation checksum: %w", err)
 		}
@@ -223,7 +376,17 @@ func run(args []string) error {
 			on.GainPct, off.GainPct)
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want one of table1,table2,fig4,fig5a,fig5b,fig6a,fig6b,fig7,transport,futurework,overhead,ablations,fig-fault,all)", *exp)
+		return fmt.Errorf("unknown experiment %q (want one of table1,table2,fig4,fig5a,fig5b,fig6a,fig6b,fig7,transport,futurework,overhead,ablations,fig-fault,fig-fault-sweep,all)", *exp)
+	}
+	if *benchJSON != "" {
+		rep := benchReport{Go: runtime.Version(), Command: "ncbench -exp " + *exp, Experiments: records}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return fmt.Errorf("benchjson: %w", err)
+		}
+		if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("benchjson: %w", err)
+		}
 	}
 	if opt.Chrome != nil {
 		f, err := os.Create(*traceOut)
@@ -240,6 +403,22 @@ func run(args []string) error {
 		fmt.Printf("wrote %s (open in chrome://tracing or Perfetto)\n", *traceOut)
 	}
 	return nil
+}
+
+// benchRecord is one experiment's resource footprint: wall-clock time and
+// heap-allocation deltas (runtime.MemStats) over the Run* call.
+type benchRecord struct {
+	Name       string  `json:"name"`
+	WallMs     float64 `json:"wall_ms"`
+	AllocBytes uint64  `json:"alloc_bytes"`
+	Allocs     uint64  `json:"allocs"`
+}
+
+// benchReport is the -benchjson document.
+type benchReport struct {
+	Go          string        `json:"go"`
+	Command     string        `json:"command"`
+	Experiments []benchRecord `json:"experiments"`
 }
 
 // writeResult stores a rendered table under results/.

@@ -53,6 +53,56 @@ func RunFigFault(opt Options) ([]FaultPoint, error) {
 	return out, nil
 }
 
+// SweepRates are the frame-loss probabilities of the fig-fault-sweep
+// experiment: a fault-free anchor plus a log-ish ramp through the regime
+// where RPC retransmission starts dominating tail latency.
+var SweepRates = []float64{0, 0.0005, 0.001, 0.002, 0.005, 0.01}
+
+// SweepPoint is one (mode, drop rate) cell of the degradation curve.
+type SweepPoint struct {
+	DropRate float64
+	NFSPoint
+}
+
+// RunFaultSweep measures the same all-miss read point as RunFigFault under a
+// swept client-side frame-drop rate, for Original and NCache. The output
+// feeds results/fig-fault.csv (degradation vs fault rate, one curve per
+// configuration); every run replays from opt.FaultSeed.
+func RunFaultSweep(opt Options) ([]SweepPoint, error) {
+	opt = opt.withDefaults()
+	opt.Latency = true
+	var out []SweepPoint
+	for _, mode := range FaultModes {
+		for _, rate := range SweepRates {
+			o := opt
+			if rate > 0 {
+				o.FaultSpec = fmt.Sprintf("drop:client*:rate=%g", rate)
+			} else {
+				o.FaultSpec = ""
+			}
+			p, err := runFaultPoint(o, mode)
+			if err != nil {
+				return nil, fmt.Errorf("fig-fault-sweep %s rate=%g: %w", mode, rate, err)
+			}
+			out = append(out, SweepPoint{DropRate: rate, NFSPoint: p})
+		}
+	}
+	return out, nil
+}
+
+// FormatFaultSweepCSV renders the sweep as CSV for plotting: one row per
+// (config, rate) with throughput, p99 and the recovery counters.
+func FormatFaultSweepCSV(points []SweepPoint) string {
+	var b strings.Builder
+	b.WriteString("config,drop_rate,mb_per_s,ops_per_s,read_p99_us,retransmits,rpc_timeouts,dup_replies,errors\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%s,%g,%.1f,%.0f,%.1f,%d,%d,%d,%d\n",
+			p.Mode, p.DropRate, p.ThroughputMBs, p.OpsPerSec, readP99(p.NFSPoint),
+			p.Retransmits, p.RPCTimeouts, p.DupReplies, p.Errors)
+	}
+	return b.String()
+}
+
 // runFaultPoint is the fig4-style all-miss point the fault sweep perturbs.
 func runFaultPoint(opt Options, mode passthru.Mode) (NFSPoint, error) {
 	const reqKB = 16

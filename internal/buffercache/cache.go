@@ -185,11 +185,17 @@ func (c *Cache) flushBlock(b *Block, done func(error)) {
 	b.flushing = true
 	var chain *netbuf.Chain
 	if key, ok := b.Key(); ok {
-		chain = lkey.StampChain(key, c.bs)
+		chain = lkey.StampChainPool(c.node.BlkPool, key, c.bs)
 		c.node.Copies.AddLogical()
 		c.node.Charge(c.LogicalCopyNs, nil)
 	} else {
-		chain = netbuf.ChainFromBytes(b.Data, netbuf.DefaultBufSize)
+		var err error
+		chain, err = c.node.TxPool.GetChain(b.Data)
+		if err != nil {
+			b.flushing = false
+			done(err)
+			return
+		}
 		c.node.Copies.AddPhysical(c.bs)
 		c.node.Charge(c.node.Cost.CopyCost(c.bs), nil)
 	}
@@ -333,21 +339,23 @@ func (c *Cache) fillRun(lbn int64, count int, data *netbuf.Chain, done func(erro
 	logical := 0
 	type fill struct {
 		b     *Block
-		chunk *netbuf.Chain
+		off   int
+		isKey bool
 	}
 	fills := make([]fill, 0, count)
+	var head [lkey.Size]byte
 	for j := 0; j < count; j++ {
 		b, ok := c.blocks[lbn+int64(j)]
 		if !ok {
 			continue
 		}
-		chunk, err := data.Slice(j*c.bs, c.bs)
-		if err != nil {
-			done(err)
-			return
-		}
-		fills = append(fills, fill{b: b, chunk: chunk})
-		if _, isKey := lkey.FromChain(chunk); isKey {
+		// Peek for a key marker at the block's offset without carving a
+		// descriptor clone out of the run.
+		off := j * c.bs
+		n := data.GatherRange(off, head[:])
+		_, isKey := lkey.Parse(head[:n])
+		fills = append(fills, fill{b: b, off: off, isKey: isKey})
+		if isKey {
 			logical++
 		} else {
 			physBytes += c.bs
@@ -364,15 +372,14 @@ func (c *Cache) fillRun(lbn int64, count int, data *netbuf.Chain, done func(erro
 	}
 	c.node.Charge(cost, func() {
 		for _, f := range fills {
-			if _, isKey := lkey.FromChain(f.chunk); isKey {
-				f.chunk.Gather(f.b.Data[:lkey.Size])
+			if f.isKey {
+				data.GatherRange(f.off, f.b.Data[:lkey.Size])
 				f.b.Logical = true
 			} else {
-				f.chunk.Gather(f.b.Data)
+				data.GatherRange(f.off, f.b.Data)
 				f.b.Logical = false
 			}
 			f.b.loaded = true
-			f.chunk.Release()
 			waiters := f.b.pending
 			f.b.pending = nil
 			for _, w := range waiters {

@@ -162,9 +162,10 @@ func (i *Initiator) readCapacity(done func(error)) {
 			done(err)
 			return
 		}
-		raw := data.Flatten()
+		var raw [8]byte
+		data.Gather(raw[:])
 		data.Release()
-		cap10, err := scsi.DecodeReadCapacity(raw)
+		cap10, err := scsi.DecodeReadCapacity(raw[:])
 		if err != nil {
 			done(err)
 			return
@@ -240,7 +241,7 @@ func (i *Initiator) Write(lba int64, data *netbuf.Chain, meta bool, done func(er
 
 // send encodes and transmits one PDU, charging per-command CPU.
 func (i *Initiator) send(p PDU) {
-	chain, err := p.Encode()
+	chain, err := p.EncodePool(i.node.TxPool)
 	if err != nil {
 		i.fail(p.ITT, err)
 		return

@@ -82,12 +82,27 @@ func (p *PDU) DataLen() int {
 // by the data segment's buffers (not copied). Data segments are padded to 4
 // bytes; block-sized storage payloads are already aligned so padding is the
 // exception, not the rule.
-func (p *PDU) Encode() (*netbuf.Chain, error) {
+func (p *PDU) Encode() (*netbuf.Chain, error) { return p.EncodePool(nil) }
+
+// poolBuf draws a buffer from a transmit pool, falling back to a fresh
+// allocation when no pool is set or the pool cannot serve the size.
+func poolBuf(pool *netbuf.Pool, capacity int) *netbuf.Buf {
+	if pool != nil && capacity <= pool.BufSize() {
+		if b, err := pool.Get(); err == nil {
+			return b
+		}
+	}
+	return netbuf.New(netbuf.DefaultHeadroom, capacity)
+}
+
+// EncodePool is Encode drawing the header (and pad) buffers from a transmit
+// pool so the steady-state PDU path allocates nothing.
+func (p *PDU) EncodePool(pool *netbuf.Pool) (*netbuf.Chain, error) {
 	dlen := p.DataLen()
 	if dlen > 0xffffff {
 		return nil, fmt.Errorf("iscsi: data segment %d exceeds 16MB", dlen)
 	}
-	hb := netbuf.New(netbuf.DefaultHeadroom, BHSLen)
+	hb := poolBuf(pool, BHSLen)
 	if err := hb.Put(BHSLen); err != nil {
 		hb.Release()
 		return nil, err
@@ -117,13 +132,12 @@ func (p *PDU) Encode() (*netbuf.Chain, error) {
 
 	out := netbuf.ChainOf(hb)
 	if p.Data != nil {
-		for _, b := range p.Data.Bufs() {
-			out.Append(b)
-		}
+		out.AppendChain(p.Data)
 	}
 	if pad := (4 - dlen%4) % 4; pad != 0 {
-		pb := netbuf.New(0, pad)
+		pb := poolBuf(pool, pad)
 		if err := pb.Put(pad); err != nil {
+			pb.Release()
 			out.Release()
 			return nil, err
 		}
@@ -175,9 +189,7 @@ func (f *Framer) Buffered() int { return f.stream.Len() }
 // Push appends stream data (ownership transfers) and emits any complete
 // PDUs.
 func (f *Framer) Push(data *netbuf.Chain) {
-	for _, b := range data.Bufs() {
-		f.stream.Append(b)
-	}
+	f.stream.AppendChain(data)
 	for {
 		if f.pendingHdr == nil {
 			if f.stream.Len() < BHSLen {

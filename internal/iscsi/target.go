@@ -59,7 +59,7 @@ type session struct {
 
 // reply encodes and sends a response PDU.
 func (s *session) reply(p PDU) {
-	chain, err := p.Encode()
+	chain, err := p.EncodePool(s.target.node.TxPool)
 	if err != nil {
 		return
 	}
@@ -120,10 +120,15 @@ func (s *session) handleCommand(p PDU) {
 			BlockSize: uint32(g.BlockSize),
 		}.Encode()
 		node.Charge(node.Cost.ISCSIOpNs, func() {
+			cc, cerr := node.TxPool.GetChain(capData[:])
+			if cerr != nil {
+				s.checkCondition(p.ITT)
+				return
+			}
 			s.reply(PDU{
 				Op: OpDataIn, Final: true, HasStatus: true,
 				Status: scsi.StatusGood, ITT: p.ITT,
-				Data: netbuf.ChainFromBytes(capData[:], netbuf.DefaultBufSize),
+				Data: cc,
 			})
 		})
 
@@ -147,11 +152,16 @@ func (s *session) handleCommand(p PDU) {
 				// wire-format storage (§6 future work) both vanish —
 				// the blocks leave the disk already network-ready.
 				send := func() {
+					payload, perr := node.TxPool.GetChain(data)
+					if perr != nil {
+						s.checkCondition(p.ITT)
+						return
+					}
 					t.BytesOut += uint64(len(data))
 					s.reply(PDU{
 						Op: OpDataIn, Final: true, HasStatus: true,
 						Status: scsi.StatusGood, ITT: p.ITT,
-						Data: netbuf.ChainFromBytes(data, netbuf.DefaultBufSize),
+						Data: payload,
 					})
 				}
 				if t.WireFormat {
@@ -177,7 +187,10 @@ func (s *session) handleCommand(p PDU) {
 			// into the disk buffer. Zero with wire-format storage.
 			n := data.Len()
 			store := func() {
-				slab := data.Flatten()
+				// Disk-image boundary: the device keeps a flat image, so
+				// the one permitted copy gathers the wire chain here.
+				slab := make([]byte, n)
+				data.Gather(slab)
 				data.Release()
 				t.BytesIn += uint64(n)
 				t.dev.WriteBlocks(int64(cdb.LBA), slab, func(err error) {

@@ -153,3 +153,25 @@ func StampChain(k Key, blockBytes int) *netbuf.Chain {
 	Stamp(b.Bytes(), k)
 	return netbuf.ChainOf(b)
 }
+
+// StampChainPool is StampChain drawing the junk buffer from a pool (pooled
+// buffers are zeroed on reuse, so the junk bytes match a fresh allocation).
+// The single-buffer layout is load-bearing: the substitution hook parses one
+// key per wire buffer, so a junk block must stay one buffer. It falls back
+// to a fresh buffer when the block exceeds the pool's geometry or the pool
+// is exhausted.
+func StampChainPool(p *netbuf.Pool, k Key, blockBytes int) *netbuf.Chain {
+	if blockBytes < Size {
+		blockBytes = Size
+	}
+	if p == nil || blockBytes > p.BufSize() {
+		return StampChain(k, blockBytes)
+	}
+	b, err := p.Get()
+	if err != nil {
+		return StampChain(k, blockBytes)
+	}
+	_ = b.Put(blockBytes)
+	Stamp(b.Bytes(), k)
+	return netbuf.ChainOf(b)
+}

@@ -218,9 +218,7 @@ func (m *Module) CaptureLBN(lba int64, blocks int, data *netbuf.Chain) *netbuf.C
 		}
 		key := lkey.ForLBN(lba + int64(i))
 		m.storeLBN(key, sub, false)
-		for _, b := range lkey.StampChain(key, m.cfg.BlockSize).Bufs() {
-			out.Append(b)
-		}
+		out.AppendChain(lkey.StampChainPool(m.node.BlkPool, key, m.cfg.BlockSize))
 	}
 	m.chargeMgmt(blocks)
 	data.Release()
@@ -277,9 +275,7 @@ func (m *Module) CaptureFHO(fh lkey.FH, off uint64, data *netbuf.Chain) *netbuf.
 		}
 		m.Stats.Captures++
 		m.insert(e)
-		for _, b := range lkey.StampChain(key, bs).Bufs() {
-			out.Append(b)
-		}
+		out.AppendChain(lkey.StampChainPool(m.node.BlkPool, key, bs))
 	}
 	m.chargeMgmt(blocks)
 	data.Release()
@@ -362,6 +358,7 @@ func (m *Module) SubstituteMessage(payload *netbuf.Chain) *netbuf.Chain {
 			}
 		}
 		clonedBufs += cl.NumBufs()
+		clLen := cl.Len()
 		if even && key.SubOff == 0 && take == e.chain.Len() {
 			// Whole-entry splice at even offset: inherit the stored
 			// partial without touching payload bytes.
@@ -374,11 +371,17 @@ func (m *Module) SubstituteMessage(payload *netbuf.Chain) *netbuf.Chain {
 				addWalked(cb.Bytes())
 			}
 		}
-		for _, cb := range cl.Bufs() {
-			out.Append(cb)
-		}
-		if short := want - cl.Len(); short > 0 {
-			pb := netbuf.New(0, short)
+		out.AppendChain(cl)
+		if short := want - clLen; short > 0 {
+			var pb *netbuf.Buf
+			if short <= m.node.BlkPool.BufSize() {
+				if zb, perr := m.node.BlkPool.Get(); perr == nil {
+					pb = zb
+				}
+			}
+			if pb == nil {
+				pb = netbuf.New(0, short)
+			}
 			_ = pb.Put(short)
 			addWalked(pb.Bytes())
 			out.Append(pb)
@@ -417,18 +420,14 @@ func (m *Module) WriteOut(lba int64, blocks int, data *netbuf.Chain) *netbuf.Cha
 		}
 		key, isKey := lkey.FromChain(sub)
 		if !isKey || key.Flags == 0 {
-			for _, b := range sub.Bufs() {
-				out.Append(b)
-			}
+			out.AppendChain(sub)
 			continue
 		}
 		m.chargeLookup()
 		e := m.lookup(key)
 		if e == nil {
 			m.Stats.SubstMisses++
-			for _, b := range sub.Bufs() {
-				out.Append(b)
-			}
+			out.AppendChain(sub)
 			continue
 		}
 		touched++
@@ -436,10 +435,7 @@ func (m *Module) WriteOut(lba int64, blocks int, data *netbuf.Chain) *netbuf.Cha
 		if e.key.Flags&lkey.HasFHO != 0 && e.dirty {
 			if m.cfg.DisableRemap {
 				// Ablation: flush the data but drop the entry.
-				cl := e.chain.Clone()
-				for _, b := range cl.Bufs() {
-					out.Append(b)
-				}
+				out.AppendChain(e.chain.Clone())
 				e.dirty = false
 				m.remove(e)
 				sub.Release()
@@ -459,10 +455,7 @@ func (m *Module) WriteOut(lba int64, blocks int, data *netbuf.Chain) *netbuf.Cha
 			m.node.Copies.Remaps++
 		}
 		m.touch(e)
-		cl := e.chain.Clone()
-		for _, b := range cl.Bufs() {
-			out.Append(b)
-		}
+		out.AppendChain(e.chain.Clone())
 		sub.Release()
 	}
 	if touched > 0 {
@@ -496,9 +489,7 @@ func (m *Module) ServeRead(lba int64, blocks int) (*netbuf.Chain, bool) {
 	out := netbuf.NewChain()
 	for i, e := range entries {
 		m.touch(e)
-		for _, b := range lkey.StampChain(lkey.ForLBN(lba+int64(i)), m.cfg.BlockSize).Bufs() {
-			out.Append(b)
-		}
+		out.AppendChain(lkey.StampChainPool(m.node.BlkPool, lkey.ForLBN(lba+int64(i)), m.cfg.BlockSize))
 	}
 	m.Stats.L2Hits += uint64(blocks)
 	m.Stats.LBNHits += uint64(blocks)
@@ -525,6 +516,24 @@ func (m *Module) InvalidateLBN(lbn int64) {
 	if e, ok := m.lbn[lbn]; ok && !e.dirty {
 		m.remove(e)
 	}
+}
+
+// DropClean releases every clean entry, returning the buffers the cache
+// pins back to their pools (shutdown, or a full invalidation). Dirty FHO
+// entries — the only copy of unflushed client writes — stay. Returns the
+// number of entries dropped.
+func (m *Module) DropClean() int {
+	dropped := 0
+	e := m.lru.Back()
+	for e != nil {
+		prev := e.Prev()
+		if ent, ok := e.Value.(*entry); ok && !ent.dirty {
+			m.remove(ent)
+			dropped++
+		}
+		e = prev
+	}
+	return dropped
 }
 
 // PinnedBytes reports bytes held by dirty (unremapped) FHO entries.

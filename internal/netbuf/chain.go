@@ -124,52 +124,10 @@ func (c *Chain) Release() {
 }
 
 // Slice returns a new chain aliasing the byte range [off, off+n) of c using
-// cloned descriptors, without copying payload. It is the primitive behind
-// block-aligned substitution when protocol block sizes mismatch (§3.5).
+// cloned descriptors, without copying payload. It is a synonym for SubChain
+// (see sg.go), kept for the original call sites.
 func (c *Chain) Slice(off, n int) (*Chain, error) {
-	if off < 0 || n < 0 || off+n > c.Len() {
-		return nil, fmt.Errorf("netbuf: slice [%d,%d) out of range 0..%d", off, off+n, c.Len())
-	}
-	out := NewChain()
-	remaining := n
-	pos := 0
-	for _, b := range c.bufs {
-		if remaining == 0 {
-			break
-		}
-		blen := b.Len()
-		if pos+blen <= off {
-			pos += blen
-			continue
-		}
-		start := 0
-		if off > pos {
-			start = off - pos
-		}
-		take := blen - start
-		if take > remaining {
-			take = remaining
-		}
-		cl := b.Clone()
-		if start > 0 {
-			if _, err := cl.Pull(start); err != nil {
-				cl.Release()
-				out.Release()
-				return nil, err
-			}
-		}
-		if cl.Len() > take {
-			if err := cl.Trim(cl.Len() - take); err != nil {
-				cl.Release()
-				out.Release()
-				return nil, err
-			}
-		}
-		out.Append(cl)
-		remaining -= take
-		pos += blen
-	}
-	return out, nil
+	return c.SubChain(off, n)
 }
 
 // PullHeader removes the first n payload bytes from the chain and returns

@@ -61,6 +61,10 @@ func (p *Pool) Get() (*Buf, error) {
 		b.head = p.headroom
 		b.tail = p.headroom
 		b.refs = 1
+		// Zero the whole backing array: a recycled buffer must never
+		// expose its previous owner's bytes (requests are isolated), and
+		// a pooled buffer then looks exactly like a fresh allocation.
+		clear(b.backing)
 		p.reuses++
 		return b, nil
 	}
@@ -85,6 +89,58 @@ func (p *Pool) GetData(payload []byte) (*Buf, error) {
 		return nil, err
 	}
 	return b, nil
+}
+
+// GetChain returns a chain of pooled buffers carrying a copy of payload,
+// segmented at the pool's buffer size — the pooled counterpart of
+// ChainFromBytes for the hot path (one physical copy, no allocations in
+// steady state). An empty payload yields a chain with one empty buffer,
+// matching ChainFromBytes.
+func (p *Pool) GetChain(payload []byte) (*Chain, error) {
+	c := NewChain()
+	for off := 0; off < len(payload); off += p.bufSize {
+		end := off + p.bufSize
+		if end > len(payload) {
+			end = len(payload)
+		}
+		b, err := p.GetData(payload[off:end])
+		if err != nil {
+			c.Release()
+			return nil, err
+		}
+		c.Append(b)
+	}
+	if len(payload) == 0 {
+		b, err := p.Get()
+		if err != nil {
+			c.Release()
+			return nil, err
+		}
+		c.Append(b)
+	}
+	return c, nil
+}
+
+// GetZeroChain returns a chain of pooled buffers holding n zero bytes
+// (pooled buffers are zeroed on reuse, so no bytes are touched here beyond
+// window bookkeeping).
+func (p *Pool) GetZeroChain(n int) (*Chain, error) {
+	c := NewChain()
+	for n > 0 {
+		take := n
+		if take > p.bufSize {
+			take = p.bufSize
+		}
+		b, err := p.Get()
+		if err != nil {
+			c.Release()
+			return nil, err
+		}
+		_ = b.Put(take)
+		c.Append(b)
+		n -= take
+	}
+	return c, nil
 }
 
 // put returns a buffer to the free list. Called from Buf.Release.
@@ -112,6 +168,9 @@ func (p *Pool) Reuses() uint64 { return p.reuses }
 // DoubleFrees returns the number of Release calls on already-free buffers.
 // Tests assert this stays zero.
 func (p *Pool) DoubleFrees() uint64 { return p.doubleFrees }
+
+// Name returns the pool's diagnostic name.
+func (p *Pool) Name() string { return p.name }
 
 // BufSize returns the payload capacity of buffers from this pool.
 func (p *Pool) BufSize() int { return p.bufSize }

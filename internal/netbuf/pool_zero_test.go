@@ -1,0 +1,130 @@
+package netbuf
+
+import "testing"
+
+// TestRecycledBufferExposesNoStaleBytes pins the pool's isolation guarantee:
+// a buffer returned to the pool and handed to a new owner must read as zeros
+// everywhere the new owner can see — payload window, tailroom exposed by
+// Put, and headroom exposed by Push.
+func TestRecycledBufferExposesNoStaleBytes(t *testing.T) {
+	p := NewPool("zero", 8, 32, 0)
+
+	b, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First owner fills every reachable byte with junk.
+	if hdr, err := b.Push(8); err != nil {
+		t.Fatal(err)
+	} else {
+		for i := range hdr {
+			hdr[i] = 0xAA
+		}
+	}
+	if err := b.Put(32); err != nil {
+		t.Fatal(err)
+	}
+	for i := range b.Bytes() {
+		b.Bytes()[i] = 0xBB
+	}
+	b.Release()
+	if p.Reuses() != 0 {
+		t.Fatalf("Reuses = %d before any reuse", p.Reuses())
+	}
+
+	// Second owner must see pristine zeros through every window.
+	nb, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb != b {
+		t.Fatal("pool did not recycle the buffer (test needs the same object)")
+	}
+	if p.Reuses() != 1 {
+		t.Fatalf("Reuses = %d, want 1", p.Reuses())
+	}
+	if err := nb.Put(32); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range nb.Bytes() {
+		if v != 0 {
+			t.Fatalf("payload[%d] = %#x leaked from previous owner", i, v)
+		}
+	}
+	hdr, err := nb.Push(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range hdr {
+		if v != 0 {
+			t.Fatalf("headroom[%d] = %#x leaked from previous owner", i, v)
+		}
+	}
+	nb.Release()
+}
+
+// TestGetZeroChainIsZero checks the zero-fill chain constructor end to end
+// through a reuse cycle.
+func TestGetZeroChainIsZero(t *testing.T) {
+	p := NewPool("zc", 0, 16, 0)
+	c, err := p.GetChain([]byte{0xFF, 0xFE, 0xFD, 0xFC, 0xFB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Release()
+	z, err := p.GetZeroChain(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Len() != 40 {
+		t.Fatalf("Len = %d, want 40", z.Len())
+	}
+	for i, v := range z.Flatten() {
+		if v != 0 {
+			t.Fatalf("zero chain byte %d = %#x", i, v)
+		}
+	}
+	z.Release()
+	if p.Outstanding() != 0 {
+		t.Fatalf("Outstanding = %d", p.Outstanding())
+	}
+}
+
+// TestGetChainSegmentsLikeChainFromBytes pins the segmentation contract the
+// bit-identical results depend on: GetChain at the pool's buffer size must
+// produce the same geometry as ChainFromBytes.
+func TestGetChainSegmentsLikeChainFromBytes(t *testing.T) {
+	p := NewPool("seg", DefaultHeadroom, DefaultBufSize, 0)
+	payload := make([]byte, 4096)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	got, err := p.GetChain(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ChainFromBytes(payload, DefaultBufSize)
+	if got.NumBufs() != want.NumBufs() {
+		t.Fatalf("NumBufs = %d, want %d", got.NumBufs(), want.NumBufs())
+	}
+	for i := range got.Bufs() {
+		if got.Bufs()[i].Len() != want.Bufs()[i].Len() {
+			t.Fatalf("segment %d: len %d, want %d", i, got.Bufs()[i].Len(), want.Bufs()[i].Len())
+		}
+	}
+	if !got.Equal(want) {
+		t.Fatal("payload mismatch")
+	}
+	got.Release()
+	want.Release()
+
+	// Empty payload: one empty buffer, like ChainFromBytes.
+	empty, err := p.GetChain(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.NumBufs() != 1 || empty.Len() != 0 {
+		t.Fatalf("empty GetChain: bufs=%d len=%d", empty.NumBufs(), empty.Len())
+	}
+	empty.Release()
+}

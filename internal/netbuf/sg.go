@@ -1,0 +1,230 @@
+package netbuf
+
+import (
+	"fmt"
+	"io"
+)
+
+// This file holds the scatter-gather view primitives: ways to read, slice
+// and fill a chain's payload without flattening it. They are what keeps
+// payloads crossing protocol layers as buffer descriptors — the only
+// physical copies left on the data path are the ones the paper's model
+// charges (wire ingress and the disk image boundary).
+
+// Range calls fn for each payload segment overlapping [off, off+n), in
+// order, with a slice aliasing the buffer's bytes. fn returns false to stop
+// early. No payload bytes are copied and no descriptors are allocated.
+func (c *Chain) Range(off, n int, fn func(p []byte) bool) error {
+	if off < 0 || n < 0 || off+n > c.Len() {
+		return fmt.Errorf("netbuf: range [%d,%d) out of range 0..%d", off, off+n, c.Len())
+	}
+	pos := 0
+	remaining := n
+	for _, b := range c.bufs {
+		if remaining == 0 {
+			break
+		}
+		blen := b.Len()
+		if pos+blen <= off {
+			pos += blen
+			continue
+		}
+		start := 0
+		if off > pos {
+			start = off - pos
+		}
+		take := blen - start
+		if take > remaining {
+			take = remaining
+		}
+		if take > 0 && !fn(b.Bytes()[start:start+take]) {
+			return nil
+		}
+		remaining -= take
+		pos += blen
+	}
+	return nil
+}
+
+// GatherRange copies the byte range [off, off+len(dst)) of the chain into
+// dst and returns the number of bytes written (short when the chain ends
+// first). It is Gather with an offset: a physical copy the caller charges,
+// but with no descriptor clones along the way.
+func (c *Chain) GatherRange(off int, dst []byte) int {
+	if off < 0 || off >= c.Len() || len(dst) == 0 {
+		return 0
+	}
+	n := len(dst)
+	if off+n > c.Len() {
+		n = c.Len() - off
+	}
+	got := 0
+	_ = c.Range(off, n, func(p []byte) bool {
+		got += copy(dst[got:], p)
+		return true
+	})
+	return got
+}
+
+// SubChain returns a new chain aliasing the byte range [off, off+n) of c
+// using cloned descriptors, without copying payload. It is the primitive
+// behind block-aligned substitution when protocol block sizes mismatch
+// (§3.5); Slice is a synonym kept for the original call sites.
+func (c *Chain) SubChain(off, n int) (*Chain, error) {
+	if off < 0 || n < 0 || off+n > c.Len() {
+		return nil, fmt.Errorf("netbuf: slice [%d,%d) out of range 0..%d", off, off+n, c.Len())
+	}
+	out := NewChain()
+	remaining := n
+	pos := 0
+	for _, b := range c.bufs {
+		if remaining == 0 {
+			break
+		}
+		blen := b.Len()
+		if pos+blen <= off {
+			pos += blen
+			continue
+		}
+		start := 0
+		if off > pos {
+			start = off - pos
+		}
+		take := blen - start
+		if take > remaining {
+			take = remaining
+		}
+		cl := b.Clone()
+		if start > 0 {
+			if _, err := cl.Pull(start); err != nil {
+				cl.Release()
+				out.Release()
+				return nil, err
+			}
+		}
+		if cl.Len() > take {
+			if err := cl.Trim(cl.Len() - take); err != nil {
+				cl.Release()
+				out.Release()
+				return nil, err
+			}
+		}
+		out.Append(cl)
+		remaining -= take
+		pos += blen
+	}
+	return out, nil
+}
+
+// Scatter copies src into the chain's existing payload windows from the
+// front (the inverse of Gather) and returns the number of bytes written —
+// short when the chain's payload is smaller than src. The chain's geometry
+// is unchanged; its cached checksum is invalidated.
+func (c *Chain) Scatter(src []byte) int {
+	c.invalidatePartial()
+	n := 0
+	for _, b := range c.bufs {
+		if n >= len(src) {
+			break
+		}
+		n += copy(b.Bytes(), src[n:])
+	}
+	return n
+}
+
+// AppendChain moves every buffer of o to the tail of c, transferring
+// ownership, and leaves o empty. It replaces the per-buffer Append loop at
+// every layer hand-off (no per-buffer slice growth beyond c's own).
+func (c *Chain) AppendChain(o *Chain) {
+	if o == nil || len(o.bufs) == 0 {
+		return
+	}
+	c.invalidatePartial()
+	c.bufs = append(c.bufs, o.bufs...)
+	o.invalidatePartial()
+	o.bufs = o.bufs[:0]
+}
+
+// Reader returns a non-consuming io.Reader over the chain's payload. The
+// chain must not be mutated or released while the reader is in use.
+func (c *Chain) Reader() *ChainReader { return &ChainReader{c: c} }
+
+// ChainReader is a cursor over a chain's payload implementing io.Reader.
+type ChainReader struct {
+	c   *Chain
+	buf int // index of the buffer holding the cursor
+	off int // byte offset within that buffer's payload
+}
+
+// Read copies up to len(p) bytes from the cursor position.
+func (r *ChainReader) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	total := 0
+	for total < len(p) {
+		if r.buf >= len(r.c.bufs) {
+			if total > 0 {
+				return total, nil
+			}
+			return 0, io.EOF
+		}
+		b := r.c.bufs[r.buf].Bytes()
+		if r.off >= len(b) {
+			r.buf++
+			r.off = 0
+			continue
+		}
+		n := copy(p[total:], b[r.off:])
+		total += n
+		r.off += n
+	}
+	return total, nil
+}
+
+// Writer returns an io.Writer that appends to the chain, drawing buffers
+// from pool (or standalone DefaultBufSize buffers when pool is nil). The
+// final partial buffer keeps its tailroom, so consecutive writes pack.
+func (c *Chain) Writer(pool *Pool) *ChainWriter { return &ChainWriter{c: c, pool: pool} }
+
+// ChainWriter appends bytes to a chain as pooled segments.
+type ChainWriter struct {
+	c    *Chain
+	pool *Pool
+}
+
+// Write appends p to the chain, copying into buffer tailroom and taking new
+// buffers as needed.
+func (w *ChainWriter) Write(p []byte) (int, error) {
+	written := 0
+	for written < len(p) {
+		var tail *Buf
+		if n := len(w.c.bufs); n > 0 {
+			if b := w.c.bufs[n-1]; b.Tailroom() > 0 && b.shared == nil {
+				tail = b
+			}
+		}
+		if tail == nil {
+			var err error
+			if w.pool != nil {
+				tail, err = w.pool.Get()
+				if err != nil {
+					return written, err
+				}
+			} else {
+				tail = New(DefaultHeadroom, DefaultBufSize)
+			}
+			w.c.Append(tail)
+		}
+		take := tail.Tailroom()
+		if take > len(p)-written {
+			take = len(p) - written
+		}
+		if err := tail.Append(p[written : written+take]); err != nil {
+			return written, err
+		}
+		written += take
+	}
+	w.c.invalidatePartial()
+	return written, nil
+}

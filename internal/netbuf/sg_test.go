@@ -1,0 +1,324 @@
+package netbuf
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// chainFrom builds a chain over payload fragmented at the given cut points,
+// exercising arbitrary buffer boundaries (including empty buffers).
+func chainFrom(payload []byte, cuts []int) *Chain {
+	c := NewChain()
+	prev := 0
+	for _, cut := range cuts {
+		if cut < prev {
+			cut = prev
+		}
+		if cut > len(payload) {
+			cut = len(payload)
+		}
+		c.Append(FromBytes(payload[prev:cut]))
+		prev = cut
+	}
+	c.Append(FromBytes(payload[prev:]))
+	return c
+}
+
+// fragSpec is the quick.Check input: a payload plus fragmentation and a
+// slicing window derived from raw seeds.
+type fragSpec struct {
+	Payload []byte
+	Cuts    []uint16
+	Off     uint16
+	N       uint16
+}
+
+// normalize derives an in-range fragmentation and window.
+func (f fragSpec) normalize() (payload []byte, cuts []int, off, n int) {
+	payload = f.Payload
+	cuts = make([]int, 0, len(f.Cuts))
+	for _, c := range f.Cuts {
+		if len(payload) > 0 {
+			cuts = append(cuts, int(c)%(len(payload)+1))
+		} else {
+			cuts = append(cuts, 0)
+		}
+	}
+	// Cut points must be non-decreasing for chainFrom.
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i] < cuts[i-1] {
+			cuts[i] = cuts[i-1]
+		}
+	}
+	off = 0
+	if len(payload) > 0 {
+		off = int(f.Off) % (len(payload) + 1)
+	}
+	n = 0
+	if rest := len(payload) - off; rest > 0 {
+		n = int(f.N) % (rest + 1)
+	}
+	return payload, cuts, off, n
+}
+
+func TestRangeMatchesFlatReference(t *testing.T) {
+	prop := func(f fragSpec) bool {
+		payload, cuts, off, n := f.normalize()
+		c := chainFrom(payload, cuts)
+		defer c.Release()
+		var got []byte
+		if err := c.Range(off, n, func(p []byte) bool {
+			got = append(got, p...)
+			return true
+		}); err != nil {
+			return false
+		}
+		return bytes.Equal(got, payload[off:off+n])
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubChainMatchesFlatReference(t *testing.T) {
+	prop := func(f fragSpec) bool {
+		payload, cuts, off, n := f.normalize()
+		c := chainFrom(payload, cuts)
+		defer c.Release()
+		sub, err := c.SubChain(off, n)
+		if err != nil {
+			return false
+		}
+		defer sub.Release()
+		if sub.Len() != n {
+			return false
+		}
+		return bytes.Equal(sub.Flatten(), payload[off:off+n])
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherRangeMatchesFlatReference(t *testing.T) {
+	prop := func(f fragSpec) bool {
+		payload, cuts, off, n := f.normalize()
+		c := chainFrom(payload, cuts)
+		defer c.Release()
+		dst := make([]byte, n)
+		got := c.GatherRange(off, dst)
+		if n > 0 && got != n {
+			return false
+		}
+		return bytes.Equal(dst[:got], payload[off:off+got])
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderMatchesFlatReference(t *testing.T) {
+	prop := func(f fragSpec, readSize uint8) bool {
+		payload, cuts, _, _ := f.normalize()
+		c := chainFrom(payload, cuts)
+		defer c.Release()
+		sz := int(readSize)%7 + 1 // odd read sizes cross buffer boundaries
+		var got []byte
+		buf := make([]byte, sz)
+		r := c.Reader()
+		for {
+			n, err := r.Read(buf)
+			got = append(got, buf[:n]...)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return false
+			}
+		}
+		return bytes.Equal(got, payload)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterRoundTrips(t *testing.T) {
+	prop := func(payload []byte, chunk uint8) bool {
+		c := NewChain()
+		defer c.Release()
+		w := c.Writer(nil)
+		sz := int(chunk)%11 + 1
+		for off := 0; off < len(payload); off += sz {
+			end := off + sz
+			if end > len(payload) {
+				end = len(payload)
+			}
+			n, err := w.Write(payload[off:end])
+			if err != nil || n != end-off {
+				return false
+			}
+		}
+		return bytes.Equal(c.Flatten(), payload)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterPoolBacked(t *testing.T) {
+	p := NewPool("w", DefaultHeadroom, 16, 0)
+	c := NewChain()
+	w := c.Writer(p)
+	payload := make([]byte, 100)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if n, err := w.Write(payload); err != nil || n != len(payload) {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	if !bytes.Equal(c.Flatten(), payload) {
+		t.Fatal("pool-backed writer corrupted payload")
+	}
+	if c.NumBufs() != 7 { // ceil(100/16)
+		t.Fatalf("NumBufs = %d, want 7", c.NumBufs())
+	}
+	c.Release()
+	if p.Outstanding() != 0 {
+		t.Fatalf("Outstanding = %d after release", p.Outstanding())
+	}
+}
+
+func TestScatterInverseOfGather(t *testing.T) {
+	prop := func(f fragSpec) bool {
+		payload, cuts, _, _ := f.normalize()
+		c := chainFrom(payload, cuts)
+		defer c.Release()
+		src := make([]byte, len(payload))
+		for i := range src {
+			src[i] = byte(255 - i%251)
+		}
+		if n := c.Scatter(src); n != len(payload) {
+			return false
+		}
+		return bytes.Equal(c.Flatten(), src)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeEmptyChain(t *testing.T) {
+	c := NewChain()
+	calls := 0
+	if err := c.Range(0, 0, func(p []byte) bool { calls++; return true }); err != nil {
+		t.Fatalf("Range on empty chain: %v", err)
+	}
+	if calls != 0 {
+		t.Fatal("Range on empty chain invoked fn")
+	}
+	if err := c.Range(0, 1, func(p []byte) bool { return true }); err == nil {
+		t.Fatal("Range past end did not error")
+	}
+	sub, err := c.SubChain(0, 0)
+	if err != nil {
+		t.Fatalf("SubChain(0,0) on empty chain: %v", err)
+	}
+	if sub.Len() != 0 {
+		t.Fatal("empty SubChain not empty")
+	}
+}
+
+func TestAppendChainMovesOwnership(t *testing.T) {
+	a := ChainFromBytes([]byte("hello "), 4)
+	b := ChainFromBytes([]byte("world"), 3)
+	nb := b.NumBufs()
+	a.AppendChain(b)
+	if b.NumBufs() != 0 {
+		t.Fatalf("source chain kept %d bufs", b.NumBufs())
+	}
+	if a.NumBufs() != 2+nb {
+		t.Fatalf("dest has %d bufs", a.NumBufs())
+	}
+	if string(a.Flatten()) != "hello world" {
+		t.Fatalf("payload = %q", a.Flatten())
+	}
+	a.Release()
+}
+
+func TestAppendChainInvalidatesPartial(t *testing.T) {
+	a := ChainFromBytes([]byte{1, 2}, 4)
+	a.SetPartial(PartialOfChain(a))
+	b := ChainFromBytes([]byte{3, 4}, 4)
+	a.AppendChain(b)
+	if _, ok := a.CachedPartial(); ok {
+		t.Fatal("AppendChain kept a stale checksum partial")
+	}
+	a.Release()
+}
+
+func BenchmarkGatherRange4K(b *testing.B) {
+	payload := make([]byte, 4096)
+	rand.New(rand.NewSource(1)).Read(payload)
+	c := ChainFromBytes(payload, DefaultBufSize)
+	defer c.Release()
+	dst := make([]byte, 4096)
+	b.ReportAllocs()
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.GatherRange(0, dst)
+	}
+}
+
+func BenchmarkSubChain32K(b *testing.B) {
+	payload := make([]byte, 32*1024)
+	c := ChainFromBytes(payload, DefaultBufSize)
+	defer c.Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sub, err := c.SubChain(4096, 4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sub.Release()
+	}
+}
+
+func BenchmarkPoolGetChain32K(b *testing.B) {
+	p := NewPool("bench", DefaultHeadroom, DefaultBufSize, 0)
+	payload := make([]byte, 32*1024)
+	b.ReportAllocs()
+	b.SetBytes(32 * 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := p.GetChain(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Release()
+	}
+}
+
+func BenchmarkRange32K(b *testing.B) {
+	payload := make([]byte, 32*1024)
+	c := ChainFromBytes(payload, DefaultBufSize)
+	defer c.Release()
+	b.ReportAllocs()
+	b.SetBytes(32 * 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := 0
+		_ = c.Range(0, c.Len(), func(p []byte) bool {
+			total += len(p)
+			return true
+		})
+		if total != 32*1024 {
+			b.Fatal("short range")
+		}
+	}
+}

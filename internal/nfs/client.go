@@ -22,6 +22,7 @@ func RootFH() FH {
 type rpcCaller interface {
 	Call(dst eth.Addr, dstPort uint16, prog, vers, proc uint32, args []byte, payload *netbuf.Chain, done func(sunrpc.Reply, error)) error
 	Pending() int
+	Node() *simnet.Node
 }
 
 // Client issues NFS calls to one server.
@@ -281,9 +282,15 @@ func (c *Client) Write(fh FH, off uint64, data *netbuf.Chain, done func(int, Att
 	})
 }
 
-// WriteBytes is Write with a plain byte payload.
+// WriteBytes is Write with a plain byte payload (copied into pooled transmit
+// buffers).
 func (c *Client) WriteBytes(fh FH, off uint64, p []byte, done func(int, Attr, error)) {
-	c.Write(fh, off, netbuf.ChainFromBytes(p, netbuf.DefaultBufSize), done)
+	chain, err := c.rpc.Node().TxPool.GetChain(p)
+	if err != nil {
+		done(0, Attr{}, err)
+		return
+	}
+	c.Write(fh, off, chain, done)
 }
 
 // Create makes a file (or directory via Mkdir).
@@ -357,7 +364,8 @@ func (c *Client) Readdir(dir FH, done func([]string, error)) {
 			done(nil, orIO(st, ok))
 			return
 		}
-		flat := body.Flatten()
+		flat := make([]byte, body.Len())
+		body.Gather(flat)
 		body.Release()
 		d := xdr.NewDecoder(flat)
 		count, err := d.Uint32()

@@ -197,7 +197,10 @@ func (s *Server) dispatch(proc uint32, c sunrpc.Call) {
 				s.node.Reqs.ReadBytes += uint64(dlen)
 				// XDR opaque padding (block payloads are 4-aligned).
 				if pad := (4 - dlen%4) % 4; pad != 0 && data != nil {
-					pb := netbuf.New(0, pad)
+					pb, perr := s.node.TxPool.Get()
+					if perr != nil {
+						pb = netbuf.New(0, pad)
+					}
 					_ = pb.Put(pad)
 					data.Append(pb)
 				}

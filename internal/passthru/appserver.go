@@ -121,9 +121,7 @@ func NewAppServer(eng *sim.Engine, nw *simnet.Network, cfg ServerConfig) (*AppSe
 			data.Release()
 			out := netbuf.NewChain()
 			for i := 0; i < blocks; i++ {
-				for _, b := range lkey.StampChain(lkey.Key{}, extfs.BlockSize).Bufs() {
-					out.Append(b)
-				}
+				out.AppendChain(lkey.StampChainPool(node.BlkPool, lkey.Key{}, extfs.BlockSize))
 			}
 			return out
 		})

@@ -157,7 +157,10 @@ func (h *HTTPConn) receive(data *netbuf.Chain) {
 		}
 		// Header phase: accumulate until the blank line.
 		if data.Len() > 0 {
-			h.buf.Write(data.Flatten())
+			_ = data.Range(0, data.Len(), func(p []byte) bool {
+				h.buf.Write(p)
+				return true
+			})
 			rel, err := data.PullChain(data.Len())
 			if err == nil {
 				rel.Release()

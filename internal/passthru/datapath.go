@@ -60,9 +60,13 @@ func (p *dataPath) replyChain(res *extfs.ReadResult, sendfile bool) *netbuf.Chai
 	for _, e := range res.Extents {
 		switch {
 		case e.Block == nil:
-			zb := netbuf.New(0, e.Len)
-			_ = zb.Put(e.Len)
-			out.Append(zb)
+			if zc, err := p.node.BlkPool.GetZeroChain(e.Len); err == nil {
+				out.AppendChain(zc)
+			} else {
+				zb := netbuf.New(0, e.Len)
+				_ = zb.Put(e.Len)
+				out.Append(zb)
+			}
 
 		case e.Block.Logical:
 			key, ok := e.Block.Key()
@@ -72,19 +76,17 @@ func (p *dataPath) replyChain(res *extfs.ReadResult, sendfile bool) *netbuf.Chai
 			if e.Off > 0 {
 				key = key.WithSubOff(uint32(e.Off))
 			}
-			for _, b := range lkey.StampChain(key, e.Len).Bufs() {
-				out.Append(b)
-			}
+			out.AppendChain(lkey.StampChainPool(p.node.BlkPool, key, e.Len))
 			logical++
 
 		default:
 			// Physical: the daemon-buffer copy and the socket copy
-			// both walk the bytes; the chain build is the second.
-			slab := make([]byte, e.Len)
-			copy(slab, e.Block.Data[e.Off:e.Off+e.Len])
-			for _, b := range netbuf.ChainFromBytes(slab, netbuf.DefaultBufSize).Bufs() {
-				out.Append(b)
+			// both walk the bytes; the pooled-chain build is the second.
+			pc, err := p.node.TxPool.GetChain(e.Block.Data[e.Off : e.Off+e.Len])
+			if err != nil {
+				continue
 			}
+			out.AppendChain(pc)
 			physBytes += e.Len
 		}
 	}
@@ -139,9 +141,9 @@ func (p *dataPath) applyWrite(fs *extfs.FS, ino uint32, fh nfs.FH, off uint64, d
 	default:
 		// Physical path (Original, or unaligned writes in NCache mode):
 		// one copy from the wire buffers into the buffer cache
-		// (Table 2: "overwritten" = 1).
-		flat := data.Flatten()
-		data.Release()
+		// (Table 2: "overwritten" = 1). The wire chain is scattered
+		// straight into cache blocks — no flattened intermediate — and
+		// stays referenced until the last filler has run.
 		p.chargePhysical(1, n)
 		filler := func(b *buffercache.Block, blockOff, count, srcOff int) {
 			if b.Logical {
@@ -149,9 +151,12 @@ func (p *dataPath) applyWrite(fs *extfs.FS, ino uint32, fh nfs.FH, off uint64, d
 				// materialize the real bytes first.
 				p.materialize(b)
 			}
-			copy(b.Data[blockOff:blockOff+count], flat[srcOff:srcOff+count])
+			data.GatherRange(srcOff, b.Data[blockOff:blockOff+count])
 		}
-		fs.Write(ino, off, n, filler, finish)
+		fs.Write(ino, off, n, filler, func(err error) {
+			data.Release()
+			finish(err)
+		})
 	}
 }
 
@@ -161,9 +166,7 @@ func (p *dataPath) applyWrite(fs *extfs.FS, ino uint32, fh nfs.FH, off uint64, d
 func (p *dataPath) materialize(b *buffercache.Block) {
 	key, ok := b.Key()
 	if p.mod != nil && ok && key.Flags != 0 {
-		tmp := make([]byte, len(b.Data))
-		if p.mod.Materialize(key, tmp) {
-			copy(b.Data, tmp)
+		if p.mod.Materialize(key, b.Data) {
 			b.Logical = false
 			p.chargePhysical(1, len(b.Data))
 			return

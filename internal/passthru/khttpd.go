@@ -66,7 +66,10 @@ type webConn struct {
 
 // receive accumulates request bytes and kicks processing.
 func (wc *webConn) receive(data *netbuf.Chain) {
-	wc.reqBuf.Write(data.Flatten())
+	_ = data.Range(0, data.Len(), func(p []byte) bool {
+		wc.reqBuf.Write(p)
+		return true
+	})
 	data.Release()
 	wc.pump()
 }

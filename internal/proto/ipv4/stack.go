@@ -144,11 +144,13 @@ func (s *Stack) Send(src, dst eth.Addr, proto uint8, payload *netbuf.Chain) erro
 // shared payload buffers — fragments may alias one another's backing), then
 // charges per-packet CPU and hands the frame to the NIC.
 func (s *Stack) sendFragment(nic *simnet.NIC, hdr Header, payload *netbuf.Chain) error {
-	hb := netbuf.New(netbuf.DefaultHeadroom, 0)
-	frame := netbuf.ChainOf(hb)
-	for _, b := range payload.Bufs() {
-		frame.Append(b)
+	hb, err := s.node.TxPool.Get()
+	if err != nil {
+		payload.Release()
+		return err
 	}
+	frame := netbuf.ChainOf(hb)
+	frame.AppendChain(payload)
 	if err := hdr.Push(frame); err != nil {
 		return err
 	}
@@ -195,9 +197,7 @@ func (s *Stack) receive(frame *netbuf.Chain) {
 		delete(s.reasm, key)
 		return
 	}
-	for _, b := range frame.Bufs() {
-		r.chain.Append(b)
-	}
+	r.chain.AppendChain(frame)
 	r.nextOff += hdr.TotalLen - HeaderLen
 	if !hdr.MoreFrags {
 		delete(s.reasm, key)

@@ -154,6 +154,9 @@ type Conn struct {
 	finRcvd  bool
 }
 
+// Node returns the node owning the connection's local endpoint.
+func (c *Conn) Node() *simnet.Node { return c.t.node }
+
 // LocalAddr returns the connection's local address.
 func (c *Conn) LocalAddr() eth.Addr { return c.key.localAddr }
 
@@ -176,10 +179,15 @@ func (c *Conn) SetOnClose(f func()) { c.onClose = f }
 // Established reports whether the connection is open for data.
 func (c *Conn) Established() bool { return c.state == stateEstablished }
 
-// Send queues plain bytes on the stream (they are copied into fresh
-// buffers — the legacy path; the copy cost is the caller's to charge).
+// Send queues plain bytes on the stream (they are copied into pooled
+// transmit buffers — the legacy path; the copy cost is the caller's to
+// charge).
 func (c *Conn) Send(p []byte) error {
-	return c.SendChain(netbuf.ChainFromBytes(p, netbuf.DefaultBufSize))
+	chain, err := c.t.node.TxPool.GetChain(p)
+	if err != nil {
+		return err
+	}
+	return c.SendChain(chain)
 }
 
 // SendChain queues payload already held in network buffers — the zero-copy
@@ -192,9 +200,7 @@ func (c *Conn) SendChain(payload *netbuf.Chain) error {
 	if c.sendQ == nil {
 		c.sendQ = netbuf.NewChain()
 	}
-	for _, b := range payload.Bufs() {
-		c.sendQ.Append(b)
-	}
+	c.sendQ.AppendChain(payload)
 	// The last byte of this message ends a PSH segment so the peer acks
 	// immediately (message boundaries drive request/response traffic).
 	c.pushAt = append(c.pushAt, c.sndNxt+uint32(c.sendQ.Len()))
@@ -259,9 +265,16 @@ func (c *Conn) sendSegment(flags uint8, payload *netbuf.Chain) {
 
 // sendSegmentSeq builds, checksums and transmits one segment.
 func (c *Conn) sendSegmentSeq(flags uint8, seq uint32, payload *netbuf.Chain) {
-	hb := netbuf.New(netbuf.DefaultHeadroom, 0)
+	hb, err := c.t.node.TxPool.Get()
+	if err != nil {
+		if payload != nil {
+			payload.Release()
+		}
+		return
+	}
 	hdr, err := hb.Push(HeaderLen)
 	if err != nil {
+		hb.Release()
 		if payload != nil {
 			payload.Release()
 		}
@@ -291,9 +304,7 @@ func (c *Conn) sendSegmentSeq(flags uint8, seq uint32, payload *netbuf.Chain) {
 
 	seg := netbuf.ChainOf(hb)
 	if payload != nil {
-		for _, b := range payload.Bufs() {
-			seg.Append(b)
-		}
+		seg.AppendChain(payload)
 	}
 	if err := c.t.ip.Send(c.key.localAddr, c.key.remoteAddr, ipv4.ProtoTCP, seg); err != nil {
 		seg.Release()

@@ -74,10 +74,14 @@ func (t *Transport) Bind(port uint16, r Receiver) error {
 // Unbind removes a port binding.
 func (t *Transport) Unbind(port uint16) { delete(t.ports, port) }
 
-// Send transmits a payload of plain bytes (they are copied into fresh
-// buffers — the legacy physical-copy path).
+// Send transmits a payload of plain bytes (they are copied into pooled
+// transmit buffers — the legacy physical-copy path; callers that already
+// hold a chain use SendChain and skip the copy).
 func (t *Transport) Send(src eth.Addr, srcPort uint16, dst eth.Addr, dstPort uint16, payload []byte) error {
-	chain := netbuf.ChainFromBytes(payload, netbuf.DefaultBufSize)
+	chain, err := t.node.TxPool.GetChain(payload)
+	if err != nil {
+		return err
+	}
 	return t.SendChain(src, srcPort, dst, dstPort, chain)
 }
 
@@ -90,9 +94,14 @@ func (t *Transport) SendChain(src eth.Addr, srcPort uint16, dst eth.Addr, dstPor
 		payload.Release()
 		return fmt.Errorf("udp: datagram %d exceeds 64KB", total)
 	}
-	hb := netbuf.New(netbuf.DefaultHeadroom, 0)
+	hb, err := t.node.TxPool.Get()
+	if err != nil {
+		payload.Release()
+		return err
+	}
 	hdr, err := hb.Push(HeaderLen)
 	if err != nil {
+		hb.Release()
 		payload.Release()
 		return err
 	}
@@ -124,9 +133,7 @@ func (t *Transport) SendChain(src eth.Addr, srcPort uint16, dst eth.Addr, dstPor
 	}
 
 	dg := netbuf.ChainOf(hb)
-	for _, b := range payload.Bufs() {
-		dg.Append(b)
-	}
+	dg.AppendChain(payload)
 	return t.ip.Send(src, dst, ipv4.ProtoUDP, dg)
 }
 

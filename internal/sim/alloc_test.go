@@ -1,0 +1,138 @@
+package sim
+
+import "testing"
+
+// TestEventDispatchZeroAllocs is the CI allocation-regression gate for the
+// scheduler: once the free list is primed, a schedule/fire cycle must not
+// touch the heap at all. A regression here shows up as GC pressure on every
+// macro experiment, so it fails loudly.
+func TestEventDispatchZeroAllocs(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	// Prime the free list and the heap slice.
+	for i := 0; i < 64; i++ {
+		e.Schedule(Duration(i), fn)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("prime Run: %v", err)
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		e.Schedule(1, fn)
+		if err := e.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state event dispatch allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+// TestEventCancelZeroAllocs extends the gate to the timer pattern sunrpc
+// retransmission leans on: schedule, cancel, reschedule.
+func TestEventCancelZeroAllocs(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		e.Schedule(Duration(i), fn)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("prime Run: %v", err)
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		id := e.Schedule(1000, fn)
+		e.Schedule(1, fn)
+		if !e.Cancel(id) {
+			t.Fatal("Cancel failed")
+		}
+		if err := e.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("schedule+cancel cycle allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+// TestEventIDStaleAfterReuse pins the ABA guarantee the free list depends
+// on: an EventID from a fired event must not cancel the object's next
+// tenant.
+func TestEventIDStaleAfterReuse(t *testing.T) {
+	e := NewEngine()
+	var stale EventID
+	stale = e.Schedule(1, func() {})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// The freed object is reused for the next schedule.
+	ran := false
+	e.Schedule(1, func() { ran = true })
+	if e.Cancel(stale) {
+		t.Fatal("stale EventID canceled a recycled event")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !ran {
+		t.Fatal("recycled event did not run")
+	}
+}
+
+func BenchmarkEventDispatch(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		e.Schedule(Duration(i), fn)
+	}
+	if err := e.Run(); err != nil {
+		b.Fatalf("prime Run: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(1, fn)
+		if err := e.Run(); err != nil {
+			b.Fatalf("Run: %v", err)
+		}
+	}
+}
+
+// BenchmarkEventHeap64 exercises dispatch with a populated heap (64 timers
+// in flight), the regime the macro experiments run in.
+func BenchmarkEventHeap64(b *testing.B) {
+	e := NewEngine()
+	pending := 0
+	tick := func() {
+		pending--
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for pending < 64 {
+			e.Schedule(Duration(1+pending%37), tick)
+			pending++
+		}
+		if err := e.RunFor(5); err != nil {
+			b.Fatalf("RunFor: %v", err)
+		}
+	}
+}
+
+func BenchmarkEventCancel(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		e.Schedule(Duration(i), fn)
+	}
+	if err := e.Run(); err != nil {
+		b.Fatalf("prime Run: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := e.Schedule(1000, fn)
+		e.Cancel(id)
+		if err := e.Run(); err != nil {
+			b.Fatalf("Run: %v", err)
+		}
+	}
+}

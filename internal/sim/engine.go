@@ -5,10 +5,15 @@
 // on a shared virtual clock. Determinism comes from a total order on events
 // (time, then insertion sequence) and from seeded random sources; running the
 // same experiment twice yields byte-identical results.
+//
+// The scheduler is a concrete binary min-heap over *event (no container/heap,
+// no interface boxing) with a free list of event objects: in steady state a
+// schedule/fire cycle performs zero heap allocations, which is what lets the
+// macro experiments run millions of simulated requests at wall-clock speeds
+// bounded by the model, not the allocator.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -55,55 +60,24 @@ func (t Time) Add(d Duration) Time { return t + Time(d) }
 // Sub returns the duration t-u.
 func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 
-// event is a scheduled callback.
+// event is a scheduled callback. Events are pooled: once fired or canceled
+// the object returns to the engine's free list and its generation counter
+// advances, so a stale EventID can never cancel the object's next tenant.
 type event struct {
 	at  Time
 	seq uint64 // tiebreaker: FIFO among events at the same instant
 	fn  func()
-	ctx any // request context captured at scheduling time
-	idx int // heap index, -1 once popped or canceled
+	ctx any    // request context captured at scheduling time
+	idx int    // heap index, -1 once popped or canceled
+	gen uint64 // incarnation counter, bumped on every recycle
 }
 
-// eventHeap orders events by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev, ok := x.(*event)
-	if !ok {
-		return
-	}
-	ev.idx = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.idx = -1
-	*h = old[:n-1]
-	return ev
-}
-
-// EventID identifies a scheduled event so it can be canceled.
+// EventID identifies a scheduled event so it can be canceled. It pins the
+// event's incarnation: after the event fires (or is canceled) and its object
+// is reused for a later schedule, the stale ID no longer matches.
 type EventID struct {
-	ev *event
+	ev  *event
+	gen uint64
 }
 
 // Engine is a discrete-event simulation loop. The zero value is not usable;
@@ -111,7 +85,8 @@ type EventID struct {
 type Engine struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	events  []*event // binary min-heap ordered by (at, seq)
+	free    []*event // recycled event objects
 	stopped bool
 	// processed counts events executed, for diagnostics and runaway guards.
 	processed uint64
@@ -176,20 +151,32 @@ func (e *Engine) At(t Time, fn func()) EventID {
 	if t < e.now {
 		t = e.now
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn, ctx: e.cur}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.ctx = e.cur
 	e.seq++
-	heap.Push(&e.events, ev)
-	return EventID{ev: ev}
+	e.push(ev)
+	return EventID{ev: ev, gen: ev.gen}
 }
 
 // Cancel removes a pending event. Canceling an already-fired or canceled
 // event is a no-op and reports false.
 func (e *Engine) Cancel(id EventID) bool {
-	if id.ev == nil || id.ev.idx < 0 {
+	ev := id.ev
+	if ev == nil || ev.gen != id.gen || ev.idx < 0 {
 		return false
 	}
-	heap.Remove(&e.events, id.ev.idx)
-	id.ev.fn = nil
+	e.removeAt(ev.idx)
+	e.recycle(ev)
 	return true
 }
 
@@ -199,30 +186,145 @@ func (e *Engine) Stop() { e.stopped = true }
 // Pending reports the number of events waiting to fire.
 func (e *Engine) Pending() int { return len(e.events) }
 
+// recycle resets a popped or canceled event and returns it to the free list.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.ctx = nil
+	ev.idx = -1
+	ev.gen++
+	e.free = append(e.free, ev)
+}
+
+// less orders the heap by (at, seq).
+func (e *Engine) less(i, j int) bool {
+	a, b := e.events[i], e.events[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push inserts an event and restores the heap invariant bottom-up.
+func (e *Engine) push(ev *event) {
+	ev.idx = len(e.events)
+	e.events = append(e.events, ev)
+	e.siftUp(ev.idx)
+}
+
+// pop removes and returns the earliest event.
+func (e *Engine) pop() *event {
+	h := e.events
+	root := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[0].idx = 0
+	h[n] = nil
+	e.events = h[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+	root.idx = -1
+	return root
+}
+
+// removeAt deletes the event at heap index i.
+func (e *Engine) removeAt(i int) {
+	h := e.events
+	n := len(h) - 1
+	removed := h[i]
+	if i != n {
+		h[i] = h[n]
+		h[i].idx = i
+		h[n] = nil
+		e.events = h[:n]
+		if !e.siftDown(i) {
+			e.siftUp(i)
+		}
+	} else {
+		h[n] = nil
+		e.events = h[:n]
+	}
+	removed.idx = -1
+}
+
+// siftUp moves the event at index i toward the root until ordered.
+func (e *Engine) siftUp(i int) {
+	h := e.events
+	ev := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := h[parent]
+		if p.at < ev.at || (p.at == ev.at && p.seq < ev.seq) {
+			break
+		}
+		h[i] = p
+		p.idx = i
+		i = parent
+	}
+	h[i] = ev
+	ev.idx = i
+}
+
+// siftDown moves the event at index i toward the leaves until ordered. It
+// reports whether the event moved.
+func (e *Engine) siftDown(i int) bool {
+	h := e.events
+	n := len(h)
+	ev := h[i]
+	start := i
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		l := h[left]
+		la, ls := l.at, l.seq
+		if right := left + 1; right < n {
+			r := h[right]
+			if r.at < la || (r.at == la && r.seq < ls) {
+				least = right
+				la, ls = r.at, r.seq
+			}
+		}
+		if ev.at < la || (ev.at == la && ev.seq < ls) {
+			break
+		}
+		h[i] = h[least]
+		h[i].idx = i
+		i = least
+	}
+	h[i] = ev
+	ev.idx = i
+	return i != start
+}
+
 // step executes the earliest pending event. It reports false when no events
 // remain or the engine is stopped.
 func (e *Engine) step(until Time) (bool, error) {
 	if e.stopped || len(e.events) == 0 {
 		return false, nil
 	}
-	next := e.events[0]
-	if next.at > until {
+	if e.events[0].at > until {
 		// Advance the clock to the horizon without firing the event.
 		e.now = until
 		return false, nil
 	}
-	popped, ok := heap.Pop(&e.events).(*event)
-	if !ok {
-		return false, fmt.Errorf("sim: corrupt event heap")
-	}
+	popped := e.pop()
 	e.now = popped.at
 	e.processed++
 	if e.limit > 0 && e.processed > e.limit {
+		e.recycle(popped)
 		return false, fmt.Errorf("sim: event limit %d exceeded at t=%s", e.limit, e.now)
 	}
-	if popped.fn != nil {
-		e.cur = popped.ctx
-		popped.fn()
+	fn, ctx := popped.fn, popped.ctx
+	// Recycle before running fn: the common schedule-from-an-event pattern
+	// then reuses the same object, and any stale EventID is fenced off by
+	// the generation bump.
+	e.recycle(popped)
+	if fn != nil {
+		e.cur = ctx
+		fn()
 		e.cur = nil
 	}
 	return true, nil

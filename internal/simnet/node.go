@@ -22,6 +22,14 @@ type Node struct {
 	// RxPool is the driver receive-buffer pool; what NCache pins comes
 	// from here (bounding the memory left for the FS buffer cache).
 	RxPool *netbuf.Pool
+	// TxPool recycles MTU-sized transmit buffers: protocol header buffers
+	// and wire-segment copies draw from here so the steady-state transmit
+	// path allocates nothing. It is unbounded and outside the RxPool's
+	// pinned-memory accounting (a driver tx ring, not cache memory).
+	TxPool *netbuf.Pool
+	// BlkPool recycles file-system-block-sized buffers (stamped junk
+	// blocks, flush payloads). Like TxPool it is transient driver memory.
+	BlkPool *netbuf.Pool
 	// Copies / NetStats / Reqs are this node's data-path counters.
 	Copies metrics.Copies
 	Reqs   metrics.Requests
@@ -29,14 +37,20 @@ type Node struct {
 	nics []*NIC
 }
 
-// NewNode creates a node with one CPU and an unbounded default rx pool.
+// BlockBufSize is the payload capacity of BlkPool buffers, matching the
+// file-system block size every experiment uses.
+const BlockBufSize = 4096
+
+// NewNode creates a node with one CPU and unbounded default buffer pools.
 func NewNode(eng *sim.Engine, name string, cost CostProfile) *Node {
 	return &Node{
-		Name:   name,
-		Eng:    eng,
-		CPU:    sim.NewResource(eng, name+".cpu"),
-		Cost:   cost,
-		RxPool: netbuf.NewPool(name+".rx", netbuf.DefaultHeadroom, netbuf.DefaultBufSize, 0),
+		Name:    name,
+		Eng:     eng,
+		CPU:     sim.NewResource(eng, name+".cpu"),
+		Cost:    cost,
+		RxPool:  netbuf.NewPool(name+".rx", netbuf.DefaultHeadroom, netbuf.DefaultBufSize, 0),
+		TxPool:  netbuf.NewPool(name+".tx", netbuf.DefaultHeadroom, netbuf.DefaultBufSize, 0),
+		BlkPool: netbuf.NewPool(name+".blk", netbuf.DefaultHeadroom, BlockBufSize, 0),
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"ncache/internal/proto/eth"
 	"ncache/internal/proto/udp"
 	"ncache/internal/sim"
+	"ncache/internal/simnet"
 	"ncache/internal/trace"
 	"ncache/internal/xdr"
 )
@@ -71,6 +72,19 @@ type Call struct {
 	// send transmits a composed reply on the call's transport (datagram
 	// or record-marked stream).
 	send func(*netbuf.Chain) error
+	// pool recycles reply header buffers (the serving node's transmit pool).
+	pool *netbuf.Pool
+}
+
+// poolBuf draws a header buffer from a transmit pool, falling back to a
+// fresh allocation when no pool is set or the pool cannot serve the size.
+func poolBuf(p *netbuf.Pool, capacity int) *netbuf.Buf {
+	if p != nil && capacity <= p.BufSize() {
+		if b, err := p.Get(); err == nil {
+			return b
+		}
+	}
+	return netbuf.New(netbuf.DefaultHeadroom, capacity)
 }
 
 // Reply sends a successful reply: header bytes (XDR-encoded result head)
@@ -85,7 +99,7 @@ func (c Call) Reply(header []byte, payload *netbuf.Chain) error {
 	e.Uint32(0) // verf length
 	e.Uint32(AcceptSuccess)
 
-	hb := netbuf.New(netbuf.DefaultHeadroom, replyHeaderLen+len(header))
+	hb := poolBuf(c.pool, replyHeaderLen+len(header))
 	if err := hb.Append(e.Bytes()); err != nil {
 		hb.Release()
 		if payload != nil {
@@ -112,9 +126,7 @@ func (c Call) Reply(header []byte, payload *netbuf.Chain) error {
 			inherited = netbuf.Combine(hs, p)
 			inherit = true
 		}
-		for _, b := range payload.Bufs() {
-			out.Append(b)
-		}
+		out.AppendChain(payload)
 	}
 	if inherit {
 		out.SetPartial(inherited)
@@ -131,7 +143,7 @@ func (c Call) ReplyError(acceptStat uint32) error {
 	e.Uint32(0)
 	e.Uint32(0)
 	e.Uint32(acceptStat)
-	hb := netbuf.New(netbuf.DefaultHeadroom, replyHeaderLen)
+	hb := poolBuf(c.pool, replyHeaderLen)
 	if err := hb.Append(e.Bytes()); err != nil {
 		hb.Release()
 		return err
@@ -210,6 +222,7 @@ func (s *Server) receive(dg udp.Datagram) {
 		send: func(out *netbuf.Chain) error {
 			return s.udp.SendChain(dg.Dst, s.port, dg.Src, dg.SrcPort, out)
 		},
+		pool: s.udp.Node().TxPool,
 	}
 	procs, ok := s.programs[progVers{prog, vers}]
 	if !ok {
@@ -291,6 +304,9 @@ func (pc *pendingCall) release() {
 	}
 }
 
+// Node returns the node owning the client's transport.
+func (c *Client) Node() *simnet.Node { return c.udp.Node() }
+
 // NewClient binds an RPC client to a local address and port.
 func NewClient(t *udp.Transport, local eth.Addr, port uint16) (*Client, error) {
 	c := &Client{
@@ -340,7 +356,7 @@ func (c *Client) Call(dst eth.Addr, dstPort uint16, prog, vers, proc uint32, arg
 	e.Uint32(0) // verf AUTH_NONE
 	e.Uint32(0)
 
-	hb := netbuf.New(netbuf.DefaultHeadroom, callHeaderLen+len(args))
+	hb := poolBuf(c.udp.Node().TxPool, callHeaderLen+len(args))
 	if err := hb.Append(e.Bytes()); err != nil {
 		hb.Release()
 		if payload != nil {
@@ -357,9 +373,7 @@ func (c *Client) Call(dst eth.Addr, dstPort uint16, prog, vers, proc uint32, arg
 	}
 	out := netbuf.ChainOf(hb)
 	if payload != nil {
-		for _, b := range payload.Bufs() {
-			out.Append(b)
-		}
+		out.AppendChain(payload)
 	}
 	pc := &pendingCall{done: done, dst: dst, dstPort: dstPort}
 	if c.maxTries > 0 {
