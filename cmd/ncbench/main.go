@@ -12,10 +12,19 @@
 // all.
 //
 // -cpuprofile/-memprofile write pprof profiles of the run; -benchjson
-// records per-experiment wall-clock and allocation metrics:
+// records per-experiment wall-clock and allocation metrics; -benchgate
+// compares the run's allocation metrics against a committed -benchjson
+// baseline and exits non-zero if any shared experiment's alloc_bytes
+// regresses by more than 5% (the CI gate — baselines must be produced with
+// the same flags as the gated run):
 //
 //	ncbench -exp fig5b -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //	ncbench -exp all -benchjson BENCH_PR3.json
+//	ncbench -exp fig5b -window 50ms -benchgate BENCH_PR4.json
+//
+// -legacy-ingress disables registered-receive buffer adoption at NIC
+// delivery (the pre-registration ingress path, kept one release for
+// differential testing); simulated results are bit-identical either way.
 //
 // -fault injects a deterministic fault schedule (a preset name or the
 // fault.ParseSpec grammar) into the NFS experiments, replayable via
@@ -34,6 +43,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"ncache/internal/bench"
@@ -62,6 +72,8 @@ func run(args []string) error {
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile (after the run, post-GC) to this file")
 	benchJSON := fs.String("benchjson", "", "write per-experiment wall-clock and allocation metrics as JSON to this file")
+	benchGate := fs.String("benchgate", "", "compare this run's allocation metrics against a baseline -benchjson file; exit non-zero on an alloc_bytes regression above 5%")
+	legacyIngress := fs.Bool("legacy-ingress", false, "use the pre-registration NIC ingress path (no RX-ring buffer adoption); differential testing only, removed next release")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -94,13 +106,14 @@ func run(args []string) error {
 		}()
 	}
 	opt := bench.Options{
-		Warmup:      sim.Duration(*warmup),
-		Window:      sim.Duration(*window),
-		Concurrency: *concurrency,
-		Scale:       *scale,
-		Latency:     *latency,
-		FaultSpec:   *faultSpec,
-		FaultSeed:   *faultSeed,
+		Warmup:        sim.Duration(*warmup),
+		Window:        sim.Duration(*window),
+		Concurrency:   *concurrency,
+		Scale:         *scale,
+		Latency:       *latency,
+		FaultSpec:     *faultSpec,
+		FaultSeed:     *faultSeed,
+		LegacyIngress: *legacyIngress,
 	}
 	if *traceOut != "" {
 		opt.Chrome = trace.NewChromeTrace()
@@ -378,6 +391,11 @@ func run(args []string) error {
 	if !ran {
 		return fmt.Errorf("unknown experiment %q (want one of table1,table2,fig4,fig5a,fig5b,fig6a,fig6b,fig7,transport,futurework,overhead,ablations,fig-fault,fig-fault-sweep,all)", *exp)
 	}
+	if *benchGate != "" {
+		if err := gateAllocations(*benchGate, records); err != nil {
+			return err
+		}
+	}
 	if *benchJSON != "" {
 		rep := benchReport{Go: runtime.Version(), Command: "ncbench -exp " + *exp, Experiments: records}
 		data, err := json.MarshalIndent(rep, "", "  ")
@@ -419,6 +437,50 @@ type benchReport struct {
 	Go          string        `json:"go"`
 	Command     string        `json:"command"`
 	Experiments []benchRecord `json:"experiments"`
+}
+
+// gateAllocations enforces the allocation-regression gate: every experiment
+// this run shares with the baseline report must stay within 5% of the
+// baseline's alloc_bytes. Wall-clock is reported but never gated (too noisy
+// on shared CI runners); alloc_bytes is deterministic for the
+// single-threaded simulation.
+func gateAllocations(path string, records []benchRecord) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("benchgate: %w", err)
+	}
+	var base benchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("benchgate: %s: %w", path, err)
+	}
+	baseline := make(map[string]benchRecord, len(base.Experiments))
+	for _, e := range base.Experiments {
+		baseline[e.Name] = e
+	}
+	const tolerancePct = 5.0
+	var bad []string
+	checked := 0
+	for _, r := range records {
+		b, ok := baseline[r.Name]
+		if !ok || b.AllocBytes == 0 {
+			continue
+		}
+		checked++
+		deltaPct := (float64(r.AllocBytes)/float64(b.AllocBytes) - 1) * 100
+		fmt.Printf("benchgate: %-20s alloc_bytes %14d vs baseline %14d (%+.2f%%)\n",
+			r.Name, r.AllocBytes, b.AllocBytes, deltaPct)
+		if deltaPct > tolerancePct {
+			bad = append(bad, fmt.Sprintf("%s %+.2f%%", r.Name, deltaPct))
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("benchgate: no experiments in common with %s", path)
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("benchgate: alloc_bytes regressed more than %.0f%%: %s",
+			tolerancePct, strings.Join(bad, ", "))
+	}
+	return nil
 }
 
 // writeResult stores a rendered table under results/.

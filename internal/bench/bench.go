@@ -43,6 +43,12 @@ type Options struct {
 	// FaultSeed selects the replayable streams (zero means seed 1).
 	FaultSpec string
 	FaultSeed uint64
+	// LegacyIngress disables registered-receive buffer adoption at NIC
+	// delivery, keeping the pre-registration ingress path for differential
+	// testing. Simulated results must be bit-identical either way; only
+	// host-side allocation behaviour differs. Will be removed next release
+	// together with the legacy path.
+	LegacyIngress bool
 }
 
 // withDefaults fills unset options.
@@ -136,6 +142,9 @@ type clusterSpec struct {
 	// faultSpec/faultSeed wire a disarmed injector into the testbed.
 	faultSpec string
 	faultSeed uint64
+	// legacyIngress keeps the pre-registration NIC ingress path (no buffer
+	// adoption) for differential testing.
+	legacyIngress bool
 }
 
 // build creates, formats and starts the cluster; layout adds files.
@@ -152,6 +161,7 @@ func (cs clusterSpec) build(layout func(*extfs.Formatter) error) (*passthru.Clus
 		Cost:          cs.cost,
 		FaultSpec:     cs.faultSpec,
 		FaultSeed:     cs.faultSeed,
+		LegacyIngress: cs.legacyIngress,
 	})
 	if err != nil {
 		return nil, err

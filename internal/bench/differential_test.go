@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The registered-receive ingress path (RX-ring buffer adoption at NIC
+// delivery) must be a pure host-side memory optimization: at equal seeds and
+// flags, every simulated quantity — throughput, CPU, link utilization,
+// latency summaries, fault-recovery counters — must be bit-identical to the
+// legacy path that leaves arriving buffers in their sender's pools. These
+// differential tests hold the two paths against each other for one release,
+// until the legacy path is removed.
+
+// diffPoints fails the test if two point slices are not exactly equal.
+func diffPoints(t *testing.T, what string, registered, legacy interface{}) {
+	t.Helper()
+	if !reflect.DeepEqual(registered, legacy) {
+		t.Fatalf("%s: registered-RX ingress diverged from legacy ingress\nregistered: %+v\nlegacy:     %+v",
+			what, registered, legacy)
+	}
+}
+
+func TestLegacyIngressDifferentialFig5b(t *testing.T) {
+	opt := quickOpts()
+	registered, err := RunFig5b(opt)
+	if err != nil {
+		t.Fatalf("fig5b registered ingress: %v", err)
+	}
+	opt.LegacyIngress = true
+	legacy, err := RunFig5b(opt)
+	if err != nil {
+		t.Fatalf("fig5b legacy ingress: %v", err)
+	}
+	diffPoints(t, "fig5b", registered, legacy)
+}
+
+func TestLegacyIngressDifferentialFigFault(t *testing.T) {
+	opt := faultOpts(t, "") // RunFigFault installs its own scenario specs
+	registered, err := RunFigFault(opt)
+	if err != nil {
+		t.Fatalf("fig-fault registered ingress: %v", err)
+	}
+	opt.LegacyIngress = true
+	legacy, err := RunFigFault(opt)
+	if err != nil {
+		t.Fatalf("fig-fault legacy ingress: %v", err)
+	}
+	diffPoints(t, "fig-fault", registered, legacy)
+}

@@ -227,6 +227,7 @@ func (i *Initiator) Write(lba int64, data *netbuf.Chain, meta bool, done func(er
 	t := &task{lba: lba, blocks: blocks, meta: meta, write: true, onDone: done}
 	if i.retryMax > 0 {
 		t.payload = data.Clone()
+		t.payload.SetOwner("iscsi.retry")
 	}
 	itt := i.allocITT(nil)
 	i.pending[itt] = t

@@ -40,6 +40,13 @@ var (
 
 // Buf is a single network buffer: a backing array with a movable payload
 // window [head, tail).
+//
+// Ownership contract: a Buf is born with one reference, owned by whoever
+// allocated it. Passing a Buf down a call that "takes ownership" transfers
+// that reference; retaining a Buf beyond such a call requires Acquire (or
+// Clone for an independent window) and a matching Release. Releasing the
+// last reference recycles the descriptor immediately — holding a Buf after
+// its final Release is a use-after-free, not a harmless stale read.
 type Buf struct {
 	backing []byte
 	head    int
@@ -50,6 +57,15 @@ type Buf struct {
 	// (created by Clone). Shared descriptors must not move payload bytes
 	// in place, only adjust their own window.
 	shared *Buf
+	// owner tags the current long-term holder for leak reports ("ncache.lbn",
+	// "sunrpc.retransmit", ...). Defaults to the pool name at Get.
+	owner string
+	// freed marks a retired descriptor; Release checks it so double frees
+	// are caught even on descriptors with no pool to charge.
+	freed bool
+	// onRecycle, when set, fires exactly once as the refcount reaches zero,
+	// before the buffer returns to its pool — the RX-ring credit return.
+	onRecycle func(*Buf)
 }
 
 // New allocates a standalone Buf (not pool-managed) with the given payload
@@ -61,12 +77,12 @@ func New(headroom, capacity int) *Buf {
 	if capacity < 0 {
 		capacity = 0
 	}
-	return &Buf{
-		backing: make([]byte, headroom+capacity),
-		head:    headroom,
-		tail:    headroom,
-		refs:    1,
-	}
+	b := getDesc()
+	b.backing = make([]byte, headroom+capacity)
+	b.head = headroom
+	b.tail = headroom
+	b.refs = 1
+	return b
 }
 
 // FromBytes allocates a standalone Buf whose payload is a copy of p, with
@@ -157,27 +173,87 @@ func (b *Buf) Retain() *Buf {
 	return b
 }
 
-// Release decrements the reference count. When the count reaches zero the
-// buffer returns to its pool (if any). Releasing an already-freed buffer is
-// recorded on the pool as a double-free rather than panicking; tests assert
-// the counter stays zero.
+// Acquire takes an additional explicit ownership reference: the caller
+// intends to retain b past the current call and promises a matching Release.
+// It is Retain under the ownership-contract name; owner (if non-empty) tags
+// the retention for leak reports.
+func (b *Buf) Acquire(owner string) *Buf {
+	if owner != "" {
+		b.SetOwner(owner)
+	}
+	return b.Retain()
+}
+
+// SetOwner tags the buffer's long-term holder for leak reports. For clone
+// descriptors the tag lands on the root, whose pool tracks the pinned
+// memory.
+func (b *Buf) SetOwner(owner string) {
+	if b.shared != nil {
+		b.shared.owner = owner
+		return
+	}
+	b.owner = owner
+}
+
+// Owner returns the current owner tag.
+func (b *Buf) Owner() string {
+	if b.shared != nil {
+		return b.shared.owner
+	}
+	return b.owner
+}
+
+// Pool returns the pool that accounts for this buffer (nil for standalone
+// buffers and clone descriptors).
+func (b *Buf) Pool() *Pool { return b.pool }
+
+// OnRecycle installs a hook invoked exactly once, then cleared, as the
+// buffer's refcount reaches zero (before it returns to its pool). The RX
+// ring uses it to reclaim descriptor credits. Replaces any previous hook;
+// use TakeRecycleHook first when the old hook must still fire.
+func (b *Buf) OnRecycle(fn func(*Buf)) { b.onRecycle = fn }
+
+// TakeRecycleHook removes and returns the pending recycle hook, if any.
+func (b *Buf) TakeRecycleHook() func(*Buf) {
+	f := b.onRecycle
+	b.onRecycle = nil
+	return f
+}
+
+// Shared reports whether b is a clone descriptor aliasing another buffer's
+// backing array.
+func (b *Buf) Shared() bool { return b.shared != nil }
+
+// Release drops one ownership reference. When the count reaches zero the
+// buffer returns to its pool (or its descriptor to the recycle list) — from
+// that point the caller must not touch it. Releasing an already-free buffer
+// panics in debug mode and is otherwise recorded as a double free; tests
+// assert the counters stay zero.
 func (b *Buf) Release() {
-	if b.refs <= 0 {
-		if b.pool != nil {
-			b.pool.doubleFrees++
-		}
+	if b.freed || b.refs <= 0 {
+		recordDoubleFree(b)
 		return
 	}
 	b.refs--
 	if b.shared != nil {
-		b.shared.Release()
-		if b.refs == 0 {
-			b.backing = nil
+		root := b.shared
+		done := b.refs == 0
+		root.Release()
+		if done {
+			putDesc(b)
 		}
 		return
 	}
-	if b.refs == 0 && b.pool != nil {
-		b.pool.put(b)
+	if b.refs == 0 {
+		if f := b.onRecycle; f != nil {
+			b.onRecycle = nil
+			f(b)
+		}
+		if b.pool != nil {
+			b.pool.put(b)
+			return
+		}
+		putDesc(b)
 	}
 }
 
@@ -185,20 +261,22 @@ func (b *Buf) Release() {
 // independent payload window — the zero-copy primitive. The clone holds a
 // reference on b; payload bytes are never duplicated. This is what "sending
 // a cached block" does: the cached chain stays in NCache while clones of its
-// descriptors go down to the driver.
+// descriptors go down to the driver. Aliasing via Clone (and the SubChain /
+// Slice helpers built on it) is the only sanctioned way to retain a window
+// onto data someone else owns.
 func (b *Buf) Clone() *Buf {
 	root := b
 	if b.shared != nil {
 		root = b.shared
 	}
 	root.refs++
-	return &Buf{
-		backing: b.backing,
-		head:    b.head,
-		tail:    b.tail,
-		refs:    1,
-		shared:  root,
-	}
+	cl := getDesc()
+	cl.backing = b.backing
+	cl.head = b.head
+	cl.tail = b.tail
+	cl.refs = 1
+	cl.shared = root
+	return cl
 }
 
 // Copy returns a deep copy of the payload in a fresh standalone buffer with

@@ -182,6 +182,16 @@ func TestPoolDoubleFreeDetected(t *testing.T) {
 		t.Fatalf("Get: %v", err)
 	}
 	b.Release()
+	if DebugEnabled() {
+		// Debug mode promotes the counter to a panic naming the owner.
+		defer func() {
+			if recover() == nil {
+				t.Fatal("double free did not panic in debug mode")
+			}
+		}()
+		b.Release()
+		return
+	}
 	b.Release()
 	if p.DoubleFrees() != 1 {
 		t.Fatalf("DoubleFrees = %d, want 1", p.DoubleFrees())

@@ -12,6 +12,9 @@ type Chain struct {
 	// checksum inheritance. Any mutation of the chain clears it.
 	ck      Partial
 	ckValid bool
+	// freed marks a released chain: the struct has been recycled (or, in
+	// debug mode, poisoned) and must not be touched again.
+	freed bool
 }
 
 // SetPartial records a precomputed checksum partial for the chain's current
@@ -29,14 +32,16 @@ func (c *Chain) CachedPartial() (Partial, bool) {
 // invalidatePartial drops the cached checksum on mutation.
 func (c *Chain) invalidatePartial() { c.ckValid = false }
 
-// NewChain returns an empty chain.
-func NewChain() *Chain { return &Chain{} }
+// NewChain returns an empty chain. Chains are recycled through Release;
+// callers own the returned chain until they hand it to an API documented to
+// take ownership.
+func NewChain() *Chain { return getChain() }
 
 // ChainOf builds a chain from the given buffers. The chain takes ownership
 // of the callers' references.
 func ChainOf(bufs ...*Buf) *Chain {
-	c := &Chain{bufs: make([]*Buf, len(bufs))}
-	copy(c.bufs, bufs)
+	c := getChain()
+	c.bufs = append(c.bufs, bufs...)
 	return c
 }
 
@@ -107,20 +112,37 @@ func (c *Chain) Flatten() []byte {
 // Clone returns a new chain whose buffers are zero-copy clones of c's — the
 // logical-copy transmit path. No payload bytes move.
 func (c *Chain) Clone() *Chain {
-	nc := &Chain{bufs: make([]*Buf, len(c.bufs))}
-	for i, b := range c.bufs {
-		nc.bufs[i] = b.Clone()
+	nc := getChain()
+	for _, b := range c.bufs {
+		nc.bufs = append(nc.bufs, b.Clone())
 	}
 	return nc
 }
 
-// Release drops one reference on every buffer and empties the chain.
-func (c *Chain) Release() {
-	c.invalidatePartial()
+// SetOwner tags every buffer in the chain with a long-term holder for leak
+// reports (clone tags land on the roots, where the pinned memory is).
+func (c *Chain) SetOwner(owner string) {
 	for _, b := range c.bufs {
+		b.SetOwner(owner)
+	}
+}
+
+// Release drops one reference on every buffer and retires the chain: the
+// struct is recycled for the next NewChain, so the caller must not touch c
+// afterwards. Releasing a chain twice panics in debug mode and is otherwise
+// recorded as a double free.
+func (c *Chain) Release() {
+	if c.freed {
+		recordChainDoubleFree(c)
+		return
+	}
+	c.invalidatePartial()
+	for i, b := range c.bufs {
 		b.Release()
+		c.bufs[i] = nil
 	}
 	c.bufs = c.bufs[:0]
+	putChain(c)
 }
 
 // Slice returns a new chain aliasing the byte range [off, off+n) of c using

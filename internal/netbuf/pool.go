@@ -19,6 +19,11 @@ type Pool struct {
 	reuses      uint64
 	doubleFrees uint64
 	peak        int
+	adopted     uint64
+	lent        uint64
+	// live tracks every outstanding buffer in debug mode so leaks can be
+	// attributed to their owner tags.
+	live map[*Buf]struct{}
 }
 
 // NewPool returns a pool that dispenses buffers with the given headroom and
@@ -61,17 +66,39 @@ func (p *Pool) Get() (*Buf, error) {
 		b.head = p.headroom
 		b.tail = p.headroom
 		b.refs = 1
+		b.owner = p.name
 		// Zero the whole backing array: a recycled buffer must never
 		// expose its previous owner's bytes (requests are isolated), and
 		// a pooled buffer then looks exactly like a fresh allocation.
 		clear(b.backing)
 		p.reuses++
+		p.track(b)
 		return b, nil
 	}
 	p.allocs++
 	b := New(p.headroom, p.bufSize)
 	b.pool = p
+	b.owner = p.name
+	p.track(b)
 	return b, nil
+}
+
+// track records an outstanding buffer for debug-mode leak attribution.
+func (p *Pool) track(b *Buf) {
+	if !debugMode {
+		return
+	}
+	if p.live == nil {
+		p.live = make(map[*Buf]struct{})
+	}
+	p.live[b] = struct{}{}
+}
+
+// untrack forgets a buffer that returned to the free list or left the pool.
+func (p *Pool) untrack(b *Buf) {
+	if p.live != nil {
+		delete(p.live, b)
+	}
 }
 
 // GetData returns a buffer pre-filled with a copy of payload. payload must
@@ -146,7 +173,88 @@ func (p *Pool) GetZeroChain(n int) (*Chain, error) {
 // put returns a buffer to the free list. Called from Buf.Release.
 func (p *Pool) put(b *Buf) {
 	p.outstanding--
+	p.untrack(b)
 	p.free = append(p.free, b)
+}
+
+// Adopt re-homes an unshared pool-owned buffer into p: the buffer's
+// outstanding accounting moves from its current pool to p without touching
+// payload bytes. This is the simulated receive DMA — the frame a sender
+// clocked onto the wire materializes in the receiver's registered buffer,
+// which in the shared-memory simulation is the same physical buffer under
+// new ownership. Adoption requires matching geometry (the registered buffer
+// the frame "landed in" has the adopting pool's shape) and an unshared
+// descriptor (a clone's backing belongs to whoever holds the root — cached
+// data transmitted by reference stays pinned at the cache). It returns false,
+// changing nothing, when the buffer is not adoptable.
+func (p *Pool) Adopt(b *Buf) bool {
+	src := b.pool
+	if src == nil || src == p || b.shared != nil || b.refs <= 0 || b.freed {
+		return false
+	}
+	if len(b.backing) != p.headroom+p.bufSize {
+		return false
+	}
+	src.outstanding--
+	src.untrack(b)
+	p.outstanding++
+	if p.outstanding > p.peak {
+		p.peak = p.outstanding
+	}
+	p.adopted++
+	b.pool = p
+	b.owner = p.name
+	p.track(b)
+	return true
+}
+
+// Lend moves one free same-geometry buffer from p into dst's free list,
+// allocating a fresh one when p has none spare — the replacement half of a
+// registered-receive exchange: the receiver that adopted a sender's buffer
+// immediately reposts an empty one in its place, so both pools keep
+// circulating buffers instead of the sender allocating anew. No-op when the
+// geometries differ.
+func (p *Pool) Lend(dst *Pool) {
+	if dst == nil || dst == p || p.headroom != dst.headroom || p.bufSize != dst.bufSize {
+		return
+	}
+	var b *Buf
+	if n := len(p.free); n > 0 {
+		b = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+	} else {
+		p.allocs++
+		b = New(p.headroom, p.bufSize)
+		b.refs = 0
+	}
+	b.pool = dst
+	p.lent++
+	dst.free = append(dst.free, b)
+}
+
+// LeakReport lists the owner tags of outstanding buffers (debug mode only;
+// returns nil otherwise). Tags repeat once per leaked buffer.
+func (p *Pool) LeakReport() []string {
+	if p.live == nil {
+		return nil
+	}
+	var out []string
+	for b := range p.live {
+		out = append(out, b.owner)
+	}
+	return out
+}
+
+// MustBeDrained panics when buffers are still outstanding, naming their
+// owners in debug mode — the leak analogue of the debug-mode double-free
+// panic. Tests call it at quiesce points.
+func (p *Pool) MustBeDrained() {
+	if p.outstanding == 0 {
+		return
+	}
+	panic(fmt.Sprintf("netbuf: pool %q leaked %d buffers (owners %v)",
+		p.name, p.outstanding, p.LeakReport()))
 }
 
 // Outstanding returns the number of buffers currently held by callers.
@@ -168,6 +276,14 @@ func (p *Pool) Reuses() uint64 { return p.reuses }
 // DoubleFrees returns the number of Release calls on already-free buffers.
 // Tests assert this stays zero.
 func (p *Pool) DoubleFrees() uint64 { return p.doubleFrees }
+
+// Adopted returns the number of buffers re-homed into this pool by Adopt
+// (the registered-receive DMA count).
+func (p *Pool) Adopted() uint64 { return p.adopted }
+
+// Lent returns the number of replacement buffers this pool donated to
+// senders via Lend.
+func (p *Pool) Lent() uint64 { return p.lent }
 
 // Name returns the pool's diagnostic name.
 func (p *Pool) Name() string { return p.name }

@@ -229,6 +229,11 @@ type ClusterConfig struct {
 	// random streams (zero means seed 1).
 	FaultSpec string
 	FaultSeed uint64
+	// LegacyIngress reverts frame delivery to the pre-registered-receive
+	// by-reference path (no RX-ring buffer adoption). Differential tests
+	// compare it against the default registered path; it will be removed
+	// next release.
+	LegacyIngress bool
 }
 
 // Fault-recovery calibration used when a fault spec is present: NFS clients
@@ -264,6 +269,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	eng := sim.NewEngine()
 	nw := simnet.NewNetwork(eng, 5*sim.Microsecond)
+	nw.SetLegacyIngress(cfg.LegacyIngress)
 
 	scfg := DefaultStorageConfig(StorageAddr, cfg.BlocksPerDisk)
 	scfg.Cost = cfg.Cost

@@ -9,55 +9,99 @@ import (
 )
 
 // TestPoolsDrainAfterWorkload is the leak check for the pooled zero-copy
-// data path: after a mixed read/write workload drains, every node's
-// transmit and block pools must have zero buffers outstanding (whatever the
-// hot path borrowed, it gave back) and no pool may have seen a
-// double-release. The RxPool is exempt from the drain check under NCache,
-// where cached payloads deliberately pin receive buffers (§4.1).
+// data path: after a mixed read/write workload drains, every node's pools —
+// receive, transmit and block — must have zero buffers outstanding
+// (whatever the hot path borrowed, it gave back), every NIC's registered RX
+// ring must have all its credits reposted, and no pool may have seen a
+// double-release. Under NCache the cache deliberately pins receive buffers
+// (§4.1) — with the registered-receive path these are the app server's own
+// RxPool buffers, adopted at delivery — so the check drops the clean entries
+// first; anything still outstanding after that is a true leak.
 func TestPoolsDrainAfterWorkload(t *testing.T) {
-	for _, mode := range []Mode{Original, NCache, Baseline} {
-		t.Run(mode.String(), func(t *testing.T) {
-			cl, _ := testCluster(t, mode, false)
-			fh := lookupFile(t, cl, "data.bin")
-			for i := 0; i < 6; i++ {
-				readFile(t, cl, fh, uint64(i)*20000, 20000)
-			}
-			if mode == Original {
-				// Writes mutate the disk image; exercise them where the
-				// payload is real data end to end.
-				writeFile(t, cl, fh, 8192, bytes.Repeat([]byte{0xAB}, 12288))
-				readFile(t, cl, fh, 8192, 12288)
-			}
-			if cl.App.Module != nil {
-				// The cache deliberately pins the wire buffers it captured
-				// (frames cross the simulated fabric by reference, so those
-				// are the sender's pool buffers). Drop the clean entries so
-				// anything still outstanding is a true leak.
-				if n := cl.App.Module.DropClean(); n == 0 {
-					t.Fatal("ncache cached nothing during the workload")
-				}
-			}
-			nodes := []*simnet.Node{cl.App.Node, cl.Storage.Node}
-			for _, h := range cl.Clients {
-				nodes = append(nodes, h.Node)
-			}
-			for _, n := range nodes {
-				checkPoolDrained(t, n.TxPool)
-				checkPoolDrained(t, n.BlkPool)
-				if n.RxPool.DoubleFrees() != 0 {
-					t.Errorf("%s: RxPool double frees = %d", n.Name, n.RxPool.DoubleFrees())
-				}
+	for _, legacy := range []bool{false, true} {
+		name := "registered"
+		if legacy {
+			name = "legacy"
+		}
+		t.Run(name, func(t *testing.T) {
+			for _, mode := range []Mode{Original, NCache, Baseline} {
+				t.Run(mode.String(), func(t *testing.T) {
+					testPoolsDrain(t, mode, legacy)
+				})
 			}
 		})
+	}
+}
+
+func testPoolsDrain(t *testing.T, mode Mode, legacy bool) {
+	cl, _ := testClusterIngress(t, mode, false, legacy)
+	fh := lookupFile(t, cl, "data.bin")
+	for i := 0; i < 6; i++ {
+		readFile(t, cl, fh, uint64(i)*20000, 20000)
+	}
+	if mode == Original {
+		// Writes mutate the disk image; exercise them where the
+		// payload is real data end to end.
+		writeFile(t, cl, fh, 8192, bytes.Repeat([]byte{0xAB}, 12288))
+		readFile(t, cl, fh, 8192, 12288)
+	}
+	if cl.App.Module != nil {
+		// Captured chains pin their buffers until eviction; drop the
+		// clean entries so anything still outstanding is a true leak.
+		if n := cl.App.Module.DropClean(); n == 0 {
+			t.Fatal("ncache cached nothing during the workload")
+		}
+	}
+	nodes := []*simnet.Node{cl.App.Node, cl.Storage.Node}
+	for _, h := range cl.Clients {
+		nodes = append(nodes, h.Node)
+	}
+	adoptions := uint64(0)
+	for _, n := range nodes {
+		if legacy && mode == NCache && n.Name == "app" {
+			// Legacy by-reference ingress: the cache pins whichever
+			// sender pool the frames came from, so only the double-free
+			// counters are checkable on the app server.
+			checkNoDoubleFrees(t, n.RxPool)
+			checkNoDoubleFrees(t, n.TxPool)
+			checkNoDoubleFrees(t, n.BlkPool)
+			continue
+		}
+		checkPoolDrained(t, n.RxPool)
+		checkPoolDrained(t, n.TxPool)
+		checkPoolDrained(t, n.BlkPool)
+		for _, nic := range n.NICs() {
+			ring := nic.Ring()
+			if got := ring.Outstanding(); got != 0 {
+				t.Errorf("%s %s: RX ring %d credits outstanding (adopted %d frames/%d bufs)",
+					n.Name, nic.Addr, got, ring.FramesAdopted, ring.BufsAdopted)
+			}
+			adoptions += ring.BufsAdopted
+		}
+	}
+	if legacy {
+		if adoptions != 0 {
+			t.Errorf("legacy ingress adopted %d buffers, want 0", adoptions)
+		}
+	} else if adoptions == 0 {
+		t.Error("registered ingress adopted no buffers over a full workload")
+	}
+	if df := netbuf.GlobalDoubleFrees(); df != 0 {
+		t.Errorf("global (unpooled) double frees = %d", df)
 	}
 }
 
 func checkPoolDrained(t *testing.T, p *netbuf.Pool) {
 	t.Helper()
 	if got := p.Outstanding(); got != 0 {
-		t.Errorf("pool %s leaked %d buffers (peak %d, allocs %d, reuses %d)",
-			p.Name(), got, p.Peak(), p.Allocs(), p.Reuses())
+		t.Errorf("pool %s leaked %d buffers (peak %d, allocs %d, reuses %d, adopted %d, owners %v)",
+			p.Name(), got, p.Peak(), p.Allocs(), p.Reuses(), p.Adopted(), p.LeakReport())
 	}
+	checkNoDoubleFrees(t, p)
+}
+
+func checkNoDoubleFrees(t *testing.T, p *netbuf.Pool) {
+	t.Helper()
 	if df := p.DoubleFrees(); df != 0 {
 		t.Errorf("pool %s double frees = %d", p.Name(), df)
 	}

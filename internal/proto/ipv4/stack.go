@@ -10,7 +10,9 @@ import (
 
 // Handler consumes a reassembled datagram for one transport protocol. The
 // payload chain's buffers are the original wire buffers (zero-copy
-// reassembly); the handler owns their references.
+// reassembly) — registered-receive buffers this node adopted at NIC
+// delivery. Ownership contract: the stack transfers the references to the
+// handler, which must Release or forward them exactly once.
 type Handler func(h Header, payload *netbuf.Chain)
 
 // Stack is a node's network layer: it owns the receive path of every NIC on

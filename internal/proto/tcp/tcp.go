@@ -170,7 +170,9 @@ func (c *Conn) RemotePort() uint16 { return c.key.remotePort }
 func (c *Conn) LocalPort() uint16 { return c.key.localPort }
 
 // SetReceiver installs the in-order stream consumer. Data chains passed to
-// the receiver are the original wire buffers; the receiver owns them.
+// the receiver are the original wire buffers (adopted into this node's
+// pools by the registered-receive path). Ownership contract: the receiver
+// must Release each chain, or pass it on, exactly once.
 func (c *Conn) SetReceiver(f func(*netbuf.Chain)) { c.receiver = f }
 
 // SetOnClose installs a callback invoked when the peer closes.

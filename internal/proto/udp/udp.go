@@ -31,8 +31,11 @@ type Datagram struct {
 	Dst     eth.Addr // the local address the datagram arrived on
 	SrcPort uint16
 	DstPort uint16
-	// Payload holds the original wire buffers; the receiver owns the
-	// references.
+	// Payload holds the original wire buffers — on the registered-receive
+	// path, buffers the NIC's RX ring adopted into this node's pools at
+	// delivery. Ownership contract: the receiver owns the references and
+	// must Release the chain (or pass it to an owner-taking API) exactly
+	// once; long-term retention goes through SubChain/Clone aliasing.
 	Payload *netbuf.Chain
 }
 

@@ -23,7 +23,20 @@ type Network struct {
 	// faultDropped counts frames the injector discarded at switch
 	// downlinks (transmit-side drops land on the NIC's own stats).
 	faultDropped uint64
+	// legacyIngress disables the registered-receive ownership transfer at
+	// delivery, reverting to PR 3's by-reference frames (receivers retain
+	// sender-pool buffers). Kept for one release as the differential-test
+	// reference; simulated results are bit-identical either way.
+	legacyIngress bool
 }
+
+// SetLegacyIngress selects the pre-registered-receive delivery path, where
+// frames keep their sender's buffer ownership. Differential tests run both
+// paths and compare results; default is the registered path.
+func (nw *Network) SetLegacyIngress(on bool) { nw.legacyIngress = on }
+
+// LegacyIngress reports whether the legacy by-reference delivery is active.
+func (nw *Network) LegacyIngress() bool { return nw.legacyIngress }
 
 // port is the switch side of one attachment: a downlink serializer toward
 // the NIC.
@@ -59,6 +72,7 @@ func (nw *Network) Attach(node *Node, addr eth.Addr, bw Bandwidth) (*NIC, error)
 		bw:              bw,
 		latency:         nw.latency,
 	}
+	nic.ring = newRxRing(nic, DefaultRxRingSize)
 	nw.ports[addr] = &port{
 		nic:  nic,
 		down: sim.NewResource(nw.eng, fmt.Sprintf("sw.%s.down", addr)),

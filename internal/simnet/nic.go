@@ -58,10 +58,14 @@ type NIC struct {
 	net     *Network
 	tx      *sim.Resource
 	rx      RxHandler
+	ring    *RxRing
 	filters []TxFilter
 	bw      Bandwidth
 	latency sim.Duration
 }
+
+// Ring returns the NIC's registered receive ring.
+func (n *NIC) Ring() *RxRing { return n.ring }
 
 // SetRxHandler installs the function invoked for each delivered frame.
 func (n *NIC) SetRxHandler(h RxHandler) { n.rx = h }
@@ -120,11 +124,19 @@ func (n *NIC) Send(frame *netbuf.Chain) error {
 // deliver hands a frame arriving from the fabric to the receive handler.
 // Corrupt frames paid for their wire time but fail checksum verification
 // here, so they are counted and discarded without reaching the stack.
+// On the registered-receive path (the default) the frame's buffers are first
+// adopted into this node's pools — the simulated DMA into the RX ring — so
+// everything upstack, including NCache capture, retains buffers this node
+// owns. The legacy by-reference path skips adoption and is kept one release
+// behind a flag for differential testing.
 func (n *NIC) deliver(frame *netbuf.Chain, corrupt bool) {
 	if corrupt {
 		n.Stats.FaultCorruptRx++
 		frame.Release()
 		return
+	}
+	if !n.net.legacyIngress {
+		n.ring.adopt(frame)
 	}
 	n.Stats.PacketsRx++
 	n.Stats.BytesRx += uint64(frame.Len())

@@ -19,13 +19,19 @@ type Node struct {
 	CPU  *sim.Resource
 	// Cost calibrates this node's per-operation CPU charges.
 	Cost CostProfile
-	// RxPool is the driver receive-buffer pool; what NCache pins comes
-	// from here (bounding the memory left for the FS buffer cache).
+	// RxPool is the driver receive-buffer pool backing the NICs' registered
+	// RX rings: arriving MTU-sized payload buffers are adopted into it at
+	// delivery (the simulated DMA), so what NCache pins comes from here —
+	// this node's own receive memory, bounding what is left for the FS
+	// buffer cache (§4.1).
 	RxPool *netbuf.Pool
 	// TxPool recycles MTU-sized transmit buffers: protocol header buffers
 	// and wire-segment copies draw from here so the steady-state transmit
-	// path allocates nothing. It is unbounded and outside the RxPool's
-	// pinned-memory accounting (a driver tx ring, not cache memory).
+	// path allocates nothing. Buffers that leave on the wire are adopted by
+	// the receiver's ring, which lends an empty replacement straight back,
+	// keeping the pool circulating. It is unbounded and outside the
+	// RxPool's pinned-memory accounting (a driver tx ring, not cache
+	// memory).
 	TxPool *netbuf.Pool
 	// BlkPool recycles file-system-block-sized buffers (stamped junk
 	// blocks, flush payloads). Like TxPool it is transient driver memory.

@@ -65,8 +65,12 @@ type Call struct {
 	Src     eth.Addr
 	SrcPort uint16
 	Dst     eth.Addr
-	// Body holds the argument bytes in the original wire buffers. The
-	// handler owns the references.
+	// Body holds the argument bytes in the original wire buffers — on the
+	// registered-receive path, buffers this node's RX ring adopted at
+	// delivery. Ownership contract: the handler owns the references and
+	// must either Release the chain or hand it to an API documented to
+	// take ownership; retaining payload past the call (NCache capture)
+	// requires aliasing via Slice/SubChain or Acquire.
 	Body *netbuf.Chain
 
 	// send transmits a composed reply on the call's transport (datagram
@@ -377,7 +381,11 @@ func (c *Client) Call(dst eth.Addr, dstPort uint16, prog, vers, proc uint32, arg
 	}
 	pc := &pendingCall{done: done, dst: dst, dstPort: dstPort}
 	if c.maxTries > 0 {
+		// The retained wire image aliases the outgoing buffers via clone
+		// descriptors; the roots stay pinned (and accounted to whoever
+		// owns them) until the call completes and release() drops them.
 		pc.wire = out.Clone()
+		pc.wire.SetOwner("sunrpc.retransmit")
 		pc.rto = c.rto
 		pc.tries = 1
 	}
