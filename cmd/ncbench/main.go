@@ -22,16 +22,13 @@
 //	ncbench -exp all -benchjson BENCH_PR3.json
 //	ncbench -exp fig5b -window 50ms -benchgate BENCH_PR4.json
 //
-// -legacy-ingress disables registered-receive buffer adoption at NIC
-// delivery (the pre-registration ingress path, kept one release for
-// differential testing); simulated results are bit-identical either way.
-//
 // -fault injects a deterministic fault schedule (a preset name or the
 // fault.ParseSpec grammar) into the NFS experiments, replayable via
 // -faultseed:
 //
 //	ncbench -exp fig4 -fault frame-loss
 //	ncbench -exp fig5b -fault 'slowdisk:disk0:rate=0.5:delay=5ms' -faultseed 7
+//	ncbench -exp transport -fault frame-loss  # loss recovery over UDP vs TCP
 //	ncbench -exp fig-fault            # the Original-vs-NCache degradation table
 package main
 
@@ -73,7 +70,6 @@ func run(args []string) error {
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile (after the run, post-GC) to this file")
 	benchJSON := fs.String("benchjson", "", "write per-experiment wall-clock and allocation metrics as JSON to this file")
 	benchGate := fs.String("benchgate", "", "compare this run's allocation metrics against a baseline -benchjson file; exit non-zero on an alloc_bytes regression above 5%")
-	legacyIngress := fs.Bool("legacy-ingress", false, "use the pre-registration NIC ingress path (no RX-ring buffer adoption); differential testing only, removed next release")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -106,14 +102,13 @@ func run(args []string) error {
 		}()
 	}
 	opt := bench.Options{
-		Warmup:        sim.Duration(*warmup),
-		Window:        sim.Duration(*window),
-		Concurrency:   *concurrency,
-		Scale:         *scale,
-		Latency:       *latency,
-		FaultSpec:     *faultSpec,
-		FaultSeed:     *faultSeed,
-		LegacyIngress: *legacyIngress,
+		Warmup:      sim.Duration(*warmup),
+		Window:      sim.Duration(*window),
+		Concurrency: *concurrency,
+		Scale:       *scale,
+		Latency:     *latency,
+		FaultSpec:   *faultSpec,
+		FaultSeed:   *faultSeed,
 	}
 	if *traceOut != "" {
 		opt.Chrome = trace.NewChromeTrace()

@@ -43,12 +43,6 @@ type Options struct {
 	// FaultSeed selects the replayable streams (zero means seed 1).
 	FaultSpec string
 	FaultSeed uint64
-	// LegacyIngress disables registered-receive buffer adoption at NIC
-	// delivery, keeping the pre-registration ingress path for differential
-	// testing. Simulated results must be bit-identical either way; only
-	// host-side allocation behaviour differs. Will be removed next release
-	// together with the legacy path.
-	LegacyIngress bool
 }
 
 // withDefaults fills unset options.
@@ -90,7 +84,13 @@ type NFSPoint struct {
 	RPCTimeouts  uint64
 	DupReplies   uint64
 	ISCSIRetries uint64
-	FaultReport  []fault.ScheduleReport
+	// TCP loss recovery across all nodes (iSCSI always rides TCP; NFS does
+	// when the run dials stream clients): segment retransmissions, RTO
+	// firings and fast retransmits.
+	TCPRetransmits uint64
+	TCPRTOs        uint64
+	TCPFastRtx     uint64
+	FaultReport    []fault.ScheduleReport
 }
 
 // WebPoint is one measured point of a kHTTPd experiment.
@@ -142,9 +142,6 @@ type clusterSpec struct {
 	// faultSpec/faultSeed wire a disarmed injector into the testbed.
 	faultSpec string
 	faultSeed uint64
-	// legacyIngress keeps the pre-registration NIC ingress path (no buffer
-	// adoption) for differential testing.
-	legacyIngress bool
 }
 
 // build creates, formats and starts the cluster; layout adds files.
@@ -161,7 +158,6 @@ func (cs clusterSpec) build(layout func(*extfs.Formatter) error) (*passthru.Clus
 		Cost:          cs.cost,
 		FaultSpec:     cs.faultSpec,
 		FaultSeed:     cs.faultSeed,
-		LegacyIngress: cs.legacyIngress,
 	})
 	if err != nil {
 		return nil, err
@@ -305,6 +301,7 @@ func runNFSLoad(cl *passthru.Cluster, load workload.Load, opt Options, reqKB int
 	p.Lat = tr.Summary()
 	if cl.Faults != nil {
 		p.Retransmits, p.RPCTimeouts, p.DupReplies, p.ISCSIRetries = cl.FaultCounters()
+		p.TCPRetransmits, p.TCPRTOs, p.TCPFastRtx, _, _ = cl.TCPCounters()
 		p.FaultReport = cl.Faults.Report()
 	}
 	opt.Chrome.Add(tr)

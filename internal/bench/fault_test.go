@@ -199,3 +199,42 @@ func TestFaultReportRendering(t *testing.T) {
 		}
 	}
 }
+
+// TestFaultTransportLossRecovery is the tentpole acceptance at bench scale:
+// the transport comparison under the frame-loss preset completes with zero
+// escaped request errors over BOTH transports — UDP absorbing loss through
+// datagram-RPC retransmission, TCP through RTO/fast-retransmit — with each
+// transport's recovery machinery demonstrably exercised, and the whole
+// faulted comparison replaying bit-for-bit at the same seed.
+func TestFaultTransportLossRecovery(t *testing.T) {
+	opt := faultOpts(t, "frame-loss")
+	opt.Latency = false
+	first, err := RunTransportComparison(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tcpRtx, rpcRtx uint64
+	for _, p := range first {
+		if p.Errors != 0 {
+			t.Errorf("%s/%s: %d request errors escaped loss recovery",
+				p.Mode, p.Transport, p.Errors)
+		}
+		switch p.Transport {
+		case "tcp":
+			tcpRtx += p.TCPRetransmits
+		case "udp":
+			rpcRtx += p.RPCRetransmits
+		}
+	}
+	if tcpRtx == 0 {
+		t.Error("frame loss on client links provoked no TCP retransmissions")
+	}
+	if rpcRtx == 0 {
+		t.Error("frame loss on client links provoked no RPC retransmissions")
+	}
+	second, err := RunTransportComparison(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffPoints(t, "transport under frame-loss", first, second)
+}

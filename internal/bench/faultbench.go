@@ -116,7 +116,6 @@ func runFaultPoint(opt Options, mode passthru.Mode) (NFSPoint, error) {
 		ncacheBytes:   64 << 20,
 		faultSpec:     opt.FaultSpec,
 		faultSeed:     opt.FaultSeed,
-		legacyIngress: opt.LegacyIngress,
 	}
 	var spec extfs.FileSpec
 	cl, err := cs.build(func(f *extfs.Formatter) error {

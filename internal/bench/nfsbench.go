@@ -44,7 +44,6 @@ func runFig4Point(opt Options, mode passthru.Mode, reqKB int, fileBlocks int64) 
 		ncacheBytes:   64 << 20, // misses don't reuse it; keep memory low
 		faultSpec:     opt.FaultSpec,
 		faultSeed:     opt.FaultSeed,
-		legacyIngress: opt.LegacyIngress,
 	}
 	var spec extfs.FileSpec
 	cl, err := cs.build(func(f *extfs.Formatter) error {
@@ -114,7 +113,6 @@ func runFig5Point(opt Options, mode passthru.Mode, reqKB, nics int) (NFSPoint, e
 		ncacheBytes:   64 << 20,
 		faultSpec:     opt.FaultSpec,
 		faultSeed:     opt.FaultSeed,
-		legacyIngress: opt.LegacyIngress,
 	}
 	cl, err := cs.build(func(f *extfs.Formatter) error {
 		_, err := f.AddFile("hotfile", hotBytes, nil)

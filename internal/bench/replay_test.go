@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The registered-receive ingress path is the only ingress path; what the
+// removed legacy-differential tests used to check is now expressed directly
+// as seed replay: rebuilding and rerunning an experiment at identical
+// options must reproduce every simulated quantity bit-for-bit — throughput,
+// CPU, link utilization, latency summaries, fault-recovery and TCP
+// loss-recovery counters. Any hidden host-side state (map iteration, pool
+// reuse order, RX-ring adoption) that leaked into simulated results would
+// diverge here.
+
+// diffPoints fails the test if two point slices are not exactly equal.
+func diffPoints(t *testing.T, what string, first, second interface{}) {
+	t.Helper()
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("%s: rerun diverged from first run at equal options\nfirst:  %+v\nsecond: %+v",
+			what, first, second)
+	}
+}
+
+func TestSeedReplayFig5b(t *testing.T) {
+	opt := quickOpts()
+	first, err := RunFig5b(opt)
+	if err != nil {
+		t.Fatalf("fig5b first run: %v", err)
+	}
+	second, err := RunFig5b(opt)
+	if err != nil {
+		t.Fatalf("fig5b second run: %v", err)
+	}
+	diffPoints(t, "fig5b", first, second)
+}
+
+func TestSeedReplayFigFault(t *testing.T) {
+	opt := faultOpts(t, "") // RunFigFault installs its own scenario specs
+	first, err := RunFigFault(opt)
+	if err != nil {
+		t.Fatalf("fig-fault first run: %v", err)
+	}
+	second, err := RunFigFault(opt)
+	if err != nil {
+		t.Fatalf("fig-fault second run: %v", err)
+	}
+	diffPoints(t, "fig-fault", first, second)
+}

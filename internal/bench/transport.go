@@ -13,26 +13,86 @@ import (
 // TransportPoint is one measured transport-comparison point.
 type TransportPoint struct {
 	Mode          passthru.Mode
-	Transport     string // "udp" or "tcp"
+	Transport     string // an NFSTransports name
 	ThroughputMBs float64
 	OpsPerSec     float64
 	ServerCPU     float64
 	ServerPkts    float64 // packets per request (tx+rx), the §5.5 quantity
+	Errors        uint64
+	// Recovery activity when the run injects faults: TCP segment
+	// retransmissions (RTO firings and fast retransmits broken out) and
+	// datagram-RPC retransmissions. Zero on fault-free runs.
+	TCPRetransmits uint64
+	TCPRTOs        uint64
+	TCPFastRtx     uint64
+	RPCRetransmits uint64
 }
 
-// RunTransportComparison measures the all-hit 32 KB workload over NFS/UDP
-// and NFS/TCP in the Original and NCache configurations. The paper explains
-// kHTTPd's smaller gains partly by TCP's higher per-packet overhead (§5.5);
-// running the *same* NFS service over both transports isolates exactly that
-// effect.
+// NFSTransport is one way to reach the NFS service: a report name and a
+// constructor building the per-host clients. The comparison adds a
+// transport by adding an entry here, not by branching on a name.
+type NFSTransport struct {
+	Name    string
+	Connect func(cl *passthru.Cluster) ([]*nfs.Client, error)
+}
+
+// NFSTransports lists the compared transports in report order.
+var NFSTransports = []NFSTransport{
+	{Name: "udp", Connect: connectNFSUDP},
+	{Name: "tcp", Connect: connectNFSTCP},
+}
+
+// connectNFSUDP uses each host's mounted datagram client (the paper's NFS
+// transport).
+func connectNFSUDP(cl *passthru.Cluster) ([]*nfs.Client, error) {
+	clients := make([]*nfs.Client, 0, len(cl.Clients))
+	for _, h := range cl.Clients {
+		clients = append(clients, h.NFS)
+	}
+	return clients, nil
+}
+
+// connectNFSTCP dials a record-marked stream client per host, spread across
+// the server NICs like the datagram clients are.
+func connectNFSTCP(cl *passthru.Cluster) ([]*nfs.Client, error) {
+	clients := make([]*nfs.Client, 0, len(cl.Clients))
+	var dialErr error
+	for i, h := range cl.Clients {
+		nic := cl.App.Node.NICs()[i%len(cl.App.Node.NICs())]
+		h.DialNFSTCP(nic.Addr, func(c *nfs.Client, err error) {
+			if err != nil {
+				if dialErr == nil {
+					dialErr = err
+				}
+				return
+			}
+			clients = append(clients, c)
+		})
+	}
+	if err := cl.Eng.Run(); err != nil {
+		return nil, err
+	}
+	if dialErr != nil {
+		return nil, dialErr
+	}
+	return clients, nil
+}
+
+// RunTransportComparison measures the all-hit 32 KB workload over each
+// NFSTransports entry in the Original and NCache configurations. The paper
+// explains kHTTPd's smaller gains partly by TCP's higher per-packet overhead
+// (§5.5); running the *same* NFS service over both transports isolates
+// exactly that effect. With Options.FaultSpec set the run additionally
+// exercises loss recovery: datagram RPC retransmission over UDP against TCP
+// RTO/fast-retransmit, with every escaped error counted.
 func RunTransportComparison(opt Options) ([]TransportPoint, error) {
 	opt = opt.withDefaults()
 	var out []TransportPoint
 	for _, mode := range []passthru.Mode{passthru.Original, passthru.NCache} {
-		for _, transport := range []string{"udp", "tcp"} {
-			p, err := runTransportPoint(opt, mode, transport)
+		for _, tr := range NFSTransports {
+			p, err := runTransportPoint(opt, mode, tr)
 			if err != nil {
-				return nil, fmt.Errorf("transport %s/%s: %w", mode, transport, err)
+				return nil, fmt.Errorf("transport %s/%s: %w", mode, tr.Name, err)
 			}
 			out = append(out, p)
 		}
@@ -40,7 +100,7 @@ func RunTransportComparison(opt Options) ([]TransportPoint, error) {
 	return out, nil
 }
 
-func runTransportPoint(opt Options, mode passthru.Mode, transport string) (TransportPoint, error) {
+func runTransportPoint(opt Options, mode passthru.Mode, tr NFSTransport) (TransportPoint, error) {
 	const hotBytes = 5 << 20
 	cs := clusterSpec{
 		mode:          mode,
@@ -49,6 +109,8 @@ func runTransportPoint(opt Options, mode passthru.Mode, transport string) (Trans
 		blocksPerDisk: 16 * 1024,
 		fsCacheBlocks: 8192,
 		ncacheBytes:   64 << 20,
+		faultSpec:     opt.FaultSpec,
+		faultSeed:     opt.FaultSeed,
 	}
 	cl, err := cs.build(func(f *extfs.Formatter) error {
 		_, err := f.AddFile("hotfile", hotBytes, nil)
@@ -65,32 +127,10 @@ func runTransportPoint(opt Options, mode passthru.Mode, transport string) (Trans
 		return TransportPoint{}, err
 	}
 
-	clients := make([]*nfs.Client, 0, len(cl.Clients))
-	switch transport {
-	case "udp":
-		for _, h := range cl.Clients {
-			clients = append(clients, h.NFS)
-		}
-	case "tcp":
-		var dialErr error
-		for i, h := range cl.Clients {
-			nic := cl.App.Node.NICs()[i%len(cl.App.Node.NICs())]
-			h.DialNFSTCP(nic.Addr, func(c *nfs.Client, err error) {
-				if err != nil && dialErr == nil {
-					dialErr = err
-					return
-				}
-				clients = append(clients, c)
-			})
-		}
-		if err := cl.Eng.Run(); err != nil {
-			return TransportPoint{}, err
-		}
-		if dialErr != nil {
-			return TransportPoint{}, dialErr
-		}
-	default:
-		return TransportPoint{}, fmt.Errorf("unknown transport %q", transport)
+	// Connections are established fault-free; injection covers the load.
+	clients, err := tr.Connect(cl)
+	if err != nil {
+		return TransportPoint{}, err
 	}
 
 	load := &workload.NFSReadLoad{
@@ -102,8 +142,9 @@ func runTransportPoint(opt Options, mode passthru.Mode, transport string) (Trans
 		Concurrency: opt.Concurrency,
 	}
 	runner := &workload.Runner{Eng: cl.Eng, Warmup: opt.Warmup, Window: opt.Window}
-	p := TransportPoint{Mode: mode, Transport: transport}
+	p := TransportPoint{Mode: mode, Transport: tr.Name}
 	var pktsBefore uint64
+	cl.Faults.Arm()
 	m, err := runner.Run(load,
 		func() {
 			resetClusterStats(cl)
@@ -117,17 +158,23 @@ func runTransportPoint(opt Options, mode passthru.Mode, transport string) (Trans
 				// Approximate per-request packets over the window.
 				p.ServerPkts = float64(t.PacketsTx+t.PacketsRx-pktsBefore) / float64(ops)
 			}
+			cl.Faults.Quiesce()
 		})
 	if err != nil {
 		return TransportPoint{}, err
 	}
 	p.ThroughputMBs = m.Throughput() / 1e6
 	p.OpsPerSec = m.OpsPerSec()
+	p.Errors = m.Errors
 	if m.Ops > 0 && p.ServerPkts > 0 {
 		// Correct the per-request packet estimate using the measured op
 		// count (the load counter is cumulative; window ops are m.Ops).
 		t := cl.App.Node.NetTotals()
 		p.ServerPkts = float64(t.PacketsTx+t.PacketsRx-pktsBefore) / float64(m.Ops)
+	}
+	if cl.Faults != nil {
+		p.TCPRetransmits, p.TCPRTOs, p.TCPFastRtx, _, _ = cl.TCPCounters()
+		p.RPCRetransmits, _, _, _ = cl.FaultCounters()
 	}
 	return p, nil
 }
@@ -135,11 +182,15 @@ func runTransportPoint(opt Options, mode passthru.Mode, transport string) (Trans
 // FormatTransportPoints renders the comparison.
 func FormatTransportPoints(points []TransportPoint) string {
 	base := map[passthru.Mode]map[string]TransportPoint{}
+	faulty := false
 	for _, p := range points {
 		if base[p.Mode] == nil {
 			base[p.Mode] = map[string]TransportPoint{}
 		}
 		base[p.Mode][p.Transport] = p
+		if p.TCPRetransmits+p.RPCRetransmits+p.Errors > 0 {
+			faulty = true
+		}
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "Transport comparison: NFS all-hit 32 KB over UDP vs TCP (§5.5 extension)\n")
@@ -154,6 +205,16 @@ func FormatTransportPoints(points []TransportPoint) string {
 		if okU && okT && t.ThroughputMBs > 0 {
 			fmt.Fprintf(&b, "%s: TCP costs %.1f%% of UDP throughput (%.1f vs %.1f pkts/req)\n",
 				mode, (1-t.ThroughputMBs/u.ThroughputMBs)*100, t.ServerPkts, u.ServerPkts)
+		}
+	}
+	if faulty {
+		b.WriteString("\nloss recovery (injected faults):\n")
+		fmt.Fprintf(&b, "%-10s %-5s %9s %7s %8s %9s %6s\n",
+			"config", "xport", "tcpRtx", "rtos", "fastRtx", "rpcRtx", "errs")
+		for _, p := range points {
+			fmt.Fprintf(&b, "%-10s %-5s %9d %7d %8d %9d %6d\n",
+				p.Mode, p.Transport, p.TCPRetransmits, p.TCPRTOs, p.TCPFastRtx,
+				p.RPCRetransmits, p.Errors)
 		}
 	}
 	return b.String()

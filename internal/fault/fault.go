@@ -43,6 +43,9 @@ const (
 	// FrameDelay holds a frame back for the schedule's Delay before it is
 	// forwarded — past later frames, so it also exercises reordering.
 	FrameDelay
+	// FrameDup transmits a frame twice; the duplicate burns wire time like
+	// a real frame and exercises receiver duplicate suppression.
+	FrameDup
 	// DiskSlow adds the schedule's Delay to one disk-arm service (a
 	// latency spike: thermal recalibration, a long seek, a bad-sector
 	// retry inside the drive).
@@ -60,7 +63,7 @@ const (
 )
 
 var classNames = [NumClasses]string{
-	"drop", "corrupt", "delay", "slowdisk", "diskerr", "cpuburst",
+	"drop", "corrupt", "delay", "dup", "slowdisk", "diskerr", "cpuburst",
 }
 
 // String names the class (the same token the spec grammar uses).
@@ -74,7 +77,7 @@ func (c Class) String() string {
 // layerOf maps a fault class to the trace layer its latency is booked in.
 func layerOf(c Class) trace.Layer {
 	switch c {
-	case FrameDrop, FrameCorrupt, FrameDelay:
+	case FrameDrop, FrameCorrupt, FrameDelay, FrameDup:
 		return trace.LNet
 	case DiskSlow, DiskError:
 		return trace.LDisk
@@ -189,6 +192,8 @@ type Decision struct {
 	Drop bool
 	// Corrupt lets the frame travel but spoils it for delivery.
 	Corrupt bool
+	// Dup transmits an extra copy of the frame.
+	Dup bool
 	// Delay is extra latency to add at the injection point.
 	Delay sim.Duration
 	// Err fails the operation with a transient error.
@@ -335,6 +340,9 @@ func (in *Injector) decide(site string, classes ...Class) Decision {
 		case FrameCorrupt:
 			d.Corrupt = true
 			trace.Fault(in.eng, trace.LNet, 0)
+		case FrameDup:
+			d.Dup = true
+			trace.Fault(in.eng, trace.LNet, 0)
 		case FrameDelay, DiskSlow:
 			d.Delay += st.Delay
 			st.delayed += st.Delay
@@ -350,13 +358,13 @@ func (in *Injector) decide(site string, classes ...Class) Decision {
 // FrameTx is consulted by a NIC for each outgoing frame; site is
 // "<node>.tx".
 func (in *Injector) FrameTx(site string) Decision {
-	return in.decide(site, FrameDrop, FrameCorrupt, FrameDelay)
+	return in.decide(site, FrameDrop, FrameCorrupt, FrameDelay, FrameDup)
 }
 
 // FrameRx is consulted by the switch for each frame heading to a port; site
 // is "<node>.rx".
 func (in *Injector) FrameRx(site string) Decision {
-	return in.decide(site, FrameDrop, FrameCorrupt, FrameDelay)
+	return in.decide(site, FrameDrop, FrameCorrupt, FrameDelay, FrameDup)
 }
 
 // Disk is consulted by a disk arm for each I/O; site is the disk name.

@@ -6,8 +6,8 @@ import (
 
 	"ncache/internal/blockdev"
 	"ncache/internal/netbuf"
+	"ncache/internal/proto"
 	"ncache/internal/proto/eth"
-	"ncache/internal/proto/tcp"
 	"ncache/internal/scsi"
 	"ncache/internal/sim"
 	"ncache/internal/simnet"
@@ -72,9 +72,9 @@ func (t *task) releasePayload() {
 // the inode type information").
 type Initiator struct {
 	node   *simnet.Node
-	tcpT   *tcp.Transport
+	dial   proto.Dialer
 	local  eth.Addr
-	conn   *tcp.Conn
+	conn   proto.Conn
 	framer *Framer
 
 	nextITT uint32
@@ -97,11 +97,13 @@ type Initiator struct {
 	Retries uint64
 }
 
-// NewInitiator creates an initiator bound to a local address.
-func NewInitiator(node *simnet.Node, tcpT *tcp.Transport, local eth.Addr) *Initiator {
+// NewInitiator creates an initiator bound to a local address. The dialer
+// picks the transport (iSCSI runs over TCP on the testbed, but the initiator
+// only needs a proto.Conn).
+func NewInitiator(node *simnet.Node, dial proto.Dialer, local eth.Addr) *Initiator {
 	return &Initiator{
 		node:    node,
-		tcpT:    tcpT,
+		dial:    dial,
 		local:   local,
 		nextITT: 1,
 		cmdSN:   1,
@@ -133,7 +135,7 @@ func (i *Initiator) Geometry() blockdev.Geometry { return i.geom }
 
 // Connect logs in to the target and discovers its geometry.
 func (i *Initiator) Connect(target eth.Addr, done func(error)) {
-	i.tcpT.Connect(i.local, target, Port, func(c *tcp.Conn, err error) {
+	i.dial(i.local, target, Port, func(c proto.Conn, err error) {
 		if err != nil {
 			done(err)
 			return

@@ -61,6 +61,8 @@ type Net struct {
 	// FaultCorruptRx counts frames discarded on delivery because an
 	// injected fault spoiled them in flight.
 	FaultCorruptRx uint64
+	// FaultDupTx counts extra frame copies injected at transmit.
+	FaultDupTx uint64
 }
 
 // Sub returns the difference n - o.
@@ -72,6 +74,7 @@ func (n Net) Sub(o Net) Net {
 		BytesRx:        n.BytesRx - o.BytesRx,
 		FaultDropTx:    n.FaultDropTx - o.FaultDropTx,
 		FaultCorruptRx: n.FaultCorruptRx - o.FaultCorruptRx,
+		FaultDupTx:     n.FaultDupTx - o.FaultDupTx,
 	}
 }
 

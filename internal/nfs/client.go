@@ -2,8 +2,8 @@ package nfs
 
 import (
 	"ncache/internal/netbuf"
+	"ncache/internal/proto"
 	"ncache/internal/proto/eth"
-	"ncache/internal/proto/tcp"
 	"ncache/internal/proto/udp"
 	"ncache/internal/sim"
 	"ncache/internal/simnet"
@@ -57,10 +57,11 @@ func (c *Client) DatagramRPC() *sunrpc.Client {
 	return cl
 }
 
-// DialClientTCP connects an NFS client over TCP (record-marked RPC) and
-// hands it to done once the connection is established.
-func DialClientTCP(node *simnet.Node, t *tcp.Transport, local, server eth.Addr, done func(*Client, error)) {
-	sunrpc.DialStream(node, t, local, server, Port, func(sc *sunrpc.StreamClient, err error) {
+// DialClientStream connects an NFS client over a stream transport
+// (record-marked RPC) and hands it to done once the connection is
+// established. Pass tcp.Transport.DialConn for the paper's TCP comparison.
+func DialClientStream(node *simnet.Node, dial proto.Dialer, local, server eth.Addr, done func(*Client, error)) {
+	sunrpc.DialStream(node, dial, local, server, Port, func(sc *sunrpc.StreamClient, err error) {
 		if err != nil {
 			done(nil, err)
 			return

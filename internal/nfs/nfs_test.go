@@ -166,9 +166,9 @@ func loop(t *testing.T) (*sim.Engine, *Client, *memBackend, *Server) {
 	sUDP := udp.NewTransport(ipv4.NewStack(sn))
 	cUDP := udp.NewTransport(ipv4.NewStack(cn))
 	backend := newMemBackend()
-	srv, err := NewServer(sUDP, backend)
-	if err != nil {
-		t.Fatalf("NewServer: %v", err)
+	srv := NewServer(sn, backend)
+	if err := srv.ServeUDP(sUDP); err != nil {
+		t.Fatalf("ServeUDP: %v", err)
 	}
 	client, err := NewClient(cUDP, eth.Addr(2), 700, eth.Addr(1))
 	if err != nil {

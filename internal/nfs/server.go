@@ -2,7 +2,7 @@ package nfs
 
 import (
 	"ncache/internal/netbuf"
-	"ncache/internal/proto/tcp"
+	"ncache/internal/proto"
 	"ncache/internal/proto/udp"
 	"ncache/internal/simnet"
 	"ncache/internal/sunrpc"
@@ -39,39 +39,25 @@ type Server struct {
 	Ops map[uint32]uint64
 }
 
-// registrar abstracts the datagram and stream RPC servers.
-type registrar interface {
+// Registrar is any RPC dispatcher the server can attach to — the datagram
+// and stream sunrpc servers both qualify.
+type Registrar interface {
 	Register(prog, vers, proc uint32, h sunrpc.Handler)
 }
 
-// NewServer registers the NFS program on an RPC server bound to the NFS
-// port over UDP (the paper's NFS transport).
-func NewServer(t *udp.Transport, backend Backend) (*Server, error) {
-	rpc, err := sunrpc.NewServer(t, Port)
-	if err != nil {
-		return nil, err
-	}
-	return newServerOn(rpc, t.Node(), backend), nil
-}
-
-// NewServerTCP registers the NFS program over TCP with RFC 5531 record
-// marking — the transport-comparison extension (§5.5 notes TCP's higher
-// per-packet overhead; this lets the same service run both ways).
-func NewServerTCP(node *simnet.Node, t *tcp.Transport, backend Backend) (*Server, error) {
-	rpc, err := sunrpc.NewStreamServer(node, t, Port)
-	if err != nil {
-		return nil, err
-	}
-	return newServerOn(rpc, node, backend), nil
-}
-
-// newServerOn wires dispatch onto any RPC transport.
-func newServerOn(rpc registrar, node *simnet.Node, backend Backend) *Server {
-	s := &Server{
+// NewServer creates the protocol server. It serves nothing until attached
+// to one or more RPC dispatchers; a single server (and its single tx
+// filter) can face several transports at once.
+func NewServer(node *simnet.Node, backend Backend) *Server {
+	return &Server{
 		backend: backend,
 		node:    node,
 		Ops:     make(map[uint32]uint64),
 	}
+}
+
+// Attach registers the NFS program's procedures on an RPC dispatcher.
+func (s *Server) Attach(rpc Registrar) {
 	for _, proc := range []uint32{
 		ProcNull, ProcGetattr, ProcSetattr, ProcLookup, ProcRead,
 		ProcWrite, ProcCreate, ProcRemove, ProcMkdir, ProcRmdir, ProcReaddir,
@@ -79,7 +65,29 @@ func newServerOn(rpc registrar, node *simnet.Node, backend Backend) *Server {
 		proc := proc
 		rpc.Register(Prog, Vers, proc, func(c sunrpc.Call) { s.dispatch(proc, c) })
 	}
-	return s
+}
+
+// ServeUDP binds a datagram RPC server on t at the NFS port and attaches
+// (the paper's NFS transport).
+func (s *Server) ServeUDP(t *udp.Transport) error {
+	rpc, err := sunrpc.NewServer(t, Port)
+	if err != nil {
+		return err
+	}
+	s.Attach(rpc)
+	return nil
+}
+
+// ServeStream listens for record-marked RPC connections at the NFS port —
+// the transport-comparison extension (§5.5 notes TCP's higher per-packet
+// overhead; this lets the same service run both ways).
+func (s *Server) ServeStream(ln proto.Listener) error {
+	rpc, err := sunrpc.NewStreamServer(s.node, ln, Port)
+	if err != nil {
+		return err
+	}
+	s.Attach(rpc)
+	return nil
 }
 
 // SetTxFilter installs the reply-payload hook.

@@ -65,10 +65,10 @@ type AppServer struct {
 	Initiator *iscsi.Initiator
 	Cache     *buffercache.Cache
 	FS        *extfs.FS
-	NFS       *nfs.Server
-	// NFSTCP is the same service over record-marked RPC/TCP (the
-	// transport-comparison extension).
-	NFSTCP *nfs.Server
+	// NFS is one protocol server facing both transports: datagram RPC over
+	// UDP and record-marked RPC over TCP (the transport-comparison
+	// extension). One tx filter covers both.
+	NFS    *nfs.Server
 	Web    *WebServer
 	Module *ncache.Module
 
@@ -91,7 +91,7 @@ func NewAppServer(eng *sim.Engine, nw *simnet.Network, cfg ServerConfig) (*AppSe
 	ip := ipv4.NewStack(node)
 	udpT := udp.NewTransport(ip)
 	tcpT := tcp.NewTransport(ip)
-	ini := iscsi.NewInitiator(node, tcpT, cfg.Addrs[0])
+	ini := iscsi.NewInitiator(node, tcpT.DialConn, cfg.Addrs[0])
 
 	s := &AppServer{
 		Node:      node,
@@ -149,22 +149,19 @@ func (s *AppServer) Start(done func(error)) {
 			s.FS = fs
 			fs.SetMaterializer(s.path.materialize)
 			backend := &fsBackend{srv: s}
-			nfsSrv, err := nfs.NewServer(s.UDP, backend)
-			if err != nil {
+			nfsSrv := nfs.NewServer(s.Node, backend)
+			if err := nfsSrv.ServeUDP(s.UDP); err != nil {
 				done(err)
 				return
 			}
-			nfsTCP, err := nfs.NewServerTCP(s.Node, s.TCP, backend)
-			if err != nil {
+			if err := nfsSrv.ServeStream(s.TCP); err != nil {
 				done(err)
 				return
 			}
 			if s.Mode == NCache {
 				nfsSrv.SetTxFilter(s.Module.SubstituteMessage)
-				nfsTCP.SetTxFilter(s.Module.SubstituteMessage)
 			}
 			s.NFS = nfsSrv
-			s.NFSTCP = nfsTCP
 			if s.cfg.EnableWeb {
 				web, err := NewWebServer(s)
 				if err != nil {

@@ -67,7 +67,7 @@ func (c *ClientHost) NewNFSClient(server eth.Addr) (*nfs.Client, error) {
 // DialNFSTCP connects an NFS client over TCP (the transport-comparison
 // extension) and hands it to done once established.
 func (c *ClientHost) DialNFSTCP(server eth.Addr, done func(*nfs.Client, error)) {
-	nfs.DialClientTCP(c.Node, c.TCP, c.Addr, server, done)
+	nfs.DialClientStream(c.Node, c.TCP.DialConn, c.Addr, server, done)
 }
 
 // HTTPConn is one persistent web connection issuing sequential GETs.
@@ -229,11 +229,6 @@ type ClusterConfig struct {
 	// random streams (zero means seed 1).
 	FaultSpec string
 	FaultSeed uint64
-	// LegacyIngress reverts frame delivery to the pre-registered-receive
-	// by-reference path (no RX-ring buffer adoption). Differential tests
-	// compare it against the default registered path; it will be removed
-	// next release.
-	LegacyIngress bool
 }
 
 // Fault-recovery calibration used when a fault spec is present: NFS clients
@@ -269,7 +264,6 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	eng := sim.NewEngine()
 	nw := simnet.NewNetwork(eng, 5*sim.Microsecond)
-	nw.SetLegacyIngress(cfg.LegacyIngress)
 
 	scfg := DefaultStorageConfig(StorageAddr, cfg.BlocksPerDisk)
 	scfg.Cost = cfg.Cost
@@ -377,5 +371,28 @@ func (c *Cluster) FaultCounters() (retrans, timeouts, dups, iscsiRetries uint64)
 		}
 	}
 	iscsiRetries = c.App.Initiator.Retries
+	return
+}
+
+// TCPCounters aggregates TCP loss-recovery activity across every transport
+// in the testbed (storage, app server, clients): segments retransmitted,
+// RTO and fast-retransmit events, plus the counters that must stay zero on
+// a correct run — true protocol errors and aborted connections.
+func (c *Cluster) TCPCounters() (retrans, rtos, fastrtx, protoErrs, aborted uint64) {
+	add := func(t *tcp.Transport) {
+		if t == nil {
+			return
+		}
+		retrans += t.Retransmits
+		rtos += t.RTOEvents
+		fastrtx += t.FastRetransmits
+		protoErrs += t.ProtocolErrors
+		aborted += t.AbortedConns
+	}
+	add(c.Storage.TCP)
+	add(c.App.TCP)
+	for _, host := range c.Clients {
+		add(host.TCP)
+	}
 	return
 }

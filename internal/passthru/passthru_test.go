@@ -13,19 +13,19 @@ import (
 // testCluster brings up a small cluster with one preformatted file.
 func testCluster(t *testing.T, mode Mode, web bool) (*Cluster, extfs.FileSpec) {
 	t.Helper()
-	return testClusterIngress(t, mode, web, false)
+	return testClusterFaults(t, mode, web, "")
 }
 
-// testClusterIngress is testCluster with an explicit ingress-path selection
-// (registered RX rings vs the legacy by-reference delivery).
-func testClusterIngress(t *testing.T, mode Mode, web, legacyIngress bool) (*Cluster, extfs.FileSpec) {
+// testClusterFaults is testCluster with a fault schedule wired in. The
+// injector starts disarmed; the caller arms it around the faulted phase.
+func testClusterFaults(t *testing.T, mode Mode, web bool, faultSpec string) (*Cluster, extfs.FileSpec) {
 	t.Helper()
 	cl, err := NewCluster(ClusterConfig{
 		Mode:          mode,
 		NumClients:    1,
 		BlocksPerDisk: 16 * 1024, // 64 MB array
 		EnableWeb:     web,
-		LegacyIngress: legacyIngress,
+		FaultSpec:     faultSpec,
 	})
 	if err != nil {
 		t.Fatalf("NewCluster: %v", err)

@@ -14,28 +14,37 @@ import (
 // (whatever the hot path borrowed, it gave back), every NIC's registered RX
 // ring must have all its credits reposted, and no pool may have seen a
 // double-release. Under NCache the cache deliberately pins receive buffers
-// (§4.1) — with the registered-receive path these are the app server's own
-// RxPool buffers, adopted at delivery — so the check drops the clean entries
-// first; anything still outstanding after that is a true leak.
+// (§4.1) — these are the app server's own RxPool buffers, adopted at
+// delivery — so the check drops the clean entries first; anything still
+// outstanding after that is a true leak.
 func TestPoolsDrainAfterWorkload(t *testing.T) {
-	for _, legacy := range []bool{false, true} {
-		name := "registered"
-		if legacy {
-			name = "legacy"
-		}
-		t.Run(name, func(t *testing.T) {
-			for _, mode := range []Mode{Original, NCache, Baseline} {
-				t.Run(mode.String(), func(t *testing.T) {
-					testPoolsDrain(t, mode, legacy)
-				})
-			}
+	for _, mode := range []Mode{Original, NCache, Baseline} {
+		t.Run(mode.String(), func(t *testing.T) {
+			testPoolsDrain(t, mode, "")
 		})
 	}
 }
 
-func testPoolsDrain(t *testing.T, mode Mode, legacy bool) {
-	cl, _ := testClusterIngress(t, mode, false, legacy)
+// TestPoolsDrainUnderTCPLoss re-runs the leak check with frame loss on the
+// app server's links. Every iSCSI segment rides TCP, so drops force the
+// connection's retransmission queue to clone payload chains (owner
+// "tcp.retransmit") and release them as acks advance; UDP RPC recovers via
+// datagram retransmission at the same time. Zero outstanding buffers after
+// the drain proves loss recovery never leaks.
+func TestPoolsDrainUnderTCPLoss(t *testing.T) {
+	for _, mode := range []Mode{Original, NCache} {
+		t.Run(mode.String(), func(t *testing.T) {
+			testPoolsDrain(t, mode, "drop:app*:rate=0.01")
+		})
+	}
+}
+
+func testPoolsDrain(t *testing.T, mode Mode, faultSpec string) {
+	cl, _ := testClusterFaults(t, mode, false, faultSpec)
 	fh := lookupFile(t, cl, "data.bin")
+	if cl.Faults != nil {
+		cl.Faults.Arm()
+	}
 	for i := 0; i < 6; i++ {
 		readFile(t, cl, fh, uint64(i)*20000, 20000)
 	}
@@ -44,6 +53,21 @@ func testPoolsDrain(t *testing.T, mode Mode, legacy bool) {
 		// payload is real data end to end.
 		writeFile(t, cl, fh, 8192, bytes.Repeat([]byte{0xAB}, 12288))
 		readFile(t, cl, fh, 8192, 12288)
+	}
+	if cl.Faults != nil {
+		cl.Faults.Quiesce()
+		if err := cl.Eng.Run(); err != nil {
+			t.Fatalf("drain after quiesce: %v", err)
+		}
+		retrans, rtos, fastrtx, protoErrs, aborted := cl.TCPCounters()
+		if retrans == 0 {
+			t.Error("frame loss on the app links produced no TCP retransmissions")
+		}
+		t.Logf("tcp recovery: retrans=%d rtos=%d fastrtx=%d protoErrs=%d aborted=%d",
+			retrans, rtos, fastrtx, protoErrs, aborted)
+		if aborted != 0 {
+			t.Errorf("loss recovery aborted %d connections", aborted)
+		}
 	}
 	if cl.App.Module != nil {
 		// Captured chains pin their buffers until eviction; drop the
@@ -58,15 +82,6 @@ func testPoolsDrain(t *testing.T, mode Mode, legacy bool) {
 	}
 	adoptions := uint64(0)
 	for _, n := range nodes {
-		if legacy && mode == NCache && n.Name == "app" {
-			// Legacy by-reference ingress: the cache pins whichever
-			// sender pool the frames came from, so only the double-free
-			// counters are checkable on the app server.
-			checkNoDoubleFrees(t, n.RxPool)
-			checkNoDoubleFrees(t, n.TxPool)
-			checkNoDoubleFrees(t, n.BlkPool)
-			continue
-		}
 		checkPoolDrained(t, n.RxPool)
 		checkPoolDrained(t, n.TxPool)
 		checkPoolDrained(t, n.BlkPool)
@@ -79,11 +94,7 @@ func testPoolsDrain(t *testing.T, mode Mode, legacy bool) {
 			adoptions += ring.BufsAdopted
 		}
 	}
-	if legacy {
-		if adoptions != 0 {
-			t.Errorf("legacy ingress adopted %d buffers, want 0", adoptions)
-		}
-	} else if adoptions == 0 {
+	if adoptions == 0 {
 		t.Error("registered ingress adopted no buffers over a full workload")
 	}
 	if df := netbuf.GlobalDoubleFrees(); df != 0 {

@@ -43,6 +43,7 @@ type StorageServer struct {
 	Target *iscsi.Target
 	Array  *blockdev.RAID0
 	Addr   eth.Addr
+	TCP    *tcp.Transport
 }
 
 // NewStorageServer builds and attaches the storage node to the fabric.
@@ -69,5 +70,5 @@ func NewStorageServer(eng *sim.Engine, nw *simnet.Network, cfg StorageConfig) (*
 	if err != nil {
 		return nil, err
 	}
-	return &StorageServer{Node: node, Target: target, Array: array, Addr: cfg.Addr}, nil
+	return &StorageServer{Node: node, Target: target, Array: array, Addr: cfg.Addr, TCP: tcpT}, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"ncache/internal/netbuf"
 	"ncache/internal/proto/eth"
+	"ncache/internal/sim"
 	"ncache/internal/simnet"
 )
 
@@ -23,23 +24,37 @@ type Stack struct {
 	nics     map[eth.Addr]*simnet.NIC
 	handlers map[uint8]Handler
 	nextID   uint16
-	reasm    map[reasmKey]*reassembly
+	reasm    map[flowKey]*reassembly
 
 	// ReasmErrors counts fragments that could not be reassembled
-	// (out-of-order or inconsistent); the lossless fabric should keep
-	// this at zero.
+	// (out-of-order or inconsistent); the lossless fabric keeps this at
+	// zero unless faults are injected.
 	ReasmErrors uint64
+	// ReasmDropped counts partial datagrams abandoned because a lost
+	// fragment made completion impossible (a newer ID arrived on the flow,
+	// or the reassembly timed out).
+	ReasmDropped uint64
 }
 
-type reasmKey struct {
+// ReasmTimeout bounds how long a partial datagram may wait for its next
+// fragment. Fragments of one datagram arrive back-to-back within
+// microseconds; a partial this stale lost a fragment and can never
+// complete (the kernel's ip_frag_time serves the same purpose).
+const ReasmTimeout = 50 * sim.Millisecond
+
+// flowKey identifies one fragment stream. The fabric preserves per-flow
+// ordering, so at most one datagram per flow is ever mid-reassembly; a
+// fragment carrying a new IP ID obsoletes any older partial.
+type flowKey struct {
 	src, dst eth.Addr
 	proto    uint8
-	id       uint16
 }
 
 type reassembly struct {
+	id      uint16
 	chain   *netbuf.Chain
 	nextOff uint16
+	expiry  sim.EventID
 }
 
 // NewStack creates the network layer for node and installs itself as the
@@ -49,7 +64,7 @@ func NewStack(node *simnet.Node) *Stack {
 		node:     node,
 		nics:     make(map[eth.Addr]*simnet.NIC),
 		handlers: make(map[uint8]Handler),
-		reasm:    make(map[reasmKey]*reassembly),
+		reasm:    make(map[flowKey]*reassembly),
 	}
 	for _, nic := range node.NICs() {
 		s.AttachNIC(nic)
@@ -186,25 +201,54 @@ func (s *Stack) receive(frame *netbuf.Chain) {
 		return
 	}
 
-	key := reasmKey{src: hdr.Src, dst: hdr.Dst, proto: hdr.Proto, id: hdr.ID}
+	key := flowKey{src: hdr.Src, dst: hdr.Dst, proto: hdr.Proto}
 	r := s.reasm[key]
+	if r != nil && r.id != hdr.ID {
+		// Per-flow ordering: a fragment with a new ID means the old
+		// partial's missing tail can never arrive. Abandon it.
+		s.ReasmDropped++
+		s.evict(key, r)
+		r = nil
+	}
 	if r == nil {
-		r = &reassembly{chain: netbuf.NewChain()}
+		if hdr.FragOffset != 0 {
+			// Head fragment lost; the rest of the datagram is noise.
+			s.ReasmErrors++
+			frame.Release()
+			return
+		}
+		r = &reassembly{id: hdr.ID, chain: netbuf.NewChain()}
+		rr := r
+		r.expiry = s.node.Eng.Schedule(ReasmTimeout, func() {
+			if s.reasm[key] == rr {
+				s.ReasmDropped++
+				rr.chain.Release()
+				delete(s.reasm, key)
+			}
+		})
 		s.reasm[key] = r
 	}
 	if hdr.FragOffset != r.nextOff {
-		// The fabric is lossless and ordered; anything else is a bug.
+		// A middle fragment was lost or reordered away.
 		s.ReasmErrors++
 		frame.Release()
-		delete(s.reasm, key)
+		s.evict(key, r)
 		return
 	}
 	r.chain.AppendChain(frame)
 	r.nextOff += hdr.TotalLen - HeaderLen
 	if !hdr.MoreFrags {
+		s.node.Eng.Cancel(r.expiry)
 		delete(s.reasm, key)
 		s.deliver(hdr, r.chain)
 	}
+}
+
+// evict abandons a partial reassembly, releasing its buffers.
+func (s *Stack) evict(key flowKey, r *reassembly) {
+	s.node.Eng.Cancel(r.expiry)
+	r.chain.Release()
+	delete(s.reasm, key)
 }
 
 // deliver hands a complete datagram to the registered transport.

@@ -1,0 +1,52 @@
+// Package proto defines the transport-neutral connection interface the
+// upper layers (sunrpc streams, iscsi, nfs, passthru benches) program
+// against. Both tcp.Conn and udp.Conn satisfy Conn, so a protocol built on
+// "a bidirectional zero-copy byte/message pipe to one peer" selects its
+// transport by constructor instead of branching on a transport name.
+package proto
+
+import (
+	"ncache/internal/netbuf"
+	"ncache/internal/proto/eth"
+	"ncache/internal/simnet"
+)
+
+// Conn is one endpoint of an established transport association.
+//
+// Ownership contract (identical for every implementation): SendChain takes
+// ownership of the chain; chains handed to the receiver callback must be
+// Released (or passed on) exactly once by the consumer.
+type Conn interface {
+	// SendChain transmits payload already held in network buffers — the
+	// zero-copy socket extension. The connection takes ownership.
+	SendChain(payload *netbuf.Chain) error
+	// SetReceiver installs the inbound consumer. For stream transports the
+	// chains are in-order stream data; for datagram transports each chain
+	// is one datagram payload.
+	SetReceiver(f func(*netbuf.Chain))
+	// MSS returns the largest payload the transport moves without further
+	// segmentation charged to this layer (TCP: segment payload; UDP: the
+	// datagram cap).
+	MSS() int
+	// Close ends the association (stream transports flush queued data
+	// first).
+	Close()
+	// Node returns the node owning the local endpoint.
+	Node() *simnet.Node
+	// LocalAddr returns the local network address.
+	LocalAddr() eth.Addr
+	// RemoteAddr returns the peer's network address.
+	RemoteAddr() eth.Addr
+}
+
+// Dialer opens a connection to remote:port and invokes done exactly once
+// when the association is usable (or has failed). tcp.Transport.DialConn
+// and udp.Transport.DialConn both match this shape.
+type Dialer func(local, remote eth.Addr, port uint16, done func(Conn, error))
+
+// Listener accepts inbound connections on a port, handing each established
+// Conn to the accept callback. tcp.Transport implements it; servers built on
+// it never see a concrete transport type.
+type Listener interface {
+	ListenConn(port uint16, accept func(Conn)) error
+}

@@ -1,12 +1,17 @@
 // Package tcp implements the stream transport the simulated iSCSI and HTTP
 // traffic runs on. It is a deliberately reduced TCP: three-way handshake,
 // MSS segmentation, cumulative acknowledgments with delayed acks, a fixed
-// send window, and FIN teardown — but no loss recovery, because the
-// simulated fabric is lossless and ordering-preserving (anything else is
-// reported as a protocol error and counted). Per-packet CPU costs of data
-// segments *and* acks are charged through the IP layer, which is what makes
-// TCP-borne workloads carry the higher per-packet overhead the paper notes
-// for HTTP versus NFS-over-UDP.
+// send window, FIN teardown — and loss recovery: every in-flight segment is
+// retained on a per-connection retransmission queue (refcounted netbuf
+// clones owned by "tcp.retransmit"), an exponential-backoff RTO timer
+// drives go-back-N resend, triple duplicate ACKs trigger fast retransmit,
+// and the receiver tolerates out-of-order segments (buffer-or-drop with
+// cumulative ACK) and suppresses duplicates. Genuinely malformed segments
+// (runts, bad checksums) still count as protocol errors; loss-induced
+// anomalies are counted separately. Per-packet CPU costs of data segments,
+// acks *and retransmissions* are charged through the IP layer, which is
+// what makes TCP-borne workloads carry the higher per-packet overhead the
+// paper notes for HTTP versus NFS-over-UDP.
 //
 // Like the udp package, it exposes the extended zero-copy interface the
 // NCache kernel modification adds: SendChain transmits payload already in
@@ -19,9 +24,12 @@ import (
 	"fmt"
 
 	"ncache/internal/netbuf"
+	"ncache/internal/proto"
 	"ncache/internal/proto/eth"
 	"ncache/internal/proto/ipv4"
+	"ncache/internal/sim"
 	"ncache/internal/simnet"
+	"ncache/internal/trace"
 )
 
 // HeaderLen is the encoded size of the (option-less) segment header.
@@ -31,12 +39,30 @@ const HeaderLen = 16
 // connection.
 const DefaultWindow = 256 * 1024
 
+// Loss-recovery tuning. BaseRTO matches the RPC-layer retransmit timer
+// scale used by the fault calibration in passthru; backoff doubles per
+// consecutive timeout up to MaxRTO. After MaxRetries consecutive timeouts
+// on the same data the connection aborts (ErrTimeout), which bounds
+// simulated time when the peer is gone.
+const (
+	BaseRTO    = 20 * sim.Millisecond
+	MaxRTO     = 640 * sim.Millisecond
+	MaxRetries = 12
+	// dupAckThreshold duplicate cumulative acks trigger fast retransmit.
+	dupAckThreshold = 3
+	// maxOOO bounds the out-of-order reassembly queue; it covers a full
+	// DefaultWindow of MSS segments so a single early loss does not shed
+	// the rest of the window.
+	maxOOO = 256
+)
+
 // Segment flags.
 const (
 	flagSYN = 1 << 0
 	flagACK = 1 << 1
 	flagFIN = 1 << 2
 	flagPSH = 1 << 3
+	flagRST = 1 << 4
 )
 
 // Errors surfaced by the transport.
@@ -45,6 +71,7 @@ var (
 	ErrConnClosed   = errors.New("tcp: connection closed")
 	ErrConnReset    = errors.New("tcp: connection reset")
 	ErrNoSuchRemote = errors.New("tcp: connection refused")
+	ErrTimeout      = errors.New("tcp: retransmission timeout")
 )
 
 type state int
@@ -68,9 +95,30 @@ type Transport struct {
 	conns     map[connKey]*Conn
 	nextPort  uint16
 
-	// ProtocolErrors counts segments that violated the lossless-fabric
-	// assumptions (out-of-order data, unknown connections).
+	// ProtocolErrors counts genuinely malformed segments: runts and
+	// checksum failures. Loss-induced anomalies (gaps, duplicates, strays
+	// for torn-down connections) are recoverable and counted separately.
 	ProtocolErrors uint64
+	// StraySegments counts non-SYN segments for unknown connections
+	// (usually retransmissions racing a teardown); each is answered with
+	// RST so the peer stops retransmitting.
+	StraySegments uint64
+	// DupSegments counts received segments wholly or partially below
+	// rcvNxt (duplicate deliveries suppressed by the cumulative ack).
+	DupSegments uint64
+	// OutOfOrder counts received segments beyond rcvNxt that were buffered
+	// for reassembly; OutOfOrderDrops counts those shed because the
+	// reassembly queue was full.
+	OutOfOrder      uint64
+	OutOfOrderDrops uint64
+	// Retransmits counts segments re-sent (by RTO or fast retransmit).
+	// RTOEvents and FastRetransmits count the triggering events.
+	Retransmits     uint64
+	RTOEvents       uint64
+	FastRetransmits uint64
+	// AbortedConns counts connections torn down by the retransmission
+	// limit or by a peer reset outside an orderly close.
+	AbortedConns uint64
 }
 
 type connKey struct {
@@ -105,17 +153,31 @@ func (t *Transport) Listen(port uint16, accept AcceptFunc) error {
 func (t *Transport) Connect(local, remote eth.Addr, remotePort uint16, done func(*Conn, error)) {
 	key := connKey{localAddr: local, remoteAddr: remote, localPort: t.nextPort, remotePort: remotePort}
 	t.nextPort++
-	c := &Conn{
-		t:       t,
-		key:     key,
-		state:   stateSynSent,
-		window:  DefaultWindow,
-		onEstab: done,
-		mss:     t.mss(),
-	}
+	c := newConn(t, key, stateSynSent)
+	c.onEstab = done
 	t.conns[key] = c
+	c.retain(c.sndNxt, 1, flagSYN, nil)
 	c.sendSegment(flagSYN, nil)
+	c.armRTO()
 }
+
+// DialConn is Connect with the transport-neutral proto.Dialer shape.
+func (t *Transport) DialConn(local, remote eth.Addr, port uint16, done func(proto.Conn, error)) {
+	t.Connect(local, remote, port, func(c *Conn, err error) {
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		done(c, nil)
+	})
+}
+
+// ListenConn is Listen with the transport-neutral proto.Listener shape.
+func (t *Transport) ListenConn(port uint16, accept func(proto.Conn)) error {
+	return t.Listen(port, func(c *Conn) { accept(c) })
+}
+
+var _ proto.Listener = (*Transport)(nil)
 
 // mss returns the maximum segment payload for the node's first NIC.
 func (t *Transport) mss() int {
@@ -124,6 +186,23 @@ func (t *Transport) mss() int {
 		return 1460
 	}
 	return nics[0].MTU - ipv4.HeaderLen - HeaderLen
+}
+
+// rtxSeg is one retained in-flight segment. payload is a refcounted clone
+// of the transmitted chain (owner "tcp.retransmit"); seqLen covers payload
+// bytes plus one for SYN/FIN.
+type rtxSeg struct {
+	seq     uint32
+	seqLen  uint32
+	flags   uint8
+	payload *netbuf.Chain
+}
+
+// oooSeg is one out-of-order received segment buffered for reassembly.
+type oooSeg struct {
+	seq     uint32
+	flags   uint8
+	payload *netbuf.Chain
 }
 
 // Conn is one TCP connection endpoint.
@@ -145,6 +224,19 @@ type Conn struct {
 	// triggers an immediate ack.
 	pushAt []uint32
 
+	// rtxQ retains every unacknowledged segment in send order for
+	// go-back-N resend. rtoFn is the pre-bound timer callback (one
+	// closure per connection, so arming allocates nothing).
+	rtxQ     []rtxSeg
+	rtoFn    func()
+	rtoTimer sim.EventID
+	rtoArmed bool
+	rtoTries int
+	dupAcks  int
+
+	// oooQ buffers out-of-order received segments, sorted by seq.
+	oooQ []oooSeg
+
 	receiver func(*netbuf.Chain)
 	onEstab  func(*Conn, error)
 	onClose  func()
@@ -152,6 +244,18 @@ type Conn struct {
 	delack   int
 	finSent  bool
 	finRcvd  bool
+}
+
+func newConn(t *Transport, key connKey, st state) *Conn {
+	c := &Conn{
+		t:      t,
+		key:    key,
+		state:  st,
+		window: DefaultWindow,
+		mss:    t.mss(),
+	}
+	c.rtoFn = c.onRTO
+	return c
 }
 
 // Node returns the node owning the connection's local endpoint.
@@ -168,6 +272,9 @@ func (c *Conn) RemotePort() uint16 { return c.key.remotePort }
 
 // LocalPort returns the connection's local port.
 func (c *Conn) LocalPort() uint16 { return c.key.localPort }
+
+// MSS returns the maximum segment payload.
+func (c *Conn) MSS() int { return c.mss }
 
 // SetReceiver installs the in-order stream consumer. Data chains passed to
 // the receiver are the original wire buffers (adopted into this node's
@@ -219,6 +326,18 @@ func (c *Conn) Close() {
 	c.pump()
 }
 
+// retain records a transmitted segment on the retransmission queue. For
+// data segments the clone shares the payload buffers (refcounted, owner
+// "tcp.retransmit"); control segments retain only their sequence space.
+func (c *Conn) retain(seq, seqLen uint32, flags uint8, payload *netbuf.Chain) {
+	var keep *netbuf.Chain
+	if payload != nil {
+		keep = payload.Clone()
+		keep.SetOwner("tcp.retransmit")
+	}
+	c.rtxQ = append(c.rtxQ, rtxSeg{seq: seq, seqLen: seqLen, flags: flags, payload: keep})
+}
+
 // pump transmits queued data within the window, then FIN if closing.
 func (c *Conn) pump() {
 	if c.state != stateEstablished {
@@ -247,13 +366,133 @@ func (c *Conn) pump() {
 			flags |= flagPSH
 			c.pushAt = c.pushAt[1:]
 		}
+		c.retain(c.sndNxt, uint32(n), flags, seg)
 		c.sendSegmentSeq(flags, c.sndNxt, seg)
 		c.sndNxt = endSeq
+		c.armRTO()
 	}
 	if c.finSent && c.state == stateEstablished && (c.sendQ == nil || c.sendQ.Len() == 0) {
+		c.retain(c.sndNxt, 1, flagFIN|flagACK, nil)
 		c.sendSegmentSeq(flagFIN|flagACK, c.sndNxt, nil)
 		c.sndNxt++
 		c.state = stateFinWait
+		c.armRTO()
+	}
+}
+
+// armRTO starts the retransmission timer if it is not already running and
+// unacknowledged data exists.
+func (c *Conn) armRTO() {
+	if c.rtoArmed || len(c.rtxQ) == 0 {
+		return
+	}
+	c.rtoTimer = c.t.node.Eng.Schedule(c.rto(), c.rtoFn)
+	c.rtoArmed = true
+}
+
+// restartRTO re-bases the timer (called when the ack point advances).
+func (c *Conn) restartRTO() {
+	if c.rtoArmed {
+		c.t.node.Eng.Cancel(c.rtoTimer)
+		c.rtoArmed = false
+	}
+	c.armRTO()
+}
+
+// cancelRTO stops the timer.
+func (c *Conn) cancelRTO() {
+	if c.rtoArmed {
+		c.t.node.Eng.Cancel(c.rtoTimer)
+		c.rtoArmed = false
+	}
+}
+
+// rto returns the current backoff-scaled retransmission timeout.
+func (c *Conn) rto() sim.Duration {
+	d := BaseRTO
+	for i := 0; i < c.rtoTries && d < MaxRTO; i++ {
+		d *= 2
+	}
+	if d > MaxRTO {
+		d = MaxRTO
+	}
+	return d
+}
+
+// onRTO fires when the oldest unacknowledged segment times out: go-back-N
+// resend of the whole retransmission queue with doubled backoff. The timer
+// event inherits the request context it was armed under, so the added
+// latency is fault-attributed to the network layer on the active span
+// (tcp.rto).
+func (c *Conn) onRTO() {
+	c.rtoArmed = false
+	if c.state == stateClosed || len(c.rtxQ) == 0 {
+		return
+	}
+	c.rtoTries++
+	if c.rtoTries > MaxRetries {
+		c.abort(ErrTimeout, true)
+		return
+	}
+	c.t.RTOEvents++
+	trace.Fault(c.t.node.Eng, trace.LNet, c.rto())
+	for i := range c.rtxQ {
+		c.resend(&c.rtxQ[i])
+	}
+	c.armRTO()
+}
+
+// fastRetransmit resends the oldest unacknowledged segment immediately
+// (triple duplicate acks signal an isolated loss; the rest of the window
+// is likely buffered at the receiver). Annotated as tcp.fastrtx on the
+// active span: a fault event with no timer latency of its own.
+func (c *Conn) fastRetransmit() {
+	if len(c.rtxQ) == 0 {
+		return
+	}
+	c.t.FastRetransmits++
+	trace.Fault(c.t.node.Eng, trace.LNet, 0)
+	c.resend(&c.rtxQ[0])
+}
+
+// resend re-transmits one retained segment. The retransmission travels the
+// normal IP path, so per-packet and checksum CPU are charged exactly like
+// a first transmission.
+func (c *Conn) resend(s *rtxSeg) {
+	c.t.Retransmits++
+	var pl *netbuf.Chain
+	if s.payload != nil {
+		pl = s.payload.Clone()
+	}
+	c.sendSegmentSeq(s.flags, s.seq, pl)
+}
+
+// ackRtx drops retained segments fully covered by the cumulative ack and
+// resets the backoff state. Returns true if the ack point advanced.
+func (c *Conn) ackRtx(ack uint32) {
+	i := 0
+	for ; i < len(c.rtxQ); i++ {
+		s := &c.rtxQ[i]
+		if !seqLEQ(s.seq+s.seqLen, ack) {
+			break
+		}
+		if s.payload != nil {
+			s.payload.Release()
+		}
+	}
+	if i > 0 {
+		m := copy(c.rtxQ, c.rtxQ[i:])
+		for j := m; j < len(c.rtxQ); j++ {
+			c.rtxQ[j] = rtxSeg{}
+		}
+		c.rtxQ = c.rtxQ[:m]
+		c.rtoTries = 0
+		c.dupAcks = 0
+		if len(c.rtxQ) == 0 {
+			c.cancelRTO()
+		} else {
+			c.restartRTO()
+		}
 	}
 }
 
@@ -267,7 +506,19 @@ func (c *Conn) sendSegment(flags uint8, payload *netbuf.Chain) {
 
 // sendSegmentSeq builds, checksums and transmits one segment.
 func (c *Conn) sendSegmentSeq(flags uint8, seq uint32, payload *netbuf.Chain) {
-	hb, err := c.t.node.TxPool.Get()
+	c.t.sendSeg(c.key, seq, c.rcvNxt, flags, payload)
+}
+
+// sendAck emits an immediate pure ack and resets the delayed-ack counter.
+func (c *Conn) sendAck() {
+	c.delack = 0
+	c.sendSegmentSeq(flagACK, c.sndNxt, nil)
+}
+
+// sendSeg builds, checksums and transmits one segment for key (which need
+// not belong to a live connection — RSTs answer strays after teardown).
+func (t *Transport) sendSeg(key connKey, seq, ackNo uint32, flags uint8, payload *netbuf.Chain) {
+	hb, err := t.node.TxPool.Get()
 	if err != nil {
 		if payload != nil {
 			payload.Release()
@@ -282,16 +533,16 @@ func (c *Conn) sendSegmentSeq(flags uint8, seq uint32, payload *netbuf.Chain) {
 		}
 		return
 	}
-	binary.BigEndian.PutUint16(hdr[0:2], c.key.localPort)
-	binary.BigEndian.PutUint16(hdr[2:4], c.key.remotePort)
+	binary.BigEndian.PutUint16(hdr[0:2], key.localPort)
+	binary.BigEndian.PutUint16(hdr[2:4], key.remotePort)
 	binary.BigEndian.PutUint32(hdr[4:8], seq)
-	binary.BigEndian.PutUint32(hdr[8:12], c.rcvNxt)
+	binary.BigEndian.PutUint32(hdr[8:12], ackNo)
 	hdr[12] = flags
 	hdr[13] = 0
 	hdr[14], hdr[15] = 0, 0
 
 	plen := 0
-	sum := pseudoHeaderSum(c.key.localAddr, c.key.remoteAddr)
+	sum := pseudoHeaderSum(key.localAddr, key.remoteAddr)
 	sum.AddBytes(hdr)
 	if payload != nil {
 		plen = payload.Len()
@@ -299,16 +550,16 @@ func (c *Conn) sendSegmentSeq(flags uint8, seq uint32, payload *netbuf.Chain) {
 	}
 	ck := sum.Checksum()
 	binary.BigEndian.PutUint16(hdr[14:16], ck)
-	if !c.t.offloaded(c.key.localAddr) && plen > 0 {
-		c.t.node.Copies.ChecksumBytes += uint64(plen)
-		c.t.node.Charge(c.t.node.Cost.ChecksumCost(plen), nil)
+	if !t.offloaded(key.localAddr) && plen > 0 {
+		t.node.Copies.ChecksumBytes += uint64(plen)
+		t.node.Charge(t.node.Cost.ChecksumCost(plen), nil)
 	}
 
 	seg := netbuf.ChainOf(hb)
 	if payload != nil {
 		seg.AppendChain(payload)
 	}
-	if err := c.t.ip.Send(c.key.localAddr, c.key.remoteAddr, ipv4.ProtoTCP, seg); err != nil {
+	if err := t.ip.Send(key.localAddr, key.remoteAddr, ipv4.ProtoTCP, seg); err != nil {
 		seg.Release()
 	}
 }
@@ -364,40 +615,64 @@ func (t *Transport) receive(ih ipv4.Header, payload *netbuf.Chain) {
 			payload.Release()
 			return
 		}
-		t.ProtocolErrors++
+		// A stray non-SYN segment: usually a retransmission racing our
+		// teardown. Answer with RST (unless it *is* an RST) so the peer
+		// stops retrying instead of backing off to its abort limit.
+		t.StraySegments++
+		if flags&flagRST == 0 {
+			end := seq + uint32(payload.Len())
+			if flags&flagFIN != 0 {
+				end++
+			}
+			t.sendSeg(key, ack, end, flagRST|flagACK, nil)
+		}
 		payload.Release()
 		return
 	}
 	c.handle(flags, seq, ack, payload)
 }
 
-// acceptSyn creates a passive connection if a listener exists.
+// acceptSyn creates a passive connection if a listener exists; connection
+// attempts to closed ports are refused with RST.
 func (t *Transport) acceptSyn(key connKey, seq uint32) {
 	accept, ok := t.listeners[key.localPort]
 	if !ok {
+		t.sendSeg(key, 0, seq+1, flagRST|flagACK, nil)
 		return
 	}
-	c := &Conn{
-		t:      t,
-		key:    key,
-		state:  stateSynRcvd,
-		window: DefaultWindow,
-		rcvNxt: seq + 1,
-		mss:    t.mss(),
-	}
+	c := newConn(t, key, stateSynRcvd)
+	c.rcvNxt = seq + 1
 	t.conns[key] = c
 	c.acceptFn = accept
+	c.retain(c.sndNxt, 1, flagSYN|flagACK, nil)
 	c.sendSegment(flagSYN|flagACK, nil)
+	c.armRTO()
 }
 
 // handle advances the connection state machine for one segment.
 func (c *Conn) handle(flags uint8, seq, ack uint32, payload *netbuf.Chain) {
 	t := c.t
+	if flags&flagRST != 0 {
+		payload.Release()
+		if c.finSent && c.finRcvd {
+			// Reset racing the tail of an orderly close (our final ack
+			// was lost and the peer already tore down): not an abort.
+			c.teardown()
+			return
+		}
+		if c.state == stateSynSent {
+			c.abort(ErrNoSuchRemote, false)
+		} else {
+			c.abort(ErrConnReset, false)
+		}
+		return
+	}
 	switch c.state {
 	case stateSynSent:
 		if flags&(flagSYN|flagACK) == flagSYN|flagACK {
 			c.rcvNxt = seq + 1
 			c.sndUna = ack
+			c.ackRtx(ack)
 			c.state = stateEstablished
 			c.sendSegmentSeq(flagACK, c.sndNxt, nil)
 			if c.onEstab != nil {
@@ -412,6 +687,7 @@ func (c *Conn) handle(flags uint8, seq, ack uint32, payload *netbuf.Chain) {
 	case stateSynRcvd:
 		if flags&flagACK != 0 {
 			c.sndUna = ack
+			c.ackRtx(ack)
 			c.state = stateEstablished
 			if c.acceptFn != nil {
 				fn := c.acceptFn
@@ -425,40 +701,57 @@ func (c *Conn) handle(flags uint8, seq, ack uint32, payload *netbuf.Chain) {
 		return
 	}
 
-	if flags&flagACK != 0 && seqLEQ(c.sndUna, ack) {
-		c.sndUna = ack
-		c.pump()
+	if flags&flagSYN != 0 {
+		// Duplicate SYN or SYN|ACK after we are established: our previous
+		// ack was lost. Re-ack so the peer's handshake completes too.
+		t.DupSegments++
+		payload.Release()
+		c.sendAck()
+		return
+	}
+
+	if flags&flagACK != 0 {
+		if seqLT(c.sndUna, ack) && seqLEQ(ack, c.sndNxt) {
+			c.sndUna = ack
+			c.ackRtx(ack)
+			c.pump()
+		} else if ack == c.sndUna && payload.Len() == 0 && flags&flagFIN == 0 &&
+			len(c.rtxQ) > 0 && (c.state == stateEstablished || c.state == stateFinWait) {
+			// Pure duplicate ack: the receiver is seeing a gap.
+			c.dupAcks++
+			if c.dupAcks == dupAckThreshold {
+				c.dupAcks = 0
+				c.fastRetransmit()
+			}
+		}
 	}
 
 	n := payload.Len()
 	if n > 0 {
-		if seq != c.rcvNxt {
-			t.ProtocolErrors++
-			payload.Release()
-			return
-		}
-		c.rcvNxt += uint32(n)
-		if c.receiver != nil {
-			c.receiver(payload)
-		} else {
-			payload.Release()
-		}
-		c.delack++
-		if c.delack >= 2 || flags&flagPSH != 0 {
-			c.delack = 0
-			c.sendSegmentSeq(flagACK, c.sndNxt, nil)
-		}
+		c.recvData(flags, seq, payload)
 	} else {
 		payload.Release()
 	}
 
 	if flags&flagFIN != 0 {
-		c.rcvNxt++
-		c.finRcvd = true
-		c.sendSegmentSeq(flagACK, c.sndNxt, nil)
-		if c.state == stateEstablished && !c.finSent {
-			// Passive close: acknowledge and close our side too.
-			c.Close()
+		finSeq := seq + uint32(n)
+		switch {
+		case c.finRcvd || seqLT(finSeq, c.rcvNxt):
+			// Duplicate FIN: re-ack so the closer stops retransmitting.
+			t.DupSegments++
+			c.sendAck()
+		case finSeq == c.rcvNxt:
+			c.rcvNxt++
+			c.finRcvd = true
+			c.sendAck()
+			if c.state == stateEstablished && !c.finSent {
+				// Passive close: acknowledge and close our side too.
+				c.Close()
+			}
+		default:
+			// FIN beyond a receive gap: dup-ack; the peer's RTO re-sends
+			// it after the gap heals.
+			c.sendAck()
 		}
 	}
 	if c.finRcvd && (c.state == stateFinWait || c.finSent) && c.sndUna == c.sndNxt {
@@ -466,26 +759,173 @@ func (c *Conn) handle(flags uint8, seq, ack uint32, payload *netbuf.Chain) {
 	}
 }
 
-// teardown finalizes the connection.
+// recvData accepts one data segment: in-order delivery, duplicate
+// suppression, or bounded out-of-order buffering with an immediate
+// duplicate ack to trigger the sender's fast retransmit.
+func (c *Conn) recvData(flags uint8, seq uint32, payload *netbuf.Chain) {
+	t := c.t
+	if seq == c.rcvNxt && len(c.oooQ) == 0 {
+		// Fast path (the only path on a lossless fabric): deliver and run
+		// the delayed-ack clock exactly as before.
+		c.rcvNxt += uint32(payload.Len())
+		c.deliver(payload)
+		c.delack++
+		if c.delack >= 2 || flags&flagPSH != 0 {
+			c.delack = 0
+			c.sendSegmentSeq(flagACK, c.sndNxt, nil)
+		}
+		return
+	}
+	end := seq + uint32(payload.Len())
+	if seqLEQ(end, c.rcvNxt) {
+		// Wholly duplicate: suppress, but re-ack so the sender advances.
+		t.DupSegments++
+		payload.Release()
+		c.sendAck()
+		return
+	}
+	if seqLT(c.rcvNxt, seq) {
+		// Beyond a gap: buffer (or shed) and send a duplicate ack.
+		c.bufferOOO(seq, flags, payload)
+		c.sendAck()
+		return
+	}
+	// In-order head, possibly with a duplicate prefix to trim; afterwards
+	// drain whatever buffered segments the fill made contiguous.
+	if seqLT(seq, c.rcvNxt) {
+		t.DupSegments++
+		trim, err := payload.PullChain(int(c.rcvNxt - seq))
+		if err != nil {
+			payload.Release()
+			c.sendAck()
+			return
+		}
+		trim.Release()
+	}
+	c.rcvNxt = end
+	c.deliver(payload)
+	c.drainOOO()
+	c.sendAck()
+}
+
+// bufferOOO inserts one out-of-order segment into the sorted reassembly
+// queue, suppressing exact duplicates and shedding beyond maxOOO.
+func (c *Conn) bufferOOO(seq uint32, flags uint8, payload *netbuf.Chain) {
+	t := c.t
+	i := 0
+	for ; i < len(c.oooQ); i++ {
+		if seq == c.oooQ[i].seq {
+			t.DupSegments++
+			payload.Release()
+			return
+		}
+		if seqLT(seq, c.oooQ[i].seq) {
+			break
+		}
+	}
+	if len(c.oooQ) >= maxOOO {
+		t.OutOfOrderDrops++
+		payload.Release()
+		return
+	}
+	t.OutOfOrder++
+	c.oooQ = append(c.oooQ, oooSeg{})
+	copy(c.oooQ[i+1:], c.oooQ[i:])
+	c.oooQ[i] = oooSeg{seq: seq, flags: flags, payload: payload}
+}
+
+// drainOOO delivers buffered segments made contiguous by a gap fill.
+func (c *Conn) drainOOO() {
+	t := c.t
+	for len(c.oooQ) > 0 {
+		e := c.oooQ[0]
+		if seqLT(c.rcvNxt, e.seq) {
+			return
+		}
+		copy(c.oooQ, c.oooQ[1:])
+		c.oooQ[len(c.oooQ)-1] = oooSeg{}
+		c.oooQ = c.oooQ[:len(c.oooQ)-1]
+		end := e.seq + uint32(e.payload.Len())
+		if seqLEQ(end, c.rcvNxt) {
+			t.DupSegments++
+			e.payload.Release()
+			continue
+		}
+		if seqLT(e.seq, c.rcvNxt) {
+			trim, err := e.payload.PullChain(int(c.rcvNxt - e.seq))
+			if err != nil {
+				e.payload.Release()
+				continue
+			}
+			trim.Release()
+		}
+		c.rcvNxt = end
+		c.deliver(e.payload)
+	}
+}
+
+// deliver hands one in-order chain to the application.
+func (c *Conn) deliver(payload *netbuf.Chain) {
+	if c.receiver != nil {
+		c.receiver(payload)
+	} else {
+		payload.Release()
+	}
+}
+
+// abort tears the connection down outside an orderly close, optionally
+// notifying the peer with RST.
+func (c *Conn) abort(err error, notifyPeer bool) {
+	if c.state == stateClosed {
+		return
+	}
+	c.t.AbortedConns++
+	if notifyPeer {
+		c.sendSegmentSeq(flagRST|flagACK, c.sndNxt, nil)
+	}
+	if c.state == stateSynSent && c.onEstab != nil {
+		cb := c.onEstab
+		c.onEstab = nil
+		cb(nil, err)
+	}
+	c.teardown()
+}
+
+// teardown finalizes the connection and releases every retained buffer:
+// the unsent queue, the retransmission queue, and the reassembly queue.
 func (c *Conn) teardown() {
 	if c.state == stateClosed {
 		return
 	}
 	c.state = stateClosed
+	c.cancelRTO()
 	delete(c.t.conns, c.key)
 	if c.sendQ != nil {
 		c.sendQ.Release()
+		c.sendQ = nil
 	}
+	for i := range c.rtxQ {
+		if c.rtxQ[i].payload != nil {
+			c.rtxQ[i].payload.Release()
+		}
+		c.rtxQ[i] = rtxSeg{}
+	}
+	c.rtxQ = c.rtxQ[:0]
+	for i := range c.oooQ {
+		c.oooQ[i].payload.Release()
+		c.oooQ[i] = oooSeg{}
+	}
+	c.oooQ = c.oooQ[:0]
 	if c.onClose != nil {
 		c.onClose()
 	}
 }
 
-// acceptFn is stored on passive connections until established.
-// (kept at end of struct methods for clarity)
-
 // seqLEQ reports a <= b in sequence-number arithmetic.
 func seqLEQ(a, b uint32) bool { return int32(b-a) >= 0 }
+
+// seqLT reports a < b in sequence-number arithmetic.
+func seqLT(a, b uint32) bool { return int32(b-a) > 0 }
 
 // pseudoHeaderSum starts a checksum with the TCP pseudo-header. Length is
 // omitted (both sides compute it the same way; the simulated fabric never
@@ -499,3 +939,6 @@ func pseudoHeaderSum(src, dst eth.Addr) netbuf.Partial {
 	s.AddUint16(uint16(ipv4.ProtoTCP))
 	return s
 }
+
+// Conn satisfies the transport-neutral connection interface.
+var _ proto.Conn = (*Conn)(nil)

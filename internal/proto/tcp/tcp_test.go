@@ -201,17 +201,27 @@ func TestConnectionClose(t *testing.T) {
 
 func TestConnectToClosedPortIgnored(t *testing.T) {
 	eng, a, b := twoHosts(t)
-	called := false
-	a.tcp.Connect(a.addr, b.addr, 4444, func(c *Conn, err error) { called = true })
+	var gotConn *Conn
+	gotErr := error(nil)
+	called := 0
+	a.tcp.Connect(a.addr, b.addr, 4444, func(c *Conn, err error) {
+		called++
+		gotConn, gotErr = c, err
+	})
 	if err := eng.Run(); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
-	// No RST in this reduced TCP: the SYN is silently dropped and the
-	// callback never fires. (Real deployments would time out.)
-	if called {
-		t.Fatal("connect callback fired with no listener")
+	// A SYN to a closed port is refused with RST: the callback fires
+	// exactly once with a connection-refused error.
+	if called != 1 {
+		t.Fatalf("connect callback fired %d times, want 1", called)
 	}
-	_ = b
+	if gotConn != nil || gotErr == nil {
+		t.Fatalf("callback got (%v, %v), want (nil, refused)", gotConn, gotErr)
+	}
+	if len(a.tcp.conns) != 0 {
+		t.Fatalf("refused connection leaked state: %d conns", len(a.tcp.conns))
+	}
 }
 
 func TestSendOnClosedConnFails(t *testing.T) {

@@ -1,0 +1,115 @@
+// Connected-endpoint view of the datagram transport: a bound local port
+// associated with one peer, satisfying the transport-neutral proto.Conn
+// interface so datagram and stream transports are interchangeable to the
+// layers above.
+
+package udp
+
+import (
+	"ncache/internal/netbuf"
+	"ncache/internal/proto"
+	"ncache/internal/proto/eth"
+	"ncache/internal/simnet"
+)
+
+// MaxPayload is the largest datagram payload SendChain accepts.
+const MaxPayload = 0xffff - HeaderLen
+
+// Conn is a connected datagram endpoint: a local port bound to one peer.
+// Each chain handed to the receiver is one datagram payload; datagrams
+// from other peers arriving on the port are dropped.
+type Conn struct {
+	t          *Transport
+	local      eth.Addr
+	remote     eth.Addr
+	localPort  uint16
+	remotePort uint16
+	receiver   func(*netbuf.Chain)
+	closed     bool
+}
+
+// Open binds localPort and returns a connected endpoint to remote:port.
+func (t *Transport) Open(local eth.Addr, localPort uint16, remote eth.Addr, remotePort uint16) (*Conn, error) {
+	c := &Conn{
+		t:          t,
+		local:      local,
+		remote:     remote,
+		localPort:  localPort,
+		remotePort: remotePort,
+	}
+	if err := t.Bind(localPort, c.recv); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// DialConn is Open with the transport-neutral proto.Dialer shape: it binds
+// an ephemeral local port and completes immediately (datagram endpoints
+// have no handshake).
+func (t *Transport) DialConn(local, remote eth.Addr, port uint16, done func(proto.Conn, error)) {
+	for {
+		p := t.nextPort
+		if p == 0 {
+			t.nextPort = 49152
+			continue
+		}
+		t.nextPort++
+		c, err := t.Open(local, p, remote, port)
+		if err == nil {
+			done(c, nil)
+			return
+		}
+	}
+}
+
+func (c *Conn) recv(dg Datagram) {
+	if dg.Src != c.remote || dg.SrcPort != c.remotePort {
+		dg.Payload.Release()
+		return
+	}
+	if c.receiver != nil {
+		c.receiver(dg.Payload)
+	} else {
+		dg.Payload.Release()
+	}
+}
+
+// SendChain transmits one datagram to the peer, zero-copy. The endpoint
+// takes ownership of the chain.
+func (c *Conn) SendChain(payload *netbuf.Chain) error {
+	return c.t.SendChain(c.local, c.localPort, c.remote, c.remotePort, payload)
+}
+
+// SetReceiver installs the inbound datagram consumer (one chain per
+// datagram; the consumer must Release or pass on each chain exactly once).
+func (c *Conn) SetReceiver(f func(*netbuf.Chain)) { c.receiver = f }
+
+// MSS returns the largest payload one SendChain may carry.
+func (c *Conn) MSS() int { return MaxPayload }
+
+// Close releases the port binding.
+func (c *Conn) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.t.Unbind(c.localPort)
+}
+
+// Node returns the node owning the endpoint.
+func (c *Conn) Node() *simnet.Node { return c.t.node }
+
+// LocalAddr returns the endpoint's local address.
+func (c *Conn) LocalAddr() eth.Addr { return c.local }
+
+// RemoteAddr returns the peer's address.
+func (c *Conn) RemoteAddr() eth.Addr { return c.remote }
+
+// LocalPort returns the bound local port.
+func (c *Conn) LocalPort() uint16 { return c.localPort }
+
+// RemotePort returns the peer's port.
+func (c *Conn) RemotePort() uint16 { return c.remotePort }
+
+// Conn satisfies the transport-neutral connection interface.
+var _ proto.Conn = (*Conn)(nil)

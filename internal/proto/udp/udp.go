@@ -44,9 +44,10 @@ type Receiver func(dg Datagram)
 
 // Transport is a node's UDP layer.
 type Transport struct {
-	ip    *ipv4.Stack
-	node  *simnet.Node
-	ports map[uint16]Receiver
+	ip       *ipv4.Stack
+	node     *simnet.Node
+	ports    map[uint16]Receiver
+	nextPort uint16
 	// BadChecksums counts datagrams dropped for checksum mismatch.
 	BadChecksums uint64
 }
@@ -54,9 +55,10 @@ type Transport struct {
 // NewTransport creates the UDP layer and registers it with the IP stack.
 func NewTransport(ip *ipv4.Stack) *Transport {
 	t := &Transport{
-		ip:    ip,
-		node:  ip.Node(),
-		ports: make(map[uint16]Receiver),
+		ip:       ip,
+		node:     ip.Node(),
+		ports:    make(map[uint16]Receiver),
+		nextPort: 49152,
 	}
 	ip.Register(ipv4.ProtoUDP, t.receive)
 	return t

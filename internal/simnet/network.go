@@ -23,20 +23,10 @@ type Network struct {
 	// faultDropped counts frames the injector discarded at switch
 	// downlinks (transmit-side drops land on the NIC's own stats).
 	faultDropped uint64
-	// legacyIngress disables the registered-receive ownership transfer at
-	// delivery, reverting to PR 3's by-reference frames (receivers retain
-	// sender-pool buffers). Kept for one release as the differential-test
-	// reference; simulated results are bit-identical either way.
-	legacyIngress bool
+	// faultDuped counts extra frame copies the injector created at switch
+	// downlinks.
+	faultDuped uint64
 }
-
-// SetLegacyIngress selects the pre-registered-receive delivery path, where
-// frames keep their sender's buffer ownership. Differential tests run both
-// paths and compare results; default is the registered path.
-func (nw *Network) SetLegacyIngress(on bool) { nw.legacyIngress = on }
-
-// LegacyIngress reports whether the legacy by-reference delivery is active.
-func (nw *Network) LegacyIngress() bool { return nw.legacyIngress }
 
 // port is the switch side of one attachment: a downlink serializer toward
 // the NIC.
@@ -95,6 +85,10 @@ func (nw *Network) Faults() *fault.Injector { return nw.faults }
 // FaultDropped reports frames the injector discarded at switch downlinks.
 func (nw *Network) FaultDropped() uint64 { return nw.faultDropped }
 
+// FaultDuped reports extra frame copies the injector created at switch
+// downlinks.
+func (nw *Network) FaultDuped() uint64 { return nw.faultDuped }
+
 // forward moves a frame from an ingress NIC to its destination port.
 func (nw *Network) forward(from *NIC, frame *netbuf.Chain, corrupt bool) {
 	hdr, err := eth.Peek(frame)
@@ -122,4 +116,15 @@ func (nw *Network) forward(from *NIC, frame *netbuf.Chain, corrupt bool) {
 			p.nic.deliver(frame, corrupt)
 		})
 	})
+	if d.Dup {
+		// Injected duplicate at the downlink: a by-reference copy clocked
+		// after the original.
+		dup := frame.Clone()
+		nw.faultDuped++
+		p.down.Use(p.bw.serialization(wire), func() {
+			nw.eng.Schedule(nw.latency, func() {
+				p.nic.deliver(dup, corrupt)
+			})
+		})
+	}
 }

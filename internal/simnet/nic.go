@@ -118,26 +118,36 @@ func (n *NIC) Send(frame *netbuf.Chain) error {
 			n.net.forward(n, frame, d.Corrupt)
 		})
 	})
+	if d.Dup {
+		// Injected duplicate: an extra copy of the frame, clocked onto the
+		// wire like any other (it shares the payload buffers by reference,
+		// so receivers see it as a clone and never adopt its buffers).
+		dup := frame.Clone()
+		n.Stats.FaultDupTx++
+		n.Stats.PacketsTx++
+		n.Stats.BytesTx += uint64(size)
+		n.tx.Use(n.bw.serialization(wire), func() {
+			n.node.Eng.Schedule(n.latency, func() {
+				n.net.forward(n, dup, false)
+			})
+		})
+	}
 	return nil
 }
 
 // deliver hands a frame arriving from the fabric to the receive handler.
 // Corrupt frames paid for their wire time but fail checksum verification
 // here, so they are counted and discarded without reaching the stack.
-// On the registered-receive path (the default) the frame's buffers are first
-// adopted into this node's pools — the simulated DMA into the RX ring — so
-// everything upstack, including NCache capture, retains buffers this node
-// owns. The legacy by-reference path skips adoption and is kept one release
-// behind a flag for differential testing.
+// The frame's buffers are first adopted into this node's pools — the
+// simulated DMA into the RX ring — so everything upstack, including NCache
+// capture, retains buffers this node owns.
 func (n *NIC) deliver(frame *netbuf.Chain, corrupt bool) {
 	if corrupt {
 		n.Stats.FaultCorruptRx++
 		frame.Release()
 		return
 	}
-	if !n.net.legacyIngress {
-		n.ring.adopt(frame)
-	}
+	n.ring.adopt(frame)
 	n.Stats.PacketsRx++
 	n.Stats.BytesRx += uint64(frame.Len())
 	if n.rx == nil {

@@ -92,7 +92,7 @@ func TestStreamRPCEndToEnd(t *testing.T) {
 	})
 
 	var client *StreamClient
-	DialStream(cn, cTCP, 2, 1, 111, func(c *StreamClient, err error) {
+	DialStream(cn, cTCP.DialConn, 2, 1, 111, func(c *StreamClient, err error) {
 		if err != nil {
 			t.Fatalf("DialStream: %v", err)
 		}
@@ -153,7 +153,7 @@ func TestStreamRPCUnknownProc(t *testing.T) {
 	}
 	srv.Register(7, 1, 1, func(c Call) { c.Body.Release() })
 	var client *StreamClient
-	DialStream(cn, cTCP, 2, 1, 111, func(c *StreamClient, err error) { client = c })
+	DialStream(cn, cTCP.DialConn, 2, 1, 111, func(c *StreamClient, err error) { client = c })
 	if err := eng.Run(); err != nil {
 		t.Fatal(err)
 	}
