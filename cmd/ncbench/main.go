@@ -9,7 +9,14 @@
 //
 // Experiments: table1, table2, fig4, fig5a, fig5b, fig6a, fig6b, fig7,
 // transport, futurework, overhead, ablations, fig-fault, fig-fault-sweep,
-// all.
+// scaleout, all.
+//
+// scaleout (explicit-only, like fig-fault-sweep) grows the pass-through
+// tier to 1/2/4/8 front-end servers over sharded iSCSI targets with
+// control-plane routing and remap coherence, writing results/fig-scaleout.txt:
+//
+//	ncbench -exp scaleout
+//	ncbench -exp scaleout -window 200ms -scale 8   # quick smoke topology
 //
 // -cpuprofile/-memprofile write pprof profiles of the run; -benchjson
 // records per-experiment wall-clock and allocation metrics; -benchgate
@@ -57,7 +64,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ncbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: table1,table2,fig4,fig5a,fig5b,fig6a,fig6b,fig7,transport,futurework,overhead,ablations,fig-fault,fig-fault-sweep,all")
+	exp := fs.String("exp", "all", "experiment: table1,table2,fig4,fig5a,fig5b,fig6a,fig6b,fig7,transport,futurework,overhead,ablations,fig-fault,fig-fault-sweep,scaleout,all")
 	warmup := fs.Duration("warmup", 150*time.Millisecond, "steady-state warm-up (virtual time)")
 	window := fs.Duration("window", 600*time.Millisecond, "measurement window (virtual time)")
 	concurrency := fs.Int("concurrency", 8, "outstanding requests per client host")
@@ -285,6 +292,25 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if *exp == "scaleout" {
+		// Explicit-only (not part of "all"): four full cluster sweeps at
+		// growing topology and client population.
+		ran = true
+		var pts []bench.ScaleoutPoint
+		err := measured("scaleout", func() error {
+			var e error
+			pts, e = bench.RunScaleout(opt)
+			return e
+		})
+		if err != nil {
+			return fmt.Errorf("scaleout: %w", err)
+		}
+		table := bench.FormatScaleoutPoints(pts)
+		fmt.Println(table)
+		if err := writeResult("fig-scaleout.txt", []byte(table)); err != nil {
+			return err
+		}
+	}
 	if want("futurework") {
 		ran = true
 		var pts []bench.WireFormatPoint
@@ -384,7 +410,7 @@ func run(args []string) error {
 			on.GainPct, off.GainPct)
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want one of table1,table2,fig4,fig5a,fig5b,fig6a,fig6b,fig7,transport,futurework,overhead,ablations,fig-fault,fig-fault-sweep,all)", *exp)
+		return fmt.Errorf("unknown experiment %q (want one of table1,table2,fig4,fig5a,fig5b,fig6a,fig6b,fig7,transport,futurework,overhead,ablations,fig-fault,fig-fault-sweep,scaleout,all)", *exp)
 	}
 	if *benchGate != "" {
 		if err := gateAllocations(*benchGate, records); err != nil {

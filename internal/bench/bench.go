@@ -129,8 +129,13 @@ func synthContent(lbn int64, dst []byte) {
 
 // buildCluster assembles a testbed with the given file layout.
 type clusterSpec struct {
-	mode          passthru.Mode
-	nics          int
+	mode passthru.Mode
+	nics int
+	// servers/targets grow the testbed into the scale-out cluster
+	// (0 = the classic 1×1 testbed).
+	servers       int
+	targets       int
+	rangeBlocks   int64
 	clients       int
 	blocksPerDisk int64
 	fsCacheBlocks int
@@ -149,6 +154,9 @@ func (cs clusterSpec) build(layout func(*extfs.Formatter) error) (*passthru.Clus
 	cl, err := passthru.NewCluster(passthru.ClusterConfig{
 		Mode:          cs.mode,
 		ServerNICs:    cs.nics,
+		NumServers:    cs.servers,
+		NumTargets:    cs.targets,
+		RangeBlocks:   cs.rangeBlocks,
 		NumClients:    cs.clients,
 		BlocksPerDisk: cs.blocksPerDisk,
 		FSCacheBlocks: cs.fsCacheBlocks,
@@ -162,8 +170,8 @@ func (cs clusterSpec) build(layout func(*extfs.Formatter) error) (*passthru.Clus
 	if err != nil {
 		return nil, err
 	}
-	cl.Storage.Array.SetSynthesize(synthContent)
-	fmtr, err := extfs.Format(cl.Storage.Array, 8192)
+	cl.SetSynthesize(synthContent)
+	fmtr, err := extfs.Format(cl.DirectAccess(), 8192)
 	if err != nil {
 		return nil, err
 	}
@@ -183,25 +191,34 @@ func (cs clusterSpec) build(layout func(*extfs.Formatter) error) (*passthru.Clus
 
 // resetClusterStats restarts all measurement windows at the current instant.
 func resetClusterStats(cl *passthru.Cluster) {
-	cl.App.Node.CPU.ResetStats()
-	cl.Storage.Node.CPU.ResetStats()
-	for _, nic := range cl.App.Node.NICs() {
-		nic.ResetStats()
+	for _, app := range cl.Apps {
+		app.Node.CPU.ResetStats()
+		for _, nic := range app.Node.NICs() {
+			nic.ResetStats()
+		}
+		if app.Cache != nil {
+			app.Cache.Stats = app.Cache.Stats.Sub(app.Cache.Stats)
+		}
 	}
-	for _, d := range cl.Storage.Array.Disks() {
-		d.ResetStats()
+	for _, storage := range cl.Storages {
+		storage.Node.CPU.ResetStats()
+		for _, d := range storage.Array.Disks() {
+			d.ResetStats()
+		}
 	}
-	if cl.App.Cache != nil {
-		cl.App.Cache.Stats = cl.App.Cache.Stats.Sub(cl.App.Cache.Stats)
+	if cl.Control != nil {
+		cl.Control.Node().CPU.ResetStats()
 	}
 }
 
 // maxLinkUtil returns the highest transmit utilization across server NICs.
 func maxLinkUtil(cl *passthru.Cluster) float64 {
 	u := 0.0
-	for _, nic := range cl.App.Node.NICs() {
-		if v := nic.TxUtilization(); v > u {
-			u = v
+	for _, app := range cl.Apps {
+		for _, nic := range app.Node.NICs() {
+			if v := nic.TxUtilization(); v > u {
+				u = v
+			}
 		}
 	}
 	return u

@@ -1,0 +1,344 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"ncache/internal/extfs"
+	"ncache/internal/netbuf"
+	"ncache/internal/nfs"
+	"ncache/internal/passthru"
+	"ncache/internal/sim"
+	"ncache/internal/trace"
+	"ncache/internal/workload"
+)
+
+// ScaleoutCounts is the server-count sweep of the -exp scaleout experiment.
+var ScaleoutCounts = []int{1, 2, 4, 8}
+
+// ScaleoutTargets is the iSCSI shard count every sweep point runs over.
+const ScaleoutTargets = 2
+
+// scaleoutFlushPeriod paces the per-server background Cache.Sync that
+// drives FHO→LBN re-indexing (and thus remap/invalidate traffic) during
+// the measurement window.
+const scaleoutFlushPeriod = 40 * sim.Millisecond
+
+// ScaleoutPoint is one measured server count of the scale-out sweep. All
+// fields are plain scalars so seed-replay tests can compare points with
+// reflect.DeepEqual.
+type ScaleoutPoint struct {
+	Servers int
+	Targets int
+	// Streams is the number of concurrent closed-loop request streams
+	// (hosts × client processes × workers per process).
+	Streams       int
+	ThroughputMBs float64
+	OpsPerSec     float64
+	ReadP99Us     float64
+	WriteP99Us    float64
+	// ServerCPUMax is the hottest front-end server's utilization;
+	// ControlCPU is the control-plane node's (0 on one server).
+	ServerCPUMax float64
+	ControlCPU   float64
+	LinkUtil     float64
+	Errors       uint64
+	RouteErrors  uint64
+	// Control-plane activity over the whole run.
+	CPLookups       uint64
+	RemapsStarted   uint64
+	RemapsSent      uint64
+	RemapRetries    uint64
+	RemapsAbandoned uint64
+	InvalsApplied   uint64
+	ResolverRetries uint64
+	EpochFlushes    uint64
+}
+
+// RunScaleout sweeps the pass-through cluster across ScaleoutCounts
+// front-end servers over ScaleoutTargets shards, reporting aggregate
+// throughput and latency per server count (the scale-out figure).
+func RunScaleout(opt Options) ([]ScaleoutPoint, error) {
+	return RunScaleoutCounts(opt, ScaleoutCounts, ScaleoutTargets)
+}
+
+// RunScaleoutCounts runs the sweep over an explicit server-count list
+// (tests use small lists at short windows).
+func RunScaleoutCounts(opt Options, counts []int, targets int) ([]ScaleoutPoint, error) {
+	opt = opt.withDefaults()
+	var out []ScaleoutPoint
+	for _, n := range counts {
+		p, err := runScaleoutPoint(opt, n, targets)
+		if err != nil {
+			return nil, fmt.Errorf("scaleout %d servers: %w", n, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// runScaleoutPoint measures one (server count, target count) topology: a
+// hot-set read/write mix routed per file handle through each client host's
+// control-plane resolver, with client population scaled with the server
+// count (the paper's scale-out methodology: offered load grows with the
+// tier, so a flat curve means the tier does not scale).
+func runScaleoutPoint(opt Options, servers, targets int) (ScaleoutPoint, error) {
+	hosts := 2 * servers
+	procsPerHost := 32 / opt.Scale
+	if procsPerHost < 1 {
+		procsPerHost = 1
+	}
+	const (
+		reqSize   = 16 * 1024
+		writeSize = 8 * 1024
+		writePct  = 10
+	)
+	// The hot set grows with the tier (8 files per server) and shrinks with
+	// Options.Scale so short test windows still reach cache steady state.
+	fileSize := uint64(1<<20) / uint64(opt.Scale)
+	if fileSize < 64*1024 {
+		fileSize = 64 * 1024
+	}
+	numFiles := 8 * servers
+	fileBlocks := int64(fileSize / extfs.BlockSize)
+	cs := clusterSpec{
+		mode:          passthru.NCache,
+		nics:          1,
+		servers:       servers,
+		targets:       targets,
+		clients:       hosts,
+		blocksPerDisk: int64(numFiles)*fileBlocks + 8192,
+		fsCacheBlocks: 4096,
+		ncacheBytes:   64 << 20,
+		faultSpec:     opt.FaultSpec,
+		faultSeed:     opt.FaultSeed,
+	}
+	names := make([]string, numFiles)
+	cl, err := cs.build(func(f *extfs.Formatter) error {
+		for i := range names {
+			names[i] = fmt.Sprintf("hot%03d", i)
+			if _, err := f.AddFile(names[i], fileSize, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return ScaleoutPoint{}, err
+	}
+	files := make([]nfs.FH, numFiles)
+	for i, name := range names {
+		if files[i], err = lookupFH(cl, i%hosts, name); err != nil {
+			return ScaleoutPoint{}, err
+		}
+	}
+
+	// One routed client set per host; each simulated client process on the
+	// host shares the host's route cache, as processes on one machine share
+	// the kernel's.
+	scs := make([]*passthru.ScaleClient, hosts)
+	var routes []workload.RouteFn
+	for i := range scs {
+		if scs[i], err = cl.NewScaleClient(cl.Clients[i]); err != nil {
+			return ScaleoutPoint{}, err
+		}
+		for p := 0; p < procsPerHost; p++ {
+			routes = append(routes, scs[i].Route)
+		}
+	}
+
+	// Warm every file through its owning server (one routed sequential pass
+	// per file, spread across hosts) so the measured window starts from
+	// cache steady state on every topology — and every host's route cache
+	// is populated the same way a long-running deployment's would be.
+	if err := prefillRouted(cl, scs, files, fileSize, reqSize); err != nil {
+		return ScaleoutPoint{}, err
+	}
+
+	load := &workload.RoutedMixLoad{
+		Routes:      routes,
+		Files:       files,
+		FileSize:    fileSize,
+		RequestSize: reqSize,
+		WriteSize:   writeSize,
+		WritePct:    writePct,
+		Concurrency: opt.Concurrency,
+		Seed:        0x5ca1e0a7,
+	}
+	tr := trace.NewTracer(cl.Eng, fmt.Sprintf("scaleout/%dsrv", servers))
+	tr.SetKeepSpans(opt.Chrome != nil)
+	load.SetTracer(tr)
+
+	// Background flushers: every server syncs its dirty buffer cache on a
+	// staggered period, so dirty FHO-indexed blocks get written out (and
+	// re-indexed by LBN) while the window runs — the remap protocol is on
+	// the measured path, not just an idle-time cleanup.
+	flushing := true
+	for i, app := range cl.Apps {
+		app := app
+		var tick func()
+		tick = func() {
+			if !flushing {
+				return
+			}
+			app.Cache.Sync(func(error) {})
+			cl.Eng.Schedule(scaleoutFlushPeriod, tick)
+		}
+		cl.Eng.Schedule(scaleoutFlushPeriod+sim.Duration(i)*sim.Millisecond, tick)
+	}
+
+	p := ScaleoutPoint{
+		Servers: servers,
+		Targets: targets,
+		Streams: len(routes) * opt.Concurrency,
+	}
+	runner := &workload.Runner{Eng: cl.Eng, Warmup: opt.Warmup, Window: opt.Window}
+	cl.Faults.Arm()
+	m, err := runner.Run(load,
+		func() {
+			resetClusterStats(cl)
+			tr.ResetStats()
+		},
+		func() {
+			for _, app := range cl.Apps {
+				if u := app.Node.CPU.Utilization(); u > p.ServerCPUMax {
+					p.ServerCPUMax = u
+				}
+			}
+			if cl.Control != nil {
+				p.ControlCPU = cl.Control.Node().CPU.Utilization()
+			}
+			p.LinkUtil = maxLinkUtil(cl)
+			tr.Freeze()
+			cl.Faults.Quiesce()
+			// Stop the flushers so the post-window drain terminates.
+			flushing = false
+		})
+	if err != nil {
+		return ScaleoutPoint{}, err
+	}
+	p.ThroughputMBs = m.Throughput() / 1e6
+	p.OpsPerSec = m.OpsPerSec()
+	p.Errors = m.Errors
+	p.RouteErrors = load.RouteErrors()
+	if s := tr.Summary(); s != nil {
+		for _, op := range s.Ops {
+			switch op.Op {
+			case "read":
+				p.ReadP99Us = float64(op.P99) / 1e3
+			case "write":
+				p.WriteP99Us = float64(op.P99) / 1e3
+			}
+		}
+	}
+	if cl.Control != nil {
+		p.CPLookups = cl.Control.Stats.LookupsFH
+		p.RemapsStarted = cl.Control.Stats.RemapsStarted
+	}
+	for _, app := range cl.Apps {
+		if app.Agent != nil {
+			p.RemapsSent += app.Agent.Stats.RemapsSent
+			p.RemapRetries += app.Agent.Stats.RemapRetries
+			p.RemapsAbandoned += app.Agent.Stats.RemapsAbandoned
+			p.InvalsApplied += app.Agent.Stats.InvalidationsApplied
+		}
+	}
+	for _, sc := range scs {
+		if sc.Resolver != nil {
+			p.ResolverRetries += sc.Resolver.Stats.Retries
+			p.EpochFlushes += sc.Resolver.Stats.EpochFlush
+		}
+	}
+	opt.Chrome.Add(tr)
+	return p, nil
+}
+
+// prefillRouted streams every file once through its owning server.
+func prefillRouted(cl *passthru.Cluster, scs []*passthru.ScaleClient, files []nfs.FH, fileSize uint64, reqSize int) error {
+	pending := len(files)
+	var werr error
+	for i, fh := range files {
+		fh := fh
+		sc := scs[i%len(scs)]
+		sc.Route(fh, func(c *nfs.Client, err error) {
+			if err != nil {
+				if werr == nil {
+					werr = err
+				}
+				pending--
+				return
+			}
+			off := uint64(0)
+			var step func()
+			step = func() {
+				if off >= fileSize {
+					pending--
+					return
+				}
+				o := off
+				off += uint64(reqSize)
+				c.Read(fh, o, reqSize, func(data *netbuf.Chain, _ nfs.Attr, err error) {
+					if data != nil {
+						data.Release()
+					}
+					if err != nil {
+						if werr == nil {
+							werr = err
+						}
+						pending--
+						return
+					}
+					step()
+				})
+			}
+			step()
+		})
+	}
+	if err := cl.Eng.Run(); err != nil {
+		return err
+	}
+	if werr != nil {
+		return fmt.Errorf("scaleout prefill: %w", werr)
+	}
+	if pending != 0 {
+		return fmt.Errorf("scaleout prefill: %d files did not complete", pending)
+	}
+	return nil
+}
+
+// FormatScaleoutPoints renders the scale-out figure: aggregate throughput
+// and tail latency vs front-end server count, with speedup relative to the
+// one-server run and the control-plane activity that kept the tier
+// coherent while it scaled.
+func FormatScaleoutPoints(points []ScaleoutPoint) string {
+	var base float64
+	for _, p := range points {
+		if p.Servers == 1 {
+			base = p.ThroughputMBs
+		}
+	}
+	var b strings.Builder
+	b.WriteString("fig-scaleout: pass-through tier scale-out (hot-set mix, 10% writes, routed clients)\n")
+	fmt.Fprintf(&b, "%-7s %-7s %7s %9s %9s %7s %9s %10s %6s %6s %5s\n",
+		"servers", "targets", "streams", "MB/s", "ops/s", "speedup",
+		"read_p99", "write_p99", "srvCPU", "cpCPU", "errs")
+	for _, p := range points {
+		speedup := ""
+		if base > 0 {
+			speedup = fmt.Sprintf("%.2fx", p.ThroughputMBs/base)
+		}
+		fmt.Fprintf(&b, "%-7d %-7d %7d %9.1f %9.0f %7s %7.1fµs %8.1fµs %5.0f%% %5.0f%% %5d\n",
+			p.Servers, p.Targets, p.Streams, p.ThroughputMBs, p.OpsPerSec, speedup,
+			p.ReadP99Us, p.WriteP99Us, 100*p.ServerCPUMax, 100*p.ControlCPU,
+			p.Errors+p.RouteErrors)
+	}
+	b.WriteString("\ncontrol-plane activity (whole run):\n")
+	fmt.Fprintf(&b, "%-7s %9s %7s %7s %8s %8s %7s %7s\n",
+		"servers", "lookups", "remaps", "sent", "retries", "invals", "rslvRtr", "epFlush")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-7d %9d %7d %7d %8d %8d %7d %7d\n",
+			p.Servers, p.CPLookups, p.RemapsStarted, p.RemapsSent,
+			p.RemapRetries, p.InvalsApplied, p.ResolverRetries, p.EpochFlushes)
+	}
+	return b.String()
+}

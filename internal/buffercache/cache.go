@@ -16,6 +16,7 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"sort"
 
 	"ncache/internal/lkey"
 	"ncache/internal/metrics"
@@ -428,12 +429,20 @@ func (c *Cache) Unpin(b *Block) {
 	c.evictForRoom()
 }
 
-// Drop invalidates a block (file truncation/removal). Dirty contents are
-// discarded.
-func (c *Cache) Drop(lbn int64) {
-	if b, ok := c.blocks[lbn]; ok && b.pins == 0 && !b.flushing {
-		c.drop(b)
+// Drop invalidates a block (file truncation/removal, or a remote-remap
+// invalidation). Dirty contents are discarded. Returns false when the block
+// is pinned or mid-flush and could not be dropped — callers that must win
+// (invalidation protocols) retry after the pin drains.
+func (c *Cache) Drop(lbn int64) bool {
+	b, ok := c.blocks[lbn]
+	if !ok {
+		return true
 	}
+	if b.pins > 0 || b.flushing {
+		return false
+	}
+	c.drop(b)
+	return true
 }
 
 // Sync flushes every dirty block and calls done when all writes land.
@@ -444,6 +453,10 @@ func (c *Cache) Sync(done func(error)) {
 			dirty = append(dirty, b)
 		}
 	}
+	// Flush in LBN order: c.blocks is a map, and issue order decides the
+	// event schedule downstream (writeback batching, remap announcements) —
+	// runs must replay bit-for-bit.
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].LBN < dirty[j].LBN })
 	if len(dirty) == 0 {
 		done(nil)
 		return

@@ -1,0 +1,220 @@
+package controlplane
+
+import (
+	"fmt"
+
+	"ncache/internal/lkey"
+	"ncache/internal/proto"
+	"ncache/internal/proto/eth"
+	"ncache/internal/sim"
+	"ncache/internal/simnet"
+)
+
+// ResolverStats counts client-side routing activity.
+type ResolverStats struct {
+	Lookups     uint64
+	CacheHits   uint64
+	Retries     uint64
+	Failures    uint64
+	EpochFlush  uint64
+	StaleEpochs uint64
+}
+
+// routeEntry is one cached FH→server binding, tagged with the epoch it was
+// learned at.
+type routeEntry struct {
+	server int
+	addr   eth.Addr
+	epoch  uint64
+}
+
+// lookupWait is one in-flight lookup and its waiters.
+type lookupWait struct {
+	fh    lkey.FH
+	seq   uint64
+	tries int
+	done  []func(server int, addr eth.Addr, err error)
+}
+
+// Resolver is a client host's routing cache: it answers "which front-end
+// server owns this file handle" by asking the control plane once and
+// caching the binding. Responses carry the placement epoch; any response
+// newer than the cache flushes it, so stale routes die on the next answer
+// rather than lingering.
+type Resolver struct {
+	node   *simnet.Node
+	dial   proto.Dialer
+	local  eth.Addr
+	cpAddr eth.Addr
+
+	conn    proto.Conn
+	dialErr error
+	dialing bool
+	framer  *Framer
+
+	cache    map[lkey.FH]routeEntry
+	epoch    uint64
+	inflight map[lkey.FH]*lookupWait
+	nextSeq  uint64
+
+	RetryRTO sim.Duration
+	RetryMax int
+
+	Stats ResolverStats
+}
+
+// NewResolver creates a resolver on a client host dialing the control
+// plane at cp.
+func NewResolver(node *simnet.Node, dial proto.Dialer, local, cp eth.Addr) *Resolver {
+	return &Resolver{
+		node:     node,
+		dial:     dial,
+		local:    local,
+		cpAddr:   cp,
+		cache:    make(map[lkey.FH]routeEntry),
+		inflight: make(map[lkey.FH]*lookupWait),
+		RetryRTO: DefaultRetryRTO,
+		RetryMax: DefaultRetryMax,
+	}
+}
+
+// Epoch reports the highest placement epoch the resolver has seen.
+func (r *Resolver) Epoch() uint64 { return r.epoch }
+
+// Resolve answers the owning (server index, address) for fh, from cache or
+// the control plane. done may fire synchronously on a cache hit.
+func (r *Resolver) Resolve(fh lkey.FH, done func(server int, addr eth.Addr, err error)) {
+	r.Stats.Lookups++
+	if e, ok := r.cache[fh]; ok {
+		r.Stats.CacheHits++
+		done(e.server, e.addr, nil)
+		return
+	}
+	if w, ok := r.inflight[fh]; ok {
+		w.done = append(w.done, done)
+		return
+	}
+	r.nextSeq++
+	w := &lookupWait{fh: fh, seq: r.nextSeq, done: []func(int, eth.Addr, error){done}}
+	r.inflight[fh] = w
+	r.ensureConn(func(err error) {
+		if err != nil {
+			r.fail(w, err)
+			return
+		}
+		r.transmit(w)
+	})
+}
+
+// ensureConn dials the control plane once and reuses the connection.
+func (r *Resolver) ensureConn(ready func(error)) {
+	if r.conn != nil || r.dialErr != nil {
+		ready(r.dialErr)
+		return
+	}
+	if r.dialing {
+		// A concurrent Resolve is already dialing; poll on the retry
+		// granularity (dials in the sim complete quickly or not at all).
+		r.node.Eng.Schedule(r.RetryRTO, func() { r.ensureConn(ready) })
+		return
+	}
+	r.dialing = true
+	r.dial(r.local, r.cpAddr, Port, func(c proto.Conn, err error) {
+		r.dialing = false
+		if err != nil {
+			r.dialErr = err
+			ready(err)
+			return
+		}
+		r.conn = c
+		r.framer = NewFramer(r.handle)
+		c.SetReceiver(r.framer.Push)
+		ready(nil)
+	})
+}
+
+// transmit sends one lookup and arms its retry timer (bounded; a lookup
+// that exhausts its tries fails rather than hanging its waiters).
+func (r *Resolver) transmit(w *lookupWait) {
+	if _, live := r.inflight[w.fh]; !live || r.inflight[w.fh] != w {
+		return
+	}
+	if w.tries >= r.RetryMax {
+		r.fail(w, fmt.Errorf("controlplane: lookup fh=%x: no response after %d tries", w.fh, w.tries))
+		return
+	}
+	if w.tries > 0 {
+		r.Stats.Retries++
+	}
+	w.tries++
+	ch, err := Encode(r.node.TxPool, Msg{Type: MsgLookupFH, FH: w.fh, Seq: w.seq})
+	if err != nil {
+		r.fail(w, err)
+		return
+	}
+	if err := r.conn.SendChain(ch); err != nil {
+		r.fail(w, err)
+		return
+	}
+	r.node.Eng.Schedule(r.RetryRTO, func() { r.transmit(w) })
+}
+
+// fail completes a lookup's waiters with an error.
+func (r *Resolver) fail(w *lookupWait, err error) {
+	if r.inflight[w.fh] == w {
+		delete(r.inflight, w.fh)
+	}
+	r.Stats.Failures++
+	for _, d := range w.done {
+		d(-1, 0, err)
+	}
+}
+
+// handle consumes one control-plane response.
+func (r *Resolver) handle(m Msg) {
+	if m.Type != MsgLookupFHResp {
+		return
+	}
+	// Epoch discipline: a response from a newer placement epoch means every
+	// cached route may be stale — flush and relearn. Responses from older
+	// epochs (reordered datagrams) must not install routes over newer ones.
+	if m.Epoch > r.epoch {
+		if len(r.cache) > 0 {
+			r.Stats.EpochFlush++
+		}
+		r.cache = make(map[lkey.FH]routeEntry)
+		r.epoch = m.Epoch
+	} else if m.Epoch < r.epoch {
+		r.Stats.StaleEpochs++
+		return
+	}
+	w, ok := r.inflight[m.FH]
+	if !ok {
+		return
+	}
+	delete(r.inflight, m.FH)
+	if m.Status != 0 {
+		r.Stats.Failures++
+		for _, d := range w.done {
+			d(-1, 0, fmt.Errorf("controlplane: no server for fh=%x", m.FH))
+		}
+		return
+	}
+	e := routeEntry{server: int(m.Server), addr: m.Addr, epoch: m.Epoch}
+	r.cache[m.FH] = e
+	for _, d := range w.done {
+		d(e.server, e.addr, nil)
+	}
+}
+
+// Invalidate drops one cached route (callers that see a misroute can force
+// a relearn without waiting for an epoch bump).
+func (r *Resolver) Invalidate(fh lkey.FH) { delete(r.cache, fh) }
+
+// Close tears down the resolver's connection.
+func (r *Resolver) Close() {
+	if r.conn != nil {
+		r.conn.Close()
+		r.conn = nil
+	}
+}

@@ -1,0 +1,200 @@
+package controlplane
+
+import (
+	"testing"
+
+	"ncache/internal/lkey"
+	"ncache/internal/proto/eth"
+)
+
+// fhOf builds a distinct file handle per index.
+func fhOf(i uint64) lkey.FH {
+	var fh lkey.FH
+	fh[0] = byte(i >> 56)
+	fh[1] = byte(i >> 48)
+	fh[2] = byte(i >> 40)
+	fh[3] = byte(i >> 32)
+	fh[4] = byte(i >> 24)
+	fh[5] = byte(i >> 16)
+	fh[6] = byte(i >> 8)
+	fh[7] = byte(i)
+	return fh
+}
+
+// TestRingBalance: with 64 vnodes per member the keyspace must spread so no
+// member carries more than twice the load of any other.
+func TestRingBalance(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		r := NewRing(DefaultVNodes)
+		for m := 0; m < n; m++ {
+			r.Add(m)
+		}
+		counts := make([]int, n)
+		const keys = 100_000
+		for k := uint64(0); k < keys; k++ {
+			m := r.Lookup(k)
+			if m < 0 || m >= n {
+				t.Fatalf("n=%d: lookup(%d) = %d out of range", n, k, m)
+			}
+			counts[m]++
+		}
+		min, max := counts[0], counts[0]
+		for _, c := range counts[1:] {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if min == 0 || float64(max)/float64(min) > 2.0 {
+			t.Fatalf("n=%d: imbalanced ring: member loads %v (max/min > 2)", n, counts)
+		}
+	}
+}
+
+// TestRingMinimalMovement: adding a member must only move keys onto the new
+// member (about 1/n of them), never shuffle keys between old members; and
+// removing it must restore the prior placement exactly.
+func TestRingMinimalMovement(t *testing.T) {
+	const n, keys = 4, 50_000
+	r := NewRing(DefaultVNodes)
+	for m := 0; m < n; m++ {
+		r.Add(m)
+	}
+	before := make([]int, keys)
+	for k := range before {
+		before[k] = r.Lookup(uint64(k))
+	}
+	r.Add(n)
+	moved := 0
+	for k := range before {
+		now := r.Lookup(uint64(k))
+		if now == before[k] {
+			continue
+		}
+		if now != n {
+			t.Fatalf("key %d moved between old members: %d -> %d", k, before[k], now)
+		}
+		moved++
+	}
+	if moved == 0 {
+		t.Fatalf("adding a member moved no keys onto it")
+	}
+	if frac := float64(moved) / keys; frac > 2.0/float64(n+1) {
+		t.Fatalf("adding one member moved %.1f%% of keys (want about %.1f%%)",
+			100*frac, 100.0/float64(n+1))
+	}
+	r.Remove(n)
+	for k := range before {
+		if got := r.Lookup(uint64(k)); got != before[k] {
+			t.Fatalf("key %d: placement not restored after remove: %d != %d", k, got, before[k])
+		}
+	}
+}
+
+// TestRingDeterministic: the ring is a pure function of its member set —
+// insertion order must not matter, and repeated lookups must agree.
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing(DefaultVNodes)
+	b := NewRing(DefaultVNodes)
+	for _, m := range []int{0, 1, 2, 3} {
+		a.Add(m)
+	}
+	for _, m := range []int{3, 1, 0, 2} {
+		b.Add(m)
+	}
+	for k := uint64(0); k < 10_000; k++ {
+		if a.Lookup(k) != b.Lookup(k) {
+			t.Fatalf("key %d: placement depends on insertion order (%d vs %d)",
+				k, a.Lookup(k), b.Lookup(k))
+		}
+	}
+	if a.Lookup(42) != a.Lookup(42) {
+		t.Fatalf("lookup not stable")
+	}
+	if NewRing(DefaultVNodes).Lookup(1) != -1 {
+		t.Fatalf("empty ring must answer -1")
+	}
+}
+
+// TestRegistryPlacement: overrides beat the ring, and the epoch bumps on
+// every placement change so routing caches can tell stale answers apart.
+func TestRegistryPlacement(t *testing.T) {
+	addrs := []eth.Addr{0x0a000010, 0x0a000018, 0x0a000020, 0x0a000028}
+	g := NewRegistry(addrs, DefaultVNodes)
+	if g.Epoch() != 1 {
+		t.Fatalf("fresh registry epoch = %d, want 1", g.Epoch())
+	}
+	fh := fhOf(7)
+	hashed := g.ServerFor(fh)
+	if hashed < 0 || hashed >= len(addrs) {
+		t.Fatalf("ServerFor out of range: %d", hashed)
+	}
+	if g.AddrOf(hashed) != addrs[hashed] {
+		t.Fatalf("AddrOf(%d) = %x, want %x", hashed, g.AddrOf(hashed), addrs[hashed])
+	}
+	pinTo := (hashed + 1) % len(addrs)
+	g.Pin(fh, pinTo)
+	if g.Epoch() != 2 {
+		t.Fatalf("epoch after Pin = %d, want 2", g.Epoch())
+	}
+	if got := g.ServerFor(fh); got != pinTo {
+		t.Fatalf("pinned ServerFor = %d, want %d", got, pinTo)
+	}
+	g.Unpin(fh)
+	if g.Epoch() != 3 {
+		t.Fatalf("epoch after Unpin = %d, want 3", g.Epoch())
+	}
+	if got := g.ServerFor(fh); got != hashed {
+		t.Fatalf("ServerFor after Unpin = %d, want hash placement %d", got, hashed)
+	}
+	g.SetActive([]int{0, 1})
+	if g.Epoch() != 4 {
+		t.Fatalf("epoch after SetActive = %d, want 4", g.Epoch())
+	}
+	if got := g.ServerFor(fh); got != 0 && got != 1 {
+		t.Fatalf("ServerFor after shrink = %d, want member of {0,1}", got)
+	}
+}
+
+// TestTargetMapSplit: extents split exactly at range boundaries, adjacent
+// same-target pieces merge, and every block lands on the target TargetOf
+// names for it.
+func TestTargetMapSplit(t *testing.T) {
+	tm := NewTargetMap(4, 8, DefaultVNodes)
+	const start, blocks = int64(3), 64
+	exts := tm.Split(start, blocks)
+	covered := int64(0)
+	next := start
+	for i, e := range exts {
+		if e.LBN != next {
+			t.Fatalf("extent %d starts at %d, want %d", i, e.LBN, next)
+		}
+		if e.Blocks <= 0 {
+			t.Fatalf("extent %d empty", i)
+		}
+		for b := int64(0); b < int64(e.Blocks); b++ {
+			if got := tm.TargetOf(e.LBN + b); got != e.Target {
+				t.Fatalf("lbn %d: extent says target %d, TargetOf says %d",
+					e.LBN+b, e.Target, got)
+			}
+		}
+		if i > 0 && exts[i-1].Target == e.Target {
+			t.Fatalf("adjacent extents %d and %d share target %d (not merged)",
+				i-1, i, e.Target)
+		}
+		next += int64(e.Blocks)
+		covered += int64(e.Blocks)
+	}
+	if covered != blocks {
+		t.Fatalf("extents cover %d blocks, want %d", covered, blocks)
+	}
+	if tm.TargetOf(5) < 0 || tm.TargetOf(5) >= 4 {
+		t.Fatalf("TargetOf out of range")
+	}
+	one := NewTargetMap(1, 8, DefaultVNodes)
+	if got := one.Split(0, 100); len(got) != 1 || got[0].Target != 0 || got[0].Blocks != 100 {
+		t.Fatalf("single-target split: %+v", got)
+	}
+}

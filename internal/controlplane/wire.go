@@ -1,0 +1,201 @@
+package controlplane
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"ncache/internal/lkey"
+	"ncache/internal/netbuf"
+	"ncache/internal/proto/eth"
+)
+
+// Port is the control-plane service's well-known port (UDP and TCP).
+const Port uint16 = 964
+
+// MsgType enumerates the control-plane protocol messages.
+type MsgType uint8
+
+// Protocol messages. Lookups are client-side routing; Register binds a
+// front-end agent's return route; Remap/Invalidate/acks are the coherence
+// protocol for FHO→LBN re-indexing across servers.
+const (
+	MsgRegister MsgType = iota + 1
+	MsgRegisterAck
+	MsgLookupFH
+	MsgLookupFHResp
+	MsgLookupLBN
+	MsgLookupLBNResp
+	MsgRemap
+	MsgRemapAck
+	MsgInvalidate
+	MsgInvalidateAck
+)
+
+// MaxLBNs bounds the block list of one remap/invalidate message; larger
+// remap sets are chunked by the sender so every message fits one transmit
+// buffer (and one datagram).
+const MaxLBNs = 128
+
+// headerLen is the fixed encoded prefix:
+// type(1) status(1) server(2) from(2) pad(2) addr(4) epoch(8) seq(8) fh(8)
+// lbn(8) count(4).
+const headerLen = 48
+
+// Msg is one control-plane message. Fields are a union over the message
+// types; unused fields encode as zero.
+type Msg struct {
+	Type   MsgType
+	Status uint8
+	// Server is the message's subject server index: the origin of a
+	// remap/invalidate, the owner in a lookup response, the registrant.
+	Server uint16
+	// From is the sending server's index on acknowledgements.
+	From uint16
+	// Addr is the owning server's fabric address on lookup responses.
+	Addr eth.Addr
+	// Epoch stamps placement authority; Seq orders one server's remaps
+	// within an epoch. (Epoch, Seq, Server) identifies a remap exactly,
+	// which is what makes retries idempotent.
+	Epoch uint64
+	Seq   uint64
+	FH    lkey.FH
+	LBN   int64
+	LBNs  []int64
+}
+
+// encodedLen is the message's frame body size.
+func (m *Msg) encodedLen() int { return headerLen + 8*len(m.LBNs) }
+
+// marshal writes the message body into dst (len(dst) == m.encodedLen()).
+func (m *Msg) marshal(dst []byte) {
+	dst[0] = byte(m.Type)
+	dst[1] = m.Status
+	binary.BigEndian.PutUint16(dst[2:4], m.Server)
+	binary.BigEndian.PutUint16(dst[4:6], m.From)
+	dst[6], dst[7] = 0, 0
+	binary.BigEndian.PutUint32(dst[8:12], uint32(m.Addr))
+	binary.BigEndian.PutUint64(dst[12:20], m.Epoch)
+	binary.BigEndian.PutUint64(dst[20:28], m.Seq)
+	copy(dst[28:36], m.FH[:])
+	binary.BigEndian.PutUint64(dst[36:44], uint64(m.LBN))
+	binary.BigEndian.PutUint32(dst[44:48], uint32(len(m.LBNs)))
+	for i, l := range m.LBNs {
+		binary.BigEndian.PutUint64(dst[headerLen+8*i:], uint64(l))
+	}
+}
+
+// errShortMsg reports a truncated or oversized frame.
+var errShortMsg = errors.New("controlplane: short message")
+
+// unmarshal parses one frame body.
+func unmarshal(p []byte) (Msg, error) {
+	if len(p) < headerLen {
+		return Msg{}, errShortMsg
+	}
+	m := Msg{
+		Type:   MsgType(p[0]),
+		Status: p[1],
+		Server: binary.BigEndian.Uint16(p[2:4]),
+		From:   binary.BigEndian.Uint16(p[4:6]),
+		Addr:   eth.Addr(binary.BigEndian.Uint32(p[8:12])),
+		Epoch:  binary.BigEndian.Uint64(p[12:20]),
+		Seq:    binary.BigEndian.Uint64(p[20:28]),
+		LBN:    int64(binary.BigEndian.Uint64(p[36:44])),
+	}
+	copy(m.FH[:], p[28:36])
+	count := int(binary.BigEndian.Uint32(p[44:48]))
+	if count < 0 || count > MaxLBNs || len(p) < headerLen+8*count {
+		return Msg{}, fmt.Errorf("%w: count %d in %d bytes", errShortMsg, count, len(p))
+	}
+	if count > 0 {
+		m.LBNs = make([]int64, count)
+		for i := range m.LBNs {
+			m.LBNs[i] = int64(binary.BigEndian.Uint64(p[headerLen+8*i:]))
+		}
+	}
+	return m, nil
+}
+
+// frameLenBytes prefixes every message on the wire (both transports carry
+// the same framing: UDP datagrams hold exactly one frame, streams
+// concatenate them).
+const frameLenBytes = 4
+
+// Encode renders a message as one length-prefixed frame in a pooled transmit
+// buffer (owner "cp.msg" — transient control-message memory per the §9
+// ownership table: the transport consumes and releases it on send).
+func Encode(pool *netbuf.Pool, m Msg) (*netbuf.Chain, error) {
+	n := m.encodedLen()
+	var b *netbuf.Buf
+	if pb, err := pool.Get(); err == nil {
+		if pb.Tailroom() >= frameLenBytes+n {
+			b = pb
+		} else {
+			pb.Release()
+		}
+	}
+	if b == nil {
+		b = netbuf.New(0, frameLenBytes+n)
+	}
+	if err := b.Put(frameLenBytes + n); err != nil {
+		b.Release()
+		return nil, err
+	}
+	p := b.Bytes()
+	binary.BigEndian.PutUint32(p[0:4], uint32(n))
+	m.marshal(p[4:])
+	ch := netbuf.ChainOf(b)
+	ch.SetOwner("cp.msg")
+	return ch, nil
+}
+
+// Framer reassembles length-prefixed control messages from a transport
+// receiver. Control messages are header-only (no payload data rides them),
+// so the parse copies the few dozen bytes out of the wire buffers and
+// releases them immediately — the zero-copy discipline applies to block
+// payloads, not to the control plane.
+type Framer struct {
+	onMsg func(Msg)
+	buf   bytes.Buffer
+}
+
+// NewFramer creates a framer delivering parsed messages to onMsg.
+func NewFramer(onMsg func(Msg)) *Framer {
+	return &Framer{onMsg: onMsg}
+}
+
+// Push consumes one received chain (a datagram payload or a stream segment),
+// releasing it, and delivers every complete frame.
+func (f *Framer) Push(data *netbuf.Chain) {
+	if data != nil {
+		_ = data.Range(0, data.Len(), func(p []byte) bool {
+			f.buf.Write(p)
+			return true
+		})
+		data.Release()
+	}
+	for {
+		raw := f.buf.Bytes()
+		if len(raw) < frameLenBytes {
+			return
+		}
+		n := int(binary.BigEndian.Uint32(raw[0:4]))
+		if n < headerLen || n > headerLen+8*MaxLBNs {
+			// Corrupt framing: drop the buffered stream (a datagram
+			// transport re-syncs on the next datagram).
+			f.buf.Reset()
+			return
+		}
+		if len(raw) < frameLenBytes+n {
+			return
+		}
+		m, err := unmarshal(raw[frameLenBytes : frameLenBytes+n])
+		f.buf.Next(frameLenBytes + n)
+		if err != nil {
+			continue
+		}
+		f.onMsg(m)
+	}
+}

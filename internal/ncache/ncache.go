@@ -95,6 +95,11 @@ type Module struct {
 	lru  *list.List // front = most recent
 	used int64
 
+	// remapObserver, when set, receives the LBNs WriteOut re-indexed in
+	// one flush — the control-plane agent stages them there so peer
+	// servers can be told to invalidate their stale copies.
+	remapObserver func([]int64)
+
 	// Stats is the module's activity counters.
 	Stats Stats
 }
@@ -420,6 +425,7 @@ func (m *Module) WriteOut(lba int64, blocks int, data *netbuf.Chain) *netbuf.Cha
 	}
 	out := netbuf.NewChain()
 	touched := 0
+	var remapped []int64
 	for i := 0; i < blocks; i++ {
 		sub, err := data.Slice(i*bs, bs)
 		if err != nil {
@@ -460,6 +466,7 @@ func (m *Module) WriteOut(lba int64, blocks int, data *netbuf.Chain) *netbuf.Cha
 			m.index(e)
 			m.Stats.Remaps++
 			m.node.Copies.Remaps++
+			remapped = append(remapped, blockLBN)
 		}
 		m.touch(e)
 		out.AppendChain(e.chain.Clone())
@@ -469,10 +476,16 @@ func (m *Module) WriteOut(lba int64, blocks int, data *netbuf.Chain) *netbuf.Cha
 		m.node.Charge(sim.Duration(touched)*m.node.Cost.NCacheSubstNs, nil)
 		m.node.Copies.Substitutions += uint64(touched)
 	}
+	if len(remapped) > 0 && m.remapObserver != nil {
+		m.remapObserver(remapped)
+	}
 	data.Release()
 	m.evict()
 	return out
 }
+
+// SetRemapObserver installs the per-flush remap notification hook.
+func (m *Module) SetRemapObserver(fn func([]int64)) { m.remapObserver = fn }
 
 // ServeRead attempts to satisfy a block-read entirely from the LBN cache —
 // the second-level-cache role (§3.4): a file-system buffer-cache miss whose

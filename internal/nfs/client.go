@@ -50,6 +50,10 @@ func (c *Client) SetRetransmit(rto sim.Duration, maxTries int) {
 	}
 }
 
+// Node returns the client host's node — workloads draw zero-copy write
+// payloads from its pools.
+func (c *Client) Node() *simnet.Node { return c.rpc.Node() }
+
 // DatagramRPC returns the underlying datagram RPC client, or nil for stream
 // transports. Fault tests inspect its retransmission counters.
 func (c *Client) DatagramRPC() *sunrpc.Client {

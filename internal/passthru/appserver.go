@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"ncache/internal/buffercache"
+	"ncache/internal/controlplane"
 	"ncache/internal/extfs"
 	"ncache/internal/iscsi"
 	"ncache/internal/lkey"
@@ -25,6 +26,17 @@ type ServerConfig struct {
 	Mode        Mode
 	Addrs       []eth.Addr // one NIC per address (Fig 5(b) uses two)
 	StorageAddr eth.Addr
+	// StorageAddrs lists every iSCSI target for a sharded backend; empty
+	// means the single target at StorageAddr. Targets() routes blocks.
+	StorageAddrs []eth.Addr
+	// Targets places LBN ranges onto StorageAddrs (nil = single target).
+	Targets *controlplane.TargetMap
+	// ControlAddr, when nonzero, is the control-plane service this server
+	// registers with (scale-out clusters); ServerIndex is its protocol ID.
+	ControlAddr eth.Addr
+	ServerIndex int
+	// Name labels the node ("app" when empty — the single-server testbed).
+	Name string
 	// FSCacheBlocks bounds the file-system buffer cache. The paper keeps
 	// it small under NCache to control double buffering (§3.4).
 	FSCacheBlocks int
@@ -58,19 +70,30 @@ func DefaultServerConfig(mode Mode, addr, storage eth.Addr) ServerConfig {
 
 // AppServer is the pass-through server under test.
 type AppServer struct {
-	Node      *simnet.Node
-	Mode      Mode
-	UDP       *udp.Transport
-	TCP       *tcp.Transport
-	Initiator *iscsi.Initiator
-	Cache     *buffercache.Cache
-	FS        *extfs.FS
+	Node *simnet.Node
+	Mode Mode
+	UDP  *udp.Transport
+	TCP  *tcp.Transport
+	// Initiator is the first (or only) target's session; Initiators holds
+	// one session per iSCSI target when the backend is sharded.
+	Initiator  *iscsi.Initiator
+	Initiators []*iscsi.Initiator
+	Cache      *buffercache.Cache
+	FS         *extfs.FS
 	// NFS is one protocol server facing both transports: datagram RPC over
 	// UDP and record-marked RPC over TCP (the transport-comparison
 	// extension). One tx filter covers both.
 	NFS    *nfs.Server
 	Web    *WebServer
 	Module *ncache.Module
+	// Agent is this server's control-plane endpoint (nil outside
+	// scale-out clusters).
+	Agent *controlplane.Agent
+
+	// InvalDeferred / InvalDropGiveups count remote-invalidation retries
+	// against pinned buffer-cache blocks and the (pathological) give-ups.
+	InvalDeferred    uint64
+	InvalDropGiveups uint64
 
 	cfg  ServerConfig
 	path *dataPath
@@ -82,7 +105,11 @@ func NewAppServer(eng *sim.Engine, nw *simnet.Network, cfg ServerConfig) (*AppSe
 	if len(cfg.Addrs) == 0 {
 		return nil, fmt.Errorf("passthru: server needs at least one address")
 	}
-	node := simnet.NewNode(eng, "app", cfg.Cost)
+	name := cfg.Name
+	if name == "" {
+		name = "app"
+	}
+	node := simnet.NewNode(eng, name, cfg.Cost)
 	for _, a := range cfg.Addrs {
 		if _, err := nw.Attach(node, a, cfg.LinkBandwidth); err != nil {
 			return nil, fmt.Errorf("app attach: %w", err)
@@ -91,16 +118,25 @@ func NewAppServer(eng *sim.Engine, nw *simnet.Network, cfg ServerConfig) (*AppSe
 	ip := ipv4.NewStack(node)
 	udpT := udp.NewTransport(ip)
 	tcpT := tcp.NewTransport(ip)
-	ini := iscsi.NewInitiator(node, tcpT.DialConn, cfg.Addrs[0])
+	storageAddrs := cfg.StorageAddrs
+	if len(storageAddrs) == 0 {
+		storageAddrs = []eth.Addr{cfg.StorageAddr}
+	}
+	inis := make([]*iscsi.Initiator, len(storageAddrs))
+	for i := range inis {
+		inis[i] = iscsi.NewInitiator(node, tcpT.DialConn, cfg.Addrs[0])
+	}
 
 	s := &AppServer{
-		Node:      node,
-		Mode:      cfg.Mode,
-		UDP:       udpT,
-		TCP:       tcpT,
-		Initiator: ini,
-		cfg:       cfg,
+		Node:       node,
+		Mode:       cfg.Mode,
+		UDP:        udpT,
+		TCP:        tcpT,
+		Initiator:  inis[0],
+		Initiators: inis,
+		cfg:        cfg,
 	}
+	s.cfg.StorageAddrs = storageAddrs
 	switch cfg.Mode {
 	case NCache:
 		s.Module = ncache.New(node, ncache.Config{
@@ -108,88 +144,262 @@ func NewAppServer(eng *sim.Engine, nw *simnet.Network, cfg ServerConfig) (*AppSe
 			BlockSize:     extfs.BlockSize,
 			DisableRemap:  cfg.DisableRemap,
 		})
-		ini.SetReadHook(s.Module.CaptureLBN)
-		ini.SetWriteHook(s.Module.WriteOut)
-		ini.SetReadCache(s.Module.ServeRead)
+		for _, ini := range inis {
+			ini.SetReadHook(s.Module.CaptureLBN)
+			ini.SetWriteHook(s.Module.WriteOut)
+			ini.SetReadCache(s.Module.ServeRead)
+		}
 	case Baseline:
 		// The ideal comparator: regular-data payloads are dropped at
 		// the socket boundary; identity-free junk flows instead.
-		ini.SetReadHook(func(lba int64, blocks int, data *netbuf.Chain) *netbuf.Chain {
-			if blocks <= 0 {
-				return data
-			}
-			data.Release()
-			out := netbuf.NewChain()
-			for i := 0; i < blocks; i++ {
-				out.AppendChain(lkey.StampChainPool(node.BlkPool, lkey.Key{}, extfs.BlockSize))
-			}
-			return out
-		})
+		for _, ini := range inis {
+			ini.SetReadHook(func(lba int64, blocks int, data *netbuf.Chain) *netbuf.Chain {
+				if blocks <= 0 {
+					return data
+				}
+				data.Release()
+				out := netbuf.NewChain()
+				for i := 0; i < blocks; i++ {
+					out.AppendChain(lkey.StampChainPool(node.BlkPool, lkey.Key{}, extfs.BlockSize))
+				}
+				return out
+			})
+		}
 	}
 	s.path = &dataPath{mode: cfg.Mode, node: node, mod: s.Module, bs: extfs.BlockSize}
+	if cfg.ControlAddr != 0 {
+		s.Agent = controlplane.NewAgent(node, udpT.DialConn, cfg.Addrs[0], cfg.ControlAddr, cfg.ServerIndex)
+		s.Agent.SetInvalidate(s.ApplyInvalidate)
+		if s.Module != nil {
+			s.Module.SetRemapObserver(s.Agent.ObserveRemap)
+		}
+	}
 	return s, nil
 }
 
-// Start logs in to the storage server, mounts the file system, and brings
-// up the NFS (and optionally web) services.
+// ApplyInvalidate drops remotely-remapped blocks from this server's caches
+// (the control-plane invalidation path). NCache entries go at once; a
+// buffer-cache block that is pinned or mid-flush is retried briefly — the
+// pin is a transient read in flight, and the retry preserves "no stale
+// mapping outlives the remap ack" without wedging the protocol.
+func (s *AppServer) ApplyInvalidate(lbns []int64) {
+	for _, lbn := range lbns {
+		s.dropInvalid(lbn, 0)
+	}
+	s.Node.Charge(sim.Duration(len(lbns))*s.Node.Cost.NCacheMgmtNs, nil)
+}
+
+// invalDropTries bounds the pinned-block retry loop.
+const invalDropTries = 8
+
+func (s *AppServer) dropInvalid(lbn int64, tries int) {
+	if s.Module != nil {
+		s.Module.InvalidateLBN(lbn)
+	}
+	if s.Cache == nil || s.Cache.Drop(lbn) {
+		return
+	}
+	if tries >= invalDropTries {
+		s.InvalDropGiveups++
+		return
+	}
+	s.InvalDeferred++
+	s.Node.Eng.Schedule(sim.Millisecond, func() { s.dropInvalid(lbn, tries+1) })
+}
+
+// Start logs in to the storage targets, mounts the file system, and brings
+// up the NFS (and optionally web) services; in a scale-out cluster it then
+// registers with the control plane.
 func (s *AppServer) Start(done func(error)) {
-	s.Initiator.Connect(s.cfg.StorageAddr, func(err error) {
+	s.connectTargets(0, func(err error) {
 		if err != nil {
 			done(fmt.Errorf("iscsi connect: %w", err))
 			return
 		}
-		lower := &initiatorLower{ini: s.Initiator}
-		s.Cache = buffercache.New(s.Node, lower, s.cfg.FSCacheBlocks)
-		s.Cache.LogicalCopyNs = s.Node.Cost.LogicalCopyNs
-		extfs.Mount(s.Node, s.Cache, func(fs *extfs.FS, err error) {
-			if err != nil {
-				done(fmt.Errorf("mount: %w", err))
-				return
-			}
-			s.FS = fs
-			fs.SetMaterializer(s.path.materialize)
-			backend := &fsBackend{srv: s}
-			nfsSrv := nfs.NewServer(s.Node, backend)
-			if err := nfsSrv.ServeUDP(s.UDP); err != nil {
-				done(err)
-				return
-			}
-			if err := nfsSrv.ServeStream(s.TCP); err != nil {
-				done(err)
-				return
-			}
-			if s.Mode == NCache {
-				nfsSrv.SetTxFilter(s.Module.SubstituteMessage)
-			}
-			s.NFS = nfsSrv
-			if s.cfg.EnableWeb {
-				web, err := NewWebServer(s)
-				if err != nil {
-					done(err)
-					return
-				}
-				s.Web = web
-			}
-			done(nil)
-		})
+		s.startServices(done)
 	})
 }
 
-// initiatorLower adapts the iSCSI initiator as the buffer cache's block
-// store.
-type initiatorLower struct {
-	ini *iscsi.Initiator
+// connectTargets logs in to every iSCSI target in order.
+func (s *AppServer) connectTargets(i int, done func(error)) {
+	if i >= len(s.Initiators) {
+		done(nil)
+		return
+	}
+	s.Initiators[i].Connect(s.cfg.StorageAddrs[i], func(err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		s.connectTargets(i+1, done)
+	})
 }
 
-func (l *initiatorLower) BlockSize() int   { return l.ini.Geometry().BlockSize }
-func (l *initiatorLower) NumBlocks() int64 { return l.ini.Geometry().NumBlocks }
-
-func (l *initiatorLower) Read(lbn int64, count int, meta bool, done func(*netbuf.Chain, error)) {
-	l.ini.Read(lbn, count, meta, done)
+// startServices mounts the file system and brings up the protocol servers.
+func (s *AppServer) startServices(done func(error)) {
+	lower := newStorageLower(s)
+	s.Cache = buffercache.New(s.Node, lower, s.cfg.FSCacheBlocks)
+	s.Cache.LogicalCopyNs = s.Node.Cost.LogicalCopyNs
+	extfs.Mount(s.Node, s.Cache, func(fs *extfs.FS, err error) {
+		if err != nil {
+			done(fmt.Errorf("mount: %w", err))
+			return
+		}
+		s.FS = fs
+		fs.SetMaterializer(s.path.materialize)
+		backend := &fsBackend{srv: s}
+		nfsSrv := nfs.NewServer(s.Node, backend)
+		if err := nfsSrv.ServeUDP(s.UDP); err != nil {
+			done(err)
+			return
+		}
+		if err := nfsSrv.ServeStream(s.TCP); err != nil {
+			done(err)
+			return
+		}
+		if s.Mode == NCache {
+			nfsSrv.SetTxFilter(s.Module.SubstituteMessage)
+		}
+		s.NFS = nfsSrv
+		if s.cfg.EnableWeb {
+			web, err := NewWebServer(s)
+			if err != nil {
+				done(err)
+				return
+			}
+			s.Web = web
+		}
+		if s.Agent != nil {
+			s.Agent.Register(func(err error) {
+				if err != nil {
+					done(fmt.Errorf("controlplane register: %w", err))
+					return
+				}
+				done(nil)
+			})
+			return
+		}
+		done(nil)
+	})
 }
 
-func (l *initiatorLower) Write(lbn int64, data *netbuf.Chain, meta bool, done func(error)) {
-	l.ini.Write(lbn, data, meta, done)
+// storageLower adapts the server's iSCSI sessions as the buffer cache's
+// block store. With one target it is a direct pass-through; with a sharded
+// backend it routes each request's extents to their targets per the
+// cluster's TargetMap (every target exports the full global geometry, so a
+// block's LBN is the same everywhere and placement only picks the session).
+// It is also where completed flushes hand their remapped LBNs to the
+// control-plane agent: the remap announcement goes out only after the write
+// carrying the data committed, so a peer acting on the invalidation can
+// never re-read stale bytes from storage.
+type storageLower struct {
+	srv *AppServer
+}
+
+func newStorageLower(s *AppServer) *storageLower { return &storageLower{srv: s} }
+
+func (l *storageLower) BlockSize() int   { return l.srv.Initiator.Geometry().BlockSize }
+func (l *storageLower) NumBlocks() int64 { return l.srv.Initiator.Geometry().NumBlocks }
+
+// split routes one request; a nil TargetMap is the single-target identity.
+func (l *storageLower) split(lbn int64, blocks int) []controlplane.Extent {
+	if len(l.srv.Initiators) == 1 {
+		return []controlplane.Extent{{Target: 0, LBN: lbn, Blocks: blocks}}
+	}
+	return l.srv.cfg.Targets.Split(lbn, blocks)
+}
+
+func (l *storageLower) Read(lbn int64, count int, meta bool, done func(*netbuf.Chain, error)) {
+	exts := l.split(lbn, count)
+	if len(exts) == 1 {
+		l.srv.Initiators[exts[0].Target].Read(lbn, count, meta, done)
+		return
+	}
+	// Scatter the extents across their targets and reassemble the chains
+	// in LBN order once all complete.
+	parts := make([]*netbuf.Chain, len(exts))
+	remaining := len(exts)
+	var firstErr error
+	for i, ext := range exts {
+		i, ext := i, ext
+		l.srv.Initiators[ext.Target].Read(ext.LBN, ext.Blocks, meta, func(data *netbuf.Chain, err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			parts[i] = data
+			remaining--
+			if remaining > 0 {
+				return
+			}
+			if firstErr != nil {
+				for _, p := range parts {
+					if p != nil {
+						p.Release()
+					}
+				}
+				done(nil, firstErr)
+				return
+			}
+			out := netbuf.NewChain()
+			for _, p := range parts {
+				out.AppendChain(p)
+			}
+			done(out, nil)
+		})
+	}
+}
+
+func (l *storageLower) Write(lbn int64, data *netbuf.Chain, meta bool, done func(error)) {
+	exts := l.split(lbn, data.Len()/l.BlockSize())
+	if len(exts) == 1 {
+		l.writeExtent(exts[0].Target, lbn, data, meta, done)
+		return
+	}
+	bs := l.BlockSize()
+	remaining := len(exts)
+	var firstErr error
+	finish := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		remaining--
+		if remaining == 0 {
+			done(firstErr)
+		}
+	}
+	off := 0
+	for _, ext := range exts {
+		n := ext.Blocks * bs
+		sub, err := data.Slice(off, n)
+		if err != nil {
+			finish(err)
+			off += n
+			continue
+		}
+		l.writeExtent(ext.Target, ext.LBN, sub, meta, finish)
+		off += n
+	}
+	data.Release()
+}
+
+// writeExtent issues one target's write, capturing the LBNs the cache
+// module remapped inside it (the write hook runs synchronously within
+// Write) and announcing them to the control plane after the write commits.
+func (l *storageLower) writeExtent(target int, lbn int64, data *netbuf.Chain, meta bool, done func(error)) {
+	srv := l.srv
+	ag := srv.Agent
+	if ag == nil {
+		srv.Initiators[target].Write(lbn, data, meta, done)
+		return
+	}
+	var staged []int64
+	srv.Initiators[target].Write(lbn, data, meta, func(err error) {
+		if err == nil && len(staged) > 0 {
+			ag.SendRemap(staged)
+		}
+		done(err)
+	})
+	staged = ag.TakeStaged()
 }
 
 // inoFH converts an inode number to a file handle.

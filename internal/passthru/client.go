@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"ncache/internal/controlplane"
 	"ncache/internal/fault"
 	"ncache/internal/netbuf"
 	"ncache/internal/nfs"
@@ -199,13 +200,23 @@ func contentLength(header string) int {
 	return n
 }
 
-// Cluster bundles a full testbed: storage, app server, clients, fabric.
+// Cluster bundles a full testbed: storage, app server(s), clients, fabric.
 type Cluster struct {
-	Eng     *sim.Engine
-	Net     *simnet.Network
-	Storage *StorageServer
-	App     *AppServer
+	Eng *sim.Engine
+	Net *simnet.Network
+	// Storage/App are the first (or only) storage target and front-end
+	// server — the 1×1 testbed's names. Storages/Apps hold the full
+	// scale-out sets (length 1 on the classic testbed).
+	Storage  *StorageServer
+	App      *AppServer
+	Storages []*StorageServer
+	Apps     []*AppServer
+	// Control is the control-plane service (nil unless NumServers > 1).
+	Control *controlplane.Server
 	Clients []*ClientHost
+	// Targets routes LBN ranges to storage targets (nil on a single
+	// target).
+	Targets *controlplane.TargetMap
 	// Faults is the injector wired into every data-path resource when the
 	// config carries a fault spec (nil otherwise). It starts disarmed;
 	// experiments call Faults.Arm() once setup is done and Faults.Quiesce()
@@ -215,8 +226,15 @@ type Cluster struct {
 
 // ClusterConfig sizes a testbed.
 type ClusterConfig struct {
-	Mode          Mode
-	ServerNICs    int
+	Mode       Mode
+	ServerNICs int
+	// NumServers front-end pass-through servers share NumTargets iSCSI
+	// targets (both default to 1 — the paper's testbed). More than one
+	// server brings up the control plane for routing and remap coherence.
+	NumServers int
+	NumTargets int
+	// RangeBlocks is the LBN→target placement granularity (0 = default).
+	RangeBlocks   int64
 	NumClients    int
 	BlocksPerDisk int64
 	FSCacheBlocks int // 0 = mode default
@@ -243,15 +261,35 @@ const (
 
 // Well-known fabric addresses.
 const (
-	StorageAddr eth.Addr = 0x0a000001
-	ServerAddr  eth.Addr = 0x0a000010 // +1 per extra NIC
+	StorageAddr eth.Addr = 0x0a000001 // +1 per extra target
+	ServerAddr  eth.Addr = 0x0a000010 // +ServerAddrStride per server, +1 per extra NIC
+	ControlAddr eth.Addr = 0x0a0000f0 // the control-plane service
 	ClientAddr0 eth.Addr = 0x0a000100 // +1 per client
 )
 
-// NewCluster assembles the testbed of §5.2. Call Start to log in and mount.
+// ServerAddrStride spaces front-end servers' address blocks (bounding a
+// server to 8 NICs).
+const ServerAddrStride = 8
+
+// ServerAddrOf returns front-end server i's first NIC address.
+func ServerAddrOf(i int) eth.Addr { return ServerAddr + eth.Addr(i*ServerAddrStride) }
+
+// NewCluster assembles the testbed of §5.2 — or, with NumServers/NumTargets
+// above one, the scale-out cluster: N front-end servers over M sharded
+// targets coordinated by a control-plane node. Call Start to log in and
+// mount.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.ServerNICs <= 0 {
 		cfg.ServerNICs = 1
+	}
+	if cfg.ServerNICs > ServerAddrStride {
+		return nil, fmt.Errorf("passthru: at most %d NICs per server", ServerAddrStride)
+	}
+	if cfg.NumServers <= 0 {
+		cfg.NumServers = 1
+	}
+	if cfg.NumTargets <= 0 {
+		cfg.NumTargets = 1
 	}
 	if cfg.NumClients <= 0 {
 		cfg.NumClients = 2
@@ -265,34 +303,86 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	eng := sim.NewEngine()
 	nw := simnet.NewNetwork(eng, 5*sim.Microsecond)
 
-	scfg := DefaultStorageConfig(StorageAddr, cfg.BlocksPerDisk)
-	scfg.Cost = cfg.Cost
-	storage, err := NewStorageServer(eng, nw, scfg)
-	if err != nil {
-		return nil, err
+	cl := &Cluster{Eng: eng, Net: nw}
+	if cfg.NumServers > 1 || cfg.NumTargets > 1 {
+		cl.Targets = controlplane.NewTargetMap(cfg.NumTargets, cfg.RangeBlocks, 0)
 	}
 
-	addrs := make([]eth.Addr, cfg.ServerNICs)
-	for i := range addrs {
-		addrs[i] = ServerAddr + eth.Addr(i)
+	storageAddrs := make([]eth.Addr, cfg.NumTargets)
+	for j := 0; j < cfg.NumTargets; j++ {
+		storageAddrs[j] = StorageAddr + eth.Addr(j)
+		scfg := DefaultStorageConfig(storageAddrs[j], cfg.BlocksPerDisk)
+		scfg.Cost = cfg.Cost
+		if j > 0 {
+			scfg.Name = fmt.Sprintf("storage%d", j)
+			scfg.DiskPrefix = fmt.Sprintf("s%d.disk", j)
+		}
+		storage, err := NewStorageServer(eng, nw, scfg)
+		if err != nil {
+			return nil, err
+		}
+		cl.Storages = append(cl.Storages, storage)
 	}
-	acfg := DefaultServerConfig(cfg.Mode, addrs[0], StorageAddr)
-	acfg.Addrs = addrs
-	acfg.Cost = cfg.Cost
-	acfg.EnableWeb = cfg.EnableWeb
-	acfg.DisableRemap = cfg.DisableRemap
-	if cfg.FSCacheBlocks > 0 {
-		acfg.FSCacheBlocks = cfg.FSCacheBlocks
+	cl.Storage = cl.Storages[0]
+
+	serverAddrs := make([]eth.Addr, cfg.NumServers)
+	for i := range serverAddrs {
+		serverAddrs[i] = ServerAddrOf(i)
 	}
-	if cfg.NCacheBytes > 0 {
-		acfg.NCacheBytes = cfg.NCacheBytes
-	}
-	app, err := NewAppServer(eng, nw, acfg)
-	if err != nil {
-		return nil, err
+	if cfg.NumServers > 1 {
+		// The control plane comes up before any server so registrations
+		// land on a bound port.
+		cpNode := simnet.NewNode(eng, "cp", cfg.Cost)
+		if _, err := nw.Attach(cpNode, ControlAddr, simnet.Gbps); err != nil {
+			return nil, fmt.Errorf("cp attach: %w", err)
+		}
+		cpIP := ipv4.NewStack(cpNode)
+		cpUDP := udp.NewTransport(cpIP)
+		cpTCP := tcp.NewTransport(cpIP)
+		cl.Control = controlplane.NewServer(cpNode, controlplane.Config{
+			Servers:     serverAddrs,
+			NumTargets:  cfg.NumTargets,
+			RangeBlocks: cfg.RangeBlocks,
+		})
+		if err := cl.Control.ServeUDP(cpUDP); err != nil {
+			return nil, err
+		}
+		if err := cl.Control.ServeStream(cpTCP); err != nil {
+			return nil, err
+		}
 	}
 
-	cl := &Cluster{Eng: eng, Net: nw, Storage: storage, App: app}
+	for i := 0; i < cfg.NumServers; i++ {
+		addrs := make([]eth.Addr, cfg.ServerNICs)
+		for n := range addrs {
+			addrs[n] = serverAddrs[i] + eth.Addr(n)
+		}
+		acfg := DefaultServerConfig(cfg.Mode, addrs[0], storageAddrs[0])
+		acfg.Addrs = addrs
+		acfg.StorageAddrs = storageAddrs
+		acfg.Targets = cl.Targets
+		acfg.Cost = cfg.Cost
+		acfg.EnableWeb = cfg.EnableWeb
+		acfg.DisableRemap = cfg.DisableRemap
+		if cfg.NumServers > 1 {
+			acfg.Name = fmt.Sprintf("app%d", i)
+			acfg.ControlAddr = ControlAddr
+			acfg.ServerIndex = i
+		}
+		if cfg.FSCacheBlocks > 0 {
+			acfg.FSCacheBlocks = cfg.FSCacheBlocks
+		}
+		if cfg.NCacheBytes > 0 {
+			acfg.NCacheBytes = cfg.NCacheBytes
+		}
+		app, err := NewAppServer(eng, nw, acfg)
+		if err != nil {
+			return nil, err
+		}
+		cl.Apps = append(cl.Apps, app)
+	}
+	cl.App = cl.Apps[0]
+
 	for i := 0; i < cfg.NumClients; i++ {
 		host, err := NewClientHost(eng, nw, fmt.Sprintf("client%d", i),
 			ClientAddr0+eth.Addr(i), cfg.Cost, simnet.Gbps)
@@ -308,42 +398,57 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 		if in != nil {
 			nw.SetFaults(in)
-			for _, d := range storage.Array.Disks() {
-				d.SetFaults(in)
+			for _, storage := range cl.Storages {
+				for _, d := range storage.Array.Disks() {
+					d.SetFaults(in)
+				}
+				in.AttachCPU(storage.Node.Name+".cpu", storage.Node.CPU)
 			}
-			in.AttachCPU("storage.cpu", storage.Node.CPU)
-			in.AttachCPU("app.cpu", app.Node.CPU)
+			for _, app := range cl.Apps {
+				in.AttachCPU(app.Node.Name+".cpu", app.Node.CPU)
+				for _, ini := range app.Initiators {
+					ini.SetRetry(faultISCSITries, faultISCSIRetry)
+				}
+			}
+			if cl.Control != nil {
+				in.AttachCPU("cp.cpu", cl.Control.Node().CPU)
+			}
 			for _, host := range cl.Clients {
 				in.AttachCPU(host.Node.Name+".cpu", host.Node.CPU)
 			}
-			app.Initiator.SetRetry(faultISCSITries, faultISCSIRetry)
 			cl.Faults = in
 		}
 	}
 	return cl, nil
 }
 
-// Start completes the asynchronous bring-up and runs the engine until the
-// server is serving.
+// Start completes the asynchronous bring-up and runs the engine until every
+// server is serving (and, on scale-out clusters, registered with the
+// control plane).
 func (c *Cluster) Start() error {
+	pending := len(c.Apps)
 	var startErr error
-	started := false
-	c.App.Start(func(err error) {
-		startErr = err
-		started = true
-	})
+	for _, app := range c.Apps {
+		app.Start(func(err error) {
+			if err != nil && startErr == nil {
+				startErr = err
+			}
+			pending--
+		})
+	}
 	if err := c.Eng.Run(); err != nil {
 		return err
 	}
-	if !started {
-		return fmt.Errorf("passthru: server bring-up did not complete")
+	if pending != 0 {
+		return fmt.Errorf("passthru: server bring-up did not complete (%d pending)", pending)
 	}
 	if startErr != nil {
 		return startErr
 	}
 	for i, host := range c.Clients {
-		// Spread clients across the server's NICs (Fig 5(b)).
-		nic := c.App.Node.NICs()[i%len(c.App.Node.NICs())]
+		// Spread clients across the servers and their NICs (Fig 5(b)).
+		app := c.Apps[i%len(c.Apps)]
+		nic := app.Node.NICs()[(i/len(c.Apps))%len(app.Node.NICs())]
 		if err := host.MountNFS(nic.Addr); err != nil {
 			return err
 		}
@@ -370,7 +475,11 @@ func (c *Cluster) FaultCounters() (retrans, timeouts, dups, iscsiRetries uint64)
 			dups += rpc.DupReplies
 		}
 	}
-	iscsiRetries = c.App.Initiator.Retries
+	for _, app := range c.Apps {
+		for _, ini := range app.Initiators {
+			iscsiRetries += ini.Retries
+		}
+	}
 	return
 }
 
@@ -389,8 +498,12 @@ func (c *Cluster) TCPCounters() (retrans, rtos, fastrtx, protoErrs, aborted uint
 		protoErrs += t.ProtocolErrors
 		aborted += t.AbortedConns
 	}
-	add(c.Storage.TCP)
-	add(c.App.TCP)
+	for _, storage := range c.Storages {
+		add(storage.TCP)
+	}
+	for _, app := range c.Apps {
+		add(app.TCP)
+	}
 	for _, host := range c.Clients {
 		add(host.TCP)
 	}

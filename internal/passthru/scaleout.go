@@ -1,0 +1,109 @@
+package passthru
+
+import (
+	"fmt"
+
+	"ncache/internal/blockdev"
+	"ncache/internal/controlplane"
+	"ncache/internal/nfs"
+	"ncache/internal/proto/eth"
+	"ncache/internal/sim"
+)
+
+// shardedDirect presents the sharded targets' arrays as one zero-time setup
+// device: every target exports the full global geometry (the disks are
+// sparse), so mkfs and prefill write each block only to the target that
+// will serve it.
+type shardedDirect struct {
+	arrays []*blockdev.RAID0
+	tm     *controlplane.TargetMap
+}
+
+func (d *shardedDirect) Geometry() blockdev.Geometry { return d.arrays[0].Geometry() }
+
+func (d *shardedDirect) PeekBlock(lbn int64) []byte {
+	return d.arrays[d.tm.TargetOf(lbn)].PeekBlock(lbn)
+}
+
+func (d *shardedDirect) PokeBlock(lbn int64, data []byte) {
+	d.arrays[d.tm.TargetOf(lbn)].PokeBlock(lbn, data)
+}
+
+// DirectAccess returns the cluster's zero-time setup device: the single
+// array on the classic testbed, the placement-routed shard set on a
+// scale-out cluster.
+func (c *Cluster) DirectAccess() blockdev.DirectAccess {
+	if len(c.Storages) == 1 {
+		return c.Storage.Array
+	}
+	arrays := make([]*blockdev.RAID0, len(c.Storages))
+	for i, s := range c.Storages {
+		arrays[i] = s.Array
+	}
+	return &shardedDirect{arrays: arrays, tm: c.Targets}
+}
+
+// SetSynthesize installs a content function on every target's array (see
+// blockdev.RAID0.SetSynthesize).
+func (c *Cluster) SetSynthesize(fn func(arrayLBN int64, dst []byte)) {
+	for _, s := range c.Storages {
+		s.Array.SetSynthesize(fn)
+	}
+}
+
+// ScaleClient is one client host's routed view of the cluster: an NFS
+// client per front-end server plus the control-plane resolver that picks
+// which one serves each file handle.
+type ScaleClient struct {
+	Host *ClientHost
+	// NFS[i] talks to server i (its first NIC).
+	NFS []*nfs.Client
+	// Resolver is the routing cache (nil on a single-server cluster, where
+	// Route always answers NFS[0]).
+	Resolver *controlplane.Resolver
+}
+
+// NewScaleClient builds the routed client set on one host.
+func (c *Cluster) NewScaleClient(host *ClientHost) (*ScaleClient, error) {
+	sc := &ScaleClient{Host: host}
+	for _, app := range c.Apps {
+		nc, err := host.NewNFSClient(app.Node.NICs()[0].Addr)
+		if err != nil {
+			return nil, err
+		}
+		sc.NFS = append(sc.NFS, nc)
+	}
+	if len(c.Apps) > 1 {
+		sc.Resolver = controlplane.NewResolver(host.Node, host.UDP.DialConn, host.Addr, ControlAddr)
+	}
+	return sc, nil
+}
+
+// Route answers the NFS client owning fh. On multi-server clusters the
+// lookup may complete asynchronously (one control-plane round trip on a
+// cold route cache); done can fire synchronously on cache hits.
+func (sc *ScaleClient) Route(fh nfs.FH, done func(*nfs.Client, error)) {
+	if sc.Resolver == nil {
+		done(sc.NFS[0], nil)
+		return
+	}
+	sc.Resolver.Resolve(fh, func(server int, _ eth.Addr, err error) {
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		if server < 0 || server >= len(sc.NFS) {
+			done(nil, fmt.Errorf("passthru: fh=%x routed to unknown server %d", fh, server))
+			return
+		}
+		done(sc.NFS[server], nil)
+	})
+}
+
+// SetRetransmit applies datagram RPC retransmission to every per-server
+// client (lossy-fabric runs).
+func (sc *ScaleClient) SetRetransmit(rto sim.Duration, tries int) {
+	for _, nc := range sc.NFS {
+		nc.SetRetransmit(rto, tries)
+	}
+}

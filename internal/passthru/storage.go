@@ -22,6 +22,12 @@ type StorageConfig struct {
 	DiskModel        blockdev.Model
 	Cost             simnet.CostProfile
 	LinkBandwidth    simnet.Bandwidth
+	// Name and DiskPrefix label the node and its disks; empty keeps the
+	// single-target testbed's "storage"/"disk" names, scale-out targets
+	// pass "storage1"/"s1.disk" etc. so fault sites and metrics stay
+	// distinguishable.
+	Name       string
+	DiskPrefix string
 }
 
 // DefaultStorageConfig mirrors the testbed: 4 IDE disks, RAID-0, gigabit.
@@ -48,7 +54,13 @@ type StorageServer struct {
 
 // NewStorageServer builds and attaches the storage node to the fabric.
 func NewStorageServer(eng *sim.Engine, nw *simnet.Network, cfg StorageConfig) (*StorageServer, error) {
-	node := simnet.NewNode(eng, "storage", cfg.Cost)
+	if cfg.Name == "" {
+		cfg.Name = "storage"
+	}
+	if cfg.DiskPrefix == "" {
+		cfg.DiskPrefix = "disk"
+	}
+	node := simnet.NewNode(eng, cfg.Name, cfg.Cost)
 	if _, err := nw.Attach(node, cfg.Addr, cfg.LinkBandwidth); err != nil {
 		return nil, fmt.Errorf("storage attach: %w", err)
 	}
@@ -57,7 +69,7 @@ func NewStorageServer(eng *sim.Engine, nw *simnet.Network, cfg StorageConfig) (*
 
 	disks := make([]*blockdev.MemDisk, cfg.NumDisks)
 	for i := range disks {
-		disks[i] = blockdev.NewMemDisk(eng, fmt.Sprintf("disk%d", i), blockdev.Geometry{
+		disks[i] = blockdev.NewMemDisk(eng, fmt.Sprintf("%s%d", cfg.DiskPrefix, i), blockdev.Geometry{
 			BlockSize: 4096,
 			NumBlocks: cfg.BlocksPerDisk,
 		}, cfg.DiskModel)

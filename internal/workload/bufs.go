@@ -1,0 +1,25 @@
+package workload
+
+import (
+	"ncache/internal/netbuf"
+	"ncache/internal/nfs"
+)
+
+// junkChain draws an n-byte zeroed chain from the client host's registered
+// block pool: synthetic write bodies are identity-free junk (§5.1), so the
+// testbed's clients are copy-free — the payload is born in pooled network
+// buffers and handed straight to the zero-copy WRITE path, never staged
+// through a byte slice. The pool recycles the buffers when the RPC layer
+// releases them, keeping the steady-state client allocation-free.
+func junkChain(c *nfs.Client, n int) *netbuf.Chain {
+	ch, err := c.Node().BlkPool.GetZeroChain(n)
+	if err != nil {
+		// Unreachable on the unbounded default pools; allocate rather
+		// than drop the op if a test installs a bounded pool.
+		b := netbuf.New(0, n)
+		_ = b.Put(n)
+		ch = netbuf.ChainOf(b)
+	}
+	ch.SetOwner("workload.write")
+	return ch
+}

@@ -120,7 +120,6 @@ type NFSWriteLoad struct {
 	ops, bytes, errs uint64
 	stopped          bool
 	next             uint64
-	payload          []byte
 }
 
 var _ Load = (*NFSWriteLoad)(nil)
@@ -136,8 +135,6 @@ func (l *NFSWriteLoad) Start() {
 	if l.RNG == nil {
 		l.RNG = sim.NewRNG(2)
 	}
-	l.payload = make([]byte, l.RequestSize)
-	l.RNG.Fill(l.payload)
 	for _, c := range l.Clients {
 		for w := 0; w < l.Concurrency; w++ {
 			l.issue(c)
@@ -166,7 +163,7 @@ func (l *NFSWriteLoad) issue(c *nfs.Client) {
 	off := (l.next % span) * req
 	l.next++
 	sp := l.Tracer.Begin("write")
-	c.WriteBytes(l.FH, off, l.payload, func(n int, _ nfs.Attr, err error) {
+	c.Write(l.FH, off, junkChain(c, l.RequestSize), func(n int, _ nfs.Attr, err error) {
 		sp.Finish()
 		if err != nil {
 			l.errs++

@@ -53,7 +53,6 @@ type SFSLoad struct {
 	errs    uint64
 	stopped bool
 	scratch uint64
-	payload []byte
 }
 
 var _ Load = (*SFSLoad)(nil)
@@ -64,8 +63,6 @@ func (l *SFSLoad) Start() {
 		l.Cfg.Concurrency = 4
 	}
 	l.rng = sim.NewRNG(l.Cfg.Seed + 7)
-	l.payload = make([]byte, 32768)
-	l.rng.Fill(l.payload)
 	for _, c := range l.Clients {
 		for w := 0; w < l.Cfg.Concurrency; w++ {
 			l.issue(c)
@@ -136,7 +133,7 @@ func (l *SFSLoad) issue(c *nfs.Client) {
 			})
 			return
 		}
-		c.WriteBytes(f.FH, off, l.payload[:size], func(n int, _ nfs.Attr, err error) {
+		c.Write(f.FH, off, junkChain(c, size), func(n int, _ nfs.Attr, err error) {
 			finish(n, err)
 		})
 		return

@@ -87,7 +87,6 @@ type TracePlayer struct {
 	bytes   uint64
 	errs    uint64
 	stopped bool
-	payload []byte
 	// Done fires once when a non-looping replay exhausts the trace and
 	// all workers have drained.
 	Done     func()
@@ -101,8 +100,6 @@ func (p *TracePlayer) Start() {
 	if p.Concurrency <= 0 {
 		p.Concurrency = 4
 	}
-	p.payload = make([]byte, 64*1024)
-	sim.NewRNG(3).Fill(p.payload)
 	for _, c := range p.Clients {
 		for w := 0; w < p.Concurrency; w++ {
 			p.issue(c)
@@ -161,11 +158,7 @@ func (p *TracePlayer) issue(c *nfs.Client) {
 	}
 	switch op.Kind {
 	case OpWrite:
-		n := op.Len
-		if n > len(p.payload) {
-			n = len(p.payload)
-		}
-		c.WriteBytes(p.Trace.FH, op.Off, p.payload[:n], func(n int, _ nfs.Attr, err error) {
+		c.Write(p.Trace.FH, op.Off, junkChain(c, op.Len), func(n int, _ nfs.Attr, err error) {
 			finish(n, err)
 		})
 	case OpGetattr:
