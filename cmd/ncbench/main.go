@@ -18,6 +18,14 @@
 //	ncbench -exp scaleout
 //	ncbench -exp scaleout -window 200ms -scale 8   # quick smoke topology
 //
+// -workers N runs every cluster on the parallel discrete-event engine with
+// N worker threads (one shard per simulated node, conservative epochs at
+// the 5 µs fabric latency). Results are bit-identical for any N >= 1; only
+// wall-clock changes. Parallel runs record -benchjson entries under a
+// "-wN" name suffix:
+//
+//	ncbench -exp scaleout -workers 4 -benchjson BENCH_PR7.json
+//
 // -cpuprofile/-memprofile write pprof profiles of the run; -benchjson
 // records per-experiment wall-clock and allocation metrics; -benchgate
 // compares the run's allocation metrics against a committed -benchjson
@@ -73,10 +81,13 @@ func run(args []string) error {
 	traceOut := fs.String("trace", "", "write traced request timelines as chrome://tracing JSON to this file (implies tracing)")
 	faultSpec := fs.String("fault", "", "fault schedule for the NFS experiments: a preset (frame-loss, slow-disk, cpu-burst) or fault.ParseSpec grammar")
 	faultSeed := fs.Uint64("faultseed", 1, "seed for the fault injector's random streams (runs replay bit-for-bit per seed)")
+	workers := fs.Int("workers", 0, "parallel-engine worker threads (0 = legacy single engine; results are identical for any value >= 1, only wall-clock changes)")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile (after the run, post-GC) to this file")
 	benchJSON := fs.String("benchjson", "", "write per-experiment wall-clock and allocation metrics as JSON to this file")
 	benchGate := fs.String("benchgate", "", "compare this run's allocation metrics against a baseline -benchjson file; exit non-zero on an alloc_bytes regression above 5%")
+	speedupGate := fs.String("speedupgate", "", "compare this run's wall_ms against a baseline -benchjson file (matching experiments by name with any -wN suffix stripped); exit non-zero unless baseline/this >= -speedupmin")
+	speedupMin := fs.Float64("speedupmin", 1.5, "minimum wall-clock speedup demanded by -speedupgate")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -116,6 +127,7 @@ func run(args []string) error {
 		Latency:     *latency,
 		FaultSpec:   *faultSpec,
 		FaultSeed:   *faultSeed,
+		Workers:     *workers,
 	}
 	if *traceOut != "" {
 		opt.Chrome = trace.NewChromeTrace()
@@ -125,9 +137,15 @@ func run(args []string) error {
 	ran := false
 
 	// measured wraps one experiment run, recording wall-clock time and
-	// allocation deltas for the -benchjson report.
+	// allocation deltas for the -benchjson report. Parallel runs record
+	// under a -wN suffix so worker counts never gate against each other
+	// (allocation totals differ with the shard layout even though results
+	// are bit-identical).
 	var records []benchRecord
 	measured := func(name string, fn func() error) error {
+		if *workers > 0 {
+			name = fmt.Sprintf("%s-w%d", name, *workers)
+		}
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
 		start := time.Now()
@@ -417,8 +435,17 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if *speedupGate != "" {
+		if err := gateSpeedup(*speedupGate, *speedupMin, records); err != nil {
+			return err
+		}
+	}
 	if *benchJSON != "" {
-		rep := benchReport{Go: runtime.Version(), Command: "ncbench -exp " + *exp, Experiments: records}
+		cmd := "ncbench -exp " + *exp
+		if *workers > 0 {
+			cmd = fmt.Sprintf("%s -workers %d", cmd, *workers)
+		}
+		rep := benchReport{Go: runtime.Version(), Command: cmd, Experiments: records}
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			return fmt.Errorf("benchjson: %w", err)
@@ -500,6 +527,61 @@ func gateAllocations(path string, records []benchRecord) error {
 	if len(bad) > 0 {
 		return fmt.Errorf("benchgate: alloc_bytes regressed more than %.0f%%: %s",
 			tolerancePct, strings.Join(bad, ", "))
+	}
+	return nil
+}
+
+// stripWorkers removes a -wN worker suffix from a benchRecord name, so a
+// parallel run ("scaleout-w4") matches its sequential baseline ("scaleout"
+// or "scaleout-w1") across reports.
+func stripWorkers(name string) string {
+	if i := strings.LastIndex(name, "-w"); i > 0 {
+		digits := name[i+2:]
+		if len(digits) > 0 && strings.Trim(digits, "0123456789") == "" {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// gateSpeedup enforces the parallel-engine wall-clock gate: every experiment
+// this run shares with the baseline (worker suffixes stripped on both sides)
+// must run at least min times faster than the baseline recorded. Used by CI
+// to require the Workers=N engine to beat its Workers=1 oracle on the same
+// topology; meaningful only on a multi-core runner.
+func gateSpeedup(path string, min float64, records []benchRecord) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("speedupgate: %w", err)
+	}
+	var base benchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("speedupgate: %s: %w", path, err)
+	}
+	baseline := make(map[string]benchRecord, len(base.Experiments))
+	for _, e := range base.Experiments {
+		baseline[stripWorkers(e.Name)] = e
+	}
+	var bad []string
+	checked := 0
+	for _, r := range records {
+		b, ok := baseline[stripWorkers(r.Name)]
+		if !ok || b.WallMs == 0 || r.WallMs == 0 {
+			continue
+		}
+		checked++
+		speedup := b.WallMs / r.WallMs
+		fmt.Printf("speedupgate: %-20s wall_ms %10.1f vs baseline %10.1f (%.2fx)\n",
+			r.Name, r.WallMs, b.WallMs, speedup)
+		if speedup < min {
+			bad = append(bad, fmt.Sprintf("%s %.2fx < %.2fx", r.Name, speedup, min))
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("speedupgate: no experiments in common with %s", path)
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("speedupgate: wall-clock speedup below target: %s", strings.Join(bad, ", "))
 	}
 	return nil
 }

@@ -43,6 +43,12 @@ type Options struct {
 	// FaultSeed selects the replayable streams (zero means seed 1).
 	FaultSpec string
 	FaultSeed uint64
+	// Workers runs every cluster on the parallel discrete-event engine with
+	// this many workers (one shard per node, conservative epoch sync).
+	// 1 is the sequential oracle of the sharded semantics; 0 keeps the
+	// classic single engine. Results are bit-identical across worker
+	// counts >= 1; only wall-clock time changes.
+	Workers int
 }
 
 // withDefaults fills unset options.
@@ -147,6 +153,8 @@ type clusterSpec struct {
 	// faultSpec/faultSeed wire a disarmed injector into the testbed.
 	faultSpec string
 	faultSeed uint64
+	// workers selects the parallel engine (see Options.Workers).
+	workers int
 }
 
 // build creates, formats and starts the cluster; layout adds files.
@@ -166,6 +174,7 @@ func (cs clusterSpec) build(layout func(*extfs.Formatter) error) (*passthru.Clus
 		Cost:          cs.cost,
 		FaultSpec:     cs.faultSpec,
 		FaultSeed:     cs.faultSeed,
+		Workers:       cs.workers,
 	})
 	if err != nil {
 		return nil, err

@@ -116,6 +116,7 @@ func runFaultPoint(opt Options, mode passthru.Mode) (NFSPoint, error) {
 		ncacheBytes:   64 << 20,
 		faultSpec:     opt.FaultSpec,
 		faultSeed:     opt.FaultSeed,
+		workers:       opt.Workers,
 	}
 	var spec extfs.FileSpec
 	cl, err := cs.build(func(f *extfs.Formatter) error {
@@ -126,6 +127,7 @@ func runFaultPoint(opt Options, mode passthru.Mode) (NFSPoint, error) {
 	if err != nil {
 		return NFSPoint{}, err
 	}
+	defer cl.Close()
 	fh, err := lookupFH(cl, 0, "bigfile")
 	if err != nil {
 		return NFSPoint{}, err

@@ -44,6 +44,7 @@ func runFig4Point(opt Options, mode passthru.Mode, reqKB int, fileBlocks int64) 
 		ncacheBytes:   64 << 20, // misses don't reuse it; keep memory low
 		faultSpec:     opt.FaultSpec,
 		faultSeed:     opt.FaultSeed,
+		workers:       opt.Workers,
 	}
 	var spec extfs.FileSpec
 	cl, err := cs.build(func(f *extfs.Formatter) error {
@@ -54,6 +55,7 @@ func runFig4Point(opt Options, mode passthru.Mode, reqKB int, fileBlocks int64) 
 	if err != nil {
 		return NFSPoint{}, err
 	}
+	defer cl.Close()
 	fh, err := lookupFH(cl, 0, "bigfile")
 	if err != nil {
 		return NFSPoint{}, err
@@ -113,6 +115,7 @@ func runFig5Point(opt Options, mode passthru.Mode, reqKB, nics int) (NFSPoint, e
 		ncacheBytes:   64 << 20,
 		faultSpec:     opt.FaultSpec,
 		faultSeed:     opt.FaultSeed,
+		workers:       opt.Workers,
 	}
 	cl, err := cs.build(func(f *extfs.Formatter) error {
 		_, err := f.AddFile("hotfile", hotBytes, nil)
@@ -121,6 +124,7 @@ func runFig5Point(opt Options, mode passthru.Mode, reqKB, nics int) (NFSPoint, e
 	if err != nil {
 		return NFSPoint{}, err
 	}
+	defer cl.Close()
 	fh, err := lookupFH(cl, 0, "hotfile")
 	if err != nil {
 		return NFSPoint{}, err

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// parallelWorkerCounts is the sweep each experiment replays under: the
+// sharded sequential oracle (Workers=1) against 2, 4 and GOMAXPROCS
+// workers, deduplicated. Workers=0 (the legacy single engine) is a
+// different schedule by design and is covered by the seed-replay tests.
+func parallelWorkerCounts() []int {
+	counts := []int{2, 4}
+	if n := runtime.GOMAXPROCS(0); n != 2 && n != 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// parOpts is quickOpts at a shorter window: the equality being checked is
+// bit-exactness across worker counts, which a 40 ms window exercises as
+// thoroughly as an 80 ms one at half the wall-clock.
+func parOpts() Options {
+	opt := quickOpts()
+	opt.Warmup = opt.Warmup / 2
+	opt.Window = opt.Window / 2
+	return opt
+}
+
+// runParallelSweep runs one experiment at Workers=1 and then at each
+// parallelWorkerCounts entry, requiring byte-identical captures — counters,
+// rates, and (where the experiment traces) latency summaries with their
+// full histograms, via diffPoints' reflect.DeepEqual.
+func runParallelSweep(t *testing.T, what string, opt Options,
+	run func(Options) (interface{}, error)) {
+	t.Helper()
+	opt.Workers = 1
+	want, err := run(opt)
+	if err != nil {
+		t.Fatalf("%s workers=1: %v", what, err)
+	}
+	for _, w := range parallelWorkerCounts() {
+		opt.Workers = w
+		got, err := run(opt)
+		if err != nil {
+			t.Fatalf("%s workers=%d: %v", what, w, err)
+		}
+		diffPoints(t, fmt.Sprintf("%s workers=%d vs workers=1", what, w), want, got)
+	}
+}
+
+// TestParallelReplayFig5b: the Figure 5(b) sweep — every mode and request
+// size, with latency tracing on so the per-op histograms are part of the
+// comparison — is identical for any worker count.
+func TestParallelReplayFig5b(t *testing.T) {
+	opt := parOpts()
+	opt.Latency = true
+	runParallelSweep(t, "fig5b", opt, func(o Options) (interface{}, error) {
+		return RunFig5b(o)
+	})
+}
+
+// TestParallelReplayFigFault: the degradation table replays identically
+// across worker counts under every fault scenario — the per-site injector
+// streams, recovery machinery and per-layer fault attribution included.
+// NCACHE_FAULT_SEED extends this to the CI seed matrix.
+func TestParallelReplayFigFault(t *testing.T) {
+	opt := parOpts()
+	opt.Latency = true
+	opt.FaultSeed = testFaultSeed(t)
+	runParallelSweep(t, "fig-fault", opt, func(o Options) (interface{}, error) {
+		return RunFigFault(o)
+	})
+}
+
+// TestParallelReplayTransport: the UDP/TCP comparison under injected frame
+// loss — TCP RTO/fast-retransmit and datagram-RPC retransmission counts are
+// part of the compared points — is worker-count invariant.
+func TestParallelReplayTransport(t *testing.T) {
+	opt := parOpts()
+	opt.FaultSpec = "frame-loss"
+	opt.FaultSeed = testFaultSeed(t)
+	runParallelSweep(t, "transport", opt, func(o Options) (interface{}, error) {
+		return RunTransportComparison(o)
+	})
+}
+
+// TestParallelReplayScaleout: the scale-out run — routed clients, control
+// plane, background flushers and remap traffic across many nodes — is the
+// largest shard graph in the suite and must stay worker-count invariant.
+func TestParallelReplayScaleout(t *testing.T) {
+	opt := parOpts()
+	runParallelSweep(t, "scaleout", opt, func(o Options) (interface{}, error) {
+		return RunScaleoutCounts(o, []int{2}, ScaleoutTargets)
+	})
+}
+
+// TestParallelReplayScaleoutFaulted extends the scale-out invariance to the
+// fault-injected regime of the acceptance criterion: frame loss on the
+// client links with RPC retransmission enabled.
+func TestParallelReplayScaleoutFaulted(t *testing.T) {
+	opt := parOpts()
+	opt.FaultSpec = "frame-loss"
+	opt.FaultSeed = testFaultSeed(t)
+	runParallelSweep(t, "scaleout under frame-loss", opt, func(o Options) (interface{}, error) {
+		return RunScaleoutCounts(o, []int{2}, ScaleoutTargets)
+	})
+}

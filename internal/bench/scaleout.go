@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"ncache/internal/extfs"
 	"ncache/internal/netbuf"
@@ -112,6 +113,7 @@ func runScaleoutPoint(opt Options, servers, targets int) (ScaleoutPoint, error) 
 		ncacheBytes:   64 << 20,
 		faultSpec:     opt.FaultSpec,
 		faultSeed:     opt.FaultSeed,
+		workers:       opt.Workers,
 	}
 	names := make([]string, numFiles)
 	cl, err := cs.build(func(f *extfs.Formatter) error {
@@ -126,6 +128,7 @@ func runScaleoutPoint(opt Options, servers, targets int) (ScaleoutPoint, error) 
 	if err != nil {
 		return ScaleoutPoint{}, err
 	}
+	defer cl.Close()
 	files := make([]nfs.FH, numFiles)
 	for i, name := range names {
 		if files[i], err = lookupFH(cl, i%hosts, name); err != nil {
@@ -253,26 +256,34 @@ func runScaleoutPoint(opt Options, servers, targets int) (ScaleoutPoint, error) 
 	return p, nil
 }
 
-// prefillRouted streams every file once through its owning server.
+// prefillRouted streams every file once through its owning server. The
+// completion tallies are mutex-guarded: each file's chain of callbacks runs
+// on its issuing host's shard under the parallel engine.
 func prefillRouted(cl *passthru.Cluster, scs []*passthru.ScaleClient, files []nfs.FH, fileSize uint64, reqSize int) error {
+	var mu sync.Mutex
 	pending := len(files)
 	var werr error
+	fileDone := func(err error) {
+		mu.Lock()
+		if err != nil && werr == nil {
+			werr = err
+		}
+		pending--
+		mu.Unlock()
+	}
 	for i, fh := range files {
 		fh := fh
 		sc := scs[i%len(scs)]
 		sc.Route(fh, func(c *nfs.Client, err error) {
 			if err != nil {
-				if werr == nil {
-					werr = err
-				}
-				pending--
+				fileDone(err)
 				return
 			}
 			off := uint64(0)
 			var step func()
 			step = func() {
 				if off >= fileSize {
-					pending--
+					fileDone(nil)
 					return
 				}
 				o := off
@@ -282,10 +293,7 @@ func prefillRouted(cl *passthru.Cluster, scs []*passthru.ScaleClient, files []nf
 						data.Release()
 					}
 					if err != nil {
-						if werr == nil {
-							werr = err
-						}
-						pending--
+						fileDone(err)
 						return
 					}
 					step()

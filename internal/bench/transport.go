@@ -111,6 +111,7 @@ func runTransportPoint(opt Options, mode passthru.Mode, tr NFSTransport) (Transp
 		ncacheBytes:   64 << 20,
 		faultSpec:     opt.FaultSpec,
 		faultSeed:     opt.FaultSeed,
+		workers:       opt.Workers,
 	}
 	cl, err := cs.build(func(f *extfs.Formatter) error {
 		_, err := f.AddFile("hotfile", hotBytes, nil)
@@ -119,6 +120,7 @@ func runTransportPoint(opt Options, mode passthru.Mode, tr NFSTransport) (Transp
 	if err != nil {
 		return TransportPoint{}, err
 	}
+	defer cl.Close()
 	fh, err := lookupFH(cl, 0, "hotfile")
 	if err != nil {
 		return TransportPoint{}, err

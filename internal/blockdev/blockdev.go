@@ -153,7 +153,7 @@ func (d *MemDisk) ReadBlocks(lbn int64, count int, done func([]byte, error)) {
 	}
 	n := count * d.geom.BlockSize
 	trace.To(d.eng, trace.LDisk)
-	fd := d.faults.Disk(d.name)
+	fd := d.faults.Disk(d.eng, d.name)
 	d.arm.Use(d.serviceTime(lbn, n)+fd.Delay, func() {
 		if fd.Err {
 			d.FaultErrors++
@@ -188,7 +188,7 @@ func (d *MemDisk) WriteBlocks(lbn int64, data []byte, done func(error)) {
 		return
 	}
 	trace.To(d.eng, trace.LDisk)
-	fd := d.faults.Disk(d.name)
+	fd := d.faults.Disk(d.eng, d.name)
 	d.arm.Use(d.serviceTime(lbn, len(data))+fd.Delay, func() {
 		if fd.Err {
 			d.FaultErrors++

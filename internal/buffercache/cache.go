@@ -104,7 +104,7 @@ func (c *Cache) Len() int { return len(c.blocks) }
 // DirtyCount returns the number of dirty resident blocks.
 func (c *Cache) DirtyCount() int {
 	n := 0
-	for _, b := range c.blocks {
+	for _, b := range c.blocks { // det: commutative (count)
 		if b.Dirty {
 			n++
 		}
@@ -448,7 +448,7 @@ func (c *Cache) Drop(lbn int64) bool {
 // Sync flushes every dirty block and calls done when all writes land.
 func (c *Cache) Sync(done func(error)) {
 	var dirty []*Block
-	for _, b := range c.blocks {
+	for _, b := range c.blocks { // det: sorted (by LBN below, before any I/O is issued)
 		if b.Dirty && !b.flushing {
 			dirty = append(dirty, b)
 		}

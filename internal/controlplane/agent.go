@@ -98,7 +98,7 @@ func (a *Agent) Epoch() uint64 { return a.epoch }
 // Pending counts unacknowledged remap announcements (drain assertions).
 func (a *Agent) Pending() int {
 	n := 0
-	for _, p := range a.pending {
+	for _, p := range a.pending { // det: commutative (count)
 		if !p.acked {
 			n++
 		}

@@ -105,7 +105,7 @@ func (r *Ring) Len() int { return len(r.members) }
 // Members returns the member IDs in ascending order.
 func (r *Ring) Members() []int {
 	out := make([]int, 0, len(r.members))
-	for m := range r.members {
+	for m := range r.members { // det: sorted
 		out = append(out, m)
 	}
 	sort.Ints(out)

@@ -352,7 +352,7 @@ func (s *Server) ackOrigin(st *remapState) {
 // assertions in tests).
 func (s *Server) PendingRemaps() int {
 	n := 0
-	for _, st := range s.remaps {
+	for _, st := range s.remaps { // det: commutative (count)
 		if !st.done {
 			n++
 		}

@@ -1,0 +1,154 @@
+package detguard
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// listPackages resolves every internal package's directory and the export
+// data of the full dependency graph, using the go tool itself so the guard
+// sees exactly what the build sees.
+func listPackages(t *testing.T) (pkgDirs map[string]string, exports map[string]string) {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	root := filepath.Dir(strings.TrimSpace(string(out)))
+
+	cmd := exec.Command("go", "list", "-deps", "-export",
+		"-f", "{{.ImportPath}}\t{{.Dir}}\t{{.Export}}", "./...")
+	cmd.Dir = root
+	cmd.Stderr = os.Stderr
+	out, err = cmd.Output()
+	if err != nil {
+		t.Fatalf("go list -deps -export: %v", err)
+	}
+	pkgDirs = map[string]string{}
+	exports = map[string]string{}
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		parts := strings.Split(line, "\t")
+		if len(parts) != 3 {
+			continue
+		}
+		path, dir, export := parts[0], parts[1], parts[2]
+		if export != "" {
+			exports[path] = export
+		}
+		if strings.HasPrefix(path, "ncache/internal/") {
+			pkgDirs[path] = dir
+		}
+	}
+	if len(pkgDirs) == 0 {
+		t.Fatal("go list resolved no ncache/internal packages")
+	}
+	return pkgDirs, exports
+}
+
+// TestNoUnannotatedMapRanges is the determinism guard: every `for ... range`
+// over a map in every internal package must carry a `// det:` annotation on
+// its own or the preceding line, stating why the unordered iteration cannot
+// perturb the replayed schedule (see the package comment for the
+// vocabulary). The check is type-based — renaming a variable or aliasing a
+// map type does not evade it.
+func TestNoUnannotatedMapRanges(t *testing.T) {
+	pkgDirs, exports := listPackages(t)
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	paths := make([]string, 0, len(pkgDirs))
+	for p := range pkgDirs {
+		paths = append(paths, p) // det: sorted
+	}
+	sort.Strings(paths)
+
+	var violations []string
+	for _, path := range paths {
+		dir := pkgDirs[path]
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		var files []*ast.File
+		// detLines[filename] holds the lines carrying a det: annotation.
+		detLines := map[string]map[int]bool{}
+		for _, e := range entries {
+			name := e.Name()
+			if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			full := filepath.Join(dir, name)
+			f, err := parser.ParseFile(fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				t.Fatalf("parse %s: %v", full, err)
+			}
+			files = append(files, f)
+			lines := map[int]bool{}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if strings.Contains(c.Text, "det:") {
+						lines[fset.Position(c.Pos()).Line] = true
+					}
+				}
+			}
+			detLines[full] = lines
+		}
+		if len(files) == 0 {
+			continue
+		}
+		info := &types.Info{Types: map[ast.Expr]types.TypeAndValue{}}
+		conf := types.Config{Importer: imp, FakeImportC: true}
+		if _, err := conf.Check(path, fset, files, info); err != nil {
+			t.Fatalf("typecheck %s: %v", path, err)
+		}
+		for _, f := range files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := info.Types[rs.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				pos := fset.Position(rs.Pos())
+				annotated := detLines[pos.Filename][pos.Line] || detLines[pos.Filename][pos.Line-1]
+				if !annotated {
+					rel := pos.Filename
+					if i := strings.Index(rel, "internal"+string(filepath.Separator)); i >= 0 {
+						rel = rel[i:]
+					}
+					violations = append(violations, fmt.Sprintf("%s:%d", rel, pos.Line))
+				}
+				return true
+			})
+		}
+	}
+	if len(violations) > 0 {
+		t.Errorf("map iterations without a `// det:` determinism annotation "+
+			"(unordered map ranges on the event path break bit-for-bit replay; "+
+			"annotate why this one is safe — see internal/detguard/doc.go):\n  %s",
+			strings.Join(violations, "\n  "))
+	}
+}

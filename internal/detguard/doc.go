@@ -1,0 +1,21 @@
+// Package detguard holds the repository's map-iteration determinism guard.
+//
+// Go randomizes map iteration order. On the simulation's event path an
+// unordered iteration that schedules events, mutates model state, or formats
+// replay-compared output silently breaks the bit-for-bit replay guarantee —
+// the hardest class of bug to bisect, because every run "passes" alone and
+// only pairs diverge.
+//
+// The guard (in detguard_test.go) type-checks every internal package and
+// fails if any `for ... range` over a map lacks a `// det:` annotation on
+// the same or the preceding line. The annotation is a claim the author
+// makes about why the unordered iteration is safe:
+//
+//	// det: sorted       — keys are collected and sorted before use
+//	// det: commutative  — the fold is order-independent (sums, max, set-insert)
+//	// det: unordered    — output is explicitly unordered (debug, diagnostics)
+//	// det: setup        — runs before/after the replayed window, not during it
+//
+// New map ranges without an annotation fail the guard, forcing the claim to
+// be stated — and reviewed — where the iteration happens.
+package detguard

@@ -78,13 +78,14 @@ func TestParseSpecErrors(t *testing.T) {
 // TestNilInjector checks the disabled state declines everything safely.
 func TestNilInjector(t *testing.T) {
 	var in *Injector
+	eng := sim.NewEngine()
 	if in.Enabled() {
 		t.Error("nil injector reports enabled")
 	}
-	if d := in.FrameTx("x.tx"); d != (Decision{}) {
+	if d := in.FrameTx(eng, "x.tx"); d != (Decision{}) {
 		t.Errorf("nil FrameTx = %+v", d)
 	}
-	if d := in.Disk("disk0"); d != (Decision{}) {
+	if d := in.Disk(eng, "disk0"); d != (Decision{}) {
 		t.Errorf("nil Disk = %+v", d)
 	}
 	in.Arm()
@@ -104,7 +105,7 @@ func dropPattern(seed uint64, n int) string {
 	in.Arm()
 	var b strings.Builder
 	for i := 0; i < n; i++ {
-		if in.FrameTx("app.tx").Drop {
+		if in.FrameTx(eng, "app.tx").Drop {
 			b.WriteByte('1')
 		} else {
 			b.WriteByte('0')
@@ -142,12 +143,12 @@ func TestSchedulesIndependent(t *testing.T) {
 		in.Arm()
 		var b strings.Builder
 		for i := 0; i < 512; i++ {
-			if in.FrameTx("app.tx").Drop {
+			if in.FrameTx(eng, "app.tx").Drop {
 				b.WriteByte('1')
 			} else {
 				b.WriteByte('0')
 			}
-			in.Disk("disk0") // interleave opportunities for the other class
+			in.Disk(eng, "disk0") // interleave opportunities for the other class
 		}
 		return b.String()
 	}
@@ -188,16 +189,16 @@ func TestWindowAndCount(t *testing.T) {
 	in.Add(MustParseSpec("diskerr:disk0:rate=1:count=2")[0])
 	in.Arm()
 
-	if in.FrameTx("a.tx").Drop {
+	if in.FrameTx(eng, "a.tx").Drop {
 		t.Error("schedule fired before its start")
 	}
 	eng.Schedule(sim.Duration(1500*sim.Microsecond), func() {
-		if !in.FrameTx("a.tx").Drop {
+		if !in.FrameTx(eng, "a.tx").Drop {
 			t.Error("schedule inactive inside its window")
 		}
 	})
 	eng.Schedule(sim.Duration(3*sim.Millisecond), func() {
-		if in.FrameTx("a.tx").Drop {
+		if in.FrameTx(eng, "a.tx").Drop {
 			t.Error("schedule fired after its end")
 		}
 	})
@@ -207,7 +208,7 @@ func TestWindowAndCount(t *testing.T) {
 
 	fired := 0
 	for i := 0; i < 10; i++ {
-		if in.Disk("disk0").Err {
+		if in.Disk(eng, "disk0").Err {
 			fired++
 		}
 	}

@@ -559,7 +559,7 @@ func (m *Module) DropClean() int {
 // PinnedBytes reports bytes held by dirty (unremapped) FHO entries.
 func (m *Module) PinnedBytes() int64 {
 	var n int64
-	for _, e := range m.fho {
+	for _, e := range m.fho { // det: commutative (sum)
 		if e.dirty {
 			n += int64(e.bytes + EntryOverheadBytes)
 		}

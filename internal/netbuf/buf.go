@@ -17,6 +17,7 @@ package netbuf
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // Default geometry, matching the testbed in the paper: 1500-byte Ethernet
@@ -51,8 +52,11 @@ type Buf struct {
 	backing []byte
 	head    int
 	tail    int
-	refs    int32
-	pool    *Pool
+	// refs is manipulated atomically: under the sharded engine, clones of
+	// a cached buffer are retained and released from whichever shard the
+	// request chain is on, concurrently with the owning shard.
+	refs int32
+	pool *Pool
 	// shared marks descriptors that alias another Buf's backing array
 	// (created by Clone). Shared descriptors must not move payload bytes
 	// in place, only adjust their own window.
@@ -81,9 +85,15 @@ func New(headroom, capacity int) *Buf {
 	b.backing = make([]byte, headroom+capacity)
 	b.head = headroom
 	b.tail = headroom
-	b.refs = 1
+	setRefs(b, 1)
 	return b
 }
+
+// setRefs and loadRefs wrap the atomic refcount accesses; addRefs returns
+// the new count.
+func setRefs(b *Buf, n int32)       { atomic.StoreInt32(&b.refs, n) }
+func loadRefs(b *Buf) int32         { return atomic.LoadInt32(&b.refs) }
+func addRefs(b *Buf, d int32) int32 { return atomic.AddInt32(&b.refs, d) }
 
 // FromBytes allocates a standalone Buf whose payload is a copy of p, with
 // DefaultHeadroom of header space.
@@ -111,7 +121,7 @@ func (b *Buf) Tailroom() int { return len(b.backing) - b.tail }
 func (b *Buf) Capacity() int { return len(b.backing) }
 
 // Refs returns the current reference count (for tests and pool accounting).
-func (b *Buf) Refs() int32 { return b.refs }
+func (b *Buf) Refs() int32 { return loadRefs(b) }
 
 // Push grows the payload at the front by n bytes and returns the newly
 // exposed region, analogous to skb_push. Protocol layers write their header
@@ -166,9 +176,9 @@ func (b *Buf) Append(p []byte) error {
 
 // Retain increments the reference count and returns b for chaining.
 func (b *Buf) Retain() *Buf {
-	b.refs++
+	addRefs(b, 1)
 	if b.shared != nil {
-		b.shared.refs++
+		addRefs(b.shared, 1)
 	}
 	return b
 }
@@ -230,21 +240,20 @@ func (b *Buf) Shared() bool { return b.shared != nil }
 // panics in debug mode and is otherwise recorded as a double free; tests
 // assert the counters stay zero.
 func (b *Buf) Release() {
-	if b.freed || b.refs <= 0 {
+	if b.freed || loadRefs(b) <= 0 {
 		recordDoubleFree(b)
 		return
 	}
-	b.refs--
+	n := addRefs(b, -1)
 	if b.shared != nil {
 		root := b.shared
-		done := b.refs == 0
 		root.Release()
-		if done {
+		if n == 0 {
 			putDesc(b)
 		}
 		return
 	}
-	if b.refs == 0 {
+	if n == 0 {
 		if f := b.onRecycle; f != nil {
 			b.onRecycle = nil
 			f(b)
@@ -269,12 +278,12 @@ func (b *Buf) Clone() *Buf {
 	if b.shared != nil {
 		root = b.shared
 	}
-	root.refs++
+	addRefs(root, 1)
 	cl := getDesc()
 	cl.backing = b.backing
 	cl.head = b.head
 	cl.tail = b.tail
-	cl.refs = 1
+	setRefs(cl, 1)
 	cl.shared = root
 	return cl
 }
@@ -293,5 +302,5 @@ func (b *Buf) Copy() (*Buf, int) {
 // String summarizes the buffer geometry for debugging.
 func (b *Buf) String() string {
 	return fmt.Sprintf("Buf{len=%d headroom=%d tailroom=%d refs=%d}",
-		b.Len(), b.Headroom(), b.Tailroom(), b.refs)
+		b.Len(), b.Headroom(), b.Tailroom(), loadRefs(b))
 }

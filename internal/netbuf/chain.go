@@ -155,21 +155,23 @@ func (c *Chain) Slice(off, n int) (*Chain, error) {
 // PullHeader removes the first n payload bytes from the chain and returns
 // them. Fully consumed buffers (including leading empty header buffers left
 // behind by lower layers) are released and removed from the chain. When the
-// requested bytes sit in one buffer the returned slice aliases it; when they
-// span buffers they are copied into a fresh slice — headers are small, so
-// this never copies payload-scale data.
+// requested bytes sit in one buffer that the pull does not empty, the
+// returned slice aliases it; otherwise they are copied into a fresh slice —
+// headers are small, so this never copies payload-scale data. The copy in
+// the emptied case is load-bearing: releasing the drained buffer can return
+// its root to a pool owned by another node's shard, which may recycle the
+// backing array while the caller is still reading the returned header.
 func (c *Chain) PullHeader(n int) ([]byte, error) {
 	c.invalidatePartial()
 	if n < 0 || n > c.Len() {
 		return nil, fmt.Errorf("netbuf: pull header %d, chain len %d", n, c.Len())
 	}
 	c.compact()
-	if len(c.bufs) > 0 && c.bufs[0].Len() >= n {
+	if len(c.bufs) > 0 && c.bufs[0].Len() > n {
 		p, err := c.bufs[0].Pull(n)
 		if err != nil {
 			return nil, err
 		}
-		c.compact()
 		return p, nil
 	}
 	out := make([]byte, n)

@@ -151,6 +151,48 @@ func TestChainPullHeaderSkipsEmptyLeaders(t *testing.T) {
 	}
 }
 
+// A pull that drains its buffer must return an owned copy: releasing the
+// drained buffer can send its root back to a pool that another shard's node
+// owns, and under the parallel engine that shard may recycle the backing
+// array while the caller is still reading the header. (This is how a UDP
+// header clone from a fragmented datagram gets corrupted: the pull empties
+// the 8-byte clone, the release returns the sender's root to its TxPool,
+// and the sender reuses the backing for the next frame's headers.)
+func TestChainPullHeaderExactDrainCopies(t *testing.T) {
+	p := NewPool("t", 32, 64, 0)
+	root, err := p.Get()
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if err := root.Append([]byte("HDRBYTES")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	cl := root.Clone() // the fragment's aliasing descriptor
+	root.Release()     // sender's ref gone; the clone keeps the root alive
+	c := ChainOf(cl, FromBytes([]byte("rest")))
+	h, err := c.PullHeader(8)
+	if err != nil {
+		t.Fatalf("PullHeader: %v", err)
+	}
+	// The drained clone (and the root) must have been released...
+	if got := p.Outstanding(); got != 0 {
+		t.Fatalf("root not recycled: %d outstanding", got)
+	}
+	// ...and recycling the root must not be able to rewrite the header.
+	nb, err := p.Get()
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if err := nb.Append([]byte("XXXXXXXX")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if string(h) != "HDRBYTES" {
+		t.Fatalf("header aliases recycled backing: %q", h)
+	}
+	nb.Release()
+	c.Release()
+}
+
 func TestChainPullHeaderSpansBuffers(t *testing.T) {
 	c := ChainFromBytes([]byte("abcdefghij"), 3)
 	h, err := c.PullHeader(7)

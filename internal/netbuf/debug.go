@@ -3,6 +3,8 @@ package netbuf
 import (
 	"fmt"
 	"os"
+	"sync"
+	"sync/atomic"
 )
 
 // init honors NCACHE_NETBUF_DEBUG=1: CI runs the test suite once with
@@ -22,8 +24,11 @@ func init() {
 // use-after-free panic with the owner tag instead of silently corrupting a
 // recycled descriptor, and pools can report exactly who leaked what.
 //
-// Like Pool, the free lists are unsynchronized: the simulation is
-// single-threaded by construction (one event loop owns all state).
+// The descriptor and chain free lists are process-global and therefore
+// shared across the sharded engine's worker goroutines; descMu guards
+// them. Descriptor identity never affects simulated results (a recycled
+// descriptor is indistinguishable from a fresh one), so the free-list
+// order being interleaving-dependent is harmless.
 
 // debugMode switches the substrate from recycle-on-release to
 // poison-on-release. See SetDebug.
@@ -46,15 +51,15 @@ func DebugEnabled() bool { return debugMode }
 
 // globalDoubleFrees counts double releases of buffers and chains that have
 // no pool to charge them to (standalone buffers, clone descriptors, chains).
-var globalDoubleFrees uint64
+var globalDoubleFrees atomic.Uint64
 
 // GlobalDoubleFrees returns the process-wide count of double releases not
 // attributable to a pool. Tests assert it stays zero.
-func GlobalDoubleFrees() uint64 { return globalDoubleFrees }
+func GlobalDoubleFrees() uint64 { return globalDoubleFrees.Load() }
 
 // ResetGlobalDoubleFrees clears the process-wide double-free counter
 // (test isolation hook).
-func ResetGlobalDoubleFrees() { globalDoubleFrees = 0 }
+func ResetGlobalDoubleFrees() { globalDoubleFrees.Store(0) }
 
 // recordDoubleFree books a Release of an already-free buffer: a panic with
 // the owner tag in debug mode, a counter otherwise.
@@ -62,11 +67,13 @@ func recordDoubleFree(b *Buf) {
 	if debugMode {
 		panic(fmt.Sprintf("netbuf: double free of %s (owner %q)", b, b.owner))
 	}
-	if b.pool != nil {
-		b.pool.doubleFrees++
+	if p := b.pool; p != nil {
+		p.mu.Lock()
+		p.doubleFrees++
+		p.mu.Unlock()
 		return
 	}
-	globalDoubleFrees++
+	globalDoubleFrees.Add(1)
 }
 
 // recordChainDoubleFree books a Release of an already-released chain.
@@ -74,23 +81,29 @@ func recordChainDoubleFree(c *Chain) {
 	if debugMode {
 		panic(fmt.Sprintf("netbuf: double free of %s", c))
 	}
-	globalDoubleFrees++
+	globalDoubleFrees.Add(1)
 }
 
 // descFree recycles Buf descriptors (clone descriptors and standalone
 // buffers whose backing is gone). Disabled in debug mode so released
 // descriptors stay poisoned.
-var descFree []*Buf
+var (
+	descMu   sync.Mutex
+	descFree []*Buf
+)
 
 // getDesc returns a zeroed descriptor, reusing a released one when possible.
 func getDesc() *Buf {
+	descMu.Lock()
 	if n := len(descFree); n > 0 && !debugMode {
 		b := descFree[n-1]
 		descFree[n-1] = nil
 		descFree = descFree[:n-1]
+		descMu.Unlock()
 		b.freed = false
 		return b
 	}
+	descMu.Unlock()
 	return &Buf{}
 }
 
@@ -109,7 +122,9 @@ func putDesc(b *Buf) {
 		return
 	}
 	b.owner = ""
+	descMu.Lock()
 	descFree = append(descFree, b)
+	descMu.Unlock()
 }
 
 // chainFree recycles Chain structs (and their grown descriptor slices).
@@ -117,13 +132,16 @@ var chainFree []*Chain
 
 // getChain returns an empty chain, reusing a released one when possible.
 func getChain() *Chain {
+	descMu.Lock()
 	if n := len(chainFree); n > 0 && !debugMode {
 		c := chainFree[n-1]
 		chainFree[n-1] = nil
 		chainFree = chainFree[:n-1]
+		descMu.Unlock()
 		c.freed = false
 		return c
 	}
+	descMu.Unlock()
 	return &Chain{}
 }
 
@@ -135,5 +153,7 @@ func putChain(c *Chain) {
 	if debugMode {
 		return
 	}
+	descMu.Lock()
 	chainFree = append(chainFree, c)
+	descMu.Unlock()
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"strconv"
+	"sync"
 
 	"ncache/internal/controlplane"
 	"ncache/internal/fault"
@@ -200,6 +201,10 @@ func contentLength(header string) int {
 	return n
 }
 
+// FabricLatency is the switch's one-way port latency — and therefore the
+// sharded engine's lookahead: no frame crosses nodes in less time.
+const FabricLatency = 5 * sim.Microsecond
+
 // Cluster bundles a full testbed: storage, app server(s), clients, fabric.
 type Cluster struct {
 	Eng *sim.Engine
@@ -247,6 +252,12 @@ type ClusterConfig struct {
 	// random streams (zero means seed 1).
 	FaultSpec string
 	FaultSeed uint64
+	// Workers selects the parallel discrete-event engine: every node gets
+	// its own shard, executed by this many workers under conservative
+	// epoch synchronization (lookahead = FabricLatency). Workers == 1 is
+	// the sequential oracle of the same sharded semantics; 0 keeps the
+	// classic single engine.
+	Workers int
 }
 
 // Fault-recovery calibration used when a fault spec is present: NFS clients
@@ -300,8 +311,21 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Cost == (simnet.CostProfile{}) {
 		cfg.Cost = simnet.DefaultProfile()
 	}
-	eng := sim.NewEngine()
-	nw := simnet.NewNetwork(eng, 5*sim.Microsecond)
+	var eng *sim.Engine
+	if cfg.Workers > 0 {
+		eng = sim.NewSharded(sim.Config{Workers: cfg.Workers, Lookahead: FabricLatency})
+	} else {
+		eng = sim.NewEngine()
+	}
+	// nodeEng returns the engine a node's events run on: its own shard on a
+	// parallel cluster, the shared engine otherwise.
+	nodeEng := func(name string) *sim.Engine {
+		if cfg.Workers > 0 {
+			return eng.NewShard(name)
+		}
+		return eng
+	}
+	nw := simnet.NewNetwork(eng, FabricLatency)
 
 	cl := &Cluster{Eng: eng, Net: nw}
 	if cfg.NumServers > 1 || cfg.NumTargets > 1 {
@@ -317,7 +341,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			scfg.Name = fmt.Sprintf("storage%d", j)
 			scfg.DiskPrefix = fmt.Sprintf("s%d.disk", j)
 		}
-		storage, err := NewStorageServer(eng, nw, scfg)
+		storage, err := NewStorageServer(nodeEng(scfg.Name), nw, scfg)
 		if err != nil {
 			return nil, err
 		}
@@ -332,7 +356,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.NumServers > 1 {
 		// The control plane comes up before any server so registrations
 		// land on a bound port.
-		cpNode := simnet.NewNode(eng, "cp", cfg.Cost)
+		cpNode := simnet.NewNode(nodeEng("cp"), "cp", cfg.Cost)
 		if _, err := nw.Attach(cpNode, ControlAddr, simnet.Gbps); err != nil {
 			return nil, fmt.Errorf("cp attach: %w", err)
 		}
@@ -375,7 +399,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		if cfg.NCacheBytes > 0 {
 			acfg.NCacheBytes = cfg.NCacheBytes
 		}
-		app, err := NewAppServer(eng, nw, acfg)
+		app, err := NewAppServer(nodeEng(acfg.Name), nw, acfg)
 		if err != nil {
 			return nil, err
 		}
@@ -384,7 +408,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	cl.App = cl.Apps[0]
 
 	for i := 0; i < cfg.NumClients; i++ {
-		host, err := NewClientHost(eng, nw, fmt.Sprintf("client%d", i),
+		host, err := NewClientHost(nodeEng(fmt.Sprintf("client%d", i)), nw, fmt.Sprintf("client%d", i),
 			ClientAddr0+eth.Addr(i), cfg.Cost, simnet.Gbps)
 		if err != nil {
 			return nil, err
@@ -426,14 +450,20 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 // server is serving (and, on scale-out clusters, registered with the
 // control plane).
 func (c *Cluster) Start() error {
+	// The completion callbacks fire on each app server's shard; the mutex
+	// makes the tallies safe under the parallel engine (counts are
+	// commutative, so the outcome stays deterministic).
+	var mu sync.Mutex
 	pending := len(c.Apps)
 	var startErr error
 	for _, app := range c.Apps {
 		app.Start(func(err error) {
+			mu.Lock()
 			if err != nil && startErr == nil {
 				startErr = err
 			}
 			pending--
+			mu.Unlock()
 		})
 	}
 	if err := c.Eng.Run(); err != nil {
@@ -460,6 +490,10 @@ func (c *Cluster) Start() error {
 	}
 	return nil
 }
+
+// Close releases the parallel engine's worker pool. It is a no-op on a
+// sequential cluster and safe to call more than once.
+func (c *Cluster) Close() { c.Eng.Close() }
 
 // FaultCounters aggregates recovery activity across the testbed: RPC
 // retransmissions, abandoned calls and suppressed duplicate replies over all

@@ -38,7 +38,7 @@ func faultCluster(t *testing.T, spec string) (*Cluster, extfs.FileSpec) {
 }
 
 // sync flushes the server's buffer cache and returns the completion error.
-func sync(t *testing.T, cl *Cluster) error {
+func syncCache(t *testing.T, cl *Cluster) error {
 	t.Helper()
 	var serr error
 	done := false
@@ -73,7 +73,7 @@ func TestFaultFlushRetryRemapIntegrity(t *testing.T) {
 	}
 
 	cl.Faults.Arm()
-	if err := sync(t, cl); err != nil {
+	if err := syncCache(t, cl); err != nil {
 		t.Fatalf("sync under transient disk errors: %v", err)
 	}
 	cl.Faults.Quiesce()
@@ -119,7 +119,7 @@ func TestFaultFlushGivesUpCleanly(t *testing.T) {
 	writeFile(t, cl, fh, 0, bytes.Repeat([]byte{0x5A}, extfs.BlockSize))
 
 	cl.Faults.Arm()
-	err := sync(t, cl)
+	err := syncCache(t, cl)
 	cl.Faults.Quiesce()
 	if err == nil {
 		t.Fatal("sync succeeded with a 100% disk error rate")

@@ -1,0 +1,136 @@
+package passthru_test
+
+import (
+	"reflect"
+	"testing"
+
+	"ncache/internal/extfs"
+	"ncache/internal/metrics"
+	"ncache/internal/nfs"
+	"ncache/internal/passthru"
+	"ncache/internal/sim"
+	"ncache/internal/workload"
+)
+
+// shardedContent is the deterministic content function for the smoke file.
+func shardedContent(off uint64, dst []byte) {
+	for i := range dst {
+		dst[i] = byte((off + uint64(i)) * 2654435761 >> 16)
+	}
+}
+
+// shardedRunResult is everything a sharded smoke run observes: if any of it
+// varied with the worker count, the parallel engine would not be a drop-in
+// replacement for its own sequential oracle.
+type shardedRunResult struct {
+	Ops, Bytes, Errs uint64
+	CacheStats       metrics.Cache
+	NetRx, NetTx     uint64
+	Processed        uint64
+	Now              sim.Time
+}
+
+// runShardedSmoke brings up a Workers=w cluster (every node its own shard),
+// reads through one file with two client hosts, and snapshots the run.
+func runShardedSmoke(t *testing.T, workers int) shardedRunResult {
+	t.Helper()
+	cl, err := passthru.NewCluster(passthru.ClusterConfig{
+		Mode:          passthru.NCache,
+		NumClients:    2,
+		BlocksPerDisk: 16 * 1024,
+		Workers:       workers,
+	})
+	if err != nil {
+		t.Fatalf("NewCluster(workers=%d): %v", workers, err)
+	}
+	defer cl.Close()
+	fmtr, err := extfs.Format(cl.Storage.Array, 1024)
+	if err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	if _, err := fmtr.AddFile("data.bin", 64*extfs.BlockSize, shardedContent); err != nil {
+		t.Fatalf("AddFile: %v", err)
+	}
+	if err := fmtr.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if err := cl.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+
+	var fh nfs.FH
+	got := false
+	cl.Clients[0].NFS.Lookup(nfs.RootFH(), "data.bin", func(h nfs.FH, _ nfs.Attr, err error) {
+		if err != nil {
+			t.Errorf("Lookup: %v", err)
+		}
+		fh = h
+		got = true
+	})
+	if err := cl.Eng.Run(); err != nil {
+		t.Fatalf("lookup run: %v", err)
+	}
+	if !got {
+		t.Fatal("lookup did not complete")
+	}
+
+	clients := make([]*nfs.Client, 0, len(cl.Clients))
+	for _, host := range cl.Clients {
+		clients = append(clients, host.NFS)
+	}
+	load := &workload.NFSReadLoad{
+		Clients:     clients,
+		FH:          fh,
+		FileSize:    64 * extfs.BlockSize,
+		RequestSize: 8 * 1024,
+		Pattern:     workload.HotSet,
+		Concurrency: 4,
+	}
+	runner := &workload.Runner{
+		Eng:    cl.Eng,
+		Warmup: 5 * sim.Millisecond,
+		Window: 40 * sim.Millisecond,
+	}
+	m, err := runner.Run(load, nil, nil)
+	if err != nil {
+		t.Fatalf("run(workers=%d): %v", workers, err)
+	}
+	res := shardedRunResult{
+		Ops:        m.Ops,
+		Bytes:      m.Bytes,
+		Errs:       m.Errors,
+		CacheStats: cl.App.Cache.Stats,
+		Processed:  cl.Eng.Processed(),
+		Now:        cl.Eng.Now(),
+	}
+	for _, nic := range cl.App.Node.NICs() {
+		res.NetRx += nic.Stats.PacketsRx
+		res.NetTx += nic.Stats.PacketsTx
+	}
+	// The drain must leave no buffer behind on any node, same as the
+	// sequential cluster guarantees.
+	for _, host := range cl.Clients {
+		host.Node.RxPool.MustBeDrained()
+		host.Node.TxPool.MustBeDrained()
+	}
+	return res
+}
+
+// TestShardedClusterDeterministic is the end-to-end determinism smoke: a
+// full NFS pass-through cluster on the parallel engine produces identical
+// results for any worker count, including the sequential oracle Workers=1.
+func TestShardedClusterDeterministic(t *testing.T) {
+	want := runShardedSmoke(t, 1)
+	if want.Ops == 0 {
+		t.Fatal("sharded smoke run completed no operations")
+	}
+	if want.Errs != 0 {
+		t.Fatalf("sharded smoke run saw %d errors", want.Errs)
+	}
+	for _, w := range []int{2, 4} {
+		got := runShardedSmoke(t, w)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d diverges from workers=1:\n got %+v\nwant %+v", w, got, want)
+		}
+	}
+}

@@ -94,7 +94,7 @@ func (s *Stack) Register(proto uint8, h Handler) {
 // Addrs returns the local addresses of all attached NICs.
 func (s *Stack) Addrs() []eth.Addr {
 	out := make([]eth.Addr, 0, len(s.nics))
-	for a := range s.nics {
+	for a := range s.nics { // det: unordered (diagnostic accessor, not on the event path)
 		out = append(out, a)
 	}
 	return out

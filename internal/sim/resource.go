@@ -33,6 +33,9 @@ func NewResource(eng *Engine, name string) *Resource {
 // Name returns the resource's diagnostic name.
 func (r *Resource) Name() string { return r.name }
 
+// Engine returns the engine (shard) this resource lives on.
+func (r *Resource) Engine() *Engine { return r.eng }
+
 // Use enqueues a job needing d of service time and invokes done when the job
 // completes. A non-positive d completes after any queued work with zero
 // service time. done may be nil.

@@ -1,0 +1,462 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// This file implements the sharded (parallel) engine: a conservative
+// parallel discrete-event simulation over per-shard event heaps,
+// synchronized with epoch barriers whose width is the cluster's lookahead
+// (the minimum cross-shard signal delay, in practice the simnet switch
+// latency). Each shard is a full *Engine — same heap, free list, clock and
+// context machinery as the sequential engine — so model code is oblivious
+// to which mode it runs in.
+//
+// Protocol, per epoch:
+//
+//  1. The coordinator finds m, the earliest pending event time across all
+//     shards, and sets the horizon H = m + lookahead.
+//  2. The control shard (shard 0) executes its events in [m, H) alone,
+//     with every other shard idle. Control events may therefore touch any
+//     shard's state directly — this is where experiment harness code
+//     (background flushers, samplers) lives.
+//  3. A worker pool executes every other shard's events in [m, H)
+//     concurrently. A shard only ever touches its own state; cross-shard
+//     sends go through PostTo, which appends to the destination's staging
+//     queue and never mutates a foreign heap.
+//  4. Barrier: staged events are admitted into their destination heaps in
+//     (at, srcShard, srcSeq) order — a total order independent of worker
+//     interleaving — and barrier hooks (trace log merging) run.
+//
+// Because admission order is canonical and each shard is internally
+// sequential, the schedule is a pure function of the initial state and the
+// seeds: Workers=1 and Workers=N produce bit-identical runs, which the
+// differential replay suite asserts.
+
+// Config describes a sharded engine cluster.
+type Config struct {
+	// Workers is the number of goroutines executing non-control shards
+	// each epoch. 1 is the sequential oracle (same sharded semantics,
+	// zero concurrency); values above the shard count are clamped.
+	Workers int
+	// Lookahead is the minimum cross-shard delay: PostTo with a shorter
+	// delay panics. It bounds the epoch width. Derive it from the
+	// network's switch latency (the shortest path between nodes).
+	Lookahead Duration
+}
+
+// staged is a cross-shard event parked in the destination's staging queue
+// until the next barrier. The (at, srcShard, srcSeq) triple is the
+// deterministic admission key.
+type staged struct {
+	at       Time
+	srcShard int32
+	srcSeq   uint64
+	fn       func()
+	ctx      any
+}
+
+// coord synchronizes the shards of one sharded engine cluster.
+type coord struct {
+	shards    []*Engine
+	lookahead Duration
+	workers   int
+
+	// limit aborts a run once the aggregate processed count exceeds it.
+	limit uint64
+	// stopReq is set by Stop from any shard; honored at the next barrier.
+	stopReq atomic.Bool
+	// next is the work-stealing cursor over shards[1:] within an epoch.
+	next atomic.Int64
+	// horizon is the current epoch's exclusive event-time bound, read by
+	// worker goroutines.
+	horizon Time
+	// bound is the inclusive RunUntil bound for the current run.
+	bound Time
+	// onBarrier hooks run single-threaded at every barrier (and at run
+	// end), in registration order. The trace subsystem merges its
+	// per-shard span logs here.
+	onBarrier []func()
+
+	// persistent worker pool, started lazily on the first parallel run.
+	workCh  []chan Time
+	doneCh  chan int
+	started bool
+	closed  bool
+
+	// epochs counts barriers, for diagnostics and tests.
+	epochs uint64
+}
+
+// NewSharded returns the control shard (shard 0) of a new sharded engine
+// cluster. The control shard's events run exclusively — no other shard
+// executes concurrently with them — so harness code scheduled there may
+// touch any shard's state. Create model shards with NewShard; drive the
+// whole cluster through the control handle's Run/RunUntil/RunFor.
+func NewSharded(cfg Config) *Engine {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.Lookahead <= 0 {
+		panic("sim: sharded engine needs a positive lookahead")
+	}
+	co := &coord{lookahead: cfg.Lookahead, workers: cfg.Workers}
+	ctl := &Engine{co: co, id: 0, name: "control"}
+	co.shards = []*Engine{ctl}
+	return ctl
+}
+
+// NewShard adds a model shard to the cluster and returns its engine
+// handle. All shards must be created before the first run. The name
+// appears in diagnostics only.
+func (e *Engine) NewShard(name string) *Engine {
+	co := e.co
+	if co == nil {
+		panic("sim: NewShard on a non-sharded engine")
+	}
+	if co.started {
+		panic("sim: NewShard after the first run")
+	}
+	s := &Engine{co: co, id: len(co.shards), name: name, now: e.now}
+	co.shards = append(co.shards, s)
+	return s
+}
+
+// ShardID returns this engine's shard index (0 for the control shard and
+// for non-sharded engines).
+func (e *Engine) ShardID() int { return e.id }
+
+// ShardCount returns the number of shards in the cluster (1 for a
+// non-sharded engine).
+func (e *Engine) ShardCount() int {
+	if e.co == nil {
+		return 1
+	}
+	return len(e.co.shards)
+}
+
+// Sharded reports whether this engine is a shard of a parallel cluster.
+func (e *Engine) Sharded() bool { return e.co != nil }
+
+// Workers returns the configured worker count (1 for non-sharded).
+func (e *Engine) Workers() int {
+	if e.co == nil {
+		return 1
+	}
+	return e.co.workers
+}
+
+// Lookahead returns the cluster's lookahead (0 for non-sharded).
+func (e *Engine) Lookahead() Duration {
+	if e.co == nil {
+		return 0
+	}
+	return e.co.lookahead
+}
+
+// ShardStat is a per-shard diagnostic snapshot (see ShardStats).
+type ShardStat struct {
+	Name      string
+	Now       Time
+	Processed uint64
+	Pending   int
+}
+
+// ShardStats snapshots every shard's clock and counters. Only coherent when
+// no epoch is executing — from an OnBarrier hook or between runs. On a
+// non-sharded engine it returns a single element describing the engine.
+func (e *Engine) ShardStats() []ShardStat {
+	if e.co == nil {
+		return []ShardStat{{Name: e.name, Now: e.now, Processed: e.processed, Pending: len(e.events)}}
+	}
+	out := make([]ShardStat, len(e.co.shards))
+	for i, s := range e.co.shards {
+		out[i] = ShardStat{Name: s.name, Now: s.now, Processed: s.processed, Pending: len(s.events)}
+	}
+	return out
+}
+
+// Epochs returns how many barriers the cluster has crossed.
+func (e *Engine) Epochs() uint64 {
+	if e.co == nil {
+		return 0
+	}
+	return e.co.epochs
+}
+
+// OnBarrier registers fn to run single-threaded at every epoch barrier and
+// once more when a run completes. On a non-sharded engine it is a no-op
+// (there are no barriers; callers apply their state eagerly instead).
+func (e *Engine) OnBarrier(fn func()) {
+	if e.co != nil {
+		e.co.onBarrier = append(e.co.onBarrier, fn)
+	}
+}
+
+// PostTo schedules fn on shard dst after delay d, carrying the calling
+// shard's current event context. It is the only legal way for one shard's
+// event to reach another shard: the event lands in dst's staging queue and
+// becomes visible at the next barrier, so d must be at least the cluster
+// lookahead. On a non-sharded engine (or when dst == e) it degenerates to
+// dst.Schedule with the source context.
+func (e *Engine) PostTo(dst *Engine, d Duration, fn func()) {
+	if e.co == nil || dst == e {
+		if d < 0 {
+			d = 0
+		}
+		dst.insertAt(dst.now.Add(d), fn, e.cur)
+		return
+	}
+	if dst.co != e.co {
+		panic("sim: PostTo across engine clusters")
+	}
+	if d < e.co.lookahead {
+		panic(fmt.Sprintf("sim: PostTo delay %s below lookahead %s (%s -> %s)",
+			d, e.co.lookahead, e.name, dst.name))
+	}
+	dst.stageMu.Lock()
+	dst.staging = append(dst.staging, staged{
+		at:       e.now.Add(d),
+		srcShard: int32(e.id),
+		srcSeq:   e.postSeq,
+		fn:       fn,
+		ctx:      e.cur,
+	})
+	dst.stageMu.Unlock()
+	e.postSeq++
+}
+
+// insertAt is At with an explicit context (At captures e.cur; staged
+// admissions must preserve the posting shard's context instead).
+func (e *Engine) insertAt(t Time, fn func(), ctx any) EventID {
+	if t < e.now {
+		t = e.now
+	}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.ctx = ctx
+	e.seq++
+	e.push(ev)
+	return EventID{ev: ev, gen: ev.gen}
+}
+
+// earliest returns the earliest pending event time on this shard,
+// including staged admissions, or MaxTime when idle.
+func (e *Engine) earliest() Time {
+	t := MaxTime
+	if len(e.events) > 0 {
+		t = e.events[0].at
+	}
+	e.stageMu.Lock()
+	for i := range e.staging {
+		if e.staging[i].at < t {
+			t = e.staging[i].at
+		}
+	}
+	e.stageMu.Unlock()
+	return t
+}
+
+// stagedLess is the cross-shard admission tie-break: (at, srcShard,
+// srcSeq). The triple is unique per staged event — a shard numbers its
+// PostTo calls sequentially — so the order is total, and therefore
+// independent of the worker interleaving that built the batch.
+func stagedLess(a, b *staged) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.srcShard != b.srcShard {
+		return a.srcShard < b.srcShard
+	}
+	return a.srcSeq < b.srcSeq
+}
+
+// admitStaged drains the staging queue into the heap in canonical
+// (at, srcShard, srcSeq) order. Barrier-phase only: no lock contention by
+// construction, the lock just publishes the slice.
+func (e *Engine) admitStaged() {
+	e.stageMu.Lock()
+	batch := e.staging
+	e.staging = e.staging[:0]
+	e.stageMu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	sort.Slice(batch, func(i, j int) bool { return stagedLess(&batch[i], &batch[j]) })
+	for i := range batch {
+		e.insertAt(batch[i].at, batch[i].fn, batch[i].ctx)
+		batch[i].fn = nil
+		batch[i].ctx = nil
+	}
+}
+
+// runShard executes this shard's events with at < horizon and at <= bound,
+// leaving the clock at the last executed event. Local schedules join the
+// same pass; cross-shard sends stage for the next epoch.
+func (e *Engine) runShard(horizon, bound Time) {
+	for len(e.events) > 0 {
+		top := e.events[0]
+		if top.at >= horizon || top.at > bound {
+			return
+		}
+		popped := e.pop()
+		e.now = popped.at
+		e.processed++
+		fn, ctx := popped.fn, popped.ctx
+		e.recycle(popped)
+		if fn != nil {
+			e.cur = ctx
+			fn()
+			e.cur = nil
+		}
+	}
+}
+
+// runEpochs is the coordinator loop shared by Run and RunUntil on a
+// sharded cluster: execute epochs until no event at or before bound
+// remains (or Stop, or the event limit trips). It returns with every
+// shard's clock advanced to exactly bound when bound is finite.
+func (co *coord) runEpochs(bound Time) error {
+	co.stopReq.Store(false)
+	co.ensureWorkers()
+	for {
+		m := MaxTime
+		for _, s := range co.shards {
+			if t := s.earliest(); t < m {
+				m = t
+			}
+		}
+		if m == MaxTime || m > bound {
+			break
+		}
+		// Horizon: no event in [m, m+lookahead) can be affected by a
+		// cross-shard send from this epoch (which arrives at >= m+L).
+		h := m.Add(co.lookahead)
+		co.horizon = h
+		co.bound = bound
+		co.epochs++
+
+		// Staged admissions first, so this epoch sees every send from
+		// the previous one.
+		for _, s := range co.shards {
+			s.admitStaged()
+		}
+
+		// Phase A: control shard, exclusively.
+		co.shards[0].runShard(h, bound)
+
+		// Phase B: model shards on the worker pool. The calling
+		// goroutine acts as worker 0.
+		co.next.Store(1)
+		n := co.workers
+		if max := len(co.shards) - 1; n > max {
+			n = max
+		}
+		for w := 1; w < n; w++ {
+			co.workCh[w] <- h
+		}
+		co.drainShards(h, bound)
+		for w := 1; w < n; w++ {
+			<-co.doneCh
+		}
+
+		// Barrier hooks (trace log merge) and deterministic checks.
+		for _, fn := range co.onBarrier {
+			fn()
+		}
+		if co.limit > 0 {
+			var total uint64
+			for _, s := range co.shards {
+				total += s.processed
+			}
+			if total > co.limit {
+				return fmt.Errorf("sim: event limit %d exceeded at t=%s", co.limit, co.horizon)
+			}
+		}
+		if co.stopReq.Load() {
+			return nil
+		}
+	}
+	// Final barrier flush so observers see a complete log even when the
+	// run ends without crossing another epoch boundary.
+	for _, s := range co.shards {
+		s.admitStaged()
+	}
+	for _, fn := range co.onBarrier {
+		fn()
+	}
+	if bound < MaxTime && !co.stopReq.Load() {
+		for _, s := range co.shards {
+			if s.now < bound {
+				s.now = bound
+			}
+		}
+	}
+	return nil
+}
+
+// drainShards claims model shards off the work-stealing cursor and runs
+// each to the horizon.
+func (co *coord) drainShards(h, bound Time) {
+	for {
+		i := int(co.next.Add(1)) - 1
+		if i >= len(co.shards) {
+			return
+		}
+		co.shards[i].runShard(h, bound)
+	}
+}
+
+// ensureWorkers starts the persistent worker goroutines on first use.
+func (co *coord) ensureWorkers() {
+	if co.started {
+		return
+	}
+	co.started = true
+	n := co.workers
+	if max := len(co.shards) - 1; n > max {
+		n = max
+	}
+	if n < 1 {
+		n = 1
+	}
+	co.workers = n
+	co.workCh = make([]chan Time, n)
+	co.doneCh = make(chan int, n)
+	for w := 1; w < n; w++ {
+		co.workCh[w] = make(chan Time)
+		go func(w int) {
+			for h := range co.workCh[w] {
+				co.drainShards(h, co.bound)
+				co.doneCh <- w
+			}
+		}(w)
+	}
+}
+
+// Close releases the cluster's worker goroutines. Safe to call on any
+// shard handle, more than once, and on non-sharded engines (no-op).
+func (e *Engine) Close() {
+	co := e.co
+	if co == nil || !co.started || co.closed {
+		if co != nil {
+			co.closed = true
+		}
+		return
+	}
+	co.closed = true
+	for w := 1; w < co.workers; w++ {
+		close(co.workCh[w])
+	}
+}

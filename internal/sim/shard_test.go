@@ -1,0 +1,317 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+const testLookahead = 5 * Microsecond
+
+// buildPingPong wires a small sharded cluster: nShards model shards that
+// bounce timestamped messages between each other via PostTo, each bounce
+// recording (shard, time, payload) into a per-run log. The log is the
+// observational trace the determinism tests compare.
+func buildPingPong(t *testing.T, workers, nShards, rounds int) []string {
+	t.Helper()
+	ctl := NewSharded(Config{Workers: workers, Lookahead: testLookahead})
+	defer ctl.Close()
+	shards := make([]*Engine, nShards)
+	for i := range shards {
+		shards[i] = ctl.NewShard(fmt.Sprintf("node%d", i))
+	}
+	// Per-shard logs: a shard only appends to its own slice, so recording
+	// is race-free under any worker count.
+	logs := make([][]string, nShards+1)
+	record := func(s *Engine, what string) {
+		logs[s.id] = append(logs[s.id], fmt.Sprintf("%s@%s:%s", s.name, s.Now(), what))
+	}
+	// Each shard i sends round-robin to (i+1)%n, plus local busywork that
+	// interleaves with the arrivals.
+	var hop func(from, to, left int)
+	hop = func(from, to, left int) {
+		src := shards[from]
+		src.PostTo(shards[to], testLookahead+Duration(from+1)*Microsecond, func() {
+			record(shards[to], fmt.Sprintf("recv<-%d(left=%d)", from, left))
+			if left > 0 {
+				hop(to, (to+1)%nShards, left-1)
+			}
+		})
+	}
+	for i := range shards {
+		i := i
+		shards[i].Schedule(Duration(i)*Microsecond, func() {
+			record(shards[i], "start")
+			hop(i, (i+1)%nShards, rounds)
+			var tick func()
+			n := 0
+			tick = func() {
+				record(shards[i], fmt.Sprintf("tick%d", n))
+				n++
+				if n < rounds {
+					shards[i].Schedule(3*Microsecond, tick)
+				}
+			}
+			shards[i].Schedule(Microsecond, tick)
+		})
+	}
+	if err := ctl.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// The per-shard sublogs are deterministic; their global interleaving
+	// is not observable, so canonicalize by sorting the concatenation —
+	// each entry embeds shard and time, making the sorted view total.
+	var sorted []string
+	for _, l := range logs {
+		sorted = append(sorted, l...)
+	}
+	sortStrings(sorted)
+	return sorted
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// TestShardedDeterministicAcrossWorkers is the core tentpole property: the
+// observable trace of a sharded run is identical for any worker count.
+func TestShardedDeterministicAcrossWorkers(t *testing.T) {
+	want := buildPingPong(t, 1, 5, 40)
+	for _, w := range []int{2, 3, 4, 8} {
+		got := buildPingPong(t, w, 5, 40)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d trace diverges from workers=1 (%d vs %d entries)", w, len(got), len(want))
+		}
+	}
+}
+
+// TestPostToVisibleNextEpoch checks the staging protocol: a cross-shard
+// send fires at exactly src.now + delay on the destination's clock.
+func TestPostToVisibleNextEpoch(t *testing.T) {
+	ctl := NewSharded(Config{Workers: 2, Lookahead: testLookahead})
+	defer ctl.Close()
+	a := ctl.NewShard("a")
+	b := ctl.NewShard("b")
+	var at Time
+	a.Schedule(7*Microsecond, func() {
+		a.PostTo(b, testLookahead, func() { at = b.Now() })
+	})
+	if err := ctl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := Time(12 * Microsecond); at != want {
+		t.Fatalf("cross-shard event fired at %s, want %s", at, want)
+	}
+}
+
+// TestPostToBelowLookaheadPanics enforces the conservative contract.
+func TestPostToBelowLookaheadPanics(t *testing.T) {
+	ctl := NewSharded(Config{Workers: 1, Lookahead: testLookahead})
+	defer ctl.Close()
+	a := ctl.NewShard("a")
+	b := ctl.NewShard("b")
+	a.Schedule(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("PostTo below lookahead did not panic")
+			}
+		}()
+		a.PostTo(b, testLookahead-1, func() {})
+	})
+	if err := ctl.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPostToCarriesContext verifies the request context crosses shards
+// with the staged event, like ctx inheritance on a local schedule.
+func TestPostToCarriesContext(t *testing.T) {
+	ctl := NewSharded(Config{Workers: 2, Lookahead: testLookahead})
+	defer ctl.Close()
+	a := ctl.NewShard("a")
+	b := ctl.NewShard("b")
+	var got any
+	a.Schedule(0, func() {
+		a.SetContext("req-42")
+		a.PostTo(b, testLookahead, func() {
+			got = b.Context()
+			// And it keeps propagating locally on the new shard.
+			b.Schedule(Microsecond, func() {
+				if b.Context() != "req-42" {
+					t.Error("context lost on post-arrival schedule")
+				}
+			})
+		})
+	})
+	if err := ctl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "req-42" {
+		t.Fatalf("staged context = %v, want req-42", got)
+	}
+}
+
+// TestRunUntilUniformClocks: after RunUntil every shard's clock must sit
+// at exactly the bound, so experiment boundaries (warmup/window ends) read
+// consistent utilization denominators.
+func TestRunUntilUniformClocks(t *testing.T) {
+	ctl := NewSharded(Config{Workers: 2, Lookahead: testLookahead})
+	defer ctl.Close()
+	shards := []*Engine{ctl.NewShard("a"), ctl.NewShard("b"), ctl.NewShard("c")}
+	shards[0].Schedule(3*Microsecond, func() {})
+	shards[1].Schedule(900*Microsecond, func() {}) // beyond the bound
+	bound := Time(100 * Microsecond)
+	if err := ctl.RunUntil(bound); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range append(shards, ctl) {
+		if s.Now() != bound {
+			t.Fatalf("shard %s clock %s, want %s", s.name, s.Now(), bound)
+		}
+	}
+	// The event beyond the bound is still pending and fires on resume.
+	if ctl.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", ctl.Pending())
+	}
+	if err := ctl.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestControlShardExclusive: a control-shard event may touch another
+// shard's engine directly (the harness privilege); the touched shard sees
+// the scheduled work in the same run.
+func TestControlShardExclusive(t *testing.T) {
+	ctl := NewSharded(Config{Workers: 4, Lookahead: testLookahead})
+	defer ctl.Close()
+	model := ctl.NewShard("m")
+	ran := 0
+	var tick func()
+	n := 0
+	tick = func() {
+		// Control event scheduling directly onto the model shard.
+		model.Schedule(Microsecond, func() { ran++ })
+		n++
+		if n < 10 {
+			ctl.Schedule(10*Microsecond, tick)
+		}
+	}
+	ctl.Schedule(0, tick)
+	// Keep the model shard busy so the epochs overlap.
+	var busy func()
+	b := 0
+	busy = func() {
+		b++
+		if b < 200 {
+			model.Schedule(Microsecond/2, busy)
+		}
+	}
+	model.Schedule(0, busy)
+	if err := ctl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 10 {
+		t.Fatalf("control-injected events ran %d times, want 10", ran)
+	}
+}
+
+// TestShardedStopAtBarrier: Stop from a model shard ends the run at the
+// next barrier, deterministically.
+func TestShardedStopAtBarrier(t *testing.T) {
+	ctl := NewSharded(Config{Workers: 2, Lookahead: testLookahead})
+	defer ctl.Close()
+	a := ctl.NewShard("a")
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count == 50 {
+			a.Stop()
+		}
+		a.Schedule(Microsecond, tick)
+	}
+	a.Schedule(0, tick)
+	if err := ctl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count < 50 {
+		t.Fatalf("stopped after %d events, want >= 50", count)
+	}
+	if ctl.Pending() == 0 {
+		t.Fatal("Stop drained the queue; events should remain pending")
+	}
+}
+
+// TestShardedEventLimit: the aggregate limit trips at a barrier.
+func TestShardedEventLimit(t *testing.T) {
+	ctl := NewSharded(Config{Workers: 2, Lookahead: testLookahead})
+	defer ctl.Close()
+	a := ctl.NewShard("a")
+	ctl.SetEventLimit(100)
+	var tick func()
+	tick = func() { a.Schedule(Microsecond, tick) }
+	a.Schedule(0, tick)
+	if err := ctl.Run(); err == nil {
+		t.Fatal("runaway loop did not trip the event limit")
+	}
+}
+
+// TestShardedProcessedAggregates checks the cross-shard counters.
+func TestShardedProcessedAggregates(t *testing.T) {
+	ctl := NewSharded(Config{Workers: 2, Lookahead: testLookahead})
+	defer ctl.Close()
+	a := ctl.NewShard("a")
+	b := ctl.NewShard("b")
+	for i := 0; i < 5; i++ {
+		a.Schedule(Duration(i)*Microsecond, func() {})
+		b.Schedule(Duration(i)*Microsecond, func() {})
+	}
+	ctl.Schedule(0, func() {})
+	if err := ctl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctl.Processed(); got != 11 {
+		t.Fatalf("Processed() = %d, want 11", got)
+	}
+}
+
+// TestOnBarrierRunsEachEpoch: barrier hooks observe every epoch plus the
+// final flush.
+func TestOnBarrierRunsEachEpoch(t *testing.T) {
+	ctl := NewSharded(Config{Workers: 1, Lookahead: testLookahead})
+	defer ctl.Close()
+	a := ctl.NewShard("a")
+	barriers := 0
+	ctl.OnBarrier(func() { barriers++ })
+	for i := 0; i < 4; i++ {
+		// Spread events so they cannot share one epoch window.
+		a.Schedule(Duration(i)*100*Microsecond, func() {})
+	}
+	if err := ctl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if barriers < 4 {
+		t.Fatalf("barrier hook ran %d times, want >= 4", barriers)
+	}
+}
+
+// TestLegacyEngineUnaffected guards the non-sharded fast path: a plain
+// NewEngine must report itself unsharded and keep PostTo-to-self local.
+func TestLegacyEngineUnaffected(t *testing.T) {
+	e := NewEngine()
+	if e.Sharded() || e.ShardCount() != 1 || e.Workers() != 1 || e.Lookahead() != 0 {
+		t.Fatal("legacy engine misreports shard metadata")
+	}
+	fired := false
+	e.Schedule(0, func() { e.PostTo(e, Microsecond, func() { fired = true }) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("PostTo on a legacy engine did not degrade to Schedule")
+	}
+}

@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// admitOrder simulates one barrier admission: the staged batch arrives in
+// an arbitrary interleaving (the worker-dependent append order) and must
+// admit in the canonical (at, srcShard, srcSeq) order. It returns the pop
+// order a destination heap would observe.
+func admitOrder(batch []staged) []staged {
+	dst := NewEngine()
+	out := make([]staged, 0, len(batch))
+	// Admit exactly the way admitStaged does, then drain the heap.
+	dst.staging = append(dst.staging, batch...)
+	idx := make(map[*event]staged, len(batch))
+	// Sort a copy for admission; record each event's source tuple so the
+	// pop order can be compared tuple-by-tuple.
+	cp := append([]staged(nil), dst.staging...)
+	dst.staging = dst.staging[:0]
+	sort.Slice(cp, func(i, j int) bool { return stagedLess(&cp[i], &cp[j]) })
+	for i := range cp {
+		id := dst.insertAt(cp[i].at, nil, nil)
+		idx[id.ev] = cp[i]
+	}
+	for len(dst.events) > 0 {
+		ev := dst.pop()
+		out = append(out, idx[ev])
+	}
+	return out
+}
+
+// TestStagedAdmissionOrderProperty: for random batches under random
+// interleavings, the admitted pop order is a pure function of the batch's
+// contents — independent of arrival order — and respects (at, srcShard,
+// srcSeq). This is the quick.Check form of the tentpole's tie-break rule.
+func TestStagedAdmissionOrderProperty(t *testing.T) {
+	type wireEvent struct {
+		At    uint16 // small domain to force heavy time collisions
+		Shard uint8
+		Seq   uint8
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(1))}
+	prop := func(events []wireEvent, shuffleSeed int64) bool {
+		// Build a batch with unique (shard, seq) per source, as PostTo
+		// guarantees: re-key seqs per shard in arrival order.
+		seqs := map[uint8]uint64{}
+		batch := make([]staged, len(events))
+		for i, w := range events {
+			batch[i] = staged{
+				at:       Time(w.At),
+				srcShard: int32(w.Shard % 8),
+				srcSeq:   seqs[w.Shard%8],
+			}
+			seqs[w.Shard%8]++
+		}
+		ref := admitOrder(batch)
+		// Any interleaving of the same batch admits identically.
+		sh := append([]staged(nil), batch...)
+		rand.New(rand.NewSource(shuffleSeed)).Shuffle(len(sh), func(i, j int) { sh[i], sh[j] = sh[j], sh[i] })
+		got := admitOrder(sh)
+		if !reflect.DeepEqual(got, ref) {
+			return false
+		}
+		// And the order respects the canonical comparator.
+		for i := 1; i < len(ref); i++ {
+			if stagedLess(&ref[i], &ref[i-1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStagedLessTotalOrder: the comparator is a strict weak ordering and,
+// on the unique keys PostTo produces, a total order (trichotomy).
+func TestStagedLessTotalOrder(t *testing.T) {
+	prop := func(a1, a2 uint16, s1, s2 uint8, q1, q2 uint8) bool {
+		a := &staged{at: Time(a1), srcShard: int32(s1), srcSeq: uint64(q1)}
+		b := &staged{at: Time(a2), srcShard: int32(s2), srcSeq: uint64(q2)}
+		equal := a.at == b.at && a.srcShard == b.srcShard && a.srcSeq == b.srcSeq
+		switch {
+		case equal:
+			return !stagedLess(a, b) && !stagedLess(b, a)
+		default:
+			return stagedLess(a, b) != stagedLess(b, a)
+		}
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// decodeBatch turns fuzz bytes into a staged batch with PostTo-valid keys
+// (per-shard sequential seqs).
+func decodeBatch(data []byte) []staged {
+	var batch []staged
+	seqs := map[int32]uint64{}
+	for len(data) >= 3 {
+		at := Time(binary.LittleEndian.Uint16(data))
+		shard := int32(data[2] % 16)
+		batch = append(batch, staged{at: at, srcShard: shard, srcSeq: seqs[shard]})
+		seqs[shard]++
+		data = data[3:]
+	}
+	return batch
+}
+
+// FuzzStagedAdmissionOrder fuzzes the barrier tie-break: for any encoded
+// batch, admission must be invariant under reversal and rotation of the
+// arrival order (stand-ins for arbitrary worker interleavings), and the
+// pop order must be sorted by the canonical comparator.
+func FuzzStagedAdmissionOrder(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 1, 0, 1, 2, 0, 0})
+	f.Add([]byte{0, 0, 3, 0, 0, 3, 0, 0, 2, 5, 1, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 3*512 {
+			data = data[:3*512]
+		}
+		batch := decodeBatch(data)
+		ref := admitOrder(batch)
+		for i := 1; i < len(ref); i++ {
+			if stagedLess(&ref[i], &ref[i-1]) {
+				t.Fatalf("pop order violates canonical comparator at %d", i)
+			}
+		}
+		rev := make([]staged, len(batch))
+		for i := range batch {
+			rev[len(batch)-1-i] = batch[i]
+		}
+		if !reflect.DeepEqual(admitOrder(rev), ref) {
+			t.Fatal("admission order depends on arrival order (reversal)")
+		}
+		if len(batch) > 1 {
+			rot := append(append([]staged(nil), batch[1:]...), batch[0])
+			if !reflect.DeepEqual(admitOrder(rot), ref) {
+				t.Fatal("admission order depends on arrival order (rotation)")
+			}
+		}
+	})
+}

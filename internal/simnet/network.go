@@ -2,6 +2,7 @@ package simnet
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"ncache/internal/fault"
 	"ncache/internal/netbuf"
@@ -17,15 +18,21 @@ import (
 type Network struct {
 	eng     *sim.Engine
 	latency sim.Duration
-	ports   map[eth.Addr]*port
-	dropped uint64
+	// ports is immutable once traffic starts (attachments happen at build
+	// time), so route lookups are safe from any shard without locking.
+	ports map[eth.Addr]*port
+	// dropped counts frames discarded for unknown or self destinations.
+	// The drop/arrive counters are atomics because frames from different
+	// source shards account concurrently; they are commutative sums, so
+	// totals are deterministic for any worker count.
+	dropped atomic.Uint64
 	faults  *fault.Injector
 	// faultDropped counts frames the injector discarded at switch
 	// downlinks (transmit-side drops land on the NIC's own stats).
-	faultDropped uint64
+	faultDropped atomic.Uint64
 	// faultDuped counts extra frame copies the injector created at switch
 	// downlinks.
-	faultDuped uint64
+	faultDuped atomic.Uint64
 }
 
 // port is the switch side of one attachment: a downlink serializer toward
@@ -63,9 +70,12 @@ func (nw *Network) Attach(node *Node, addr eth.Addr, bw Bandwidth) (*NIC, error)
 		latency:         nw.latency,
 	}
 	nic.ring = newRxRing(nic, DefaultRxRingSize)
+	// The downlink serializer lives on the destination node's shard: frames
+	// arriving for this port are clocked in destination-shard time. On a
+	// sequential engine node.Eng is the switch engine, as before.
 	nw.ports[addr] = &port{
 		nic:  nic,
-		down: sim.NewResource(nw.eng, fmt.Sprintf("sw.%s.down", addr)),
+		down: sim.NewResource(node.Eng, fmt.Sprintf("sw.%s.down", addr)),
 		bw:   bw,
 	}
 	node.nics = append(node.nics, nic)
@@ -73,7 +83,11 @@ func (nw *Network) Attach(node *Node, addr eth.Addr, bw Bandwidth) (*NIC, error)
 }
 
 // Dropped reports frames discarded for unknown destinations.
-func (nw *Network) Dropped() uint64 { return nw.dropped }
+func (nw *Network) Dropped() uint64 { return nw.dropped.Load() }
+
+// Latency returns the one-way port latency — the sharded engine's lookahead
+// floor, since no frame crosses nodes in less than one port traversal.
+func (nw *Network) Latency() sim.Duration { return nw.latency }
 
 // SetFaults installs the fault injector consulted on every frame. Nil (the
 // default) disables injection.
@@ -83,36 +97,50 @@ func (nw *Network) SetFaults(in *fault.Injector) { nw.faults = in }
 func (nw *Network) Faults() *fault.Injector { return nw.faults }
 
 // FaultDropped reports frames the injector discarded at switch downlinks.
-func (nw *Network) FaultDropped() uint64 { return nw.faultDropped }
+func (nw *Network) FaultDropped() uint64 { return nw.faultDropped.Load() }
 
 // FaultDuped reports extra frame copies the injector created at switch
 // downlinks.
-func (nw *Network) FaultDuped() uint64 { return nw.faultDuped }
+func (nw *Network) FaultDuped() uint64 { return nw.faultDuped.Load() }
 
-// forward moves a frame from an ingress NIC to its destination port.
-func (nw *Network) forward(from *NIC, frame *netbuf.Chain, corrupt bool) {
+// route resolves the egress port for a frame, or nil when the switch would
+// discard it (unparseable header, unknown destination, or hairpin to the
+// sender). Pure lookup against the immutable port table, so the sending
+// shard can resolve the destination at transmit time.
+func (nw *Network) route(from *NIC, frame *netbuf.Chain) *port {
 	hdr, err := eth.Peek(frame)
 	if err != nil {
-		nw.dropped++
-		frame.Release()
-		return
+		return nil
 	}
 	p, ok := nw.ports[hdr.Dst]
 	if !ok || p.nic == from {
-		nw.dropped++
-		frame.Release()
-		return
+		return nil
 	}
-	d := nw.faults.FrameRx(p.nic.node.Name + ".rx")
+	return p
+}
+
+// drop discards an unroutable frame once it has paid its wire time.
+func (nw *Network) drop(frame *netbuf.Chain) {
+	nw.dropped.Add(1)
+	frame.Release()
+}
+
+// arrive runs on the destination node's shard when a frame reaches the
+// switch egress: the receive-side fault decision, downlink serialization and
+// port latency all unfold in destination-shard time — byte-identical to the
+// old single-engine forward, since the port's downlink lives on node.Eng.
+func (nw *Network) arrive(p *port, frame *netbuf.Chain, corrupt bool) {
+	eng := p.nic.node.Eng
+	d := nw.faults.FrameRx(eng, p.nic.node.Name+".rx")
 	if d.Drop {
-		nw.faultDropped++
+		nw.faultDropped.Add(1)
 		frame.Release()
 		return
 	}
 	corrupt = corrupt || d.Corrupt
 	wire := frame.Len() + FrameOverheadBytes
 	p.down.Use(p.bw.serialization(wire), func() {
-		nw.eng.Schedule(nw.latency+d.Delay, func() {
+		eng.Schedule(nw.latency+d.Delay, func() {
 			p.nic.deliver(frame, corrupt)
 		})
 	})
@@ -120,9 +148,9 @@ func (nw *Network) forward(from *NIC, frame *netbuf.Chain, corrupt bool) {
 		// Injected duplicate at the downlink: a by-reference copy clocked
 		// after the original.
 		dup := frame.Clone()
-		nw.faultDuped++
+		nw.faultDuped.Add(1)
 		p.down.Use(p.bw.serialization(wire), func() {
-			nw.eng.Schedule(nw.latency, func() {
+			eng.Schedule(nw.latency, func() {
 				p.nic.deliver(dup, corrupt)
 			})
 		})

@@ -101,7 +101,7 @@ func (n *NIC) Send(frame *netbuf.Chain) error {
 	if size > n.MTU+eth.HeaderLen {
 		return fmt.Errorf("simnet: frame %d bytes exceeds MTU %d on %s", size, n.MTU, n.Addr)
 	}
-	d := n.net.faults.FrameTx(n.node.Name + ".tx")
+	d := n.net.faults.FrameTx(n.node.Eng, n.node.Name+".tx")
 	if d.Drop {
 		n.Stats.FaultDropTx++
 		frame.Release()
@@ -112,12 +112,12 @@ func (n *NIC) Send(frame *netbuf.Chain) error {
 	// From here the request is on the wire: transmit queueing,
 	// serialization and link latency all belong to the network.
 	trace.To(n.node.Eng, trace.LNet)
+	// Resolve the egress port now (the table is immutable): the uplink
+	// traversal below is the shard crossing, so the destination must be
+	// known before the frame leaves this node's shard.
+	p := n.net.route(n, frame)
 	wire := size + FrameOverheadBytes
-	n.tx.Use(n.bw.serialization(wire), func() {
-		n.node.Eng.Schedule(n.latency+d.Delay, func() {
-			n.net.forward(n, frame, d.Corrupt)
-		})
-	})
+	n.tx.Use(n.bw.serialization(wire), n.launch(p, frame, n.latency+d.Delay, d.Corrupt))
 	if d.Dup {
 		// Injected duplicate: an extra copy of the frame, clocked onto the
 		// wire like any other (it shares the payload buffers by reference,
@@ -126,13 +126,25 @@ func (n *NIC) Send(frame *netbuf.Chain) error {
 		n.Stats.FaultDupTx++
 		n.Stats.PacketsTx++
 		n.Stats.BytesTx += uint64(size)
-		n.tx.Use(n.bw.serialization(wire), func() {
-			n.node.Eng.Schedule(n.latency, func() {
-				n.net.forward(n, dup, false)
-			})
-		})
+		n.tx.Use(n.bw.serialization(wire), n.launch(p, dup, n.latency, false))
 	}
 	return nil
+}
+
+// launch returns the transmit-completion action for one frame copy: cross
+// into the destination node's shard after the port latency (plus any
+// injected delay), or — for unroutable frames — pay the same wire time
+// locally and let the switch count the discard.
+func (n *NIC) launch(p *port, frame *netbuf.Chain, delay sim.Duration, corrupt bool) func() {
+	return func() {
+		if p == nil {
+			n.node.Eng.Schedule(delay, func() { n.net.drop(frame) })
+			return
+		}
+		n.node.Eng.PostTo(p.nic.node.Eng, delay, func() {
+			n.net.arrive(p, frame, corrupt)
+		})
+	}
 }
 
 // deliver hands a frame arriving from the fabric to the receive handler.

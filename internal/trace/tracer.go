@@ -16,12 +16,49 @@ type Tracer struct {
 	keep   bool
 	frozen bool
 
+	// par marks a tracer attached to a sharded engine. Span mutations are
+	// then deferred into per-shard logs (shards, indexed by ShardID) and
+	// applied single-threaded at every epoch barrier in canonical
+	// (time, shard, sequence) order, so the aggregates — and therefore the
+	// histograms and percentiles — are identical for any worker count.
+	par     bool
+	shards  []*shardLog
+	scratch []rec
+
 	spans []*Span
 	agg   map[string]*opAgg
 	// attrErrs counts spans whose layer attribution failed to sum to the
 	// end-to-end duration — zero by construction; exported as a self-check.
 	attrErrs uint64
 }
+
+// shardLog is one shard's deferred span-mutation buffer. Only the owning
+// shard appends (during its epoch slice); only the barrier drains.
+type shardLog struct {
+	recs   []rec
+	nextID uint64
+}
+
+// rec is one deferred span mutation.
+type rec struct {
+	span  *Span
+	at    sim.Time
+	d, d2 sim.Duration
+	seq   uint32
+	shard int16
+	kind  uint8
+	layer Layer
+	class ResClass
+}
+
+// Deferred mutation kinds.
+const (
+	rTo uint8 = iota
+	rAccount
+	rFault
+	rUsage
+	rFinish
+)
 
 // opAgg accumulates window statistics for one operation type.
 type opAgg struct {
@@ -40,8 +77,85 @@ type opAgg struct {
 // exported trace processes), e.g. "NFS-NCache/32KB".
 func NewTracer(eng *sim.Engine, label string) *Tracer {
 	t := &Tracer{eng: eng, label: label, agg: make(map[string]*opAgg)}
+	if eng.Sharded() {
+		t.par = true
+		t.shards = make([]*shardLog, eng.ShardCount())
+		for i := range t.shards {
+			t.shards[i] = &shardLog{}
+		}
+		eng.OnBarrier(t.applyLogs)
+	}
 	eng.SetUsageObserver(t.observe)
 	return t
+}
+
+// log appends a deferred mutation to the acting shard's buffer.
+func (t *Tracer) log(eng *sim.Engine, r rec) {
+	sl := t.shards[eng.ShardID()]
+	r.shard = int16(eng.ShardID())
+	r.seq = uint32(len(sl.recs))
+	sl.recs = append(sl.recs, r)
+}
+
+// applyLogs runs at each epoch barrier (and at run end): it merges every
+// shard's deferred mutations into (at, shard, seq) order and applies them.
+// Per-shard buffers are already time-ordered, so the sort is near-linear;
+// the canonical order makes span state a pure function of the simulated
+// schedule, independent of worker interleaving.
+func (t *Tracer) applyLogs() {
+	t.scratch = t.scratch[:0]
+	for _, sl := range t.shards {
+		t.scratch = append(t.scratch, sl.recs...)
+		for i := range sl.recs {
+			sl.recs[i].span = nil
+		}
+		sl.recs = sl.recs[:0]
+	}
+	if len(t.scratch) == 0 {
+		return
+	}
+	sort.Slice(t.scratch, func(i, j int) bool {
+		a, b := &t.scratch[i], &t.scratch[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.shard != b.shard {
+			return a.shard < b.shard
+		}
+		return a.seq < b.seq
+	})
+	for i := range t.scratch {
+		t.apply(&t.scratch[i])
+		t.scratch[i].span = nil
+	}
+}
+
+// apply replays one deferred mutation against its span. Mutations landing
+// after the span's Finish (in canonical order) are dropped, mirroring the
+// done-span no-ops of the direct path.
+func (t *Tracer) apply(r *rec) {
+	s := r.span
+	if s == nil || s.done {
+		return
+	}
+	switch r.kind {
+	case rTo:
+		s.closeSegment(r.at)
+		s.cur = r.layer
+	case rAccount:
+		s.charged[r.layer] += r.d
+	case rFault:
+		s.faults[r.layer] += r.d
+		s.faultN[r.layer]++
+	case rUsage:
+		s.wait[r.class] += r.d
+		s.service[r.class] += r.d2
+	case rFinish:
+		s.closeSegment(r.at)
+		s.end = r.at
+		s.done = true
+		t.finish(s)
+	}
 }
 
 // Label returns the configuration label.
@@ -67,16 +181,36 @@ func (t *Tracer) Begin(op string) *Span {
 	if t == nil {
 		return nil
 	}
-	t.nextID++
-	s := &Span{
-		id:         t.nextID,
-		op:         op,
-		start:      t.eng.Now(),
-		tracer:     t,
-		cur:        LClient,
-		lastSwitch: t.eng.Now(),
+	return t.BeginOn(t.eng, op)
+}
+
+// BeginOn starts a span on a specific shard's engine — the one whose event
+// is issuing the request. Shard-tagged span IDs (shard index in the high
+// bits) keep IDs unique and deterministic without cross-shard coordination;
+// on a non-sharded engine IDs are the plain sequence, as before.
+func (t *Tracer) BeginOn(eng *sim.Engine, op string) *Span {
+	if t == nil {
+		return nil
 	}
-	t.eng.SetContext(s)
+	var id uint64
+	if t.par {
+		sl := t.shards[eng.ShardID()]
+		sl.nextID++
+		id = uint64(eng.ShardID()+1)<<48 | sl.nextID
+	} else {
+		t.nextID++
+		id = t.nextID
+	}
+	s := &Span{
+		id:         id,
+		op:         op,
+		start:      eng.Now(),
+		tracer:     t,
+		eng:        eng,
+		cur:        LClient,
+		lastSwitch: eng.Now(),
+	}
+	eng.SetContext(s)
 	return s
 }
 
@@ -88,6 +222,11 @@ func (t *Tracer) observe(r *sim.Resource, ctx any, wait, service sim.Duration) {
 		return
 	}
 	c := classifyResource(r.Name())
+	if t.par {
+		eng := r.Engine()
+		t.log(eng, rec{span: s, kind: rUsage, at: eng.Now(), class: c, d: wait, d2: service})
+		return
+	}
 	s.wait[c] += wait
 	s.service[c] += service
 }
@@ -137,6 +276,9 @@ func (t *Tracer) ResetStats() {
 	t.agg = make(map[string]*opAgg)
 	t.attrErrs = 0
 	t.frozen = false
+	for _, sl := range t.shards {
+		sl.recs = sl.recs[:0]
+	}
 }
 
 // Freeze stops recording: spans finishing later (the post-window drain) are
@@ -226,7 +368,7 @@ func (t *Tracer) Summary() *Summary {
 		return nil
 	}
 	ops := make([]string, 0, len(t.agg))
-	for op := range t.agg {
+	for op := range t.agg { // det: sorted
 		ops = append(ops, op)
 	}
 	sort.Strings(ops)

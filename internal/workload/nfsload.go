@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"sync/atomic"
+
 	"ncache/internal/netbuf"
 	"ncache/internal/nfs"
 	"ncache/internal/sim"
@@ -20,6 +22,40 @@ const (
 	HotSet
 )
 
+// patState is one issuing stream's private pattern state. A sequential run
+// shares a single state across all clients (the classic behaviour); a
+// sharded run gives each client its own, so the stream a client draws is
+// owned by its node's shard and replays identically for any worker count.
+type patState struct {
+	rng  *sim.RNG
+	next uint64
+}
+
+// perClientStates builds the pattern-state table for a load: shared on a
+// sequential engine, per-client (with seeds derived from the client index,
+// independent of execution order) on a sharded one.
+func perClientStates(clients []*nfs.Client, shared *sim.RNG, base uint64) []*patState {
+	states := make([]*patState, len(clients))
+	sharded := len(clients) > 0 && clients[0].Node().Eng.Sharded()
+	if !sharded {
+		st := &patState{rng: shared}
+		for i := range states {
+			states[i] = st
+		}
+		return states
+	}
+	for i := range states {
+		states[i] = &patState{rng: sim.NewRNG(base ^ uint64(i+1)*0x9e3779b97f4a7c15)}
+	}
+	return states
+}
+
+// spanOn opens a span on the client's own shard (on a sequential engine
+// this is the tracer's engine, exactly the old Begin).
+func spanOn(t *trace.Tracer, c *nfs.Client, op string) *trace.Span {
+	return t.BeginOn(c.Node().Eng, op)
+}
+
 // NFSReadLoad is a closed-loop NFS read generator: Concurrency workers per
 // client, each issuing the next read as soon as the previous completes
 // (the paper adjusts the number of NFS daemons / outstanding requests the
@@ -35,9 +71,10 @@ type NFSReadLoad struct {
 	// Tracer, when set, opens a span per request. Nil-safe.
 	Tracer *trace.Tracer
 
+	// Counters are atomics: completions land on each client's shard.
 	ops, bytes, errs uint64
 	stopped          bool
-	next             uint64
+	states           []*patState
 }
 
 var _ Load = (*NFSReadLoad)(nil)
@@ -53,9 +90,10 @@ func (l *NFSReadLoad) Start() {
 	if l.RNG == nil {
 		l.RNG = sim.NewRNG(1)
 	}
-	for _, c := range l.Clients {
+	l.states = perClientStates(l.Clients, l.RNG, 1)
+	for i := range l.Clients {
 		for w := 0; w < l.Concurrency; w++ {
-			l.issue(c)
+			l.issue(i)
 		}
 	}
 }
@@ -65,11 +103,11 @@ func (l *NFSReadLoad) Stop() { l.stopped = true }
 
 // Counters implements Load.
 func (l *NFSReadLoad) Counters() (uint64, uint64, uint64) {
-	return l.ops, l.bytes, l.errs
+	return atomic.LoadUint64(&l.ops), atomic.LoadUint64(&l.bytes), atomic.LoadUint64(&l.errs)
 }
 
-// nextOffset advances the access pattern.
-func (l *NFSReadLoad) nextOffset() uint64 {
+// nextOffset advances the access pattern of one issuing stream.
+func (l *NFSReadLoad) nextOffset(st *patState) uint64 {
 	req := uint64(l.RequestSize)
 	span := l.FileSize / req
 	if span == 0 {
@@ -78,31 +116,32 @@ func (l *NFSReadLoad) nextOffset() uint64 {
 	var off uint64
 	switch l.Pattern {
 	case HotSet:
-		off = uint64(l.RNG.Int63n(int64(span))) * req
+		off = uint64(st.rng.Int63n(int64(span))) * req
 	default:
-		off = (l.next % span) * req
-		l.next++
+		off = (st.next % span) * req
+		st.next++
 	}
 	return off
 }
 
 // issue sends one read and chains the next.
-func (l *NFSReadLoad) issue(c *nfs.Client) {
+func (l *NFSReadLoad) issue(i int) {
 	if l.stopped {
 		return
 	}
-	off := l.nextOffset()
-	sp := l.Tracer.Begin("read")
+	c := l.Clients[i]
+	off := l.nextOffset(l.states[i])
+	sp := spanOn(l.Tracer, c, "read")
 	c.Read(l.FH, off, l.RequestSize, func(data *netbuf.Chain, _ nfs.Attr, err error) {
 		sp.Finish()
 		if err != nil {
-			l.errs++
+			atomic.AddUint64(&l.errs, 1)
 		} else {
-			l.ops++
-			l.bytes += uint64(data.Len())
+			atomic.AddUint64(&l.ops, 1)
+			atomic.AddUint64(&l.bytes, uint64(data.Len()))
 			data.Release()
 		}
-		l.issue(c)
+		l.issue(i)
 	})
 }
 
@@ -117,9 +156,10 @@ type NFSWriteLoad struct {
 	// Tracer, when set, opens a span per request. Nil-safe.
 	Tracer *trace.Tracer
 
+	// Counters are atomics: completions land on each client's shard.
 	ops, bytes, errs uint64
 	stopped          bool
-	next             uint64
+	states           []*patState
 }
 
 var _ Load = (*NFSWriteLoad)(nil)
@@ -135,9 +175,10 @@ func (l *NFSWriteLoad) Start() {
 	if l.RNG == nil {
 		l.RNG = sim.NewRNG(2)
 	}
-	for _, c := range l.Clients {
+	l.states = perClientStates(l.Clients, l.RNG, 2)
+	for i := range l.Clients {
 		for w := 0; w < l.Concurrency; w++ {
-			l.issue(c)
+			l.issue(i)
 		}
 	}
 }
@@ -147,30 +188,32 @@ func (l *NFSWriteLoad) Stop() { l.stopped = true }
 
 // Counters implements Load.
 func (l *NFSWriteLoad) Counters() (uint64, uint64, uint64) {
-	return l.ops, l.bytes, l.errs
+	return atomic.LoadUint64(&l.ops), atomic.LoadUint64(&l.bytes), atomic.LoadUint64(&l.errs)
 }
 
 // issue sends one write and chains the next.
-func (l *NFSWriteLoad) issue(c *nfs.Client) {
+func (l *NFSWriteLoad) issue(i int) {
 	if l.stopped {
 		return
 	}
+	c := l.Clients[i]
+	st := l.states[i]
 	req := uint64(l.RequestSize)
 	span := l.FileSize / req
 	if span == 0 {
 		span = 1
 	}
-	off := (l.next % span) * req
-	l.next++
-	sp := l.Tracer.Begin("write")
+	off := (st.next % span) * req
+	st.next++
+	sp := spanOn(l.Tracer, c, "write")
 	c.Write(l.FH, off, junkChain(c, l.RequestSize), func(n int, _ nfs.Attr, err error) {
 		sp.Finish()
 		if err != nil {
-			l.errs++
+			atomic.AddUint64(&l.errs, 1)
 		} else {
-			l.ops++
-			l.bytes += uint64(n)
+			atomic.AddUint64(&l.ops, 1)
+			atomic.AddUint64(&l.bytes, uint64(n))
 		}
-		l.issue(c)
+		l.issue(i)
 	})
 }

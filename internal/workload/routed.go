@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"sync/atomic"
+
 	"ncache/internal/netbuf"
 	"ncache/internal/nfs"
 	"ncache/internal/sim"
@@ -35,7 +37,10 @@ type RoutedMixLoad struct {
 	// Tracer, when set, opens a "read"/"write" span per request. Nil-safe.
 	Tracer *trace.Tracer
 
-	rngs    []*sim.RNG
+	rngs []*sim.RNG
+	// Counters are atomics: each route's completions land on its own
+	// client host's shard. The sums are commutative, so totals replay
+	// identically for any worker count.
 	ops     uint64
 	bytes   uint64
 	errs    uint64
@@ -70,11 +75,11 @@ func (l *RoutedMixLoad) Stop() { l.stopped = true }
 
 // Counters implements Load.
 func (l *RoutedMixLoad) Counters() (uint64, uint64, uint64) {
-	return l.ops, l.bytes, l.errs
+	return atomic.LoadUint64(&l.ops), atomic.LoadUint64(&l.bytes), atomic.LoadUint64(&l.errs)
 }
 
 // RouteErrors counts operations that failed at the routing step.
-func (l *RoutedMixLoad) RouteErrors() uint64 { return l.routeEs }
+func (l *RoutedMixLoad) RouteErrors() uint64 { return atomic.LoadUint64(&l.routeEs) }
 
 // issue resolves a route and runs one operation, then chains the next.
 func (l *RoutedMixLoad) issue(route int) {
@@ -98,28 +103,28 @@ func (l *RoutedMixLoad) issue(route int) {
 
 	finish := func(n int, err error) {
 		if err != nil {
-			l.errs++
+			atomic.AddUint64(&l.errs, 1)
 		} else {
-			l.ops++
-			l.bytes += uint64(n)
+			atomic.AddUint64(&l.ops, 1)
+			atomic.AddUint64(&l.bytes, uint64(n))
 		}
 		l.issue(route)
 	}
 	l.Routes[route](fh, func(c *nfs.Client, err error) {
 		if err != nil {
-			l.routeEs++
+			atomic.AddUint64(&l.routeEs, 1)
 			finish(0, err)
 			return
 		}
 		if isWrite {
-			sp := l.Tracer.Begin("write")
+			sp := spanOn(l.Tracer, c, "write")
 			c.Write(fh, off, junkChain(c, size), func(n int, _ nfs.Attr, err error) {
 				sp.Finish()
 				finish(n, err)
 			})
 			return
 		}
-		sp := l.Tracer.Begin("read")
+		sp := spanOn(l.Tracer, c, "read")
 		c.Read(fh, off, size, func(data *netbuf.Chain, _ nfs.Attr, err error) {
 			sp.Finish()
 			n := 0
