@@ -59,6 +59,7 @@ import (
 	"time"
 
 	"ncache/internal/bench"
+	"ncache/internal/passthru"
 	"ncache/internal/sim"
 	"ncache/internal/trace"
 )
@@ -88,6 +89,7 @@ func run(args []string) error {
 	benchGate := fs.String("benchgate", "", "compare this run's allocation metrics against a baseline -benchjson file; exit non-zero on an alloc_bytes regression above 5%")
 	speedupGate := fs.String("speedupgate", "", "compare this run's wall_ms against a baseline -benchjson file (matching experiments by name with any -wN suffix stripped); exit non-zero unless baseline/this >= -speedupmin")
 	speedupMin := fs.Float64("speedupmin", 1.5, "minimum wall-clock speedup demanded by -speedupgate")
+	epochMax := fs.Float64("epochmax", 0, "with -speedupgate: also require epochs <= this fraction of the baseline's epochs for experiments where both report them (host-independent; 0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -136,27 +138,34 @@ func run(args []string) error {
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	ran := false
 
-	// measured wraps one experiment run, recording wall-clock time and
-	// allocation deltas for the -benchjson report. Parallel runs record
-	// under a -wN suffix so worker counts never gate against each other
-	// (allocation totals differ with the shard layout even though results
-	// are bit-identical).
+	// measured wraps one experiment run, recording wall-clock time,
+	// allocation deltas and sharded-engine epoch statistics for the
+	// -benchjson report. Parallel runs record under a -wN suffix so worker
+	// counts never gate against each other (allocation totals differ with
+	// the shard layout even though results are bit-identical).
 	var records []benchRecord
 	measured := func(name string, fn func() error) error {
 		if *workers > 0 {
 			name = fmt.Sprintf("%s-w%d", name, *workers)
 		}
+		passthru.TakeEngineStats() // drop tallies from earlier experiments
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
 		start := time.Now()
 		err := fn()
 		wall := time.Since(start)
 		runtime.ReadMemStats(&after)
+		st, _ := passthru.TakeEngineStats()
 		records = append(records, benchRecord{
-			Name:       name,
-			WallMs:     float64(wall.Microseconds()) / 1e3,
-			AllocBytes: after.TotalAlloc - before.TotalAlloc,
-			Allocs:     after.Mallocs - before.Mallocs,
+			Name:          name,
+			WallMs:        float64(wall.Microseconds()) / 1e3,
+			AllocBytes:    after.TotalAlloc - before.TotalAlloc,
+			Allocs:        after.Mallocs - before.Mallocs,
+			Epochs:        st.Epochs,
+			SimEvents:     st.Events,
+			StagedAdmits:  st.StagedAdmits,
+			ExclusiveRuns: st.ExclusiveRuns,
+			BarrierMs:     float64(st.BarrierNs) / 1e6,
 		})
 		return err
 	}
@@ -436,7 +445,7 @@ func run(args []string) error {
 		}
 	}
 	if *speedupGate != "" {
-		if err := gateSpeedup(*speedupGate, *speedupMin, records); err != nil {
+		if err := gateSpeedup(*speedupGate, *speedupMin, *epochMax, records); err != nil {
 			return err
 		}
 	}
@@ -445,7 +454,13 @@ func run(args []string) error {
 		if *workers > 0 {
 			cmd = fmt.Sprintf("%s -workers %d", cmd, *workers)
 		}
-		rep := benchReport{Go: runtime.Version(), Command: cmd, Experiments: records}
+		rep := benchReport{
+			Go:          runtime.Version(),
+			NumCPU:      runtime.NumCPU(),
+			Gomaxprocs:  runtime.GOMAXPROCS(0),
+			Command:     cmd,
+			Experiments: records,
+		}
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			return fmt.Errorf("benchjson: %w", err)
@@ -471,18 +486,30 @@ func run(args []string) error {
 	return nil
 }
 
-// benchRecord is one experiment's resource footprint: wall-clock time and
-// heap-allocation deltas (runtime.MemStats) over the Run* call.
+// benchRecord is one experiment's resource footprint: wall-clock time,
+// heap-allocation deltas (runtime.MemStats), and — on the sharded engine —
+// the coordinator's epoch statistics summed over the experiment's clusters.
+// Epochs/SimEvents/StagedAdmits/ExclusiveRuns are pure functions of the
+// simulated schedule (host-independent, identical for any worker count);
+// WallMs and BarrierMs depend on the host, which is why the report also
+// carries its CPU topology.
 type benchRecord struct {
-	Name       string  `json:"name"`
-	WallMs     float64 `json:"wall_ms"`
-	AllocBytes uint64  `json:"alloc_bytes"`
-	Allocs     uint64  `json:"allocs"`
+	Name          string  `json:"name"`
+	WallMs        float64 `json:"wall_ms"`
+	AllocBytes    uint64  `json:"alloc_bytes"`
+	Allocs        uint64  `json:"allocs"`
+	Epochs        uint64  `json:"epochs,omitempty"`
+	SimEvents     uint64  `json:"sim_events,omitempty"`
+	StagedAdmits  uint64  `json:"staged_admits,omitempty"`
+	ExclusiveRuns uint64  `json:"exclusive_runs,omitempty"`
+	BarrierMs     float64 `json:"barrier_ms,omitempty"`
 }
 
 // benchReport is the -benchjson document.
 type benchReport struct {
 	Go          string        `json:"go"`
+	NumCPU      int           `json:"num_cpu"`
+	Gomaxprocs  int           `json:"gomaxprocs"`
 	Command     string        `json:"command"`
 	Experiments []benchRecord `json:"experiments"`
 }
@@ -548,8 +575,12 @@ func stripWorkers(name string) string {
 // this run shares with the baseline (worker suffixes stripped on both sides)
 // must run at least min times faster than the baseline recorded. Used by CI
 // to require the Workers=N engine to beat its Workers=1 oracle on the same
-// topology; meaningful only on a multi-core runner.
-func gateSpeedup(path string, min float64, records []benchRecord) error {
+// topology; meaningful only on a multi-core runner. When epochMax > 0 the
+// gate also requires epochs <= epochMax × baseline epochs wherever both
+// reports carry epoch counts — unlike wall-clock, the epoch count is a pure
+// function of the simulated schedule, so this half of the gate holds on any
+// host, single-core CI runners included.
+func gateSpeedup(path string, min, epochMax float64, records []benchRecord) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("speedupgate: %w", err)
@@ -575,6 +606,14 @@ func gateSpeedup(path string, min float64, records []benchRecord) error {
 			r.Name, r.WallMs, b.WallMs, speedup)
 		if speedup < min {
 			bad = append(bad, fmt.Sprintf("%s %.2fx < %.2fx", r.Name, speedup, min))
+		}
+		if epochMax > 0 && b.Epochs > 0 && r.Epochs > 0 {
+			limit := uint64(epochMax * float64(b.Epochs))
+			fmt.Printf("speedupgate: %-20s epochs  %10d vs baseline %10d (limit %d)\n",
+				r.Name, r.Epochs, b.Epochs, limit)
+			if r.Epochs > limit {
+				bad = append(bad, fmt.Sprintf("%s epochs %d > %.2f x %d", r.Name, r.Epochs, epochMax, b.Epochs))
+			}
 		}
 	}
 	if checked == 0 {

@@ -155,26 +155,34 @@ type clusterSpec struct {
 	faultSeed uint64
 	// workers selects the parallel engine (see Options.Workers).
 	workers int
+	// clientLinkLatency slows the client access links below the fabric
+	// floor (0 = fabric latency). On the parallel engine a longer client
+	// link is free lookahead: client shards synchronize less often.
+	clientLinkLatency sim.Duration
+	// controlLinkLatency does the same for the control-plane node's link.
+	controlLinkLatency sim.Duration
 }
 
 // build creates, formats and starts the cluster; layout adds files.
 func (cs clusterSpec) build(layout func(*extfs.Formatter) error) (*passthru.Cluster, error) {
 	cl, err := passthru.NewCluster(passthru.ClusterConfig{
-		Mode:          cs.mode,
-		ServerNICs:    cs.nics,
-		NumServers:    cs.servers,
-		NumTargets:    cs.targets,
-		RangeBlocks:   cs.rangeBlocks,
-		NumClients:    cs.clients,
-		BlocksPerDisk: cs.blocksPerDisk,
-		FSCacheBlocks: cs.fsCacheBlocks,
-		NCacheBytes:   cs.ncacheBytes,
-		DisableRemap:  cs.disableRemap,
-		EnableWeb:     cs.web,
-		Cost:          cs.cost,
-		FaultSpec:     cs.faultSpec,
-		FaultSeed:     cs.faultSeed,
-		Workers:       cs.workers,
+		Mode:               cs.mode,
+		ServerNICs:         cs.nics,
+		NumServers:         cs.servers,
+		NumTargets:         cs.targets,
+		RangeBlocks:        cs.rangeBlocks,
+		NumClients:         cs.clients,
+		BlocksPerDisk:      cs.blocksPerDisk,
+		FSCacheBlocks:      cs.fsCacheBlocks,
+		NCacheBytes:        cs.ncacheBytes,
+		DisableRemap:       cs.disableRemap,
+		EnableWeb:          cs.web,
+		Cost:               cs.cost,
+		FaultSpec:          cs.faultSpec,
+		FaultSeed:          cs.faultSeed,
+		Workers:            cs.workers,
+		ClientLinkLatency:  cs.clientLinkLatency,
+		ControlLinkLatency: cs.controlLinkLatency,
 	})
 	if err != nil {
 		return nil, err

@@ -45,8 +45,13 @@ type ScaleoutPoint struct {
 	LinkUtil     float64
 	Errors       uint64
 	RouteErrors  uint64
-	// Control-plane activity over the whole run.
+	// Control-plane activity over the whole run. CPLookups counts per-FH
+	// lookups served by the control node; CPMembers counts member-set
+	// bootstraps; LocalRouteHits counts routes the clients answered from
+	// their ring replicas without touching the control plane.
 	CPLookups       uint64
+	CPMembers       uint64
+	LocalRouteHits  uint64
 	RemapsStarted   uint64
 	RemapsSent      uint64
 	RemapRetries    uint64
@@ -54,6 +59,12 @@ type ScaleoutPoint struct {
 	InvalsApplied   uint64
 	ResolverRetries uint64
 	EpochFlushes    uint64
+	// Epochs/SimEvents are this point's sharded-engine barrier count and
+	// executed-event count over the whole run (zero on the legacy engine).
+	// Both are pure functions of the schedule, so replay suites may compare
+	// them; Epochs/point is the per-topology view of the epoch-count gate.
+	Epochs    uint64
+	SimEvents uint64
 }
 
 // RunScaleout sweeps the pass-through cluster across ScaleoutCounts
@@ -114,6 +125,15 @@ func runScaleoutPoint(opt Options, servers, targets int) (ScaleoutPoint, error) 
 		faultSpec:     opt.FaultSpec,
 		faultSeed:     opt.FaultSeed,
 		workers:       opt.Workers,
+		// Clients reach the testbed over a LAN hop, not a fabric port:
+		// 50µs of access latency (vs the 5µs switch) is the paper's
+		// client RTT scale, and hands every client shard 10× the
+		// lookahead of a fabric link. The control-plane node sits on the
+		// same LAN tier — it is management traffic with a 10 ms retry
+		// protocol, not data path — which keeps its busy message stream
+		// from capping every server shard's epoch at the fabric floor.
+		clientLinkLatency:  50 * sim.Microsecond,
+		controlLinkLatency: 50 * sim.Microsecond,
 	}
 	names := make([]string, numFiles)
 	cl, err := cs.build(func(f *extfs.Formatter) error {
@@ -175,19 +195,25 @@ func runScaleoutPoint(opt Options, servers, targets int) (ScaleoutPoint, error) 
 	// Background flushers: every server syncs its dirty buffer cache on a
 	// staggered period, so dirty FHO-indexed blocks get written out (and
 	// re-indexed by LBN) while the window runs — the remap protocol is on
-	// the measured path, not just an idle-time cleanup.
+	// the measured path, not just an idle-time cleanup. Each flusher ticks
+	// on its own server's shard (the Sync must mutate that server's cache
+	// from its own event stream under the parallel engine); the harness
+	// control shard stays off the per-epoch critical path. flushing is only
+	// written between runs, with every shard quiescent, so the app shards
+	// read it barrier-ordered.
 	flushing := true
 	for i, app := range cl.Apps {
 		app := app
+		eng := app.Node.Eng
 		var tick func()
 		tick = func() {
 			if !flushing {
 				return
 			}
 			app.Cache.Sync(func(error) {})
-			cl.Eng.Schedule(scaleoutFlushPeriod, tick)
+			eng.Schedule(scaleoutFlushPeriod, tick)
 		}
-		cl.Eng.Schedule(scaleoutFlushPeriod+sim.Duration(i)*sim.Millisecond, tick)
+		eng.Schedule(scaleoutFlushPeriod+sim.Duration(i)*sim.Millisecond, tick)
 	}
 
 	p := ScaleoutPoint{
@@ -236,6 +262,7 @@ func runScaleoutPoint(opt Options, servers, targets int) (ScaleoutPoint, error) 
 	}
 	if cl.Control != nil {
 		p.CPLookups = cl.Control.Stats.LookupsFH
+		p.CPMembers = cl.Control.Stats.LookupsMembers
 		p.RemapsStarted = cl.Control.Stats.RemapsStarted
 	}
 	for _, app := range cl.Apps {
@@ -248,10 +275,16 @@ func runScaleoutPoint(opt Options, servers, targets int) (ScaleoutPoint, error) 
 	}
 	for _, sc := range scs {
 		if sc.Resolver != nil {
+			p.LocalRouteHits += sc.Resolver.Stats.LocalHits
 			p.ResolverRetries += sc.Resolver.Stats.Retries
 			p.EpochFlushes += sc.Resolver.Stats.EpochFlush
 		}
 	}
+	// Read the engine's own counters (not the package tally, which ncbench
+	// drains per record): per-point epoch counts survive alongside the
+	// sweep-wide aggregate.
+	st := cl.Eng.RunStats()
+	p.Epochs, p.SimEvents = st.Epochs, st.Events
 	opt.Chrome.Add(tr)
 	return p, nil
 }
@@ -341,12 +374,14 @@ func FormatScaleoutPoints(points []ScaleoutPoint) string {
 			p.Errors+p.RouteErrors)
 	}
 	b.WriteString("\ncontrol-plane activity (whole run):\n")
-	fmt.Fprintf(&b, "%-7s %9s %7s %7s %8s %8s %7s %7s\n",
-		"servers", "lookups", "remaps", "sent", "retries", "invals", "rslvRtr", "epFlush")
+	fmt.Fprintf(&b, "%-7s %9s %8s %9s %7s %7s %8s %8s %7s %7s %9s\n",
+		"servers", "lookups", "members", "ringHits", "remaps", "sent", "retries", "invals", "rslvRtr", "epFlush", "epochs")
 	for _, p := range points {
-		fmt.Fprintf(&b, "%-7d %9d %7d %7d %8d %8d %7d %7d\n",
-			p.Servers, p.CPLookups, p.RemapsStarted, p.RemapsSent,
-			p.RemapRetries, p.InvalsApplied, p.ResolverRetries, p.EpochFlushes)
+		fmt.Fprintf(&b, "%-7d %9d %8d %9d %7d %7d %8d %8d %7d %7d %9d\n",
+			p.Servers, p.CPLookups, p.CPMembers, p.LocalRouteHits,
+			p.RemapsStarted, p.RemapsSent,
+			p.RemapRetries, p.InvalsApplied, p.ResolverRetries, p.EpochFlushes,
+			p.Epochs)
 	}
 	return b.String()
 }

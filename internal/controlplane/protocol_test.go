@@ -256,3 +256,114 @@ func TestRemapDuplicateIdempotent(t *testing.T) {
 		t.Fatalf("peer applied %d invalidations, want 2 (no re-apply)", len(got))
 	}
 }
+
+// TestResolverLocalRing: after one member-set bootstrap the resolver
+// answers every cold lookup from its local ring replica — bit-identically
+// to the registry — and the control plane never sees a per-FH lookup.
+func TestResolverLocalRing(t *testing.T) {
+	n := buildCPNet(t, false)
+	n.register(t)
+	const handles = 64
+	got := make([]int, handles)
+	for i := 0; i < handles; i++ {
+		i := i
+		n.resolver.Resolve(fhOf(uint64(i)), func(server int, addr eth.Addr, err error) {
+			if err != nil {
+				t.Errorf("resolve %d: %v", i, err)
+			}
+			if addr != n.cp.Registry().AddrOf(server) {
+				t.Errorf("resolve %d: addr %x != registry addr %x", i, addr, n.cp.Registry().AddrOf(server))
+			}
+			got[i] = server
+		})
+	}
+	if err := n.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if want := n.cp.Registry().ServerFor(fhOf(uint64(i))); got[i] != want {
+			t.Fatalf("handle %d placed on %d, registry says %d", i, got[i], want)
+		}
+	}
+	if n.cp.Stats.LookupsFH != 0 {
+		t.Fatalf("control plane served %d per-FH lookups, want 0 (ring replica)", n.cp.Stats.LookupsFH)
+	}
+	if n.cp.Stats.LookupsMembers != 1 {
+		t.Fatalf("control plane served %d member fetches, want 1", n.cp.Stats.LookupsMembers)
+	}
+	if n.resolver.Stats.LocalHits != handles {
+		t.Fatalf("LocalHits = %d, want %d", n.resolver.Stats.LocalHits, handles)
+	}
+	if n.resolver.Stats.MemberFetches != 1 {
+		t.Fatalf("MemberFetches = %d, want 1", n.resolver.Stats.MemberFetches)
+	}
+}
+
+// TestResolverOverridesFallback: a registry with placement overrides marks
+// its member-set response non-authoritative, so the resolver falls back to
+// per-FH lookups — and the override is honored.
+func TestResolverOverridesFallback(t *testing.T) {
+	n := buildCPNet(t, false)
+	n.register(t)
+	fh := fhOf(7)
+	pinned := 1 - n.cp.Registry().ServerFor(fh) // force the non-hash answer
+	n.cp.Registry().Pin(fh, pinned)
+	gotServer := -2
+	n.resolver.Resolve(fh, func(server int, _ eth.Addr, err error) {
+		if err != nil {
+			t.Errorf("resolve: %v", err)
+		}
+		gotServer = server
+	})
+	if err := n.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gotServer != pinned {
+		t.Fatalf("resolver placed pinned fh on %d, want %d", gotServer, pinned)
+	}
+	if n.cp.Stats.LookupsFH == 0 {
+		t.Fatal("resolver answered an overridden placement locally")
+	}
+	if n.resolver.Stats.LocalHits != 0 {
+		t.Fatalf("LocalHits = %d, want 0 under overrides", n.resolver.Stats.LocalHits)
+	}
+}
+
+// TestResolverInvalidateRefetches: dropping a route after a topology
+// change refetches the member set at the new epoch, and the rebuilt
+// replica agrees with the shrunken registry.
+func TestResolverInvalidateRefetches(t *testing.T) {
+	n := buildCPNet(t, false)
+	n.register(t)
+	fh := fhOf(3)
+	n.resolver.Resolve(fh, func(int, eth.Addr, error) {})
+	if err := n.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n.resolver.Stats.MemberFetches != 1 {
+		t.Fatalf("MemberFetches = %d, want 1", n.resolver.Stats.MemberFetches)
+	}
+	// Topology change: server 1 leaves. The resolver's replica is stale
+	// until a misroute (or any newer-epoch response) surfaces it.
+	n.cp.Registry().SetActive([]int{0})
+	n.resolver.Invalidate(fh)
+	gotServer := -2
+	n.resolver.Resolve(fh, func(server int, _ eth.Addr, err error) {
+		if err != nil {
+			t.Errorf("resolve after shrink: %v", err)
+		}
+		gotServer = server
+	})
+	if err := n.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gotServer != 0 {
+		t.Fatalf("post-shrink placement = %d, want 0 (only active member)", gotServer)
+	}
+	if n.resolver.Stats.MemberFetches != 2 {
+		t.Fatalf("MemberFetches = %d, want 2 (refetch at new epoch)", n.resolver.Stats.MemberFetches)
+	}
+	if n.resolver.Epoch() != n.cp.Registry().Epoch() {
+		t.Fatalf("resolver epoch %d != registry epoch %d", n.resolver.Epoch(), n.cp.Registry().Epoch())
+	}
+}

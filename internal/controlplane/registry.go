@@ -47,6 +47,17 @@ func (g *Registry) AddrOf(idx int) eth.Addr {
 	return g.servers[idx]
 }
 
+// Members returns the active member indices in ascending order.
+func (g *Registry) Members() []int { return g.ring.Members() }
+
+// VNodes reports the ring's virtual-node count (what a client replica must
+// use to reproduce the placement exactly).
+func (g *Registry) VNodes() int { return g.ring.VNodes() }
+
+// HasOverrides reports whether any per-handle placement override is
+// installed — if so, the hash ring alone is not authoritative.
+func (g *Registry) HasOverrides() bool { return len(g.overrides) > 0 }
+
 // ServerFor maps a file handle to its owning server index: the override
 // table first, then the hash ring. Returns -1 when no server is active.
 func (g *Registry) ServerFor(fh lkey.FH) int {

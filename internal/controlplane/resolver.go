@@ -18,6 +18,12 @@ type ResolverStats struct {
 	Failures    uint64
 	EpochFlush  uint64
 	StaleEpochs uint64
+	// LocalHits counts lookups answered by the client-local ring replica —
+	// no control-plane round trip, no control CPU.
+	LocalHits uint64
+	// MemberFetches counts completed member-set bootstraps (one per epoch
+	// the client observes, not one per lookup).
+	MemberFetches uint64
 }
 
 // routeEntry is one cached FH→server binding, tagged with the epoch it was
@@ -36,11 +42,30 @@ type lookupWait struct {
 	done  []func(server int, addr eth.Addr, err error)
 }
 
-// Resolver is a client host's routing cache: it answers "which front-end
-// server owns this file handle" by asking the control plane once and
-// caching the binding. Responses carry the placement epoch; any response
-// newer than the cache flushes it, so stale routes die on the next answer
-// rather than lingering.
+// membersWait is the in-flight member-set bootstrap and its retry state.
+type membersWait struct {
+	seq   uint64
+	tries int
+}
+
+// bootEntry is one lookup parked behind the member-set bootstrap.
+type bootEntry struct {
+	fh   lkey.FH
+	done func(server int, addr eth.Addr, err error)
+}
+
+// Resolver is a client host's routing authority replica. On first use it
+// bootstraps the control plane's member set once and rebuilds the
+// consistent-hash ring locally (placement is a pure function of the member
+// set, virtual-node count and key, so the replica answers bit-identically);
+// from then on FH lookups are client-local and the control-plane CPU sees
+// one message per client per placement epoch instead of one per cold
+// route. Per-FH lookups remain the fallback whenever the ring is not
+// authoritative — the registry holds overrides, the member set does not
+// fit one message, or the bootstrap exhausted its retries. Responses carry
+// the placement epoch; any response newer than the cache flushes both the
+// route cache and the ring replica, so stale placements die on the next
+// answer rather than lingering.
 type Resolver struct {
 	node   *simnet.Node
 	dial   proto.Dialer
@@ -56,6 +81,15 @@ type Resolver struct {
 	epoch    uint64
 	inflight map[lkey.FH]*lookupWait
 	nextSeq  uint64
+
+	// ring/addrs is the local placement replica (nil until bootstrapped,
+	// or when the server said it is not authoritative).
+	ring         *Ring
+	addrs        map[int]eth.Addr
+	hasOverrides bool
+	bootFailed   bool
+	members      *membersWait
+	bootQ        []bootEntry
 
 	RetryRTO sim.Duration
 	RetryMax int
@@ -81,15 +115,44 @@ func NewResolver(node *simnet.Node, dial proto.Dialer, local, cp eth.Addr) *Reso
 // Epoch reports the highest placement epoch the resolver has seen.
 func (r *Resolver) Epoch() uint64 { return r.epoch }
 
-// Resolve answers the owning (server index, address) for fh, from cache or
-// the control plane. done may fire synchronously on a cache hit.
+// Resolve answers the owning (server index, address) for fh: from the
+// route cache, the local ring replica, or the control plane. done may fire
+// synchronously on cache or ring hits.
 func (r *Resolver) Resolve(fh lkey.FH, done func(server int, addr eth.Addr, err error)) {
 	r.Stats.Lookups++
+	r.answer(fh, done)
+}
+
+// answer routes one lookup without re-counting it (bootstrap-parked
+// lookups re-enter here once the member set lands).
+func (r *Resolver) answer(fh lkey.FH, done func(server int, addr eth.Addr, err error)) {
 	if e, ok := r.cache[fh]; ok {
 		r.Stats.CacheHits++
 		done(e.server, e.addr, nil)
 		return
 	}
+	if r.ring != nil && !r.hasOverrides {
+		if idx := r.ring.LookupFH(fh); idx >= 0 {
+			e := routeEntry{server: idx, addr: r.addrs[idx], epoch: r.epoch}
+			r.cache[fh] = e
+			r.Stats.LocalHits++
+			done(e.server, e.addr, nil)
+			return
+		}
+	}
+	if r.ring == nil && !r.hasOverrides && !r.bootFailed {
+		// Cold replica: park the lookup behind one member-set fetch.
+		r.bootQ = append(r.bootQ, bootEntry{fh: fh, done: done})
+		r.fetchMembers()
+		return
+	}
+	r.lookupRemote(fh, done)
+}
+
+// lookupRemote asks the control plane for one handle's owner (the
+// pre-replica path, and the permanent fallback when the ring is not
+// authoritative).
+func (r *Resolver) lookupRemote(fh lkey.FH, done func(server int, addr eth.Addr, err error)) {
 	if w, ok := r.inflight[fh]; ok {
 		w.done = append(w.done, done)
 		return
@@ -104,6 +167,65 @@ func (r *Resolver) Resolve(fh lkey.FH, done func(server int, addr eth.Addr, err 
 		}
 		r.transmit(w)
 	})
+}
+
+// fetchMembers starts (or joins) the member-set bootstrap.
+func (r *Resolver) fetchMembers() {
+	if r.members != nil {
+		return
+	}
+	r.nextSeq++
+	w := &membersWait{seq: r.nextSeq}
+	r.members = w
+	r.ensureConn(func(err error) {
+		if err != nil {
+			r.bootFallback(w)
+			return
+		}
+		r.transmitMembers(w)
+	})
+}
+
+// transmitMembers sends one member-set request and arms its retry timer;
+// exhausting the tries falls back to per-FH lookups for good rather than
+// failing the parked lookups (the per-FH path has its own retry budget).
+func (r *Resolver) transmitMembers(w *membersWait) {
+	if r.members != w {
+		return
+	}
+	if w.tries >= r.RetryMax {
+		r.bootFallback(w)
+		return
+	}
+	if w.tries > 0 {
+		r.Stats.Retries++
+	}
+	w.tries++
+	ch, err := Encode(r.node.TxPool, Msg{Type: MsgMembers, Seq: w.seq})
+	if err != nil {
+		r.bootFallback(w)
+		return
+	}
+	if err := r.conn.SendChain(ch); err != nil {
+		r.bootFallback(w)
+		return
+	}
+	r.node.Eng.Schedule(r.RetryRTO, func() { r.transmitMembers(w) })
+}
+
+// bootFallback abandons the replica and drains the parked lookups through
+// the per-FH path.
+func (r *Resolver) bootFallback(w *membersWait) {
+	if r.members != w {
+		return
+	}
+	r.members = nil
+	r.bootFailed = true
+	q := r.bootQ
+	r.bootQ = nil
+	for _, e := range q {
+		r.lookupRemote(e.fh, e.done)
+	}
 }
 
 // ensureConn dials the control plane once and reuses the connection.
@@ -172,20 +294,69 @@ func (r *Resolver) fail(w *lookupWait, err error) {
 
 // handle consumes one control-plane response.
 func (r *Resolver) handle(m Msg) {
-	if m.Type != MsgLookupFHResp {
-		return
+	switch m.Type {
+	case MsgLookupFHResp:
+		r.handleLookup(m)
+	case MsgMembersResp:
+		r.handleMembers(m)
 	}
-	// Epoch discipline: a response from a newer placement epoch means every
-	// cached route may be stale — flush and relearn. Responses from older
-	// epochs (reordered datagrams) must not install routes over newer ones.
-	if m.Epoch > r.epoch {
+}
+
+// advanceEpoch applies the epoch discipline to one response: a response
+// from a newer placement epoch means every cached route — and the ring
+// replica — may be stale: flush and relearn. Responses from older epochs
+// (reordered datagrams) report false and must not install state over newer
+// answers.
+func (r *Resolver) advanceEpoch(epoch uint64) bool {
+	if epoch > r.epoch {
 		if len(r.cache) > 0 {
 			r.Stats.EpochFlush++
 		}
 		r.cache = make(map[lkey.FH]routeEntry)
-		r.epoch = m.Epoch
-	} else if m.Epoch < r.epoch {
+		r.ring, r.addrs, r.hasOverrides = nil, nil, false
+		r.epoch = epoch
+	} else if epoch < r.epoch {
 		r.Stats.StaleEpochs++
+		return false
+	}
+	return true
+}
+
+// handleMembers installs the member-set response as the local ring replica
+// and drains the lookups parked behind the bootstrap.
+func (r *Resolver) handleMembers(m Msg) {
+	if r.members == nil || m.Seq != r.members.seq {
+		return
+	}
+	if !r.advanceEpoch(m.Epoch) {
+		return
+	}
+	r.members = nil
+	r.Stats.MemberFetches++
+	if m.Status&StatusOverrides != 0 {
+		// Ring not authoritative: remember that and use per-FH lookups
+		// until the next epoch bump.
+		r.hasOverrides = true
+	} else {
+		ring := NewRing(int(m.LBN))
+		addrs := make(map[int]eth.Addr, len(m.LBNs))
+		for _, packed := range m.LBNs {
+			idx := int(uint64(packed) >> 32)
+			ring.Add(idx)
+			addrs[idx] = eth.Addr(uint32(uint64(packed)))
+		}
+		r.ring, r.addrs = ring, addrs
+	}
+	q := r.bootQ
+	r.bootQ = nil
+	for _, e := range q {
+		r.answer(e.fh, e.done)
+	}
+}
+
+// handleLookup consumes one per-FH lookup response.
+func (r *Resolver) handleLookup(m Msg) {
+	if !r.advanceEpoch(m.Epoch) {
 		return
 	}
 	w, ok := r.inflight[m.FH]
@@ -208,8 +379,13 @@ func (r *Resolver) handle(m Msg) {
 }
 
 // Invalidate drops one cached route (callers that see a misroute can force
-// a relearn without waiting for an epoch bump).
-func (r *Resolver) Invalidate(fh lkey.FH) { delete(r.cache, fh) }
+// a relearn without waiting for an epoch bump). A misroute also means the
+// ring replica answered wrong, so it is dropped too — the refetch lands on
+// the registry's current epoch.
+func (r *Resolver) Invalidate(fh lkey.FH) {
+	delete(r.cache, fh)
+	r.ring, r.addrs = nil, nil
+}
 
 // Close tears down the resolver's connection.
 func (r *Resolver) Close() {

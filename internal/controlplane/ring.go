@@ -102,6 +102,10 @@ func (r *Ring) sortPoints() {
 // Len reports the member count.
 func (r *Ring) Len() int { return len(r.members) }
 
+// VNodes reports the virtual-node count per member — replicas built with
+// the same count (and member set) are point-for-point identical rings.
+func (r *Ring) VNodes() int { return r.vnodes }
+
 // Members returns the member IDs in ascending order.
 func (r *Ring) Members() []int {
 	out := make([]int, 0, len(r.members))

@@ -29,6 +29,7 @@ type Stats struct {
 	Registers           uint64
 	LookupsFH           uint64
 	LookupsLBN          uint64
+	LookupsMembers      uint64
 	RemapsStarted       uint64
 	RemapDups           uint64
 	RemapAcksSent       uint64
@@ -206,6 +207,21 @@ func (s *Server) handle(m Msg, reply func(Msg)) {
 		} else {
 			r.Server = uint16(idx)
 			r.Addr = s.reg.AddrOf(idx)
+		}
+		reply(r)
+
+	case MsgMembers:
+		s.Stats.LookupsMembers++
+		r := Msg{Type: MsgMembersResp, Epoch: s.reg.Epoch(), Seq: m.Seq, LBN: int64(s.reg.VNodes())}
+		members := s.reg.Members()
+		if s.reg.HasOverrides() || len(members) > MaxLBNs {
+			// The ring alone does not decide placement (or does not fit
+			// one message): clients must keep asking per handle.
+			r.Status |= StatusOverrides
+		} else {
+			for _, idx := range members {
+				r.LBNs = append(r.LBNs, int64(uint64(idx)<<32|uint64(uint32(s.reg.AddrOf(idx)))))
+			}
 		}
 		reply(r)
 

@@ -31,7 +31,19 @@ const (
 	MsgRemapAck
 	MsgInvalidate
 	MsgInvalidateAck
+	// MsgMembers asks for the active member set; the response carries one
+	// packed (serverID<<32 | fabricAddr) entry per member in LBNs, the
+	// ring's virtual-node count in LBN, and the overrides-present flag in
+	// Status — everything a client needs to replicate the placement ring
+	// locally and answer FH lookups without a control-plane round trip.
+	MsgMembers
+	MsgMembersResp
 )
+
+// StatusOverrides flags a MsgMembersResp whose registry holds placement
+// overrides (or more members than one message carries): the hash ring alone
+// is not authoritative, so clients must keep using per-FH lookups.
+const StatusOverrides uint8 = 1 << 0
 
 // MaxLBNs bounds the block list of one remap/invalidate message; larger
 // remap sets are chunked by the sender so every message fits one transmit

@@ -3,6 +3,7 @@ package passthru
 import (
 	"bytes"
 	"fmt"
+	"os"
 	"strconv"
 	"sync"
 
@@ -30,10 +31,12 @@ type ClientHost struct {
 	nextPort uint16
 }
 
-// NewClientHost builds and attaches a client.
-func NewClientHost(eng *sim.Engine, nw *simnet.Network, name string, addr eth.Addr, cost simnet.CostProfile, bw simnet.Bandwidth) (*ClientHost, error) {
+// NewClientHost builds and attaches a client over a link with the given
+// one-way latency (the fabric floor for LAN-local clients; wider for
+// clients reaching the cluster over a longer path).
+func NewClientHost(eng *sim.Engine, nw *simnet.Network, name string, addr eth.Addr, cost simnet.CostProfile, bw simnet.Bandwidth, latency sim.Duration) (*ClientHost, error) {
 	node := simnet.NewNode(eng, name, cost)
-	if _, err := nw.Attach(node, addr, bw); err != nil {
+	if _, err := nw.AttachAt(node, addr, bw, latency); err != nil {
 		return nil, err
 	}
 	ip := ipv4.NewStack(node)
@@ -227,6 +230,8 @@ type Cluster struct {
 	// experiments call Faults.Arm() once setup is done and Faults.Quiesce()
 	// before the final drain.
 	Faults *fault.Injector
+
+	statsNoted bool
 }
 
 // ClusterConfig sizes a testbed.
@@ -254,10 +259,27 @@ type ClusterConfig struct {
 	FaultSeed uint64
 	// Workers selects the parallel discrete-event engine: every node gets
 	// its own shard, executed by this many workers under conservative
-	// epoch synchronization (lookahead = FabricLatency). Workers == 1 is
-	// the sequential oracle of the same sharded semantics; 0 keeps the
+	// epoch synchronization (default lookahead = FabricLatency, widened
+	// per shard pair from the link topology). Workers == 1 is the
+	// sequential oracle of the same sharded semantics; 0 keeps the
 	// classic single engine.
 	Workers int
+	// ClientLinkLatency is the one-way latency of every client's link into
+	// the fabric (0 = FabricLatency). Slower client links model clients one
+	// LAN hop away — and widen the parallel engine's epochs between client
+	// and server shards by the same factor.
+	ClientLinkLatency sim.Duration
+	// ControlLinkLatency is the one-way latency of the control-plane node's
+	// link (0 = FabricLatency). The control plane is a management node off
+	// the data path — its protocol is idempotent and retried on a 10 ms
+	// RTO — so placing it a LAN hop away costs nothing and keeps its shard's
+	// message stream from capping every server's epoch at the fabric floor.
+	ControlLinkLatency sim.Duration
+	// UniformLookahead disables the topology-derived per-pair lookahead
+	// matrix on the parallel engine, pinning every shard pair to the
+	// FabricLatency floor (the PR 7 epoch schedule). Differential-testing
+	// knob; also forced by NCACHE_UNIFORM_LOOKAHEAD=1.
+	UniformLookahead bool
 }
 
 // Fault-recovery calibration used when a fault spec is present: NFS clients
@@ -311,6 +333,15 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Cost == (simnet.CostProfile{}) {
 		cfg.Cost = simnet.DefaultProfile()
 	}
+	if cfg.ClientLinkLatency <= 0 {
+		cfg.ClientLinkLatency = FabricLatency
+	}
+	if cfg.ControlLinkLatency <= 0 {
+		cfg.ControlLinkLatency = FabricLatency
+	}
+	if os.Getenv("NCACHE_UNIFORM_LOOKAHEAD") == "1" {
+		cfg.UniformLookahead = true
+	}
 	var eng *sim.Engine
 	if cfg.Workers > 0 {
 		eng = sim.NewSharded(sim.Config{Workers: cfg.Workers, Lookahead: FabricLatency})
@@ -357,7 +388,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		// The control plane comes up before any server so registrations
 		// land on a bound port.
 		cpNode := simnet.NewNode(nodeEng("cp"), "cp", cfg.Cost)
-		if _, err := nw.Attach(cpNode, ControlAddr, simnet.Gbps); err != nil {
+		if _, err := nw.AttachAt(cpNode, ControlAddr, simnet.Gbps, cfg.ControlLinkLatency); err != nil {
 			return nil, fmt.Errorf("cp attach: %w", err)
 		}
 		cpIP := ipv4.NewStack(cpNode)
@@ -409,11 +440,14 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 
 	for i := 0; i < cfg.NumClients; i++ {
 		host, err := NewClientHost(nodeEng(fmt.Sprintf("client%d", i)), nw, fmt.Sprintf("client%d", i),
-			ClientAddr0+eth.Addr(i), cfg.Cost, simnet.Gbps)
+			ClientAddr0+eth.Addr(i), cfg.Cost, simnet.Gbps, cfg.ClientLinkLatency)
 		if err != nil {
 			return nil, err
 		}
 		cl.Clients = append(cl.Clients, host)
+	}
+	if cfg.Workers > 0 && !cfg.UniformLookahead {
+		cl.wireLookahead()
 	}
 	if cfg.FaultSpec != "" {
 		in, err := fault.NewFromSpec(eng, cfg.FaultSeed, cfg.FaultSpec)
@@ -444,6 +478,88 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 	}
 	return cl, nil
+}
+
+// wireLookahead derives the parallel engine's per-pair lookahead matrix
+// from the link topology AND the protocol flow graph. Every cross-shard
+// event is a frame leaving the source through one of its NICs and landing
+// through one of the destination's, so (src min uplink latency + dst min
+// downlink latency) lower-bounds the pair's signal delay — NIC.launch pays
+// both on the shard crossing. Pairs that exchange no frames at all are
+// NoPost and drop out of the horizon minimum entirely: the testbed's flows
+// are clients↔servers, clients↔control, servers↔storage and
+// servers↔control; storage nodes never address each other, clients never
+// address storage, and servers never address servers. Self-pairs are
+// NoPost too (local schedules never cross the fabric), as is the harness
+// control shard's whole row (RunExclusive synchronizes at barriers, not
+// through the fabric). A frame on a NoPost pair — a model change breaking
+// these invariants — panics loudly in PostTo rather than corrupting the
+// schedule.
+func (c *Cluster) wireLookahead() {
+	type role int
+	const (
+		rStorage role = iota
+		rControl
+		rApp
+		rClient
+	)
+	type row struct {
+		eng  *sim.Engine
+		la   sim.Duration // min attach latency across the node's NICs
+		role role
+	}
+	var rows []row
+	addNode := func(n *simnet.Node, ro role) {
+		min := sim.NoPost
+		for _, nic := range n.NICs() {
+			if l := nic.Latency(); l < min {
+				min = l
+			}
+		}
+		rows = append(rows, row{n.Eng, min, ro})
+	}
+	for _, s := range c.Storages {
+		addNode(s.Node, rStorage)
+	}
+	if c.Control != nil {
+		addNode(c.Control.Node(), rControl)
+	}
+	for _, a := range c.Apps {
+		addNode(a.Node, rApp)
+	}
+	for _, h := range c.Clients {
+		addNode(h.Node, rClient)
+	}
+	talks := func(a, b role) bool {
+		if a > b {
+			a, b = b, a
+		}
+		switch {
+		case a == rStorage && b == rApp: // iSCSI
+			return true
+		case a == rControl && b == rApp: // register/remap/invalidate
+			return true
+		case a == rControl && b == rClient: // routing lookups
+			return true
+		case a == rApp && b == rClient: // NFS / HTTP
+			return true
+		}
+		return false
+	}
+	for _, r := range rows {
+		c.Eng.SetLookahead(c.Eng, r.eng, sim.NoPost)
+		c.Eng.SetLookahead(r.eng, c.Eng, sim.NoPost)
+	}
+	c.Eng.SetLookahead(c.Eng, c.Eng, sim.NoPost)
+	for i, src := range rows {
+		for j, dst := range rows {
+			if i == j || !talks(src.role, dst.role) {
+				c.Eng.SetLookahead(src.eng, dst.eng, sim.NoPost)
+				continue
+			}
+			c.Eng.SetLookahead(src.eng, dst.eng, src.la+dst.la)
+		}
+	}
 }
 
 // Start completes the asynchronous bring-up and runs the engine until every
@@ -491,9 +607,47 @@ func (c *Cluster) Start() error {
 	return nil
 }
 
-// Close releases the parallel engine's worker pool. It is a no-op on a
-// sequential cluster and safe to call more than once.
-func (c *Cluster) Close() { c.Eng.Close() }
+// engineStats tallies sharded-engine run statistics across every cluster
+// closed since the last TakeEngineStats call, so the bench harness can
+// report epoch counts per experiment without threading engine handles
+// through every Run* signature.
+var engineStats struct {
+	sync.Mutex
+	stats    sim.RunStats
+	clusters int
+}
+
+// TakeEngineStats returns the RunStats accumulated over every cluster
+// closed since the previous call (and how many clusters contributed), then
+// resets the tally.
+func TakeEngineStats() (sim.RunStats, int) {
+	engineStats.Lock()
+	defer engineStats.Unlock()
+	st, n := engineStats.stats, engineStats.clusters
+	engineStats.stats, engineStats.clusters = sim.RunStats{}, 0
+	return st, n
+}
+
+// Close releases the parallel engine's worker pool and folds the engine's
+// run statistics into the process-wide tally (see TakeEngineStats). It is
+// safe to call more than once; the statistics count once.
+func (c *Cluster) Close() {
+	if !c.statsNoted {
+		c.statsNoted = true
+		st := c.Eng.RunStats()
+		engineStats.Lock()
+		s := &engineStats.stats
+		s.Epochs += st.Epochs
+		s.Events += st.Events
+		s.StagedAdmits += st.StagedAdmits
+		s.ExclusiveRuns += st.ExclusiveRuns
+		s.Wakes += st.Wakes
+		s.BarrierNs += st.BarrierNs
+		engineStats.clusters++
+		engineStats.Unlock()
+	}
+	c.Eng.Close()
+}
 
 // FaultCounters aggregates recovery activity across the testbed: RPC
 // retransmissions, abandoned calls and suppressed duplicate replies over all

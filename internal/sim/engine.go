@@ -16,7 +16,6 @@ package sim
 import (
 	"fmt"
 	"math"
-	"sync"
 	"time"
 )
 
@@ -105,14 +104,15 @@ type Engine struct {
 
 	// Sharded-mode fields (nil/zero on a plain NewEngine engine; see
 	// shard.go). co links every shard of one parallel cluster; id is this
-	// shard's index; staging holds cross-shard sends awaiting the next
-	// barrier; postSeq numbers this shard's PostTo calls for the
-	// deterministic admission order.
+	// shard's index; out holds cross-shard sends awaiting the next barrier,
+	// one outbox per destination shard — only this shard appends (during
+	// its own event execution) and only the coordinator drains (at
+	// barriers), so no lock is needed; postSeq numbers this shard's PostTo
+	// calls for the deterministic admission order.
 	co      *coord
 	id      int
 	name    string
-	stageMu sync.Mutex
-	staging []staged
+	out     [][]staged
 	postSeq uint64
 }
 
@@ -222,9 +222,10 @@ func (e *Engine) Pending() int {
 	if e.co != nil {
 		n := 0
 		for _, s := range e.co.shards {
-			s.stageMu.Lock()
-			n += len(s.events) + len(s.staging)
-			s.stageMu.Unlock()
+			n += len(s.events)
+			for _, q := range s.out {
+				n += len(q)
+			}
 		}
 		return n
 	}

@@ -182,10 +182,10 @@ func TestRunUntilUniformClocks(t *testing.T) {
 	}
 }
 
-// TestControlShardExclusive: a control-shard event may touch another
-// shard's engine directly (the harness privilege); the touched shard sees
-// the scheduled work in the same run.
-func TestControlShardExclusive(t *testing.T) {
+// TestRunExclusive: exclusive callbacks run with the whole cluster
+// quiescent and may schedule directly onto model shards — the harness
+// privilege the old always-exclusive control shard provided.
+func TestRunExclusive(t *testing.T) {
 	ctl := NewSharded(Config{Workers: 4, Lookahead: testLookahead})
 	defer ctl.Close()
 	model := ctl.NewShard("m")
@@ -193,15 +193,15 @@ func TestControlShardExclusive(t *testing.T) {
 	var tick func()
 	n := 0
 	tick = func() {
-		// Control event scheduling directly onto the model shard.
+		// Exclusive callback scheduling directly onto the model shard.
 		model.Schedule(Microsecond, func() { ran++ })
 		n++
 		if n < 10 {
-			ctl.Schedule(10*Microsecond, tick)
+			ctl.RunExclusive(10*Microsecond, tick)
 		}
 	}
-	ctl.Schedule(0, tick)
-	// Keep the model shard busy so the epochs overlap.
+	ctl.RunExclusive(0, tick)
+	// Keep the model shard busy so the callbacks land between busy epochs.
 	var busy func()
 	b := 0
 	busy = func() {
@@ -215,7 +215,52 @@ func TestControlShardExclusive(t *testing.T) {
 		t.Fatal(err)
 	}
 	if ran != 10 {
-		t.Fatalf("control-injected events ran %d times, want 10", ran)
+		t.Fatalf("exclusive-injected events ran %d times, want 10", ran)
+	}
+	if got := ctl.RunStats().ExclusiveRuns; got != 10 {
+		t.Fatalf("ExclusiveRuns = %d, want 10", got)
+	}
+}
+
+// TestRunExclusiveOrdering: an exclusive callback due at time T runs
+// before any shard event at T (the old phase-A-first order), and the
+// control clock lands on the callback's due time.
+func TestRunExclusiveOrdering(t *testing.T) {
+	ctl := NewSharded(Config{Workers: 2, Lookahead: testLookahead})
+	defer ctl.Close()
+	a := ctl.NewShard("a")
+	var order []string
+	a.Schedule(10*Microsecond, func() { order = append(order, "event") })
+	ctl.RunExclusive(10*Microsecond, func() {
+		order = append(order, "exclusive")
+		if ctl.Now() != Time(10*Microsecond) {
+			t.Errorf("control clock %s inside exclusive, want 10µs", ctl.Now())
+		}
+	})
+	if err := ctl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"exclusive", "event"}; !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+// TestRunExclusiveFromModelPanics: only the control shard may request
+// cluster-wide exclusivity.
+func TestRunExclusiveFromModelPanics(t *testing.T) {
+	ctl := NewSharded(Config{Workers: 1, Lookahead: testLookahead})
+	defer ctl.Close()
+	m := ctl.NewShard("m")
+	m.Schedule(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("RunExclusive from a model shard did not panic")
+			}
+		}()
+		m.RunExclusive(0, func() {})
+	})
+	if err := ctl.Run(); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -296,6 +341,224 @@ func TestOnBarrierRunsEachEpoch(t *testing.T) {
 	}
 	if barriers < 4 {
 		t.Fatalf("barrier hook ran %d times, want >= 4", barriers)
+	}
+}
+
+// buildPingPongLA is buildPingPong with a wiring hook that may install
+// per-pair lookaheads before the run; it also returns the epoch count.
+func buildPingPongLA(t *testing.T, workers, nShards, rounds int, wire func(ctl *Engine, shards []*Engine)) ([]string, uint64) {
+	t.Helper()
+	ctl := NewSharded(Config{Workers: workers, Lookahead: testLookahead})
+	defer ctl.Close()
+	shards := make([]*Engine, nShards)
+	for i := range shards {
+		shards[i] = ctl.NewShard(fmt.Sprintf("node%d", i))
+	}
+	if wire != nil {
+		wire(ctl, shards)
+	}
+	logs := make([][]string, nShards+1)
+	record := func(s *Engine, what string) {
+		logs[s.id] = append(logs[s.id], fmt.Sprintf("%s@%s:%s", s.name, s.Now(), what))
+	}
+	var hop func(from, to, left int)
+	hop = func(from, to, left int) {
+		src := shards[from]
+		src.PostTo(shards[to], testLookahead+Duration(from+1)*Microsecond, func() {
+			record(shards[to], fmt.Sprintf("recv<-%d(left=%d)", from, left))
+			if left > 0 {
+				hop(to, (to+1)%nShards, left-1)
+			}
+		})
+	}
+	for i := range shards {
+		i := i
+		shards[i].Schedule(Duration(i)*Microsecond, func() {
+			record(shards[i], "start")
+			hop(i, (i+1)%nShards, rounds)
+			var tick func()
+			n := 0
+			tick = func() {
+				record(shards[i], fmt.Sprintf("tick%d", n))
+				n++
+				if n < rounds {
+					shards[i].Schedule(3*Microsecond, tick)
+				}
+			}
+			shards[i].Schedule(Microsecond, tick)
+		})
+	}
+	if err := ctl.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var sorted []string
+	for _, l := range logs {
+		sorted = append(sorted, l...)
+	}
+	sortStrings(sorted)
+	return sorted, ctl.Epochs()
+}
+
+// TestUniformMatrixMatchesScalar is the bit-compat property: explicitly
+// setting every pair — self-pairs included — to the configured scalar
+// lookahead reproduces the default (global-scalar) schedule and epoch
+// structure exactly. The scalar configuration IS the uniform matrix.
+func TestUniformMatrixMatchesScalar(t *testing.T) {
+	want, wantEpochs := buildPingPongLA(t, 1, 5, 40, nil)
+	got, gotEpochs := buildPingPongLA(t, 1, 5, 40, func(ctl *Engine, shards []*Engine) {
+		all := append([]*Engine{ctl}, shards...)
+		for _, src := range all {
+			for _, dst := range all {
+				ctl.SetLookahead(src, dst, testLookahead)
+			}
+		}
+	})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("uniform matrix diverges from scalar schedule (%d vs %d entries)", len(got), len(want))
+	}
+	if gotEpochs != wantEpochs {
+		t.Fatalf("uniform matrix epochs = %d, scalar = %d", gotEpochs, wantEpochs)
+	}
+}
+
+// wirePairMatrix installs a deliberately non-uniform matrix (so the O(S²)
+// slow path is exercised): pair bounds vary per (src, dst) but stay at or
+// below every delay the ping-pong posts, and self-pairs are NoPost.
+func wirePairMatrix(ctl *Engine, shards []*Engine) {
+	for i, src := range shards {
+		ctl.SetLookahead(src, src, NoPost)
+		for j, dst := range shards {
+			if i == j {
+				continue
+			}
+			ctl.SetLookahead(src, dst, testLookahead+Duration((i+j)%2)*Microsecond)
+		}
+	}
+}
+
+// TestShardedDeterministicAcrossWorkersMatrix: the tentpole invariant with
+// a non-uniform lookahead matrix — for a FIXED matrix, the observable
+// trace is identical for any worker count.
+func TestShardedDeterministicAcrossWorkersMatrix(t *testing.T) {
+	want, wantEpochs := buildPingPongLA(t, 1, 5, 40, wirePairMatrix)
+	for _, w := range []int{2, 4} {
+		got, gotEpochs := buildPingPongLA(t, w, 5, 40, wirePairMatrix)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d trace diverges under pair matrix (%d vs %d entries)", w, len(got), len(want))
+		}
+		if gotEpochs != wantEpochs {
+			t.Fatalf("workers=%d epochs = %d, want %d (epoch structure must be worker-independent)", w, gotEpochs, wantEpochs)
+		}
+	}
+}
+
+// TestNoPostDiagonalWidensEpochs: with self-pairs at NoPost and a wide
+// cross-pair bound, two shards grinding long local event chains that only
+// rarely talk must synchronize orders of magnitude less often than under
+// the uniform 5µs floor.
+func TestNoPostDiagonalWidensEpochs(t *testing.T) {
+	const ticks = 2000
+	run := func(wire func(ctl *Engine, shards []*Engine)) uint64 {
+		ctl := NewSharded(Config{Workers: 1, Lookahead: testLookahead})
+		defer ctl.Close()
+		a := ctl.NewShard("a")
+		b := ctl.NewShard("b")
+		if wire != nil {
+			wire(ctl, []*Engine{a, b})
+		}
+		for _, s := range []*Engine{a, b} {
+			s := s
+			n := 0
+			var tick func()
+			tick = func() {
+				n++
+				if n < ticks {
+					s.Schedule(Microsecond, tick)
+				}
+			}
+			s.Schedule(0, tick)
+		}
+		// One cross-shard exchange so the pair is genuinely connected.
+		a.Schedule(0, func() { a.PostTo(b, Millisecond, func() {}) })
+		if err := ctl.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return ctl.Epochs()
+	}
+	scalar := run(nil)
+	wide := run(func(ctl *Engine, shards []*Engine) {
+		a, b := shards[0], shards[1]
+		ctl.SetLookahead(a, a, NoPost)
+		ctl.SetLookahead(b, b, NoPost)
+		// The idle control shard's whole row must be NoPost too: the
+		// horizon fixed point propagates transitively, so a control row
+		// left at the scalar default would cap every horizon at one
+		// round trip through it (default + default), not the wide
+		// cross-pair bound.
+		ctl.SetLookahead(ctl, ctl, NoPost)
+		ctl.SetLookahead(ctl, a, NoPost)
+		ctl.SetLookahead(ctl, b, NoPost)
+		ctl.SetLookahead(a, b, Millisecond)
+		ctl.SetLookahead(b, a, Millisecond)
+	})
+	if wide*10 > scalar {
+		t.Fatalf("NoPost diagonal epochs = %d, scalar = %d; want >= 10x reduction", wide, scalar)
+	}
+}
+
+// TestWorkersClampedAtFreeze: the effective worker count never exceeds the
+// shard count or GOMAXPROCS, whatever the config asks for.
+func TestWorkersClampedAtFreeze(t *testing.T) {
+	ctl := NewSharded(Config{Workers: 64, Lookahead: testLookahead})
+	defer ctl.Close()
+	a := ctl.NewShard("a")
+	a.Schedule(0, func() {})
+	if err := ctl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got, max := ctl.Workers(), 2; got > max {
+		t.Fatalf("effective workers = %d, want <= shard count %d", got, max)
+	}
+}
+
+// TestRunStatsDeterministic: the schedule-derived RunStats fields are
+// identical across worker counts.
+func TestRunStatsDeterministic(t *testing.T) {
+	stats := func(workers int) RunStats {
+		ctl := NewSharded(Config{Workers: workers, Lookahead: testLookahead})
+		defer ctl.Close()
+		shards := []*Engine{ctl.NewShard("a"), ctl.NewShard("b"), ctl.NewShard("c")}
+		for i, s := range shards {
+			s := s
+			next := shards[(i+1)%len(shards)]
+			n := 0
+			var tick func()
+			tick = func() {
+				n++
+				if n%3 == 0 {
+					s.PostTo(next, testLookahead, func() {})
+				}
+				if n < 50 {
+					s.Schedule(Microsecond, tick)
+				}
+			}
+			s.Schedule(Duration(i)*Microsecond, tick)
+		}
+		if err := ctl.Run(); err != nil {
+			t.Fatal(err)
+		}
+		st := ctl.RunStats()
+		st.Wakes, st.BarrierNs = 0, 0 // host-dependent fields
+		return st
+	}
+	want := stats(1)
+	if want.Epochs == 0 || want.Events == 0 || want.StagedAdmits == 0 {
+		t.Fatalf("degenerate stats: %+v", want)
+	}
+	for _, w := range []int{2, 4} {
+		if got := stats(w); got != want {
+			t.Fatalf("workers=%d stats %+v, want %+v", w, got, want)
+		}
 	}
 }
 

@@ -36,11 +36,13 @@ type Network struct {
 }
 
 // port is the switch side of one attachment: a downlink serializer toward
-// the NIC.
+// the NIC, with the link's one-way latency (the switch default unless the
+// attachment asked for a slower link).
 type port struct {
 	nic  *NIC
 	down *sim.Resource
 	bw   Bandwidth
+	lat  sim.Duration
 }
 
 // NewNetwork returns an empty switch with the given one-way port latency.
@@ -54,10 +56,24 @@ func NewNetwork(eng *sim.Engine, latency sim.Duration) *Network {
 
 // Attach creates a NIC on node, connected to this switch at the given
 // address and bandwidth, and returns it. The NIC uses the testbed defaults:
-// 1500-byte MTU and checksum offload on.
+// 1500-byte MTU and checksum offload on, and the switch's default one-way
+// link latency.
 func (nw *Network) Attach(node *Node, addr eth.Addr, bw Bandwidth) (*NIC, error) {
+	return nw.AttachAt(node, addr, bw, nw.latency)
+}
+
+// AttachAt is Attach with an explicit one-way link latency for this port —
+// a client reaching the fabric over a longer path (LAN hop, WAN link) pays
+// it in both directions. It must be at least the switch latency: the
+// fabric latency is the global floor the sharded engine's default
+// lookahead is derived from, and a faster-than-fabric link would break
+// that contract.
+func (nw *Network) AttachAt(node *Node, addr eth.Addr, bw Bandwidth, latency sim.Duration) (*NIC, error) {
 	if _, exists := nw.ports[addr]; exists {
 		return nil, fmt.Errorf("simnet: address %s already attached", addr)
+	}
+	if latency < nw.latency {
+		return nil, fmt.Errorf("simnet: link latency %s below switch latency %s", latency, nw.latency)
 	}
 	nic := &NIC{
 		Addr:            addr,
@@ -67,7 +83,7 @@ func (nw *Network) Attach(node *Node, addr eth.Addr, bw Bandwidth) (*NIC, error)
 		net:             nw,
 		tx:              sim.NewResource(node.Eng, fmt.Sprintf("%s.%s.tx", node.Name, addr)),
 		bw:              bw,
-		latency:         nw.latency,
+		latency:         latency,
 	}
 	nic.ring = newRxRing(nic, DefaultRxRingSize)
 	// The downlink serializer lives on the destination node's shard: frames
@@ -77,6 +93,7 @@ func (nw *Network) Attach(node *Node, addr eth.Addr, bw Bandwidth) (*NIC, error)
 		nic:  nic,
 		down: sim.NewResource(node.Eng, fmt.Sprintf("sw.%s.down", addr)),
 		bw:   bw,
+		lat:  latency,
 	}
 	node.nics = append(node.nics, nic)
 	return nic, nil
@@ -126,9 +143,11 @@ func (nw *Network) drop(frame *netbuf.Chain) {
 }
 
 // arrive runs on the destination node's shard when a frame reaches the
-// switch egress: the receive-side fault decision, downlink serialization and
-// port latency all unfold in destination-shard time — byte-identical to the
+// switch egress: the receive-side fault decision and downlink
+// serialization unfold in destination-shard time — byte-identical to the
 // old single-engine forward, since the port's downlink lives on node.Eng.
+// The port latency was already paid on the shard crossing (see
+// NIC.launch), so delivery happens straight off the serializer.
 func (nw *Network) arrive(p *port, frame *netbuf.Chain, corrupt bool) {
 	eng := p.nic.node.Eng
 	d := nw.faults.FrameRx(eng, p.nic.node.Name+".rx")
@@ -140,7 +159,7 @@ func (nw *Network) arrive(p *port, frame *netbuf.Chain, corrupt bool) {
 	corrupt = corrupt || d.Corrupt
 	wire := frame.Len() + FrameOverheadBytes
 	p.down.Use(p.bw.serialization(wire), func() {
-		eng.Schedule(nw.latency+d.Delay, func() {
+		eng.Schedule(d.Delay, func() {
 			p.nic.deliver(frame, corrupt)
 		})
 	})
@@ -150,7 +169,7 @@ func (nw *Network) arrive(p *port, frame *netbuf.Chain, corrupt bool) {
 		dup := frame.Clone()
 		nw.faultDuped.Add(1)
 		p.down.Use(p.bw.serialization(wire), func() {
-			eng.Schedule(nw.latency, func() {
+			eng.Schedule(0, func() {
 				p.nic.deliver(dup, corrupt)
 			})
 		})

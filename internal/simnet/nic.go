@@ -80,6 +80,11 @@ func (n *NIC) Node() *Node { return n.node }
 // Bandwidth returns the attached link speed.
 func (n *NIC) Bandwidth() Bandwidth { return n.bw }
 
+// Latency returns this link's one-way latency — the minimum delay any
+// frame sent from this NIC pays before reaching another node, and thus the
+// lookahead this node's shard offers every destination.
+func (n *NIC) Latency() sim.Duration { return n.latency }
+
 // TxUtilization reports the transmit serializer's utilization since its
 // stats were last reset — how close this NIC is to line rate.
 func (n *NIC) TxUtilization() float64 { return n.tx.Utilization() }
@@ -132,16 +137,23 @@ func (n *NIC) Send(frame *netbuf.Chain) error {
 }
 
 // launch returns the transmit-completion action for one frame copy: cross
-// into the destination node's shard after the port latency (plus any
-// injected delay), or — for unroutable frames — pay the same wire time
-// locally and let the switch count the discard.
+// into the destination node's shard after the uplink AND downlink
+// latencies (plus any injected delay), or — for unroutable frames — pay
+// the same wire time locally and let the switch count the discard.
+//
+// Paying the egress port's latency on the sending side is timing-identical
+// to paying it after downlink serialization (every frame into a port pays
+// the same constant, so queue waits commute with it), but it doubles the
+// shard pair's signal delay — and therefore the parallel engine's
+// lookahead: a frame from A to B can never land sooner than A's uplink
+// plus B's downlink.
 func (n *NIC) launch(p *port, frame *netbuf.Chain, delay sim.Duration, corrupt bool) func() {
 	return func() {
 		if p == nil {
 			n.node.Eng.Schedule(delay, func() { n.net.drop(frame) })
 			return
 		}
-		n.node.Eng.PostTo(p.nic.node.Eng, delay, func() {
+		n.node.Eng.PostTo(p.nic.node.Eng, delay+p.lat, func() {
 			n.net.arrive(p, frame, corrupt)
 		})
 	}

@@ -104,7 +104,11 @@ func (t *Tracer) log(eng *sim.Engine, r rec) {
 // schedule, independent of worker interleaving.
 func (t *Tracer) applyLogs() {
 	t.scratch = t.scratch[:0]
+	contributed := 0
 	for _, sl := range t.shards {
+		if len(sl.recs) > 0 {
+			contributed++
+		}
 		t.scratch = append(t.scratch, sl.recs...)
 		for i := range sl.recs {
 			sl.recs[i].span = nil
@@ -112,6 +116,16 @@ func (t *Tracer) applyLogs() {
 		sl.recs = sl.recs[:0]
 	}
 	if len(t.scratch) == 0 {
+		return
+	}
+	if contributed == 1 {
+		// Wide epochs often see a single shard burn a long local chain
+		// between barriers; its buffer is already in (at, seq) order, so
+		// the merge sort would be a no-op pass over a large slice.
+		for i := range t.scratch {
+			t.apply(&t.scratch[i])
+			t.scratch[i].span = nil
+		}
 		return
 	}
 	sort.Slice(t.scratch, func(i, j int) bool {
