@@ -9,7 +9,15 @@
 //
 // Experiments: table1, table2, fig4, fig5a, fig5b, fig6a, fig6b, fig7,
 // transport, futurework, overhead, ablations, fig-fault, fig-fault-sweep,
-// scaleout, all.
+// scaleout, writeback, all.
+//
+// writeback (explicit-only) compares the asynchronous write-back pipeline
+// (WAL group commit + batched flusher) against the synchronous dirty-data
+// path at equal durability on a write-heavy SFS mix, writing
+// results/fig-writeback.txt:
+//
+//	ncbench -exp writeback
+//	ncbench -exp writeback -window 200ms -scale 8   # quick smoke
 //
 // scaleout (explicit-only, like fig-fault-sweep) grows the pass-through
 // tier to 1/2/4/8 front-end servers over sharded iSCSI targets with
@@ -73,7 +81,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ncbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: table1,table2,fig4,fig5a,fig5b,fig6a,fig6b,fig7,transport,futurework,overhead,ablations,fig-fault,fig-fault-sweep,scaleout,all")
+	exp := fs.String("exp", "all", "experiment: table1,table2,fig4,fig5a,fig5b,fig6a,fig6b,fig7,transport,futurework,overhead,ablations,fig-fault,fig-fault-sweep,scaleout,writeback,all")
 	warmup := fs.Duration("warmup", 150*time.Millisecond, "steady-state warm-up (virtual time)")
 	window := fs.Duration("window", 600*time.Millisecond, "measurement window (virtual time)")
 	concurrency := fs.Int("concurrency", 8, "outstanding requests per client host")
@@ -319,6 +327,39 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if *exp == "writeback" {
+		// Explicit-only (not part of "all"): the durability-vs-throughput
+		// comparison of the asynchronous write-back pipeline.
+		ran = true
+		var pts []bench.WritebackPoint
+		err := measured("writeback", func() error {
+			var e error
+			pts, e = bench.RunWriteback(opt)
+			return e
+		})
+		if err != nil {
+			return fmt.Errorf("writeback: %w", err)
+		}
+		for _, p := range pts {
+			if p.Arm != "wal" {
+				continue
+			}
+			r := &records[len(records)-1]
+			r.WALCommits = p.WALCommits
+			r.MeanCommitRecs = p.MeanCommitRecs
+			r.WALPeakDepth = p.WALPeakDepth
+			r.FlushBatches = p.FlushBatches
+			r.MeanBatchBlocks = p.MeanBatchBlocks
+			r.DirtyPeakBytes = int64(p.DirtyPeakMB * 1e6)
+			r.Stalls = p.Stalls
+			r.StallMs = p.StallMs
+		}
+		table := bench.FormatWritebackPoints(pts)
+		fmt.Println(table)
+		if err := writeResult("fig-writeback.txt", []byte(table)); err != nil {
+			return err
+		}
+	}
 	if *exp == "scaleout" {
 		// Explicit-only (not part of "all"): four full cluster sweeps at
 		// growing topology and client population.
@@ -437,7 +478,7 @@ func run(args []string) error {
 			on.GainPct, off.GainPct)
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want one of table1,table2,fig4,fig5a,fig5b,fig6a,fig6b,fig7,transport,futurework,overhead,ablations,fig-fault,fig-fault-sweep,scaleout,all)", *exp)
+		return fmt.Errorf("unknown experiment %q (want one of table1,table2,fig4,fig5a,fig5b,fig6a,fig6b,fig7,transport,futurework,overhead,ablations,fig-fault,fig-fault-sweep,scaleout,writeback,all)", *exp)
 	}
 	if *benchGate != "" {
 		if err := gateAllocations(*benchGate, records); err != nil {
@@ -503,6 +544,18 @@ type benchRecord struct {
 	StagedAdmits  uint64  `json:"staged_admits,omitempty"`
 	ExclusiveRuns uint64  `json:"exclusive_runs,omitempty"`
 	BarrierMs     float64 `json:"barrier_ms,omitempty"`
+	// Write-back pipeline attribution (the writeback experiment's WAL arm):
+	// group commits and their mean size, peak journal depth, coalesced flush
+	// batches and their mean size, peak dirty memory, and admission stalls
+	// at the high watermark.
+	WALCommits      uint64  `json:"wal_commits,omitempty"`
+	MeanCommitRecs  float64 `json:"mean_commit_records,omitempty"`
+	WALPeakDepth    int64   `json:"wal_peak_depth,omitempty"`
+	FlushBatches    uint64  `json:"flush_batches,omitempty"`
+	MeanBatchBlocks float64 `json:"mean_batch_blocks,omitempty"`
+	DirtyPeakBytes  int64   `json:"dirty_peak_bytes,omitempty"`
+	Stalls          uint64  `json:"stalls,omitempty"`
+	StallMs         float64 `json:"stall_ms,omitempty"`
 }
 
 // benchReport is the -benchjson document.

@@ -155,6 +155,9 @@ type clusterSpec struct {
 	faultSeed uint64
 	// workers selects the parallel engine (see Options.Workers).
 	workers int
+	// writeback enables the asynchronous write-back pipeline on every
+	// front-end server (fig-writeback).
+	writeback passthru.WritebackConfig
 	// clientLinkLatency slows the client access links below the fabric
 	// floor (0 = fabric latency). On the parallel engine a longer client
 	// link is free lookahead: client shards synchronize less often.
@@ -183,6 +186,7 @@ func (cs clusterSpec) build(layout func(*extfs.Formatter) error) (*passthru.Clus
 		Workers:            cs.workers,
 		ClientLinkLatency:  cs.clientLinkLatency,
 		ControlLinkLatency: cs.controlLinkLatency,
+		Writeback:          cs.writeback,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"ncache/internal/extfs"
+	"ncache/internal/nfs"
+	"ncache/internal/passthru"
+	"ncache/internal/workload"
+)
+
+// WritebackArms names the two durability arms fig-writeback compares: both
+// acknowledge an NFS WRITE only once it is durable, but "sync" forces every
+// write through apply+flush before the ack while "wal" group-commits the
+// intent to the write-ahead log and lets the batching flusher move the data
+// behind the ack.
+var WritebackArms = []string{"sync", "wal"}
+
+// writebackWriteMixPct is the write share of the regular-data operations in
+// the fig-writeback SFS sweep — write-heavy, where the dirty-data path is
+// the bottleneck (the SPECsfs default is ~17%).
+const writebackWriteMixPct = 50
+
+// WritebackPoint is one durability arm's measured point of the write-heavy
+// SFS sweep. Pipeline counters are totals over the whole run (warm-up
+// included — the WAL and flusher never reset mid-run); they are zero on the
+// sync arm, which has no WAL.
+type WritebackPoint struct {
+	Arm            string
+	RegularDataPct int
+	WriteMixPct    int
+	OpsPerSec      float64
+	ThroughputMBs  float64
+	ServerCPU      float64
+	Errors         uint64
+	// Write-ahead log activity: group commits, mean records per commit,
+	// peak journal depth in records.
+	WALCommits     uint64
+	MeanCommitRecs float64
+	WALPeakDepth   int64
+	// Flusher activity: coalesced batches, mean blocks per batch, peak
+	// dirty memory, and admission stalls at the high watermark.
+	FlushBatches    uint64
+	MeanBatchBlocks float64
+	DirtyPeakMB     float64
+	Stalls          uint64
+	StallMs         float64
+}
+
+// RunWriteback measures the write-back pipeline against the synchronous
+// dirty-data path at equal durability: the same write-heavy SFS load on the
+// same NCache testbed, acked-means-durable on both arms.
+func RunWriteback(opt Options) ([]WritebackPoint, error) {
+	opt = opt.withDefaults()
+	var out []WritebackPoint
+	for _, arm := range WritebackArms {
+		p, err := runWritebackPoint(opt, arm)
+		if err != nil {
+			return nil, fmt.Errorf("fig-writeback %s: %w", arm, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func runWritebackPoint(opt Options, arm string) (WritebackPoint, error) {
+	fileSize := uint64(sfsFileSize / opt.Scale)
+	fileSize -= fileSize % extfs.BlockSize
+	if fileSize == 0 {
+		fileSize = extfs.BlockSize
+	}
+	totalBlocks := int64(sfsFileCount) * int64(fileSize/extfs.BlockSize)
+
+	cs := clusterSpec{
+		mode:          passthru.NCache,
+		nics:          1,
+		clients:       2,
+		blocksPerDisk: totalBlocks/4 + 16384,
+		fsCacheBlocks: 4096,
+		ncacheBytes:   (int64(totalBlocks)*extfs.BlockSize*3)/2 + (64 << 20),
+		workers:       opt.Workers,
+		writeback: passthru.WritebackConfig{
+			Enabled:      true,
+			WriteThrough: arm == "sync",
+		},
+	}
+	var specs []extfs.FileSpec
+	cl, err := cs.build(func(f *extfs.Formatter) error {
+		for i := 0; i < sfsFileCount; i++ {
+			spec, err := f.AddFile(fmt.Sprintf("wb-%04d", i), fileSize, nil)
+			if err != nil {
+				return err
+			}
+			specs = append(specs, spec)
+		}
+		_, err := f.AddFile("scratch-marker", extfs.BlockSize, nil)
+		return err
+	})
+	if err != nil {
+		return WritebackPoint{}, err
+	}
+	defer cl.Close()
+
+	files := make([]workload.FileRef, 0, len(specs))
+	for _, spec := range specs {
+		fh, err := lookupFH(cl, 0, spec.Name)
+		if err != nil {
+			return WritebackPoint{}, err
+		}
+		if err := prefill(cl, fh, spec.Size); err != nil {
+			return WritebackPoint{}, err
+		}
+		files = append(files, workload.FileRef{FH: fh, Size: spec.Size})
+	}
+
+	clients := make([]*nfs.Client, 0, len(cl.Clients))
+	for _, h := range cl.Clients {
+		clients = append(clients, h.NFS)
+	}
+	load := &workload.SFSLoad{
+		Clients: clients,
+		Cfg: workload.SFSConfig{
+			RegularDataPct: 75,
+			WriteMixPct:    writebackWriteMixPct,
+			Files:          files,
+			ScratchDir:     nfs.RootFH(),
+			Concurrency:    opt.Concurrency * 4,
+		},
+	}
+	runner := &workload.Runner{Eng: cl.Eng, Warmup: opt.Warmup, Window: opt.Window}
+	p := WritebackPoint{Arm: arm, RegularDataPct: 75, WriteMixPct: writebackWriteMixPct}
+	m, err := runner.Run(load,
+		func() { resetClusterStats(cl) },
+		func() { p.ServerCPU = cl.App.Node.CPU.Utilization() })
+	if err != nil {
+		return WritebackPoint{}, err
+	}
+	p.OpsPerSec = m.OpsPerSec()
+	p.ThroughputMBs = m.Throughput() / 1e6
+	p.Errors = m.Errors
+	if wb := cl.App.WB; wb != nil {
+		p.WALCommits = wb.WALCommits
+		p.MeanCommitRecs = wb.MeanCommitSize()
+		p.WALPeakDepth = wb.WALPeakDepth
+		p.FlushBatches = wb.FlushBatches
+		p.MeanBatchBlocks = wb.MeanBatchBlocks()
+		p.DirtyPeakMB = float64(wb.DirtyPeakBytes) / 1e6
+		p.Stalls = wb.Stalls
+		p.StallMs = float64(wb.StallNs) / 1e6
+	}
+	return p, nil
+}
+
+// FormatWritebackPoints renders the fig-writeback durability-vs-throughput
+// table.
+func FormatWritebackPoints(points []WritebackPoint) string {
+	var base WritebackPoint
+	for _, p := range points {
+		if p.Arm == "sync" {
+			base = p
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "fig-writeback: write-heavy SFS (%d%% data ops, %d%% writes), acked == durable on both arms\n",
+		75, writebackWriteMixPct)
+	fmt.Fprintf(&b, "%-6s %9s %8s %9s %10s %8s %9s %8s %8s %9s %8s %10s\n",
+		"arm", "ops/s", "MB/s", "srvCPU%", "commits", "recs/ci", "walPeak", "batches", "blk/bat", "dirtyMB", "stalls", "vs sync")
+	for _, p := range points {
+		gain := ""
+		if p.Arm != "sync" && base.OpsPerSec > 0 {
+			gain = fmt.Sprintf("%+.1f%%", gainPct(p.OpsPerSec, base.OpsPerSec))
+		}
+		fmt.Fprintf(&b, "%-6s %9.0f %8.1f %9.1f %10d %8.1f %9d %8d %8.1f %9.2f %8d %10s\n",
+			p.Arm, p.OpsPerSec, p.ThroughputMBs, p.ServerCPU*100,
+			p.WALCommits, p.MeanCommitRecs, p.WALPeakDepth,
+			p.FlushBatches, p.MeanBatchBlocks, p.DirtyPeakMB, p.Stalls, gain)
+	}
+	return b.String()
+}

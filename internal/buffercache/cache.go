@@ -16,7 +16,6 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
-	"sort"
 
 	"ncache/internal/lkey"
 	"ncache/internal/metrics"
@@ -77,6 +76,18 @@ type Cache struct {
 	// LogicalCopyNs is the CPU cost of moving one key (a 40-byte copy
 	// plus bookkeeping).
 	LogicalCopyNs sim.Duration
+
+	// fl is the background write-back flusher (nil until EnableFlusher);
+	// wb the shared dirty-pipeline counters; nDirty the dirty-block gauge.
+	fl     *flusher
+	wb     *metrics.Writeback
+	nDirty int
+	// gen is bumped by Reset (crash) so completions of I/O issued against
+	// a previous incarnation are discarded instead of mutating fresh state.
+	gen uint64
+	// onFlush fires after every successful write-back batch (WAL
+	// truncation hook).
+	onFlush func()
 }
 
 // New creates a cache of capacityBlocks blocks over lower.
@@ -89,6 +100,7 @@ func New(node *simnet.Node, lower Lower, capacityBlocks int) *Cache {
 		blocks:        make(map[int64]*Block, capacityBlocks),
 		lru:           list.New(),
 		LogicalCopyNs: 150,
+		wb:            &metrics.Writeback{},
 	}
 }
 
@@ -101,16 +113,9 @@ func (c *Cache) Capacity() int { return c.capacity }
 // Len returns the number of resident blocks.
 func (c *Cache) Len() int { return len(c.blocks) }
 
-// DirtyCount returns the number of dirty resident blocks.
-func (c *Cache) DirtyCount() int {
-	n := 0
-	for _, b := range c.blocks { // det: commutative (count)
-		if b.Dirty {
-			n++
-		}
-	}
-	return n
-}
+// DirtyCount returns the number of dirty resident blocks (maintained
+// incrementally on every dirty transition).
+func (c *Cache) DirtyCount() int { return c.nDirty }
 
 // touch moves a block to the MRU position.
 func (c *Cache) touch(b *Block) {
@@ -131,8 +136,12 @@ func (c *Cache) insert(lbn int64, meta bool) *Block {
 	return b
 }
 
-// drop removes a block from the cache.
+// drop removes a block from the cache, settling the dirty gauge.
 func (c *Cache) drop(b *Block) {
+	if b.Dirty {
+		b.Dirty = false
+		c.noteClean()
+	}
 	delete(c.blocks, b.LBN)
 	if b.elem != nil {
 		c.lru.Remove(b.elem)
@@ -161,7 +170,7 @@ func (c *Cache) evictForRoom() {
 			continue
 		}
 		if b.Dirty {
-			c.flushBlock(b, func(error) {
+			c.flushBatches([]*Block{b}, func(error) {
 				// Re-run eviction once the flush lands; the block is
 				// clean (or still dirty on error) and unpinned.
 				c.evictForRoom()
@@ -173,50 +182,6 @@ func (c *Cache) evictForRoom() {
 		c.drop(b)
 		e = prev
 	}
-}
-
-// flushBlock writes one dirty block down. Logical blocks travel as stamped
-// junk (a logical copy) that the NCache write hook below will substitute
-// and remap; real blocks are physically copied into a transmit chain.
-func (c *Cache) flushBlock(b *Block, done func(error)) {
-	if !b.Dirty || b.flushing {
-		done(nil)
-		return
-	}
-	b.flushing = true
-	var chain *netbuf.Chain
-	if key, ok := b.Key(); ok {
-		chain = lkey.StampChainPool(c.node.BlkPool, key, c.bs)
-		c.node.Copies.AddLogical()
-		c.node.Charge(c.LogicalCopyNs, nil)
-	} else {
-		var err error
-		chain, err = c.node.TxPool.GetChain(b.Data)
-		if err != nil {
-			b.flushing = false
-			done(err)
-			return
-		}
-		c.node.Copies.AddPhysical(c.bs)
-		c.node.Charge(c.node.Cost.CopyCost(c.bs), nil)
-	}
-	c.Stats.Writeback++
-	lbn := b.LBN
-	c.lower.Write(lbn, chain, b.Meta, func(err error) {
-		b.flushing = false
-		if err != nil {
-			done(err)
-			return
-		}
-		b.Dirty = false
-		// A flushed logical block now has a known storage location:
-		// extend its key with the LBN identity (the fs-cache half of
-		// the paper's FHO→LBN remapping).
-		if key, ok := b.Key(); ok && key.Flags&lkey.HasFHO != 0 {
-			lkey.Stamp(b.Data, key.WithLBN(lbn))
-		}
-		done(nil)
-	})
 }
 
 // Get returns one pinned block, reading through on a miss.
@@ -307,8 +272,17 @@ func (c *Cache) GetRange(lbn int64, count int, meta bool, done func([]*Block, er
 }
 
 // readRun fetches one missing run and fills its resident placeholders.
+// Completions arriving after a Reset (crash) are discarded: the
+// placeholders are orphans and their waiters died with the server.
 func (c *Cache) readRun(lbn int64, count int, meta bool, done func(error)) {
+	gen := c.gen
 	c.lower.Read(lbn, count, meta, func(data *netbuf.Chain, err error) {
+		if c.gen != gen {
+			if data != nil {
+				data.Release()
+			}
+			return
+		}
 		if err != nil {
 			for j := 0; j < count; j++ {
 				if b, ok := c.blocks[lbn+int64(j)]; ok && !b.loaded {
@@ -323,14 +297,16 @@ func (c *Cache) readRun(lbn int64, count int, meta bool, done func(error)) {
 			done(err)
 			return
 		}
-		c.fillRun(lbn, count, data, done)
+		c.fillRun(gen, lbn, count, data, done)
 	})
 }
 
 // fillRun moves arriving payload into the placeholder blocks: one physical
 // copy for real data (charged once for the run, the Table 2 "network to
-// buffer cache" stage), or per-block key copies for logical data.
-func (c *Cache) fillRun(lbn int64, count int, data *netbuf.Chain, done func(error)) {
+// buffer cache" stage), or per-block key copies for logical data. gen is
+// the cache incarnation the read was issued under — the CPU charge defers
+// the fill, and a crash in between must not populate the reborn cache.
+func (c *Cache) fillRun(gen uint64, lbn int64, count int, data *netbuf.Chain, done func(error)) {
 	if data.Len() < count*c.bs {
 		data.Release()
 		done(fmt.Errorf("buffercache: short read: %d bytes for %d blocks", data.Len(), count))
@@ -372,6 +348,10 @@ func (c *Cache) fillRun(lbn int64, count int, data *netbuf.Chain, done func(erro
 		cost += c.LogicalCopyNs
 	}
 	c.node.Charge(cost, func() {
+		if c.gen != gen {
+			data.Release()
+			return
+		}
 		for _, f := range fills {
 			if f.isKey {
 				data.GatherRange(f.off, f.b.Data[:lkey.Size])
@@ -415,9 +395,14 @@ func (c *Cache) GetForWrite(lbn int64, meta bool, done func(*Block, error)) {
 	done(b, nil)
 }
 
-// MarkDirty records a modification to a pinned block.
+// MarkDirty records a modification to a pinned block. The 0→dirty
+// transition feeds the dirty gauge and arms the background flusher.
 func (c *Cache) MarkDirty(b *Block) {
-	b.Dirty = true
+	if !b.Dirty {
+		b.Dirty = true
+		c.noteDirty()
+		c.fl.onDirty(c)
+	}
 	c.touch(b)
 }
 
@@ -430,48 +415,27 @@ func (c *Cache) Unpin(b *Block) {
 }
 
 // Drop invalidates a block (file truncation/removal, or a remote-remap
-// invalidation). Dirty contents are discarded. Returns false when the block
-// is pinned or mid-flush and could not be dropped — callers that must win
-// (invalidation protocols) retry after the pin drains.
+// invalidation). Dirty contents are discarded. A mid-flush block is
+// detached immediately — cancel-or-complete: the in-flight write finishes
+// against the orphaned buffer (its completion holds the pointer, not the
+// map entry), future lookups miss, and the invalidation resolves now
+// rather than spinning behind a batched flush. Only a pinned block (a read
+// composing a reply from it) still returns false; callers that must win
+// retry after the pin drains.
 func (c *Cache) Drop(lbn int64) bool {
 	b, ok := c.blocks[lbn]
 	if !ok {
 		return true
 	}
-	if b.pins > 0 || b.flushing {
+	if b.pins > 0 {
 		return false
 	}
 	c.drop(b)
 	return true
 }
 
-// Sync flushes every dirty block and calls done when all writes land.
+// Sync flushes every dirty block in coalesced adjacent-LBN batches and
+// calls done when all writes land.
 func (c *Cache) Sync(done func(error)) {
-	var dirty []*Block
-	for _, b := range c.blocks { // det: sorted (by LBN below, before any I/O is issued)
-		if b.Dirty && !b.flushing {
-			dirty = append(dirty, b)
-		}
-	}
-	// Flush in LBN order: c.blocks is a map, and issue order decides the
-	// event schedule downstream (writeback batching, remap announcements) —
-	// runs must replay bit-for-bit.
-	sort.Slice(dirty, func(i, j int) bool { return dirty[i].LBN < dirty[j].LBN })
-	if len(dirty) == 0 {
-		done(nil)
-		return
-	}
-	remaining := len(dirty)
-	var failed error
-	for _, b := range dirty {
-		c.flushBlock(b, func(err error) {
-			if err != nil && failed == nil {
-				failed = err
-			}
-			remaining--
-			if remaining == 0 {
-				done(failed)
-			}
-		})
-	}
+	c.flushBatches(c.collectDirty(), done)
 }

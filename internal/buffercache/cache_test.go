@@ -263,8 +263,18 @@ func TestSyncFlushesAllDirty(t *testing.T) {
 	if !synced {
 		t.Fatal("Sync did not complete")
 	}
-	if len(lower.writes) != 5 {
-		t.Fatalf("writes = %d, want 5", len(lower.writes))
+	// The five adjacent dirty LBNs must coalesce into one scatter-gather
+	// write (the batched flusher), not five per-block I/Os.
+	if len(lower.writes) != 1 {
+		t.Fatalf("writes = %d, want 1 coalesced batch", len(lower.writes))
+	}
+	if w := lower.writes[0]; w.lbn != 0 || w.count != 5 {
+		t.Fatalf("batch = lbn %d count %d, want lbn 0 count 5", w.lbn, w.count)
+	}
+	for i := int64(0); i < 5; i++ {
+		if got := lower.blocks[i][0]; got != byte(i+1) {
+			t.Fatalf("block %d content = %#x, want %#x", i, got, byte(i+1))
+		}
 	}
 	if c.DirtyCount() != 0 {
 		t.Fatalf("dirty after sync = %d", c.DirtyCount())

@@ -1,0 +1,341 @@
+package buffercache
+
+import (
+	"sort"
+
+	"ncache/internal/lkey"
+	"ncache/internal/metrics"
+	"ncache/internal/netbuf"
+	"ncache/internal/sim"
+)
+
+// maxBatchBlocksDefault caps one coalesced write-back I/O when no flusher
+// configuration overrides it: 64 blocks (256 KB at 4 KB blocks) keeps one
+// scatter-gather write inside a single iSCSI command's comfortable range.
+const maxBatchBlocksDefault = 64
+
+// FlusherConfig tunes the background write-back flusher.
+type FlusherConfig struct {
+	// Interval is the dirty-hold time: a block marked dirty is written back
+	// at most Interval later. The timer arms on the 0→dirty transition and
+	// stays disarmed while the cache is clean, so an idle engine run
+	// terminates.
+	Interval sim.Duration
+	// MaxBatchBlocks caps one coalesced scatter-gather write (default 64).
+	MaxBatchBlocks int
+	// HighWaterBlocks/LowWaterBlocks bound dirty memory: at the high
+	// watermark Admit queues new work (backpressure) and an immediate flush
+	// is kicked; queued admissions resume once dirty drains to the low
+	// watermark (HighWaterBlocks/2 when zero). Zero high watermark disables
+	// the gate.
+	HighWaterBlocks int
+	LowWaterBlocks  int
+}
+
+// flusher is the cache's background write-back state. All of it runs on the
+// cache's node engine — its own shard under the parallel engine — so flush
+// scheduling is part of the deterministic event schedule.
+type flusher struct {
+	cfg      FlusherConfig
+	timerSet bool
+	timer    sim.EventID
+	kickSet  bool
+	admitQ   []admitWaiter
+}
+
+// admitWaiter is one admission parked at the high watermark.
+type admitWaiter struct {
+	run    func()
+	cancel func()
+	since  sim.Time
+}
+
+// EnableFlusher turns on background write-back: dirty blocks flush in
+// coalesced batches at most cfg.Interval after they are dirtied, and dirty
+// memory is bounded by the watermark admission gate. Call before traffic.
+func (c *Cache) EnableFlusher(cfg FlusherConfig) {
+	c.fl = &flusher{cfg: cfg}
+}
+
+// SetWritebackStats shares a pipeline-counter struct (a server wires the
+// same instance into its WAL so one report covers the whole dirty path).
+func (c *Cache) SetWritebackStats(wb *metrics.Writeback) { c.wb = wb }
+
+// WritebackStats returns the cache's pipeline counters.
+func (c *Cache) WritebackStats() *metrics.Writeback { return c.wb }
+
+// DirtyBlocks returns the dirty-block gauge (maintained incrementally; the
+// admission gate compares it against the watermarks).
+func (c *Cache) DirtyBlocks() int { return c.nDirty }
+
+// IsDirty reports whether lbn is resident and dirty — the WAL truncation
+// predicate: a journaled record may retire only when none of its blocks
+// still awaits write-back.
+func (c *Cache) IsDirty(lbn int64) bool {
+	b, ok := c.blocks[lbn]
+	return ok && b.Dirty
+}
+
+// SetFlushObserver installs a callback fired after every write-back batch
+// lands successfully (the server truncates its WAL there).
+func (c *Cache) SetFlushObserver(fn func()) { c.onFlush = fn }
+
+// Admit passes one unit of new dirty work through the write-back
+// backpressure gate: run fires immediately while dirty memory is below the
+// high watermark (or no gate is configured), and is otherwise queued FIFO
+// until the flusher drains to the low watermark. cancel fires instead of
+// run if the cache is reset (crash) while queued.
+func (c *Cache) Admit(run, cancel func()) {
+	fl := c.fl
+	if fl == nil || fl.cfg.HighWaterBlocks <= 0 || c.nDirty < fl.cfg.HighWaterBlocks {
+		run()
+		return
+	}
+	c.wb.Stalls++
+	fl.admitQ = append(fl.admitQ, admitWaiter{run: run, cancel: cancel, since: c.node.Eng.Now()})
+	fl.kick(c)
+}
+
+// noteDirty/noteClean maintain the dirty gauge on every transition.
+func (c *Cache) noteDirty() {
+	c.nDirty++
+	c.wb.AddDirty(int64(c.bs))
+}
+
+func (c *Cache) noteClean() {
+	c.nDirty--
+	c.wb.AddDirty(-int64(c.bs))
+}
+
+// onDirty reacts to a 0→dirty block transition: arm the hold timer, and
+// kick an immediate flush at the high watermark.
+func (fl *flusher) onDirty(c *Cache) {
+	if fl == nil {
+		return
+	}
+	if fl.cfg.HighWaterBlocks > 0 && c.nDirty >= fl.cfg.HighWaterBlocks {
+		fl.kick(c)
+	}
+	if fl.cfg.Interval <= 0 || fl.timerSet {
+		return
+	}
+	fl.timerSet = true
+	fl.timer = c.node.Eng.Schedule(fl.cfg.Interval, func() { fl.tick(c) })
+}
+
+// tick is the hold-timer body: flush everything dirty, then re-arm while
+// dirty blocks remain in flight (their completions drain the gauge; a tick
+// that finds the cache clean lets the timer die).
+func (fl *flusher) tick(c *Cache) {
+	fl.timerSet = false
+	fl.flushNow(c)
+	if c.nDirty > 0 && fl.cfg.Interval > 0 {
+		fl.timerSet = true
+		fl.timer = c.node.Eng.Schedule(fl.cfg.Interval, func() { fl.tick(c) })
+	}
+}
+
+// kick schedules an immediate (same-instant) flush, deduplicated.
+func (fl *flusher) kick(c *Cache) {
+	if fl.kickSet {
+		return
+	}
+	fl.kickSet = true
+	c.node.Eng.Schedule(0, func() {
+		fl.kickSet = false
+		fl.flushNow(c)
+	})
+}
+
+// flushNow writes back everything dirty and not already in flight.
+// Background-flush errors are swallowed here: the blocks stay dirty and the
+// next tick retries (synchronous callers use Sync, which reports them).
+func (fl *flusher) flushNow(c *Cache) {
+	dirty := c.collectDirty()
+	if len(dirty) == 0 {
+		return
+	}
+	c.flushBatches(dirty, func(error) {})
+}
+
+// batchLanded runs after every write-back batch completes: resume parked
+// admissions once the gauge has drained to the low watermark (hysteresis —
+// refills stop again at the high watermark).
+func (fl *flusher) batchLanded(c *Cache) {
+	if fl == nil || len(fl.admitQ) == 0 {
+		return
+	}
+	low := fl.cfg.LowWaterBlocks
+	if low <= 0 {
+		low = fl.cfg.HighWaterBlocks / 2
+	}
+	if c.nDirty > low {
+		return
+	}
+	for len(fl.admitQ) > 0 && c.nDirty < fl.cfg.HighWaterBlocks {
+		w := fl.admitQ[0]
+		fl.admitQ = fl.admitQ[1:]
+		c.wb.StallNs += int64(c.node.Eng.Now() - w.since)
+		w.run()
+	}
+}
+
+// collectDirty snapshots the dirty, not-in-flight blocks in LBN order.
+func (c *Cache) collectDirty() []*Block {
+	var dirty []*Block
+	for _, b := range c.blocks { // det: sorted (by LBN below, before any I/O is issued)
+		if b.Dirty && !b.flushing {
+			dirty = append(dirty, b)
+		}
+	}
+	// Issue order decides the event schedule downstream (batch boundaries,
+	// remap announcements) — runs must replay bit-for-bit.
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].LBN < dirty[j].LBN })
+	return dirty
+}
+
+// maxBatchBlocks returns the configured batch cap.
+func (c *Cache) maxBatchBlocks() int {
+	if c.fl != nil && c.fl.cfg.MaxBatchBlocks > 0 {
+		return c.fl.cfg.MaxBatchBlocks
+	}
+	return maxBatchBlocksDefault
+}
+
+// flushBatches coalesces dirty (LBN-sorted, non-flushing) blocks into
+// adjacent-LBN scatter-gather writes and issues them concurrently; done
+// fires once every batch lands, with the first error.
+func (c *Cache) flushBatches(dirty []*Block, done func(error)) {
+	if len(dirty) == 0 {
+		done(nil)
+		return
+	}
+	max := c.maxBatchBlocks()
+	var batches [][]*Block
+	for i := 0; i < len(dirty); {
+		j := i + 1
+		for j < len(dirty) && j-i < max &&
+			dirty[j].LBN == dirty[j-1].LBN+1 && dirty[j].Meta == dirty[i].Meta {
+			j++
+		}
+		batches = append(batches, dirty[i:j])
+		i = j
+	}
+	remaining := len(batches)
+	var failed error
+	for _, batch := range batches {
+		c.flushBatch(batch, func(err error) {
+			if err != nil && failed == nil {
+				failed = err
+			}
+			remaining--
+			if remaining == 0 {
+				done(failed)
+			}
+		})
+	}
+}
+
+// flushBatch writes one adjacent run of dirty blocks down as a single
+// scatter-gather I/O. Logical blocks travel as stamped junk (a key copy)
+// that the NCache write hook below will substitute and remap; real blocks
+// are physically copied into the transmit chain. One lower.Write per batch
+// means one remap announcement per batch on the control plane.
+func (c *Cache) flushBatch(batch []*Block, done func(error)) {
+	var chain *netbuf.Chain
+	var cost sim.Duration
+	for _, b := range batch {
+		var part *netbuf.Chain
+		if key, ok := b.Key(); ok {
+			part = lkey.StampChainPool(c.node.BlkPool, key, c.bs)
+			c.node.Copies.AddLogical()
+			cost += c.LogicalCopyNs
+		} else {
+			var err error
+			part, err = c.node.TxPool.GetChain(b.Data)
+			if err != nil {
+				if chain != nil {
+					chain.Release()
+				}
+				done(err)
+				return
+			}
+			c.node.Copies.AddPhysical(c.bs)
+			cost += c.node.Cost.CopyCost(c.bs)
+		}
+		if chain == nil {
+			chain = part
+		} else {
+			chain.AppendChain(part)
+		}
+		b.flushing = true
+	}
+	c.node.Charge(cost, nil)
+	c.Stats.Writeback += uint64(len(batch))
+	c.wb.FlushBatches++
+	c.wb.FlushBlocks += uint64(len(batch))
+	gen := c.gen
+	c.lower.Write(batch[0].LBN, chain, batch[0].Meta, func(err error) {
+		if c.gen != gen {
+			// The cache was reset (crash) while this write was in flight:
+			// the blocks are orphans and the pipeline that issued them is
+			// gone. The payload chain's lifecycle completed in the lower
+			// layers as usual, so pools stay drained.
+			return
+		}
+		for _, b := range batch {
+			b.flushing = false
+			if err != nil {
+				continue // stays dirty; a later flush retries
+			}
+			if b.Dirty {
+				b.Dirty = false
+				c.noteClean()
+			}
+			// A flushed logical block now has a known storage location:
+			// extend its key with the LBN identity (the fs-cache half of
+			// the paper's FHO→LBN remapping).
+			if key, ok := b.Key(); ok && key.Flags&lkey.HasFHO != 0 {
+				lkey.Stamp(b.Data, key.WithLBN(b.LBN))
+			}
+		}
+		if err == nil && c.onFlush != nil {
+			c.onFlush()
+		}
+		if c.fl != nil {
+			c.fl.batchLanded(c)
+		}
+		done(err)
+	})
+}
+
+// Reset models a crash: every resident block, queued admission and armed
+// timer is discarded, and completions of I/O already in flight are ignored
+// (generation check). In-flight payload chains are owned by the lower
+// layers and complete their lifecycle normally — pools see no leak.
+func (c *Cache) Reset() {
+	c.gen++
+	for _, b := range c.blocks { // det: commutative (unconditional detach)
+		b.pending = nil
+		b.elem = nil
+	}
+	c.blocks = make(map[int64]*Block)
+	c.lru.Init()
+	if c.nDirty > 0 {
+		c.wb.AddDirty(-int64(c.nDirty) * int64(c.bs))
+		c.nDirty = 0
+	}
+	if fl := c.fl; fl != nil {
+		if fl.timerSet {
+			c.node.Eng.Cancel(fl.timer)
+			fl.timerSet = false
+		}
+		q := fl.admitQ
+		fl.admitQ = nil
+		for _, w := range q {
+			if w.cancel != nil {
+				w.cancel()
+			}
+		}
+	}
+}

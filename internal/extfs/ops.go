@@ -698,6 +698,33 @@ func (fs *FS) reapInode(ino uint32, done func(error)) {
 // Sync flushes all dirty cache state.
 func (fs *FS) Sync(done func(error)) { fs.cache.Sync(done) }
 
+// Map resolves the device blocks backing [off, off+n) of a file without
+// allocating (holes come back as 0). The write-ahead log journals a write's
+// resolved LBN list alongside its payload, so replay and truncation can
+// speak the block layer's language.
+func (fs *FS) Map(ino uint32, off uint64, n int, done func([]int64, error)) {
+	if n <= 0 {
+		done(nil, nil)
+		return
+	}
+	fs.GetInode(ino, func(in Inode, err error) {
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		first := int64(off / BlockSize)
+		last := int64((off + uint64(n) - 1) / BlockSize)
+		count := int(last - first + 1)
+		fs.bmapRange(&in, first, count, false, func(lbns []int64, _ []bool, _ bool, err error) {
+			if err != nil {
+				done(nil, err)
+				return
+			}
+			done(lbns, nil)
+		})
+	})
+}
+
 // Fsck sanity-checks reachable metadata (superblock bounds, inode modes).
 // It is a testing aid, not a repair tool.
 func (fs *FS) Fsck(done func(error)) {

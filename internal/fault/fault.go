@@ -60,12 +60,18 @@ const (
 	// Period while the schedule is active — contention from work outside
 	// the measured data path.
 	CPUBurst
+	// NodeKill crashes a registered node at the schedule's Start instant:
+	// its volatile caches are discarded and its services stop answering
+	// until the harness restarts it (with WAL replay). The kill is a
+	// one-shot event at a virtual timestamp, so a crash "mid-flush" is a
+	// deterministic, replayable point in the schedule.
+	NodeKill
 	// NumClasses bounds the enum.
 	NumClasses
 )
 
 var classNames = [NumClasses]string{
-	"drop", "corrupt", "delay", "dup", "slowdisk", "diskerr", "cpuburst",
+	"drop", "corrupt", "delay", "dup", "slowdisk", "diskerr", "cpuburst", "kill",
 }
 
 // String names the class (the same token the spec grammar uses).
@@ -84,7 +90,8 @@ func layerOf(c Class) trace.Layer {
 	case DiskSlow, DiskError:
 		return trace.LDisk
 	default:
-		return trace.LClient // CPUBurst is ambient; never booked on spans
+		// CPUBurst and NodeKill are ambient; never booked on spans.
+		return trace.LClient
 	}
 }
 
@@ -258,6 +265,14 @@ type cpuSite struct {
 	cpu  *sim.Resource
 }
 
+// killSite is one node registered for NodeKill schedules: fn crashes the
+// node, on its own engine (shard).
+type killSite struct {
+	site string
+	eng  *sim.Engine
+	fn   func()
+}
+
 // Injector owns the schedules for one simulated configuration. A nil
 // injector declines every query. An injector starts disarmed so testbed
 // bring-up, formatting and prefill run fault-free; Arm starts injection and
@@ -271,6 +286,7 @@ type Injector struct {
 	sharded bool
 	scheds  []*schedState
 	cpus    []cpuSite
+	kills   []killSite
 	// armed gates all injection; quiesced is the terminal off state (set
 	// before the post-window drain so recovery completes and the event
 	// loop terminates).
@@ -342,6 +358,14 @@ func (in *Injector) Arm() {
 				continue
 			}
 			in.scheduleBurst(st, cs, st.Start)
+		}
+	}
+	for _, ks := range in.kills {
+		for _, st := range in.scheds {
+			if st.Class != NodeKill || !st.matches(ks.site) {
+				continue
+			}
+			in.scheduleKill(st, ks)
 		}
 	}
 }
@@ -445,6 +469,35 @@ func (in *Injector) AttachCPU(site string, cpu *sim.Resource) {
 		return
 	}
 	in.cpus = append(in.cpus, cpuSite{site: site, cpu: cpu})
+}
+
+// AttachKill registers a node as a NodeKill site; site is the node's name,
+// eng its engine (shard) and fn its crash handler. Call once per killable
+// node at testbed assembly — the one-shot kill event is armed at Arm.
+func (in *Injector) AttachKill(site string, eng *sim.Engine, fn func()) {
+	if in == nil {
+		return
+	}
+	in.kills = append(in.kills, killSite{site: site, eng: eng, fn: fn})
+}
+
+// scheduleKill arms one deterministic crash at the schedule's Start instant
+// on the victim's own shard. The event is tracked in the site's stream
+// state so Quiesce cancels a kill that has not fired yet.
+func (in *Injector) scheduleKill(st *schedState, ks killSite) {
+	fs := st.state(ks.site, in.sharded)
+	at := st.Start
+	if at < ks.eng.Now() {
+		at = ks.eng.Now()
+	}
+	fs.burstEng = ks.eng
+	fs.burst = ks.eng.At(at, func() {
+		if in.quiesced || !st.active(ks.eng.Now(), fs) {
+			return
+		}
+		fs.injected++
+		ks.fn()
+	})
 }
 
 // scheduleBurst arms one burst at a jittered offset within the period

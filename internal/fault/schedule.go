@@ -32,9 +32,10 @@ var Presets = map[string]string{
 //
 //	<class>:<target>[:key=value]...
 //
-// with classes drop, corrupt, delay, slowdisk, diskerr, cpuburst and keys
-// rate (probability), delay/period/start/end (Go durations, virtual time)
-// and count (max injections). Example:
+// with classes drop, corrupt, delay, slowdisk, diskerr, cpuburst, kill and
+// keys rate (probability), delay/period/start/end (Go durations, virtual
+// time) and count (max injections). kill is rate-free: it crashes the
+// matching registered node(s) once, exactly at start=. Example:
 //
 //	drop:client*:rate=0.01,slowdisk:disk0:rate=0.5:delay=5ms:start=100ms
 func ParseSpec(spec string) ([]Schedule, error) {
@@ -149,6 +150,13 @@ func validate(item string, s Schedule) error {
 	case FrameDelay, DiskSlow:
 		if s.Rate <= 0 || s.Delay <= 0 {
 			return fmt.Errorf("fault: %q: %s needs rate= and delay=", item, s.Class)
+		}
+	case NodeKill:
+		if s.Start <= 0 {
+			return fmt.Errorf("fault: %q: kill needs start= (the crash instant)", item)
+		}
+		if s.Rate != 0 {
+			return fmt.Errorf("fault: %q: kill is deterministic — no rate=", item)
 		}
 	default:
 		if s.Rate <= 0 {

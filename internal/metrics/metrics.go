@@ -105,6 +105,92 @@ func (c Cache) Sub(o Cache) Cache {
 	}
 }
 
+// Writeback tallies the asynchronous dirty-data pipeline: bounded dirty
+// memory in the buffer cache, the write-ahead log's depth, and the group
+// commits and admission stalls that couple them. One instance is shared by
+// a server's buffer-cache flusher and its WAL.
+type Writeback struct {
+	// DirtyBytes gauges dirty buffer-cache memory; DirtyPeakBytes is its
+	// high-water mark over the run.
+	DirtyBytes     int64
+	DirtyPeakBytes int64
+	// WALDepth gauges journaled-but-unretired records (staged + durable);
+	// WALPeakDepth is its high-water mark, WALBytes the payload they hold.
+	WALDepth     int64
+	WALPeakDepth int64
+	WALBytes     int64
+	// WALAppends/WALCommits/WALTruncates count log operations;
+	// CommitRecords totals the records made durable, so
+	// CommitRecords/WALCommits is the mean group-commit size.
+	WALAppends    uint64
+	WALCommits    uint64
+	WALTruncates  uint64
+	CommitRecords uint64
+	// CommitSizeHist is a log2 histogram of records per group commit:
+	// bucket i counts commits of [2^i, 2^(i+1)) records.
+	CommitSizeHist [16]uint64
+	// FlushBatches/FlushBlocks count coalesced write-back I/Os and the
+	// blocks they carried (FlushBlocks/FlushBatches = mean batch size).
+	FlushBatches uint64
+	FlushBlocks  uint64
+	// Stalls counts admissions parked at the dirty high watermark;
+	// StallNs sums the simulated time they spent queued.
+	Stalls  uint64
+	StallNs int64
+}
+
+// AddDirty moves the dirty-bytes gauge by delta, tracking the peak.
+func (w *Writeback) AddDirty(delta int64) {
+	w.DirtyBytes += delta
+	if w.DirtyBytes > w.DirtyPeakBytes {
+		w.DirtyPeakBytes = w.DirtyBytes
+	}
+}
+
+// AddWALDepth moves the WAL record/byte gauges, tracking the peak depth.
+func (w *Writeback) AddWALDepth(records, bytes int64) {
+	w.WALDepth += records
+	w.WALBytes += bytes
+	if w.WALDepth > w.WALPeakDepth {
+		w.WALPeakDepth = w.WALDepth
+	}
+}
+
+// ObserveCommit records one group commit of n records.
+func (w *Writeback) ObserveCommit(n int) {
+	w.WALCommits++
+	w.CommitRecords += uint64(n)
+	b := 0
+	for v := n; v > 1 && b < len(w.CommitSizeHist)-1; v >>= 1 {
+		b++
+	}
+	w.CommitSizeHist[b]++
+}
+
+// MeanCommitSize returns the average records per group commit.
+func (w *Writeback) MeanCommitSize() float64 {
+	if w.WALCommits == 0 {
+		return 0
+	}
+	return float64(w.CommitRecords) / float64(w.WALCommits)
+}
+
+// MeanBatchBlocks returns the average blocks per coalesced write-back I/O.
+func (w *Writeback) MeanBatchBlocks() float64 {
+	if w.FlushBatches == 0 {
+		return 0
+	}
+	return float64(w.FlushBlocks) / float64(w.FlushBatches)
+}
+
+// String summarizes the pipeline counters.
+func (w *Writeback) String() string {
+	return fmt.Sprintf("writeback{dirty=%dB (peak %dB) wal=%d/%dB appends=%d commits=%d (mean %.1f) trunc=%d batches=%d (mean %.1f blk) stalls=%d}",
+		w.DirtyBytes, w.DirtyPeakBytes, w.WALDepth, w.WALBytes,
+		w.WALAppends, w.WALCommits, w.MeanCommitSize(), w.WALTruncates,
+		w.FlushBatches, w.MeanBatchBlocks(), w.Stalls)
+}
+
 // Requests tallies application-level operations (NFS ops, HTTP requests).
 type Requests struct {
 	Ops       uint64

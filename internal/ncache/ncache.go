@@ -556,6 +556,21 @@ func (m *Module) DropClean() int {
 	return dropped
 }
 
+// Reset models a node crash: every entry — dirty FHO data included — is
+// released back to its pool. Durability for acknowledged writes is the
+// write-ahead log's job, not the cache's; restart replay rewrites their
+// blocks from the journal.
+func (m *Module) Reset() {
+	e := m.lru.Back()
+	for e != nil {
+		prev := e.Prev()
+		if ent, ok := e.Value.(*entry); ok {
+			m.remove(ent)
+		}
+		e = prev
+	}
+}
+
 // PinnedBytes reports bytes held by dirty (unremapped) FHO entries.
 func (m *Module) PinnedBytes() int64 {
 	var n int64

@@ -9,6 +9,7 @@ import (
 	"ncache/internal/extfs"
 	"ncache/internal/iscsi"
 	"ncache/internal/lkey"
+	"ncache/internal/metrics"
 	"ncache/internal/ncache"
 	"ncache/internal/netbuf"
 	"ncache/internal/nfs"
@@ -19,7 +20,34 @@ import (
 	"ncache/internal/sim"
 	"ncache/internal/simnet"
 	"ncache/internal/trace"
+	"ncache/internal/wal"
 )
+
+// WritebackConfig enables the asynchronous write-back pipeline: NFS WRITEs
+// are journaled to a write-ahead log and acknowledged at group commit, while
+// a batching flusher coalesces dirty blocks into large scatter-gather iSCSI
+// writes behind the ack. Zero value = the classic synchronous path.
+type WritebackConfig struct {
+	Enabled bool
+	// WriteThrough keeps the WAL machinery off even when Enabled is set —
+	// the equal-durability comparison arm: every aligned WRITE applies and
+	// syncs before its ack.
+	WriteThrough bool
+	// CommitInterval / CommitBytes / CommitLatency tune the WAL's group
+	// commit (zero = wal package defaults).
+	CommitInterval sim.Duration
+	CommitBytes    int
+	CommitLatency  sim.Duration
+	// FlushInterval is the background flusher period (0 = 500 µs).
+	FlushInterval sim.Duration
+	// MaxBatchBlocks caps one coalesced flush write (0 = 64).
+	MaxBatchBlocks int
+	// DirtyHighBlocks / DirtyLowBlocks are the dirty-memory watermarks:
+	// admission stalls at high and resumes at low (0 = FSCacheBlocks/4
+	// and high/2).
+	DirtyHighBlocks int
+	DirtyLowBlocks  int
+}
 
 // ServerConfig sizes the pass-through application server.
 type ServerConfig struct {
@@ -48,6 +76,8 @@ type ServerConfig struct {
 	LinkBandwidth simnet.Bandwidth
 	// EnableWeb starts the kHTTPd service alongside NFS.
 	EnableWeb bool
+	// Writeback configures the asynchronous dirty-data pipeline.
+	Writeback WritebackConfig
 }
 
 // DefaultServerConfig mirrors the testbed's application server.
@@ -89,14 +119,20 @@ type AppServer struct {
 	// Agent is this server's control-plane endpoint (nil outside
 	// scale-out clusters).
 	Agent *controlplane.Agent
+	// WAL journals write intent ahead of the ack when the write-back
+	// pipeline is on (nil otherwise); WB carries its shared counters.
+	WAL *wal.Log
+	WB  *metrics.Writeback
 
 	// InvalDeferred / InvalDropGiveups count remote-invalidation retries
 	// against pinned buffer-cache blocks and the (pathological) give-ups.
 	InvalDeferred    uint64
 	InvalDropGiveups uint64
 
-	cfg  ServerConfig
-	path *dataPath
+	cfg     ServerConfig
+	path    *dataPath
+	lower   *storageLower
+	crashed bool
 }
 
 // NewAppServer builds and attaches the application server; Start completes
@@ -237,9 +273,37 @@ func (s *AppServer) connectTargets(i int, done func(error)) {
 
 // startServices mounts the file system and brings up the protocol servers.
 func (s *AppServer) startServices(done func(error)) {
-	lower := newStorageLower(s)
-	s.Cache = buffercache.New(s.Node, lower, s.cfg.FSCacheBlocks)
+	s.lower = newStorageLower(s)
+	s.Cache = buffercache.New(s.Node, s.lower, s.cfg.FSCacheBlocks)
 	s.Cache.LogicalCopyNs = s.Node.Cost.LogicalCopyNs
+	if wbc := s.cfg.Writeback; wbc.Enabled {
+		s.WB = &metrics.Writeback{}
+		s.Cache.SetWritebackStats(s.WB)
+		flushEvery := wbc.FlushInterval
+		if flushEvery <= 0 {
+			flushEvery = 500 * sim.Microsecond
+		}
+		high := wbc.DirtyHighBlocks
+		if high <= 0 {
+			high = s.cfg.FSCacheBlocks / 4
+		}
+		s.Cache.EnableFlusher(buffercache.FlusherConfig{
+			Interval:        flushEvery,
+			MaxBatchBlocks:  wbc.MaxBatchBlocks,
+			HighWaterBlocks: high,
+			LowWaterBlocks:  wbc.DirtyLowBlocks,
+		})
+		if !wbc.WriteThrough {
+			s.WAL = wal.New(s.Node.Eng, wal.Config{
+				CommitInterval: wbc.CommitInterval,
+				CommitBytes:    wbc.CommitBytes,
+				CommitLatency:  wbc.CommitLatency,
+			}, s.WB)
+			// Each landed batch retires the WAL prefix whose blocks are
+			// all clean again.
+			s.Cache.SetFlushObserver(func() { s.WAL.Truncate(s.Cache.IsDirty) })
+		}
+	}
 	extfs.Mount(s.Node, s.Cache, func(fs *extfs.FS, err error) {
 		if err != nil {
 			done(fmt.Errorf("mount: %w", err))
@@ -281,6 +345,98 @@ func (s *AppServer) startServices(done func(error)) {
 		}
 		done(nil)
 	})
+}
+
+// Crash models a deterministic process kill of the application server: the
+// buffer cache, NCache module, and the WAL's volatile state (staged and
+// in-flight groups — their acks never fired) vanish; durable WAL groups
+// survive for replay. In-flight network and disk I/O issued before the kill
+// completes normally — the crash is a process death, not a partition — but
+// generation guards discard the completions and the crashed flag drops every
+// later NFS request on the floor, so clients fall back to RPC retransmit
+// until Restart.
+func (s *AppServer) Crash() {
+	if s.crashed {
+		return
+	}
+	s.crashed = true
+	if s.Cache != nil {
+		s.Cache.Reset()
+	}
+	if s.Module != nil {
+		s.Module.Reset()
+	}
+	if s.WAL != nil {
+		s.WAL.Crash()
+	}
+}
+
+// Restart recovers a crashed server: every durable WAL record is replayed to
+// storage strictly in sequence order (record N's writes land before N+1
+// issues, preserving overlap ordering), its payload verified against the
+// journaled checksum. Replay writes raw bytes — the FHO cache died with the
+// process — and once all land, the replayed LBNs are announced to the
+// control plane so no peer serves a pre-crash version of them, the log is
+// truncated, and the server resumes serving. The iSCSI sessions and mounted
+// super-block are reused (a real restart would re-login and re-read the
+// super-block; neither changes any modeled outcome).
+func (s *AppServer) Restart(done func(error)) {
+	if !s.crashed {
+		done(fmt.Errorf("passthru: restart of a live server"))
+		return
+	}
+	if s.WAL == nil {
+		s.crashed = false
+		done(nil)
+		return
+	}
+	recs := s.WAL.DurableRecords()
+	bs := extfs.BlockSize
+	var replayed []int64
+	var next func(i int)
+	next = func(i int) {
+		if i >= len(recs) {
+			if s.Agent != nil && len(replayed) > 0 {
+				s.Agent.SendRemap(replayed)
+			}
+			s.WAL.Truncate(func(int64) bool { return false })
+			s.crashed = false
+			done(nil)
+			return
+		}
+		rec := recs[i]
+		if netbuf.Sum(rec.Data) != rec.Sum {
+			done(fmt.Errorf("passthru: wal record %d fails its checksum on replay", rec.Seq))
+			return
+		}
+		// Coalesce the record's adjacent LBNs into runs and rewrite them.
+		var writeRun func(start int)
+		writeRun = func(start int) {
+			if start >= len(rec.LBNs) {
+				next(i + 1)
+				return
+			}
+			end := start + 1
+			for end < len(rec.LBNs) && rec.LBNs[end] == rec.LBNs[end-1]+1 {
+				end++
+			}
+			chain, err := s.Node.TxPool.GetChain(rec.Data[start*bs : end*bs])
+			if err != nil {
+				done(err)
+				return
+			}
+			replayed = append(replayed, rec.LBNs[start:end]...)
+			s.lower.Write(rec.LBNs[start], chain, false, func(err error) {
+				if err != nil {
+					done(err)
+					return
+				}
+				writeRun(end)
+			})
+		}
+		writeRun(0)
+	}
+	next(0)
 }
 
 // storageLower adapts the server's iSCSI sessions as the buffer cache's
@@ -394,7 +550,7 @@ func (l *storageLower) writeExtent(target int, lbn int64, data *netbuf.Chain, me
 	}
 	var staged []int64
 	srv.Initiators[target].Write(lbn, data, meta, func(err error) {
-		if err == nil && len(staged) > 0 {
+		if err == nil && len(staged) > 0 && !srv.crashed {
 			ag.SendRemap(staged)
 		}
 		done(err)
@@ -430,6 +586,9 @@ type fsBackend struct {
 var _ nfs.Backend = (*fsBackend)(nil)
 
 func (b *fsBackend) Getattr(fh nfs.FH, done func(nfs.Attr, uint32)) {
+	if b.srv.crashed {
+		return
+	}
 	b.srv.FS.Getattr(fhIno(fh), func(a extfs.Attr, err error) {
 		if err != nil {
 			done(nfs.Attr{}, mapErr(err))
@@ -440,6 +599,9 @@ func (b *fsBackend) Getattr(fh nfs.FH, done func(nfs.Attr, uint32)) {
 }
 
 func (b *fsBackend) Setattr(fh nfs.FH, size uint64, done func(nfs.Attr, uint32)) {
+	if b.srv.crashed {
+		return
+	}
 	ino := fhIno(fh)
 	b.srv.FS.Truncate(ino, size, func(err error) {
 		if err != nil {
@@ -451,6 +613,9 @@ func (b *fsBackend) Setattr(fh nfs.FH, size uint64, done func(nfs.Attr, uint32))
 }
 
 func (b *fsBackend) Lookup(dir nfs.FH, name string, done func(nfs.FH, nfs.Attr, uint32)) {
+	if b.srv.crashed {
+		return
+	}
 	b.srv.FS.Lookup(fhIno(dir), name, func(ino uint32, err error) {
 		if err != nil {
 			done(nfs.FH{}, nfs.Attr{}, mapErr(err))
@@ -468,8 +633,17 @@ func (b *fsBackend) Lookup(dir nfs.FH, name string, done func(nfs.FH, nfs.Attr, 
 
 func (b *fsBackend) Read(fh nfs.FH, off uint64, n int, done func(*netbuf.Chain, nfs.Attr, uint32)) {
 	srv := b.srv
+	if srv.crashed {
+		return
+	}
 	trace.To(srv.Node.Eng, trace.LFS)
 	srv.FS.Read(fhIno(fh), off, n, func(res *extfs.ReadResult, err error) {
+		if srv.crashed {
+			if res != nil {
+				res.Done(srv.FS)
+			}
+			return
+		}
 		if err != nil {
 			done(nil, nfs.Attr{}, mapErr(err))
 			return
@@ -484,25 +658,147 @@ func (b *fsBackend) Read(fh nfs.FH, off uint64, n int, done func(*netbuf.Chain, 
 
 func (b *fsBackend) Write(fh nfs.FH, off uint64, data *netbuf.Chain, done func(int, nfs.Attr, uint32)) {
 	srv := b.srv
+	if srv.crashed {
+		data.Release()
+		return
+	}
 	ino := fhIno(fh)
+	if srv.WAL != nil {
+		b.writeJournaled(fh, ino, off, data, done)
+		return
+	}
+	if srv.cfg.Writeback.Enabled && srv.cfg.Writeback.WriteThrough {
+		// The equal-durability comparison arm: every WRITE applies and
+		// flushes before its ack, through the same batching flusher.
+		b.writeSyncThrough(fh, ino, off, data, done)
+		return
+	}
 	trace.To(srv.Node.Eng, trace.LFS)
 	srv.path.applyWrite(srv.FS, ino, fh, off, data, func(n int, st uint32) {
 		trace.To(srv.Node.Eng, trace.LServer)
+		if srv.crashed {
+			return
+		}
 		if st != nfs.OK {
 			done(0, nfs.Attr{}, st)
 			return
 		}
-		srv.FS.Getattr(ino, func(a extfs.Attr, err error) {
+		b.finishWrite(ino, n, done)
+	})
+}
+
+// writeSyncThrough applies a WRITE and flushes the cache before the ack —
+// the synchronous durability path. It serves the write-through comparison
+// arm and the journaled path's unaligned fallback (the WAL is a logical redo
+// log over whole blocks, so a sub-block write is made durable the slow way
+// instead of being journaled).
+func (b *fsBackend) writeSyncThrough(fh nfs.FH, ino uint32, off uint64, data *netbuf.Chain, done func(int, nfs.Attr, uint32)) {
+	srv := b.srv
+	trace.To(srv.Node.Eng, trace.LFS)
+	srv.path.applyWrite(srv.FS, ino, fh, off, data, func(wn int, st uint32) {
+		trace.To(srv.Node.Eng, trace.LServer)
+		if srv.crashed {
+			return
+		}
+		if st != nfs.OK {
+			done(0, nfs.Attr{}, st)
+			return
+		}
+		srv.FS.Sync(func(err error) {
+			if srv.crashed {
+				return
+			}
 			if err != nil {
 				done(0, nfs.Attr{}, mapErr(err))
 				return
 			}
-			done(n, attrOf(a), nfs.OK)
+			b.finishWrite(ino, wn, done)
 		})
 	})
 }
 
+// finishWrite refreshes the post-write attributes and acks the WRITE.
+func (b *fsBackend) finishWrite(ino uint32, n int, done func(int, nfs.Attr, uint32)) {
+	b.srv.FS.Getattr(ino, func(a extfs.Attr, err error) {
+		if err != nil {
+			done(0, nfs.Attr{}, mapErr(err))
+			return
+		}
+		done(n, attrOf(a), nfs.OK)
+	})
+}
+
+// writeJournaled is the write-back pipeline's WRITE path: the payload is
+// copied into a WAL record (its checksum and resolved LBN list alongside),
+// applied to the cache as dirty blocks, and acknowledged only when the log's
+// group commit lands — the data itself flushes to storage later, in
+// coalesced batches. Admission is gated by the cache's dirty-memory
+// watermarks, so a flooded flusher backpressures the NFS path here.
+// Unaligned writes (never issued by the block-aligned workloads; the WAL is
+// a logical redo log over whole blocks) fall back to apply+sync before the
+// ack — equal durability, no journal entry.
+func (b *fsBackend) writeJournaled(fh nfs.FH, ino uint32, off uint64, data *netbuf.Chain, done func(int, nfs.Attr, uint32)) {
+	srv := b.srv
+	n := data.Len()
+	bs := extfs.BlockSize
+	if off%uint64(bs) != 0 || n%bs != 0 || n == 0 {
+		b.writeSyncThrough(fh, ino, off, data, done)
+		return
+	}
+	run := func() {
+		if srv.crashed {
+			data.Release()
+			return
+		}
+		// Capture the payload for the journal before applyWrite consumes
+		// the chain (NCache mode keeps only logical keys in the cache).
+		buf := make([]byte, n)
+		data.GatherRange(0, buf)
+		trace.To(srv.Node.Eng, trace.LFS)
+		srv.path.applyWrite(srv.FS, ino, fh, off, data, func(wn int, st uint32) {
+			trace.To(srv.Node.Eng, trace.LServer)
+			if srv.crashed {
+				return
+			}
+			if st != nfs.OK {
+				done(0, nfs.Attr{}, st)
+				return
+			}
+			srv.FS.Map(ino, off, wn, func(lbns []int64, err error) {
+				if srv.crashed {
+					return
+				}
+				if err != nil {
+					done(0, nfs.Attr{}, mapErr(err))
+					return
+				}
+				var epoch uint64
+				if srv.Agent != nil {
+					epoch = srv.Agent.Epoch()
+				}
+				srv.WAL.Append(&wal.Record{
+					Ino:   ino,
+					Off:   off,
+					Epoch: epoch,
+					Sum:   netbuf.Sum(buf),
+					LBNs:  lbns,
+					Data:  buf,
+				}, func() {
+					if srv.crashed {
+						return
+					}
+					b.finishWrite(ino, wn, done)
+				})
+			})
+		})
+	}
+	srv.Cache.Admit(run, func() { data.Release() })
+}
+
 func (b *fsBackend) Create(dir nfs.FH, name string, isDir bool, done func(nfs.FH, nfs.Attr, uint32)) {
+	if b.srv.crashed {
+		return
+	}
 	mode := extfs.ModeFile
 	if isDir {
 		mode = extfs.ModeDir
@@ -519,12 +815,18 @@ func (b *fsBackend) Create(dir nfs.FH, name string, isDir bool, done func(nfs.FH
 }
 
 func (b *fsBackend) Remove(dir nfs.FH, name string, done func(uint32)) {
+	if b.srv.crashed {
+		return
+	}
 	b.srv.FS.Remove(fhIno(dir), name, func(err error) {
 		done(mapErr(err))
 	})
 }
 
 func (b *fsBackend) Readdir(dir nfs.FH, done func([]string, uint32)) {
+	if b.srv.crashed {
+		return
+	}
 	b.srv.FS.Readdir(fhIno(dir), func(ents []extfs.Dirent, err error) {
 		if err != nil {
 			done(nil, mapErr(err))

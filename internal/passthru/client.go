@@ -280,6 +280,9 @@ type ClusterConfig struct {
 	// FabricLatency floor (the PR 7 epoch schedule). Differential-testing
 	// knob; also forced by NCACHE_UNIFORM_LOOKAHEAD=1.
 	UniformLookahead bool
+	// Writeback enables the asynchronous write-back pipeline on every
+	// front-end server (see WritebackConfig).
+	Writeback WritebackConfig
 }
 
 // Fault-recovery calibration used when a fault spec is present: NFS clients
@@ -419,6 +422,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		acfg.Cost = cfg.Cost
 		acfg.EnableWeb = cfg.EnableWeb
 		acfg.DisableRemap = cfg.DisableRemap
+		acfg.Writeback = cfg.Writeback
 		if cfg.NumServers > 1 {
 			acfg.Name = fmt.Sprintf("app%d", i)
 			acfg.ControlAddr = ControlAddr
@@ -463,7 +467,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 				in.AttachCPU(storage.Node.Name+".cpu", storage.Node.CPU)
 			}
 			for _, app := range cl.Apps {
+				app := app
 				in.AttachCPU(app.Node.Name+".cpu", app.Node.CPU)
+				in.AttachKill(app.Node.Name, app.Node.Eng, app.Crash)
 				for _, ini := range app.Initiators {
 					ini.SetRetry(faultISCSITries, faultISCSIRetry)
 				}

@@ -1,0 +1,226 @@
+// Package wal is the write-ahead log of the asynchronous write-back
+// pipeline: a logical redo journal of NFS WRITE intent, group-committed on
+// a simulated log device before the client's reply is released.
+//
+// The log is record-per-write, not record-per-block: one Record carries the
+// write's file identity, byte offset, the resolved device blocks and a copy
+// of the wire payload. Group commit batches staged records and pays one
+// simulated device latency per group (the classic "one fsync for N
+// transactions" economy); a record's committed callback — the ack gate —
+// fires only when its group is durable. Crash() drops staged and
+// in-flight-commit records: their acks never fired, so losing them breaks
+// no promise. Durable records survive for replay in sequence order.
+//
+// Truncation is prefix-only: a durable record retires when every one of its
+// blocks has been written back AND no earlier record remains. The prefix
+// rule is load-bearing — records can overlap (two writes touching one
+// block), and replay applies the surviving suffix in sequence order, so
+// retiring a newer record while an older overlapping one remains would let
+// replay regress the block to the older contents.
+package wal
+
+import (
+	"ncache/internal/metrics"
+	"ncache/internal/sim"
+)
+
+// Record journals one acknowledged-to-be write.
+type Record struct {
+	// Seq is the log sequence number (assigned by Append, 1-based).
+	Seq uint64
+	// Ino/Off identify the write in file terms (the FHO identity).
+	Ino uint32
+	Off uint64
+	// Epoch is the control-plane epoch at append time (0 single-server).
+	Epoch uint64
+	// Sum is the internet checksum of Data, verified at replay — a
+	// mismatched (torn) record stops recovery at the last good prefix.
+	Sum uint16
+	// LBNs are the device blocks the write resolved to, in file order.
+	LBNs []int64
+	// Data is the redo payload: the write's bytes, block-aligned.
+	Data []byte
+}
+
+// Config tunes the group-commit protocol.
+type Config struct {
+	// CommitInterval bounds how long a staged record waits for company
+	// (the timer arms on the first append of a group). Default 200 µs.
+	CommitInterval sim.Duration
+	// CommitBytes forces an early commit when the staged payload reaches
+	// this size. Default 256 KB.
+	CommitBytes int
+	// CommitLatency is the simulated log-device write time charged once
+	// per group. Default 20 µs.
+	CommitLatency sim.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.CommitInterval <= 0 {
+		c.CommitInterval = 200 * sim.Microsecond
+	}
+	if c.CommitBytes <= 0 {
+		c.CommitBytes = 256 << 10
+	}
+	if c.CommitLatency <= 0 {
+		c.CommitLatency = 20 * sim.Microsecond
+	}
+	return c
+}
+
+// Log is one server's write-ahead log. All scheduling runs on the owning
+// node's engine (its own shard under the parallel engine).
+type Log struct {
+	eng *sim.Engine
+	cfg Config
+	wb  *metrics.Writeback
+
+	nextSeq     uint64
+	staged      []*Record
+	stagedFns   []func()
+	stagedBytes int
+	inflight    []*Record
+	inflightFns []func()
+	durable     []*Record
+
+	timerSet bool
+	timer    sim.EventID
+	// gen discards the completion of a commit that was in flight when the
+	// node crashed: the group never became durable.
+	gen uint64
+}
+
+// New creates a log; wb (may be nil) receives depth/commit accounting.
+func New(eng *sim.Engine, cfg Config, wb *metrics.Writeback) *Log {
+	if wb == nil {
+		wb = &metrics.Writeback{}
+	}
+	return &Log{eng: eng, cfg: cfg.withDefaults(), wb: wb}
+}
+
+// Stats returns the shared pipeline counters.
+func (l *Log) Stats() *metrics.Writeback { return l.wb }
+
+// Depth returns journaled-but-unretired records (staged, committing and
+// durable).
+func (l *Log) Depth() int { return len(l.staged) + len(l.inflight) + len(l.durable) }
+
+// DurableRecords returns the records replay must apply, in sequence order.
+func (l *Log) DurableRecords() []*Record { return l.durable }
+
+// Append stages a record and returns its sequence number. committed fires
+// once the record's group commit lands — the caller releases the client
+// ack there, and never if the node crashes first.
+func (l *Log) Append(r *Record, committed func()) uint64 {
+	l.nextSeq++
+	r.Seq = l.nextSeq
+	l.staged = append(l.staged, r)
+	l.stagedFns = append(l.stagedFns, committed)
+	l.stagedBytes += len(r.Data)
+	l.wb.WALAppends++
+	l.wb.AddWALDepth(1, int64(len(r.Data)))
+	if l.stagedBytes >= l.cfg.CommitBytes {
+		l.commitNow()
+		return r.Seq
+	}
+	if !l.timerSet && len(l.inflight) == 0 {
+		l.timerSet = true
+		l.timer = l.eng.Schedule(l.cfg.CommitInterval, l.timerFire)
+	}
+	return r.Seq
+}
+
+func (l *Log) timerFire() {
+	l.timerSet = false
+	l.commitNow()
+}
+
+// commitNow starts a group commit of everything staged. One commit is in
+// flight at a time; appends arriving during it stage the next group.
+func (l *Log) commitNow() {
+	if len(l.inflight) > 0 || len(l.staged) == 0 {
+		return
+	}
+	if l.timerSet {
+		l.eng.Cancel(l.timer)
+		l.timerSet = false
+	}
+	l.inflight, l.inflightFns = l.staged, l.stagedFns
+	l.staged, l.stagedFns, l.stagedBytes = nil, nil, 0
+	gen := l.gen
+	l.eng.Schedule(l.cfg.CommitLatency, func() {
+		if l.gen != gen {
+			return // crashed mid-commit: the group was lost with the node
+		}
+		batch, fns := l.inflight, l.inflightFns
+		l.inflight, l.inflightFns = nil, nil
+		l.durable = append(l.durable, batch...)
+		l.wb.ObserveCommit(len(batch))
+		for _, fn := range fns {
+			if fn != nil {
+				fn()
+			}
+		}
+		// Acks may have staged more writes synchronously; keep the pipe
+		// moving without waiting out a fresh timer when a full group (or
+		// a timer armed before this commit started) is already due.
+		if l.stagedBytes >= l.cfg.CommitBytes {
+			l.commitNow()
+		} else if len(l.staged) > 0 && !l.timerSet {
+			l.timerSet = true
+			l.timer = l.eng.Schedule(l.cfg.CommitInterval, l.timerFire)
+		}
+	})
+}
+
+// Truncate retires the longest durable prefix whose device blocks have all
+// been written back (stillDirty reports false for every LBN). Returns the
+// records retired. See the package comment for why only a prefix may go.
+func (l *Log) Truncate(stillDirty func(lbn int64) bool) int {
+	n := 0
+scan:
+	for _, r := range l.durable {
+		for _, lbn := range r.LBNs {
+			if stillDirty(lbn) {
+				break scan
+			}
+		}
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	bytes := 0
+	for _, r := range l.durable[:n] {
+		bytes += len(r.Data)
+	}
+	l.durable = l.durable[n:]
+	l.wb.WALTruncates += uint64(n)
+	l.wb.AddWALDepth(int64(-n), int64(-bytes))
+	return n
+}
+
+// Crash models the node dying: staged and in-flight-commit records are
+// lost (their committed callbacks never fire — the acks they gate were
+// never sent), the commit timer dies with the node, and durable records
+// survive for replay.
+func (l *Log) Crash() {
+	l.gen++
+	if l.timerSet {
+		l.eng.Cancel(l.timer)
+		l.timerSet = false
+	}
+	lost := len(l.staged) + len(l.inflight)
+	bytes := 0
+	for _, r := range l.staged {
+		bytes += len(r.Data)
+	}
+	for _, r := range l.inflight {
+		bytes += len(r.Data)
+	}
+	l.staged, l.stagedFns, l.stagedBytes = nil, nil, 0
+	l.inflight, l.inflightFns = nil, nil
+	if lost > 0 {
+		l.wb.AddWALDepth(int64(-lost), int64(-bytes))
+	}
+}

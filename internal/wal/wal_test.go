@@ -1,0 +1,165 @@
+package wal
+
+import (
+	"testing"
+
+	"ncache/internal/metrics"
+	"ncache/internal/netbuf"
+	"ncache/internal/sim"
+)
+
+func rig() (*sim.Engine, *metrics.Writeback, *Log) {
+	eng := sim.NewEngine()
+	wb := &metrics.Writeback{}
+	l := New(eng, Config{}, wb)
+	return eng, wb, l
+}
+
+func rec(lbn int64, payload byte) *Record {
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = payload
+	}
+	return &Record{Ino: 2, Off: uint64(lbn) * 4096, Sum: netbuf.Sum(data), LBNs: []int64{lbn}, Data: data}
+}
+
+// TestGroupCommitTimer: records appended within one interval commit as one
+// group, and the committed callbacks fire in append order, after (not at)
+// the appends.
+func TestGroupCommitTimer(t *testing.T) {
+	eng, wb, l := rig()
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		seq := l.Append(rec(int64(i), byte(i)), func() { order = append(order, i) })
+		if seq != uint64(i+1) {
+			t.Fatalf("seq = %d, want %d", seq, i+1)
+		}
+	}
+	if len(order) != 0 {
+		t.Fatal("committed before the group-commit timer fired")
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("commit order = %v", order)
+	}
+	if wb.WALCommits != 1 {
+		t.Fatalf("commits = %d, want 1 group", wb.WALCommits)
+	}
+	if wb.CommitRecords != 3 {
+		t.Fatalf("commit records = %d", wb.CommitRecords)
+	}
+	if got := len(l.DurableRecords()); got != 3 {
+		t.Fatalf("durable = %d", got)
+	}
+}
+
+// TestCommitBytesThreshold: a group reaching CommitBytes commits without
+// waiting out the interval.
+func TestCommitBytesThreshold(t *testing.T) {
+	eng := sim.NewEngine()
+	l := New(eng, Config{CommitInterval: sim.Second, CommitBytes: 2 * 4096}, nil)
+	committed := 0
+	l.Append(rec(0, 1), func() { committed++ })
+	l.Append(rec(1, 2), func() { committed++ })
+	eng.RunFor(sim.Millisecond)
+	if committed != 2 {
+		t.Fatalf("committed = %d before a 1 s timer could fire, want 2 (size threshold)", committed)
+	}
+}
+
+// TestTruncatePrefixOnly: an older record overlapping a clean block blocks
+// truncation of everything after it — retiring the newer record while the
+// older one remains would let replay regress the block.
+func TestTruncatePrefixOnly(t *testing.T) {
+	eng, wb, l := rig()
+	a := &Record{Ino: 2, Off: 0, LBNs: []int64{1, 2}, Data: make([]byte, 8192)}
+	b := &Record{Ino: 2, Off: 4096, LBNs: []int64{2}, Data: make([]byte, 4096)}
+	l.Append(a, nil)
+	l.Append(b, nil)
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// LBN 1 still dirty: record a is pinned, so b must not retire either.
+	dirty := map[int64]bool{1: true}
+	if n := l.Truncate(func(lbn int64) bool { return dirty[lbn] }); n != 0 {
+		t.Fatalf("truncated %d records past a dirty head", n)
+	}
+	if l.Depth() != 2 {
+		t.Fatalf("depth = %d", l.Depth())
+	}
+	// Everything clean: both retire in order.
+	if n := l.Truncate(func(int64) bool { return false }); n != 2 {
+		t.Fatalf("truncated %d, want 2", n)
+	}
+	if l.Depth() != 0 || wb.WALDepth != 0 || wb.WALBytes != 0 {
+		t.Fatalf("depth gauge not drained: %d/%d/%d", l.Depth(), wb.WALDepth, wb.WALBytes)
+	}
+	if wb.WALTruncates != 2 {
+		t.Fatalf("truncates = %d", wb.WALTruncates)
+	}
+}
+
+// TestCrashLosesOnlyUncommitted: a crash drops staged records (their acks
+// never fired) and keeps durable ones; a commit in flight at the crash is
+// lost too.
+func TestCrashLosesOnlyUncommitted(t *testing.T) {
+	eng, wb, l := rig()
+	durableAcked := false
+	l.Append(rec(0, 1), func() { durableAcked = true })
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !durableAcked {
+		t.Fatal("first record never committed")
+	}
+	// Stage a second record and crash before its interval elapses.
+	lateAcked := false
+	l.Append(rec(1, 2), func() { lateAcked = true })
+	// Force its group in flight, then crash mid-device-write.
+	eng.RunFor(l.cfg.CommitInterval + l.cfg.CommitLatency/2)
+	l.Crash()
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if lateAcked {
+		t.Fatal("record in flight at the crash fired its ack")
+	}
+	got := l.DurableRecords()
+	if len(got) != 1 || got[0].Seq != 1 {
+		t.Fatalf("durable after crash = %+v", got)
+	}
+	if wb.WALDepth != 1 {
+		t.Fatalf("depth gauge = %d, want 1", wb.WALDepth)
+	}
+	// Replay verifies the surviving payload checksum.
+	if netbuf.Sum(got[0].Data) != got[0].Sum {
+		t.Fatal("surviving record fails its checksum")
+	}
+}
+
+// TestPipelinedGroups: appends arriving during an in-flight commit form the
+// next group — two commits, no lost records, acks strictly ordered.
+func TestPipelinedGroups(t *testing.T) {
+	eng, wb, l := rig()
+	var order []uint64
+	ack := func(seq uint64) func() { return func() { order = append(order, seq) } }
+	s1 := l.Append(rec(0, 1), ack(1))
+	// Let the first group's commit start, then append into its shadow.
+	eng.RunFor(l.cfg.CommitInterval + l.cfg.CommitLatency/2)
+	s2 := l.Append(rec(1, 2), ack(2))
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s1 != 1 || s2 != 2 {
+		t.Fatalf("seqs = %d,%d", s1, s2)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("ack order = %v", order)
+	}
+	if wb.WALCommits != 2 {
+		t.Fatalf("commits = %d, want 2 pipelined groups", wb.WALCommits)
+	}
+}

@@ -28,6 +28,10 @@ type SFSConfig struct {
 	ScratchDir  nfs.FH
 	Concurrency int
 	Seed        uint64
+	// WriteMixPct is the percentage of regular-data operations that are
+	// writes (0 = the SPECsfs default 5:1 read:write mix). The write-back
+	// experiments sweep write-heavy mixes through here.
+	WriteMixPct int
 }
 
 // sfsSizes is the request-size distribution: small requests dominate, as in
@@ -122,7 +126,13 @@ func (l *SFSLoad) issue(c *nfs.Client) {
 			blocks = 1
 		}
 		off := uint64(l.rng.Int63n(int64(blocks))) * uint64(size)
-		if l.rng.Intn(6) < 5 {
+		isRead := l.rng.Intn(6) < 5
+		if l.Cfg.WriteMixPct > 0 {
+			// One extra draw, only on the non-default mix — the default
+			// stream stays bit-identical to the seed replays.
+			isRead = l.rng.Intn(100) >= l.Cfg.WriteMixPct
+		}
+		if isRead {
 			c.Read(f.FH, off, size, func(data *netbuf.Chain, _ nfs.Attr, err error) {
 				n := 0
 				if data != nil {
