@@ -9,7 +9,16 @@
 //
 // Experiments: table1, table2, fig4, fig5a, fig5b, fig6a, fig6b, fig7,
 // transport, futurework, overhead, ablations, fig-fault, fig-fault-sweep,
-// scaleout, writeback, all.
+// fig-avail, scaleout, writeback, all.
+//
+// fig-avail (explicit-only) measures availability on a two-arm mirrored
+// volume: a mixed read/write load runs through an injected arm outage — the
+// circuit breaker ejects the dead arm, the survivor keeps serving, and a
+// dirty-region resync readmits the arm — followed by a read-policy
+// comparison under a slow primary arm, writing results/fig-avail.txt:
+//
+//	ncbench -exp fig-avail
+//	ncbench -exp fig-avail -window 200ms -scale 8   # quick smoke
 //
 // writeback (explicit-only) compares the asynchronous write-back pipeline
 // (WAL group commit + batched flusher) against the synchronous dirty-data
@@ -81,7 +90,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ncbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: table1,table2,fig4,fig5a,fig5b,fig6a,fig6b,fig7,transport,futurework,overhead,ablations,fig-fault,fig-fault-sweep,scaleout,writeback,all")
+	exp := fs.String("exp", "all", "experiment: table1,table2,fig4,fig5a,fig5b,fig6a,fig6b,fig7,transport,futurework,overhead,ablations,fig-fault,fig-fault-sweep,fig-avail,scaleout,writeback,all")
 	warmup := fs.Duration("warmup", 150*time.Millisecond, "steady-state warm-up (virtual time)")
 	window := fs.Duration("window", 600*time.Millisecond, "measurement window (virtual time)")
 	concurrency := fs.Int("concurrency", 8, "outstanding requests per client host")
@@ -360,6 +369,25 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if *exp == "fig-avail" {
+		// Explicit-only (not part of "all"): the mirrored-volume availability
+		// timeline plus the read-policy comparison — four full cluster runs.
+		ran = true
+		var rep bench.AvailReport
+		err := measured("fig-avail", func() error {
+			var e error
+			rep, e = bench.RunAvail(opt)
+			return e
+		})
+		if err != nil {
+			return fmt.Errorf("fig-avail: %w", err)
+		}
+		table := bench.FormatAvail(rep)
+		fmt.Println(table)
+		if err := writeResult("fig-avail.txt", []byte(table)); err != nil {
+			return err
+		}
+	}
 	if *exp == "scaleout" {
 		// Explicit-only (not part of "all"): four full cluster sweeps at
 		// growing topology and client population.
@@ -478,7 +506,7 @@ func run(args []string) error {
 			on.GainPct, off.GainPct)
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want one of table1,table2,fig4,fig5a,fig5b,fig6a,fig6b,fig7,transport,futurework,overhead,ablations,fig-fault,fig-fault-sweep,scaleout,writeback,all)", *exp)
+		return fmt.Errorf("unknown experiment %q (want one of table1,table2,fig4,fig5a,fig5b,fig6a,fig6b,fig7,transport,futurework,overhead,ablations,fig-fault,fig-fault-sweep,fig-avail,scaleout,writeback,all)", *exp)
 	}
 	if *benchGate != "" {
 		if err := gateAllocations(*benchGate, records); err != nil {

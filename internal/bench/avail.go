@@ -1,0 +1,397 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ncache/internal/extfs"
+	"ncache/internal/metrics"
+	"ncache/internal/nfs"
+	"ncache/internal/passthru"
+	"ncache/internal/sim"
+	"ncache/internal/storage"
+	"ncache/internal/trace"
+	"ncache/internal/workload"
+)
+
+// AvailPolicies are the mirror read-selection policies the NetCAS-style
+// comparison table sweeps.
+var AvailPolicies = []string{"primary-first", "round-robin", "least-latency"}
+
+// AvailBucket is one timeline sample of the fig-avail experiment.
+type AvailBucket struct {
+	// StartMs/EndMs bound the bucket relative to the measurement start.
+	StartMs float64
+	EndMs   float64
+	// OpsPerSec/MBs are the mixed read+write service rate in the bucket.
+	OpsPerSec float64
+	MBs       float64
+	// ReadP99Us/WriteP99Us are the bucket's client-observed tails.
+	ReadP99Us  float64
+	WriteP99Us float64
+	// Errors are client-escaped operation failures (must stay 0).
+	Errors uint64
+	// States snapshots each arm's breaker state at the bucket edge.
+	States []string
+	// Vol is the per-bucket delta of the volume counters (DirtyBlocks is
+	// the gauge at the bucket edge).
+	Vol metrics.Volume
+}
+
+// AvailPolicyPoint is one row of the read-policy comparison: the same
+// slow-primary-arm schedule served under a different selection policy.
+type AvailPolicyPoint struct {
+	Policy        string
+	ThroughputMBs float64
+	OpsPerSec     float64
+	ReadP99Us     float64
+	// ArmReads is the read split across the two arms.
+	ArmReads []uint64
+	Errors   uint64
+}
+
+// AvailReport is the fig-avail output: the failure → circuit-open →
+// recovery → resync timeline on a two-arm mirror, phase averages for the
+// acceptance check, and the policy table.
+type AvailReport struct {
+	Buckets []AvailBucket
+	// OutageStartMs/OutageEndMs mark the injected disk-error window
+	// relative to the measurement start.
+	OutageStartMs float64
+	OutageEndMs   float64
+	// HealthyOps/OutageOps/RecoveredOps are phase-average service rates:
+	// before the failure, during the open-circuit window, and after
+	// recovery + resync.
+	HealthyOps   float64
+	OutageOps    float64
+	RecoveredOps float64
+	// TotalErrors counts client-escaped errors over the whole timeline.
+	TotalErrors uint64
+	// FinalStates/FinalVol snapshot the mirror after the post-run drain;
+	// Resynced reports full recovery (all arms closed, dirty log empty,
+	// at least one completed resync).
+	FinalStates []string
+	FinalVol    metrics.Volume
+	Resynced    bool
+	Policies    []AvailPolicyPoint
+}
+
+// volCounters aggregates a volume's per-arm stats into the metrics struct.
+func volCounters(stats []storage.ArmStats) metrics.Volume {
+	var v metrics.Volume
+	for _, s := range stats {
+		v.Reads += s.Reads
+		v.Writes += s.Writes
+		v.Errors += s.Errors
+		v.Ejections += s.Ejections
+		v.Probes += s.Probes
+		v.Resyncs += s.Resyncs
+		v.ResyncBlocks += s.ResyncBlocks
+		v.DirtyBlocks += uint64(s.DirtyBlocks)
+	}
+	return v
+}
+
+// armStates lists each arm's breaker state.
+func armStates(stats []storage.ArmStats) []string {
+	out := make([]string, len(stats))
+	for i, s := range stats {
+		out[i] = s.State.String()
+	}
+	return out
+}
+
+// opP99Us extracts one op's p99 from a summary, in microseconds.
+func opP99Us(s *trace.Summary, op string) float64 {
+	if s == nil {
+		return 0
+	}
+	for _, o := range s.Ops {
+		if o.Op == op {
+			return float64(o.P99) / 1e3
+		}
+	}
+	return 0
+}
+
+// availBuckets is the timeline resolution; the outage window spans buckets
+// [availBuckets/6, availBuckets/2).
+const availBuckets = 24
+
+// RunAvail measures availability through an arm failure on a two-arm
+// mirrored target: a mixed read/write load runs continuously while the
+// second arm's disks hard-fail for a third of the window — the breaker
+// ejects the arm, the survivor keeps serving, and when the errors stop the
+// half-open probe readmits the arm through a dirty-region resync. The
+// timeline is sampled in buckets; a NetCAS-style policy comparison under a
+// slow (not failing) arm follows.
+func RunAvail(opt Options) (AvailReport, error) {
+	opt = opt.withDefaults()
+	fileBlocks := int64(96*1024) / int64(opt.Scale)
+	cs := clusterSpec{
+		mode:          passthru.NCache,
+		nics:          1,
+		clients:       2,
+		blocksPerDisk: fileBlocks/4 + 8192,
+		fsCacheBlocks: 8192,
+		ncacheBytes:   64 << 20,
+		workers:       opt.Workers,
+		arms:          2,
+		// The async write-back pipeline streams dirty blocks to the mirror
+		// continuously — that lower-write traffic is what the breaker sees
+		// failing during the arm outage.
+		writeback: passthru.WritebackConfig{Enabled: true},
+	}
+	var spec extfs.FileSpec
+	cl, err := cs.build(func(f *extfs.Formatter) error {
+		var err error
+		spec, err = f.AddFile("bigfile", uint64(fileBlocks)*extfs.BlockSize, nil)
+		return err
+	})
+	if err != nil {
+		return AvailReport{}, err
+	}
+	defer cl.Close()
+	fh, err := lookupFH(cl, 0, "bigfile")
+	if err != nil {
+		return AvailReport{}, err
+	}
+	clients := make([]*nfs.Client, 0, len(cl.Clients))
+	for _, h := range cl.Clients {
+		clients = append(clients, h.NFS)
+	}
+	tr := trace.NewTracer(cl.Eng, "fig-avail")
+	reads := &workload.NFSReadLoad{
+		Clients:     clients,
+		FH:          fh,
+		FileSize:    spec.Size,
+		RequestSize: 16 * 1024,
+		Pattern:     workload.Sequential,
+		Concurrency: opt.Concurrency,
+		Tracer:      tr,
+	}
+	wc := opt.Concurrency / 4
+	if wc == 0 {
+		wc = 1
+	}
+	writes := &workload.NFSWriteLoad{
+		Clients:     clients,
+		FH:          fh,
+		FileSize:    spec.Size,
+		RequestSize: 16 * 1024,
+		Concurrency: wc,
+		Tracer:      tr,
+	}
+	reads.Start()
+	writes.Start()
+	if err := cl.Eng.RunFor(opt.Warmup); err != nil {
+		return AvailReport{}, fmt.Errorf("warmup: %w", err)
+	}
+
+	// Anchor the outage window in absolute virtual time now that warm-up
+	// has consumed its (deterministic) share of the clock.
+	t0 := cl.Eng.Now()
+	bucket := opt.Window / availBuckets
+	outStart := t0 + sim.Time(bucket*(availBuckets/6))
+	outEnd := t0 + sim.Time(bucket*(availBuckets/2))
+	faultSpec := fmt.Sprintf("diskerr:s0m1.disk*:rate=1:start=%s:end=%s",
+		time.Duration(outStart), time.Duration(outEnd))
+	seed := opt.FaultSeed
+	if seed == 0 {
+		seed = 1
+	}
+	in, err := cl.InstallFaults(seed, faultSpec)
+	if err != nil {
+		return AvailReport{}, err
+	}
+	in.Arm()
+
+	rep := AvailReport{
+		OutageStartMs: float64(outStart-t0) / 1e6,
+		OutageEndMs:   float64(outEnd-t0) / 1e6,
+	}
+	ops0, bytes0, errs0 := countersSum(reads, writes)
+	vol0 := volCounters(cl.App.Volume.Stats())
+	for i := 0; i < availBuckets; i++ {
+		tr.ResetStats()
+		if err := cl.Eng.RunFor(bucket); err != nil {
+			return AvailReport{}, fmt.Errorf("bucket %d: %w", i, err)
+		}
+		ops1, bytes1, errs1 := countersSum(reads, writes)
+		vol1 := volCounters(cl.App.Volume.Stats())
+		sum := tr.Summary()
+		b := AvailBucket{
+			StartMs:    float64(bucket) * float64(i) / 1e6,
+			EndMs:      float64(bucket) * float64(i+1) / 1e6,
+			OpsPerSec:  float64(ops1-ops0) / bucket.Seconds(),
+			MBs:        float64(bytes1-bytes0) / bucket.Seconds() / 1e6,
+			ReadP99Us:  opP99Us(sum, "read"),
+			WriteP99Us: opP99Us(sum, "write"),
+			Errors:     errs1 - errs0,
+			States:     armStates(cl.App.Volume.Stats()),
+			Vol:        vol1.Sub(vol0),
+		}
+		rep.Buckets = append(rep.Buckets, b)
+		rep.TotalErrors += b.Errors
+		ops0, bytes0, errs0 = ops1, bytes1, errs1
+		vol0 = vol1
+	}
+	reads.Stop()
+	writes.Stop()
+	in.Quiesce()
+	if err := cl.Eng.Run(); err != nil {
+		return AvailReport{}, fmt.Errorf("drain: %w", err)
+	}
+
+	final := cl.App.Volume.Stats()
+	rep.FinalStates = armStates(final)
+	rep.FinalVol = volCounters(final)
+	rep.Resynced = rep.FinalVol.Resyncs >= 1 && rep.FinalVol.DirtyBlocks == 0
+	for _, s := range final {
+		if s.State != storage.ArmClosed {
+			rep.Resynced = false
+		}
+	}
+	rep.HealthyOps = phaseOps(rep.Buckets, 0, availBuckets/6)
+	rep.OutageOps = phaseOps(rep.Buckets, availBuckets/6, availBuckets/2)
+	rep.RecoveredOps = phaseOps(rep.Buckets, availBuckets*3/4, availBuckets)
+
+	// Policy comparison: same mirror, primary arm slowed (2 ms per disk
+	// I/O) instead of failed — the regime where selection policy, not the
+	// breaker, decides service quality.
+	for _, pol := range AvailPolicies {
+		p, err := runAvailPolicyPoint(opt, pol)
+		if err != nil {
+			return AvailReport{}, fmt.Errorf("fig-avail policy %s: %w", pol, err)
+		}
+		rep.Policies = append(rep.Policies, p)
+	}
+	return rep, nil
+}
+
+// countersSum totals two loads' counters.
+func countersSum(a, b workload.Load) (uint64, uint64, uint64) {
+	ao, ab, ae := a.Counters()
+	bo, bb, be := b.Counters()
+	return ao + bo, ab + bb, ae + be
+}
+
+// phaseOps averages bucket service rates over [from, to).
+func phaseOps(buckets []AvailBucket, from, to int) float64 {
+	if to > len(buckets) {
+		to = len(buckets)
+	}
+	if from >= to {
+		return 0
+	}
+	sum := 0.0
+	for _, b := range buckets[from:to] {
+		sum += b.OpsPerSec
+	}
+	return sum / float64(to-from)
+}
+
+// runAvailPolicyPoint measures an all-miss read point on a two-arm mirror
+// whose primary arm's disks carry a 2 ms injected latency.
+func runAvailPolicyPoint(opt Options, policy string) (AvailPolicyPoint, error) {
+	opt.Latency = true
+	fileBlocks := int64(96*1024) / int64(opt.Scale)
+	cs := clusterSpec{
+		mode:          passthru.NCache,
+		nics:          1,
+		clients:       2,
+		blocksPerDisk: fileBlocks/4 + 8192,
+		fsCacheBlocks: 8192,
+		ncacheBytes:   64 << 20,
+		workers:       opt.Workers,
+		arms:          2,
+		armPolicy:     policy,
+		faultSpec:     "slowdisk:disk*:rate=1:delay=2ms",
+		faultSeed:     opt.FaultSeed,
+	}
+	var spec extfs.FileSpec
+	cl, err := cs.build(func(f *extfs.Formatter) error {
+		var err error
+		spec, err = f.AddFile("bigfile", uint64(fileBlocks)*extfs.BlockSize, nil)
+		return err
+	})
+	if err != nil {
+		return AvailPolicyPoint{}, err
+	}
+	defer cl.Close()
+	fh, err := lookupFH(cl, 0, "bigfile")
+	if err != nil {
+		return AvailPolicyPoint{}, err
+	}
+	clients := make([]*nfs.Client, 0, len(cl.Clients))
+	for _, h := range cl.Clients {
+		clients = append(clients, h.NFS)
+	}
+	load := &workload.NFSReadLoad{
+		Clients:     clients,
+		FH:          fh,
+		FileSize:    spec.Size,
+		RequestSize: 16 * 1024,
+		Pattern:     workload.Sequential,
+		Concurrency: opt.Concurrency,
+	}
+	np, err := runNFSLoad(cl, load, opt, 16)
+	if err != nil {
+		return AvailPolicyPoint{}, err
+	}
+	p := AvailPolicyPoint{
+		Policy:        policy,
+		ThroughputMBs: np.ThroughputMBs,
+		OpsPerSec:     np.OpsPerSec,
+		ReadP99Us:     readP99(np),
+		Errors:        np.Errors,
+	}
+	for _, s := range cl.App.Volume.Stats() {
+		p.ArmReads = append(p.ArmReads, s.Reads)
+	}
+	return p, nil
+}
+
+// FormatAvail renders the fig-avail timeline, phase summary and policy
+// table.
+func FormatAvail(r AvailReport) string {
+	var b strings.Builder
+	b.WriteString("fig-avail: service through arm failure, circuit-open, recovery and resync\n")
+	fmt.Fprintf(&b, "two-arm mirror, mixed 16KB read+write load; arm m1 disks hard-fail %.0f–%.0f ms\n\n",
+		r.OutageStartMs, r.OutageEndMs)
+	fmt.Fprintf(&b, "%7s %9s %8s %10s %10s %5s %-15s %7s %7s %7s\n",
+		"t_ms", "ops/s", "MB/s", "rd_p99µs", "wr_p99µs", "errs", "arms", "ejects", "resync", "dirty")
+	for _, bk := range r.Buckets {
+		fmt.Fprintf(&b, "%7.1f %9.0f %8.1f %10.1f %10.1f %5d %-15s %7d %7d %7d\n",
+			bk.EndMs, bk.OpsPerSec, bk.MBs, bk.ReadP99Us, bk.WriteP99Us, bk.Errors,
+			strings.Join(bk.States, "/"), bk.Vol.Ejections, bk.Vol.ResyncBlocks, bk.Vol.DirtyBlocks)
+	}
+	outagePct := 0.0
+	if r.HealthyOps > 0 {
+		outagePct = 100 * r.OutageOps / r.HealthyOps
+	}
+	recoveredPct := 0.0
+	if r.HealthyOps > 0 {
+		recoveredPct = 100 * r.RecoveredOps / r.HealthyOps
+	}
+	fmt.Fprintf(&b, "\nphase averages: healthy %.0f ops/s | outage %.0f ops/s (%.0f%% of healthy) | recovered %.0f ops/s (%.0f%%)\n",
+		r.HealthyOps, r.OutageOps, outagePct, r.RecoveredOps, recoveredPct)
+	fmt.Fprintf(&b, "escaped client errors: %d\n", r.TotalErrors)
+	fmt.Fprintf(&b, "final mirror state: %s, %s, resynced=%v\n",
+		strings.Join(r.FinalStates, "/"), r.FinalVol, r.Resynced)
+
+	b.WriteString("\nread-policy comparison (primary arm +2ms per disk I/O, all-miss 16KB reads):\n")
+	fmt.Fprintf(&b, "%-14s %9s %9s %10s %6s %s\n",
+		"policy", "MB/s", "ops/s", "rd_p99µs", "errs", "arm reads m0/m1")
+	for _, p := range r.Policies {
+		split := make([]string, len(p.ArmReads))
+		for i, n := range p.ArmReads {
+			split[i] = fmt.Sprintf("%d", n)
+		}
+		fmt.Fprintf(&b, "%-14s %9.1f %9.0f %10.1f %6d %s\n",
+			p.Policy, p.ThroughputMBs, p.OpsPerSec, p.ReadP99Us, p.Errors,
+			strings.Join(split, "/"))
+	}
+	return b.String()
+}

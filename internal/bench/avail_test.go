@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAvailSmoke runs the fig-avail experiment at test scale and checks the
+// availability invariants the figure exists to demonstrate: the mirror keeps
+// serving through the arm outage with zero escaped client errors, the dead
+// arm is ejected and later readmitted, and the dirty-region resync converges
+// so the run ends fully replicated.
+func TestAvailSmoke(t *testing.T) {
+	opt := quickOpts()
+	opt.FaultSeed = testFaultSeed(t)
+	rep, err := RunAvail(opt)
+	if err != nil {
+		t.Fatalf("RunAvail: %v", err)
+	}
+	if rep.TotalErrors != 0 {
+		t.Fatalf("client errors escaped the mirror: %d", rep.TotalErrors)
+	}
+	if rep.FinalVol.Ejections == 0 {
+		t.Fatalf("outage never tripped the breaker: %s", rep.FinalVol)
+	}
+	if !rep.Resynced {
+		t.Fatalf("mirror did not fully recover: states=%v vol=%s",
+			rep.FinalStates, rep.FinalVol)
+	}
+	if rep.HealthyOps <= 0 || rep.OutageOps <= 0 {
+		t.Fatalf("timeline has dead phases: healthy=%.0f outage=%.0f",
+			rep.HealthyOps, rep.OutageOps)
+	}
+	if rep.OutageOps < rep.HealthyOps/2 {
+		t.Fatalf("outage throughput below 50%% of healthy: %.0f vs %.0f",
+			rep.OutageOps, rep.HealthyOps)
+	}
+	if len(rep.Policies) != len(AvailPolicies) {
+		t.Fatalf("policy table incomplete: %+v", rep.Policies)
+	}
+	for _, p := range rep.Policies {
+		if p.Errors != 0 {
+			t.Fatalf("policy %s leaked client errors: %d", p.Policy, p.Errors)
+		}
+		if p.ThroughputMBs <= 0 {
+			t.Fatalf("policy %s served nothing: %+v", p.Policy, p)
+		}
+	}
+	out := FormatAvail(rep)
+	for _, want := range []string{"fig-avail", "phase averages", "read-policy comparison"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("FormatAvail missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestParallelReplayAvail: the availability timeline — breaker transitions,
+// probe scheduling, dirty-region resync and the policy comparison — replays
+// bit-identically for any worker count.
+func TestParallelReplayAvail(t *testing.T) {
+	opt := parOpts()
+	opt.FaultSeed = testFaultSeed(t)
+	runParallelSweep(t, "fig-avail", opt, func(o Options) (interface{}, error) {
+		return RunAvail(o)
+	})
+}

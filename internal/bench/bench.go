@@ -155,6 +155,10 @@ type clusterSpec struct {
 	faultSeed uint64
 	// workers selects the parallel engine (see Options.Workers).
 	workers int
+	// arms replicates every target across mirror arms; armPolicy picks the
+	// read arm (fig-avail).
+	arms      int
+	armPolicy string
 	// writeback enables the asynchronous write-back pipeline on every
 	// front-end server (fig-writeback).
 	writeback passthru.WritebackConfig
@@ -184,6 +188,8 @@ func (cs clusterSpec) build(layout func(*extfs.Formatter) error) (*passthru.Clus
 		FaultSpec:          cs.faultSpec,
 		FaultSeed:          cs.faultSeed,
 		Workers:            cs.workers,
+		Arms:               cs.arms,
+		ArmPolicy:          cs.armPolicy,
 		ClientLinkLatency:  cs.clientLinkLatency,
 		ControlLinkLatency: cs.controlLinkLatency,
 		Writeback:          cs.writeback,

@@ -1,6 +1,7 @@
 // Package blockdev models the storage hardware behind the iSCSI target: an
-// in-memory block store with a disk service-time model, and RAID-0 striping
-// across several disks — the paper's array of four IDE drives.
+// in-memory block store with a disk service-time model. RAID-0 striping
+// across several disks (the paper's array of four IDE drives) lives in
+// internal/storage, which composes these disks into volumes.
 //
 // Block contents are real bytes (integrity checks compare them end to end),
 // but blocks never explicitly written are synthesized on demand from a
@@ -234,7 +235,4 @@ type DirectAccess interface {
 	PokeBlock(lbn int64, data []byte)
 }
 
-var (
-	_ DirectAccess = (*MemDisk)(nil)
-	_ DirectAccess = (*RAID0)(nil)
-)
+var _ DirectAccess = (*MemDisk)(nil)

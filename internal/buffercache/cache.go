@@ -24,14 +24,16 @@ import (
 	"ncache/internal/simnet"
 )
 
-// Lower is the block store beneath the cache (the iSCSI initiator).
+// Lower is the block store beneath the cache. It is the data-path subset
+// of storage.Volume, so any volume (single-arm, mirrored, striped, sharded)
+// plugs in directly.
 type Lower interface {
 	BlockSize() int
 	NumBlocks() int64
-	// Read fetches a contiguous run; meta marks file-system metadata.
-	Read(lbn int64, count int, meta bool, done func(*netbuf.Chain, error))
-	// Write stores a contiguous run; the callee owns the chain.
-	Write(lbn int64, data *netbuf.Chain, meta bool, done func(error))
+	// ReadAt fetches a contiguous run; meta marks file-system metadata.
+	ReadAt(lbn int64, count int, meta bool, done func(*netbuf.Chain, error))
+	// WriteAt stores a contiguous run; the callee owns the chain.
+	WriteAt(lbn int64, data *netbuf.Chain, meta bool, done func(error))
 }
 
 // Errors surfaced by the cache.
@@ -276,7 +278,7 @@ func (c *Cache) GetRange(lbn int64, count int, meta bool, done func([]*Block, er
 // placeholders are orphans and their waiters died with the server.
 func (c *Cache) readRun(lbn int64, count int, meta bool, done func(error)) {
 	gen := c.gen
-	c.lower.Read(lbn, count, meta, func(data *netbuf.Chain, err error) {
+	c.lower.ReadAt(lbn, count, meta, func(data *netbuf.Chain, err error) {
 		if c.gen != gen {
 			if data != nil {
 				data.Release()

@@ -48,7 +48,7 @@ func (f *fakeLower) content(lbn int64) []byte {
 	return out
 }
 
-func (f *fakeLower) Read(lbn int64, count int, meta bool, done func(*netbuf.Chain, error)) {
+func (f *fakeLower) ReadAt(lbn int64, count int, meta bool, done func(*netbuf.Chain, error)) {
 	f.reads = append(f.reads, fakeReq{lbn: lbn, count: count, meta: meta})
 	f.eng.Schedule(f.latency, func() {
 		if f.readFn != nil {
@@ -63,7 +63,7 @@ func (f *fakeLower) Read(lbn int64, count int, meta bool, done func(*netbuf.Chai
 	})
 }
 
-func (f *fakeLower) Write(lbn int64, data *netbuf.Chain, meta bool, done func(error)) {
+func (f *fakeLower) WriteAt(lbn int64, data *netbuf.Chain, meta bool, done func(error)) {
 	flat := data.Flatten()
 	data.Release()
 	f.writes = append(f.writes, fakeReq{lbn: lbn, count: len(flat) / f.bs, meta: meta, data: flat})
@@ -451,13 +451,13 @@ type failingLower struct {
 	failWrites *bool
 }
 
-func (f *failingLower) Write(lbn int64, data *netbuf.Chain, meta bool, done func(error)) {
+func (f *failingLower) WriteAt(lbn int64, data *netbuf.Chain, meta bool, done func(error)) {
 	if *f.failWrites {
 		data.Release()
 		f.eng.Schedule(1, func() { done(errInjected) })
 		return
 	}
-	f.fakeLower.Write(lbn, data, meta, done)
+	f.fakeLower.WriteAt(lbn, data, meta, done)
 }
 
 var errInjected = errors.New("injected write failure")

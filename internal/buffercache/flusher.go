@@ -239,7 +239,7 @@ func (c *Cache) flushBatches(dirty []*Block, done func(error)) {
 // flushBatch writes one adjacent run of dirty blocks down as a single
 // scatter-gather I/O. Logical blocks travel as stamped junk (a key copy)
 // that the NCache write hook below will substitute and remap; real blocks
-// are physically copied into the transmit chain. One lower.Write per batch
+// are physically copied into the transmit chain. One lower.WriteAt per batch
 // means one remap announcement per batch on the control plane.
 func (c *Cache) flushBatch(batch []*Block, done func(error)) {
 	var chain *netbuf.Chain
@@ -275,7 +275,7 @@ func (c *Cache) flushBatch(batch []*Block, done func(error)) {
 	c.wb.FlushBatches++
 	c.wb.FlushBlocks += uint64(len(batch))
 	gen := c.gen
-	c.lower.Write(batch[0].LBN, chain, batch[0].Meta, func(err error) {
+	c.lower.WriteAt(batch[0].LBN, chain, batch[0].Meta, func(err error) {
 		if c.gen != gen {
 			// The cache was reset (crash) while this write was in flight:
 			// the blocks are orphans and the pipeline that issued them is

@@ -21,7 +21,7 @@ type diskLower struct {
 func (l *diskLower) BlockSize() int   { return l.dev.Geometry().BlockSize }
 func (l *diskLower) NumBlocks() int64 { return l.dev.Geometry().NumBlocks }
 
-func (l *diskLower) Read(lbn int64, count int, meta bool, done func(*netbuf.Chain, error)) {
+func (l *diskLower) ReadAt(lbn int64, count int, meta bool, done func(*netbuf.Chain, error)) {
 	l.dev.ReadBlocks(lbn, count, func(data []byte, err error) {
 		if err != nil {
 			done(nil, err)
@@ -31,7 +31,7 @@ func (l *diskLower) Read(lbn int64, count int, meta bool, done func(*netbuf.Chai
 	})
 }
 
-func (l *diskLower) Write(lbn int64, data *netbuf.Chain, meta bool, done func(error)) {
+func (l *diskLower) WriteAt(lbn int64, data *netbuf.Chain, meta bool, done func(error)) {
 	flat := data.Flatten()
 	data.Release()
 	l.dev.WriteBlocks(lbn, flat, done)

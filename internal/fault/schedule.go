@@ -25,6 +25,11 @@ var Presets = map[string]string{
 	// cpu-burst steals the application server's CPU for 500 µs roughly
 	// every 2 ms — ~25% contention from outside the data path.
 	"cpu-burst": "cpuburst:app.cpu:period=2ms:delay=500us",
+	// arm-outage hard-fails every disk I/O on the second mirror arm of
+	// target 0 (site prefix s0m1.disk) until the error budget is spent —
+	// the canonical failover → circuit-open → recovery → resync schedule
+	// for mirrored volumes. Requires a cluster built with Arms ≥ 2.
+	"arm-outage": "diskerr:s0m1.disk*:rate=1:count=120",
 }
 
 // ParseSpec parses a fault specification: either a preset name or a

@@ -12,6 +12,7 @@ import (
 	"ncache/internal/proto/tcp"
 	"ncache/internal/sim"
 	"ncache/internal/simnet"
+	"ncache/internal/storage"
 )
 
 func TestPDUEncodeFrameRoundTrip(t *testing.T) {
@@ -198,7 +199,7 @@ type rig struct {
 	tgtNode   *simnet.Node
 	initiator *Initiator
 	target    *Target
-	array     *blockdev.RAID0
+	array     *storage.RAID0
 }
 
 func newRig(t *testing.T) *rig {
@@ -220,7 +221,7 @@ func newRig(t *testing.T) *rig {
 	for i := range disks {
 		disks[i] = blockdev.NewMemDisk(eng, "d", blockdev.Geometry{BlockSize: 4096, NumBlocks: 4096}, blockdev.IDE2000())
 	}
-	array, err := blockdev.NewRAID0(disks, 16)
+	array, err := storage.NewRAID0(disks, 16)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,6 +19,7 @@ import (
 	"ncache/internal/proto/udp"
 	"ncache/internal/sim"
 	"ncache/internal/simnet"
+	"ncache/internal/storage"
 	"ncache/internal/trace"
 	"ncache/internal/wal"
 )
@@ -59,6 +60,17 @@ type ServerConfig struct {
 	StorageAddrs []eth.Addr
 	// Targets places LBN ranges onto StorageAddrs (nil = single target).
 	Targets *controlplane.TargetMap
+	// MirrorAddrs lists additional replica targets per entry of
+	// StorageAddrs: MirrorAddrs[t] are target t's extra mirror arms.
+	// Empty (or a short list) means the corresponding target is a plain
+	// single-arm volume.
+	MirrorAddrs [][]eth.Addr
+	// ArmPolicy selects which healthy mirror arm serves reads.
+	ArmPolicy storage.Policy
+	// ArmQuorum is the mirror write quorum (0 = 1).
+	ArmQuorum int
+	// Breaker tunes the per-arm circuit breaker (zero values = defaults).
+	Breaker storage.BreakerConfig
 	// ControlAddr, when nonzero, is the control-plane service this server
 	// registers with (scale-out clusters); ServerIndex is its protocol ID.
 	ControlAddr eth.Addr
@@ -104,12 +116,20 @@ type AppServer struct {
 	Mode Mode
 	UDP  *udp.Transport
 	TCP  *tcp.Transport
-	// Initiator is the first (or only) target's session; Initiators holds
-	// one session per iSCSI target when the backend is sharded.
+	// Initiator is the first (or only) target's primary session;
+	// Initiators flattens every session — targets in order, each target's
+	// mirror arms in order — for fault wiring and stats.
 	Initiator  *iscsi.Initiator
 	Initiators []*iscsi.Initiator
-	Cache      *buffercache.Cache
-	FS         *extfs.FS
+	// Volume is the storage lower tier: per-target single-arm or mirror
+	// volumes, sharded by the TargetMap when the backend has several
+	// targets. Everything above (buffer cache, WAL replay) writes here.
+	Volume storage.Volume
+	// Mirrors holds each target's mirror volume (nil entries for
+	// single-arm targets), for health stats and tests.
+	Mirrors []*storage.Mirror
+	Cache   *buffercache.Cache
+	FS      *extfs.FS
 	// NFS is one protocol server facing both transports: datagram RPC over
 	// UDP and record-marked RPC over TCP (the transport-comparison
 	// extension). One tx filter covers both.
@@ -129,10 +149,10 @@ type AppServer struct {
 	InvalDeferred    uint64
 	InvalDropGiveups uint64
 
-	cfg     ServerConfig
-	path    *dataPath
-	lower   *storageLower
-	crashed bool
+	cfg          ServerConfig
+	path         *dataPath
+	connectAddrs []eth.Addr
+	crashed      bool
 }
 
 // NewAppServer builds and attaches the application server; Start completes
@@ -158,49 +178,119 @@ func NewAppServer(eng *sim.Engine, nw *simnet.Network, cfg ServerConfig) (*AppSe
 	if len(storageAddrs) == 0 {
 		storageAddrs = []eth.Addr{cfg.StorageAddr}
 	}
-	inis := make([]*iscsi.Initiator, len(storageAddrs))
-	for i := range inis {
-		inis[i] = iscsi.NewInitiator(node, tcpT.DialConn, cfg.Addrs[0])
+	// One session per (target, arm): sessions[t][0] talks to the primary
+	// target, sessions[t][1:] to its mirror arms. connectAddrs parallels
+	// the flat Initiators list for login.
+	sessions := make([][]*iscsi.Initiator, len(storageAddrs))
+	var flat []*iscsi.Initiator
+	var connectAddrs []eth.Addr
+	for t, addr := range storageAddrs {
+		armAddrs := []eth.Addr{addr}
+		if t < len(cfg.MirrorAddrs) {
+			armAddrs = append(armAddrs, cfg.MirrorAddrs[t]...)
+		}
+		for _, aa := range armAddrs {
+			ini := iscsi.NewInitiator(node, tcpT.DialConn, cfg.Addrs[0])
+			sessions[t] = append(sessions[t], ini)
+			flat = append(flat, ini)
+			connectAddrs = append(connectAddrs, aa)
+		}
 	}
 
 	s := &AppServer{
-		Node:       node,
-		Mode:       cfg.Mode,
-		UDP:        udpT,
-		TCP:        tcpT,
-		Initiator:  inis[0],
-		Initiators: inis,
-		cfg:        cfg,
+		Node:         node,
+		Mode:         cfg.Mode,
+		UDP:          udpT,
+		TCP:          tcpT,
+		Initiator:    flat[0],
+		Initiators:   flat,
+		cfg:          cfg,
+		connectAddrs: connectAddrs,
 	}
 	s.cfg.StorageAddrs = storageAddrs
-	switch cfg.Mode {
-	case NCache:
+	if cfg.Mode == NCache {
 		s.Module = ncache.New(node, ncache.Config{
 			CapacityBytes: cfg.NCacheBytes,
 			BlockSize:     extfs.BlockSize,
 			DisableRemap:  cfg.DisableRemap,
 		})
-		for _, ini := range inis {
-			ini.SetReadHook(s.Module.CaptureLBN)
-			ini.SetWriteHook(s.Module.WriteOut)
-			ini.SetReadCache(s.Module.ServeRead)
+	}
+	// junkHook is the Baseline comparator's receive filter: regular-data
+	// payloads are dropped at the socket boundary; identity-free junk
+	// flows instead.
+	junkHook := func(lba int64, blocks int, data *netbuf.Chain) *netbuf.Chain {
+		if blocks <= 0 {
+			return data
 		}
-	case Baseline:
-		// The ideal comparator: regular-data payloads are dropped at
-		// the socket boundary; identity-free junk flows instead.
-		for _, ini := range inis {
-			ini.SetReadHook(func(lba int64, blocks int, data *netbuf.Chain) *netbuf.Chain {
-				if blocks <= 0 {
-					return data
-				}
-				data.Release()
-				out := netbuf.NewChain()
-				for i := 0; i < blocks; i++ {
-					out.AppendChain(lkey.StampChainPool(node.BlkPool, lkey.Key{}, extfs.BlockSize))
-				}
-				return out
+		data.Release()
+		out := netbuf.NewChain()
+		for i := 0; i < blocks; i++ {
+			out.AppendChain(lkey.StampChainPool(node.BlkPool, lkey.Key{}, extfs.BlockSize))
+		}
+		return out
+	}
+	// Build the per-target volumes. A single-arm target keeps its hooks on
+	// the initiator — byte-identical to the pre-volume path. A mirrored
+	// target hoists them to the volume so they run exactly once per
+	// logical I/O regardless of arm fan-out (the write hook remaps
+	// FHO->LBN entries and must not run per arm).
+	s.Mirrors = make([]*storage.Mirror, len(storageAddrs))
+	vols := make([]storage.Volume, len(storageAddrs))
+	for t := range storageAddrs {
+		if len(sessions[t]) == 1 {
+			ini := sessions[t][0]
+			switch cfg.Mode {
+			case NCache:
+				ini.SetReadHook(s.Module.CaptureLBN)
+				ini.SetWriteHook(s.Module.WriteOut)
+				ini.SetReadCache(s.Module.ServeRead)
+			case Baseline:
+				ini.SetReadHook(junkHook)
+			}
+			vols[t] = storage.NewSingleArm(fmt.Sprintf("t%d", t), ini)
+		} else {
+			names := make([]string, len(sessions[t]))
+			arms := make([]storage.Initiator, len(sessions[t]))
+			for a, ini := range sessions[t] {
+				names[a] = fmt.Sprintf("t%dm%d", t, a)
+				arms[a] = ini
+			}
+			m, err := storage.NewMirror(node, names, arms, storage.MirrorConfig{
+				Quorum:  cfg.ArmQuorum,
+				Policy:  cfg.ArmPolicy,
+				Breaker: cfg.Breaker,
 			})
+			if err != nil {
+				return nil, err
+			}
+			switch cfg.Mode {
+			case NCache:
+				m.SetReadHook(s.Module.CaptureLBN)
+				m.SetWriteHook(s.Module.WriteOut)
+				m.SetReadCache(s.Module.ServeRead)
+			case Baseline:
+				m.SetReadHook(junkHook)
+			}
+			s.Mirrors[t] = m
+			vols[t] = m
 		}
+		// The control-plane decorator announces each extent's remapped
+		// LBNs after its write commits, per target — below the shard
+		// router, preserving the pre-volume announcement granularity.
+		vols[t] = &agentVolume{Volume: vols[t], srv: s}
+	}
+	if len(vols) == 1 {
+		s.Volume = vols[0]
+	} else {
+		tm := cfg.Targets
+		s.Volume = storage.NewSharded(vols, func(lbn int64, blocks int) []storage.Extent {
+			exts := tm.Split(lbn, blocks)
+			out := make([]storage.Extent, len(exts))
+			for i, e := range exts {
+				out[i] = storage.Extent{Member: e.Target, LBN: e.LBN, Blocks: e.Blocks}
+			}
+			return out
+		})
 	}
 	s.path = &dataPath{mode: cfg.Mode, node: node, mod: s.Module, bs: extfs.BlockSize}
 	if cfg.ControlAddr != 0 {
@@ -256,13 +346,14 @@ func (s *AppServer) Start(done func(error)) {
 	})
 }
 
-// connectTargets logs in to every iSCSI target in order.
+// connectTargets logs in to every iSCSI session (targets and their mirror
+// arms) in order.
 func (s *AppServer) connectTargets(i int, done func(error)) {
 	if i >= len(s.Initiators) {
 		done(nil)
 		return
 	}
-	s.Initiators[i].Connect(s.cfg.StorageAddrs[i], func(err error) {
+	s.Initiators[i].Connect(s.connectAddrs[i], func(err error) {
 		if err != nil {
 			done(err)
 			return
@@ -273,8 +364,7 @@ func (s *AppServer) connectTargets(i int, done func(error)) {
 
 // startServices mounts the file system and brings up the protocol servers.
 func (s *AppServer) startServices(done func(error)) {
-	s.lower = newStorageLower(s)
-	s.Cache = buffercache.New(s.Node, s.lower, s.cfg.FSCacheBlocks)
+	s.Cache = buffercache.New(s.Node, s.Volume, s.cfg.FSCacheBlocks)
 	s.Cache.LogicalCopyNs = s.Node.Cost.LogicalCopyNs
 	if wbc := s.cfg.Writeback; wbc.Enabled {
 		s.WB = &metrics.Writeback{}
@@ -426,7 +516,7 @@ func (s *AppServer) Restart(done func(error)) {
 				return
 			}
 			replayed = append(replayed, rec.LBNs[start:end]...)
-			s.lower.Write(rec.LBNs[start], chain, false, func(err error) {
+			s.Volume.WriteAt(rec.LBNs[start], chain, false, func(err error) {
 				if err != nil {
 					done(err)
 					return
@@ -439,117 +529,27 @@ func (s *AppServer) Restart(done func(error)) {
 	next(0)
 }
 
-// storageLower adapts the server's iSCSI sessions as the buffer cache's
-// block store. With one target it is a direct pass-through; with a sharded
-// backend it routes each request's extents to their targets per the
-// cluster's TargetMap (every target exports the full global geometry, so a
-// block's LBN is the same everywhere and placement only picks the session).
-// It is also where completed flushes hand their remapped LBNs to the
-// control-plane agent: the remap announcement goes out only after the write
-// carrying the data committed, so a peer acting on the invalidation can
-// never re-read stale bytes from storage.
-type storageLower struct {
+// agentVolume decorates one target's volume with the control-plane remap
+// handshake: the write hook runs synchronously inside WriteAt, so the LBNs
+// the cache module remapped within this write are staged by the time
+// WriteAt returns, and they are announced only after the write carrying the
+// data committed — a peer acting on the invalidation can never re-read
+// stale bytes from storage. Wrapping per target (below the shard router)
+// preserves the pre-volume per-extent announcement granularity.
+type agentVolume struct {
+	storage.Volume
 	srv *AppServer
 }
 
-func newStorageLower(s *AppServer) *storageLower { return &storageLower{srv: s} }
-
-func (l *storageLower) BlockSize() int   { return l.srv.Initiator.Geometry().BlockSize }
-func (l *storageLower) NumBlocks() int64 { return l.srv.Initiator.Geometry().NumBlocks }
-
-// split routes one request; a nil TargetMap is the single-target identity.
-func (l *storageLower) split(lbn int64, blocks int) []controlplane.Extent {
-	if len(l.srv.Initiators) == 1 {
-		return []controlplane.Extent{{Target: 0, LBN: lbn, Blocks: blocks}}
-	}
-	return l.srv.cfg.Targets.Split(lbn, blocks)
-}
-
-func (l *storageLower) Read(lbn int64, count int, meta bool, done func(*netbuf.Chain, error)) {
-	exts := l.split(lbn, count)
-	if len(exts) == 1 {
-		l.srv.Initiators[exts[0].Target].Read(lbn, count, meta, done)
-		return
-	}
-	// Scatter the extents across their targets and reassemble the chains
-	// in LBN order once all complete.
-	parts := make([]*netbuf.Chain, len(exts))
-	remaining := len(exts)
-	var firstErr error
-	for i, ext := range exts {
-		i, ext := i, ext
-		l.srv.Initiators[ext.Target].Read(ext.LBN, ext.Blocks, meta, func(data *netbuf.Chain, err error) {
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
-			parts[i] = data
-			remaining--
-			if remaining > 0 {
-				return
-			}
-			if firstErr != nil {
-				for _, p := range parts {
-					if p != nil {
-						p.Release()
-					}
-				}
-				done(nil, firstErr)
-				return
-			}
-			out := netbuf.NewChain()
-			for _, p := range parts {
-				out.AppendChain(p)
-			}
-			done(out, nil)
-		})
-	}
-}
-
-func (l *storageLower) Write(lbn int64, data *netbuf.Chain, meta bool, done func(error)) {
-	exts := l.split(lbn, data.Len()/l.BlockSize())
-	if len(exts) == 1 {
-		l.writeExtent(exts[0].Target, lbn, data, meta, done)
-		return
-	}
-	bs := l.BlockSize()
-	remaining := len(exts)
-	var firstErr error
-	finish := func(err error) {
-		if err != nil && firstErr == nil {
-			firstErr = err
-		}
-		remaining--
-		if remaining == 0 {
-			done(firstErr)
-		}
-	}
-	off := 0
-	for _, ext := range exts {
-		n := ext.Blocks * bs
-		sub, err := data.Slice(off, n)
-		if err != nil {
-			finish(err)
-			off += n
-			continue
-		}
-		l.writeExtent(ext.Target, ext.LBN, sub, meta, finish)
-		off += n
-	}
-	data.Release()
-}
-
-// writeExtent issues one target's write, capturing the LBNs the cache
-// module remapped inside it (the write hook runs synchronously within
-// Write) and announcing them to the control plane after the write commits.
-func (l *storageLower) writeExtent(target int, lbn int64, data *netbuf.Chain, meta bool, done func(error)) {
-	srv := l.srv
+func (v *agentVolume) WriteAt(lbn int64, data *netbuf.Chain, meta bool, done func(error)) {
+	srv := v.srv
 	ag := srv.Agent
 	if ag == nil {
-		srv.Initiators[target].Write(lbn, data, meta, done)
+		v.Volume.WriteAt(lbn, data, meta, done)
 		return
 	}
 	var staged []int64
-	srv.Initiators[target].Write(lbn, data, meta, func(err error) {
+	v.Volume.WriteAt(lbn, data, meta, func(err error) {
 		if err == nil && len(staged) > 0 && !srv.crashed {
 			ag.SendRemap(staged)
 		}

@@ -17,6 +17,7 @@ import (
 	"ncache/internal/proto/udp"
 	"ncache/internal/sim"
 	"ncache/internal/simnet"
+	"ncache/internal/storage"
 )
 
 // ClientHost is one client machine: a node with full protocol stacks, an
@@ -218,7 +219,12 @@ type Cluster struct {
 	Storage  *StorageServer
 	App      *AppServer
 	Storages []*StorageServer
-	Apps     []*AppServer
+	// StorageArms indexes the storage nodes as [target][arm]: arm 0 is the
+	// primary (same object as Storages[target]), arms 1+ are mirror
+	// replicas. Storages stays flat — primaries first, then arm 1 of every
+	// target, then arm 2, ... — so Storages[t] keeps meaning target t.
+	StorageArms [][]*StorageServer
+	Apps        []*AppServer
 	// Control is the control-plane service (nil unless NumServers > 1).
 	Control *controlplane.Server
 	Clients []*ClientHost
@@ -244,7 +250,20 @@ type ClusterConfig struct {
 	NumServers int
 	NumTargets int
 	// RangeBlocks is the LBN→target placement granularity (0 = default).
-	RangeBlocks   int64
+	RangeBlocks int64
+	// Arms replicates every iSCSI target across this many mirror arms
+	// (default 1 = no replication). Each extra arm is its own storage
+	// node; writes fan out to all healthy arms, reads pick one by
+	// ArmPolicy, and a per-arm circuit breaker ejects and resyncs failed
+	// arms while the cluster keeps serving.
+	Arms int
+	// ArmPolicy is the mirror read-selection policy: "primary-first"
+	// (default), "round-robin" or "least-latency".
+	ArmPolicy string
+	// ArmQuorum is the mirror write quorum (0 = 1).
+	ArmQuorum int
+	// Breaker tunes the mirror circuit breaker (zero values = defaults).
+	Breaker       storage.BreakerConfig
 	NumClients    int
 	BlocksPerDisk int64
 	FSCacheBlocks int // 0 = mode default
@@ -366,7 +385,15 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		cl.Targets = controlplane.NewTargetMap(cfg.NumTargets, cfg.RangeBlocks, 0)
 	}
 
+	if cfg.Arms <= 0 {
+		cfg.Arms = 1
+	}
+	armPolicy, err := storage.ParsePolicy(cfg.ArmPolicy)
+	if err != nil {
+		return nil, err
+	}
 	storageAddrs := make([]eth.Addr, cfg.NumTargets)
+	cl.StorageArms = make([][]*StorageServer, cfg.NumTargets)
 	for j := 0; j < cfg.NumTargets; j++ {
 		storageAddrs[j] = StorageAddr + eth.Addr(j)
 		scfg := DefaultStorageConfig(storageAddrs[j], cfg.BlocksPerDisk)
@@ -375,13 +402,37 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			scfg.Name = fmt.Sprintf("storage%d", j)
 			scfg.DiskPrefix = fmt.Sprintf("s%d.disk", j)
 		}
-		storage, err := NewStorageServer(nodeEng(scfg.Name), nw, scfg)
+		ss, err := NewStorageServer(nodeEng(scfg.Name), nw, scfg)
 		if err != nil {
 			return nil, err
 		}
-		cl.Storages = append(cl.Storages, storage)
+		cl.Storages = append(cl.Storages, ss)
+		cl.StorageArms[j] = []*StorageServer{ss}
 	}
 	cl.Storage = cl.Storages[0]
+	// Mirror arms: every extra arm is a full storage node of its own
+	// (disks, target, fabric port), named storage<t>m<a> with fault sites
+	// s<t>m<a>.disk* so injection can kill one replica precisely.
+	var mirrorAddrs [][]eth.Addr
+	if cfg.Arms > 1 {
+		mirrorAddrs = make([][]eth.Addr, cfg.NumTargets)
+		for a := 1; a < cfg.Arms; a++ {
+			for j := 0; j < cfg.NumTargets; j++ {
+				addr := StorageAddr + eth.Addr(j+cfg.NumTargets*a)
+				scfg := DefaultStorageConfig(addr, cfg.BlocksPerDisk)
+				scfg.Cost = cfg.Cost
+				scfg.Name = fmt.Sprintf("storage%dm%d", j, a)
+				scfg.DiskPrefix = fmt.Sprintf("s%dm%d.disk", j, a)
+				ss, err := NewStorageServer(nodeEng(scfg.Name), nw, scfg)
+				if err != nil {
+					return nil, err
+				}
+				cl.Storages = append(cl.Storages, ss)
+				cl.StorageArms[j] = append(cl.StorageArms[j], ss)
+				mirrorAddrs[j] = append(mirrorAddrs[j], addr)
+			}
+		}
+	}
 
 	serverAddrs := make([]eth.Addr, cfg.NumServers)
 	for i := range serverAddrs {
@@ -419,6 +470,10 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		acfg.Addrs = addrs
 		acfg.StorageAddrs = storageAddrs
 		acfg.Targets = cl.Targets
+		acfg.MirrorAddrs = mirrorAddrs
+		acfg.ArmPolicy = armPolicy
+		acfg.ArmQuorum = cfg.ArmQuorum
+		acfg.Breaker = cfg.Breaker
 		acfg.Cost = cfg.Cost
 		acfg.EnableWeb = cfg.EnableWeb
 		acfg.DisableRemap = cfg.DisableRemap
@@ -454,36 +509,56 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		cl.wireLookahead()
 	}
 	if cfg.FaultSpec != "" {
-		in, err := fault.NewFromSpec(eng, cfg.FaultSeed, cfg.FaultSpec)
-		if err != nil {
+		if _, err := cl.InstallFaults(cfg.FaultSeed, cfg.FaultSpec); err != nil {
 			return nil, err
-		}
-		if in != nil {
-			nw.SetFaults(in)
-			for _, storage := range cl.Storages {
-				for _, d := range storage.Array.Disks() {
-					d.SetFaults(in)
-				}
-				in.AttachCPU(storage.Node.Name+".cpu", storage.Node.CPU)
-			}
-			for _, app := range cl.Apps {
-				app := app
-				in.AttachCPU(app.Node.Name+".cpu", app.Node.CPU)
-				in.AttachKill(app.Node.Name, app.Node.Eng, app.Crash)
-				for _, ini := range app.Initiators {
-					ini.SetRetry(faultISCSITries, faultISCSIRetry)
-				}
-			}
-			if cl.Control != nil {
-				in.AttachCPU("cp.cpu", cl.Control.Node().CPU)
-			}
-			for _, host := range cl.Clients {
-				in.AttachCPU(host.Node.Name+".cpu", host.Node.CPU)
-			}
-			cl.Faults = in
 		}
 	}
 	return cl, nil
+}
+
+// InstallFaults wires a fault-injection schedule into every data-path
+// resource: the fabric, each storage node's disks and CPU (mirror arms
+// included), each app server's CPU, kill hook and iSCSI retry policy, the
+// control plane and the clients. NewCluster calls it when the config
+// carries a FaultSpec; experiments that need injection windows anchored
+// after setup call it directly once setup's virtual time is known (a
+// schedule's start/end are absolute). The injector starts disarmed; NFS
+// clients already mounted get their retransmission timers here, later
+// mounts get them in Start.
+func (c *Cluster) InstallFaults(seed uint64, spec string) (*fault.Injector, error) {
+	in, err := fault.NewFromSpec(c.Eng, seed, spec)
+	if err != nil {
+		return nil, err
+	}
+	if in == nil {
+		return nil, nil
+	}
+	c.Net.SetFaults(in)
+	for _, ss := range c.Storages {
+		for _, d := range ss.Array.Disks() {
+			d.SetFaults(in)
+		}
+		in.AttachCPU(ss.Node.Name+".cpu", ss.Node.CPU)
+	}
+	for _, app := range c.Apps {
+		app := app
+		in.AttachCPU(app.Node.Name+".cpu", app.Node.CPU)
+		in.AttachKill(app.Node.Name, app.Node.Eng, app.Crash)
+		for _, ini := range app.Initiators {
+			ini.SetRetry(faultISCSITries, faultISCSIRetry)
+		}
+	}
+	if c.Control != nil {
+		in.AttachCPU("cp.cpu", c.Control.Node().CPU)
+	}
+	for _, host := range c.Clients {
+		in.AttachCPU(host.Node.Name+".cpu", host.Node.CPU)
+		if host.NFS != nil {
+			host.NFS.SetRetransmit(faultRPCRTO, faultRPCTries)
+		}
+	}
+	c.Faults = in
+	return in, nil
 }
 
 // wireLookahead derives the parallel engine's per-pair lookahead matrix

@@ -15,7 +15,7 @@ import (
 // sparse), so mkfs and prefill write each block only to the target that
 // will serve it.
 type shardedDirect struct {
-	arrays []*blockdev.RAID0
+	arrays []blockdev.DirectAccess
 	tm     *controlplane.TargetMap
 }
 
@@ -29,18 +29,39 @@ func (d *shardedDirect) PokeBlock(lbn int64, data []byte) {
 	d.arrays[d.tm.TargetOf(lbn)].PokeBlock(lbn, data)
 }
 
+// mirroredDirect is one mirrored target's zero-time setup device: peeks
+// come from the primary arm, pokes land on every arm so the replicas start
+// (and stay, under setup writes) identical.
+type mirroredDirect struct {
+	arms []*StorageServer
+}
+
+func (d *mirroredDirect) Geometry() blockdev.Geometry { return d.arms[0].Array.Geometry() }
+
+func (d *mirroredDirect) PeekBlock(lbn int64) []byte { return d.arms[0].Array.PeekBlock(lbn) }
+
+func (d *mirroredDirect) PokeBlock(lbn int64, data []byte) {
+	for _, a := range d.arms {
+		a.Array.PokeBlock(lbn, data)
+	}
+}
+
 // DirectAccess returns the cluster's zero-time setup device: the single
-// array on the classic testbed, the placement-routed shard set on a
-// scale-out cluster.
+// array on the classic testbed, mirrored-arm fan-out on a replicated
+// target, the placement-routed shard set on a scale-out cluster.
 func (c *Cluster) DirectAccess() blockdev.DirectAccess {
-	if len(c.Storages) == 1 {
-		return c.Storage.Array
+	perTarget := make([]blockdev.DirectAccess, len(c.StorageArms))
+	for t, arms := range c.StorageArms {
+		if len(arms) == 1 {
+			perTarget[t] = arms[0].Array
+		} else {
+			perTarget[t] = &mirroredDirect{arms: arms}
+		}
 	}
-	arrays := make([]*blockdev.RAID0, len(c.Storages))
-	for i, s := range c.Storages {
-		arrays[i] = s.Array
+	if len(perTarget) == 1 {
+		return perTarget[0]
 	}
-	return &shardedDirect{arrays: arrays, tm: c.Targets}
+	return &shardedDirect{arrays: perTarget, tm: c.Targets}
 }
 
 // SetSynthesize installs a content function on every target's array (see

@@ -10,6 +10,7 @@ import (
 	"ncache/internal/proto/tcp"
 	"ncache/internal/sim"
 	"ncache/internal/simnet"
+	"ncache/internal/storage"
 )
 
 // StorageConfig sizes the storage server (the paper's PIII-1GHz node with a
@@ -47,7 +48,7 @@ func DefaultStorageConfig(addr eth.Addr, blocksPerDisk int64) StorageConfig {
 type StorageServer struct {
 	Node   *simnet.Node
 	Target *iscsi.Target
-	Array  *blockdev.RAID0
+	Array  *storage.RAID0
 	Addr   eth.Addr
 	TCP    *tcp.Transport
 }
@@ -74,7 +75,7 @@ func NewStorageServer(eng *sim.Engine, nw *simnet.Network, cfg StorageConfig) (*
 			NumBlocks: cfg.BlocksPerDisk,
 		}, cfg.DiskModel)
 	}
-	array, err := blockdev.NewRAID0(disks, cfg.StripeUnitBlocks)
+	array, err := storage.NewRAID0(disks, cfg.StripeUnitBlocks)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,609 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"ncache/internal/netbuf"
+	"ncache/internal/sim"
+	"ncache/internal/simnet"
+	"ncache/internal/trace"
+)
+
+// ErrNoArms reports a write or read arriving while every arm is ejected:
+// nothing durable can be promised, so the request fails rather than lies.
+var ErrNoArms = errors.New("storage: no healthy mirror arms")
+
+// Policy selects which healthy arm serves a read.
+type Policy int
+
+const (
+	// PolicyPrimaryFirst always reads from the lowest-indexed healthy arm
+	// (the classic active/passive pair).
+	PolicyPrimaryFirst Policy = iota
+	// PolicyRoundRobin rotates reads across healthy arms.
+	PolicyRoundRobin
+	// PolicyLeastLatency reads from the arm with the lowest EWMA command
+	// latency — the NetCAS-style dynamic selection that routes around a
+	// slow (but not erroring) arm.
+	PolicyLeastLatency
+)
+
+// ParsePolicy maps the -armpolicy flag spelling to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "primary-first":
+		return PolicyPrimaryFirst, nil
+	case "round-robin":
+		return PolicyRoundRobin, nil
+	case "least-latency":
+		return PolicyLeastLatency, nil
+	}
+	return 0, fmt.Errorf("storage: unknown arm policy %q", s)
+}
+
+// String names the policy for stats tables.
+func (p Policy) String() string {
+	switch p {
+	case PolicyRoundRobin:
+		return "round-robin"
+	case PolicyLeastLatency:
+		return "least-latency"
+	}
+	return "primary-first"
+}
+
+// BreakerConfig tunes the per-arm circuit breaker.
+type BreakerConfig struct {
+	// ErrorThreshold opens the breaker after this many consecutive
+	// command failures (each already past initiator-level retries).
+	ErrorThreshold int
+	// OpenTimeout is how long an open arm waits before a half-open probe,
+	// and how long a stalled resync waits before retrying.
+	OpenTimeout sim.Duration
+	// LatencyOpenUs opens the breaker when the EWMA command latency
+	// exceeds this many microseconds. Zero disables latency ejection.
+	LatencyOpenUs float64
+	// EWMAAlpha is the smoothing factor for the latency estimate.
+	EWMAAlpha float64
+	// ResyncBatchBlocks bounds one catch-up copy round.
+	ResyncBatchBlocks int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.ErrorThreshold <= 0 {
+		c.ErrorThreshold = 3
+	}
+	if c.OpenTimeout <= 0 {
+		c.OpenTimeout = 5 * sim.Millisecond
+	}
+	if c.EWMAAlpha <= 0 || c.EWMAAlpha > 1 {
+		c.EWMAAlpha = 0.2
+	}
+	if c.ResyncBatchBlocks <= 0 {
+		c.ResyncBatchBlocks = 64
+	}
+	return c
+}
+
+// MirrorConfig assembles a mirror volume.
+type MirrorConfig struct {
+	// Quorum is how many primary (closed-at-issue) arm writes must
+	// succeed for a logical write to succeed. Default 1.
+	Quorum int
+	// Policy selects the read arm.
+	Policy Policy
+	// Breaker tunes ejection and recovery.
+	Breaker BreakerConfig
+}
+
+// arm is one mirror leg with its breaker state and dirty-region log.
+type arm struct {
+	name string
+	ini  Initiator
+
+	state      ArmState
+	consecErrs int
+	ewmaUs     float64
+
+	// dirty maps LBN -> generation of the write that dirtied it; a resync
+	// copy only clears an entry whose generation is unchanged since the
+	// copy started, so a block re-dirtied mid-copy stays in the log.
+	dirty map[int64]uint64
+	// inflight marks blocks with a catch-up copy outstanding: a
+	// write-through landing on such a block must not clear the dirty
+	// entry, because the in-flight copy may overwrite it with older data.
+	inflight map[int64]int
+
+	stats ArmStats
+}
+
+// Mirror replicates one LBN range across N arms. Writes fan out to every
+// closed (and resyncing) arm as cloned chains — tagged "storage.mirror" so
+// pool-leak attribution can see them — and succeed at write-quorum, though
+// completion waits for all issued legs to settle so a subsequent read can
+// never observe a half-landed write. Reads pick one healthy arm by policy
+// and fail over on error. A per-arm circuit breaker (closed -> open ->
+// half-open probe -> resync -> closed) ejects dead or slow arms so the
+// cluster keeps serving from the surviving arm plus cache; the dirty-region
+// log accumulated while an arm is out drives the catch-up copy that brings
+// it back.
+//
+// All state is mutated in event callbacks on the owning node's shard, so
+// the mirror is deterministic under the parallel engine for any worker
+// count.
+type Mirror struct {
+	node *simnet.Node
+	arms []*arm
+	cfg  MirrorConfig
+	rr   int
+	gen  uint64
+
+	readHook  ReadHook
+	writeHook WriteHook
+	readCache ReadCache
+}
+
+var _ Volume = (*Mirror)(nil)
+
+// NewMirror builds a mirror over connected initiators. names label the arms
+// in stats and must parallel inis.
+func NewMirror(node *simnet.Node, names []string, inis []Initiator, cfg MirrorConfig) (*Mirror, error) {
+	if len(inis) == 0 {
+		return nil, errors.New("storage: mirror needs at least one arm")
+	}
+	if len(names) != len(inis) {
+		return nil, errors.New("storage: mirror arm names must parallel initiators")
+	}
+	if cfg.Quorum <= 0 {
+		cfg.Quorum = 1
+	}
+	if cfg.Quorum > len(inis) {
+		return nil, fmt.Errorf("storage: quorum %d exceeds %d arms", cfg.Quorum, len(inis))
+	}
+	cfg.Breaker = cfg.Breaker.withDefaults()
+	m := &Mirror{node: node, cfg: cfg}
+	for i, ini := range inis {
+		m.arms = append(m.arms, &arm{
+			name:     names[i],
+			ini:      ini,
+			dirty:    make(map[int64]uint64),
+			inflight: make(map[int64]int),
+		})
+	}
+	return m, nil
+}
+
+// SetReadHook installs the volume-level receive interception (runs once per
+// logical read; per-arm initiators must have no hooks of their own).
+func (m *Mirror) SetReadHook(h ReadHook) { m.readHook = h }
+
+// SetWriteHook installs the volume-level transmit interception (runs once
+// per logical write, before fan-out).
+func (m *Mirror) SetWriteHook(h WriteHook) { m.writeHook = h }
+
+// SetReadCache installs the volume-level local read cache.
+func (m *Mirror) SetReadCache(h ReadCache) { m.readCache = h }
+
+// Policy reports the configured read-selection policy.
+func (m *Mirror) Policy() Policy { return m.cfg.Policy }
+
+// BlockSize implements Volume.
+func (m *Mirror) BlockSize() int { return m.arms[0].ini.Geometry().BlockSize }
+
+// NumBlocks implements Volume (arms are identical replicas).
+func (m *Mirror) NumBlocks() int64 { return m.arms[0].ini.Geometry().NumBlocks }
+
+// readEligible returns the arms a read may use, in preference tiers:
+// closed arms; failing that, resyncing arms that are current for the whole
+// range (nothing dirty or mid-copy in it); failing that, any arm at all as
+// a last resort.
+func (m *Mirror) readEligible(lbn int64, blocks int) []int {
+	var out []int
+	for i, a := range m.arms {
+		if a.state == ArmClosed {
+			out = append(out, i)
+		}
+	}
+	if len(out) > 0 {
+		return out
+	}
+	for i, a := range m.arms {
+		if a.state != ArmResync {
+			continue
+		}
+		current := true
+		for b := lbn; b < lbn+int64(blocks); b++ {
+			if _, dirty := a.dirty[b]; dirty {
+				current = false
+				break
+			}
+			if a.inflight[b] > 0 {
+				current = false
+				break
+			}
+		}
+		if current {
+			out = append(out, i)
+		}
+	}
+	if len(out) > 0 {
+		return out
+	}
+	for i := range m.arms {
+		out = append(out, i)
+	}
+	return out
+}
+
+// pick applies the selection policy over an eligible set.
+func (m *Mirror) pick(eligible []int) int {
+	switch m.cfg.Policy {
+	case PolicyRoundRobin:
+		idx := eligible[m.rr%len(eligible)]
+		m.rr++
+		return idx
+	case PolicyLeastLatency:
+		best := eligible[0]
+		for _, i := range eligible[1:] {
+			if m.arms[i].ewmaUs < m.arms[best].ewmaUs {
+				best = i
+			}
+		}
+		return best
+	}
+	return eligible[0]
+}
+
+// sample folds one command latency into the arm's EWMA and applies the
+// latency ejection threshold.
+func (m *Mirror) sample(a *arm, start sim.Time) {
+	us := float64(m.node.Eng.Now()-start) / 1e3
+	if a.ewmaUs == 0 {
+		a.ewmaUs = us
+	} else {
+		al := m.cfg.Breaker.EWMAAlpha
+		a.ewmaUs = al*us + (1-al)*a.ewmaUs
+	}
+	if th := m.cfg.Breaker.LatencyOpenUs; th > 0 && a.state == ArmClosed && a.ewmaUs > th {
+		m.eject(a)
+	}
+}
+
+// armError books one failed command and trips the breaker at the threshold.
+func (m *Mirror) armError(a *arm) {
+	a.stats.Errors++
+	if a.state != ArmClosed && a.state != ArmResync {
+		return
+	}
+	a.consecErrs++
+	if a.consecErrs >= m.cfg.Breaker.ErrorThreshold {
+		m.eject(a)
+	}
+}
+
+// eject moves an arm to open and schedules the half-open probe. The wait is
+// booked as fault-attributed iSCSI time: it is recovery latency the
+// injected fault caused, not modeled work.
+func (m *Mirror) eject(a *arm) {
+	a.state = ArmOpen
+	a.consecErrs = 0
+	a.stats.Ejections++
+	trace.Fault(m.node.Eng, trace.LISCSI, 0)
+	m.node.Eng.Schedule(m.cfg.Breaker.OpenTimeout, func() { m.probe(a) })
+}
+
+// probe is the half-open attempt: one metadata block read decides whether
+// the arm re-enters service (via resync) or stays open another timeout.
+func (m *Mirror) probe(a *arm) {
+	if a.state != ArmOpen {
+		return
+	}
+	a.state = ArmHalfOpen
+	a.stats.Probes++
+	start := m.node.Eng.Now()
+	a.ini.Read(0, 1, true, func(data *netbuf.Chain, err error) {
+		if data != nil {
+			data.Release()
+		}
+		if err != nil {
+			a.stats.Errors++
+			a.state = ArmOpen
+			m.node.Eng.Schedule(m.cfg.Breaker.OpenTimeout, func() { m.probe(a) })
+			return
+		}
+		m.sample(a, start)
+		a.state = ArmResync
+		a.consecErrs = 0
+		m.resyncStep(a)
+	})
+}
+
+// resyncStep drains one batch of the dirty-region log: coalesced runs are
+// read from a closed source arm and written back (both as metadata, so no
+// NCache hooks fire on raw replica copies). A dirty entry is cleared only
+// if its generation is unchanged since the copy started; concurrent
+// write-throughs re-dirty blocks, and the next step picks them up. When the
+// log is empty the arm closes.
+func (m *Mirror) resyncStep(a *arm) {
+	if a.state != ArmResync {
+		return
+	}
+	if len(a.dirty) == 0 {
+		a.state = ArmClosed
+		a.consecErrs = 0
+		a.stats.Resyncs++
+		return
+	}
+	src := -1
+	for i, other := range m.arms {
+		if other != a && other.state == ArmClosed {
+			src = i
+			break
+		}
+	}
+	if src == -1 {
+		// No current source right now; hold the resync and retry.
+		m.node.Eng.Schedule(m.cfg.Breaker.OpenTimeout, func() { m.resyncStep(a) })
+		return
+	}
+	lbns := make([]int64, 0, len(a.dirty))
+	for b := range a.dirty { // det: collected keys are sorted before use
+		lbns = append(lbns, b)
+	}
+	sort.Slice(lbns, func(i, j int) bool { return lbns[i] < lbns[j] })
+	if len(lbns) > m.cfg.Breaker.ResyncBatchBlocks {
+		lbns = lbns[:m.cfg.Breaker.ResyncBatchBlocks]
+	}
+	// Coalesce adjacent LBNs into runs, one copy I/O per run.
+	type run struct {
+		lbn  int64
+		n    int
+		gens []uint64
+	}
+	var runs []run
+	for _, b := range lbns {
+		if len(runs) > 0 && runs[len(runs)-1].lbn+int64(runs[len(runs)-1].n) == b {
+			r := &runs[len(runs)-1]
+			r.n++
+			r.gens = append(r.gens, a.dirty[b])
+		} else {
+			runs = append(runs, run{lbn: b, n: 1, gens: []uint64{a.dirty[b]}})
+		}
+	}
+	remaining := len(runs)
+	settle := func() {
+		remaining--
+		if remaining == 0 {
+			m.resyncStep(a)
+		}
+	}
+	srcArm := m.arms[src]
+	for _, r := range runs {
+		r := r
+		for i := 0; i < r.n; i++ {
+			a.inflight[r.lbn+int64(i)]++
+		}
+		clear := func() {
+			for i := 0; i < r.n; i++ {
+				b := r.lbn + int64(i)
+				if a.inflight[b]--; a.inflight[b] == 0 {
+					delete(a.inflight, b)
+				}
+			}
+		}
+		srcArm.ini.Read(r.lbn, r.n, true, func(data *netbuf.Chain, err error) {
+			if err != nil {
+				clear()
+				m.armError(srcArm)
+				settle()
+				return
+			}
+			data.SetOwner("storage.mirror")
+			a.ini.Write(r.lbn, data, true, func(werr error) {
+				clear()
+				if werr != nil {
+					m.armError(a)
+					settle()
+					return
+				}
+				a.stats.ResyncBlocks += uint64(r.n)
+				for i := 0; i < r.n; i++ {
+					b := r.lbn + int64(i)
+					if g, ok := a.dirty[b]; ok && g == r.gens[i] {
+						delete(a.dirty, b)
+					}
+				}
+				settle()
+			})
+		})
+	}
+}
+
+// markDirty logs a block range the arm missed (or may hold stale).
+func (m *Mirror) markDirty(a *arm, lbn int64, blocks int) {
+	for b := lbn; b < lbn+int64(blocks); b++ {
+		m.gen++
+		a.dirty[b] = m.gen
+	}
+}
+
+// ReadAt implements Volume: consult the local cache, then read from the
+// policy-selected arm, failing over to the remaining eligible arms.
+func (m *Mirror) ReadAt(lbn int64, blocks int, meta bool, done func(*netbuf.Chain, error)) {
+	if !meta && m.readCache != nil {
+		if data, ok := m.readCache(lbn, blocks); ok {
+			trace.To(m.node.Eng, trace.LNCache)
+			m.node.Charge(m.node.Cost.NCacheLookupNs, func() {
+				done(data, nil)
+			})
+			return
+		}
+	}
+	eligible := m.readEligible(lbn, blocks)
+	first := m.pick(eligible)
+	order := []int{first}
+	for _, i := range eligible {
+		if i != first {
+			order = append(order, i)
+		}
+	}
+	m.readFrom(order, 0, lbn, blocks, meta, done)
+}
+
+// readFrom issues the read on order[at], failing over down the list.
+func (m *Mirror) readFrom(order []int, at int, lbn int64, blocks int, meta bool, done func(*netbuf.Chain, error)) {
+	a := m.arms[order[at]]
+	a.stats.Reads++
+	start := m.node.Eng.Now()
+	a.ini.Read(lbn, blocks, meta, func(data *netbuf.Chain, err error) {
+		if err != nil {
+			m.armError(a)
+			if at+1 < len(order) {
+				// Failover: the failed attempt's wait is recovery
+				// latency attributable to the fault.
+				trace.Fault(m.node.Eng, trace.LISCSI, 0)
+				m.readFrom(order, at+1, lbn, blocks, meta, done)
+				return
+			}
+			done(nil, err)
+			return
+		}
+		a.consecErrs = 0
+		m.sample(a, start)
+		if !meta && m.readHook != nil {
+			data = m.readHook(lbn, blocks, data)
+		}
+		done(data, nil)
+	})
+}
+
+// WriteAt implements Volume: run the write hook once, fan clones out to
+// every closed and resyncing arm, log dirty regions for ejected arms, and
+// complete once every issued leg settles — success if the closed-arm
+// quorum held.
+func (m *Mirror) WriteAt(lbn int64, data *netbuf.Chain, meta bool, done func(error)) {
+	bs := m.BlockSize()
+	blocks := data.Len() / bs
+	if !meta && m.writeHook != nil {
+		data = m.writeHook(lbn, blocks, data)
+	}
+	var primaries, secondaries []*arm
+	for _, a := range m.arms {
+		switch a.state {
+		case ArmClosed:
+			primaries = append(primaries, a)
+		case ArmResync:
+			secondaries = append(secondaries, a)
+		default:
+			m.markDirty(a, lbn, blocks)
+		}
+	}
+	if len(primaries)+len(secondaries) == 0 {
+		data.Release()
+		done(ErrNoArms)
+		return
+	}
+	remaining := len(primaries) + len(secondaries)
+	successes := 0
+	var firstErr error
+	settle := func() {
+		remaining--
+		if remaining > 0 {
+			return
+		}
+		if successes >= m.cfg.Quorum {
+			done(nil)
+			return
+		}
+		if firstErr == nil {
+			firstErr = ErrNoArms
+		}
+		done(firstErr)
+	}
+	for _, a := range primaries {
+		a := a
+		a.stats.Writes++
+		c := data.Clone()
+		c.SetOwner("storage.mirror")
+		start := m.node.Eng.Now()
+		a.ini.Write(lbn, c, meta, func(err error) {
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				// The acked bytes now live on fewer arms than
+				// configured: log the range so recovery re-replicates
+				// it, then trip the breaker accounting.
+				m.markDirty(a, lbn, blocks)
+				m.armError(a)
+				settle()
+				return
+			}
+			a.consecErrs = 0
+			successes++
+			m.sample(a, start)
+			settle()
+		})
+	}
+	for _, a := range secondaries {
+		a := a
+		a.stats.Writes++
+		// Write-through during resync keeps the arm converging; the
+		// block is logged first so a failed or raced-with-copy leg is
+		// re-copied, and cleared only when this write lands with no
+		// copy in flight underneath it.
+		m.markDirty(a, lbn, blocks)
+		gens := make([]uint64, blocks)
+		for i := 0; i < blocks; i++ {
+			gens[i] = a.dirty[lbn+int64(i)]
+		}
+		c := data.Clone()
+		c.SetOwner("storage.mirror")
+		a.ini.Write(lbn, c, meta, func(err error) {
+			if err != nil {
+				m.armError(a)
+				settle()
+				return
+			}
+			for i := 0; i < blocks; i++ {
+				b := lbn + int64(i)
+				if a.inflight[b] > 0 {
+					continue
+				}
+				if g, ok := a.dirty[b]; ok && g == gens[i] {
+					delete(a.dirty, b)
+				}
+			}
+			settle()
+		})
+	}
+	data.Release()
+}
+
+// Probe implements Volume with a metadata read on the preferred arm.
+func (m *Mirror) Probe(done func(error)) {
+	order := m.readEligible(0, 1)
+	a := m.arms[m.pick(order)]
+	a.ini.Read(0, 1, true, func(data *netbuf.Chain, err error) {
+		if data != nil {
+			data.Release()
+		}
+		done(err)
+	})
+}
+
+// Stats implements Volume.
+func (m *Mirror) Stats() []ArmStats {
+	out := make([]ArmStats, len(m.arms))
+	for i, a := range m.arms {
+		s := a.stats
+		s.Name = a.name
+		s.State = a.state
+		s.DirtyBlocks = len(a.dirty)
+		s.EWMALatencyUs = a.ewmaUs
+		out[i] = s
+	}
+	return out
+}

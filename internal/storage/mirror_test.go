@@ -1,0 +1,314 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+
+	"ncache/internal/blockdev"
+	"ncache/internal/netbuf"
+	"ncache/internal/sim"
+	"ncache/internal/simnet"
+)
+
+// fakeIni is an in-memory Initiator: a flat byte image with a fixed command
+// latency and switchable failure injection, so breaker transitions can be
+// driven precisely.
+type fakeIni struct {
+	eng *sim.Engine
+	geo blockdev.Geometry
+	dat []byte
+	lat sim.Duration
+
+	failReads  bool
+	failWrites bool
+	reads      int
+	writes     int
+}
+
+func newFakeIni(eng *sim.Engine, blocks int64, lat sim.Duration) *fakeIni {
+	return &fakeIni{
+		eng: eng,
+		geo: blockdev.Geometry{BlockSize: 512, NumBlocks: blocks},
+		dat: make([]byte, blocks*512),
+		lat: lat,
+	}
+}
+
+func (f *fakeIni) Geometry() blockdev.Geometry { return f.geo }
+
+func (f *fakeIni) Read(lba int64, blocks int, meta bool, done func(*netbuf.Chain, error)) {
+	f.reads++
+	f.eng.Schedule(f.lat, func() {
+		if f.failReads {
+			done(nil, blockdev.ErrTransient)
+			return
+		}
+		bs := int64(f.geo.BlockSize)
+		p := f.dat[lba*bs : lba*bs+int64(blocks)*bs]
+		done(netbuf.ChainFromBytes(p, netbuf.DefaultBufSize), nil)
+	})
+}
+
+func (f *fakeIni) Write(lba int64, data *netbuf.Chain, meta bool, done func(error)) {
+	f.writes++
+	flat := data.Flatten()
+	data.Release()
+	f.eng.Schedule(f.lat, func() {
+		if f.failWrites {
+			done(blockdev.ErrTransient)
+			return
+		}
+		copy(f.dat[lba*int64(f.geo.BlockSize):], flat)
+		done(nil)
+	})
+}
+
+// mirrorRig is a two-arm mirror over fake initiators.
+type mirrorRig struct {
+	eng  *sim.Engine
+	node *simnet.Node
+	arms []*fakeIni
+	m    *Mirror
+}
+
+func newMirrorRig(t *testing.T, cfg MirrorConfig, lats ...sim.Duration) *mirrorRig {
+	t.Helper()
+	eng := sim.NewEngine()
+	node := simnet.NewNode(eng, "app", simnet.DefaultProfile())
+	var arms []*fakeIni
+	var inis []Initiator
+	var names []string
+	for i, lat := range lats {
+		a := newFakeIni(eng, 256, lat)
+		arms = append(arms, a)
+		inis = append(inis, a)
+		names = append(names, string(rune('a'+i)))
+	}
+	m, err := NewMirror(node, names, inis, cfg)
+	if err != nil {
+		t.Fatalf("NewMirror: %v", err)
+	}
+	return &mirrorRig{eng: eng, node: node, arms: arms, m: m}
+}
+
+// step advances far enough for any in-flight commands, probes and resync
+// rounds to settle without draining the queue (an erroring arm's breaker
+// keeps rescheduling probes forever, so Run would never return).
+func (r *mirrorRig) step(t *testing.T, d sim.Duration) {
+	t.Helper()
+	if err := r.eng.RunFor(d); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+}
+
+// write issues one mirror write and steps until it completes.
+func (r *mirrorRig) write(t *testing.T, lbn int64, fill byte, blocks int) error {
+	t.Helper()
+	p := bytes.Repeat([]byte{fill}, blocks*512)
+	var got error
+	done := false
+	r.m.WriteAt(lbn, netbuf.ChainFromBytes(p, netbuf.DefaultBufSize), false, func(err error) {
+		got, done = err, true
+	})
+	r.step(t, 5*sim.Millisecond)
+	if !done {
+		t.Fatal("write did not complete")
+	}
+	return got
+}
+
+// read issues one mirror read and steps until it completes.
+func (r *mirrorRig) read(t *testing.T, lbn int64, blocks int) ([]byte, error) {
+	t.Helper()
+	var flat []byte
+	var got error
+	done := false
+	r.m.ReadAt(lbn, blocks, false, func(data *netbuf.Chain, err error) {
+		if data != nil {
+			flat = data.Flatten()
+			data.Release()
+		}
+		got, done = err, true
+	})
+	r.step(t, 5*sim.Millisecond)
+	if !done {
+		t.Fatal("read did not complete")
+	}
+	return flat, got
+}
+
+func TestMirrorWriteFansOutBothArms(t *testing.T) {
+	r := newMirrorRig(t, MirrorConfig{}, 10*sim.Microsecond, 10*sim.Microsecond)
+	if err := r.write(t, 7, 0x5A, 3); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	want := bytes.Repeat([]byte{0x5A}, 3*512)
+	for i, a := range r.arms {
+		if !bytes.Equal(a.dat[7*512:7*512+3*512], want) {
+			t.Fatalf("arm %d missing replicated write", i)
+		}
+	}
+	got, err := r.read(t, 7, 3)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("read back: err=%v, %d bytes", err, len(got))
+	}
+}
+
+func TestMirrorReadFailsOverWithoutClientError(t *testing.T) {
+	r := newMirrorRig(t, MirrorConfig{}, 10*sim.Microsecond, 10*sim.Microsecond)
+	if err := r.write(t, 0, 0x11, 2); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	r.arms[0].failReads = true
+	got, err := r.read(t, 0, 2)
+	if err != nil {
+		t.Fatalf("read with one dead arm: %v", err)
+	}
+	if !bytes.Equal(got, bytes.Repeat([]byte{0x11}, 2*512)) {
+		t.Fatal("failover read returned wrong bytes")
+	}
+	st := r.m.Stats()
+	if st[0].Errors != 1 {
+		t.Fatalf("arm a errors = %d, want 1", st[0].Errors)
+	}
+	if st[0].State != ArmClosed {
+		t.Fatalf("one error tripped the breaker early: %v", st[0].State)
+	}
+}
+
+func TestMirrorBreakerLifecycleAndResync(t *testing.T) {
+	// OpenTimeout well past the per-step window, so the half-open probe
+	// cannot fire until the test heals the arm and runs the clock forward.
+	r := newMirrorRig(t, MirrorConfig{Breaker: BreakerConfig{OpenTimeout: 100 * sim.Millisecond}},
+		10*sim.Microsecond, 10*sim.Microsecond)
+	if err := r.write(t, 0, 0x01, 4); err != nil {
+		t.Fatalf("seed write: %v", err)
+	}
+
+	// Three consecutive failed legs trip arm b's breaker; every logical
+	// write still succeeds off arm a.
+	r.arms[1].failWrites = true
+	for i := 0; i < 3; i++ {
+		if err := r.write(t, int64(10+i), 0x20+byte(i), 1); err != nil {
+			t.Fatalf("write %d during arm failure: %v", i, err)
+		}
+	}
+	st := r.m.Stats()
+	if st[1].State != ArmOpen || st[1].Ejections != 1 {
+		t.Fatalf("arm b = %v ejections=%d, want open/1", st[1].State, st[1].Ejections)
+	}
+
+	// Writes while the arm is open only land on a and are logged dirty.
+	for i := 0; i < 4; i++ {
+		if err := r.write(t, int64(20+i), 0x30+byte(i), 1); err != nil {
+			t.Fatalf("write %d during outage: %v", i, err)
+		}
+	}
+	if st = r.m.Stats(); st[1].DirtyBlocks == 0 {
+		t.Fatal("outage writes not logged in the dirty-region map")
+	}
+
+	// Heal, let the half-open probe pass and the resync drain the log.
+	r.arms[1].failWrites = false
+	r.step(t, sim.Second)
+	st = r.m.Stats()
+	if st[1].State != ArmClosed {
+		t.Fatalf("arm b did not close after resync: %v", st[1].State)
+	}
+	if st[1].Probes == 0 || st[1].Resyncs != 1 || st[1].DirtyBlocks != 0 || st[1].ResyncBlocks == 0 {
+		t.Fatalf("recovery stats = %+v", st[1])
+	}
+	if !bytes.Equal(r.arms[0].dat, r.arms[1].dat) {
+		t.Fatal("arm images diverge after resync")
+	}
+}
+
+func TestMirrorAllArmsDownFailsFast(t *testing.T) {
+	r := newMirrorRig(t, MirrorConfig{Breaker: BreakerConfig{OpenTimeout: 100 * sim.Millisecond}},
+		10*sim.Microsecond, 10*sim.Microsecond)
+	r.arms[0].failWrites = true
+	r.arms[1].failWrites = true
+	r.arms[0].failReads = true
+	r.arms[1].failReads = true
+	for i := 0; i < 3; i++ {
+		if err := r.write(t, int64(i), 0xFF, 1); err == nil {
+			t.Fatalf("write %d succeeded with zero quorum", i)
+		}
+	}
+	st := r.m.Stats()
+	if st[0].State != ArmOpen || st[1].State != ArmOpen {
+		t.Fatalf("arms = %v/%v, want both open", st[0].State, st[1].State)
+	}
+	if err := r.write(t, 50, 0xFF, 1); err != ErrNoArms {
+		t.Fatalf("write with no arms = %v, want ErrNoArms", err)
+	}
+}
+
+func TestMirrorRoundRobinPolicy(t *testing.T) {
+	r := newMirrorRig(t, MirrorConfig{Policy: PolicyRoundRobin},
+		10*sim.Microsecond, 10*sim.Microsecond)
+	for i := 0; i < 4; i++ {
+		if _, err := r.read(t, 0, 1); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	if r.arms[0].reads != 2 || r.arms[1].reads != 2 {
+		t.Fatalf("round-robin split = %d/%d, want 2/2", r.arms[0].reads, r.arms[1].reads)
+	}
+}
+
+func TestMirrorLeastLatencyPolicyPrefersFastArm(t *testing.T) {
+	r := newMirrorRig(t, MirrorConfig{Policy: PolicyLeastLatency},
+		sim.Millisecond, 10*sim.Microsecond)
+	for i := 0; i < 6; i++ {
+		if _, err := r.read(t, 0, 1); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	if r.arms[1].reads <= r.arms[0].reads {
+		t.Fatalf("least-latency split = %d/%d, want fast arm to dominate",
+			r.arms[0].reads, r.arms[1].reads)
+	}
+}
+
+func TestMirrorLatencyEjection(t *testing.T) {
+	r := newMirrorRig(t, MirrorConfig{
+		Policy:  PolicyRoundRobin,
+		Breaker: BreakerConfig{LatencyOpenUs: 100},
+	}, 10*sim.Microsecond, sim.Millisecond)
+	for i := 0; i < 6; i++ {
+		if _, err := r.read(t, 0, 1); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	// The slow arm may already have probed back in by the time the test
+	// looks (its dirty log is empty, so resync closes immediately); the
+	// ejection counter is the durable evidence.
+	st := r.m.Stats()
+	if st[1].Ejections == 0 {
+		t.Fatalf("slow arm never ejected (ewma %.1fus)", st[1].EWMALatencyUs)
+	}
+	if st[0].Ejections != 0 {
+		t.Fatalf("fast arm ejected %d times", st[0].Ejections)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Policy
+	}{
+		{"", PolicyPrimaryFirst},
+		{"primary-first", PolicyPrimaryFirst},
+		{"round-robin", PolicyRoundRobin},
+		{"least-latency", PolicyLeastLatency},
+	} {
+		got, err := ParsePolicy(c.in)
+		if err != nil || got != c.want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if _, err := ParsePolicy("fastest"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}

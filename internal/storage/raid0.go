@@ -1,43 +1,53 @@
-package blockdev
+package storage
 
 import (
 	"errors"
 	"fmt"
+
+	"ncache/internal/blockdev"
 )
 
 // RAID0 stripes blocks across member disks in stripe-unit chunks, like the
 // paper's 4-disk array. Requests spanning stripe units fan out to the
 // member disks concurrently; completion is the slowest member's completion,
 // which is what gives RAID-0 its aggregate streaming bandwidth.
+//
+// It lives in the storage package (migrated from blockdev) because striping
+// is a volume-layout concern, not a device-model one: the same extent math
+// backs the Striped volume below, and the iSCSI target serves a RAID0 as
+// its backing Device.
 type RAID0 struct {
-	disks      []*MemDisk
+	disks      []*blockdev.MemDisk
 	stripeUnit int // in blocks
-	geom       Geometry
+	geom       blockdev.Geometry
 	// Requests counts top-level I/Os (not per-member operations).
 	Requests uint64
 }
 
-var _ Device = (*RAID0)(nil)
+var (
+	_ blockdev.Device       = (*RAID0)(nil)
+	_ blockdev.DirectAccess = (*RAID0)(nil)
+)
 
 // NewRAID0 builds an array over identical member disks with the given
 // stripe unit in blocks.
-func NewRAID0(disks []*MemDisk, stripeUnitBlocks int) (*RAID0, error) {
+func NewRAID0(disks []*blockdev.MemDisk, stripeUnitBlocks int) (*RAID0, error) {
 	if len(disks) == 0 {
-		return nil, errors.New("blockdev: raid0 needs at least one disk")
+		return nil, errors.New("storage: raid0 needs at least one disk")
 	}
 	if stripeUnitBlocks <= 0 {
-		return nil, errors.New("blockdev: stripe unit must be positive")
+		return nil, errors.New("storage: stripe unit must be positive")
 	}
 	g := disks[0].Geometry()
 	for _, d := range disks[1:] {
 		if d.Geometry() != g {
-			return nil, errors.New("blockdev: raid0 members must be identical")
+			return nil, errors.New("storage: raid0 members must be identical")
 		}
 	}
 	return &RAID0{
 		disks:      disks,
 		stripeUnit: stripeUnitBlocks,
-		geom: Geometry{
+		geom: blockdev.Geometry{
 			BlockSize: g.BlockSize,
 			NumBlocks: g.NumBlocks * int64(len(disks)),
 		},
@@ -45,10 +55,10 @@ func NewRAID0(disks []*MemDisk, stripeUnitBlocks int) (*RAID0, error) {
 }
 
 // Geometry returns the array's aggregate addressing.
-func (r *RAID0) Geometry() Geometry { return r.geom }
+func (r *RAID0) Geometry() blockdev.Geometry { return r.geom }
 
 // Disks returns the member disks (for stats).
-func (r *RAID0) Disks() []*MemDisk { return r.disks }
+func (r *RAID0) Disks() []*blockdev.MemDisk { return r.disks }
 
 // PeekBlock implements DirectAccess over the striped address space.
 func (r *RAID0) PeekBlock(lbn int64) []byte {
@@ -97,9 +107,9 @@ type seg struct {
 	count     int
 }
 
-// extent is one coalesced per-disk request: successive stripe units on the
+// extent is one coalesced per-member request: successive stripe units on the
 // same member are contiguous in member-LBN space, so a large sequential
-// array request becomes exactly one I/O per member disk (each paying the
+// array request becomes exactly one I/O per member (each paying the
 // positioning overhead once) — the coalescing a real striping driver does.
 type extent struct {
 	disk  int
@@ -108,15 +118,19 @@ type extent struct {
 	segs  []seg
 }
 
-// extents splits an array request into one coalesced request per member.
-func (r *RAID0) extents(lbn int64, count int) []extent {
-	perDisk := make([]*extent, len(r.disks))
+// stripeExtents splits an array request into one coalesced request per
+// member, for a stripe layout of n members with the given unit.
+func stripeExtents(n, unit int, lbn int64, count int) []extent {
+	perDisk := make([]*extent, n)
 	var order []*extent
 	i := 0
 	for i < count {
-		disk, member := r.locate(lbn + int64(i))
-		within := (lbn + int64(i)) % int64(r.stripeUnit)
-		run := int(int64(r.stripeUnit) - within)
+		at := lbn + int64(i)
+		stripe := at / int64(unit)
+		within := at % int64(unit)
+		disk := int(stripe % int64(n))
+		member := (stripe/int64(n))*int64(unit) + within
+		run := int(int64(unit) - within)
 		if run > count-i {
 			run = count - i
 		}
@@ -139,10 +153,15 @@ func (r *RAID0) extents(lbn int64, count int) []extent {
 	return out
 }
 
+// extents splits an array request into one coalesced request per member.
+func (r *RAID0) extents(lbn int64, count int) []extent {
+	return stripeExtents(len(r.disks), r.stripeUnit, lbn, count)
+}
+
 // ReadBlocks implements Device by fanning out to member disks.
 func (r *RAID0) ReadBlocks(lbn int64, count int, done func([]byte, error)) {
 	if lbn < 0 || count < 0 || lbn+int64(count) > r.geom.NumBlocks {
-		done(nil, fmt.Errorf("%w: [%d,+%d) of %d", ErrOutOfRange, lbn, count, r.geom.NumBlocks))
+		done(nil, fmt.Errorf("%w: [%d,+%d) of %d", blockdev.ErrOutOfRange, lbn, count, r.geom.NumBlocks))
 		return
 	}
 	r.Requests++
@@ -181,12 +200,12 @@ func (r *RAID0) ReadBlocks(lbn int64, count int, done func([]byte, error)) {
 // WriteBlocks implements Device by fanning out to member disks.
 func (r *RAID0) WriteBlocks(lbn int64, data []byte, done func(error)) {
 	if len(data)%r.geom.BlockSize != 0 {
-		done(fmt.Errorf("%w: %d", ErrBadLength, len(data)))
+		done(fmt.Errorf("%w: %d", blockdev.ErrBadLength, len(data)))
 		return
 	}
 	count := len(data) / r.geom.BlockSize
 	if lbn < 0 || lbn+int64(count) > r.geom.NumBlocks {
-		done(fmt.Errorf("%w: [%d,+%d) of %d", ErrOutOfRange, lbn, count, r.geom.NumBlocks))
+		done(fmt.Errorf("%w: [%d,+%d) of %d", blockdev.ErrOutOfRange, lbn, count, r.geom.NumBlocks))
 		return
 	}
 	r.Requests++

@@ -1,0 +1,143 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"ncache/internal/blockdev"
+	"ncache/internal/sim"
+)
+
+func newArray(t *testing.T, eng *sim.Engine, ndisks int, stripeUnit int) *RAID0 {
+	t.Helper()
+	disks := make([]*blockdev.MemDisk, ndisks)
+	for i := range disks {
+		disks[i] = blockdev.NewMemDisk(eng, "d", blockdev.Geometry{BlockSize: 512, NumBlocks: 1000}, blockdev.IDE2000())
+	}
+	r, err := NewRAID0(disks, stripeUnit)
+	if err != nil {
+		t.Fatalf("NewRAID0: %v", err)
+	}
+	return r
+}
+
+func TestRAID0RoundTrip(t *testing.T) {
+	eng := sim.NewEngine()
+	r := newArray(t, eng, 4, 8)
+	if r.Geometry().NumBlocks != 4000 {
+		t.Fatalf("NumBlocks = %d", r.Geometry().NumBlocks)
+	}
+	data := make([]byte, 512*50) // spans many stripe units
+	sim.NewRNG(5).Fill(data)
+	r.WriteBlocks(13, data, func(err error) {
+		if err != nil {
+			t.Errorf("Write: %v", err)
+		}
+		r.ReadBlocks(13, 50, func(got []byte, err error) {
+			if err != nil {
+				t.Errorf("Read: %v", err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Error("raid0 read-back mismatch")
+			}
+		})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestRAID0DistributesAcrossDisks(t *testing.T) {
+	eng := sim.NewEngine()
+	r := newArray(t, eng, 4, 8)
+	// 64 blocks starting at 0 covers stripes 0..7: 16 blocks per disk,
+	// coalesced into exactly one member request each.
+	r.ReadBlocks(0, 64, func(_ []byte, err error) {
+		if err != nil {
+			t.Errorf("Read: %v", err)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, d := range r.Disks() {
+		if d.Reads != 1 {
+			t.Fatalf("disk %d reads = %d, want 1 (coalesced)", i, d.Reads)
+		}
+		if d.BytesRead != 16*512 {
+			t.Fatalf("disk %d bytes = %d, want %d", i, d.BytesRead, 16*512)
+		}
+	}
+}
+
+func TestRAID0ParallelismBeatsSingleDisk(t *testing.T) {
+	eng := sim.NewEngine()
+	single := blockdev.NewMemDisk(eng, "s", blockdev.Geometry{BlockSize: 512, NumBlocks: 4000}, blockdev.IDE2000())
+	array := newArray(t, eng, 4, 8)
+
+	var tSingle, tArray sim.Duration
+	start := eng.Now()
+	n := 512 // 256 KB
+	single.ReadBlocks(0, n, func(_ []byte, err error) { tSingle = eng.Now().Sub(start) })
+	array.ReadBlocks(0, n, func(_ []byte, err error) { tArray = eng.Now().Sub(start) })
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if tArray >= tSingle {
+		t.Fatalf("raid0 (%v) not faster than single disk (%v)", tArray, tSingle)
+	}
+}
+
+func TestRAID0ValidatesConstruction(t *testing.T) {
+	eng := sim.NewEngine()
+	if _, err := NewRAID0(nil, 8); err == nil {
+		t.Fatal("empty raid accepted")
+	}
+	d1 := blockdev.NewMemDisk(eng, "a", blockdev.Geometry{BlockSize: 512, NumBlocks: 10}, blockdev.IDE2000())
+	d2 := blockdev.NewMemDisk(eng, "b", blockdev.Geometry{BlockSize: 4096, NumBlocks: 10}, blockdev.IDE2000())
+	if _, err := NewRAID0([]*blockdev.MemDisk{d1, d2}, 8); err == nil {
+		t.Fatal("mismatched members accepted")
+	}
+	if _, err := NewRAID0([]*blockdev.MemDisk{d1}, 0); err == nil {
+		t.Fatal("zero stripe unit accepted")
+	}
+}
+
+func TestRAID0PropertyRoundTrip(t *testing.T) {
+	f := func(seed uint64, lbn16 uint16, count8, unit8 uint8) bool {
+		eng := sim.NewEngine()
+		unit := int(unit8)%16 + 1
+		disks := make([]*blockdev.MemDisk, 3)
+		for i := range disks {
+			disks[i] = blockdev.NewMemDisk(eng, "d", blockdev.Geometry{BlockSize: 64, NumBlocks: 512}, blockdev.Model{})
+		}
+		r, err := NewRAID0(disks, unit)
+		if err != nil {
+			return false
+		}
+		lbn := int64(lbn16) % 1000
+		count := int(count8)%32 + 1
+		if lbn+int64(count) > r.Geometry().NumBlocks {
+			lbn = 0
+		}
+		data := make([]byte, count*64)
+		sim.NewRNG(seed).Fill(data)
+		ok := false
+		r.WriteBlocks(lbn, data, func(err error) {
+			if err != nil {
+				return
+			}
+			r.ReadBlocks(lbn, count, func(got []byte, err error) {
+				ok = err == nil && bytes.Equal(got, data)
+			})
+		})
+		if err := eng.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+package storage
+
+import "ncache/internal/netbuf"
+
+// Extent is one member's portion of a split request.
+type Extent struct {
+	Member int
+	LBN    int64
+	Blocks int
+}
+
+// SplitFunc places a block range onto members (the cluster's TargetMap,
+// adapted). Extents come back in request order.
+type SplitFunc func(lbn int64, blocks int) []Extent
+
+// Sharded routes each request's extents to per-member volumes — the
+// scale-out backend, where every member exports the full global geometry
+// and placement only picks the session. Members are themselves volumes, so
+// a sharded backend of mirrored pairs composes for free.
+type Sharded struct {
+	members []Volume
+	split   SplitFunc
+}
+
+var _ Volume = (*Sharded)(nil)
+
+// NewSharded builds the routing volume.
+func NewSharded(members []Volume, split SplitFunc) *Sharded {
+	return &Sharded{members: members, split: split}
+}
+
+// BlockSize implements Volume.
+func (s *Sharded) BlockSize() int { return s.members[0].BlockSize() }
+
+// NumBlocks implements Volume (members export the global geometry).
+func (s *Sharded) NumBlocks() int64 { return s.members[0].NumBlocks() }
+
+// ReadAt implements Volume: scatter the extents across their members and
+// reassemble the chains in LBN order once all complete.
+func (s *Sharded) ReadAt(lbn int64, count int, meta bool, done func(*netbuf.Chain, error)) {
+	exts := s.split(lbn, count)
+	if len(exts) == 1 {
+		s.members[exts[0].Member].ReadAt(lbn, count, meta, done)
+		return
+	}
+	parts := make([]*netbuf.Chain, len(exts))
+	remaining := len(exts)
+	var firstErr error
+	for i, ext := range exts {
+		i, ext := i, ext
+		s.members[ext.Member].ReadAt(ext.LBN, ext.Blocks, meta, func(data *netbuf.Chain, err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			parts[i] = data
+			remaining--
+			if remaining > 0 {
+				return
+			}
+			if firstErr != nil {
+				for _, p := range parts {
+					if p != nil {
+						p.Release()
+					}
+				}
+				done(nil, firstErr)
+				return
+			}
+			out := netbuf.NewChain()
+			for _, p := range parts {
+				out.AppendChain(p)
+			}
+			done(out, nil)
+		})
+	}
+}
+
+// WriteAt implements Volume: slice the payload per extent (descriptor
+// clones, no copies) and fan out to the members.
+func (s *Sharded) WriteAt(lbn int64, data *netbuf.Chain, meta bool, done func(error)) {
+	bs := s.BlockSize()
+	exts := s.split(lbn, data.Len()/bs)
+	if len(exts) == 1 {
+		s.members[exts[0].Member].WriteAt(lbn, data, meta, done)
+		return
+	}
+	remaining := len(exts)
+	var firstErr error
+	finish := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		remaining--
+		if remaining == 0 {
+			done(firstErr)
+		}
+	}
+	off := 0
+	for _, ext := range exts {
+		n := ext.Blocks * bs
+		sub, err := data.Slice(off, n)
+		if err != nil {
+			finish(err)
+			off += n
+			continue
+		}
+		s.members[ext.Member].WriteAt(ext.LBN, sub, meta, finish)
+		off += n
+	}
+	data.Release()
+}
+
+// Probe implements Volume: every member must answer.
+func (s *Sharded) Probe(done func(error)) {
+	remaining := len(s.members)
+	var firstErr error
+	for _, m := range s.members {
+		m.Probe(func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			remaining--
+			if remaining == 0 {
+				done(firstErr)
+			}
+		})
+	}
+}
+
+// Stats implements Volume by concatenating member stats.
+func (s *Sharded) Stats() []ArmStats {
+	var out []ArmStats
+	for _, m := range s.members {
+		out = append(out, m.Stats()...)
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package storage
+
+import (
+	"fmt"
+
+	"ncache/internal/netbuf"
+)
+
+// Striped is RAID-0 at the volume layer: it spreads the address space over
+// member volumes in stripe-unit chunks using the same coalescing extent
+// math as the RAID0 device, but over Volume members — so the members can
+// themselves be single initiators, mirrors, or nested stripes. Payloads are
+// sliced and reassembled as chains (refcount bumps, never copies).
+type Striped struct {
+	members []Volume
+	unit    int // stripe unit in blocks
+}
+
+var _ Volume = (*Striped)(nil)
+
+// NewStriped builds a striped volume over identically-sized members.
+func NewStriped(members []Volume, stripeUnitBlocks int) (*Striped, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("storage: striped needs at least one member")
+	}
+	if stripeUnitBlocks <= 0 {
+		return nil, fmt.Errorf("storage: stripe unit must be positive")
+	}
+	return &Striped{members: members, unit: stripeUnitBlocks}, nil
+}
+
+// BlockSize implements Volume.
+func (s *Striped) BlockSize() int { return s.members[0].BlockSize() }
+
+// NumBlocks implements Volume.
+func (s *Striped) NumBlocks() int64 {
+	var min int64 = -1
+	for _, m := range s.members {
+		if n := m.NumBlocks(); min < 0 || n < min {
+			min = n
+		}
+	}
+	return min * int64(len(s.members))
+}
+
+// ReadAt implements Volume by fanning the request out per member and
+// reassembling the segments in request order.
+func (s *Striped) ReadAt(lbn int64, blocks int, meta bool, done func(*netbuf.Chain, error)) {
+	exts := stripeExtents(len(s.members), s.unit, lbn, blocks)
+	if len(exts) == 1 {
+		s.members[exts[0].disk].ReadAt(exts[0].lbn, exts[0].count, meta, done)
+		return
+	}
+	bs := s.BlockSize()
+	parts := make([]*netbuf.Chain, len(exts))
+	remaining := len(exts)
+	var firstErr error
+	for i, ex := range exts {
+		i, ex := i, ex
+		s.members[ex.disk].ReadAt(ex.lbn, ex.count, meta, func(data *netbuf.Chain, err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			parts[i] = data
+			remaining--
+			if remaining > 0 {
+				return
+			}
+			if firstErr != nil {
+				for _, p := range parts {
+					if p != nil {
+						p.Release()
+					}
+				}
+				done(nil, firstErr)
+				return
+			}
+			// Segments interleave across members: slice each member's
+			// result back into request order.
+			type piece struct {
+				reqStart int
+				sub      *netbuf.Chain
+			}
+			pieces := make([]piece, 0, len(exts)*2)
+			for j, ex := range exts {
+				for _, sg := range ex.segs {
+					sub, serr := parts[j].Slice(sg.memberOff*bs, sg.count*bs)
+					if serr != nil && firstErr == nil {
+						firstErr = serr
+					}
+					if sub != nil {
+						pieces = append(pieces, piece{sg.reqStart, sub})
+					}
+				}
+			}
+			for _, p := range parts {
+				p.Release()
+			}
+			if firstErr != nil {
+				for _, pc := range pieces {
+					pc.sub.Release()
+				}
+				done(nil, firstErr)
+				return
+			}
+			// Insertion order by reqStart (seg lists are per-member
+			// sorted; merge is tiny).
+			for a := 1; a < len(pieces); a++ {
+				for b := a; b > 0 && pieces[b].reqStart < pieces[b-1].reqStart; b-- {
+					pieces[b], pieces[b-1] = pieces[b-1], pieces[b]
+				}
+			}
+			out := netbuf.NewChain()
+			for _, pc := range pieces {
+				out.AppendChain(pc.sub)
+			}
+			done(out, nil)
+		})
+	}
+}
+
+// WriteAt implements Volume by slicing the payload per member extent.
+func (s *Striped) WriteAt(lbn int64, data *netbuf.Chain, meta bool, done func(error)) {
+	bs := s.BlockSize()
+	blocks := data.Len() / bs
+	exts := stripeExtents(len(s.members), s.unit, lbn, blocks)
+	if len(exts) == 1 {
+		s.members[exts[0].disk].WriteAt(exts[0].lbn, data, meta, done)
+		return
+	}
+	remaining := len(exts)
+	var firstErr error
+	sub := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		remaining--
+		if remaining == 0 {
+			done(firstErr)
+		}
+	}
+	for _, ex := range exts {
+		member := netbuf.NewChain()
+		for _, sg := range ex.segs {
+			piece, err := data.Slice(sg.reqStart*bs, sg.count*bs)
+			if err != nil {
+				member.Release()
+				data.Release()
+				done(err)
+				return
+			}
+			member.AppendChain(piece)
+		}
+		s.members[ex.disk].WriteAt(ex.lbn, member, meta, sub)
+	}
+	data.Release()
+}
+
+// Probe implements Volume: every member must answer.
+func (s *Striped) Probe(done func(error)) {
+	remaining := len(s.members)
+	var firstErr error
+	for _, m := range s.members {
+		m.Probe(func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			remaining--
+			if remaining == 0 {
+				done(firstErr)
+			}
+		})
+	}
+}
+
+// Stats implements Volume by concatenating member stats.
+func (s *Striped) Stats() []ArmStats {
+	var out []ArmStats
+	for _, m := range s.members {
+		out = append(out, m.Stats()...)
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+// Package storage is the transport-neutral lower tier of the pass-through
+// server: everything above it (the buffer-cache flusher, WAL replay, the
+// sync write-through arm) talks to a Volume, and everything below it (one
+// iSCSI initiator, a mirrored pair, a striped set, a sharded fan-out) is an
+// implementation detail. The redesign collapses the three near-duplicate
+// lower-write paths that used to talk to iscsi.Initiator directly onto this
+// one call surface, and is what makes multi-arm volumes (replication,
+// initiator failover, circuit breaking) possible without the upper layers
+// knowing.
+package storage
+
+import (
+	"ncache/internal/blockdev"
+	"ncache/internal/netbuf"
+)
+
+// Volume is the lower storage tier seen by the buffer cache and WAL replay.
+// Payloads travel as netbuf chains (zero-copy: implementations clone, never
+// flatten); meta marks file-system metadata, which bypasses NCache hooks.
+// All completion callbacks run on the owning node's event shard.
+type Volume interface {
+	// BlockSize returns the device block size in bytes (valid once the
+	// underlying initiators are connected).
+	BlockSize() int
+	// NumBlocks returns the addressable size of the volume in blocks.
+	NumBlocks() int64
+	// ReadAt fetches blocks starting at lbn. The callback owns the chain.
+	ReadAt(lbn int64, blocks int, meta bool, done func(*netbuf.Chain, error))
+	// WriteAt stores a block-aligned payload at lbn, taking ownership of
+	// the chain.
+	WriteAt(lbn int64, data *netbuf.Chain, meta bool, done func(error))
+	// Probe issues a minimal health check (one metadata block read) and
+	// reports whether the volume can serve it.
+	Probe(done func(error))
+	// Stats returns a per-arm health/traffic snapshot, one entry per
+	// backend arm in a fixed order.
+	Stats() []ArmStats
+}
+
+// ArmState is the circuit-breaker state of one backend arm.
+type ArmState int
+
+const (
+	// ArmClosed: healthy, serving reads and writes.
+	ArmClosed ArmState = iota
+	// ArmOpen: ejected after the error/latency threshold tripped; no
+	// traffic except the scheduled half-open probe.
+	ArmOpen
+	// ArmHalfOpen: a probe is in flight deciding open vs resync.
+	ArmHalfOpen
+	// ArmResync: probe succeeded; catch-up copy of the dirty-region log is
+	// draining. Writes flow through; reads still avoid the arm.
+	ArmResync
+)
+
+// String names the state for stats tables.
+func (s ArmState) String() string {
+	switch s {
+	case ArmClosed:
+		return "closed"
+	case ArmOpen:
+		return "open"
+	case ArmHalfOpen:
+		return "half-open"
+	case ArmResync:
+		return "resync"
+	}
+	return "?"
+}
+
+// ArmStats is one arm's health and traffic snapshot.
+type ArmStats struct {
+	Name   string
+	State  ArmState
+	Reads  uint64
+	Writes uint64
+	// Errors counts failed commands (after initiator-level retries).
+	Errors uint64
+	// Ejections counts closed->open transitions.
+	Ejections uint64
+	// Probes counts half-open probe attempts.
+	Probes uint64
+	// Resyncs counts completed resync->closed recoveries.
+	Resyncs uint64
+	// ResyncBlocks counts blocks copied by catch-up resync.
+	ResyncBlocks uint64
+	// DirtyBlocks is the current dirty-region log depth.
+	DirtyBlocks int
+	// EWMALatencyUs is the smoothed command latency in microseconds.
+	EWMALatencyUs float64
+}
+
+// Initiator is the slice of iscsi.Initiator a volume arm needs; keeping it
+// structural (rather than importing iscsi) lets the iscsi package's own
+// tests use storage arrays without an import cycle.
+type Initiator interface {
+	Geometry() blockdev.Geometry
+	Read(lba int64, blocks int, meta bool, done func(*netbuf.Chain, error))
+	Write(lba int64, data *netbuf.Chain, meta bool, done func(error))
+}
+
+// ReadHook mirrors iscsi.ReadHook at the volume level: it intercepts a
+// completed non-metadata read exactly once per logical read, regardless of
+// how many arms served or retried it.
+type ReadHook func(lba int64, blocks int, data *netbuf.Chain) *netbuf.Chain
+
+// WriteHook mirrors iscsi.WriteHook at the volume level: it runs exactly
+// once per logical write, before the payload fans out to arms. This is the
+// invariant that makes mirroring safe — the NCache module's write-out hook
+// remaps FHO entries to LBN entries and must not run per-arm.
+type WriteHook func(lba int64, blocks int, data *netbuf.Chain) *netbuf.Chain
+
+// ReadCache mirrors iscsi.ReadCache at the volume level: a true return
+// serves the read locally and no arm traffic occurs.
+type ReadCache func(lba int64, blocks int) (*netbuf.Chain, bool)
